@@ -1,0 +1,49 @@
+// Copyright 2026 The gkmeans Authors.
+// Shared plumbing for the paper-reproduction bench harnesses: scale
+// selection (GKM_SCALE env multiplies workload sizes so the same binaries
+// run laptop-fast by default and paper-scale on big machines), and tabular
+// printing in the shape of the paper's figures/tables.
+
+#ifndef GKM_BENCH_BENCH_UTIL_H_
+#define GKM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gkm::bench {
+
+/// Multiplicative workload scale from the GKM_SCALE environment variable
+/// (default 1.0). Every bench multiplies its n (and where appropriate k)
+/// by this, so GKM_SCALE=10 approaches paper scale.
+inline double Scale() {
+  const char* env = std::getenv("GKM_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return s > 0.0 ? s : 1.0;
+}
+
+/// n scaled and clamped to a minimum.
+inline std::size_t ScaledN(std::size_t base, std::size_t min_n = 1000) {
+  const auto n = static_cast<std::size_t>(static_cast<double>(base) * Scale());
+  return n < min_n ? min_n : n;
+}
+
+/// Prints the standard bench header naming the paper artifact reproduced.
+inline void Header(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("(workload scale %.2gx; set GKM_SCALE to change)\n", Scale());
+  std::printf("==============================================================\n");
+}
+
+/// Prints a named numeric series as aligned columns (one row per entry) —
+/// the textual equivalent of one curve in a paper figure.
+inline void PrintSeriesHeader(const char* x_name, const char* y_name,
+                              const char* series) {
+  std::printf("\n# series: %s\n%-12s %-14s\n", series, x_name, y_name);
+}
+
+}  // namespace gkm::bench
+
+#endif  // GKM_BENCH_BENCH_UTIL_H_

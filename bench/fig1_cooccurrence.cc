@@ -1,0 +1,66 @@
+// Copyright 2026 The gkmeans Authors.
+// Reproduces Fig. 1: the probability that a sample and its rank-r nearest
+// neighbor fall into the same cluster, under (a) traditional k-means and
+// (b) a two-means tree, with cluster size fixed to ~50 (SIFT100K protocol).
+// The paper's observation: both curves sit far above the random collision
+// rate (50/n) and decay with rank — the premise of GK-means.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/two_means_tree.h"
+
+int main() {
+  const std::size_t n = gkm::bench::ScaledN(10000);
+  const std::size_t cluster_size = 50;
+  const std::size_t k = n / cluster_size;
+  const std::size_t max_rank = 150;
+
+  gkm::bench::Header("Figure 1", "co-occurrence of a sample and its rank-r "
+                                 "nearest neighbor in one cluster");
+  std::printf("dataset: SIFT-like, n=%zu d=128; cluster size=%zu (k=%zu)\n",
+              n, cluster_size, k);
+  const gkm::SyntheticData data = gkm::MakeSiftLike(n, 128, 42);
+
+  std::printf("computing exact top-%zu graph (ground truth)...\n", max_rank);
+  const gkm::KnnGraph truth = gkm::BruteForceGraph(data.vectors, max_rank);
+
+  std::printf("clustering with traditional k-means...\n");
+  gkm::LloydParams lp;
+  lp.k = k;
+  lp.max_iters = 20;
+  const gkm::ClusteringResult km = gkm::LloydKMeans(data.vectors, lp);
+
+  std::printf("clustering with two-means tree...\n");
+  gkm::TwoMeansParams tp;
+  tp.k = k;
+  const gkm::ClusteringResult tm =
+      gkm::TwoMeansTreeClustering(data.vectors, tp);
+
+  const auto p_km =
+      gkm::CoOccurrenceByRank(truth, km.assignments, max_rank);
+  const auto p_tm =
+      gkm::CoOccurrenceByRank(truth, tm.assignments, max_rank);
+
+  const double random_rate =
+      static_cast<double>(cluster_size) / static_cast<double>(n);
+  std::printf("\nrandom collision rate: %.6f\n", random_rate);
+  std::printf("%-8s %-14s %-14s\n", "rank", "P[k-means]", "P[2M-tree]");
+  for (std::size_t r = 0; r < max_rank; r += (r < 10 ? 1 : 10)) {
+    std::printf("%-8zu %-14.4f %-14.4f\n", r + 1, p_km[r], p_tm[r]);
+  }
+
+  // Paper-shape checks (reported, not asserted).
+  std::printf("\nshape checks:\n");
+  std::printf("  P(rank1)>=10x random: k-means %s (%.3f), 2M-tree %s (%.3f)\n",
+              p_km[0] >= 10 * random_rate ? "PASS" : "FAIL", p_km[0],
+              p_tm[0] >= 10 * random_rate ? "PASS" : "FAIL", p_tm[0]);
+  std::printf("  decays with rank:     k-means %s, 2M-tree %s\n",
+              p_km[0] > p_km[max_rank - 1] ? "PASS" : "FAIL",
+              p_tm[0] > p_tm[max_rank - 1] ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Copyright 2026 The gkmeans Authors.
+// Google-benchmark microbenchmarks for the hot kernels underneath every
+// experiment: distance computations at the paper's dimensions and the
+// BKM move-gain evaluation. These are sanity gauges for the cost model in
+// DESIGN.md, not paper artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+namespace {
+
+void BM_L2Sqr(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(d), b(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a[i] = rng.UniformFloat();
+    b[i] = rng.UniformFloat();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2Sqr(a.data(), b.data(), d));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * d);
+}
+BENCHMARK(BM_L2Sqr)->Arg(100)->Arg(128)->Arg(512)->Arg(960);
+
+void BM_Dot(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<float> a(d), b(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a[i] = rng.UniformFloat();
+    b[i] = rng.UniformFloat();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a.data(), b.data(), d));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * d);
+}
+BENCHMARK(BM_Dot)->Arg(128)->Arg(512);
+
+void BM_NearestRow(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 128;
+  const SyntheticData data = MakeSiftLike(k + 1, d, 3);
+  Matrix centroids(k, d);
+  for (std::size_t r = 0; r < k; ++r) centroids.SetRow(r, data.vectors.Row(r));
+  const float* q = data.vectors.Row(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NearestRow(centroids, q));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_NearestRow)->Arg(64)->Arg(1024);
+
+// One BKM candidate evaluation (GainArrive): the inner loop of GK-means.
+void BM_GainArrive(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  SyntheticSpec spec;
+  spec.n = 256;
+  spec.dim = d;
+  spec.modes = 8;
+  const SyntheticData data = MakeGaussianMixture(spec);
+  Rng rng(4);
+  const auto labels = BalancedRandomLabels(256, 16, rng);
+  ClusterState cs(data.vectors, labels, 16);
+  const float* x = data.vectors.Row(0);
+  const float xn = NormSqr(x, d);
+  std::size_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.GainArrive(x, xn, v));
+    v = (v + 1) % 16;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * d);
+}
+BENCHMARK(BM_GainArrive)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace gkm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Copyright 2026 The gkmeans Authors.
+//
+// Approximate nearest neighbor search with the Alg. 3 graph (§4.3): build
+// the KNN graph with GK-means' intertwined construction, then answer
+// queries with greedy graph search at several beam widths, reporting
+// recall@1 and per-query latency against brute-force ground truth.
+//
+// Usage: ann_search [n] [num_queries]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "anns/graph_search.h"
+#include "common/timer.h"
+#include "core/graph_builder.h"
+#include "dataset/synthetic.h"
+#include "graph/brute_force.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  const std::size_t nq = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+
+  std::printf("Generating %zu SIFT-like base vectors + %zu queries...\n", n, nq);
+  // Base and queries must share one distribution: generate together, split.
+  const gkm::SyntheticData all = gkm::MakeSiftLike(n + nq, 128, 1);
+  const gkm::Matrix base = gkm::SliceRows(all.vectors, 0, n);
+  const gkm::Matrix queries = gkm::SliceRows(all.vectors, n, n + nq);
+
+  std::printf("Building KNN graph with Alg. 3 (kappa=20, xi=50, tau=12)...\n");
+  gkm::GraphBuildParams gp;
+  gp.kappa = 20;
+  gp.xi = 50;
+  gp.tau = 12;  // ANNS-grade graphs want more rounds (§4.4)
+  gkm::Timer build_timer;
+  const gkm::KnnGraph graph = gkm::BuildKnnGraph(base, gp);
+  std::printf("  graph built in %.2fs\n", build_timer.Seconds());
+
+  std::printf("Computing brute-force ground truth for %zu queries...\n", nq);
+  const auto truth = gkm::BruteForceSearch(base, queries, 1);
+
+  gkm::GraphSearcher searcher(base, graph);
+  searcher.SetEntryPoints(gkm::SelectEntryPoints(base, 256));
+  std::printf("\n%-12s %-10s %-14s %-12s\n", "beam", "recall@1", "avg dists",
+              "avg latency");
+  for (const std::size_t beam : {8u, 16u, 32u, 64u, 128u}) {
+    gkm::SearchParams sp;
+    sp.topk = 1;
+    sp.beam_width = beam;
+    std::size_t hits = 0;
+    std::size_t dists = 0;
+    gkm::Timer timer;
+    for (std::size_t q = 0; q < nq; ++q) {
+      gkm::SearchStats stats;
+      const auto got = searcher.Search(queries.Row(q), sp, &stats);
+      hits += (!got.empty() && got[0].id == truth[q][0].id) ? 1 : 0;
+      dists += stats.distance_evals;
+    }
+    const double secs = timer.Seconds();
+    std::printf("%-12zu %-10.3f %-14.0f %9.3f ms\n", beam,
+                static_cast<double>(hits) / static_cast<double>(nq),
+                static_cast<double>(dists) / static_cast<double>(nq),
+                secs * 1e3 / static_cast<double>(nq));
+  }
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Copyright 2026 The gkmeans Authors.
+//
+// Command-line clustering tool: the artifact a downstream user actually
+// runs. Reads vectors from .fvecs/.bvecs, clusters with a chosen method,
+// writes labels (.ivecs, one record) and centroids (.fvecs), prints a
+// summary.
+//
+// Usage:
+//   gkmeans_cli <input.fvecs|input.bvecs> --k <k> [options]
+// Options:
+//   --method gk|bkm|lloyd|minibatch|closure|elkan|hamerly|2m   (default gk)
+//   --iters N        max iterations (default 30)
+//   --kappa N        GK-means neighbors / graph degree (default 50)
+//   --xi N           Alg. 3 cluster size (default 50)
+//   --tau N          Alg. 3 rounds (default 10)
+//   --seed N         RNG seed (default 42)
+//   --labels PATH    write assignments as .ivecs
+//   --centroids PATH write centroids as .fvecs
+//   --graph PATH     write/reuse the KNN graph (gk method only)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.h"
+#include "dataset/io.h"
+#include "eval/metrics.h"
+#include "kmeans/boost_kmeans.h"
+#include "kmeans/closure_kmeans.h"
+#include "kmeans/elkan.h"
+#include "kmeans/hamerly.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/mini_batch.h"
+#include "kmeans/two_means_tree.h"
+
+namespace {
+
+struct Options {
+  std::string input;
+  std::string method = "gk";
+  std::size_t k = 0;
+  std::size_t iters = 30;
+  std::size_t kappa = 50;
+  std::size_t xi = 50;
+  std::size_t tau = 10;
+  std::uint64_t seed = 42;
+  std::string labels_path;
+  std::string centroids_path;
+  std::string graph_path;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.fvecs|input.bvecs> --k <k> "
+               "[--method gk|bkm|lloyd|minibatch|closure|elkan|hamerly|2m] "
+               "[--iters N] [--kappa N] [--xi N] [--tau N] [--seed N] "
+               "[--labels out.ivecs] [--centroids out.fvecs] "
+               "[--graph graph.bin]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  if (argc < 2) Usage(argv[0]);
+  Options opt;
+  opt.input = argv[1];
+  for (int a = 2; a < argc; ++a) {
+    const std::string flag = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) Usage(argv[0]);
+      return argv[++a];
+    };
+    if (flag == "--k") {
+      opt.k = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--method") {
+      opt.method = next();
+    } else if (flag == "--iters") {
+      opt.iters = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--kappa") {
+      opt.kappa = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--xi") {
+      opt.xi = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--tau") {
+      opt.tau = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--labels") {
+      opt.labels_path = next();
+    } else if (flag == "--centroids") {
+      opt.centroids_path = next();
+    } else if (flag == "--graph") {
+      opt.graph_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (opt.k == 0) Usage(argv[0]);
+  return opt;
+}
+
+gkm::ClusteringResult Run(const gkm::Matrix& x, const Options& opt) {
+  if (opt.method == "gk") {
+    gkm::PipelineParams p;
+    p.k = opt.k;
+    p.graph.kappa = opt.kappa;
+    p.graph.xi = opt.xi;
+    p.graph.tau = opt.tau;
+    p.graph.seed = opt.seed;
+    p.clustering.kappa = opt.kappa;
+    p.clustering.max_iters = opt.iters;
+    p.clustering.seed = opt.seed;
+    gkm::PipelineResult res = GkMeansCluster(x, p);
+    if (!opt.graph_path.empty()) res.graph.Save(opt.graph_path);
+    return std::move(res.clustering);
+  }
+  if (opt.method == "bkm") {
+    gkm::BkmParams p;
+    p.k = opt.k;
+    p.max_iters = opt.iters;
+    p.seed = opt.seed;
+    return BoostKMeans(x, p);
+  }
+  if (opt.method == "lloyd") {
+    gkm::LloydParams p;
+    p.k = opt.k;
+    p.max_iters = opt.iters;
+    p.seed = opt.seed;
+    return LloydKMeans(x, p);
+  }
+  if (opt.method == "minibatch") {
+    gkm::MiniBatchParams p;
+    p.k = opt.k;
+    p.max_iters = opt.iters;
+    p.seed = opt.seed;
+    return MiniBatchKMeans(x, p);
+  }
+  if (opt.method == "closure") {
+    gkm::ClosureParams p;
+    p.k = opt.k;
+    p.max_iters = opt.iters;
+    p.seed = opt.seed;
+    return ClosureKMeans(x, p);
+  }
+  if (opt.method == "elkan") {
+    gkm::ElkanParams p;
+    p.k = opt.k;
+    p.max_iters = opt.iters;
+    p.seed = opt.seed;
+    return ElkanKMeans(x, p);
+  }
+  if (opt.method == "hamerly") {
+    gkm::HamerlyParams p;
+    p.k = opt.k;
+    p.max_iters = opt.iters;
+    p.seed = opt.seed;
+    return HamerlyKMeans(x, p);
+  }
+  if (opt.method == "2m") {
+    gkm::TwoMeansParams p;
+    p.k = opt.k;
+    p.seed = opt.seed;
+    return TwoMeansTreeClustering(x, p);
+  }
+  std::fprintf(stderr, "unknown method: %s\n", opt.method.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Parse(argc, argv);
+
+  const bool is_bvecs = opt.input.size() > 6 &&
+                        opt.input.compare(opt.input.size() - 6, 6, ".bvecs") == 0;
+  std::printf("loading %s ...\n", opt.input.c_str());
+  const gkm::Matrix x =
+      is_bvecs ? gkm::ReadBvecs(opt.input) : gkm::ReadFvecs(opt.input);
+  std::printf("  %zu vectors, %zu dims\n", x.rows(), x.cols());
+
+  std::printf("clustering with %s (k=%zu)...\n", opt.method.c_str(), opt.k);
+  const gkm::ClusteringResult res = Run(x, opt);
+
+  const gkm::ClusterSizeStats sizes =
+      gkm::SummarizeClusterSizes(res.assignments, opt.k);
+  std::printf("done: %zu iterations, %.2fs (init %.2fs + iter %.2fs)\n",
+              res.iterations, res.total_seconds, res.init_seconds,
+              res.iter_seconds);
+  std::printf("distortion E = %.6f; cluster sizes min/mean/max = "
+              "%zu/%.1f/%zu (%zu empty)\n",
+              res.distortion, sizes.min, sizes.mean, sizes.max, sizes.empty);
+
+  if (!opt.labels_path.empty()) {
+    std::vector<std::int32_t> row(res.assignments.begin(),
+                                  res.assignments.end());
+    gkm::WriteIvecs(opt.labels_path, {row});
+    std::printf("labels -> %s\n", opt.labels_path.c_str());
+  }
+  if (!opt.centroids_path.empty()) {
+    gkm::WriteFvecs(opt.centroids_path, res.centroids);
+    std::printf("centroids -> %s\n", opt.centroids_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Copyright 2026 The gkmeans Authors.
+//
+// Web-scale image clustering scenario (the paper's §1 motivation: visual
+// vocabulary construction / image linking). Clusters VLAD-like global
+// image descriptors into many clusters — the regime where k is too large
+// for classic k-means — and reports the quality/time trade-off of
+// GK-means against closure k-means and Mini-Batch.
+//
+// Real data can be supplied as an .fvecs file:
+//   image_clustering path/to/vlad.fvecs [k]
+// otherwise a VLAD-like synthetic corpus is generated.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/pipeline.h"
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/closure_kmeans.h"
+#include "kmeans/mini_batch.h"
+
+namespace {
+
+void Report(const char* name, const gkm::ClusteringResult& res,
+            std::size_t k) {
+  const gkm::ClusterSizeStats sizes =
+      gkm::SummarizeClusterSizes(res.assignments, k);
+  std::printf("%-14s time %7.2fs (init %6.2fs + iter %6.2fs)  E=%.5f  "
+              "sizes[min/mean/max]=%zu/%.0f/%zu empty=%zu\n",
+              name, res.total_seconds, res.init_seconds, res.iter_seconds,
+              res.distortion, sizes.min, sizes.mean, sizes.max, sizes.empty);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gkm::Matrix vectors;
+  if (argc > 1 && std::strstr(argv[1], ".fvecs") != nullptr) {
+    std::printf("Loading %s ...\n", argv[1]);
+    vectors = gkm::ReadFvecs(argv[1]);
+  } else {
+    const std::size_t n =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30000;
+    std::printf("Generating %zu VLAD-like 512-d image descriptors...\n", n);
+    vectors = gkm::MakeVladLike(n).vectors;
+  }
+  const std::size_t k =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : vectors.rows() / 30;
+  std::printf("Clustering %zu x %zu into k=%zu clusters\n\n", vectors.rows(),
+              vectors.cols(), k);
+
+  {
+    gkm::PipelineParams p;
+    p.k = k;
+    p.graph.kappa = 20;
+    p.graph.xi = 50;
+    p.graph.tau = 6;
+    p.clustering.kappa = 20;
+    p.clustering.max_iters = 30;
+    const gkm::PipelineResult res = gkm::GkMeansCluster(vectors, p);
+    Report("GK-means", res.clustering, k);
+  }
+  {
+    gkm::ClosureParams p;
+    p.k = k;
+    p.num_trees = 3;
+    p.leaf_size = 50;
+    p.max_iters = 30;
+    Report("closure", gkm::ClosureKMeans(vectors, p), k);
+  }
+  {
+    gkm::MiniBatchParams p;
+    p.k = k;
+    p.batch_size = 1000;
+    p.max_iters = 30;
+    Report("mini-batch", gkm::MiniBatchKMeans(vectors, p), k);
+  }
+  return 0;
+}

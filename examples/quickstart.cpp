@@ -1,0 +1,63 @@
+// Copyright 2026 The gkmeans Authors.
+//
+// Quickstart: cluster a synthetic 128-d dataset into 200 clusters with the
+// full GK-means pipeline (Alg. 3 graph construction + Alg. 2 clustering)
+// and compare against plain Lloyd k-means.
+//
+// Usage: quickstart [n] [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/lloyd.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  // Large k is the regime the paper targets: the GK-means advantage over
+  // Lloyd grows linearly with k.
+  const std::size_t k = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : n / 40;
+
+  std::printf("Generating %zu SIFT-like 128-d vectors...\n", n);
+  const gkm::SyntheticData data = gkm::MakeSiftLike(n);
+
+  // --- GK-means: build the KNN graph, then cluster with its support. ---
+  gkm::PipelineParams params;
+  params.k = k;
+  params.graph.kappa = 20;
+  params.graph.xi = 50;
+  params.graph.tau = 6;
+  params.clustering.kappa = 20;
+  params.clustering.max_iters = 30;
+
+  std::printf("Running GK-means (k=%zu, kappa=%zu, tau=%zu)...\n", k,
+              params.graph.kappa, params.graph.tau);
+  const gkm::PipelineResult gk = gkm::GkMeansCluster(data.vectors, params);
+  std::printf("  graph build : %6.2fs\n", gk.graph_seconds);
+  std::printf("  clustering  : %6.2fs (%zu iterations)\n",
+              gk.clustering.total_seconds - gk.graph_seconds,
+              gk.clustering.iterations);
+  std::printf("  distortion E: %.1f\n", gk.clustering.distortion);
+
+  // --- Baseline: traditional k-means on the same data. ---
+  gkm::LloydParams lloyd;
+  lloyd.k = k;
+  lloyd.max_iters = 30;
+  std::printf("Running traditional k-means...\n");
+  const gkm::ClusteringResult km = gkm::LloydKMeans(data.vectors, lloyd);
+  std::printf("  clustering  : %6.2fs (%zu iterations)\n", km.total_seconds,
+              km.iterations);
+  std::printf("  distortion E: %.1f\n", km.distortion);
+
+  std::printf("\nGK-means speed-up over k-means: %.1fx  (distortion ratio %.3f)\n",
+              km.total_seconds / gk.clustering.total_seconds,
+              gk.clustering.distortion / km.distortion);
+
+  const gkm::ClusterSizeStats sizes =
+      gkm::SummarizeClusterSizes(gk.clustering.assignments, k);
+  std::printf("GK-means cluster sizes: min=%zu mean=%.1f max=%zu empty=%zu\n",
+              sizes.min, sizes.mean, sizes.max, sizes.empty);
+  return 0;
+}

@@ -1,0 +1,215 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "anns/graph_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/top_k.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/two_means_tree.h"
+
+namespace gkm {
+namespace {
+
+// Pool entry ordered by distance; `expanded` marks visited candidates.
+struct PoolEntry {
+  std::uint32_t id;
+  float dist;
+  bool expanded;
+};
+
+}  // namespace
+
+GraphSearcher::GraphSearcher(const Matrix& base, const KnnGraph& graph)
+    : base_(base), medoid_(0) {
+  GKM_CHECK(base.rows() == graph.num_nodes());
+  GKM_CHECK(base.rows() > 0);
+  const std::size_t n = base.rows();
+
+  // Symmetrize the graph into CSR adjacency (see header).
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : graph.NeighborsOf(i)) {
+      ++degree[i];
+      ++degree[nb.id];
+    }
+  }
+  std::vector<std::uint32_t> raw_offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    raw_offsets[i + 1] = raw_offsets[i] + degree[i];
+  }
+  std::vector<std::uint32_t> raw_edges(raw_offsets[n]);
+  std::vector<std::uint32_t> cursor(raw_offsets.begin(), raw_offsets.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : graph.NeighborsOf(i)) {
+      raw_edges[cursor[i]++] = nb.id;
+      raw_edges[cursor[nb.id]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  // Sort + dedup each node's concatenated out/in list.
+  adj_offsets_.assign(n + 1, 0);
+  adj_edges_.clear();
+  adj_edges_.reserve(raw_edges.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lo = raw_edges.begin() + raw_offsets[i];
+    const auto hi = raw_edges.begin() + raw_offsets[i + 1];
+    std::sort(lo, hi);
+    for (auto it = lo; it != hi; ++it) {
+      if (it == lo || *it != *(it - 1)) adj_edges_.push_back(*it);
+    }
+    adj_offsets_[i + 1] = static_cast<std::uint32_t>(adj_edges_.size());
+  }
+
+  // Medoid = row nearest to the global mean; a stable, query-independent
+  // entry point that needs one O(n d) pass.
+  const std::size_t d = base.cols();
+  std::vector<double> mean(d, 0.0);
+  for (std::size_t i = 0; i < base.rows(); ++i) {
+    const float* x = base.Row(i);
+    for (std::size_t j = 0; j < d; ++j) mean[j] += x[j];
+  }
+  std::vector<float> meanf(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    meanf[j] = static_cast<float>(mean[j] / static_cast<double>(base.rows()));
+  }
+  float best = std::numeric_limits<float>::max();
+  for (std::size_t i = 0; i < base.rows(); ++i) {
+    const float dist = L2Sqr(base.Row(i), meanf.data(), d);
+    if (dist < best) {
+      best = dist;
+      medoid_ = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+std::vector<Neighbor> GraphSearcher::Search(const float* query,
+                                            const SearchParams& params,
+                                            SearchStats* stats) const {
+  const std::size_t d = base_.cols();
+  const std::size_t n = base_.rows();
+  const std::size_t beam = std::max<std::size_t>(params.beam_width, params.topk);
+  GKM_CHECK(params.topk > 0);
+
+  // visited marker per node; allocated per query for thread-safety of
+  // concurrent Search calls (n bits is cheap next to the distance work).
+  std::vector<char> visited(n, 0);
+  std::vector<PoolEntry> pool;
+  pool.reserve(beam + 1);
+
+  Rng rng(params.seed);
+  auto try_add = [&](std::uint32_t id) {
+    if (visited[id]) return;
+    visited[id] = 1;
+    const float dist = L2Sqr(query, base_.Row(id), d);
+    if (stats != nullptr) ++stats->distance_evals;
+    if (pool.size() == beam && dist >= pool.back().dist) return;
+    const PoolEntry fresh{id, dist, false};
+    auto pos = std::lower_bound(pool.begin(), pool.end(), fresh,
+                                [](const PoolEntry& a, const PoolEntry& b) {
+                                  return a.dist < b.dist;
+                                });
+    pool.insert(pos, fresh);
+    if (pool.size() > beam) pool.pop_back();
+  };
+
+  // Seed selection. With installed entry points: score them all, take the
+  // closest num_seeds. Otherwise: medoid + random nodes. Every seed's
+  // neighborhood is expanded immediately — a weak seed may be evicted from
+  // the pool before the best-first loop reaches it, yet its neighborhood
+  // may hold the path to the query's region.
+  std::vector<std::uint32_t> seeds;
+  if (!entries_.empty()) {
+    TopK nearest_entries(std::min(params.num_seeds, entries_.size()));
+    for (const std::uint32_t e : entries_) {
+      nearest_entries.Push(e, L2Sqr(query, base_.Row(e), d));
+      if (stats != nullptr) ++stats->distance_evals;
+    }
+    for (const Neighbor& nb : nearest_entries.items()) seeds.push_back(nb.id);
+  } else {
+    seeds.push_back(medoid_);
+    for (std::size_t s = 0; s + 1 < params.num_seeds; ++s) {
+      seeds.push_back(static_cast<std::uint32_t>(rng.Index(n)));
+    }
+  }
+  auto expand = [&](std::uint32_t node) {
+    if (stats != nullptr) ++stats->hops;
+    for (std::uint32_t p = adj_offsets_[node]; p < adj_offsets_[node + 1];
+         ++p) {
+      try_add(adj_edges_[p]);
+    }
+  };
+
+  for (const std::uint32_t s : seeds) try_add(s);
+  for (const std::uint32_t s : seeds) {
+    expand(s);
+    for (PoolEntry& e : pool) {
+      if (e.id == s) e.expanded = true;
+    }
+  }
+
+  // Best-first expansion until every pool entry has been expanded.
+  for (;;) {
+    std::size_t next = pool.size();
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      if (!pool[p].expanded) {
+        next = p;
+        break;
+      }
+    }
+    if (next == pool.size()) break;
+    pool[next].expanded = true;
+    expand(pool[next].id);
+  }
+
+  std::vector<Neighbor> out;
+  const std::size_t take = std::min(params.topk, pool.size());
+  out.reserve(take);
+  for (std::size_t p = 0; p < take; ++p) {
+    out.push_back(Neighbor{pool[p].id, pool[p].dist});
+  }
+  return out;
+}
+
+void GraphSearcher::SetEntryPoints(std::vector<std::uint32_t> entries) {
+  for (const std::uint32_t e : entries) GKM_CHECK(e < base_.rows());
+  entries_ = std::move(entries);
+}
+
+std::vector<std::vector<Neighbor>> GraphSearcher::SearchAll(
+    const Matrix& queries, const SearchParams& params) const {
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    out[q] = Search(queries.Row(q), params);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> SelectEntryPoints(const Matrix& base,
+                                             std::size_t count,
+                                             std::uint64_t seed) {
+  GKM_CHECK(base.rows() > 0);
+  count = std::min(count, base.rows());
+  TwoMeansParams params;
+  params.k = count;
+  params.seed = seed;
+  const std::vector<std::uint32_t> labels = TwoMeansTree(base, params);
+  ClusterState state(base, labels, count);
+  const Matrix centroids = state.Centroids();
+
+  std::vector<std::uint32_t> medoid(count, 0);
+  std::vector<float> best(count, std::numeric_limits<float>::max());
+  for (std::size_t i = 0; i < base.rows(); ++i) {
+    const std::uint32_t r = labels[i];
+    const float dist = L2Sqr(base.Row(i), centroids.Row(r), base.cols());
+    if (dist < best[r]) {
+      best[r] = dist;
+      medoid[r] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return medoid;
+}
+
+}  // namespace gkm

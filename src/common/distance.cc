@@ -1,0 +1,69 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "common/distance.h"
+
+#include <limits>
+
+namespace gkm {
+
+float L2Sqr(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
+            std::size_t d) {
+  // Four independent accumulators break the loop-carried dependency so the
+  // compiler can keep several vector FMAs in flight.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < d; ++i) {
+    const float df = a[i] - b[i];
+    s0 += df * df;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+float Dot(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
+          std::size_t d) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < d; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float NormSqr(const float* a, std::size_t d) { return Dot(a, a, d); }
+
+std::size_t NearestRow(const Matrix& centroids, const float* x,
+                       float* dist_out) {
+  GKM_CHECK(centroids.rows() > 0);
+  std::size_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  const std::size_t d = centroids.cols();
+  for (std::size_t r = 0; r < centroids.rows(); ++r) {
+    const float dist = L2Sqr(centroids.Row(r), x, d);
+    if (dist < best_d) {
+      best_d = dist;
+      best = r;
+    }
+  }
+  if (dist_out != nullptr) *dist_out = best_d;
+  return best;
+}
+
+void RowNormsSqr(const Matrix& m, float* out) {
+  for (std::size_t i = 0; i < m.rows(); ++i) out[i] = NormSqr(m.Row(i), m.cols());
+}
+
+}  // namespace gkm

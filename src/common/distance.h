@@ -1,0 +1,39 @@
+// Copyright 2026 The gkmeans Authors.
+// Scalar-code distance kernels written so GCC/Clang auto-vectorize them at
+// -O3. These are the single hottest functions in the library: every k-means
+// assignment, every BKM move evaluation and every graph refinement pair goes
+// through one of them.
+
+#ifndef GKM_COMMON_DISTANCE_H_
+#define GKM_COMMON_DISTANCE_H_
+
+#include <cstddef>
+
+#include "common/macros.h"
+#include "common/matrix.h"
+
+namespace gkm {
+
+/// Squared Euclidean distance between two d-dimensional vectors.
+float L2Sqr(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
+            std::size_t d);
+
+/// Inner product of two d-dimensional vectors.
+float Dot(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
+          std::size_t d);
+
+/// Squared L2 norm of a d-dimensional vector.
+float NormSqr(const float* a, std::size_t d);
+
+/// Index of the row of `centroids` closest (squared L2) to `x`.
+/// `dist_out`, when non-null, receives the winning squared distance.
+std::size_t NearestRow(const Matrix& centroids, const float* x,
+                       float* dist_out = nullptr);
+
+/// Fills `out[i] = ||row_i||^2` for every row of `m`. `out` must hold
+/// `m.rows()` floats.
+void RowNormsSqr(const Matrix& m, float* out);
+
+}  // namespace gkm
+
+#endif  // GKM_COMMON_DISTANCE_H_

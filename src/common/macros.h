@@ -1,0 +1,58 @@
+// Copyright 2026 The gkmeans Authors.
+// Lightweight invariant checking and compiler hints shared by every module.
+//
+// GKM_CHECK survives Release builds: the library's correctness-critical
+// invariants (non-empty clusters, index bounds on untrusted input, ...) must
+// hold in the exact configuration benchmarks run in. GKM_DCHECK compiles out
+// of Release builds and is for hot-path assertions only.
+
+#ifndef GKM_COMMON_MACROS_H_
+#define GKM_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GKM_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define GKM_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#define GKM_RESTRICT __restrict__
+#else
+#define GKM_LIKELY(x) (x)
+#define GKM_UNLIKELY(x) (x)
+#define GKM_RESTRICT
+#endif
+
+namespace gkm {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line,
+                                   const char* msg) {
+  std::fprintf(stderr, "GKM_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gkm
+
+/// Aborts with a diagnostic when `cond` is false. Active in all build types.
+#define GKM_CHECK(cond)                                                 \
+  (GKM_LIKELY(cond)                                                     \
+       ? (void)0                                                        \
+       : ::gkm::internal::CheckFail(#cond, __FILE__, __LINE__, ""))
+
+/// GKM_CHECK with an explanatory message.
+#define GKM_CHECK_MSG(cond, msg)                                        \
+  (GKM_LIKELY(cond)                                                     \
+       ? (void)0                                                        \
+       : ::gkm::internal::CheckFail(#cond, __FILE__, __LINE__, (msg)))
+
+/// Debug-only check; compiles to nothing when NDEBUG is defined.
+#ifdef NDEBUG
+#define GKM_DCHECK(cond) ((void)0)
+#else
+#define GKM_DCHECK(cond) GKM_CHECK(cond)
+#endif
+
+#endif  // GKM_COMMON_MACROS_H_

@@ -1,0 +1,38 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace gkm {
+
+double Rng::Sqrt(double x) { return std::sqrt(x); }
+double Rng::Log(double x) { return std::log(x); }
+
+std::vector<std::uint32_t> Rng::SampleDistinct(std::size_t n,
+                                               std::size_t count) {
+  GKM_CHECK_MSG(count <= n, "cannot sample more distinct values than exist");
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  if (count * 2 >= n) {
+    // Dense regime: shuffle a full index vector and truncate.
+    std::vector<std::uint32_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+    Shuffle(all);
+    all.resize(count);
+    return all;
+  }
+  // Sparse regime: Floyd's algorithm, O(count) expected insertions.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(count * 2);
+  for (std::size_t j = n - count; j < n; ++j) {
+    auto t = static_cast<std::uint32_t>(Index(j + 1));
+    if (!seen.insert(t).second) t = static_cast<std::uint32_t>(j);
+    seen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace gkm

@@ -1,0 +1,59 @@
+// Copyright 2026 The gkmeans Authors.
+// Minimal fixed-size thread pool with a blocking ParallelFor. Used only for
+// embarrassingly-parallel *evaluation* work (brute-force ground truth,
+// recall estimation): the clustering algorithms themselves stay
+// single-threaded to match the paper's measurement protocol.
+
+#ifndef GKM_COMMON_THREAD_POOL_H_
+#define GKM_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gkm {
+
+/// Fixed pool of worker threads executing queued std::function tasks.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs `fn(i)` for i in [begin, end), splitting the range into contiguous
+  /// chunks across the pool, and blocks until done. Falls back to inline
+  /// execution for trivially small ranges.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_COMMON_THREAD_POOL_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The gkmeans Authors.
+// Wall-clock timing for the benchmark harnesses and per-phase cost reports.
+
+#ifndef GKM_COMMON_TIMER_H_
+#define GKM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gkm {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_COMMON_TIMER_H_

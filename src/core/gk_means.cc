@@ -1,0 +1,179 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "core/gk_means.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kmeans/cluster_state.h"
+
+namespace gkm {
+namespace {
+
+// Flattened, distance-sorted, truncated-to-kappa neighbor ids: one cache-
+// friendly row per sample. Built once per run — the graph is static during
+// clustering.
+std::vector<std::uint32_t> FlattenNeighbors(const KnnGraph& graph,
+                                            std::size_t kappa) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::uint32_t> flat(n * kappa, std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<Neighbor> sorted = graph.SortedNeighbors(i);
+    const std::size_t take = std::min(kappa, sorted.size());
+    for (std::size_t j = 0; j < take; ++j) flat[i * kappa + j] = sorted[j].id;
+  }
+  return flat;
+}
+
+// Collects the distinct cluster ids of `i`'s neighbors into `cand`,
+// excluding `skip` (the sample's own cluster in BKM mode; none in
+// traditional mode, which passes k). Deduplication uses an epoch-stamped
+// array: O(kappa) with no clearing.
+inline void HarvestCandidates(const std::uint32_t* nbrs, std::size_t kappa,
+                              const std::vector<std::uint32_t>& labels,
+                              std::uint32_t skip,
+                              std::vector<std::uint32_t>& stamp,
+                              std::uint32_t cur_stamp,
+                              std::vector<std::uint32_t>& cand) {
+  cand.clear();
+  for (std::size_t j = 0; j < kappa; ++j) {
+    const std::uint32_t nb = nbrs[j];
+    if (nb == std::numeric_limits<std::uint32_t>::max()) break;
+    const std::uint32_t c = labels[nb];
+    if (c == skip || stamp[c] == cur_stamp) continue;
+    stamp[c] = cur_stamp;
+    cand.push_back(c);
+  }
+}
+
+}  // namespace
+
+ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
+                                  const GkMeansParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+  GKM_CHECK_MSG(graph.num_nodes() == n, "graph/data size mismatch");
+  GKM_CHECK(params.kappa > 0);
+
+  ClusteringResult res;
+  res.method = params.traditional ? "gk-means-" : "gk-means";
+  Rng rng(params.seed);
+
+  Timer total;
+  std::vector<std::uint32_t> labels;
+  if (!params.init_labels.empty()) {
+    GKM_CHECK(params.init_labels.size() == n);
+    labels = params.init_labels;
+  } else {
+    TwoMeansParams tree;
+    tree.k = k;
+    tree.bisect_epochs = params.bisect_epochs;
+    labels = TwoMeansTree(data, tree, rng);
+  }
+  const std::size_t kappa = std::min(params.kappa, graph.k());
+  const std::vector<std::uint32_t> flat = FlattenNeighbors(graph, kappa);
+
+  ClusterState state(data, labels, k);
+  std::vector<float> norms(n);
+  RowNormsSqr(data, norms.data());
+
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> stamp(k, 0);
+  std::uint32_t cur_stamp = 0;
+  std::vector<std::uint32_t> cand;
+  cand.reserve(kappa + 1);
+  res.init_seconds = total.Seconds();
+
+  Timer iter_timer;
+  if (!params.traditional) {
+    // --- BKM mode: incremental Delta-I moves over harvested candidates. ---
+    for (std::size_t it = 0; it < params.max_iters; ++it) {
+      rng.Shuffle(order);
+      std::size_t moves = 0;
+      for (const std::uint32_t i : order) {
+        const std::uint32_t u = labels[i];
+        if (state.CountOf(u) < 2) continue;
+        ++cur_stamp;
+        HarvestCandidates(flat.data() + static_cast<std::size_t>(i) * kappa,
+                          kappa, labels, u, stamp, cur_stamp, cand);
+        if (cand.empty()) continue;
+        const float* x = data.Row(i);
+        const float xn = norms[i];
+        double best_gain = -std::numeric_limits<double>::max();
+        std::uint32_t best_v = u;
+        for (const std::uint32_t v : cand) {
+          const double g = state.GainArrive(x, xn, v);
+          if (g > best_gain) {
+            best_gain = g;
+            best_v = v;
+          }
+        }
+        if (best_v == u) continue;
+        if (best_gain + state.GainLeave(x, xn, u) > 0.0) {
+          state.Move(x, u, best_v);
+          labels[i] = best_v;
+          ++moves;
+        }
+      }
+      res.trace.push_back(
+          IterStat{it, state.Distortion(), total.Seconds(), moves});
+      res.iterations = it + 1;
+      if (moves == 0) break;
+    }
+  } else {
+    // --- Traditional mode (GK-means⁻): nearest candidate centroid with
+    // batch Lloyd updates. ---
+    Matrix centroids = state.Centroids();
+    for (std::size_t it = 0; it < params.max_iters; ++it) {
+      std::size_t moves = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t u = labels[i];
+        ++cur_stamp;
+        // The current cluster always competes, so pass k (an impossible
+        // label) as `skip` and seed the list with u.
+        cand.clear();
+        cand.push_back(u);
+        stamp[u] = cur_stamp;
+        HarvestCandidates(flat.data() + i * kappa, kappa, labels,
+                          static_cast<std::uint32_t>(k), stamp, cur_stamp,
+                          cand);
+        const float* x = data.Row(i);
+        float best_dist = std::numeric_limits<float>::max();
+        std::uint32_t best_v = u;
+        for (const std::uint32_t v : cand) {
+          const float dist = L2Sqr(x, centroids.Row(v), d);
+          if (dist < best_dist) {
+            best_dist = dist;
+            best_v = v;
+          }
+        }
+        if (best_v != u) {
+          ++moves;
+          labels[i] = best_v;
+        }
+      }
+      state.Rebuild(data, labels);
+      centroids = state.Centroids();
+      res.trace.push_back(
+          IterStat{it, state.Distortion(), total.Seconds(), moves});
+      res.iterations = it + 1;
+      if (moves == 0) break;
+    }
+  }
+  res.iter_seconds = iter_timer.Seconds();
+  res.total_seconds = total.Seconds();
+
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

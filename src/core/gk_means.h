@@ -1,0 +1,47 @@
+// Copyright 2026 The gkmeans Authors.
+// GK-means (Alg. 2) — the paper's primary contribution. Boost k-means in
+// which a sample is compared only against the clusters where its κ nearest
+// graph neighbors currently reside, making the per-sample cost O(κ d)
+// instead of O(k d) and the overall epoch cost independent of k.
+//
+// Two modes are provided, matching §4.2:
+//   * BKM mode (default): candidates scored by the Delta-I move gain;
+//     immediate (incremental) moves. The standard "GK-means" run.
+//   * Traditional mode: candidates scored by centroid distance with batch
+//     Lloyd updates. The "GK-means minus" run of the configuration test
+//     (Fig. 4), kept for completeness and ablation.
+
+#ifndef GKM_CORE_GK_MEANS_H_
+#define GKM_CORE_GK_MEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knn_graph.h"
+#include "kmeans/two_means_tree.h"
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for GK-means proper (graph already available).
+struct GkMeansParams {
+  std::size_t k = 8;
+  std::size_t kappa = 50;        ///< neighbors harvested per sample (κ, §4.4)
+  std::size_t max_iters = 30;    ///< epochs; stops earlier on convergence
+  bool traditional = false;      ///< true = GK-means⁻ (Lloyd-style updates)
+  std::size_t bisect_epochs = 6; ///< BKM-2 epochs inside the 2M-tree init
+  std::uint64_t seed = 42;
+  /// When non-empty, skips the 2M-tree and starts from these labels
+  /// (Alg. 3 uses this to chain rounds deterministically).
+  std::vector<std::uint32_t> init_labels;
+};
+
+/// Runs Alg. 2 on `data` with candidate clusters harvested from `graph`.
+/// `graph` must span exactly data.rows() nodes. The graph's out-degree may
+/// exceed `kappa`; only the `kappa` closest neighbors are consulted.
+ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
+                                  const GkMeansParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_CORE_GK_MEANS_H_

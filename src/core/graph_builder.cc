@@ -1,0 +1,89 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "core/graph_builder.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/gk_means.h"
+
+namespace gkm {
+
+KnnGraph BuildKnnGraph(const Matrix& data, const GraphBuildParams& params,
+                       GraphBuildStats* stats, const RoundObserver& observer) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  GKM_CHECK(params.kappa > 0);
+  GKM_CHECK(params.xi >= 2);
+  GKM_CHECK_MSG(n > params.kappa, "need more points than graph degree");
+
+  Rng rng(params.seed);
+  Timer total;
+  KnnGraph graph(n, params.kappa);
+  graph.InitRandom(data, rng);
+
+  // k0 = floor(n / xi) clusters of expected size xi (Alg. 3 line 5); the 2M
+  // tree keeps actual sizes within +/- a few of xi.
+  const std::size_t k0 = std::max<std::size_t>(2, n / params.xi);
+
+  std::vector<std::vector<std::uint32_t>> clusters(k0);
+  for (std::size_t t = 0; t < params.tau; ++t) {
+    // (i) Cluster with the fast k-means itself, guided by the current graph
+    // (Alg. 3 line 7). Fresh seed per round so successive 2M-trees explore
+    // different partitions — that diversity is what keeps recall climbing.
+    GkMeansParams inner;
+    inner.k = k0;
+    inner.kappa = params.kappa;
+    inner.max_iters = params.inner_epochs;
+    inner.bisect_epochs = params.bisect_epochs;
+    inner.seed = rng.Next();
+    const ClusteringResult round = GkMeansWithGraph(data, graph, inner);
+
+    // (ii) Exhaustive comparison inside every cluster (Alg. 3 lines 8-14).
+    // Members' rows are first gathered into a contiguous scratch matrix:
+    // each row participates in ~xi comparisons, so paying one copy per row
+    // keeps the quadratic pair loop inside L1/L2 instead of striding
+    // through the full dataset (a large win at high dimensionality).
+    for (auto& c : clusters) c.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      clusters[round.assignments[i]].push_back(static_cast<std::uint32_t>(i));
+    }
+    Matrix scratch;
+    std::size_t updates = 0;
+    for (const auto& members : clusters) {
+      const std::size_t m = members.size();
+      if (m < 2) continue;
+      scratch.Reset(m, d);
+      for (std::size_t a = 0; a < m; ++a) {
+        scratch.SetRow(a, data.Row(members[a]));
+      }
+      for (std::size_t a = 0; a < m; ++a) {
+        const float* xa = scratch.Row(a);
+        for (std::size_t b = a + 1; b < m; ++b) {
+          const float dist = L2Sqr(xa, scratch.Row(b), d);
+          updates += static_cast<std::size_t>(
+              graph.UpdateBoth(members[a], members[b], dist));
+        }
+      }
+    }
+
+    if (stats != nullptr) {
+      stats->round_distortion.push_back(round.distortion);
+      stats->round_seconds.push_back(total.Seconds());
+      stats->round_updates.push_back(updates);
+    }
+    if (observer) observer(t, graph);
+    if (params.early_stop_delta > 0.0 &&
+        static_cast<double>(updates) < params.early_stop_delta *
+                                           static_cast<double>(n) *
+                                           static_cast<double>(params.kappa)) {
+      break;
+    }
+  }
+  return graph;
+}
+
+}  // namespace gkm

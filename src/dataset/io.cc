@@ -1,0 +1,130 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "dataset/io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace gkm {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File OpenOrDie(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  GKM_CHECK_MSG(f != nullptr, path.c_str());
+  return f;
+}
+
+// Reads one record header; returns false on clean EOF, aborts on corruption.
+bool ReadDim(std::FILE* f, std::int32_t* dim) {
+  const std::size_t got = std::fread(dim, sizeof(*dim), 1, f);
+  if (got == 0) return false;
+  GKM_CHECK_MSG(*dim > 0, "non-positive record dimension");
+  return true;
+}
+
+}  // namespace
+
+Matrix ReadFvecs(const std::string& path, std::size_t max_rows) {
+  File f = OpenOrDie(path, "rb");
+  std::vector<std::vector<float>> rows;
+  std::int32_t dim = 0;
+  while ((max_rows == 0 || rows.size() < max_rows) && ReadDim(f.get(), &dim)) {
+    std::vector<float> row(static_cast<std::size_t>(dim));
+    const std::size_t got = std::fread(row.data(), sizeof(float), row.size(), f.get());
+    GKM_CHECK_MSG(got == row.size(), "truncated fvecs record");
+    GKM_CHECK_MSG(rows.empty() || row.size() == rows[0].size(),
+                  "inconsistent dimensions in fvecs file");
+    rows.push_back(std::move(row));
+  }
+  Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) m.SetRow(i, rows[i].data());
+  return m;
+}
+
+void WriteFvecs(const std::string& path, const Matrix& m) {
+  File f = OpenOrDie(path, "wb");
+  const auto dim = static_cast<std::int32_t>(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    GKM_CHECK(std::fwrite(&dim, sizeof(dim), 1, f.get()) == 1);
+    GKM_CHECK(std::fwrite(m.Row(i), sizeof(float), m.cols(), f.get()) == m.cols());
+  }
+}
+
+Matrix ReadBvecs(const std::string& path, std::size_t max_rows) {
+  File f = OpenOrDie(path, "rb");
+  std::vector<std::vector<std::uint8_t>> rows;
+  std::int32_t dim = 0;
+  while ((max_rows == 0 || rows.size() < max_rows) && ReadDim(f.get(), &dim)) {
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(dim));
+    const std::size_t got =
+        std::fread(row.data(), sizeof(std::uint8_t), row.size(), f.get());
+    GKM_CHECK_MSG(got == row.size(), "truncated bvecs record");
+    GKM_CHECK_MSG(rows.empty() || row.size() == rows[0].size(),
+                  "inconsistent dimensions in bvecs file");
+    rows.push_back(std::move(row));
+  }
+  Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    float* dst = m.Row(i);
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      dst[j] = static_cast<float>(rows[i][j]);
+    }
+  }
+  return m;
+}
+
+void WriteBvecs(const std::string& path, const Matrix& m) {
+  File f = OpenOrDie(path, "wb");
+  const auto dim = static_cast<std::int32_t>(m.cols());
+  std::vector<std::uint8_t> row(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* src = m.Row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      row[j] = static_cast<std::uint8_t>(
+          std::lround(std::clamp(src[j], 0.0f, 255.0f)));
+    }
+    GKM_CHECK(std::fwrite(&dim, sizeof(dim), 1, f.get()) == 1);
+    GKM_CHECK(std::fwrite(row.data(), 1, row.size(), f.get()) == row.size());
+  }
+}
+
+std::vector<std::vector<std::int32_t>> ReadIvecs(const std::string& path,
+                                                 std::size_t max_rows) {
+  File f = OpenOrDie(path, "rb");
+  std::vector<std::vector<std::int32_t>> rows;
+  std::int32_t dim = 0;
+  while ((max_rows == 0 || rows.size() < max_rows) && ReadDim(f.get(), &dim)) {
+    std::vector<std::int32_t> row(static_cast<std::size_t>(dim));
+    const std::size_t got =
+        std::fread(row.data(), sizeof(std::int32_t), row.size(), f.get());
+    GKM_CHECK_MSG(got == row.size(), "truncated ivecs record");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void WriteIvecs(const std::string& path,
+                const std::vector<std::vector<std::int32_t>>& rows) {
+  File f = OpenOrDie(path, "wb");
+  for (const auto& row : rows) {
+    GKM_CHECK_MSG(rows.empty() || row.size() == rows[0].size(),
+                  "ivecs rows must share one dimension");
+    const auto dim = static_cast<std::int32_t>(row.size());
+    GKM_CHECK(std::fwrite(&dim, sizeof(dim), 1, f.get()) == 1);
+    GKM_CHECK(std::fwrite(row.data(), sizeof(std::int32_t), row.size(),
+                          f.get()) == row.size());
+  }
+}
+
+}  // namespace gkm

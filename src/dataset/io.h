@@ -1,0 +1,42 @@
+// Copyright 2026 The gkmeans Authors.
+// Readers/writers for the *vecs interchange formats used by the paper's
+// corpora (TEXMEX SIFT/GIST releases): each record is a little-endian
+// int32 dimension header followed by `dim` values — float32 for .fvecs,
+// int32 for .ivecs, uint8 for .bvecs. Real datasets can therefore be
+// dropped into every bench unchanged.
+
+#ifndef GKM_DATASET_IO_H_
+#define GKM_DATASET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gkm {
+
+/// Reads an .fvecs file into a Matrix. Aborts on malformed input.
+/// `max_rows` == 0 means read everything.
+Matrix ReadFvecs(const std::string& path, std::size_t max_rows = 0);
+
+/// Writes `m` in .fvecs format.
+void WriteFvecs(const std::string& path, const Matrix& m);
+
+/// Reads a .bvecs file (uint8 payload) into a float Matrix.
+Matrix ReadBvecs(const std::string& path, std::size_t max_rows = 0);
+
+/// Writes `m` in .bvecs format; values are clamped to [0, 255] and rounded.
+void WriteBvecs(const std::string& path, const Matrix& m);
+
+/// Reads an .ivecs file (e.g. ground-truth neighbor ids).
+std::vector<std::vector<std::int32_t>> ReadIvecs(const std::string& path,
+                                                 std::size_t max_rows = 0);
+
+/// Writes integer lists in .ivecs format. All rows must be equal length.
+void WriteIvecs(const std::string& path,
+                const std::vector<std::vector<std::int32_t>>& rows);
+
+}  // namespace gkm
+
+#endif  // GKM_DATASET_IO_H_

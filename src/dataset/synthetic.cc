@@ -1,0 +1,204 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace gkm {
+namespace {
+
+// Draws a component id from a Zipf(s) distribution over [0, modes) using an
+// inverse-CDF table.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t modes, double s) : cdf_(modes) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < modes; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  std::size_t Draw(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+void L2NormalizeRows(Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.Row(i);
+    const float norm = std::sqrt(NormSqr(row, m.cols()));
+    if (norm > 0.0f) {
+      const float inv = 1.0f / norm;
+      for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticData MakeGaussianMixture(const SyntheticSpec& spec) {
+  GKM_CHECK(spec.n > 0);
+  GKM_CHECK(spec.dim > 0);
+  GKM_CHECK(spec.modes > 0);
+  Rng rng(spec.seed);
+
+  // Component centers and per-component anisotropic spreads.
+  Matrix centers(spec.modes, spec.dim);
+  std::vector<float> mode_scale(spec.modes);
+  for (std::size_t m = 0; m < spec.modes; ++m) {
+    float* c = centers.Row(m);
+    for (std::size_t j = 0; j < spec.dim; ++j) {
+      c[j] = static_cast<float>(rng.Gaussian() * spec.center_spread);
+    }
+    const double jitter = 1.0 + spec.spread_jitter * (2.0 * rng.UniformDouble() - 1.0);
+    mode_scale[m] = static_cast<float>(spec.cluster_spread * jitter);
+  }
+  // A light per-dimension modulation makes components anisotropic, which is
+  // closer to real descriptor statistics than spherical blobs.
+  std::vector<float> dim_scale(spec.dim);
+  for (std::size_t j = 0; j < spec.dim; ++j) {
+    dim_scale[j] = static_cast<float>(0.5 + rng.UniformDouble());
+  }
+
+  ZipfSampler zipf(spec.modes, spec.zipf_s);
+  SyntheticData out;
+  out.vectors.Reset(spec.n, spec.dim);
+  out.mode_of.resize(spec.n);
+  out.family = "gmm";
+
+  const auto kNoiseMode = static_cast<std::uint32_t>(spec.modes);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    float* x = out.vectors.Row(i);
+    if (rng.UniformDouble() < spec.noise_fraction) {
+      // Background point: broad Gaussian over the whole embedding box.
+      for (std::size_t j = 0; j < spec.dim; ++j) {
+        x[j] = static_cast<float>(rng.Gaussian() * spec.center_spread * 1.2);
+      }
+      out.mode_of[i] = kNoiseMode;
+      continue;
+    }
+    const std::size_t m = zipf.Draw(rng);
+    const float* c = centers.Row(m);
+    const float scale = mode_scale[m];
+    for (std::size_t j = 0; j < spec.dim; ++j) {
+      x[j] = c[j] + static_cast<float>(rng.Gaussian()) * scale * dim_scale[j];
+    }
+    out.mode_of[i] = static_cast<std::uint32_t>(m);
+  }
+  return out;
+}
+
+SyntheticData MakeSiftLike(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = std::max<std::size_t>(1, n / 400);
+  spec.zipf_s = 0.9;
+  spec.center_spread = 24.0;
+  spec.cluster_spread = 11.0;
+  spec.noise_fraction = 0.03;
+  spec.seed = seed;
+  SyntheticData data = MakeGaussianMixture(spec);
+  // SIFT descriptors are non-negative integer histogram bins in [0, ~180].
+  for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+    float* row = data.vectors.Row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const float shifted = row[j] + 60.0f;
+      row[j] = std::round(std::clamp(shifted, 0.0f, 255.0f));
+    }
+  }
+  data.family = "sift";
+  return data;
+}
+
+SyntheticData MakeGistLike(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = std::max<std::size_t>(1, n / 500);
+  spec.zipf_s = 0.7;
+  spec.center_spread = 0.05;
+  spec.cluster_spread = 0.035;  // low contrast: GIST clusters overlap heavily
+  spec.noise_fraction = 0.02;
+  spec.seed = seed;
+  SyntheticData data = MakeGaussianMixture(spec);
+  // GIST features are dense small positive energies.
+  for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+    float* row = data.vectors.Row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = std::max(0.0f, row[j] + 0.1f);
+    }
+  }
+  data.family = "gist";
+  return data;
+}
+
+SyntheticData MakeGloveLike(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = std::max<std::size_t>(1, n / 250);
+  spec.zipf_s = 1.1;          // word frequencies are strongly Zipfian
+  spec.center_spread = 1.0;
+  spec.cluster_spread = 0.65; // embeddings overlap much more than SIFT
+  spec.noise_fraction = 0.05;
+  spec.seed = seed;
+  SyntheticData data = MakeGaussianMixture(spec);
+  L2NormalizeRows(data.vectors);
+  data.family = "glove";
+  return data;
+}
+
+SyntheticData MakeVladLike(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = std::max<std::size_t>(1, n / 300);
+  spec.zipf_s = 0.8;
+  spec.center_spread = 1.0;
+  spec.cluster_spread = 0.5;
+  spec.noise_fraction = 0.02;
+  spec.seed = seed;
+  SyntheticData data = MakeGaussianMixture(spec);
+  // VLAD+PCA coordinates decay in energy with index (leading principal
+  // components carry most of the variance).
+  for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+    float* row = data.vectors.Row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const float decay =
+          1.0f / std::sqrt(1.0f + static_cast<float>(j) * 0.05f);
+      row[j] *= decay;
+    }
+  }
+  L2NormalizeRows(data.vectors);
+  data.family = "vlad";
+  return data;
+}
+
+SyntheticData MakeByFamily(const std::string& family, std::size_t n,
+                           std::uint64_t seed) {
+  if (family == "sift") return MakeSiftLike(n, 128, seed);
+  if (family == "gist") return MakeGistLike(n, 960, seed);
+  if (family == "glove") return MakeGloveLike(n, 100, seed);
+  if (family == "vlad") return MakeVladLike(n, 512, seed);
+  GKM_CHECK_MSG(family == "gmm", "unknown dataset family");
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+}  // namespace gkm

@@ -1,0 +1,71 @@
+// Copyright 2026 The gkmeans Authors.
+// Synthetic dataset generators standing in for the paper's corpora
+// (SIFT100K/1M, GIST1M, GloVe1M, VLAD10M — Tab. 1). Each generator draws
+// from a Gaussian mixture with Zipf-distributed component weights plus a
+// configurable fraction of unclustered background noise, then applies a
+// per-family post-transform that mimics the family's coordinate statistics
+// (non-negative histogram bins for SIFT, L2-normalized signed embeddings for
+// GloVe, ...). See DESIGN.md "Data substitution" for the rationale.
+
+#ifndef GKM_DATASET_SYNTHETIC_H_
+#define GKM_DATASET_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gkm {
+
+/// Parameters of the Gaussian-mixture generator.
+struct SyntheticSpec {
+  std::size_t n = 10000;       ///< number of vectors
+  std::size_t dim = 128;       ///< dimensionality
+  std::size_t modes = 100;     ///< number of mixture components
+  double zipf_s = 0.8;         ///< Zipf exponent for component weights (0 = uniform)
+  double center_spread = 10.0; ///< std-dev of component centers
+  double cluster_spread = 1.0; ///< base within-component std-dev
+  double spread_jitter = 0.5;  ///< relative per-component spread variation
+  double noise_fraction = 0.02;///< fraction of points drawn from background
+  std::uint64_t seed = 42;
+};
+
+/// A generated dataset together with the mixture-component ids used to
+/// produce each vector (handy as a sanity oracle in tests; the clustering
+/// algorithms never see it).
+struct SyntheticData {
+  Matrix vectors;
+  std::vector<std::uint32_t> mode_of;  ///< generating component per row
+  std::string family;                  ///< "sift" | "gist" | "glove" | "vlad" | "gmm"
+};
+
+/// Raw Gaussian mixture without any family post-transform.
+SyntheticData MakeGaussianMixture(const SyntheticSpec& spec);
+
+/// SIFT-like: 128-d by default, non-negative, heavy-tailed bin magnitudes,
+/// rounded to integer grid like real SIFT descriptors.
+SyntheticData MakeSiftLike(std::size_t n, std::size_t dim = 128,
+                           std::uint64_t seed = 42);
+
+/// GIST-like: 960-d by default, low-contrast dense positive features.
+SyntheticData MakeGistLike(std::size_t n, std::size_t dim = 960,
+                           std::uint64_t seed = 42);
+
+/// GloVe-like: 100-d by default, signed, L2-normalized, strong cluster
+/// overlap (text embeddings cluster far less cleanly than SIFT).
+SyntheticData MakeGloveLike(std::size_t n, std::size_t dim = 100,
+                            std::uint64_t seed = 42);
+
+/// VLAD-like: 512-d by default, signed with power-law per-block energy,
+/// L2-normalized (as produced by VLAD + PCA pipelines).
+SyntheticData MakeVladLike(std::size_t n, std::size_t dim = 512,
+                           std::uint64_t seed = 42);
+
+/// Dispatch by family name ("sift", "gist", "glove", "vlad", "gmm").
+SyntheticData MakeByFamily(const std::string& family, std::size_t n,
+                           std::uint64_t seed = 42);
+
+}  // namespace gkm
+
+#endif  // GKM_DATASET_SYNTHETIC_H_

@@ -1,0 +1,65 @@
+// Copyright 2026 The gkmeans Authors.
+// Evaluation protocol of §5.1: average distortion (Eqn. 4), KNN-graph
+// recall (exact and sampled), plus the co-occurrence statistic behind
+// Fig. 1 and cluster-size summaries used in tests and reports.
+
+#ifndef GKM_EVAL_METRICS_H_
+#define GKM_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "graph/knn_graph.h"
+
+namespace gkm {
+
+/// Average distortion E (Eqn. 4) computed directly: the mean squared
+/// distance between each row and the centroid of its assigned cluster,
+/// with centroids recomputed as cluster means. O(n d); the authoritative
+/// number every bench reports.
+double AverageDistortion(const Matrix& data,
+                         const std::vector<std::uint32_t>& labels,
+                         std::size_t k);
+
+/// Mean squared distance of each row to the *given* centroid of its label
+/// (no recomputation) — the classic inertia.
+double Inertia(const Matrix& data, const Matrix& centroids,
+               const std::vector<std::uint32_t>& labels);
+
+/// Recall@1 of `graph` against the exact graph `truth`: the fraction of
+/// nodes whose true nearest neighbor appears anywhere in their list
+/// (§5.1 measures top-1 recall).
+double GraphRecallAt1(const KnnGraph& graph, const KnnGraph& truth);
+
+/// Recall of the top-`at` true neighbors: |list ∩ true-top-at| / at,
+/// averaged over nodes.
+double GraphRecallAtK(const KnnGraph& graph, const KnnGraph& truth,
+                      std::size_t at);
+
+/// Sampled recall@1: `truth_ids[s]` is the exact nearest neighbor of node
+/// `subset[s]` (the VLAD10M protocol: 100 random samples).
+double SampledRecallAt1(const KnnGraph& graph,
+                        const std::vector<std::uint32_t>& subset,
+                        const std::vector<std::uint32_t>& truth_ids);
+
+/// P(sample and its rank-r nearest neighbor share a cluster) for each rank
+/// r in [1, max_rank] — the statistic plotted in Fig. 1. `truth` must have
+/// out-degree >= max_rank.
+std::vector<double> CoOccurrenceByRank(const KnnGraph& truth,
+                                       const std::vector<std::uint32_t>& labels,
+                                       std::size_t max_rank);
+
+/// Min / max / mean of cluster sizes (empty clusters included in min).
+struct ClusterSizeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  std::size_t empty = 0;
+};
+ClusterSizeStats SummarizeClusterSizes(const std::vector<std::uint32_t>& labels,
+                                       std::size_t k);
+
+}  // namespace gkm
+
+#endif  // GKM_EVAL_METRICS_H_

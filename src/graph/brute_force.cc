@@ -1,0 +1,81 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "graph/brute_force.h"
+
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "common/top_k.h"
+
+namespace gkm {
+
+KnnGraph BruteForceGraph(const Matrix& data, std::size_t k,
+                         std::size_t threads) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  GKM_CHECK_MSG(k < n, "k must be smaller than the number of points");
+  KnnGraph g(n, k);
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, n, [&](std::size_t i) {
+    TopK top(k);
+    const float* xi = data.Row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const float dist = L2Sqr(xi, data.Row(j), d);
+      if (!top.full() || dist < top.WorstDist()) {
+        top.Push(static_cast<std::uint32_t>(j), dist);
+      }
+    }
+    g.SetList(i, top.items());
+  });
+  return g;
+}
+
+std::vector<std::vector<Neighbor>> BruteForceSearch(const Matrix& base,
+                                                    const Matrix& queries,
+                                                    std::size_t k,
+                                                    std::size_t threads) {
+  GKM_CHECK(base.cols() == queries.cols());
+  GKM_CHECK(k <= base.rows());
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, queries.rows(), [&](std::size_t q) {
+    TopK top(k);
+    const float* xq = queries.Row(q);
+    for (std::size_t j = 0; j < base.rows(); ++j) {
+      const float dist = L2Sqr(xq, base.Row(j), base.cols());
+      if (!top.full() || dist < top.WorstDist()) {
+        top.Push(static_cast<std::uint32_t>(j), dist);
+      }
+    }
+    out[q] = top.TakeSorted();
+  });
+  return out;
+}
+
+std::vector<std::uint32_t> ExactNearestForSubset(
+    const Matrix& data, const std::vector<std::uint32_t>& subset,
+    std::size_t threads) {
+  std::vector<std::uint32_t> out(subset.size());
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, subset.size(), [&](std::size_t s) {
+    const std::size_t i = subset[s];
+    const float* xi = data.Row(i);
+    float best = std::numeric_limits<float>::max();
+    std::uint32_t best_id = 0;
+    for (std::size_t j = 0; j < data.rows(); ++j) {
+      if (j == i) continue;
+      const float dist = L2Sqr(xi, data.Row(j), data.cols());
+      if (dist < best) {
+        best = dist;
+        best_id = static_cast<std::uint32_t>(j);
+      }
+    }
+    out[s] = best_id;
+  });
+  return out;
+}
+
+}  // namespace gkm

@@ -1,0 +1,38 @@
+// Copyright 2026 The gkmeans Authors.
+// Exact KNN graph by exhaustive pairwise comparison — O(d n^2). Used as the
+// ground truth for recall measurements (§5.1: "the ground-truth of KNN
+// graph is produced by brute-force search"). Parallelized over rows since
+// this is evaluation machinery, not a measured algorithm.
+
+#ifndef GKM_GRAPH_BRUTE_FORCE_H_
+#define GKM_GRAPH_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "graph/knn_graph.h"
+
+namespace gkm {
+
+/// Builds the exact k-NN graph of `data`.
+KnnGraph BruteForceGraph(const Matrix& data, std::size_t k,
+                         std::size_t threads = 0);
+
+/// Exact top-k neighbors of each query row among `base` rows (for ANNS
+/// ground truth). Result[i] is sorted ascending by distance.
+std::vector<std::vector<Neighbor>> BruteForceSearch(const Matrix& base,
+                                                    const Matrix& queries,
+                                                    std::size_t k,
+                                                    std::size_t threads = 0);
+
+/// Exact nearest neighbor ids for a subset of nodes within `data`
+/// (self excluded) — the sampled ground truth used for very large sets,
+/// mirroring the paper's VLAD10M protocol (§5.1).
+std::vector<std::uint32_t> ExactNearestForSubset(
+    const Matrix& data, const std::vector<std::uint32_t>& subset,
+    std::size_t threads = 0);
+
+}  // namespace gkm
+
+#endif  // GKM_GRAPH_BRUTE_FORCE_H_

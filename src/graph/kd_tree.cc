@@ -1,0 +1,111 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "graph/kd_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+
+namespace gkm {
+
+KdTree::KdTree(const Matrix& data, std::size_t leaf_size) : data_(data) {
+  GKM_CHECK(data.rows() > 0);
+  GKM_CHECK(leaf_size >= 1);
+  order_.resize(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+  }
+  nodes_.reserve(2 * data.rows() / leaf_size + 2);
+  root_ = Build(0, data.rows(), leaf_size);
+}
+
+std::int32_t KdTree::Build(std::size_t begin, std::size_t end,
+                           std::size_t leaf_size) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= leaf_size) {
+    nodes_[id].begin = static_cast<std::uint32_t>(begin);
+    nodes_[id].end = static_cast<std::uint32_t>(end);
+    return id;
+  }
+  // Split dimension: largest spread (max - min) across the subset.
+  const std::size_t d = data_.cols();
+  std::vector<float> lo(d, std::numeric_limits<float>::max());
+  std::vector<float> hi(d, std::numeric_limits<float>::lowest());
+  for (std::size_t p = begin; p < end; ++p) {
+    const float* x = data_.Row(order_[p]);
+    for (std::size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], x[j]);
+      hi[j] = std::max(hi[j], x[j]);
+    }
+  }
+  std::size_t dim = 0;
+  float spread = -1.0f;
+  for (std::size_t j = 0; j < d; ++j) {
+    if (hi[j] - lo[j] > spread) {
+      spread = hi[j] - lo[j];
+      dim = j;
+    }
+  }
+  if (spread <= 0.0f) {
+    // All points identical on every dimension: leaf.
+    nodes_[id].begin = static_cast<std::uint32_t>(begin);
+    nodes_[id].end = static_cast<std::uint32_t>(end);
+    return id;
+  }
+  const std::size_t mid = (begin + end) / 2;
+  std::nth_element(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return data_.Row(a)[dim] < data_.Row(b)[dim];
+                   });
+  nodes_[id].split_dim = static_cast<std::uint32_t>(dim);
+  nodes_[id].split_val = data_.Row(order_[mid])[dim];
+  const std::int32_t left = Build(begin, mid, leaf_size);
+  const std::int32_t right = Build(mid, end, leaf_size);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+std::uint32_t KdTree::Nearest(const float* q, float* dist_out,
+                              std::size_t* points_compared) const {
+  float best = std::numeric_limits<float>::max();
+  std::uint32_t best_id = 0;
+  std::size_t compared = 0;
+  Search(root_, q, &best, &best_id, &compared);
+  if (dist_out != nullptr) *dist_out = best;
+  if (points_compared != nullptr) *points_compared += compared;
+  return best_id;
+}
+
+void KdTree::Search(std::int32_t node, const float* q, float* best,
+                    std::uint32_t* best_id, std::size_t* compared) const {
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  if (nd.left < 0) {
+    const std::size_t d = data_.cols();
+    for (std::uint32_t p = nd.begin; p < nd.end; ++p) {
+      const float dist = L2Sqr(q, data_.Row(order_[p]), d);
+      ++*compared;
+      if (dist < *best || (dist == *best && order_[p] < *best_id)) {
+        *best = dist;
+        *best_id = order_[p];
+      }
+    }
+    return;
+  }
+  const float diff = q[nd.split_dim] - nd.split_val;
+  const std::int32_t near = diff < 0.0f ? nd.left : nd.right;
+  const std::int32_t far = diff < 0.0f ? nd.right : nd.left;
+  Search(near, q, best, best_id, compared);
+  // Prune the far subtree unless the splitting plane is closer than the
+  // current best.
+  if (diff * diff < *best) {
+    Search(far, q, best, best_id, compared);
+  }
+}
+
+}  // namespace gkm

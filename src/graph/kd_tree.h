@@ -1,0 +1,56 @@
+// Copyright 2026 The gkmeans Authors.
+// Exact KD-tree (Bentley [36]) with branch-and-bound nearest-neighbor
+// search. Substrate for the Kanungo-style KD-tree-accelerated k-means
+// baseline ([35], §2.1): effective in tens of dimensions, degenerating to
+// a full scan as d grows — the "curse of dimensionality" behaviour the
+// paper uses to motivate graph-based pruning. The search reports how many
+// points it actually compared so benches can expose that degeneration.
+
+#ifndef GKM_GRAPH_KD_TREE_H_
+#define GKM_GRAPH_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace gkm {
+
+/// Static KD-tree over the rows of a Matrix (not owned; must outlive the
+/// tree). Splits on the dimension of largest spread at the median.
+class KdTree {
+ public:
+  explicit KdTree(const Matrix& data, std::size_t leaf_size = 8);
+
+  /// Exact nearest row to `q`. `dist_out` receives the squared distance;
+  /// `points_compared` (when non-null) is incremented by the number of
+  /// candidate rows whose distance was evaluated.
+  std::uint32_t Nearest(const float* q, float* dist_out = nullptr,
+                        std::size_t* points_compared = nullptr) const;
+
+  std::size_t num_points() const { return order_.size(); }
+
+ private:
+  struct Node {
+    // Internal node: children indices; leaf: left == -1.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t split_dim = 0;
+    float split_val = 0.0f;
+    std::uint32_t begin = 0;  // leaf payload range in order_
+    std::uint32_t end = 0;
+  };
+
+  std::int32_t Build(std::size_t begin, std::size_t end, std::size_t leaf_size);
+  void Search(std::int32_t node, const float* q, float* best,
+              std::uint32_t* best_id, std::size_t* compared) const;
+
+  const Matrix& data_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> order_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_GRAPH_KD_TREE_H_

@@ -1,0 +1,108 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/distance.h"
+#include "common/macros.h"
+
+namespace gkm {
+
+KnnGraph::KnnGraph(std::size_t n, std::size_t k) : k_(k) {
+  GKM_CHECK(k > 0);
+  lists_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) lists_.emplace_back(k);
+}
+
+std::vector<Neighbor> KnnGraph::SortedNeighbors(std::size_t i) const {
+  std::vector<Neighbor> out = lists_[i].items();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool KnnGraph::Update(std::size_t i, std::uint32_t j, float dist) {
+  GKM_DCHECK(i < lists_.size());
+  if (static_cast<std::uint32_t>(i) == j) return false;
+  return lists_[i].Push(j, dist);
+}
+
+int KnnGraph::UpdateBoth(std::size_t i, std::size_t j, float dist) {
+  int changed = 0;
+  changed += Update(i, static_cast<std::uint32_t>(j), dist) ? 1 : 0;
+  changed += Update(j, static_cast<std::uint32_t>(i), dist) ? 1 : 0;
+  return changed;
+}
+
+void KnnGraph::InitRandom(const Matrix& data, Rng& rng) {
+  const std::size_t n = num_nodes();
+  GKM_CHECK(data.rows() == n);
+  GKM_CHECK_MSG(n > k_, "need more nodes than neighbors for a random init");
+  for (std::size_t i = 0; i < n; ++i) {
+    // Draw k_+1 candidates so that dropping a potential self-reference still
+    // leaves k_ distinct neighbors.
+    std::vector<std::uint32_t> cand = rng.SampleDistinct(n, k_ + 1);
+    std::size_t added = 0;
+    for (std::uint32_t c : cand) {
+      if (c == i || added == k_) continue;
+      Update(i, c, L2Sqr(data.Row(i), data.Row(c), data.cols()));
+      ++added;
+    }
+  }
+}
+
+void KnnGraph::SetList(std::size_t i, const std::vector<Neighbor>& neighbors) {
+  GKM_DCHECK(i < lists_.size());
+  TopK fresh(k_);
+  for (const Neighbor& nb : neighbors) fresh.Push(nb.id, nb.dist);
+  lists_[i] = std::move(fresh);
+}
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+void KnnGraph::Save(const std::string& path) const {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  GKM_CHECK_MSG(f != nullptr, path.c_str());
+  const std::uint64_t n = num_nodes();
+  const std::uint64_t k = k_;
+  GKM_CHECK(std::fwrite(&n, sizeof(n), 1, f.get()) == 1);
+  GKM_CHECK(std::fwrite(&k, sizeof(k), 1, f.get()) == 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<Neighbor> nbs = SortedNeighbors(i);
+    const std::uint32_t len = static_cast<std::uint32_t>(nbs.size());
+    GKM_CHECK(std::fwrite(&len, sizeof(len), 1, f.get()) == 1);
+    if (len > 0) {
+      GKM_CHECK(std::fwrite(nbs.data(), sizeof(Neighbor), len, f.get()) == len);
+    }
+  }
+}
+
+KnnGraph KnnGraph::Load(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  GKM_CHECK_MSG(f != nullptr, path.c_str());
+  std::uint64_t n = 0, k = 0;
+  GKM_CHECK(std::fread(&n, sizeof(n), 1, f.get()) == 1);
+  GKM_CHECK(std::fread(&k, sizeof(k), 1, f.get()) == 1);
+  KnnGraph g(static_cast<std::size_t>(n), static_cast<std::size_t>(k));
+  std::vector<Neighbor> buf;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t len = 0;
+    GKM_CHECK(std::fread(&len, sizeof(len), 1, f.get()) == 1);
+    buf.resize(len);
+    if (len > 0) {
+      GKM_CHECK(std::fread(buf.data(), sizeof(Neighbor), len, f.get()) == len);
+    }
+    g.SetList(i, buf);
+  }
+  return g;
+}
+
+}  // namespace gkm

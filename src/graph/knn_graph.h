@@ -1,0 +1,65 @@
+// Copyright 2026 The gkmeans Authors.
+// The KNN graph container shared by the graph builders (Alg. 3, NN-Descent,
+// brute force), the GK-means candidate harvesting loop and the ANN search
+// layer. Each node keeps its κ best neighbors found so far as a bounded
+// max-heap (TopK).
+
+#ifndef GKM_GRAPH_KNN_GRAPH_H_
+#define GKM_GRAPH_KNN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/top_k.h"
+
+namespace gkm {
+
+/// Approximate k-nearest-neighbor graph over `n` nodes with out-degree κ.
+class KnnGraph {
+ public:
+  KnnGraph() = default;
+
+  /// Creates an empty graph (no edges yet) with capacity κ per node.
+  KnnGraph(std::size_t n, std::size_t k);
+
+  std::size_t num_nodes() const { return lists_.size(); }
+  std::size_t k() const { return k_; }
+
+  /// Neighbor list of node `i` (unsorted; see SortedNeighbors).
+  const std::vector<Neighbor>& NeighborsOf(std::size_t i) const {
+    return lists_[i].items();
+  }
+
+  /// Neighbors of node `i` sorted ascending by distance (copies).
+  std::vector<Neighbor> SortedNeighbors(std::size_t i) const;
+
+  /// Attempts to insert the directed edge i -> (j, dist). Self-loops are
+  /// rejected. Returns true when the list changed.
+  bool Update(std::size_t i, std::uint32_t j, float dist);
+
+  /// Attempts both directed edges between i and j. Returns the number of
+  /// lists changed (0..2).
+  int UpdateBoth(std::size_t i, std::size_t j, float dist);
+
+  /// Fills every list with `k` distinct random neighbors and their true
+  /// distances w.r.t. `data` (the random initialization of Alg. 3 line 4).
+  void InitRandom(const Matrix& data, Rng& rng);
+
+  /// Replaces node i's list. Intended for builders that stage updates.
+  void SetList(std::size_t i, const std::vector<Neighbor>& neighbors);
+
+  /// Binary serialization (for building once and reusing across benches).
+  void Save(const std::string& path) const;
+  static KnnGraph Load(const std::string& path);
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<TopK> lists_;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_GRAPH_KNN_GRAPH_H_

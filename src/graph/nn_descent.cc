@@ -1,0 +1,155 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "graph/nn_descent.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace gkm {
+namespace {
+
+// NN-Descent needs a per-edge "new" flag on top of the (id, dist) pair, so
+// it keeps its own sorted adjacency lists rather than reusing TopK.
+struct Entry {
+  std::uint32_t id;
+  float dist;
+  bool is_new;
+};
+
+// Sorted fixed-capacity list; returns true when (id, dist) was inserted.
+bool InsertSorted(std::vector<Entry>& list, std::size_t cap, std::uint32_t id,
+                  float dist) {
+  if (list.size() == cap && dist >= list.back().dist) return false;
+  for (const Entry& e : list) {
+    if (e.id == id) return false;
+  }
+  const Entry fresh{id, dist, true};
+  auto pos = std::lower_bound(
+      list.begin(), list.end(), fresh,
+      [](const Entry& a, const Entry& b) { return a.dist < b.dist; });
+  list.insert(pos, fresh);
+  if (list.size() > cap) list.pop_back();
+  return true;
+}
+
+}  // namespace
+
+KnnGraph NnDescent(const Matrix& data, const NnDescentParams& params,
+                   NnDescentStats* stats) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && n > k);
+  Rng rng(params.seed);
+
+  // Random initialization, all edges flagged new.
+  std::vector<std::vector<Entry>> lists(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lists[i].reserve(k + 1);
+    const std::vector<std::uint32_t> cand = rng.SampleDistinct(n, k + 1);
+    for (const std::uint32_t c : cand) {
+      if (c == i || lists[i].size() == k) continue;
+      InsertSorted(lists[i], k, c, L2Sqr(data.Row(i), data.Row(c), d));
+    }
+  }
+
+  const auto sample_cap = static_cast<std::size_t>(
+      std::max(1.0, params.rho * static_cast<double>(k)));
+  std::vector<std::vector<std::uint32_t>> fwd_new(n), fwd_old(n);
+  std::vector<std::vector<std::uint32_t>> rev_new(n), rev_old(n);
+  std::size_t distance_evals = 0;
+
+  for (std::size_t round = 0; round < params.max_iters; ++round) {
+    // Phase 1: sample forward new/old lists; sampled "new" edges become old.
+    for (std::size_t v = 0; v < n; ++v) {
+      fwd_new[v].clear();
+      fwd_old[v].clear();
+      rev_new[v].clear();
+      rev_old[v].clear();
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      std::size_t new_budget = sample_cap;
+      for (Entry& e : lists[v]) {
+        if (e.is_new) {
+          if (new_budget > 0 && rng.UniformDouble() < params.rho) {
+            fwd_new[v].push_back(e.id);
+            e.is_new = false;  // consumed: will act as old next round
+            --new_budget;
+          }
+        } else {
+          fwd_old[v].push_back(e.id);
+        }
+      }
+    }
+    // Phase 2: reverse lists.
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::uint32_t u : fwd_new[v]) {
+        rev_new[u].push_back(static_cast<std::uint32_t>(v));
+      }
+      for (const std::uint32_t u : fwd_old[v]) {
+        rev_old[u].push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+
+    // Phase 3: local join around every node.
+    std::size_t updates = 0;
+    std::vector<std::uint32_t> join_new, join_old;
+    for (std::size_t v = 0; v < n; ++v) {
+      join_new = fwd_new[v];
+      if (rev_new[v].size() > sample_cap) {
+        rng.Shuffle(rev_new[v]);
+        rev_new[v].resize(sample_cap);
+      }
+      join_new.insert(join_new.end(), rev_new[v].begin(), rev_new[v].end());
+
+      join_old = fwd_old[v];
+      if (rev_old[v].size() > sample_cap) {
+        rng.Shuffle(rev_old[v]);
+        rev_old[v].resize(sample_cap);
+      }
+      join_old.insert(join_old.end(), rev_old[v].begin(), rev_old[v].end());
+
+      for (std::size_t a = 0; a < join_new.size(); ++a) {
+        const std::uint32_t u1 = join_new[a];
+        // new x new (unordered pairs)
+        for (std::size_t b = a + 1; b < join_new.size(); ++b) {
+          const std::uint32_t u2 = join_new[b];
+          if (u1 == u2) continue;
+          const float dist = L2Sqr(data.Row(u1), data.Row(u2), d);
+          ++distance_evals;
+          updates += InsertSorted(lists[u1], k, u2, dist) ? 1 : 0;
+          updates += InsertSorted(lists[u2], k, u1, dist) ? 1 : 0;
+        }
+        // new x old
+        for (const std::uint32_t u2 : join_old) {
+          if (u1 == u2) continue;
+          const float dist = L2Sqr(data.Row(u1), data.Row(u2), d);
+          ++distance_evals;
+          updates += InsertSorted(lists[u1], k, u2, dist) ? 1 : 0;
+          updates += InsertSorted(lists[u2], k, u1, dist) ? 1 : 0;
+        }
+      }
+    }
+
+    if (stats != nullptr) stats->updates_per_round.push_back(updates);
+    if (static_cast<double>(updates) <
+        params.delta * static_cast<double>(n) * static_cast<double>(k)) {
+      break;
+    }
+  }
+  if (stats != nullptr) stats->distance_evals = distance_evals;
+
+  KnnGraph g(n, k);
+  std::vector<Neighbor> row;
+  for (std::size_t i = 0; i < n; ++i) {
+    row.clear();
+    for (const Entry& e : lists[i]) row.push_back(Neighbor{e.id, e.dist});
+    g.SetList(i, row);
+  }
+  return g;
+}
+
+}  // namespace gkm

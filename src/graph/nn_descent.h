@@ -1,0 +1,40 @@
+// Copyright 2026 The gkmeans Authors.
+// NN-Descent (Dong, Moses & Li, WWW 2011 [32]) — the "KGraph" baseline the
+// paper compares its Alg. 3 against ("KGraph+GK-means" runs). Built on the
+// observation that "a neighbor of a neighbor is also likely to be a
+// neighbor": each round locally joins every node's sampled new/old
+// neighbors and reverse neighbors, terminating when updates fall below
+// delta * n * k.
+
+#ifndef GKM_GRAPH_NN_DESCENT_H_
+#define GKM_GRAPH_NN_DESCENT_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "graph/knn_graph.h"
+
+namespace gkm {
+
+/// Options for NnDescent. Defaults follow the reference implementation.
+struct NnDescentParams {
+  std::size_t k = 50;        ///< graph out-degree
+  double rho = 0.5;          ///< sample rate for the local join
+  double delta = 0.001;      ///< termination threshold on the update rate
+  std::size_t max_iters = 30;
+  std::uint64_t seed = 42;
+};
+
+/// Per-round diagnostics (update counts drive the termination rule).
+struct NnDescentStats {
+  std::vector<std::size_t> updates_per_round;
+  std::size_t distance_evals = 0;
+};
+
+/// Builds an approximate KNN graph with NN-Descent.
+KnnGraph NnDescent(const Matrix& data, const NnDescentParams& params,
+                   NnDescentStats* stats = nullptr);
+
+}  // namespace gkm
+
+#endif  // GKM_GRAPH_NN_DESCENT_H_

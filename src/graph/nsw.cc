@@ -1,0 +1,115 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "graph/nsw.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace gkm {
+namespace {
+
+struct Candidate {
+  std::uint32_t id;
+  float dist;
+  bool expanded;
+};
+
+}  // namespace
+
+KnnGraph NswBuild(const Matrix& data, const NswParams& params,
+                  NswStats* stats) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t degree = params.degree;
+  GKM_CHECK(degree > 0 && n > degree);
+  Rng rng(params.seed);
+
+  // Adjacency under construction. Lists may transiently exceed `degree`
+  // before trimming.
+  std::vector<std::vector<Neighbor>> adj(n);
+  for (auto& list : adj) list.reserve(2 * degree);
+
+  std::vector<std::uint32_t> insertion_order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    insertion_order[i] = static_cast<std::uint32_t>(i);
+  }
+  rng.Shuffle(insertion_order);
+
+  std::vector<char> visited(n, 0);
+  std::vector<std::uint32_t> touched;
+  std::vector<Candidate> pool;
+  std::size_t evals = 0;
+
+  auto trim = [&](std::uint32_t node) {
+    std::vector<Neighbor>& list = adj[node];
+    if (list.size() <= degree) return;
+    std::sort(list.begin(), list.end());
+    list.resize(degree);
+  };
+
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::uint32_t id = insertion_order[step];
+    const float* x = data.Row(id);
+    if (step == 0) continue;  // first node has nothing to link to
+
+    // Beam search over the graph built so far, seeded from random inserted
+    // nodes (the flat-NSW entry policy).
+    pool.clear();
+    touched.clear();
+    const std::size_t beam = std::max(params.ef_construction, degree);
+    const std::size_t num_seeds = std::min<std::size_t>(step, 4);
+    auto try_add = [&](std::uint32_t c) {
+      if (visited[c]) return;
+      visited[c] = 1;
+      touched.push_back(c);
+      const float dist = L2Sqr(x, data.Row(c), d);
+      ++evals;
+      if (pool.size() == beam && dist >= pool.back().dist) return;
+      const Candidate fresh{c, dist, false};
+      auto pos = std::lower_bound(pool.begin(), pool.end(), fresh,
+                                  [](const Candidate& a, const Candidate& b) {
+                                    return a.dist < b.dist;
+                                  });
+      pool.insert(pos, fresh);
+      if (pool.size() > beam) pool.pop_back();
+    };
+    for (std::size_t s = 0; s < num_seeds; ++s) {
+      try_add(insertion_order[rng.Index(step)]);
+    }
+    for (;;) {
+      std::size_t next = pool.size();
+      for (std::size_t p = 0; p < pool.size(); ++p) {
+        if (!pool[p].expanded) {
+          next = p;
+          break;
+        }
+      }
+      if (next == pool.size()) break;
+      pool[next].expanded = true;
+      for (const Neighbor& nb : adj[pool[next].id]) try_add(nb.id);
+    }
+    for (const std::uint32_t t : touched) visited[t] = 0;
+
+    // Link to the closest `degree` candidates; give each a reverse edge.
+    const std::size_t links = std::min(degree, pool.size());
+    for (std::size_t p = 0; p < links; ++p) {
+      adj[id].push_back(Neighbor{pool[p].id, pool[p].dist});
+      adj[pool[p].id].push_back(Neighbor{id, pool[p].dist});
+      trim(pool[p].id);
+    }
+    trim(id);
+  }
+  if (stats != nullptr) stats->distance_evals = evals;
+
+  KnnGraph graph(n, degree);
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.SetList(i, adj[i]);
+  }
+  return graph;
+}
+
+}  // namespace gkm

@@ -1,0 +1,39 @@
+// Copyright 2026 The gkmeans Authors.
+// Navigable small-world graph construction (Malkov & Yashunin [34], flat
+// single-layer variant): points are inserted in random order; each new
+// point beam-searches the graph built so far for its ef_construction
+// closest reachable nodes, links to the best `degree` of them, and adds
+// trimmed reverse links. §4.3 compares Alg. 3's construction cost against
+// this method ("at least two times faster than ... small world graph
+// construction [34]") — the anns_search bench reproduces that comparison.
+
+#ifndef GKM_GRAPH_NSW_H_
+#define GKM_GRAPH_NSW_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "graph/knn_graph.h"
+
+namespace gkm {
+
+/// Options for NswBuild.
+struct NswParams {
+  std::size_t degree = 20;           ///< links kept per node (M)
+  std::size_t ef_construction = 64;  ///< beam width during insertion
+  std::uint64_t seed = 42;
+};
+
+/// Per-build diagnostics.
+struct NswStats {
+  std::size_t distance_evals = 0;
+};
+
+/// Builds a (flat) navigable small-world graph and returns it in KnnGraph
+/// form — directly usable by GraphSearcher and GK-means.
+KnnGraph NswBuild(const Matrix& data, const NswParams& params,
+                  NswStats* stats = nullptr);
+
+}  // namespace gkm
+
+#endif  // GKM_GRAPH_NSW_H_

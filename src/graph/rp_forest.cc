@@ -1,0 +1,103 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "graph/rp_forest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/distance.h"
+#include "common/macros.h"
+
+namespace gkm {
+namespace {
+
+// Recursively splits ids[lo, hi) by projection onto the direction between
+// two random members, at the median. Degenerate (zero) directions fall
+// back to a random split so duplicate-heavy data still terminates.
+void BuildTree(const Matrix& data, std::vector<std::uint32_t>& ids,
+               std::size_t lo, std::size_t hi, std::size_t leaf_size,
+               Rng& rng, std::vector<std::vector<std::uint32_t>>& leaves) {
+  const std::size_t count = hi - lo;
+  if (count <= leaf_size) {
+    leaves.emplace_back(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                        ids.begin() + static_cast<std::ptrdiff_t>(hi));
+    return;
+  }
+  const std::size_t d = data.cols();
+  const std::uint32_t a = ids[lo + rng.Index(count)];
+  const std::uint32_t b = ids[lo + rng.Index(count)];
+  std::vector<float> dir(d);
+  float norm = 0.0f;
+  {
+    const float* xa = data.Row(a);
+    const float* xb = data.Row(b);
+    for (std::size_t j = 0; j < d; ++j) {
+      dir[j] = xb[j] - xa[j];
+      norm += dir[j] * dir[j];
+    }
+  }
+  std::vector<std::pair<float, std::uint32_t>> proj(count);
+  if (norm == 0.0f) {
+    for (std::size_t m = 0; m < count; ++m) {
+      proj[m] = {rng.UniformFloat(), ids[lo + m]};
+    }
+  } else {
+    for (std::size_t m = 0; m < count; ++m) {
+      proj[m] = {Dot(data.Row(ids[lo + m]), dir.data(), d), ids[lo + m]};
+    }
+  }
+  const std::size_t mid = count / 2;
+  std::nth_element(proj.begin(), proj.begin() + static_cast<std::ptrdiff_t>(mid),
+                   proj.end());
+  for (std::size_t m = 0; m < count; ++m) ids[lo + m] = proj[m].second;
+  BuildTree(data, ids, lo, lo + mid, leaf_size, rng, leaves);
+  BuildTree(data, ids, lo + mid, hi, leaf_size, rng, leaves);
+}
+
+}  // namespace
+
+RpForest::RpForest(const Matrix& data, const RpForestParams& params)
+    : num_trees_(params.num_trees), n_(data.rows()) {
+  GKM_CHECK(params.num_trees >= 1);
+  GKM_CHECK(params.leaf_size >= 2);
+  GKM_CHECK(n_ > 0);
+  Rng rng(params.seed);
+  leaf_of_.resize(num_trees_ * n_);
+  std::vector<std::uint32_t> ids(n_);
+  for (std::size_t t = 0; t < num_trees_; ++t) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      ids[i] = static_cast<std::uint32_t>(i);
+    }
+    const std::size_t first_leaf = leaves_.size();
+    BuildTree(data, ids, 0, n_, params.leaf_size, rng, leaves_);
+    for (std::size_t l = first_leaf; l < leaves_.size(); ++l) {
+      for (const std::uint32_t i : leaves_[l]) {
+        leaf_of_[t * n_ + i] = static_cast<std::uint32_t>(l);
+      }
+    }
+  }
+}
+
+KnnGraph RpForestGraph(const Matrix& data, std::size_t k,
+                       const RpForestParams& params) {
+  GKM_CHECK(k > 0 && data.rows() > k);
+  const RpForest forest(data, params);
+  const std::size_t d = data.cols();
+  KnnGraph graph(data.rows(), k);
+  Matrix scratch;
+  for (const auto& members : forest.leaves()) {
+    const std::size_t m = members.size();
+    if (m < 2) continue;
+    scratch.Reset(m, d);
+    for (std::size_t a = 0; a < m; ++a) scratch.SetRow(a, data.Row(members[a]));
+    for (std::size_t a = 0; a < m; ++a) {
+      const float* xa = scratch.Row(a);
+      for (std::size_t b = a + 1; b < m; ++b) {
+        graph.UpdateBoth(members[a], members[b], L2Sqr(xa, scratch.Row(b), d));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace gkm

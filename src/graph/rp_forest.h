@@ -1,0 +1,66 @@
+// Copyright 2026 The gkmeans Authors.
+// Random-projection partition forest: an ensemble of trees that each
+// recursively split the data at the median of a random projection until
+// leaves hold <= leaf_size points.
+//
+// Two consumers: closure k-means [27] uses the leaves as neighborhoods
+// (a cluster's closure = union of its members' leaves), and the
+// divide-and-conquer KNN-graph baseline of [42][43]/EFANNA [33] joins
+// points within each leaf to build an approximate graph — the approach
+// §2.2 credits with efficiency but "very low" recall, which
+// RpForestGraph's tests and the Fig. 4-style comparisons confirm.
+
+#ifndef GKM_GRAPH_RP_FOREST_H_
+#define GKM_GRAPH_RP_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "graph/knn_graph.h"
+
+namespace gkm {
+
+/// Options for RpForest.
+struct RpForestParams {
+  std::size_t num_trees = 4;
+  std::size_t leaf_size = 50;
+  std::uint64_t seed = 42;
+};
+
+/// An immutable ensemble of random-projection partition trees over a
+/// dataset (not owned; must outlive the forest).
+class RpForest {
+ public:
+  RpForest(const Matrix& data, const RpForestParams& params);
+
+  std::size_t num_trees() const { return num_trees_; }
+  std::size_t num_points() const { return n_; }
+
+  /// All leaves across all trees, each a list of row ids.
+  const std::vector<std::vector<std::uint32_t>>& leaves() const {
+    return leaves_;
+  }
+
+  /// Index (into leaves()) of the leaf containing `point` in `tree`.
+  std::uint32_t LeafOf(std::size_t tree, std::size_t point) const {
+    return leaf_of_[tree * n_ + point];
+  }
+
+ private:
+  std::size_t num_trees_;
+  std::size_t n_;
+  std::vector<std::vector<std::uint32_t>> leaves_;
+  std::vector<std::uint32_t> leaf_of_;  // tree-major
+};
+
+/// Divide-and-conquer KNN-graph construction ([42][43], §2.2): joins all
+/// pairs inside every forest leaf. One more tree = one more chance for
+/// true neighbors to share a leaf.
+KnnGraph RpForestGraph(const Matrix& data, std::size_t k,
+                       const RpForestParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_GRAPH_RP_FOREST_H_

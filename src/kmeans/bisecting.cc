@@ -1,0 +1,190 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/bisecting.h"
+
+#include <queue>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kmeans/cluster_state.h"
+
+namespace gkm {
+namespace {
+
+// Sum of squared distances of `members` to their mean — the split
+// priority. Computed via the composite-vector identity to stay O(|S| d).
+double DistortionContribution(const Matrix& data,
+                              const std::vector<std::uint32_t>& members) {
+  const std::size_t dim = data.cols();
+  std::vector<double> composite(dim, 0.0);
+  double sum_norms = 0.0;
+  for (const std::uint32_t i : members) {
+    const float* x = data.Row(i);
+    double norm = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      composite[j] += x[j];
+      norm += static_cast<double>(x[j]) * x[j];
+    }
+    sum_norms += norm;
+  }
+  double comp_norm = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) comp_norm += composite[j] * composite[j];
+  return sum_norms - comp_norm / static_cast<double>(members.size());
+}
+
+// Boost-2-means split of `members` (no equal-size adjustment — this is
+// plain bisecting, not the 2M tree). Returns per-member side bits.
+std::vector<std::uint8_t> Bisect(const Matrix& data,
+                                 const std::vector<std::uint32_t>& members,
+                                 std::size_t epochs, Rng& rng) {
+  const std::size_t s = members.size();
+  const std::size_t dim = data.cols();
+  std::vector<std::uint8_t> side(s);
+  std::vector<std::uint32_t> perm(s);
+  for (std::size_t m = 0; m < s; ++m) perm[m] = static_cast<std::uint32_t>(m);
+  rng.Shuffle(perm);
+  for (std::size_t m = 0; m < s; ++m) side[perm[m]] = m < s / 2 ? 0 : 1;
+
+  // Local composite state (float; see two_means_tree.cc for rationale).
+  std::vector<float> d0(dim, 0.0f), d1(dim, 0.0f);
+  double n0 = 0.0, n1 = 0.0, norm0 = 0.0, norm1 = 0.0;
+  for (std::size_t m = 0; m < s; ++m) {
+    const float* x = data.Row(members[m]);
+    float* dst = side[m] == 0 ? d0.data() : d1.data();
+    for (std::size_t j = 0; j < dim; ++j) dst[j] += x[j];
+    (side[m] == 0 ? n0 : n1) += 1.0;
+  }
+  norm0 = NormSqr(d0.data(), dim);
+  norm1 = NormSqr(d1.data(), dim);
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    rng.Shuffle(perm);
+    std::size_t moves = 0;
+    for (const std::uint32_t m : perm) {
+      const bool from0 = side[m] == 0;
+      if ((from0 ? n0 : n1) < 2.0) continue;
+      const float* GKM_RESTRICT x = data.Row(members[m]);
+      const float* GKM_RESTRICT src = from0 ? d0.data() : d1.data();
+      const float* GKM_RESTRICT dst = from0 ? d1.data() : d0.data();
+      float dot_s = 0.0f, dot_d = 0.0f;
+      for (std::size_t j = 0; j < dim; ++j) {
+        dot_s += src[j] * x[j];
+        dot_d += dst[j] * x[j];
+      }
+      const float xn = NormSqr(x, dim);
+      const double ns = from0 ? n0 : n1;
+      const double nd = from0 ? n1 : n0;
+      const double norm_s = from0 ? norm0 : norm1;
+      const double norm_d = from0 ? norm1 : norm0;
+      const double gain = (norm_d + 2.0 * dot_d + xn) / (nd + 1.0) +
+                          (norm_s - 2.0 * dot_s + xn) / (ns - 1.0) -
+                          norm_d / nd - norm_s / ns;
+      if (gain > 0.0) {
+        float* GKM_RESTRICT msrc = from0 ? d0.data() : d1.data();
+        float* GKM_RESTRICT mdst = from0 ? d1.data() : d0.data();
+        float new_ns = 0.0f, new_nd = 0.0f;
+        for (std::size_t j = 0; j < dim; ++j) {
+          msrc[j] -= x[j];
+          mdst[j] += x[j];
+          new_ns += msrc[j] * msrc[j];
+          new_nd += mdst[j] * mdst[j];
+        }
+        (from0 ? norm0 : norm1) = new_ns;
+        (from0 ? norm1 : norm0) = new_nd;
+        (from0 ? n0 : n1) -= 1.0;
+        (from0 ? n1 : n0) += 1.0;
+        side[m] = from0 ? 1 : 0;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+  // Guard against a degenerate all-one-side split (possible on duplicate
+  // data): force a minimal split.
+  if (n0 == 0.0 || n1 == 0.0) {
+    side.assign(s, 0);
+    side[0] = 1;
+  }
+  return side;
+}
+
+}  // namespace
+
+ClusteringResult BisectingKMeans(const Matrix& data,
+                                 const BisectingParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+
+  ClusteringResult res;
+  res.method = "bisecting";
+  Rng rng(params.seed);
+  Timer total;
+
+  std::vector<std::vector<std::uint32_t>> clusters;
+  clusters.reserve(2 * k);
+  clusters.emplace_back(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clusters[0][i] = static_cast<std::uint32_t>(i);
+  }
+  // Max-heap on distortion contribution: split where the error lives.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry> heap;
+  heap.emplace(DistortionContribution(data, clusters[0]), 0);
+
+  while (clusters.size() < k) {
+    // Pop the splittable cluster with the largest contribution. Singleton
+    // clusters have zero contribution but may still need splitting when
+    // k approaches n; skip-and-retry handles both.
+    auto [contrib, slot] = heap.top();
+    heap.pop();
+    if (clusters[slot].size() < 2) {
+      // Re-queue at the bottom; find any splittable cluster instead.
+      std::size_t fallback = clusters.size();
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (clusters[c].size() >= 2) {
+          fallback = c;
+          break;
+        }
+      }
+      GKM_CHECK_MSG(fallback < clusters.size(), "no splittable cluster left");
+      heap.emplace(contrib, slot);
+      slot = fallback;
+    }
+    std::vector<std::uint32_t> members = std::move(clusters[slot]);
+    const std::vector<std::uint8_t> side =
+        Bisect(data, members, params.bisect_epochs, rng);
+    std::vector<std::uint32_t> left, right;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      (side[m] == 0 ? left : right).push_back(members[m]);
+    }
+    GKM_CHECK(!left.empty() && !right.empty());
+    clusters[slot] = std::move(left);
+    heap.emplace(DistortionContribution(data, clusters[slot]), slot);
+    clusters.push_back(std::move(right));
+    heap.emplace(DistortionContribution(data, clusters.back()),
+                 clusters.size() - 1);
+  }
+
+  std::vector<std::uint32_t> labels(n);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (const std::uint32_t i : clusters[c]) {
+      labels[i] = static_cast<std::uint32_t>(c);
+    }
+  }
+  res.iterations = k - 1;  // number of bisections
+  res.init_seconds = 0.0;
+  res.iter_seconds = total.Seconds();
+  res.total_seconds = res.iter_seconds;
+
+  ClusterState state(data, labels, k);
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.trace.push_back(IterStat{0, res.distortion, res.total_seconds, 0});
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

@@ -1,0 +1,35 @@
+// Copyright 2026 The gkmeans Authors.
+// Top-down hierarchical (bisecting) k-means (§2.1, [1][40][41]): clustering
+// as a sequence of repeated bisections, O(t·log(k)·n·d) instead of
+// O(t·k·n·d). The paper's criticism — "poor clustering performance ... as
+// it breaks the Lloyd's condition" — is what the quality tests/benches
+// verify: each split is locally optimal but nothing re-assigns points
+// across subtree boundaries afterwards.
+//
+// Unlike the two-means tree (Alg. 1), no equal-size adjustment is applied
+// and the cluster chosen for splitting is the one with the largest
+// *distortion contribution*, the standard criterion for clustering use.
+
+#ifndef GKM_KMEANS_BISECTING_H_
+#define GKM_KMEANS_BISECTING_H_
+
+#include <cstdint>
+
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for BisectingKMeans.
+struct BisectingParams {
+  std::size_t k = 8;
+  std::size_t bisect_epochs = 8;  ///< BKM-2 epochs per bisection
+  std::uint64_t seed = 42;
+};
+
+/// Runs bisecting k-means until exactly k clusters exist.
+ClusteringResult BisectingKMeans(const Matrix& data,
+                                 const BisectingParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_BISECTING_H_

@@ -1,0 +1,86 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/boost_kmeans.h"
+
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+
+ClusteringResult BoostKMeans(const Matrix& data, const BkmParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+
+  ClusteringResult res;
+  res.method = "bkm";
+  Rng rng(params.seed);
+
+  Timer total;
+  std::vector<std::uint32_t> labels;
+  if (!params.init_labels.empty()) {
+    GKM_CHECK(params.init_labels.size() == n);
+    labels = params.init_labels;
+  } else {
+    labels = BalancedRandomLabels(n, k, rng);
+  }
+  ClusterState state(data, labels, k);
+
+  std::vector<float> norms(n);
+  RowNormsSqr(data, norms.data());
+
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  res.init_seconds = total.Seconds();
+
+  Timer iter_timer;
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    rng.Shuffle(order);
+    std::size_t moves = 0;
+    for (const std::uint32_t i : order) {
+      const std::uint32_t u = labels[i];
+      if (state.CountOf(u) < 2) continue;  // never empty a cluster
+      const float* x = data.Row(i);
+      const float xn = norms[i];
+
+      // The arrival gain is independent of the source cluster, so the best
+      // target is simply argmax_v GainArrive (v != u).
+      double best_gain = -std::numeric_limits<double>::max();
+      std::size_t best_v = u;
+      for (std::size_t v = 0; v < k; ++v) {
+        if (v == u) continue;
+        const double g = state.GainArrive(x, xn, v);
+        if (g > best_gain) {
+          best_gain = g;
+          best_v = v;
+        }
+      }
+      if (best_v == u) continue;
+      const double delta = best_gain + state.GainLeave(x, xn, u);
+      if (delta > 0.0) {
+        state.Move(x, u, best_v);
+        labels[i] = static_cast<std::uint32_t>(best_v);
+        ++moves;
+      }
+    }
+    res.trace.push_back(
+        IterStat{it, state.Distortion(), total.Seconds(), moves});
+    res.iterations = it + 1;
+    if (moves == 0) break;  // exact local optimum of I under 1-moves
+  }
+  res.iter_seconds = iter_timer.Seconds();
+  res.total_seconds = total.Seconds();
+
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

@@ -1,0 +1,34 @@
+// Copyright 2026 The gkmeans Authors.
+// Boost k-means (BKM) [16]: incremental stochastic optimization of the
+// composite-vector objective I (Eqn. 2). Each epoch visits every sample in
+// a fresh random order and greedily applies the single-sample move with the
+// largest positive Delta-I (Eqn. 3), scanning all k clusters. This is the
+// quality reference the paper builds GK-means upon (§3.1): same per-epoch
+// complexity as Lloyd, considerably better local optima.
+
+#ifndef GKM_KMEANS_BOOST_KMEANS_H_
+#define GKM_KMEANS_BOOST_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for BoostKMeans.
+struct BkmParams {
+  std::size_t k = 8;
+  std::size_t max_iters = 30;       ///< epochs over the dataset
+  std::uint64_t seed = 42;
+  /// When non-empty, used as the initial partition instead of a balanced
+  /// random one (GK-means passes the 2M-tree labels through this).
+  std::vector<std::uint32_t> init_labels;
+};
+
+/// Runs full (unaccelerated) boost k-means.
+ClusteringResult BoostKMeans(const Matrix& data, const BkmParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_BOOST_KMEANS_H_

@@ -1,0 +1,189 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/closure_kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/rp_forest.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+
+ClusteringResult ClosureKMeans(const Matrix& data,
+                               const ClosureParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+  GKM_CHECK(params.leaf_size >= 2);
+
+  ClusteringResult res;
+  res.method = "closure";
+  Rng rng(params.seed);
+
+  // --- Init: RP forest (built once) + closure-restricted seeding. ---
+  Timer total;
+  RpForestParams forest_params;
+  forest_params.num_trees = params.num_trees;
+  forest_params.leaf_size = params.leaf_size;
+  forest_params.seed = rng.Next();
+  const RpForest forest(data, forest_params);
+  const std::vector<std::vector<std::uint32_t>>& leaves = forest.leaves();
+  // Seeding: k random data rows become the initial centroids, and the
+  // initial assignment is itself closure-restricted — each point considers
+  // only the seeds sharing one of its leaves. A full O(n k d) assignment
+  // would already be infeasible in the paper's 10M-to-1M-clusters regime.
+  const std::vector<std::uint32_t> seed_ids = rng.SampleDistinct(n, k);
+  Matrix centroids(k, d);
+  for (std::size_t r = 0; r < k; ++r) {
+    centroids.SetRow(r, data.Row(seed_ids[r]));
+  }
+  std::vector<std::int64_t> cluster_of_seed(n, -1);
+  for (std::size_t r = 0; r < k; ++r) {
+    cluster_of_seed[seed_ids[r]] = static_cast<std::int64_t>(r);
+  }
+  std::vector<std::vector<std::uint32_t>> seeds_in_leaf(leaves.size());
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    for (const std::uint32_t i : leaves[l]) {
+      if (cluster_of_seed[i] >= 0) {
+        seeds_in_leaf[l].push_back(
+            static_cast<std::uint32_t>(cluster_of_seed[i]));
+      }
+    }
+  }
+  std::vector<std::uint32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = data.Row(i);
+    float best_dist = std::numeric_limits<float>::max();
+    std::int64_t best_v = -1;
+    for (std::size_t t = 0; t < params.num_trees; ++t) {
+      for (const std::uint32_t v : seeds_in_leaf[forest.LeafOf(t, i)]) {
+        const float dist = L2Sqr(x, centroids.Row(v), d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_v = static_cast<std::int64_t>(v);
+        }
+      }
+    }
+    // Leaf-orphan (no seed shares any leaf): full scan, rare by design.
+    labels[i] = best_v >= 0
+                    ? static_cast<std::uint32_t>(best_v)
+                    : static_cast<std::uint32_t>(NearestRow(centroids, x));
+  }
+  ClusterState state(data, labels, k);
+  centroids = state.Centroids();
+  res.init_seconds = total.Seconds();
+
+  // --- Lloyd iterations restricted to closure candidates. ---
+  Timer iter_timer;
+  std::vector<std::uint32_t> stamp(k, 0);
+  std::uint32_t cur_stamp = 0;
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> leaf_labels;  // distinct labels per leaf, CSR
+  std::vector<std::uint32_t> leaf_label_start;
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    // Distinct labels present in every leaf (closure building block).
+    leaf_labels.clear();
+    leaf_label_start.assign(leaves.size() + 1, 0);
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+      leaf_label_start[l] = static_cast<std::uint32_t>(leaf_labels.size());
+      ++cur_stamp;
+      for (const std::uint32_t i : leaves[l]) {
+        const std::uint32_t c = labels[i];
+        if (stamp[c] != cur_stamp) {
+          stamp[c] = cur_stamp;
+          leaf_labels.push_back(c);
+        }
+      }
+    }
+    leaf_label_start[leaves.size()] =
+        static_cast<std::uint32_t>(leaf_labels.size());
+
+    std::size_t moves = 0;
+    std::vector<float> dist_to_assigned(n, 0.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Candidate clusters: labels seen in any of i's leaves.
+      ++cur_stamp;
+      cand.clear();
+      const std::uint32_t u = labels[i];
+      stamp[u] = cur_stamp;
+      cand.push_back(u);
+      for (std::size_t t = 0; t < params.num_trees; ++t) {
+        const std::uint32_t l = forest.LeafOf(t, i);
+        for (std::uint32_t p = leaf_label_start[l];
+             p < leaf_label_start[l + 1]; ++p) {
+          const std::uint32_t c = leaf_labels[p];
+          if (stamp[c] != cur_stamp) {
+            stamp[c] = cur_stamp;
+            cand.push_back(c);
+          }
+        }
+      }
+      const float* x = data.Row(i);
+      if (cand.size() == 1) {
+        // Inactive point: its whole neighborhood lives in its own cluster.
+        dist_to_assigned[i] = L2Sqr(x, centroids.Row(u), d);
+        continue;
+      }
+      float best_dist = std::numeric_limits<float>::max();
+      std::uint32_t best_v = u;
+      for (const std::uint32_t v : cand) {
+        const float dist = L2Sqr(x, centroids.Row(v), d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_v = v;
+        }
+      }
+      if (best_v != u) {
+        labels[i] = best_v;
+        ++moves;
+      }
+      dist_to_assigned[i] = best_dist;
+    }
+
+    // Closure candidate sets can starve a cluster to extinction; re-seed
+    // every empty cluster with the point currently worst-served by its own
+    // centroid (same policy as the Lloyd baseline).
+    {
+      std::vector<std::uint32_t> counts(k, 0);
+      for (std::size_t i = 0; i < n; ++i) ++counts[labels[i]];
+      for (std::size_t r = 0; r < k; ++r) {
+        if (counts[r] != 0) continue;
+        std::size_t worst = 0;
+        float worst_dist = -1.0f;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (counts[labels[i]] > 1 && dist_to_assigned[i] > worst_dist) {
+            worst_dist = dist_to_assigned[i];
+            worst = i;
+          }
+        }
+        --counts[labels[worst]];
+        labels[worst] = static_cast<std::uint32_t>(r);
+        ++counts[r];
+        ++moves;
+      }
+    }
+
+    state.Rebuild(data, labels);
+    centroids = state.Centroids();
+    res.trace.push_back(IterStat{it, state.Distortion(), total.Seconds(),
+                                 moves});
+    res.iterations = it + 1;
+    if (moves == 0) break;
+  }
+  res.iter_seconds = iter_timer.Seconds();
+  res.total_seconds = total.Seconds();
+
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

@@ -1,0 +1,38 @@
+// Copyright 2026 The gkmeans Authors.
+// Closure k-means ("Fast approximate k-means via cluster closures", Wang
+// et al., CVPR 2012 [27]) — the strongest competing baseline in the
+// paper's evaluation (Fig. 5-7, Tab. 2).
+//
+// An ensemble of random-projection partition trees is built once; the
+// neighborhood of a point is the union of its leaf co-members across
+// trees, and a cluster's *closure* is the union of its members'
+// neighborhoods. In each Lloyd-style iteration a point is compared only
+// against centroids of clusters whose closure contains it — i.e. the
+// clusters owning at least one of its leaf co-members. Points whose
+// neighborhoods lie entirely inside their own cluster ("inactive" points,
+// far from any boundary) skip the distance work altogether.
+
+#ifndef GKM_KMEANS_CLOSURE_KMEANS_H_
+#define GKM_KMEANS_CLOSURE_KMEANS_H_
+
+#include <cstdint>
+
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for ClosureKMeans.
+struct ClosureParams {
+  std::size_t k = 8;
+  std::size_t num_trees = 3;    ///< ensemble size (more = bigger closures)
+  std::size_t leaf_size = 50;   ///< RP-tree leaf capacity
+  std::size_t max_iters = 30;
+  std::uint64_t seed = 42;
+};
+
+/// Runs closure k-means.
+ClusteringResult ClosureKMeans(const Matrix& data, const ClosureParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_CLOSURE_KMEANS_H_

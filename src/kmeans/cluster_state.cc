@@ -1,0 +1,130 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/cluster_state.h"
+
+#include "common/distance.h"
+
+namespace gkm {
+namespace {
+
+// dot(double[], float[]) — the mixed-precision kernel behind the BKM gains.
+double DotDF(const double* GKM_RESTRICT a, const float* GKM_RESTRICT b,
+             std::size_t d) {
+  double s0 = 0.0, s1 = 0.0;
+  std::size_t i = 0;
+  for (; i + 2 <= d; i += 2) {
+    s0 += a[i] * static_cast<double>(b[i]);
+    s1 += a[i + 1] * static_cast<double>(b[i + 1]);
+  }
+  if (i < d) s0 += a[i] * static_cast<double>(b[i]);
+  return s0 + s1;
+}
+
+}  // namespace
+
+ClusterState::ClusterState(const Matrix& data,
+                           const std::vector<std::uint32_t>& labels,
+                           std::size_t k) {
+  counts_.resize(k);
+  Rebuild(data, labels);
+}
+
+void ClusterState::Rebuild(const Matrix& data,
+                           const std::vector<std::uint32_t>& labels) {
+  data_ = &data;
+  dim_ = data.cols();
+  n_ = data.rows();
+  GKM_CHECK(labels.size() == n_);
+  const std::size_t k = counts_.size();
+  d_.assign(k * dim_, 0.0);
+  counts_.assign(k, 0);
+  dnorm_.assign(k, 0.0);
+  sum_point_norms_ = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint32_t r = labels[i];
+    GKM_CHECK_MSG(r < k, "label out of range");
+    const float* x = data.Row(i);
+    double* dr = d_.data() + r * dim_;
+    double norm = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      dr[j] += x[j];
+      norm += static_cast<double>(x[j]) * x[j];
+    }
+    ++counts_[r];
+    sum_point_norms_ += norm;
+  }
+  for (std::size_t r = 0; r < k; ++r) {
+    const double* dr = d_.data() + r * dim_;
+    double s = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) s += dr[j] * dr[j];
+    dnorm_[r] = s;
+  }
+}
+
+double ClusterState::GainArrive(const float* x, float x_norm_sqr,
+                                std::size_t v) const {
+  const std::uint32_t nv = counts_[v];
+  if (nv == 0) {
+    // Arriving at an empty cluster contributes ||x||^2 / 1.
+    return static_cast<double>(x_norm_sqr);
+  }
+  const double dv_dot_x = DotDF(Composite(v), x, dim_);
+  const double grown = dnorm_[v] + 2.0 * dv_dot_x + x_norm_sqr;
+  return grown / (nv + 1.0) - dnorm_[v] / nv;
+}
+
+double ClusterState::GainLeave(const float* x, float x_norm_sqr,
+                               std::size_t u) const {
+  const std::uint32_t nu = counts_[u];
+  GKM_DCHECK(nu >= 2);
+  const double du_dot_x = DotDF(Composite(u), x, dim_);
+  const double shrunk = dnorm_[u] - 2.0 * du_dot_x + x_norm_sqr;
+  return shrunk / (nu - 1.0) - dnorm_[u] / nu;
+}
+
+void ClusterState::Move(const float* x, std::size_t u, std::size_t v) {
+  GKM_DCHECK(u != v);
+  GKM_DCHECK(counts_[u] >= 1);
+  double* du = d_.data() + u * dim_;
+  double* dv = d_.data() + v * dim_;
+  double nu = 0.0, nv = 0.0;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    du[j] -= x[j];
+    dv[j] += x[j];
+    nu += du[j] * du[j];
+    nv += dv[j] * dv[j];
+  }
+  dnorm_[u] = nu;
+  dnorm_[v] = nv;
+  --counts_[u];
+  ++counts_[v];
+}
+
+double ClusterState::ObjectiveI() const {
+  double total = 0.0;
+  for (std::size_t r = 0; r < counts_.size(); ++r) {
+    if (counts_[r] > 0) total += dnorm_[r] / counts_[r];
+  }
+  return total;
+}
+
+double ClusterState::Distortion() const {
+  GKM_CHECK(n_ > 0);
+  return (sum_point_norms_ - ObjectiveI()) / static_cast<double>(n_);
+}
+
+Matrix ClusterState::Centroids() const {
+  Matrix c(counts_.size(), dim_);
+  for (std::size_t r = 0; r < counts_.size(); ++r) {
+    if (counts_[r] == 0) continue;
+    const double inv = 1.0 / counts_[r];
+    const double* dr = Composite(r);
+    float* cr = c.Row(r);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      cr[j] = static_cast<float>(dr[j] * inv);
+    }
+  }
+  return c;
+}
+
+}  // namespace gkm

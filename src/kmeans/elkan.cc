@@ -1,0 +1,167 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/elkan.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+
+ClusteringResult ElkanKMeans(const Matrix& data, const ElkanParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+
+  ClusteringResult res;
+  res.method = "elkan";
+  Rng rng(params.seed);
+
+  Timer total;
+  Matrix centroids = params.use_kmeanspp ? KMeansPlusPlus(data, k, rng)
+                                         : RandomCentroids(data, k, rng);
+  res.init_seconds = total.Seconds();
+
+  // All bounds are kept on *plain* (not squared) distances so the triangle
+  // inequality applies directly.
+  std::vector<float> upper(n, std::numeric_limits<float>::max());
+  std::vector<float> lower(n * k, 0.0f);
+  std::vector<std::uint32_t> labels(n, 0);
+  std::vector<char> upper_stale(n, 1);
+  std::vector<float> cc(k * k, 0.0f);     // center-center distances
+  std::vector<float> half_nearest(k, 0.0f);  // s(c) = 0.5 min_{c'!=c} d(c,c')
+  std::vector<float> shift(k, 0.0f);
+  std::vector<double> sums(k * d, 0.0);
+  std::vector<std::uint32_t> counts(k, 0);
+
+  // Initial full assignment, seeding bounds.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = data.Row(i);
+    float best = std::numeric_limits<float>::max();
+    std::uint32_t arg = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const float dist = std::sqrt(L2Sqr(x, centroids.Row(c), d));
+      lower[i * k + c] = dist;
+      if (dist < best) {
+        best = dist;
+        arg = static_cast<std::uint32_t>(c);
+      }
+    }
+    labels[i] = arg;
+    upper[i] = best;
+    upper_stale[i] = 0;
+  }
+
+  Timer iter_timer;
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    // Step 1: center-center distances and s(c).
+    for (std::size_t a = 0; a < k; ++a) {
+      float nearest = std::numeric_limits<float>::max();
+      for (std::size_t b = 0; b < k; ++b) {
+        if (a == b) continue;
+        const float dist = std::sqrt(L2Sqr(centroids.Row(a), centroids.Row(b), d));
+        cc[a * k + b] = dist;
+        nearest = std::min(nearest, dist);
+      }
+      half_nearest[a] = 0.5f * nearest;
+    }
+
+    std::size_t moves = 0;
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t a = labels[i];
+      // Step 2: skip points whose upper bound already beats every rival.
+      if (upper[i] <= half_nearest[a]) {
+        inertia += static_cast<double>(upper[i]) * upper[i];
+        continue;
+      }
+      const float* x = data.Row(i);
+      bool tightened = false;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (c == a) continue;
+        // Step 3 filters: lower bound and center-center pruning.
+        if (upper[i] <= lower[i * k + c]) continue;
+        if (upper[i] <= 0.5f * cc[a * k + c]) continue;
+        // Step 3a: tighten the upper bound once per point per iteration.
+        if (!tightened) {
+          upper[i] = std::sqrt(L2Sqr(x, centroids.Row(a), d));
+          lower[i * k + a] = upper[i];
+          upper_stale[i] = 0;
+          tightened = true;
+          if (upper[i] <= lower[i * k + c] || upper[i] <= 0.5f * cc[a * k + c]) {
+            continue;
+          }
+        }
+        // Step 3b: exact distance to the rival.
+        const float dist = std::sqrt(L2Sqr(x, centroids.Row(c), d));
+        lower[i * k + c] = dist;
+        if (dist < upper[i]) {
+          a = static_cast<std::uint32_t>(c);
+          upper[i] = dist;
+        }
+      }
+      if (a != labels[i]) {
+        labels[i] = a;
+        ++moves;
+      }
+      inertia += static_cast<double>(upper[i]) * upper[i];
+    }
+
+    // Step 4/7: recompute centroids from scratch (numerically safest).
+    sums.assign(k * d, 0.0);
+    counts.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* x = data.Row(i);
+      double* s = sums.data() + labels[i] * d;
+      for (std::size_t j = 0; j < d; ++j) s[j] += x[j];
+      ++counts[labels[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        shift[c] = 0.0f;  // empty cluster: centroid frozen in place
+        continue;
+      }
+      const double inv = 1.0 / counts[c];
+      float* row = centroids.Row(c);
+      float delta = 0.0f;
+      for (std::size_t j = 0; j < d; ++j) {
+        const auto updated = static_cast<float>(sums[c * d + j] * inv);
+        const float diff = updated - row[j];
+        delta += diff * diff;
+        row[j] = updated;
+      }
+      shift[c] = std::sqrt(delta);
+    }
+
+    // Step 5/6: drift the bounds by the centroid movements.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        lower[i * k + c] = std::max(0.0f, lower[i * k + c] - shift[c]);
+      }
+      upper[i] += shift[labels[i]];
+      upper_stale[i] = 1;
+    }
+
+    res.trace.push_back(IterStat{it, inertia / static_cast<double>(n),
+                                 total.Seconds(), moves});
+    res.iterations = it + 1;
+    if (it > 0 && moves == 0) break;
+  }
+  res.iter_seconds = iter_timer.Seconds();
+  res.total_seconds = total.Seconds();
+
+  ClusterState state(data, labels, k);
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

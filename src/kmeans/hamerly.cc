@@ -1,0 +1,149 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/hamerly.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+namespace {
+
+// Exact distances of x to all centroids; returns the best and second-best.
+void TwoNearest(const Matrix& centroids, const float* x, std::size_t d,
+                std::uint32_t* best, float* best_dist, float* second_dist) {
+  float b1 = std::numeric_limits<float>::max();
+  float b2 = std::numeric_limits<float>::max();
+  std::uint32_t arg = 0;
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const float dist = std::sqrt(L2Sqr(x, centroids.Row(c), d));
+    if (dist < b1) {
+      b2 = b1;
+      b1 = dist;
+      arg = static_cast<std::uint32_t>(c);
+    } else if (dist < b2) {
+      b2 = dist;
+    }
+  }
+  *best = arg;
+  *best_dist = b1;
+  *second_dist = b2;
+}
+
+}  // namespace
+
+ClusteringResult HamerlyKMeans(const Matrix& data, const HamerlyParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+
+  ClusteringResult res;
+  res.method = "hamerly";
+  Rng rng(params.seed);
+
+  Timer total;
+  Matrix centroids = params.use_kmeanspp ? KMeansPlusPlus(data, k, rng)
+                                         : RandomCentroids(data, k, rng);
+  res.init_seconds = total.Seconds();
+
+  std::vector<float> upper(n), lower(n);
+  std::vector<std::uint32_t> labels(n);
+  std::vector<float> half_nearest(k), shift(k);
+  std::vector<double> sums(k * d, 0.0);
+  std::vector<std::uint32_t> counts(k, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    TwoNearest(centroids, data.Row(i), d, &labels[i], &upper[i], &lower[i]);
+  }
+
+  Timer iter_timer;
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    // s(c) = half the distance from c to its nearest other center.
+    for (std::size_t a = 0; a < k; ++a) {
+      float nearest = std::numeric_limits<float>::max();
+      for (std::size_t b = 0; b < k; ++b) {
+        if (a == b) continue;
+        nearest = std::min(
+            nearest, std::sqrt(L2Sqr(centroids.Row(a), centroids.Row(b), d)));
+      }
+      half_nearest[a] = 0.5f * nearest;
+    }
+
+    std::size_t moves = 0;
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float bound = std::max(half_nearest[labels[i]], lower[i]);
+      if (upper[i] > bound) {
+        // First tighten the upper bound, then re-test before a full scan.
+        upper[i] = std::sqrt(L2Sqr(data.Row(i), centroids.Row(labels[i]), d));
+        if (upper[i] > bound) {
+          const std::uint32_t old = labels[i];
+          TwoNearest(centroids, data.Row(i), d, &labels[i], &upper[i],
+                     &lower[i]);
+          if (labels[i] != old) ++moves;
+        }
+      }
+      inertia += static_cast<double>(upper[i]) * upper[i];
+    }
+
+    sums.assign(k * d, 0.0);
+    counts.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* x = data.Row(i);
+      double* s = sums.data() + labels[i] * d;
+      for (std::size_t j = 0; j < d; ++j) s[j] += x[j];
+      ++counts[labels[i]];
+    }
+    float max_shift = 0.0f, second_shift = 0.0f;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        shift[c] = 0.0f;
+        continue;
+      }
+      const double inv = 1.0 / counts[c];
+      float* row = centroids.Row(c);
+      float delta = 0.0f;
+      for (std::size_t j = 0; j < d; ++j) {
+        const auto updated = static_cast<float>(sums[c * d + j] * inv);
+        const float diff = updated - row[j];
+        delta += diff * diff;
+        row[j] = updated;
+      }
+      shift[c] = std::sqrt(delta);
+      if (shift[c] > max_shift) {
+        second_shift = max_shift;
+        max_shift = shift[c];
+      } else if (shift[c] > second_shift) {
+        second_shift = shift[c];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      upper[i] += shift[labels[i]];
+      // The lower bound shrinks by the largest shift of any *other* center.
+      lower[i] -= (shift[labels[i]] == max_shift) ? second_shift : max_shift;
+      if (lower[i] < 0.0f) lower[i] = 0.0f;
+    }
+
+    res.trace.push_back(IterStat{it, inertia / static_cast<double>(n),
+                                 total.Seconds(), moves});
+    res.iterations = it + 1;
+    if (it > 0 && moves == 0) break;
+  }
+  res.iter_seconds = iter_timer.Seconds();
+  res.total_seconds = total.Seconds();
+
+  ClusterState state(data, labels, k);
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

@@ -1,0 +1,30 @@
+// Copyright 2026 The gkmeans Authors.
+// Hamerly's accelerated k-means (SDM 2010): like Elkan exact-equivalent to
+// Lloyd, but with a single lower bound per point — O(n) extra memory
+// instead of O(n k) — trading some pruning power for scalability in k.
+// Included as the second member of the "triangle-inequality family" the
+// paper contrasts GK-means against.
+
+#ifndef GKM_KMEANS_HAMERLY_H_
+#define GKM_KMEANS_HAMERLY_H_
+
+#include <cstdint>
+
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for HamerlyKMeans.
+struct HamerlyParams {
+  std::size_t k = 8;
+  std::size_t max_iters = 30;
+  bool use_kmeanspp = false;
+  std::uint64_t seed = 42;
+};
+
+/// Runs Hamerly's exact accelerated k-means.
+ClusteringResult HamerlyKMeans(const Matrix& data, const HamerlyParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_HAMERLY_H_

@@ -1,0 +1,170 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/init.h"
+
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+
+namespace gkm {
+
+Matrix RandomCentroids(const Matrix& data, std::size_t k, Rng& rng) {
+  GKM_CHECK(k > 0 && k <= data.rows());
+  const std::vector<std::uint32_t> picks = rng.SampleDistinct(data.rows(), k);
+  Matrix c(k, data.cols());
+  for (std::size_t r = 0; r < k; ++r) c.SetRow(r, data.Row(picks[r]));
+  return c;
+}
+
+std::vector<std::uint32_t> BalancedRandomLabels(std::size_t n, std::size_t k,
+                                                Rng& rng) {
+  GKM_CHECK(k > 0 && k <= n);
+  std::vector<std::uint32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::uint32_t>(i % k);
+  }
+  rng.Shuffle(labels);
+  return labels;
+}
+
+Matrix KMeansPlusPlus(const Matrix& data, std::size_t k, Rng& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  GKM_CHECK(k > 0 && k <= n);
+  Matrix c(k, d);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+
+  std::size_t first = rng.Index(n);
+  c.SetRow(0, data.Row(first));
+  for (std::size_t picked = 1; picked < k; ++picked) {
+    const float* last = c.Row(picked - 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dist = L2Sqr(data.Row(i), last, d);
+      if (dist < min_dist[i]) min_dist[i] = dist;
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      // Degenerate data (all remaining points coincide with a centroid):
+      // fall back to uniform sampling.
+      c.SetRow(picked, data.Row(rng.Index(n)));
+      continue;
+    }
+    double target = rng.UniformDouble() * total;
+    std::size_t choice = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= min_dist[i];
+      if (target <= 0.0) {
+        choice = i;
+        break;
+      }
+    }
+    c.SetRow(picked, data.Row(choice));
+  }
+  return c;
+}
+
+Matrix KMeansParallel(const Matrix& data, std::size_t k, std::size_t rounds,
+                      double oversample, Rng& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  GKM_CHECK(k > 0 && k <= n);
+  GKM_CHECK(oversample > 0.0);
+
+  // Phase 1: oversampling. Start from one uniform seed; each round adds
+  // every point independently with probability min(1, l * D^2 / cost).
+  std::vector<std::uint32_t> sketch;
+  sketch.push_back(static_cast<std::uint32_t>(rng.Index(n)));
+  std::vector<double> min_dist(n);
+  double cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    min_dist[i] = L2Sqr(data.Row(i), data.Row(sketch[0]), d);
+    cost += min_dist[i];
+  }
+  for (std::size_t r = 0; r < rounds && cost > 0.0; ++r) {
+    std::vector<std::uint32_t> fresh;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = oversample * static_cast<double>(k) * min_dist[i] / cost;
+      if (rng.UniformDouble() < p) fresh.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (const std::uint32_t f : fresh) {
+      sketch.push_back(f);
+      // Refresh distances against the newly added center only.
+      const float* cf = data.Row(f);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dist = L2Sqr(data.Row(i), cf, d);
+        if (dist < min_dist[i]) min_dist[i] = dist;
+      }
+    }
+    cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i) cost += min_dist[i];
+  }
+  // Ensure at least k candidates.
+  while (sketch.size() < k) {
+    sketch.push_back(static_cast<std::uint32_t>(rng.Index(n)));
+  }
+
+  // Phase 2: weight each candidate by the number of points closest to it,
+  // then run weighted k-means++ over the (small) candidate set.
+  Matrix cand(sketch.size(), d);
+  for (std::size_t s = 0; s < sketch.size(); ++s) {
+    cand.SetRow(s, data.Row(sketch[s]));
+  }
+  std::vector<double> weight(sketch.size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[NearestRow(cand, data.Row(i))] += 1.0;
+  }
+
+  Matrix out(k, d);
+  std::vector<double> cand_dist(sketch.size(),
+                                std::numeric_limits<double>::max());
+  // Weighted D^2 sampling over candidates.
+  double wtotal = 0.0;
+  for (const double w : weight) wtotal += w;
+  double target = rng.UniformDouble() * wtotal;
+  std::size_t first = 0;
+  for (std::size_t s = 0; s < sketch.size(); ++s) {
+    target -= weight[s];
+    if (target <= 0.0) {
+      first = s;
+      break;
+    }
+  }
+  out.SetRow(0, cand.Row(first));
+  for (std::size_t picked = 1; picked < k; ++picked) {
+    const float* last = out.Row(picked - 1);
+    double total = 0.0;
+    for (std::size_t s = 0; s < sketch.size(); ++s) {
+      const double dist = L2Sqr(cand.Row(s), last, d);
+      if (dist < cand_dist[s]) cand_dist[s] = dist;
+      total += weight[s] * cand_dist[s];
+    }
+    if (total <= 0.0) {
+      out.SetRow(picked, cand.Row(rng.Index(sketch.size())));
+      continue;
+    }
+    double t2 = rng.UniformDouble() * total;
+    std::size_t choice = sketch.size() - 1;
+    for (std::size_t s = 0; s < sketch.size(); ++s) {
+      t2 -= weight[s] * cand_dist[s];
+      if (t2 <= 0.0) {
+        choice = s;
+        break;
+      }
+    }
+    out.SetRow(picked, cand.Row(choice));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> AssignAll(const Matrix& data,
+                                     const Matrix& centroids) {
+  std::vector<std::uint32_t> labels(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    labels[i] = static_cast<std::uint32_t>(NearestRow(centroids, data.Row(i)));
+  }
+  return labels;
+}
+
+}  // namespace gkm

@@ -1,0 +1,40 @@
+// Copyright 2026 The gkmeans Authors.
+// Seeding strategies for the k-means family: random centroid sampling,
+// balanced random partitions (BKM's native init) and k-means++ [14].
+
+#ifndef GKM_KMEANS_INIT_H_
+#define GKM_KMEANS_INIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace gkm {
+
+/// k distinct data rows drawn uniformly at random, copied as centroids.
+Matrix RandomCentroids(const Matrix& data, std::size_t k, Rng& rng);
+
+/// A random label vector where every cluster receives either
+/// floor(n/k) or ceil(n/k) points — the balanced partition BKM starts from.
+std::vector<std::uint32_t> BalancedRandomLabels(std::size_t n, std::size_t k,
+                                                Rng& rng);
+
+/// k-means++ seeding: iterative D^2-weighted sampling. O(n k d).
+Matrix KMeansPlusPlus(const Matrix& data, std::size_t k, Rng& rng);
+
+/// Scalable k-means++ (k-means||, Bahmani et al. [21]): `rounds` passes
+/// each sampling points with probability proportional to l * D^2/cost,
+/// then reducing the oversampled set to k centers by weighted k-means++.
+/// Far fewer passes over the data than k-means++ (rounds ~ 5 vs k).
+Matrix KMeansParallel(const Matrix& data, std::size_t k, std::size_t rounds,
+                      double oversample, Rng& rng);
+
+/// Assigns every row of `data` to its nearest row of `centroids`.
+std::vector<std::uint32_t> AssignAll(const Matrix& data,
+                                     const Matrix& centroids);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_INIT_H_

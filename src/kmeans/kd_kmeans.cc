@@ -1,0 +1,86 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/kd_kmeans.h"
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/kd_tree.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+
+ClusteringResult KdKMeans(const Matrix& data, const KdKMeansParams& params,
+                          KdKMeansStats* stats) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+
+  ClusteringResult res;
+  res.method = "kd-kmeans";
+  Rng rng(params.seed);
+
+  Timer total;
+  Matrix centroids = RandomCentroids(data, k, rng);
+  res.init_seconds = total.Seconds();
+
+  std::vector<std::uint32_t> labels(n, 0);
+  std::vector<std::uint32_t> counts(k, 0);
+  std::vector<double> sums(k * d, 0.0);
+
+  Timer iter_timer;
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    // Assignment through a fresh centroid tree.
+    const KdTree tree(centroids, params.leaf_size);
+    std::size_t moves = 0;
+    std::size_t compared = 0;
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      float dist = 0.0f;
+      const std::uint32_t best = tree.Nearest(data.Row(i), &dist, &compared);
+      if (it == 0 || best != labels[i]) {
+        ++moves;
+        labels[i] = best;
+      }
+      inertia += dist;
+    }
+    if (stats != nullptr) {
+      stats->avg_centroids_compared.push_back(
+          static_cast<double>(compared) / static_cast<double>(n));
+    }
+
+    // Standard Lloyd update (empty clusters keep their centroid).
+    sums.assign(k * d, 0.0);
+    counts.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* x = data.Row(i);
+      double* s = sums.data() + labels[i] * d;
+      for (std::size_t j = 0; j < d; ++j) s[j] += x[j];
+      ++counts[labels[i]];
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      if (counts[r] == 0) continue;
+      const double inv = 1.0 / counts[r];
+      float* c = centroids.Row(r);
+      const double* s = sums.data() + r * d;
+      for (std::size_t j = 0; j < d; ++j) c[j] = static_cast<float>(s[j] * inv);
+    }
+
+    res.trace.push_back(IterStat{it, inertia / static_cast<double>(n),
+                                 total.Seconds(), moves});
+    res.iterations = it + 1;
+    if (it > 0 && moves == 0) break;
+  }
+  res.iter_seconds = iter_timer.Seconds();
+  res.total_seconds = total.Seconds();
+
+  ClusterState state(data, labels, k);
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

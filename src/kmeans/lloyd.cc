@@ -1,0 +1,116 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/lloyd.h"
+
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+namespace {
+
+// Re-seeds every empty cluster with the point that is currently farthest
+// from its assigned centroid, stealing it from its (necessarily non-
+// singleton) donor cluster.
+void FixEmptyClusters(const Matrix& data, std::vector<std::uint32_t>& labels,
+                      std::vector<std::uint32_t>& counts,
+                      const std::vector<float>& dist_to_assigned) {
+  const std::size_t k = counts.size();
+  for (std::size_t r = 0; r < k; ++r) {
+    if (counts[r] != 0) continue;
+    std::size_t worst = 0;
+    float worst_dist = -1.0f;
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      if (counts[labels[i]] > 1 && dist_to_assigned[i] > worst_dist) {
+        worst_dist = dist_to_assigned[i];
+        worst = i;
+      }
+    }
+    --counts[labels[worst]];
+    labels[worst] = static_cast<std::uint32_t>(r);
+    ++counts[r];
+  }
+}
+
+}  // namespace
+
+ClusteringResult LloydKMeans(const Matrix& data, const LloydParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+
+  ClusteringResult res;
+  res.method = params.use_kmeanspp ? "kmeans++" : "kmeans";
+  Rng rng(params.seed);
+
+  Timer total;
+  Matrix centroids = params.use_kmeanspp ? KMeansPlusPlus(data, k, rng)
+                                         : RandomCentroids(data, k, rng);
+  res.init_seconds = total.Seconds();
+
+  std::vector<std::uint32_t> labels(n, 0);
+  std::vector<std::uint32_t> counts(k, 0);
+  std::vector<float> dist_to_assigned(n, 0.0f);
+  std::vector<double> sums(k * d, 0.0);
+
+  Timer iter_timer;
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    // Assignment step.
+    std::size_t moves = 0;
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      float best_dist = 0.0f;
+      const auto best =
+          static_cast<std::uint32_t>(NearestRow(centroids, data.Row(i), &best_dist));
+      if (it == 0 || best != labels[i]) {
+        ++moves;
+        labels[i] = best;
+      }
+      dist_to_assigned[i] = best_dist;
+      inertia += best_dist;
+    }
+    counts.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) ++counts[labels[i]];
+    FixEmptyClusters(data, labels, counts, dist_to_assigned);
+
+    // Update step.
+    sums.assign(k * d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* x = data.Row(i);
+      double* s = sums.data() + labels[i] * d;
+      for (std::size_t j = 0; j < d; ++j) s[j] += x[j];
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      if (counts[r] == 0) continue;
+      const double inv = 1.0 / counts[r];
+      float* c = centroids.Row(r);
+      const double* s = sums.data() + r * d;
+      for (std::size_t j = 0; j < d; ++j) c[j] = static_cast<float>(s[j] * inv);
+    }
+
+    res.trace.push_back(IterStat{it, inertia / static_cast<double>(n),
+                                 total.Seconds(), moves});
+    res.iterations = it + 1;
+    const bool converged =
+        (it > 0 && moves == 0) ||
+        (params.tol_moves > 0.0 &&
+         static_cast<double>(moves) <= params.tol_moves * static_cast<double>(n));
+    if (converged) break;
+  }
+  res.iter_seconds = iter_timer.Seconds();
+  res.total_seconds = total.Seconds();
+
+  ClusterState state(data, labels, k);
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.assignments = std::move(labels);
+  return res;
+}
+
+}  // namespace gkm

@@ -1,0 +1,29 @@
+// Copyright 2026 The gkmeans Authors.
+// Traditional k-means (Lloyd's algorithm, [5][6]) — the reference baseline
+// in every experiment of the paper. O(n k d) per iteration.
+
+#ifndef GKM_KMEANS_LLOYD_H_
+#define GKM_KMEANS_LLOYD_H_
+
+#include <cstdint>
+
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for LloydKMeans.
+struct LloydParams {
+  std::size_t k = 8;
+  std::size_t max_iters = 30;   ///< paper fixes 30 iterations in §5.4
+  bool use_kmeanspp = false;    ///< k-means++ instead of random seeding
+  double tol_moves = 0.0;       ///< stop when moved fraction <= tol_moves
+  std::uint64_t seed = 42;
+};
+
+/// Runs Lloyd's algorithm on `data`. Empty clusters are re-seeded with the
+/// point currently farthest from its assigned centroid.
+ClusteringResult LloydKMeans(const Matrix& data, const LloydParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_LLOYD_H_

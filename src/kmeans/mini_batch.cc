@@ -1,0 +1,73 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/mini_batch.h"
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+
+ClusteringResult MiniBatchKMeans(const Matrix& data,
+                                 const MiniBatchParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+  const std::size_t batch = std::min(params.batch_size, n);
+
+  ClusteringResult res;
+  res.method = "mini-batch";
+  Rng rng(params.seed);
+
+  Timer total;
+  Matrix centroids = RandomCentroids(data, k, rng);
+  std::vector<double> counts(k, 0.0);  // per-center streaming counts
+  res.init_seconds = total.Seconds();
+
+  Timer iter_timer;
+  std::vector<std::uint32_t> batch_ids(batch);
+  std::vector<std::uint32_t> batch_label(batch);
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      batch_ids[b] = static_cast<std::uint32_t>(rng.Index(n));
+    }
+    // Assign the cached batch, then take per-center gradient steps.
+    for (std::size_t b = 0; b < batch; ++b) {
+      batch_label[b] = static_cast<std::uint32_t>(
+          NearestRow(centroids, data.Row(batch_ids[b])));
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::uint32_t c = batch_label[b];
+      counts[c] += 1.0;
+      const float eta = static_cast<float>(1.0 / counts[c]);
+      float* cc = centroids.Row(c);
+      const float* x = data.Row(batch_ids[b]);
+      for (std::size_t j = 0; j < d; ++j) {
+        cc[j] += eta * (x[j] - cc[j]);
+      }
+    }
+
+    double distortion = -1.0;
+    if (params.eval_every > 0 && (it + 1) % params.eval_every == 0) {
+      distortion = Inertia(data, centroids, AssignAll(data, centroids));
+    }
+    res.trace.push_back(IterStat{it, distortion, total.Seconds(), batch});
+    res.iterations = it + 1;
+  }
+  res.iter_seconds = iter_timer.Seconds();
+
+  // Final full assignment for a comparable E (Eqn. 4).
+  res.assignments = AssignAll(data, centroids);
+  res.total_seconds = total.Seconds();
+  ClusterState state(data, res.assignments, k);
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  return res;
+}
+
+}  // namespace gkm

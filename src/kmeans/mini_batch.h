@@ -1,0 +1,33 @@
+// Copyright 2026 The gkmeans Authors.
+// Mini-Batch k-means (Sculley, WWW 2010 [20]): per step, a random batch is
+// assigned to the nearest centroids, which then take a per-center
+// learning-rate gradient step. The paper's "fast but high-distortion"
+// baseline (Fig. 5–7): it may finish without ever touching some points.
+
+#ifndef GKM_KMEANS_MINI_BATCH_H_
+#define GKM_KMEANS_MINI_BATCH_H_
+
+#include <cstdint>
+
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for MiniBatchKMeans.
+struct MiniBatchParams {
+  std::size_t k = 8;
+  std::size_t batch_size = 1000;
+  std::size_t max_iters = 30;        ///< number of batch steps
+  std::size_t eval_every = 0;        ///< trace cadence; 0 = only at the end
+  std::uint64_t seed = 42;
+};
+
+/// Runs Mini-Batch k-means. The trace's distortion entries are only
+/// populated on the `eval_every` cadence (full-data evaluation costs
+/// O(n k d), dwarfing a batch step); other entries carry distortion = -1.
+ClusteringResult MiniBatchKMeans(const Matrix& data,
+                                 const MiniBatchParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_MINI_BATCH_H_

@@ -1,0 +1,244 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "kmeans/two_means_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "common/timer.h"
+#include "kmeans/cluster_state.h"
+
+namespace gkm {
+namespace {
+
+// Incremental 2-means state over a subset of rows: composite vectors and
+// counts for the two sides, mirroring ClusterState but specialized (and
+// allocation-light) for the innermost loop of the tree.
+//
+// Unlike ClusterState, the composites here are kept in *float*: bisection
+// is a throwaway heuristic (the equal-size adjustment re-ranks all points
+// afterwards), the per-subset member counts are modest, and pure-float
+// arithmetic auto-vectorizes at full width — this inner loop dominates
+// graph construction at high dimensionality.
+struct BisectState {
+  std::vector<float> d0, d1;
+  double n0 = 0.0, n1 = 0.0;
+  double norm0 = 0.0, norm1 = 0.0;
+
+  void Build(const Matrix& data, const std::vector<std::uint32_t>& members,
+             const std::vector<std::uint8_t>& side) {
+    const std::size_t dim = data.cols();
+    d0.assign(dim, 0.0f);
+    d1.assign(dim, 0.0f);
+    n0 = n1 = 0.0;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const float* GKM_RESTRICT x = data.Row(members[m]);
+      float* GKM_RESTRICT dst = side[m] == 0 ? d0.data() : d1.data();
+      for (std::size_t j = 0; j < dim; ++j) dst[j] += x[j];
+      (side[m] == 0 ? n0 : n1) += 1.0;
+    }
+    norm0 = NormSqr(d0.data(), dim);
+    norm1 = NormSqr(d1.data(), dim);
+  }
+
+  // Delta-I (Eqn. 3) for moving `x` to the other side; `from0` says which
+  // side it currently occupies.
+  double MoveGain(const float* GKM_RESTRICT x, float xn, bool from0,
+                  std::size_t dim) const {
+    const float* GKM_RESTRICT src = (from0 ? d0 : d1).data();
+    const float* GKM_RESTRICT dst = (from0 ? d1 : d0).data();
+    const double ns = from0 ? n0 : n1;
+    const double nd = from0 ? n1 : n0;
+    const double norm_s = from0 ? norm0 : norm1;
+    const double norm_d = from0 ? norm1 : norm0;
+    float dot_s0 = 0.0f, dot_s1 = 0.0f, dot_d0 = 0.0f, dot_d1 = 0.0f;
+    std::size_t j = 0;
+    for (; j + 2 <= dim; j += 2) {
+      dot_s0 += src[j] * x[j];
+      dot_s1 += src[j + 1] * x[j + 1];
+      dot_d0 += dst[j] * x[j];
+      dot_d1 += dst[j + 1] * x[j + 1];
+    }
+    if (j < dim) {
+      dot_s0 += src[j] * x[j];
+      dot_d0 += dst[j] * x[j];
+    }
+    const double dot_s = static_cast<double>(dot_s0) + dot_s1;
+    const double dot_d = static_cast<double>(dot_d0) + dot_d1;
+    const double grown = norm_d + 2.0 * dot_d + xn;
+    const double shrunk = norm_s - 2.0 * dot_s + xn;
+    return grown / (nd + 1.0) + shrunk / (ns - 1.0) - norm_d / nd -
+           norm_s / ns;
+  }
+
+  void Move(const float* GKM_RESTRICT x, bool from0, std::size_t dim) {
+    float* GKM_RESTRICT src = (from0 ? d0 : d1).data();
+    float* GKM_RESTRICT dst = (from0 ? d1 : d0).data();
+    float ns0 = 0.0f, ns1 = 0.0f, nd0 = 0.0f, nd1 = 0.0f;
+    std::size_t j = 0;
+    for (; j + 2 <= dim; j += 2) {
+      src[j] -= x[j];
+      src[j + 1] -= x[j + 1];
+      dst[j] += x[j];
+      dst[j + 1] += x[j + 1];
+      ns0 += src[j] * src[j];
+      ns1 += src[j + 1] * src[j + 1];
+      nd0 += dst[j] * dst[j];
+      nd1 += dst[j + 1] * dst[j + 1];
+    }
+    if (j < dim) {
+      src[j] -= x[j];
+      dst[j] += x[j];
+      ns0 += src[j] * src[j];
+      nd0 += dst[j] * dst[j];
+    }
+    (from0 ? norm0 : norm1) = static_cast<double>(ns0) + ns1;
+    (from0 ? norm1 : norm0) = static_cast<double>(nd0) + nd1;
+    (from0 ? n0 : n1) -= 1.0;
+    (from0 ? n1 : n0) += 1.0;
+  }
+};
+
+// Bisects `members` into two near-equal halves with boost-2-means followed
+// by the equal-size adjustment of Alg. 1 step 9. Returns the side of each
+// member (0/1).
+std::vector<std::uint8_t> BisectEqual(const Matrix& data,
+                                      const std::vector<std::uint32_t>& members,
+                                      std::size_t epochs, Rng& rng) {
+  const std::size_t s = members.size();
+  const std::size_t dim = data.cols();
+  GKM_CHECK(s >= 2);
+
+  // Balanced random initial split.
+  std::vector<std::uint8_t> side(s);
+  std::vector<std::uint32_t> perm(s);
+  for (std::size_t m = 0; m < s; ++m) perm[m] = static_cast<std::uint32_t>(m);
+  rng.Shuffle(perm);
+  for (std::size_t m = 0; m < s; ++m) side[perm[m]] = m < s / 2 ? 0 : 1;
+
+  BisectState st;
+  st.Build(data, members, side);
+
+  std::vector<float> norms(s);
+  for (std::size_t m = 0; m < s; ++m) {
+    norms[m] = NormSqr(data.Row(members[m]), dim);
+  }
+
+  // Boost-2-means epochs (incremental, immediate moves).
+  for (std::size_t e = 0; e < epochs; ++e) {
+    rng.Shuffle(perm);
+    std::size_t moves = 0;
+    for (const std::uint32_t m : perm) {
+      const bool from0 = side[m] == 0;
+      if ((from0 ? st.n0 : st.n1) < 2.0) continue;
+      const float* x = data.Row(members[m]);
+      if (st.MoveGain(x, norms[m], from0, dim) > 0.0) {
+        st.Move(x, from0, dim);
+        side[m] = from0 ? 1 : 0;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+
+  // Equal-size adjustment: rank members by affinity difference between the
+  // two centroids and split at the median.
+  std::vector<float> c0(dim), c1(dim);
+  const double inv0 = st.n0 > 0.0 ? 1.0 / st.n0 : 0.0;
+  const double inv1 = st.n1 > 0.0 ? 1.0 / st.n1 : 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    c0[j] = static_cast<float>(st.d0[j] * inv0);
+    c1[j] = static_cast<float>(st.d1[j] * inv1);
+  }
+  std::vector<std::pair<float, std::uint32_t>> margin(s);
+  for (std::size_t m = 0; m < s; ++m) {
+    const float* x = data.Row(members[m]);
+    margin[m] = {L2Sqr(x, c0.data(), dim) - L2Sqr(x, c1.data(), dim),
+                 static_cast<std::uint32_t>(m)};
+  }
+  std::sort(margin.begin(), margin.end());
+  const std::size_t half = (s + 1) / 2;
+  for (std::size_t rank = 0; rank < s; ++rank) {
+    side[margin[rank].second] = rank < half ? 0 : 1;
+  }
+  return side;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> TwoMeansTree(const Matrix& data,
+                                        const TwoMeansParams& params,
+                                        Rng& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t k = params.k;
+  GKM_CHECK(k > 0 && k <= n);
+
+  std::vector<std::vector<std::uint32_t>> clusters;
+  clusters.reserve(2 * k);
+  clusters.emplace_back(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clusters[0][i] = static_cast<std::uint32_t>(i);
+  }
+
+  // Max-heap on (size, cluster slot): always split the largest cluster.
+  using Entry = std::pair<std::size_t, std::size_t>;
+  std::priority_queue<Entry> heap;
+  heap.emplace(n, 0);
+
+  while (clusters.size() < k) {
+    const auto [size, slot] = heap.top();
+    heap.pop();
+    GKM_CHECK_MSG(size >= 2, "cannot split a singleton; is k <= n?");
+    std::vector<std::uint32_t> members = std::move(clusters[slot]);
+    const std::vector<std::uint8_t> side =
+        BisectEqual(data, members, params.bisect_epochs, rng);
+
+    std::vector<std::uint32_t> left, right;
+    left.reserve(members.size() / 2 + 1);
+    right.reserve(members.size() / 2 + 1);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      (side[m] == 0 ? left : right).push_back(members[m]);
+    }
+    GKM_CHECK(!left.empty() && !right.empty());
+
+    clusters[slot] = std::move(left);
+    heap.emplace(clusters[slot].size(), slot);
+    clusters.push_back(std::move(right));
+    heap.emplace(clusters.back().size(), clusters.size() - 1);
+  }
+
+  std::vector<std::uint32_t> labels(n);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (const std::uint32_t i : clusters[c]) {
+      labels[i] = static_cast<std::uint32_t>(c);
+    }
+  }
+  return labels;
+}
+
+std::vector<std::uint32_t> TwoMeansTree(const Matrix& data,
+                                        const TwoMeansParams& params) {
+  Rng rng(params.seed);
+  return TwoMeansTree(data, params, rng);
+}
+
+ClusteringResult TwoMeansTreeClustering(const Matrix& data,
+                                        const TwoMeansParams& params) {
+  ClusteringResult res;
+  res.method = "2m-tree";
+  Timer total;
+  res.assignments = TwoMeansTree(data, params);
+  res.init_seconds = total.Seconds();
+  res.iter_seconds = 0.0;
+  res.total_seconds = res.init_seconds;
+  res.iterations = 1;
+  ClusterState state(data, res.assignments, params.k);
+  res.distortion = state.Distortion();
+  res.centroids = state.Centroids();
+  res.trace.push_back(IterStat{0, res.distortion, res.total_seconds, 0});
+  return res;
+}
+
+}  // namespace gkm

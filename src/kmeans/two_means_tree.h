@@ -1,0 +1,45 @@
+// Copyright 2026 The gkmeans Authors.
+// Two-means (2M) tree (Alg. 1, [31]): hierarchical bisecting that always
+// splits the largest cluster with a boost-2-means and then rebalances the
+// two halves to equal size. O(d n log k) — cheaper than a single Lloyd
+// iteration once k is non-trivial — which is why GK-means uses it as its
+// initializer (§3.2) and why Alg. 3 can afford to call it every round.
+
+#ifndef GKM_KMEANS_TWO_MEANS_TREE_H_
+#define GKM_KMEANS_TWO_MEANS_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "kmeans/types.h"
+
+namespace gkm {
+
+/// Options for the 2M tree.
+struct TwoMeansParams {
+  std::size_t k = 8;
+  std::size_t bisect_epochs = 6;  ///< BKM-2 epochs per bisection
+  std::uint64_t seed = 42;
+};
+
+/// Partitions `data` into exactly `k` clusters of near-equal size
+/// (|S_a| - |S_b| <= 1 after every bisection). Returns the label vector.
+std::vector<std::uint32_t> TwoMeansTree(const Matrix& data,
+                                        const TwoMeansParams& params);
+
+/// Convenience overload drawing randomness from an external Rng so callers
+/// embedding the tree in a larger loop (Alg. 3) stay deterministic.
+std::vector<std::uint32_t> TwoMeansTree(const Matrix& data,
+                                        const TwoMeansParams& params,
+                                        Rng& rng);
+
+/// Full ClusteringResult wrapper (distortion/centroids/timings) for use as
+/// a standalone method in benches.
+ClusteringResult TwoMeansTreeClustering(const Matrix& data,
+                                        const TwoMeansParams& params);
+
+}  // namespace gkm
+
+#endif  // GKM_KMEANS_TWO_MEANS_TREE_H_

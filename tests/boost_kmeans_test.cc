@@ -1,0 +1,115 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for boost k-means: monotone objective, convergence, quality edge
+// over Lloyd (the §3.1 claim), and non-empty-cluster invariant.
+
+#include "kmeans/boost_kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/lloyd.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 400, std::uint64_t seed = 40) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 10;
+  spec.modes = 10;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(BoostKMeansTest, BasicContract) {
+  const SyntheticData data = SmallData();
+  BkmParams p;
+  p.k = 10;
+  const ClusteringResult res = BoostKMeans(data.vectors, p);
+  EXPECT_EQ(res.assignments.size(), 400u);
+  EXPECT_EQ(res.centroids.rows(), 10u);
+  EXPECT_EQ(res.method, "bkm");
+  for (const auto a : res.assignments) EXPECT_LT(a, 10u);
+}
+
+// BKM only applies moves with Delta-I > 0, so distortion must be strictly
+// non-increasing across epochs (up to fp noise).
+TEST(BoostKMeansTest, DistortionMonotoneNonIncreasing) {
+  const SyntheticData data = SmallData();
+  BkmParams p;
+  p.k = 12;
+  p.max_iters = 20;
+  const ClusteringResult res = BoostKMeans(data.vectors, p);
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_LE(res.trace[i].distortion,
+              res.trace[i - 1].distortion + 1e-9)
+        << "epoch " << i;
+  }
+}
+
+TEST(BoostKMeansTest, ConvergesToZeroMoves) {
+  const SyntheticData data = SmallData(200, 41);
+  BkmParams p;
+  p.k = 5;
+  p.max_iters = 100;
+  const ClusteringResult res = BoostKMeans(data.vectors, p);
+  EXPECT_EQ(res.trace.back().moves, 0u);
+  EXPECT_LT(res.iterations, 100u);  // converged before the cap
+}
+
+TEST(BoostKMeansTest, NeverEmptiesClusters) {
+  const SyntheticData data = SmallData(120, 42);
+  BkmParams p;
+  p.k = 40;
+  p.max_iters = 30;
+  const ClusteringResult res = BoostKMeans(data.vectors, p);
+  const ClusterSizeStats sizes = SummarizeClusterSizes(res.assignments, 40);
+  EXPECT_EQ(sizes.empty, 0u);
+  EXPECT_GE(sizes.min, 1u);
+}
+
+// The paper adopts BKM because it reaches lower distortion than Lloyd
+// (§3.1). Compare over a few seeds to avoid flakiness.
+TEST(BoostKMeansTest, BeatsLloydOnAverage) {
+  const SyntheticData data = SmallData(600, 43);
+  double bkm_total = 0.0, lloyd_total = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    BkmParams bp;
+    bp.k = 15;
+    bp.max_iters = 30;
+    bp.seed = s;
+    bkm_total += BoostKMeans(data.vectors, bp).distortion;
+    LloydParams lp;
+    lp.k = 15;
+    lp.max_iters = 30;
+    lp.seed = s;
+    lloyd_total += LloydKMeans(data.vectors, lp).distortion;
+  }
+  EXPECT_LT(bkm_total, lloyd_total * 1.02);
+}
+
+TEST(BoostKMeansTest, HonorsInitLabels) {
+  const SyntheticData data = SmallData(90, 44);
+  BkmParams p;
+  p.k = 3;
+  p.max_iters = 0;  // no optimization: labels pass through
+  p.init_labels.assign(90, 0);
+  for (std::size_t i = 30; i < 60; ++i) p.init_labels[i] = 1;
+  for (std::size_t i = 60; i < 90; ++i) p.init_labels[i] = 2;
+  const ClusteringResult res = BoostKMeans(data.vectors, p);
+  EXPECT_EQ(res.assignments, p.init_labels);
+}
+
+TEST(BoostKMeansTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(150, 45);
+  BkmParams p;
+  p.k = 6;
+  p.seed = 7;
+  const ClusteringResult a = BoostKMeans(data.vectors, p);
+  const ClusteringResult b = BoostKMeans(data.vectors, p);
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+}  // namespace
+}  // namespace gkm

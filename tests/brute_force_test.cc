@@ -1,0 +1,85 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the exact (ground-truth) KNN machinery.
+
+#include "graph/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "dataset/synthetic.h"
+
+namespace gkm {
+namespace {
+
+// On a tiny hand-made instance the exact graph is verifiable by eye.
+TEST(BruteForceTest, LineOfPoints) {
+  Matrix m(4, 1);
+  m.At(0, 0) = 0.0f;
+  m.At(1, 0) = 1.0f;
+  m.At(2, 0) = 2.5f;
+  m.At(3, 0) = 10.0f;
+  const KnnGraph g = BruteForceGraph(m, 2, 1);
+  EXPECT_EQ(g.SortedNeighbors(0)[0].id, 1u);
+  EXPECT_EQ(g.SortedNeighbors(1)[0].id, 0u);
+  EXPECT_EQ(g.SortedNeighbors(2)[0].id, 1u);
+  EXPECT_EQ(g.SortedNeighbors(3)[0].id, 2u);
+}
+
+TEST(BruteForceTest, GraphHasNoSelfLoopsAndFullLists) {
+  const SyntheticData data = MakeGaussianMixture({.n = 50, .dim = 4, .modes = 3});
+  const KnnGraph g = BruteForceGraph(data.vectors, 6);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto nbs = g.SortedNeighbors(i);
+    EXPECT_EQ(nbs.size(), 6u);
+    for (const Neighbor& nb : nbs) EXPECT_NE(nb.id, i);
+  }
+}
+
+TEST(BruteForceTest, ThreadCountDoesNotChangeResult) {
+  const SyntheticData data = MakeGaussianMixture({.n = 80, .dim = 8, .modes = 5});
+  const KnnGraph g1 = BruteForceGraph(data.vectors, 4, 1);
+  const KnnGraph g4 = BruteForceGraph(data.vectors, 4, 4);
+  for (std::size_t i = 0; i < 80; ++i) {
+    EXPECT_EQ(g1.SortedNeighbors(i), g4.SortedNeighbors(i));
+  }
+}
+
+TEST(BruteForceTest, SearchReturnsSortedTrueNeighbors) {
+  const SyntheticData base = MakeGaussianMixture({.n = 100, .dim = 8, .modes = 5});
+  const SyntheticData queries =
+      MakeGaussianMixture({.n = 10, .dim = 8, .modes = 5, .seed = 77});
+  const auto results = BruteForceSearch(base.vectors, queries.vectors, 5);
+  ASSERT_EQ(results.size(), 10u);
+  for (std::size_t q = 0; q < 10; ++q) {
+    ASSERT_EQ(results[q].size(), 5u);
+    for (std::size_t r = 1; r < 5; ++r) {
+      EXPECT_LE(results[q][r - 1].dist, results[q][r].dist);
+    }
+    // Verify the top-1 by direct scan.
+    float best = 1e30f;
+    std::uint32_t arg = 0;
+    for (std::size_t j = 0; j < 100; ++j) {
+      const float dist =
+          L2Sqr(queries.vectors.Row(q), base.vectors.Row(j), 8);
+      if (dist < best) {
+        best = dist;
+        arg = static_cast<std::uint32_t>(j);
+      }
+    }
+    EXPECT_EQ(results[q][0].id, arg);
+  }
+}
+
+TEST(BruteForceTest, ExactNearestForSubsetMatchesFullGraph) {
+  const SyntheticData data = MakeGaussianMixture({.n = 70, .dim = 6, .modes = 4});
+  const KnnGraph g = BruteForceGraph(data.vectors, 1);
+  const std::vector<std::uint32_t> subset = {0, 13, 42, 69};
+  const auto nn = ExactNearestForSubset(data.vectors, subset);
+  ASSERT_EQ(nn.size(), subset.size());
+  for (std::size_t s = 0; s < subset.size(); ++s) {
+    EXPECT_EQ(nn[s], g.SortedNeighbors(subset[s])[0].id);
+  }
+}
+
+}  // namespace
+}  // namespace gkm

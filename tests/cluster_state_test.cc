@@ -1,0 +1,140 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the BKM composite-vector bookkeeping: the Eqn. 2/3/4
+// identities, incremental-vs-rebuild agreement, and gain correctness
+// verified against explicit objective recomputation.
+
+#include "kmeans/cluster_state.h"
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 200, std::size_t dim = 8) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = 5;
+  spec.seed = 4;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(ClusterStateTest, CountsMatchLabels) {
+  const SyntheticData data = SmallData();
+  Rng rng(1);
+  const auto labels = BalancedRandomLabels(200, 10, rng);
+  ClusterState state(data.vectors, labels, 10);
+  EXPECT_EQ(state.k(), 10u);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(state.CountOf(r), 20u);  // balanced
+    total += state.CountOf(r);
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+// The central identity: E (Eqn. 4 via centroids) == (sum||x||^2 - I)/n.
+TEST(ClusterStateTest, DistortionIdentityHolds) {
+  const SyntheticData data = SmallData(300, 12);
+  Rng rng(2);
+  const auto labels = BalancedRandomLabels(300, 7, rng);
+  ClusterState state(data.vectors, labels, 7);
+  const double direct = AverageDistortion(data.vectors, labels, 7);
+  EXPECT_NEAR(state.Distortion(), direct, 1e-6 * std::max(1.0, direct));
+}
+
+TEST(ClusterStateTest, CentroidsAreClusterMeans) {
+  const SyntheticData data = SmallData(50, 4);
+  std::vector<std::uint32_t> labels(50);
+  for (std::size_t i = 0; i < 50; ++i) labels[i] = i < 30 ? 0 : 1;
+  ClusterState state(data.vectors, labels, 2);
+  const Matrix c = state.Centroids();
+  for (std::size_t j = 0; j < 4; ++j) {
+    double mean0 = 0.0;
+    for (std::size_t i = 0; i < 30; ++i) mean0 += data.vectors.At(i, j);
+    mean0 /= 30.0;
+    EXPECT_NEAR(c.At(0, j), mean0, 1e-4);
+  }
+}
+
+TEST(ClusterStateTest, MoveKeepsStateConsistentWithRebuild) {
+  const SyntheticData data = SmallData(120, 6);
+  Rng rng(3);
+  auto labels = BalancedRandomLabels(120, 6, rng);
+  ClusterState state(data.vectors, labels, 6);
+
+  // Apply 200 random (legal) moves incrementally.
+  for (int m = 0; m < 200; ++m) {
+    const std::size_t i = rng.Index(120);
+    const std::uint32_t u = labels[i];
+    if (state.CountOf(u) < 2) continue;
+    const auto v = static_cast<std::uint32_t>(rng.Index(6));
+    if (v == u) continue;
+    state.Move(data.vectors.Row(i), u, v);
+    labels[i] = v;
+  }
+  ClusterState fresh(data.vectors, labels, 6);
+  EXPECT_NEAR(state.ObjectiveI(), fresh.ObjectiveI(),
+              1e-6 * std::max(1.0, fresh.ObjectiveI()));
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(state.CountOf(r), fresh.CountOf(r));
+    EXPECT_NEAR(state.CompositeNormSqr(r), fresh.CompositeNormSqr(r),
+                1e-5 * std::max(1.0, fresh.CompositeNormSqr(r)));
+  }
+}
+
+// Delta-I computed via GainArrive+GainLeave must equal the objective
+// difference measured by recomputation from scratch.
+TEST(ClusterStateTest, GainMatchesObjectiveDifference) {
+  const SyntheticData data = SmallData(90, 5);
+  Rng rng(5);
+  auto labels = BalancedRandomLabels(90, 5, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    ClusterState state(data.vectors, labels, 5);
+    const std::size_t i = rng.Index(90);
+    const std::uint32_t u = labels[i];
+    if (state.CountOf(u) < 2) continue;
+    auto v = static_cast<std::uint32_t>(rng.Index(5));
+    if (v == u) continue;
+
+    const float* x = data.vectors.Row(i);
+    const float xn = NormSqr(x, 5);
+    const double predicted =
+        state.GainArrive(x, xn, v) + state.GainLeave(x, xn, u);
+
+    const double before = state.ObjectiveI();
+    labels[i] = v;
+    ClusterState after(data.vectors, labels, 5);
+    const double actual = after.ObjectiveI() - before;
+    EXPECT_NEAR(predicted, actual, 1e-5 * std::max(1.0, std::abs(actual)))
+        << "trial " << trial;
+    labels[i] = u;  // restore
+  }
+}
+
+TEST(ClusterStateTest, GainArriveOnEmptyClusterIsPointNorm) {
+  const SyntheticData data = SmallData(30, 4);
+  std::vector<std::uint32_t> labels(30, 0);  // cluster 1 empty
+  ClusterState state(data.vectors, labels, 2);
+  const float* x = data.vectors.Row(0);
+  const float xn = NormSqr(x, 4);
+  EXPECT_NEAR(state.GainArrive(x, xn, 1), xn, 1e-5 * std::max(1.0f, xn));
+}
+
+TEST(ClusterStateTest, SingletonClusterDistortionZeroContribution) {
+  Matrix m(3, 2);
+  m.At(0, 0) = 1.0f;
+  m.At(1, 0) = 5.0f;
+  m.At(2, 0) = 9.0f;
+  const std::vector<std::uint32_t> labels = {0, 1, 2};
+  ClusterState state(m, labels, 3);
+  EXPECT_NEAR(state.Distortion(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,217 @@
+// Copyright 2026 The gkmeans Authors.
+// Cross-cutting contract tests: (1) every clustering method reports a
+// distortion that matches independent recomputation from its assignments
+// (method-parameterized), (2) GKM_CHECK aborts on contract violations
+// (death tests), (3) the graph builder's early-stop extension.
+
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/graph_builder.h"
+#include "core/pipeline.h"
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+#include "kmeans/boost_kmeans.h"
+#include "kmeans/closure_kmeans.h"
+#include "kmeans/elkan.h"
+#include "kmeans/hamerly.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/mini_batch.h"
+#include "kmeans/two_means_tree.h"
+
+namespace gkm {
+namespace {
+
+constexpr std::size_t kN = 300;
+constexpr std::size_t kK = 12;
+
+SyntheticData TestData() {
+  SyntheticSpec spec;
+  spec.n = kN;
+  spec.dim = 10;
+  spec.modes = 12;
+  spec.seed = 777;
+  return MakeGaussianMixture(spec);
+}
+
+using MethodFn = std::function<ClusteringResult(const Matrix&)>;
+
+struct MethodCase {
+  const char* name;
+  MethodFn run;
+};
+
+// Every method must satisfy the same postconditions; parameterize over the
+// whole family.
+class MethodContractTest : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(MethodContractTest, ReportedDistortionMatchesRecomputation) {
+  const SyntheticData data = TestData();
+  const ClusteringResult res = GetParam().run(data.vectors);
+  const double recomputed =
+      AverageDistortion(data.vectors, res.assignments, kK);
+  EXPECT_NEAR(res.distortion, recomputed,
+              1e-3 * std::max(1.0, recomputed));
+}
+
+TEST_P(MethodContractTest, AssignmentsInRangeAndComplete) {
+  const SyntheticData data = TestData();
+  const ClusteringResult res = GetParam().run(data.vectors);
+  ASSERT_EQ(res.assignments.size(), kN);
+  for (const auto a : res.assignments) EXPECT_LT(a, kK);
+  EXPECT_EQ(res.centroids.rows(), kK);
+  EXPECT_EQ(res.centroids.cols(), data.vectors.cols());
+}
+
+TEST_P(MethodContractTest, TimingFieldsConsistent) {
+  const SyntheticData data = TestData();
+  const ClusteringResult res = GetParam().run(data.vectors);
+  EXPECT_GE(res.total_seconds, 0.0);
+  EXPECT_NEAR(res.total_seconds, res.init_seconds + res.iter_seconds,
+              0.05 + 0.2 * res.total_seconds);
+  EXPECT_GE(res.iterations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodContractTest,
+    ::testing::Values(
+        MethodCase{"lloyd",
+                   [](const Matrix& x) {
+                     LloydParams p;
+                     p.k = kK;
+                     p.max_iters = 15;
+                     return LloydKMeans(x, p);
+                   }},
+        MethodCase{"bkm",
+                   [](const Matrix& x) {
+                     BkmParams p;
+                     p.k = kK;
+                     p.max_iters = 15;
+                     return BoostKMeans(x, p);
+                   }},
+        MethodCase{"minibatch",
+                   [](const Matrix& x) {
+                     MiniBatchParams p;
+                     p.k = kK;
+                     p.batch_size = 50;
+                     p.max_iters = 40;
+                     return MiniBatchKMeans(x, p);
+                   }},
+        MethodCase{"closure",
+                   [](const Matrix& x) {
+                     ClosureParams p;
+                     p.k = kK;
+                     p.leaf_size = 20;
+                     p.max_iters = 15;
+                     return ClosureKMeans(x, p);
+                   }},
+        MethodCase{"elkan",
+                   [](const Matrix& x) {
+                     ElkanParams p;
+                     p.k = kK;
+                     p.max_iters = 15;
+                     return ElkanKMeans(x, p);
+                   }},
+        MethodCase{"hamerly",
+                   [](const Matrix& x) {
+                     HamerlyParams p;
+                     p.k = kK;
+                     p.max_iters = 15;
+                     return HamerlyKMeans(x, p);
+                   }},
+        MethodCase{"two_means",
+                   [](const Matrix& x) {
+                     TwoMeansParams p;
+                     p.k = kK;
+                     return TwoMeansTreeClustering(x, p);
+                   }},
+        MethodCase{"gk_means",
+                   [](const Matrix& x) {
+                     PipelineParams p;
+                     p.k = kK;
+                     p.graph.kappa = 8;
+                     p.graph.xi = 20;
+                     p.graph.tau = 3;
+                     p.clustering.kappa = 8;
+                     p.clustering.max_iters = 15;
+                     return GkMeansCluster(x, p).clustering;
+                   }}),
+    [](const ::testing::TestParamInfo<MethodCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// --- Contract-violation death tests. ---
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, LloydRejectsKGreaterThanN) {
+  const SyntheticData data = TestData();
+  LloydParams p;
+  p.k = kN + 1;
+  EXPECT_DEATH(LloydKMeans(data.vectors, p), "GKM_CHECK");
+}
+
+TEST(ContractDeathTest, GkMeansRejectsGraphSizeMismatch) {
+  const SyntheticData data = TestData();
+  const KnnGraph wrong(kN / 2, 4);
+  GkMeansParams p;
+  p.k = 4;
+  EXPECT_DEATH(GkMeansWithGraph(data.vectors, wrong, p), "mismatch");
+}
+
+TEST(ContractDeathTest, GraphBuilderRejectsDegenerateXi) {
+  const SyntheticData data = TestData();
+  GraphBuildParams p;
+  p.xi = 1;
+  EXPECT_DEATH(BuildKnnGraph(data.vectors, p), "GKM_CHECK");
+}
+
+TEST(ContractDeathTest, MetricsRejectLabelOutOfRange) {
+  Matrix m(3, 2);
+  const std::vector<std::uint32_t> labels = {0, 1, 7};
+  EXPECT_DEATH(AverageDistortion(m, labels, 2), "GKM_CHECK");
+}
+
+TEST(ContractDeathTest, ReadFvecsRejectsMissingFile) {
+  EXPECT_DEATH(
+      { auto m = ReadFvecs("/nonexistent/definitely/missing.fvecs"); },
+      "missing.fvecs");
+}
+
+// --- Graph-builder early-stop extension. ---
+
+TEST(GraphBuilderEarlyStopTest, StopsBeforeTauWhenConverged) {
+  const SyntheticData data = TestData();
+  GraphBuildParams p;
+  p.kappa = 6;
+  p.xi = 15;
+  p.tau = 40;               // far beyond convergence
+  p.early_stop_delta = 0.01;
+  GraphBuildStats stats;
+  BuildKnnGraph(data.vectors, p, &stats);
+  EXPECT_LT(stats.round_updates.size(), 40u);
+  // Update counts decay to below the threshold.
+  EXPECT_LT(stats.round_updates.back(),
+            static_cast<std::size_t>(0.01 * kN * 6) + 1);
+  EXPECT_GT(stats.round_updates.front(), stats.round_updates.back());
+}
+
+TEST(GraphBuilderEarlyStopTest, QualityComparableToFullTau) {
+  const SyntheticData data = TestData();
+  const KnnGraph truth = BruteForceGraph(data.vectors, 1);
+  GraphBuildParams p;
+  p.kappa = 6;
+  p.xi = 15;
+  p.tau = 20;
+  const double full = GraphRecallAt1(BuildKnnGraph(data.vectors, p), truth);
+  p.early_stop_delta = 0.005;
+  const double early = GraphRecallAt1(BuildKnnGraph(data.vectors, p), truth);
+  EXPECT_GT(early, full - 0.08);
+}
+
+}  // namespace
+}  // namespace gkm

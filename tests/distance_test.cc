@@ -1,0 +1,131 @@
+// Copyright 2026 The gkmeans Authors.
+// Unit and property tests for the distance kernels against naive
+// references, across a sweep of dimensions (the kernels are unrolled, so
+// remainder handling is the risk).
+
+#include "common/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gkm {
+namespace {
+
+float NaiveL2Sqr(const float* a, const float* b, std::size_t d) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    s += diff * diff;
+  }
+  return static_cast<float>(s);
+}
+
+float NaiveDot(const float* a, const float* b, std::size_t d) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    s += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(s);
+}
+
+TEST(DistanceTest, L2SqrKnownValues) {
+  const float a[] = {0.0f, 0.0f, 0.0f};
+  const float b[] = {1.0f, 2.0f, 2.0f};
+  EXPECT_FLOAT_EQ(L2Sqr(a, b, 3), 9.0f);
+  EXPECT_FLOAT_EQ(L2Sqr(a, a, 3), 0.0f);
+}
+
+TEST(DistanceTest, DotKnownValues) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 4.0f - 10.0f + 18.0f);
+}
+
+TEST(DistanceTest, NormSqrEqualsSelfDot) {
+  Rng rng(1);
+  std::vector<float> a(37);
+  for (auto& v : a) v = rng.UniformFloat() - 0.5f;
+  EXPECT_FLOAT_EQ(NormSqr(a.data(), a.size()), Dot(a.data(), a.data(), a.size()));
+}
+
+TEST(DistanceTest, ZeroDimension) {
+  const float* p = nullptr;
+  EXPECT_EQ(L2Sqr(p, p, 0), 0.0f);
+  EXPECT_EQ(Dot(p, p, 0), 0.0f);
+}
+
+// Property sweep: unrolled kernels must agree with the naive reference for
+// every remainder class and typical paper dimensions.
+class DistanceDimTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistanceDimTest, MatchesNaiveL2) {
+  const std::size_t d = GetParam();
+  Rng rng(d);
+  std::vector<float> a(d), b(d);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    for (std::size_t i = 0; i < d; ++i) {
+      a[i] = static_cast<float>(rng.Gaussian() * 10.0);
+      b[i] = static_cast<float>(rng.Gaussian() * 10.0);
+    }
+    const float expect = NaiveL2Sqr(a.data(), b.data(), d);
+    const float got = L2Sqr(a.data(), b.data(), d);
+    EXPECT_NEAR(got, expect, 1e-3f * std::max(1.0f, expect));
+  }
+}
+
+TEST_P(DistanceDimTest, MatchesNaiveDot) {
+  const std::size_t d = GetParam();
+  Rng rng(d + 1000);
+  std::vector<float> a(d), b(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a[i] = static_cast<float>(rng.Gaussian());
+    b[i] = static_cast<float>(rng.Gaussian());
+  }
+  const float expect = NaiveDot(a.data(), b.data(), d);
+  EXPECT_NEAR(Dot(a.data(), b.data(), d), expect,
+              1e-4f * std::max(1.0f, std::fabs(expect)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceDimTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           100, 128, 512, 960));
+
+TEST(DistanceTest, NearestRowFindsClosest) {
+  Matrix c(3, 2);
+  const float r0[] = {0.0f, 0.0f};
+  const float r1[] = {10.0f, 0.0f};
+  const float r2[] = {0.0f, 10.0f};
+  c.SetRow(0, r0);
+  c.SetRow(1, r1);
+  c.SetRow(2, r2);
+  const float q[] = {9.0f, 1.0f};
+  float dist = 0.0f;
+  EXPECT_EQ(NearestRow(c, q, &dist), 1u);
+  EXPECT_FLOAT_EQ(dist, 1.0f + 1.0f);
+}
+
+TEST(DistanceTest, NearestRowTiesGoToFirst) {
+  Matrix c(2, 1);
+  c.At(0, 0) = -1.0f;
+  c.At(1, 0) = 1.0f;
+  const float q[] = {0.0f};
+  EXPECT_EQ(NearestRow(c, q, nullptr), 0u);
+}
+
+TEST(DistanceTest, RowNormsSqr) {
+  Matrix m(2, 3);
+  const float r0[] = {1.0f, 2.0f, 2.0f};
+  const float r1[] = {0.0f, 0.0f, 0.0f};
+  m.SetRow(0, r0);
+  m.SetRow(1, r1);
+  float norms[2];
+  RowNormsSqr(m, norms);
+  EXPECT_FLOAT_EQ(norms[0], 9.0f);
+  EXPECT_FLOAT_EQ(norms[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace gkm

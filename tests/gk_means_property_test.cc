@@ -1,0 +1,117 @@
+// Copyright 2026 The gkmeans Authors.
+// Parameterized property sweeps for the core algorithm: the invariants of
+// GK-means must hold for every (dataset family x kappa) combination, not
+// just the defaults — monotone distortion, no empty clusters, determinism,
+// and candidate-budget monotonicity (more neighbors never hurts quality
+// beyond noise).
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/gk_means.h"
+#include "core/graph_builder.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+
+namespace gkm {
+namespace {
+
+using Param = std::tuple<const char*, std::size_t>;  // family, kappa
+
+class GkMeansPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr std::size_t kN = 500;
+  static constexpr std::size_t kK = 20;
+
+  SyntheticData MakeData() const {
+    return MakeByFamily(std::get<0>(GetParam()), kN, 600);
+  }
+  KnnGraph MakeGraph(const Matrix& x) const {
+    GraphBuildParams gp;
+    gp.kappa = std::get<1>(GetParam());
+    gp.xi = 20;
+    gp.tau = 4;
+    return BuildKnnGraph(x, gp);
+  }
+  GkMeansParams MakeParams() const {
+    GkMeansParams p;
+    p.k = kK;
+    p.kappa = std::get<1>(GetParam());
+    p.max_iters = 20;
+    return p;
+  }
+};
+
+TEST_P(GkMeansPropertyTest, TraceMonotoneNonIncreasing) {
+  const SyntheticData data = MakeData();
+  const KnnGraph g = MakeGraph(data.vectors);
+  const ClusteringResult res =
+      GkMeansWithGraph(data.vectors, g, MakeParams());
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_LE(res.trace[i].distortion, res.trace[i - 1].distortion + 1e-9)
+        << "iter " << i;
+  }
+}
+
+TEST_P(GkMeansPropertyTest, NoEmptyClusters) {
+  const SyntheticData data = MakeData();
+  const KnnGraph g = MakeGraph(data.vectors);
+  const ClusteringResult res =
+      GkMeansWithGraph(data.vectors, g, MakeParams());
+  EXPECT_EQ(SummarizeClusterSizes(res.assignments, kK).empty, 0u);
+}
+
+TEST_P(GkMeansPropertyTest, DeterministicAcrossRuns) {
+  const SyntheticData data = MakeData();
+  const KnnGraph g = MakeGraph(data.vectors);
+  EXPECT_EQ(GkMeansWithGraph(data.vectors, g, MakeParams()).assignments,
+            GkMeansWithGraph(data.vectors, g, MakeParams()).assignments);
+}
+
+TEST_P(GkMeansPropertyTest, DistortionMatchesRecomputation) {
+  const SyntheticData data = MakeData();
+  const KnnGraph g = MakeGraph(data.vectors);
+  const ClusteringResult res =
+      GkMeansWithGraph(data.vectors, g, MakeParams());
+  EXPECT_NEAR(res.distortion,
+              AverageDistortion(data.vectors, res.assignments, kK),
+              1e-3 * std::max(1.0, res.distortion));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilyKappa, GkMeansPropertyTest,
+    ::testing::Combine(::testing::Values("sift", "gist", "glove", "vlad"),
+                       ::testing::Values(std::size_t{5}, std::size_t{15})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(std::get<0>(info.param)) + "_kappa" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// kappa monotonicity: a larger candidate budget converges to distortion at
+// least as good, up to small stochastic noise (checked on one family to
+// keep runtime bounded; the sweep above covers the structural invariants).
+TEST(GkMeansKappaMonotonicityTest, LargerKappaNotWorse) {
+  const SyntheticData data = MakeByFamily("sift", 800, 601);
+  GraphBuildParams gp;
+  gp.kappa = 20;
+  gp.xi = 25;
+  gp.tau = 5;
+  const KnnGraph g = BuildKnnGraph(data.vectors, gp);
+  auto run = [&](std::size_t kappa) {
+    GkMeansParams p;
+    p.k = 25;
+    p.kappa = kappa;
+    p.max_iters = 25;
+    return GkMeansWithGraph(data.vectors, g, p).distortion;
+  };
+  const double tiny = run(3);
+  const double mid = run(10);
+  const double big = run(20);
+  EXPECT_LT(mid, tiny * 1.03);
+  EXPECT_LT(big, mid * 1.03);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,136 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for Alg. 3 (intertwined KNN graph construction): recall rises with
+// tau (the Fig. 2 behaviour), structural invariants, determinism, and the
+// observer/stats plumbing.
+
+#include "core/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 800, std::uint64_t seed = 110) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 12;
+  spec.modes = 16;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(GraphBuilderTest, ProducesFullValidLists) {
+  const SyntheticData data = SmallData(400, 111);
+  GraphBuildParams p;
+  p.kappa = 8;
+  p.xi = 20;
+  p.tau = 3;
+  const KnnGraph g = BuildKnnGraph(data.vectors, p);
+  EXPECT_EQ(g.num_nodes(), 400u);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto nbs = g.SortedNeighbors(i);
+    EXPECT_EQ(nbs.size(), 8u);
+    for (const Neighbor& nb : nbs) {
+      EXPECT_NE(nb.id, i);
+      EXPECT_LT(nb.id, 400u);
+    }
+  }
+}
+
+TEST(GraphBuilderTest, RecallImprovesWithTau) {
+  const SyntheticData data = SmallData();
+  const KnnGraph truth = BruteForceGraph(data.vectors, 1);
+
+  GraphBuildParams p;
+  p.kappa = 10;
+  p.xi = 25;
+  p.seed = 7;
+  p.tau = 1;
+  const double recall1 = GraphRecallAt1(BuildKnnGraph(data.vectors, p), truth);
+  p.tau = 8;
+  const double recall8 = GraphRecallAt1(BuildKnnGraph(data.vectors, p), truth);
+  EXPECT_GT(recall8, recall1);
+  EXPECT_GT(recall8, 0.6);  // the paper's Fig. 2 plateau level
+}
+
+TEST(GraphBuilderTest, BeatsRandomInitDramatically) {
+  const SyntheticData data = SmallData(500, 112);
+  const KnnGraph truth = BruteForceGraph(data.vectors, 1);
+  Rng rng(1);
+  KnnGraph random(500, 10);
+  random.InitRandom(data.vectors, rng);
+
+  GraphBuildParams p;
+  p.kappa = 10;
+  p.xi = 25;
+  p.tau = 6;
+  const KnnGraph built = BuildKnnGraph(data.vectors, p);
+  EXPECT_GT(GraphRecallAt1(built, truth),
+            GraphRecallAt1(random, truth) + 0.3);
+}
+
+TEST(GraphBuilderTest, StatsTrackRounds) {
+  const SyntheticData data = SmallData(300, 113);
+  GraphBuildParams p;
+  p.kappa = 6;
+  p.xi = 15;
+  p.tau = 5;
+  GraphBuildStats stats;
+  BuildKnnGraph(data.vectors, p, &stats);
+  ASSERT_EQ(stats.round_distortion.size(), 5u);
+  ASSERT_EQ(stats.round_seconds.size(), 5u);
+  // Wall-clock is cumulative.
+  for (std::size_t t = 1; t < 5; ++t) {
+    EXPECT_GE(stats.round_seconds[t], stats.round_seconds[t - 1]);
+  }
+  // The clustering guided by a matured graph beats the first round's.
+  EXPECT_LT(stats.round_distortion.back(), stats.round_distortion.front());
+}
+
+TEST(GraphBuilderTest, ObserverSeesEveryRound) {
+  const SyntheticData data = SmallData(200, 114);
+  GraphBuildParams p;
+  p.kappa = 5;
+  p.xi = 10;
+  p.tau = 4;
+  std::vector<std::size_t> seen;
+  BuildKnnGraph(data.vectors, p, nullptr,
+                [&seen](std::size_t round, const KnnGraph& g) {
+                  EXPECT_EQ(g.num_nodes(), 200u);
+                  seen.push_back(round);
+                });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(GraphBuilderTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(250, 115);
+  GraphBuildParams p;
+  p.kappa = 6;
+  p.xi = 12;
+  p.tau = 3;
+  p.seed = 5;
+  const KnnGraph a = BuildKnnGraph(data.vectors, p);
+  const KnnGraph b = BuildKnnGraph(data.vectors, p);
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.SortedNeighbors(i), b.SortedNeighbors(i));
+  }
+}
+
+TEST(GraphBuilderTest, TauZeroLeavesRandomGraph) {
+  const SyntheticData data = SmallData(150, 116);
+  GraphBuildParams p;
+  p.kappa = 5;
+  p.xi = 10;
+  p.tau = 0;
+  const KnnGraph g = BuildKnnGraph(data.vectors, p);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.SortedNeighbors(i).size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,88 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for Hamerly's accelerated k-means: Lloyd-equivalence and contract.
+
+#include "kmeans/hamerly.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/elkan.h"
+#include "kmeans/lloyd.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 400, std::uint64_t seed = 80) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 12;
+  spec.modes = 9;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(HamerlyTest, MatchesLloydExactly) {
+  const SyntheticData data = SmallData();
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    LloydParams lp;
+    lp.k = 10;
+    lp.max_iters = 15;
+    lp.seed = seed;
+    HamerlyParams hp;
+    hp.k = 10;
+    hp.max_iters = 15;
+    hp.seed = seed;
+    const ClusteringResult lloyd = LloydKMeans(data.vectors, lp);
+    const ClusteringResult hamerly = HamerlyKMeans(data.vectors, hp);
+    const ClusterSizeStats sizes =
+        SummarizeClusterSizes(lloyd.assignments, 10);
+    if (sizes.min == 0) continue;  // empty-cluster policies differ
+    EXPECT_EQ(hamerly.assignments, lloyd.assignments) << "seed " << seed;
+  }
+}
+
+TEST(HamerlyTest, MatchesElkanExactly) {
+  // Both are exact accelerations; they must agree with each other too.
+  const SyntheticData data = SmallData(350, 81);
+  ElkanParams ep;
+  ep.k = 8;
+  ep.max_iters = 12;
+  ep.seed = 9;
+  HamerlyParams hp;
+  hp.k = 8;
+  hp.max_iters = 12;
+  hp.seed = 9;
+  EXPECT_EQ(HamerlyKMeans(data.vectors, hp).assignments,
+            ElkanKMeans(data.vectors, ep).assignments);
+}
+
+TEST(HamerlyTest, ConvergesAndStops) {
+  const SyntheticData data = SmallData(250, 82);
+  HamerlyParams p;
+  p.k = 5;
+  p.max_iters = 100;
+  const ClusteringResult res = HamerlyKMeans(data.vectors, p);
+  EXPECT_LT(res.iterations, 100u);
+  EXPECT_EQ(res.trace.back().moves, 0u);
+}
+
+TEST(HamerlyTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(150, 83);
+  HamerlyParams p;
+  p.k = 7;
+  p.seed = 33;
+  EXPECT_EQ(HamerlyKMeans(data.vectors, p).assignments,
+            HamerlyKMeans(data.vectors, p).assignments);
+}
+
+TEST(HamerlyTest, KOne) {
+  const SyntheticData data = SmallData(60, 84);
+  HamerlyParams p;
+  p.k = 1;
+  const ClusteringResult res = HamerlyKMeans(data.vectors, p);
+  for (const auto a : res.assignments) EXPECT_EQ(a, 0u);
+}
+
+}  // namespace
+}  // namespace gkm

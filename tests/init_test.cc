@@ -1,0 +1,112 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the seeding strategies.
+
+#include "kmeans/init.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "dataset/synthetic.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 150) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 6;
+  spec.modes = 8;
+  spec.seed = 10;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(InitTest, RandomCentroidsAreDistinctDataRows) {
+  const SyntheticData data = SmallData();
+  Rng rng(1);
+  const Matrix c = RandomCentroids(data.vectors, 10, rng);
+  EXPECT_EQ(c.rows(), 10u);
+  for (std::size_t r = 0; r < 10; ++r) {
+    // Each centroid equals some data row.
+    bool found = false;
+    for (std::size_t i = 0; i < data.vectors.rows() && !found; ++i) {
+      found = L2Sqr(c.Row(r), data.vectors.Row(i), 6) == 0.0f;
+    }
+    EXPECT_TRUE(found) << "centroid " << r;
+  }
+}
+
+TEST(InitTest, BalancedRandomLabelsAreBalanced) {
+  Rng rng(2);
+  const auto labels = BalancedRandomLabels(103, 10, rng);
+  std::vector<int> counts(10, 0);
+  for (const auto l : labels) ++counts[l];
+  for (const int c : counts) {
+    EXPECT_GE(c, 10);
+    EXPECT_LE(c, 11);
+  }
+}
+
+TEST(InitTest, BalancedRandomLabelsKEqualsN) {
+  Rng rng(3);
+  const auto labels = BalancedRandomLabels(12, 12, rng);
+  std::set<std::uint32_t> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(InitTest, KMeansPlusPlusProducesKDistinctishCentroids) {
+  const SyntheticData data = SmallData(400);
+  Rng rng(4);
+  const Matrix c = KMeansPlusPlus(data.vectors, 12, rng);
+  EXPECT_EQ(c.rows(), 12u);
+  // With D^2 weighting, duplicate centroids are (near-)impossible on
+  // continuous data.
+  for (std::size_t a = 0; a < 12; ++a) {
+    for (std::size_t b = a + 1; b < 12; ++b) {
+      EXPECT_GT(L2Sqr(c.Row(a), c.Row(b), 6), 0.0f);
+    }
+  }
+}
+
+TEST(InitTest, KMeansPlusPlusSpreadsBetterThanRandom) {
+  // ++ seeding should, on average, produce lower quantization error of the
+  // seeds themselves (a well-known property; checked in expectation over
+  // several seeds).
+  const SyntheticData data = SmallData(500);
+  double pp_total = 0.0, rand_total = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    Rng rng_a(s), rng_b(s);
+    const Matrix pp = KMeansPlusPlus(data.vectors, 10, rng_a);
+    const Matrix rnd = RandomCentroids(data.vectors, 10, rng_b);
+    for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+      float d1 = 0.0f, d2 = 0.0f;
+      NearestRow(pp, data.vectors.Row(i), &d1);
+      NearestRow(rnd, data.vectors.Row(i), &d2);
+      pp_total += d1;
+      rand_total += d2;
+    }
+  }
+  EXPECT_LT(pp_total, rand_total);
+}
+
+TEST(InitTest, KMeansPlusPlusHandlesDuplicatePoints) {
+  Matrix m(20, 3);  // all rows identical (all zeros)
+  Rng rng(5);
+  const Matrix c = KMeansPlusPlus(m, 4, rng);
+  EXPECT_EQ(c.rows(), 4u);  // must not hang or crash
+}
+
+TEST(InitTest, AssignAllMatchesNearestRow) {
+  const SyntheticData data = SmallData();
+  Rng rng(6);
+  const Matrix c = RandomCentroids(data.vectors, 7, rng);
+  const auto labels = AssignAll(data.vectors, c);
+  ASSERT_EQ(labels.size(), data.vectors.rows());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], NearestRow(c, data.vectors.Row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,170 @@
+// Copyright 2026 The gkmeans Authors.
+// Cross-module integration tests: the full method comparison the paper's
+// evaluation rests on, run end-to-end on one dataset at test scale, plus
+// family sweeps as parameterized properties.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+#include "graph/nn_descent.h"
+#include "kmeans/boost_kmeans.h"
+#include "kmeans/closure_kmeans.h"
+#include "kmeans/lloyd.h"
+#include "kmeans/mini_batch.h"
+
+namespace gkm {
+namespace {
+
+// One shared mid-size dataset (built once: brute-force GT is the pricey
+// part).
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Overlap ratio (center vs cluster spread) ~3, matching real
+    // descriptor statistics: the KNN graph stays connected, which is the
+    // regime the paper's pruning arguments assume.
+    SyntheticSpec spec;
+    spec.n = 1200;
+    spec.dim = 16;
+    spec.modes = 40;
+    spec.center_spread = 3.0;
+    spec.cluster_spread = 1.0;
+    spec.seed = 140;
+    data_ = new SyntheticData(MakeGaussianMixture(spec));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const SyntheticData* data_;
+  static constexpr std::size_t kK = 24;
+};
+
+const SyntheticData* IntegrationTest::data_ = nullptr;
+
+// The ordering the whole paper hinges on: BKM <= GK-means << Mini-Batch,
+// with GK-means close to BKM (Fig. 5 shape).
+TEST_F(IntegrationTest, QualityOrderingAcrossMethods) {
+  const Matrix& x = data_->vectors;
+
+  BkmParams bp;
+  bp.k = kK;
+  bp.max_iters = 30;
+  const double bkm = BoostKMeans(x, bp).distortion;
+
+  // kappa must exceed the expected cluster size (n/k = 50) by enough for
+  // neighbor lists to spill into adjacent clusters — that spill is what
+  // generates move candidates (§4.4 recommends kappa ~= xi = 50).
+  PipelineParams pp;
+  pp.k = kK;
+  pp.graph.kappa = 30;
+  pp.graph.xi = 50;
+  pp.graph.tau = 8;
+  pp.clustering.kappa = 30;
+  pp.clustering.max_iters = 30;
+  const double gk = GkMeansCluster(x, pp).clustering.distortion;
+
+  MiniBatchParams mp;
+  mp.k = kK;
+  mp.batch_size = 100;
+  mp.max_iters = 30;
+  const double mb = MiniBatchKMeans(x, mp).distortion;
+
+  EXPECT_LE(bkm, gk * 1.02);   // BKM is the quality reference
+  EXPECT_LT(gk, 1.12 * bkm);   // GK-means trails it only slightly
+  EXPECT_LT(gk, mb);           // and clearly beats Mini-Batch
+}
+
+// "KGraph+GK-means" (NN-Descent supplied graph) achieves similar quality
+// to the standard configuration (Fig. 4/5 finding).
+TEST_F(IntegrationTest, KGraphConfigurationComparable) {
+  const Matrix& x = data_->vectors;
+
+  NnDescentParams np;
+  np.k = 12;
+  const KnnGraph kgraph = NnDescent(x, np);
+  GkMeansParams gp;
+  gp.k = kK;
+  gp.kappa = 12;
+  gp.max_iters = 30;
+  const double with_kgraph = GkMeansWithGraph(x, kgraph, gp).distortion;
+
+  PipelineParams pp;
+  pp.k = kK;
+  pp.graph.kappa = 12;
+  pp.graph.xi = 25;
+  pp.graph.tau = 6;
+  pp.clustering.kappa = 12;
+  pp.clustering.max_iters = 30;
+  const double standard = GkMeansCluster(x, pp).clustering.distortion;
+
+  EXPECT_LT(std::abs(with_kgraph - standard) / standard, 0.10);
+}
+
+// Co-occurrence observation (Fig. 1): under a k-means partition with
+// ~50-point clusters, a point's top-ranked neighbors co-occur far more
+// often than random collision rate.
+TEST_F(IntegrationTest, CoOccurrenceObservationHolds) {
+  const Matrix& x = data_->vectors;
+  const std::size_t k = x.rows() / 50;
+  LloydParams lp;
+  lp.k = k;
+  lp.max_iters = 15;
+  const ClusteringResult km = LloydKMeans(x, lp);
+  const KnnGraph truth = BruteForceGraph(x, 20);
+  const auto prob = CoOccurrenceByRank(truth, km.assignments, 20);
+  const double random_rate = 50.0 / static_cast<double>(x.rows());
+  EXPECT_GT(prob[0], 20 * random_rate);
+  EXPECT_GE(prob[0], prob[19] - 1e-12);
+}
+
+// Family sweep: the pipeline must work across all four corpus families
+// (different dims, signs, normalization).
+class FamilyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FamilyTest, PipelineRunsAndBeatsRandomPartition) {
+  const SyntheticData data = MakeByFamily(GetParam(), 400, 150);
+  PipelineParams p;
+  p.k = 10;
+  p.graph.kappa = 8;
+  p.graph.xi = 20;
+  p.graph.tau = 3;
+  p.clustering.kappa = 8;
+  p.clustering.max_iters = 15;
+  const PipelineResult res = GkMeansCluster(data.vectors, p);
+
+  std::vector<std::uint32_t> random_labels(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    random_labels[i] = static_cast<std::uint32_t>(i % 10);
+  }
+  EXPECT_LT(res.clustering.distortion,
+            AverageDistortion(data.vectors, random_labels, 10));
+  EXPECT_EQ(SummarizeClusterSizes(res.clustering.assignments, 10).empty, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilyTest,
+                         ::testing::Values("sift", "gist", "glove", "vlad"));
+
+// Closure k-means sits between GK-means and Mini-Batch in quality on
+// clusterable data (Fig. 7 ordering), at small scale with slack.
+TEST_F(IntegrationTest, ClosureBetweenGkAndMiniBatch) {
+  const Matrix& x = data_->vectors;
+  ClosureParams cp;
+  cp.k = kK;
+  cp.leaf_size = 30;
+  cp.max_iters = 30;
+  const double closure = ClosureKMeans(x, cp).distortion;
+
+  MiniBatchParams mp;
+  mp.k = kK;
+  mp.batch_size = 100;
+  mp.max_iters = 30;
+  const double mb = MiniBatchKMeans(x, mp).distortion;
+  EXPECT_LT(closure, mb);
+}
+
+}  // namespace
+}  // namespace gkm

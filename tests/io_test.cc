@@ -1,0 +1,85 @@
+// Copyright 2026 The gkmeans Authors.
+// Round-trip tests for the *vecs readers/writers.
+
+#include "dataset/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+
+namespace gkm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, FvecsRoundTrip) {
+  const SyntheticData data = MakeGaussianMixture({.n = 37, .dim = 9, .modes = 3});
+  const std::string path = TempPath("roundtrip.fvecs");
+  WriteFvecs(path, data.vectors);
+  const Matrix back = ReadFvecs(path);
+  EXPECT_TRUE(back == data.vectors);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, FvecsMaxRowsTruncates) {
+  const SyntheticData data = MakeGaussianMixture({.n = 20, .dim = 4, .modes = 2});
+  const std::string path = TempPath("trunc.fvecs");
+  WriteFvecs(path, data.vectors);
+  const Matrix back = ReadFvecs(path, 5);
+  EXPECT_EQ(back.rows(), 5u);
+  EXPECT_EQ(back.cols(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(back.At(2, j), data.vectors.At(2, j));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BvecsRoundTripOnByteData) {
+  // SIFT-like data is already on the integer grid [0,255].
+  const SyntheticData data = MakeSiftLike(25, 16, 3);
+  const std::string path = TempPath("roundtrip.bvecs");
+  WriteBvecs(path, data.vectors);
+  const Matrix back = ReadBvecs(path);
+  EXPECT_TRUE(back == data.vectors);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BvecsClampsOutOfRange) {
+  Matrix m(1, 3);
+  m.At(0, 0) = -5.0f;
+  m.At(0, 1) = 300.0f;
+  m.At(0, 2) = 42.4f;
+  const std::string path = TempPath("clamp.bvecs");
+  WriteBvecs(path, m);
+  const Matrix back = ReadBvecs(path);
+  EXPECT_EQ(back.At(0, 0), 0.0f);
+  EXPECT_EQ(back.At(0, 1), 255.0f);
+  EXPECT_EQ(back.At(0, 2), 42.0f);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, IvecsRoundTrip) {
+  const std::vector<std::vector<std::int32_t>> rows = {
+      {1, 2, 3}, {4, 5, 6}, {-1, 0, 7}};
+  const std::string path = TempPath("roundtrip.ivecs");
+  WriteIvecs(path, rows);
+  const auto back = ReadIvecs(path);
+  EXPECT_EQ(back, rows);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptyFvecsFileYieldsEmptyMatrix) {
+  const std::string path = TempPath("empty.fvecs");
+  WriteFvecs(path, Matrix());
+  const Matrix back = ReadFvecs(path);
+  EXPECT_EQ(back.rows(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,97 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the KD-tree: exactness against linear scan across dimensions,
+// and the §2.1 claim — pruning collapses as dimensionality grows.
+
+#include "graph/kd_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "dataset/synthetic.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData Data(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = 8;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+class KdTreeDimTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KdTreeDimTest, NearestMatchesLinearScan) {
+  const std::size_t dim = GetParam();
+  const SyntheticData base = Data(400, dim, 200);
+  const SyntheticData queries = Data(50, dim, 201);
+  const KdTree tree(base.vectors);
+  for (std::size_t q = 0; q < queries.vectors.rows(); ++q) {
+    float kd_dist = 0.0f;
+    const std::uint32_t kd_id =
+        tree.Nearest(queries.vectors.Row(q), &kd_dist);
+    float scan_dist = 0.0f;
+    const std::size_t scan_id =
+        NearestRow(base.vectors, queries.vectors.Row(q), &scan_dist);
+    EXPECT_FLOAT_EQ(kd_dist, scan_dist) << "dim " << dim << " query " << q;
+    EXPECT_EQ(kd_id, scan_id) << "dim " << dim << " query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdTreeDimTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 128));
+
+TEST(KdTreeTest, SelfQueriesReturnSelf) {
+  const SyntheticData base = Data(200, 6, 202);
+  const KdTree tree(base.vectors);
+  for (std::size_t i = 0; i < 200; i += 17) {
+    float dist = 1.0f;
+    EXPECT_EQ(tree.Nearest(base.vectors.Row(i), &dist), i);
+    EXPECT_EQ(dist, 0.0f);
+  }
+}
+
+TEST(KdTreeTest, HandlesDuplicatePoints) {
+  Matrix m(50, 4);  // all-zero rows
+  const KdTree tree(m);
+  float dist = 1.0f;
+  const std::uint32_t id = tree.Nearest(m.Row(3), &dist);
+  EXPECT_LT(id, 50u);
+  EXPECT_EQ(dist, 0.0f);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  Matrix m(1, 3);
+  m.At(0, 1) = 2.0f;
+  const KdTree tree(m);
+  const float q[3] = {1.0f, 0.0f, 0.0f};
+  float dist = 0.0f;
+  EXPECT_EQ(tree.Nearest(q, &dist), 0u);
+  EXPECT_FLOAT_EQ(dist, 1.0f + 4.0f);
+}
+
+// The curse of dimensionality, §2.1: at d=4 the tree compares a small
+// fraction of the points; at d=64 it compares most of them.
+TEST(KdTreeTest, PruningCollapsesWithDimension) {
+  const std::size_t n = 1000;
+  auto avg_compared = [&](std::size_t dim) {
+    const SyntheticData base = Data(n, dim, 203);
+    const SyntheticData queries = Data(100, dim, 204);
+    const KdTree tree(base.vectors);
+    std::size_t compared = 0;
+    for (std::size_t q = 0; q < 100; ++q) {
+      tree.Nearest(queries.vectors.Row(q), nullptr, &compared);
+    }
+    return static_cast<double>(compared) / 100.0;
+  };
+  const double low_d = avg_compared(4);
+  const double high_d = avg_compared(64);
+  EXPECT_LT(low_d, 0.25 * n);
+  EXPECT_GT(high_d, 0.5 * n);
+  EXPECT_GT(high_d, 4.0 * low_d);
+}
+
+}  // namespace
+}  // namespace gkm

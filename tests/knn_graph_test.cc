@@ -1,0 +1,108 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the KnnGraph container: update semantics, random init
+// contract, serialization.
+
+#include "graph/knn_graph.h"
+
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "dataset/synthetic.h"
+
+namespace gkm {
+namespace {
+
+TEST(KnnGraphTest, StartsEmpty) {
+  KnnGraph g(10, 3);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.k(), 3u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(g.NeighborsOf(i).empty());
+  }
+}
+
+TEST(KnnGraphTest, UpdateRejectsSelfLoop) {
+  KnnGraph g(5, 2);
+  EXPECT_FALSE(g.Update(3, 3, 0.0f));
+  EXPECT_TRUE(g.Update(3, 4, 1.0f));
+}
+
+TEST(KnnGraphTest, UpdateBothCountsChanges) {
+  KnnGraph g(4, 2);
+  EXPECT_EQ(g.UpdateBoth(0, 1, 1.0f), 2);
+  EXPECT_EQ(g.UpdateBoth(0, 1, 1.0f), 0);  // duplicate
+  EXPECT_EQ(g.UpdateBoth(2, 2, 0.0f), 0);  // self
+}
+
+TEST(KnnGraphTest, KeepsOnlyClosestK) {
+  KnnGraph g(10, 2);
+  g.Update(0, 1, 3.0f);
+  g.Update(0, 2, 1.0f);
+  g.Update(0, 3, 2.0f);
+  const auto sorted = g.SortedNeighbors(0);
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 2u);
+  EXPECT_EQ(sorted[1].id, 3u);
+}
+
+TEST(KnnGraphTest, SortedNeighborsAscending) {
+  KnnGraph g(10, 5);
+  g.Update(0, 5, 0.5f);
+  g.Update(0, 6, 0.1f);
+  g.Update(0, 7, 0.9f);
+  const auto sorted = g.SortedNeighbors(0);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].dist, sorted[i].dist);
+  }
+}
+
+TEST(KnnGraphTest, InitRandomFillsAllListsWithTrueDistances) {
+  const SyntheticData data = MakeGaussianMixture({.n = 60, .dim = 8, .modes = 4});
+  KnnGraph g(60, 5);
+  Rng rng(3);
+  g.InitRandom(data.vectors, rng);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const auto& nbs = g.NeighborsOf(i);
+    EXPECT_EQ(nbs.size(), 5u);
+    std::set<std::uint32_t> ids;
+    for (const Neighbor& nb : nbs) {
+      EXPECT_NE(nb.id, i);
+      EXPECT_LT(nb.id, 60u);
+      ids.insert(nb.id);
+      EXPECT_FLOAT_EQ(
+          nb.dist, L2Sqr(data.vectors.Row(i), data.vectors.Row(nb.id), 8));
+    }
+    EXPECT_EQ(ids.size(), 5u);  // all distinct
+  }
+}
+
+TEST(KnnGraphTest, SetListTruncatesToCapacity) {
+  KnnGraph g(10, 2);
+  g.SetList(0, {{1, 0.3f}, {2, 0.1f}, {3, 0.2f}});
+  const auto sorted = g.SortedNeighbors(0);
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 2u);
+  EXPECT_EQ(sorted[1].id, 3u);
+}
+
+TEST(KnnGraphTest, SaveLoadRoundTrip) {
+  const SyntheticData data = MakeGaussianMixture({.n = 40, .dim = 6, .modes = 4});
+  KnnGraph g(40, 4);
+  Rng rng(7);
+  g.InitRandom(data.vectors, rng);
+  const std::string path = ::testing::TempDir() + "/graph.bin";
+  g.Save(path);
+  const KnnGraph back = KnnGraph::Load(path);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.k(), g.k());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(back.SortedNeighbors(i), g.SortedNeighbors(i)) << "node " << i;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,129 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for traditional k-means (Lloyd).
+
+#include "kmeans/lloyd.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 400, std::uint64_t seed = 20) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 10;
+  spec.modes = 8;
+  spec.noise_fraction = 0.0;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(LloydTest, BasicContract) {
+  const SyntheticData data = SmallData();
+  LloydParams p;
+  p.k = 8;
+  const ClusteringResult res = LloydKMeans(data.vectors, p);
+  EXPECT_EQ(res.assignments.size(), 400u);
+  EXPECT_EQ(res.centroids.rows(), 8u);
+  EXPECT_EQ(res.method, "kmeans");
+  for (const auto a : res.assignments) EXPECT_LT(a, 8u);
+  EXPECT_GT(res.distortion, 0.0);
+  EXPECT_GE(res.iterations, 1u);
+  EXPECT_EQ(res.trace.size(), res.iterations);
+}
+
+TEST(LloydTest, InertiaTraceNonIncreasing) {
+  const SyntheticData data = SmallData();
+  LloydParams p;
+  p.k = 10;
+  p.max_iters = 25;
+  const ClusteringResult res = LloydKMeans(data.vectors, p);
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_LE(res.trace[i].distortion, res.trace[i - 1].distortion * 1.0001)
+        << "iteration " << i;
+  }
+}
+
+TEST(LloydTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData();
+  LloydParams p;
+  p.k = 6;
+  p.seed = 99;
+  const ClusteringResult a = LloydKMeans(data.vectors, p);
+  const ClusteringResult b = LloydKMeans(data.vectors, p);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.distortion, b.distortion);
+}
+
+TEST(LloydTest, RecoversWellSeparatedModes) {
+  // Widely separated blobs: k-means should reach (near-)zero confusion,
+  // i.e. distortion close to the by-mode distortion.
+  SyntheticSpec spec;
+  spec.n = 600;
+  spec.dim = 8;
+  spec.modes = 4;
+  spec.zipf_s = 0.0;
+  spec.center_spread = 60.0;
+  spec.cluster_spread = 1.0;
+  spec.noise_fraction = 0.0;
+  spec.seed = 31;
+  const SyntheticData data = MakeGaussianMixture(spec);
+  LloydParams p;
+  p.k = 4;
+  p.use_kmeanspp = true;  // avoids unlucky random seeding on tiny k
+  p.max_iters = 50;
+  const ClusteringResult res = LloydKMeans(data.vectors, p);
+  const double oracle =
+      AverageDistortion(data.vectors, data.mode_of, spec.modes + 1);
+  EXPECT_LT(res.distortion, 1.3 * oracle);
+}
+
+TEST(LloydTest, NoEmptyClusters) {
+  const SyntheticData data = SmallData(100, 3);
+  LloydParams p;
+  p.k = 30;
+  const ClusteringResult res = LloydKMeans(data.vectors, p);
+  const ClusterSizeStats sizes = SummarizeClusterSizes(res.assignments, 30);
+  EXPECT_EQ(sizes.empty, 0u);
+}
+
+TEST(LloydTest, KEqualsNGivesZeroDistortion) {
+  const SyntheticData data = SmallData(40, 5);
+  LloydParams p;
+  p.k = 40;
+  p.max_iters = 10;
+  const ClusteringResult res = LloydKMeans(data.vectors, p);
+  EXPECT_NEAR(res.distortion, 0.0, 1e-6);
+}
+
+TEST(LloydTest, KOne) {
+  const SyntheticData data = SmallData(60, 6);
+  LloydParams p;
+  p.k = 1;
+  const ClusteringResult res = LloydKMeans(data.vectors, p);
+  for (const auto a : res.assignments) EXPECT_EQ(a, 0u);
+  EXPECT_NEAR(res.distortion,
+              AverageDistortion(data.vectors, res.assignments, 1), 1e-5);
+}
+
+TEST(LloydTest, KMeansPlusPlusNotWorseOnAverage) {
+  const SyntheticData data = SmallData(500, 8);
+  double pp = 0.0, rnd = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    LloydParams p;
+    p.k = 12;
+    p.seed = s;
+    p.max_iters = 15;
+    p.use_kmeanspp = false;
+    rnd += LloydKMeans(data.vectors, p).distortion;
+    p.use_kmeanspp = true;
+    pp += LloydKMeans(data.vectors, p).distortion;
+  }
+  EXPECT_LT(pp, rnd * 1.05);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,133 @@
+// Copyright 2026 The gkmeans Authors.
+// Unit tests for the aligned row-major Matrix container.
+
+#include "common/matrix.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace gkm {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ShapeAndZeroInit) {
+  Matrix m(7, 5);
+  EXPECT_EQ(m.rows(), 7u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_GE(m.stride(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(m.At(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, RowsAre64ByteAligned) {
+  for (const std::size_t d : {1u, 3u, 16u, 17u, 100u, 128u, 960u}) {
+    Matrix m(4, d);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.Row(i)) % 64, 0u)
+          << "row " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(MatrixTest, SetRowAndReadBack) {
+  Matrix m(3, 4);
+  const float vals[] = {1.5f, -2.0f, 3.25f, 0.0f};
+  m.SetRow(1, vals);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m.At(1, j), vals[j]);
+  // Other rows untouched.
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m.At(0, j), 0.0f);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(2, 3);
+  a.At(0, 0) = 42.0f;
+  Matrix b = a;
+  b.At(0, 0) = 7.0f;
+  EXPECT_EQ(a.At(0, 0), 42.0f);
+  EXPECT_EQ(b.At(0, 0), 7.0f);
+}
+
+TEST(MatrixTest, CopyAssignReplacesShape) {
+  Matrix a(2, 3);
+  a.At(1, 2) = 5.0f;
+  Matrix b(9, 9);
+  b = a;
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 3u);
+  EXPECT_EQ(b.At(1, 2), 5.0f);
+}
+
+TEST(MatrixTest, MoveTransfersAndEmptiesSource) {
+  Matrix a(2, 3);
+  a.At(0, 1) = 9.0f;
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.At(0, 1), 9.0f);
+  EXPECT_EQ(a.rows(), 0u);  // NOLINT(bugprone-use-after-move): documented state
+}
+
+TEST(MatrixTest, MoveAssignKeepsAlignment) {
+  Matrix a(5, 17);
+  a.At(4, 16) = 1.0f;
+  Matrix b;
+  b = std::move(a);
+  EXPECT_EQ(b.At(4, 16), 1.0f);
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.Row(i)) % 64, 0u);
+  }
+}
+
+TEST(MatrixTest, EqualityIgnoresPadding) {
+  Matrix a(2, 5), b(2, 5);
+  a.At(1, 4) = 3.0f;
+  EXPECT_FALSE(a == b);
+  b.At(1, 4) = 3.0f;
+  EXPECT_TRUE(a == b);
+  Matrix c(2, 6);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixTest, ResetReshapes) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 1.0f;
+  m.Reset(10, 3);
+  EXPECT_EQ(m.rows(), 10u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, SliceRowsCopiesRange) {
+  Matrix m(5, 2);
+  for (std::size_t i = 0; i < 5; ++i) m.At(i, 0) = static_cast<float>(i);
+  const Matrix s = SliceRows(m, 1, 4);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s.At(0, 0), 1.0f);
+  EXPECT_EQ(s.At(2, 0), 3.0f);
+}
+
+TEST(MatrixTest, SliceRowsIsDeepCopy) {
+  Matrix m(3, 1);
+  m.At(0, 0) = 7.0f;
+  Matrix s = SliceRows(m, 0, 1);
+  s.At(0, 0) = 9.0f;
+  EXPECT_EQ(m.At(0, 0), 7.0f);
+}
+
+TEST(MatrixTest, SliceRowsEmptyAndFullRanges) {
+  Matrix m(4, 3);
+  EXPECT_EQ(SliceRows(m, 2, 2).rows(), 0u);
+  EXPECT_TRUE(SliceRows(m, 0, 4) == m);
+}
+
+}  // namespace
+}  // namespace gkm

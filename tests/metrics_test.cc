@@ -1,0 +1,118 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the evaluation metrics (§5.1 protocol).
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "graph/brute_force.h"
+
+namespace gkm {
+namespace {
+
+TEST(MetricsTest, AverageDistortionHandComputed) {
+  Matrix m(4, 1);
+  m.At(0, 0) = 0.0f;
+  m.At(1, 0) = 2.0f;   // cluster 0: mean 1, dists 1,1
+  m.At(2, 0) = 10.0f;
+  m.At(3, 0) = 14.0f;  // cluster 1: mean 12, dists 4,4
+  const std::vector<std::uint32_t> labels = {0, 0, 1, 1};
+  EXPECT_NEAR(AverageDistortion(m, labels, 2), (1.0 + 1.0 + 4.0 + 4.0) / 4.0,
+              1e-9);
+}
+
+TEST(MetricsTest, AverageDistortionIgnoresEmptyClusters) {
+  Matrix m(2, 1);
+  m.At(0, 0) = 1.0f;
+  m.At(1, 0) = 3.0f;
+  const std::vector<std::uint32_t> labels = {0, 0};
+  EXPECT_NEAR(AverageDistortion(m, labels, 5), 1.0, 1e-9);  // clusters 1..4 empty
+}
+
+TEST(MetricsTest, InertiaUsesGivenCentroids) {
+  Matrix m(2, 1);
+  m.At(0, 0) = 0.0f;
+  m.At(1, 0) = 4.0f;
+  Matrix c(1, 1);
+  c.At(0, 0) = 1.0f;
+  const std::vector<std::uint32_t> labels = {0, 0};
+  EXPECT_NEAR(Inertia(m, c, labels), (1.0 + 9.0) / 2.0, 1e-9);
+}
+
+TEST(MetricsTest, RecallAt1PerfectAndZero) {
+  const SyntheticData data = MakeGaussianMixture({.n = 60, .dim = 6, .modes = 4});
+  const KnnGraph truth = BruteForceGraph(data.vectors, 3);
+  EXPECT_DOUBLE_EQ(GraphRecallAt1(truth, truth), 1.0);
+
+  // A graph whose lists deliberately exclude each node's true top-1.
+  KnnGraph bad(60, 2);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const auto top = truth.SortedNeighbors(i);
+    for (std::uint32_t j = 0; j < 60 && bad.NeighborsOf(i).size() < 2; ++j) {
+      if (j != i && j != top[0].id) {
+        bad.Update(i, j, 1000.0f + j);  // arbitrary distances
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(GraphRecallAt1(bad, truth), 0.0);
+}
+
+TEST(MetricsTest, RecallAtKPartialCredit) {
+  const SyntheticData data = MakeGaussianMixture({.n = 50, .dim = 6, .modes = 4});
+  const KnnGraph truth = BruteForceGraph(data.vectors, 4);
+  // Keep only the top-2 of each true list: recall@4 should be 0.5.
+  KnnGraph half(50, 2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto top = truth.SortedNeighbors(i);
+    half.SetList(i, {top[0], top[1]});
+  }
+  EXPECT_NEAR(GraphRecallAtK(half, truth, 4), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, SampledRecallMatchesFullOnSameSubset) {
+  const SyntheticData data = MakeGaussianMixture({.n = 80, .dim = 6, .modes = 5});
+  const KnnGraph truth = BruteForceGraph(data.vectors, 2);
+  const std::vector<std::uint32_t> subset = {3, 17, 42, 60};
+  const auto nn = ExactNearestForSubset(data.vectors, subset);
+  EXPECT_DOUBLE_EQ(SampledRecallAt1(truth, subset, nn), 1.0);
+}
+
+TEST(MetricsTest, CoOccurrenceAllSameClusterIsOne) {
+  const SyntheticData data = MakeGaussianMixture({.n = 40, .dim = 4, .modes = 2});
+  const KnnGraph truth = BruteForceGraph(data.vectors, 5);
+  const std::vector<std::uint32_t> labels(40, 0);  // one big cluster
+  const auto prob = CoOccurrenceByRank(truth, labels, 5);
+  ASSERT_EQ(prob.size(), 5u);
+  for (const double p : prob) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(MetricsTest, CoOccurrenceDecaysWithRank) {
+  // On clusterable data with a sensible partition, nearer neighbors
+  // co-occur more often — the Fig. 1 shape.
+  SyntheticSpec spec;
+  spec.n = 1500;
+  spec.dim = 10;
+  spec.modes = 30;
+  spec.seed = 9;
+  const SyntheticData data = MakeGaussianMixture(spec);
+  const KnnGraph truth = BruteForceGraph(data.vectors, 50);
+  const auto prob = CoOccurrenceByRank(truth, data.mode_of, 50);
+  double head = 0.0, tail = 0.0;
+  for (std::size_t r = 0; r < 10; ++r) head += prob[r];
+  for (std::size_t r = 40; r < 50; ++r) tail += prob[r];
+  EXPECT_GT(head, tail);
+  EXPECT_GT(prob[0], 0.5);  // top-1 co-occurs with high probability
+}
+
+TEST(MetricsTest, ClusterSizeStats) {
+  const std::vector<std::uint32_t> labels = {0, 0, 0, 1, 2, 2};
+  const ClusterSizeStats stats = SummarizeClusterSizes(labels, 4);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 3u);
+  EXPECT_EQ(stats.empty, 1u);
+  EXPECT_NEAR(stats.mean, 6.0 / 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,93 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for Mini-Batch k-means.
+
+#include "kmeans/mini_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 500, std::uint64_t seed = 60) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 8;
+  spec.modes = 10;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(MiniBatchTest, BasicContract) {
+  const SyntheticData data = SmallData();
+  MiniBatchParams p;
+  p.k = 10;
+  p.batch_size = 64;
+  p.max_iters = 50;
+  const ClusteringResult res = MiniBatchKMeans(data.vectors, p);
+  EXPECT_EQ(res.method, "mini-batch");
+  EXPECT_EQ(res.assignments.size(), 500u);
+  EXPECT_EQ(res.iterations, 50u);
+  for (const auto a : res.assignments) EXPECT_LT(a, 10u);
+}
+
+TEST(MiniBatchTest, ImprovesOverInitialSeeding) {
+  const SyntheticData data = SmallData(800, 61);
+  // Distortion of the raw random seeding.
+  Rng rng(5);
+  const Matrix seeds = RandomCentroids(data.vectors, 12, rng);
+  const double seed_distortion =
+      Inertia(data.vectors, seeds, AssignAll(data.vectors, seeds));
+
+  MiniBatchParams p;
+  p.k = 12;
+  p.batch_size = 128;
+  p.max_iters = 100;
+  p.seed = 5;
+  const ClusteringResult res = MiniBatchKMeans(data.vectors, p);
+  EXPECT_LT(res.distortion, seed_distortion);
+}
+
+TEST(MiniBatchTest, EvalCadencePopulatesTrace) {
+  const SyntheticData data = SmallData(300, 62);
+  MiniBatchParams p;
+  p.k = 6;
+  p.batch_size = 32;
+  p.max_iters = 20;
+  p.eval_every = 5;
+  const ClusteringResult res = MiniBatchKMeans(data.vectors, p);
+  ASSERT_EQ(res.trace.size(), 20u);
+  for (std::size_t i = 0; i < res.trace.size(); ++i) {
+    if ((i + 1) % 5 == 0) {
+      EXPECT_GT(res.trace[i].distortion, 0.0) << i;
+    } else {
+      EXPECT_EQ(res.trace[i].distortion, -1.0) << i;
+    }
+  }
+}
+
+TEST(MiniBatchTest, BatchLargerThanDataIsClamped) {
+  const SyntheticData data = SmallData(50, 63);
+  MiniBatchParams p;
+  p.k = 5;
+  p.batch_size = 1000;
+  p.max_iters = 10;
+  const ClusteringResult res = MiniBatchKMeans(data.vectors, p);
+  EXPECT_EQ(res.assignments.size(), 50u);
+}
+
+TEST(MiniBatchTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(200, 64);
+  MiniBatchParams p;
+  p.k = 8;
+  p.seed = 11;
+  const ClusteringResult a = MiniBatchKMeans(data.vectors, p);
+  const ClusteringResult b = MiniBatchKMeans(data.vectors, p);
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,110 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the NN-Descent (KGraph) baseline: structural invariants,
+// recall against the exact graph, convergence behaviour.
+
+#include "graph/nn_descent.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 600, std::uint64_t seed = 11) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 16;
+  spec.modes = 12;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(NnDescentTest, StructuralInvariants) {
+  const SyntheticData data = SmallData();
+  NnDescentParams p;
+  p.k = 8;
+  const KnnGraph g = NnDescent(data.vectors, p);
+  EXPECT_EQ(g.num_nodes(), data.vectors.rows());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto nbs = g.SortedNeighbors(i);
+    EXPECT_EQ(nbs.size(), 8u);
+    std::set<std::uint32_t> ids;
+    for (const Neighbor& nb : nbs) {
+      EXPECT_NE(nb.id, i);
+      ids.insert(nb.id);
+    }
+    EXPECT_EQ(ids.size(), 8u);
+  }
+}
+
+TEST(NnDescentTest, BeatsRandomGraphByFar) {
+  const SyntheticData data = SmallData();
+  const KnnGraph truth = BruteForceGraph(data.vectors, 10);
+
+  NnDescentParams p;
+  p.k = 10;
+  const KnnGraph nnd = NnDescent(data.vectors, p);
+
+  KnnGraph random(data.vectors.rows(), 10);
+  Rng rng(5);
+  random.InitRandom(data.vectors, rng);
+
+  const double nnd_recall = GraphRecallAt1(nnd, truth);
+  const double random_recall = GraphRecallAt1(random, truth);
+  EXPECT_GT(nnd_recall, 0.90);
+  EXPECT_LT(random_recall, 0.30);
+}
+
+TEST(NnDescentTest, RecallAtKHigh) {
+  const SyntheticData data = SmallData(500, 23);
+  const KnnGraph truth = BruteForceGraph(data.vectors, 10);
+  NnDescentParams p;
+  p.k = 10;
+  const KnnGraph nnd = NnDescent(data.vectors, p);
+  EXPECT_GT(GraphRecallAtK(nnd, truth, 10), 0.80);
+}
+
+TEST(NnDescentTest, UpdatesDecayAcrossRounds) {
+  const SyntheticData data = SmallData();
+  NnDescentParams p;
+  p.k = 10;
+  NnDescentStats stats;
+  NnDescent(data.vectors, p, &stats);
+  ASSERT_GE(stats.updates_per_round.size(), 2u);
+  // Convergent behaviour: the last round applies far fewer updates than
+  // the first.
+  EXPECT_LT(stats.updates_per_round.back(),
+            stats.updates_per_round.front() / 4);
+  EXPECT_GT(stats.distance_evals, 0u);
+}
+
+TEST(NnDescentTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(300, 9);
+  NnDescentParams p;
+  p.k = 6;
+  p.seed = 123;
+  const KnnGraph a = NnDescent(data.vectors, p);
+  const KnnGraph b = NnDescent(data.vectors, p);
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.SortedNeighbors(i), b.SortedNeighbors(i));
+  }
+}
+
+TEST(NnDescentTest, MaxItersZeroLeavesRandomGraph) {
+  const SyntheticData data = SmallData(300, 9);
+  NnDescentParams p;
+  p.k = 6;
+  p.max_iters = 0;
+  const KnnGraph g = NnDescent(data.vectors, p);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.SortedNeighbors(i).size(), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace gkm

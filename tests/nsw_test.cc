@@ -1,0 +1,102 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the flat navigable-small-world graph builder ([34]).
+
+#include "graph/nsw.h"
+
+#include <gtest/gtest.h>
+
+#include "anns/graph_search.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 800, std::uint64_t seed = 500) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 12;
+  spec.modes = 10;
+  spec.center_spread = 2.5;
+  spec.cluster_spread = 1.0;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(NswTest, StructuralInvariants) {
+  const SyntheticData data = SmallData(400, 501);
+  NswParams p;
+  p.degree = 8;
+  const KnnGraph g = NswBuild(data.vectors, p);
+  EXPECT_EQ(g.num_nodes(), 400u);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto nbs = g.SortedNeighbors(i);
+    EXPECT_LE(nbs.size(), 8u);
+    EXPECT_GE(nbs.size(), 1u);  // every inserted node is connected
+    for (const Neighbor& nb : nbs) EXPECT_NE(nb.id, i);
+  }
+}
+
+TEST(NswTest, GoodGraphRecall) {
+  const SyntheticData data = SmallData();
+  const KnnGraph truth = BruteForceGraph(data.vectors, 1);
+  NswParams p;
+  p.degree = 12;
+  p.ef_construction = 48;
+  const KnnGraph g = NswBuild(data.vectors, p);
+  // NSW optimizes *navigability*, not adjacency exactness: its links are
+  // the best candidates seen at insertion time, so list recall trails a
+  // KNN graph (search recall is what NSW is good at — tested below). It
+  // must still dwarf a random graph.
+  KnnGraph random(data.vectors.rows(), 12);
+  Rng rng(1);
+  random.InitRandom(data.vectors, rng);
+  const double nsw_recall = GraphRecallAt1(g, truth);
+  EXPECT_GT(nsw_recall, 0.35);
+  EXPECT_GT(nsw_recall, GraphRecallAt1(random, truth) + 0.2);
+}
+
+TEST(NswTest, ServesAnnSearchWell) {
+  const SyntheticData all = SmallData(850, 502);
+  Matrix base = SliceRows(all.vectors, 0, 800);
+  Matrix queries = SliceRows(all.vectors, 800, 850);
+  NswParams p;
+  p.degree = 12;
+  p.ef_construction = 48;
+  const KnnGraph g = NswBuild(base, p);
+  const GraphSearcher searcher(base, g);
+  const auto truth = BruteForceSearch(base, queries, 1);
+  SearchParams sp;
+  sp.topk = 1;
+  sp.beam_width = 48;
+  std::size_t hits = 0;
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    hits += searcher.Search(queries.Row(q), sp)[0].id == truth[q][0].id;
+  }
+  EXPECT_GE(hits, 42u);  // >= 0.84 recall
+}
+
+TEST(NswTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(300, 503);
+  NswParams p;
+  p.degree = 6;
+  p.seed = 11;
+  const KnnGraph a = NswBuild(data.vectors, p);
+  const KnnGraph b = NswBuild(data.vectors, p);
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.SortedNeighbors(i), b.SortedNeighbors(i));
+  }
+}
+
+TEST(NswTest, StatsCountDistanceEvals) {
+  const SyntheticData data = SmallData(200, 504);
+  NswParams p;
+  p.degree = 6;
+  NswStats stats;
+  NswBuild(data.vectors, p, &stats);
+  EXPECT_GT(stats.distance_evals, 200u);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,93 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the end-to-end GK-means pipeline.
+
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/lloyd.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 600, std::uint64_t seed = 120) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 12;
+  spec.modes = 15;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(PipelineTest, EndToEndContract) {
+  const SyntheticData data = SmallData();
+  PipelineParams p;
+  p.k = 20;
+  p.graph.kappa = 10;
+  p.graph.xi = 25;
+  p.graph.tau = 4;
+  p.clustering.kappa = 10;
+  const PipelineResult res = GkMeansCluster(data.vectors, p);
+  EXPECT_EQ(res.clustering.assignments.size(), 600u);
+  EXPECT_EQ(res.clustering.centroids.rows(), 20u);
+  EXPECT_EQ(res.graph.num_nodes(), 600u);
+  EXPECT_GT(res.graph_seconds, 0.0);
+  // Timing accounting: init covers the graph; totals are consistent.
+  EXPECT_GE(res.clustering.init_seconds, res.graph_seconds);
+  EXPECT_NEAR(res.clustering.total_seconds,
+              res.clustering.init_seconds + res.clustering.iter_seconds,
+              0.05 + 0.1 * res.clustering.total_seconds);
+}
+
+TEST(PipelineTest, QualityWithinRangeOfLloyd) {
+  const SyntheticData data = SmallData(800, 121);
+  PipelineParams p;
+  p.k = 25;
+  p.graph.kappa = 12;
+  p.graph.xi = 25;
+  p.graph.tau = 6;
+  p.clustering.kappa = 12;
+  p.clustering.max_iters = 30;
+  const PipelineResult gk = GkMeansCluster(data.vectors, p);
+
+  LloydParams lp;
+  lp.k = 25;
+  lp.max_iters = 30;
+  const ClusteringResult lloyd = LloydKMeans(data.vectors, lp);
+  // The paper shows GK-means at or below k-means distortion on SIFT/GIST;
+  // allow modest slack on tiny data.
+  EXPECT_LT(gk.clustering.distortion, 1.15 * lloyd.distortion);
+}
+
+TEST(PipelineTest, DistortionEqualsIndependentRecomputation) {
+  const SyntheticData data = SmallData(300, 122);
+  PipelineParams p;
+  p.k = 10;
+  p.graph.kappa = 8;
+  p.graph.xi = 20;
+  p.graph.tau = 3;
+  p.clustering.kappa = 8;
+  const PipelineResult res = GkMeansCluster(data.vectors, p);
+  EXPECT_NEAR(res.clustering.distortion,
+              AverageDistortion(data.vectors, res.clustering.assignments, 10),
+              1e-4 * std::max(1.0, res.clustering.distortion));
+}
+
+TEST(PipelineTest, TraceTimesIncludeGraphOffset) {
+  const SyntheticData data = SmallData(300, 123);
+  PipelineParams p;
+  p.k = 10;
+  p.graph.kappa = 8;
+  p.graph.xi = 20;
+  p.graph.tau = 3;
+  p.clustering.kappa = 8;
+  const PipelineResult res = GkMeansCluster(data.vectors, p);
+  for (const IterStat& s : res.clustering.trace) {
+    EXPECT_GE(s.elapsed_seconds, res.graph_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,119 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the RP forest and the divide-and-conquer graph baseline
+// ([42][43], §2.2) built on it.
+
+#include "graph/rp_forest.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 600, std::uint64_t seed = 400) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 12;
+  spec.modes = 10;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(RpForestTest, LeavesPartitionEveryTree) {
+  const SyntheticData data = SmallData();
+  RpForestParams p;
+  p.num_trees = 3;
+  p.leaf_size = 25;
+  const RpForest forest(data.vectors, p);
+  EXPECT_EQ(forest.num_trees(), 3u);
+  // Across all trees, each point appears in exactly num_trees leaves.
+  std::vector<int> appearances(600, 0);
+  for (const auto& leaf : forest.leaves()) {
+    EXPECT_LE(leaf.size(), 25u);
+    EXPECT_GE(leaf.size(), 1u);
+    for (const std::uint32_t i : leaf) ++appearances[i];
+  }
+  for (const int a : appearances) EXPECT_EQ(a, 3);
+}
+
+TEST(RpForestTest, LeafOfIsConsistent) {
+  const SyntheticData data = SmallData(200, 401);
+  RpForestParams p;
+  p.num_trees = 2;
+  p.leaf_size = 16;
+  const RpForest forest(data.vectors, p);
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (std::size_t i = 0; i < 200; ++i) {
+      const std::uint32_t l = forest.LeafOf(t, i);
+      ASSERT_LT(l, forest.leaves().size());
+      const auto& leaf = forest.leaves()[l];
+      EXPECT_NE(std::find(leaf.begin(), leaf.end(), i), leaf.end())
+          << "tree " << t << " point " << i;
+    }
+  }
+}
+
+TEST(RpForestTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(300, 402);
+  RpForestParams p;
+  p.num_trees = 2;
+  p.leaf_size = 20;
+  p.seed = 9;
+  const RpForest a(data.vectors, p);
+  const RpForest b(data.vectors, p);
+  ASSERT_EQ(a.leaves().size(), b.leaves().size());
+  for (std::size_t l = 0; l < a.leaves().size(); ++l) {
+    EXPECT_EQ(a.leaves()[l], b.leaves()[l]);
+  }
+}
+
+TEST(RpForestTest, HandlesDuplicatePoints) {
+  Matrix m(100, 4);  // all-zero rows: degenerate projections everywhere
+  RpForestParams p;
+  p.num_trees = 2;
+  p.leaf_size = 10;
+  const RpForest forest(m, p);
+  std::size_t total = 0;
+  for (const auto& leaf : forest.leaves()) total += leaf.size();
+  EXPECT_EQ(total, 200u);  // 100 points x 2 trees
+}
+
+// The §2.2 comparison: the divide-and-conquer graph is much better than
+// random but clearly below what the same budget of Alg. 3 rounds reaches
+// ("the recall of KNN graph turns out to be very low").
+TEST(RpForestGraphTest, RecallBetterThanRandomWorseThanExact) {
+  const SyntheticData data = SmallData(800, 403);
+  const KnnGraph truth = BruteForceGraph(data.vectors, 1);
+  RpForestParams p;
+  p.num_trees = 4;
+  p.leaf_size = 25;
+  const KnnGraph g = RpForestGraph(data.vectors, 8, p);
+
+  KnnGraph random(800, 8);
+  Rng rng(1);
+  random.InitRandom(data.vectors, rng);
+
+  const double rp_recall = GraphRecallAt1(g, truth);
+  EXPECT_GT(rp_recall, GraphRecallAt1(random, truth) + 0.25);
+  EXPECT_LT(rp_recall, 0.999);
+}
+
+TEST(RpForestGraphTest, MoreTreesMoreRecall) {
+  const SyntheticData data = SmallData(700, 404);
+  const KnnGraph truth = BruteForceGraph(data.vectors, 1);
+  RpForestParams p;
+  p.leaf_size = 20;
+  p.num_trees = 1;
+  const double one = GraphRecallAt1(RpForestGraph(data.vectors, 6, p), truth);
+  p.num_trees = 6;
+  const double six = GraphRecallAt1(RpForestGraph(data.vectors, 6, p), truth);
+  EXPECT_GT(six, one);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,139 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the synthetic dataset generators: shapes, determinism, family
+// post-transform contracts, and the presence of exploitable cluster
+// structure (the property every experiment depends on).
+
+#include "dataset/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "eval/metrics.h"
+
+namespace gkm {
+namespace {
+
+TEST(SyntheticTest, ShapesMatchSpec) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 32;
+  spec.modes = 10;
+  const SyntheticData data = MakeGaussianMixture(spec);
+  EXPECT_EQ(data.vectors.rows(), 500u);
+  EXPECT_EQ(data.vectors.cols(), 32u);
+  EXPECT_EQ(data.mode_of.size(), 500u);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.n = 200;
+  spec.dim = 16;
+  spec.seed = 99;
+  const SyntheticData a = MakeGaussianMixture(spec);
+  const SyntheticData b = MakeGaussianMixture(spec);
+  EXPECT_TRUE(a.vectors == b.vectors);
+  EXPECT_EQ(a.mode_of, b.mode_of);
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticSpec spec;
+  spec.n = 200;
+  spec.dim = 16;
+  spec.seed = 1;
+  const SyntheticData a = MakeGaussianMixture(spec);
+  spec.seed = 2;
+  const SyntheticData b = MakeGaussianMixture(spec);
+  EXPECT_FALSE(a.vectors == b.vectors);
+}
+
+TEST(SyntheticTest, ModeIdsWithinRangeOrNoise) {
+  SyntheticSpec spec;
+  spec.n = 300;
+  spec.modes = 7;
+  spec.noise_fraction = 0.2;
+  const SyntheticData data = MakeGaussianMixture(spec);
+  std::size_t noise = 0;
+  for (const auto m : data.mode_of) {
+    EXPECT_LE(m, 7u);  // modes use [0,7), noise uses sentinel 7
+    noise += m == 7u ? 1 : 0;
+  }
+  // ~20% noise expected; allow wide slack at n=300.
+  EXPECT_GT(noise, 20u);
+  EXPECT_LT(noise, 130u);
+}
+
+TEST(SyntheticTest, SiftLikeIsNonNegativeIntegerGrid) {
+  const SyntheticData data = MakeSiftLike(200, 128, 5);
+  EXPECT_EQ(data.family, "sift");
+  EXPECT_EQ(data.vectors.cols(), 128u);
+  for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+    for (std::size_t j = 0; j < 128; ++j) {
+      const float v = data.vectors.At(i, j);
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 255.0f);
+      EXPECT_EQ(v, std::round(v));
+    }
+  }
+}
+
+TEST(SyntheticTest, GistLikeIsNonNegative) {
+  const SyntheticData data = MakeGistLike(100, 960, 5);
+  EXPECT_EQ(data.vectors.cols(), 960u);
+  for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+    for (std::size_t j = 0; j < 960; ++j) {
+      EXPECT_GE(data.vectors.At(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(SyntheticTest, GloveLikeIsUnitNorm) {
+  const SyntheticData data = MakeGloveLike(150, 100, 5);
+  for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+    EXPECT_NEAR(NormSqr(data.vectors.Row(i), 100), 1.0f, 1e-3f);
+  }
+}
+
+TEST(SyntheticTest, VladLikeIsUnitNormWithEnergyDecay) {
+  const SyntheticData data = MakeVladLike(200, 512, 5);
+  double head = 0.0, tail = 0.0;
+  for (std::size_t i = 0; i < data.vectors.rows(); ++i) {
+    EXPECT_NEAR(NormSqr(data.vectors.Row(i), 512), 1.0f, 1e-3f);
+    const float* row = data.vectors.Row(i);
+    for (std::size_t j = 0; j < 256; ++j) head += row[j] * row[j];
+    for (std::size_t j = 256; j < 512; ++j) tail += row[j] * row[j];
+  }
+  EXPECT_GT(head, tail);  // leading coordinates carry more energy
+}
+
+TEST(SyntheticTest, MakeByFamilyDispatch) {
+  EXPECT_EQ(MakeByFamily("sift", 50).vectors.cols(), 128u);
+  EXPECT_EQ(MakeByFamily("gist", 50).vectors.cols(), 960u);
+  EXPECT_EQ(MakeByFamily("glove", 50).vectors.cols(), 100u);
+  EXPECT_EQ(MakeByFamily("vlad", 50).vectors.cols(), 512u);
+  EXPECT_EQ(MakeByFamily("gmm", 50).vectors.cols(), 128u);
+}
+
+// The property all experiments rest on: clustering by generating mode must
+// beat a random partition by a wide margin — i.e. the data has structure.
+TEST(SyntheticTest, ModesExplainVariance) {
+  SyntheticSpec spec;
+  spec.n = 2000;
+  spec.dim = 32;
+  spec.modes = 20;
+  spec.noise_fraction = 0.0;
+  const SyntheticData data = MakeGaussianMixture(spec);
+  const double by_mode =
+      AverageDistortion(data.vectors, data.mode_of, spec.modes + 1);
+  std::vector<std::uint32_t> random_labels(spec.n);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    random_labels[i] = static_cast<std::uint32_t>(i % (spec.modes + 1));
+  }
+  const double by_random =
+      AverageDistortion(data.vectors, random_labels, spec.modes + 1);
+  EXPECT_LT(by_mode, 0.5 * by_random);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,76 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the evaluation thread pool.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gkm {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(),
+                   [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForOffsetRange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(20);
+  pool.ParallelFor(7, 13, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 7 && i < 13) ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadFallbackWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(0, 10, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // single worker: no data race
+  });
+  EXPECT_EQ(order.size(), 10u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.ParallelFor(0, 100, [&sum](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,97 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the bounded neighbor list (TopK): capacity, ordering,
+// deduplication, and agreement with a sort-based reference under random
+// workloads.
+
+#include "common/top_k.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gkm {
+namespace {
+
+TEST(TopKTest, FillsUpToCapacity) {
+  TopK t(3);
+  EXPECT_TRUE(t.Push(1, 5.0f));
+  EXPECT_TRUE(t.Push(2, 4.0f));
+  EXPECT_FALSE(t.full());
+  EXPECT_TRUE(t.Push(3, 6.0f));
+  EXPECT_TRUE(t.full());
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(TopKTest, RejectsWorseWhenFull) {
+  TopK t(2);
+  t.Push(1, 1.0f);
+  t.Push(2, 2.0f);
+  EXPECT_FALSE(t.Push(3, 3.0f));
+  EXPECT_FLOAT_EQ(t.WorstDist(), 2.0f);
+}
+
+TEST(TopKTest, ReplacesWorstWithBetter) {
+  TopK t(2);
+  t.Push(1, 1.0f);
+  t.Push(2, 2.0f);
+  EXPECT_TRUE(t.Push(3, 0.5f));
+  const auto sorted = TopK(t).TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 3u);
+  EXPECT_EQ(sorted[1].id, 1u);
+}
+
+TEST(TopKTest, RejectsDuplicateIds) {
+  TopK t(3);
+  EXPECT_TRUE(t.Push(7, 1.0f));
+  EXPECT_FALSE(t.Push(7, 1.0f));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TopKTest, TakeSortedAscending) {
+  TopK t(4);
+  t.Push(1, 3.0f);
+  t.Push(2, 1.0f);
+  t.Push(3, 2.0f);
+  t.Push(4, 0.5f);
+  const auto sorted = t.TakeSorted();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].dist, sorted[i].dist);
+  }
+  EXPECT_EQ(sorted[0].id, 4u);
+}
+
+TEST(TopKTest, NeighborOrderingTiesById) {
+  const Neighbor a{1, 2.0f};
+  const Neighbor b{2, 2.0f};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+// Property: TopK == sort + truncate, for random streams of unique ids.
+TEST(TopKTest, MatchesSortReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 1 + rng.Index(10);
+    const std::size_t stream = 1 + rng.Index(200);
+    TopK t(k);
+    std::vector<Neighbor> ref;
+    for (std::size_t i = 0; i < stream; ++i) {
+      const float dist = rng.UniformFloat();
+      t.Push(static_cast<std::uint32_t>(i), dist);
+      ref.push_back(Neighbor{static_cast<std::uint32_t>(i), dist});
+    }
+    std::sort(ref.begin(), ref.end());
+    ref.resize(std::min(k, ref.size()));
+    const auto got = t.TakeSorted();
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, ref[i].id) << "trial " << trial << " pos " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gkm

@@ -1,0 +1,116 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the 2M tree: exact-k output, near-equal sizes after every
+// bisection, determinism, and quality sanity versus a random partition.
+
+#include "kmeans/two_means_tree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "kmeans/init.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData SmallData(std::size_t n = 500, std::uint64_t seed = 50) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 8;
+  spec.modes = 10;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+TEST(TwoMeansTreeTest, ProducesExactlyKClusters) {
+  const SyntheticData data = SmallData();
+  for (const std::size_t k : {2u, 3u, 7u, 16u, 33u}) {
+    TwoMeansParams p;
+    p.k = k;
+    const auto labels = TwoMeansTree(data.vectors, p);
+    std::set<std::uint32_t> unique(labels.begin(), labels.end());
+    EXPECT_EQ(unique.size(), k) << "k=" << k;
+  }
+}
+
+// Always splitting the largest cluster at the median keeps all sizes within
+// a factor-2 band: max <= 2 * min + O(1).
+TEST(TwoMeansTreeTest, SizesNearEqual) {
+  const SyntheticData data = SmallData(1000, 51);
+  TwoMeansParams p;
+  p.k = 20;  // 1000/20 = 50 per cluster
+  const auto labels = TwoMeansTree(data.vectors, p);
+  const ClusterSizeStats sizes = SummarizeClusterSizes(labels, 20);
+  EXPECT_EQ(sizes.empty, 0u);
+  EXPECT_GE(sizes.min, 25u);
+  EXPECT_LE(sizes.max, 100u);
+}
+
+TEST(TwoMeansTreeTest, PowerOfTwoKGivesPerfectBalance) {
+  const SyntheticData data = SmallData(512, 52);
+  TwoMeansParams p;
+  p.k = 16;
+  const auto labels = TwoMeansTree(data.vectors, p);
+  const ClusterSizeStats sizes = SummarizeClusterSizes(labels, 16);
+  EXPECT_EQ(sizes.min, 32u);
+  EXPECT_EQ(sizes.max, 32u);
+}
+
+TEST(TwoMeansTreeTest, DeterministicForSeed) {
+  const SyntheticData data = SmallData(200, 53);
+  TwoMeansParams p;
+  p.k = 8;
+  p.seed = 5;
+  EXPECT_EQ(TwoMeansTree(data.vectors, p), TwoMeansTree(data.vectors, p));
+}
+
+TEST(TwoMeansTreeTest, BetterThanRandomPartition) {
+  const SyntheticData data = SmallData(800, 54);
+  TwoMeansParams p;
+  p.k = 16;
+  const auto labels = TwoMeansTree(data.vectors, p);
+  Rng rng(1);
+  const auto random_labels = BalancedRandomLabels(800, 16, rng);
+  EXPECT_LT(AverageDistortion(data.vectors, labels, 16),
+            0.9 * AverageDistortion(data.vectors, random_labels, 16));
+}
+
+TEST(TwoMeansTreeTest, KEqualsOneAndN) {
+  const SyntheticData data = SmallData(20, 55);
+  TwoMeansParams p;
+  p.k = 1;
+  auto labels = TwoMeansTree(data.vectors, p);
+  for (const auto l : labels) EXPECT_EQ(l, 0u);
+  p.k = 20;
+  labels = TwoMeansTree(data.vectors, p);
+  std::set<std::uint32_t> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 20u);  // all singletons
+}
+
+TEST(TwoMeansTreeTest, ClusteringWrapperFillsResult) {
+  const SyntheticData data = SmallData(150, 56);
+  TwoMeansParams p;
+  p.k = 5;
+  const ClusteringResult res = TwoMeansTreeClustering(data.vectors, p);
+  EXPECT_EQ(res.method, "2m-tree");
+  EXPECT_EQ(res.centroids.rows(), 5u);
+  EXPECT_NEAR(res.distortion,
+              AverageDistortion(data.vectors, res.assignments, 5), 1e-5);
+}
+
+TEST(TwoMeansTreeTest, ExternalRngAdvances) {
+  // Two consecutive calls sharing one Rng must produce different trees
+  // (this is what drives Alg. 3's partition diversity across rounds).
+  const SyntheticData data = SmallData(300, 57);
+  TwoMeansParams p;
+  p.k = 10;
+  Rng rng(1);
+  const auto a = TwoMeansTree(data.vectors, p, rng);
+  const auto b = TwoMeansTree(data.vectors, p, rng);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace gkm
