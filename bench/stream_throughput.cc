@@ -1,0 +1,134 @@
+// Copyright 2026 The gkmeans Authors.
+// Streaming subsystem bench: streams >= 50k synthetic points through
+// StreamingGkMeans in windows, reporting ingest throughput (points/sec),
+// per-window distortion evolution, and the end-to-end quality gap against
+// the batch GK-means pipeline (Alg. 3 + Alg. 2) run once over the same
+// data. Also round-trips a checkpoint mid-stream and verifies the restored
+// model finishes the stream with an identical clustering.
+//
+// Shape targets: streamed SSE within 10% of batch; checkpoint restore
+// exact.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "stream/checkpoint.h"
+#include "stream/streaming_gkmeans.h"
+
+namespace {
+
+void Feed(gkm::StreamingGkMeans& model, const gkm::Matrix& data,
+          std::size_t begin, std::size_t end, std::size_t window) {
+  for (; begin < end; begin += window) {
+    const std::size_t stop = std::min(begin + window, end);
+    model.ObserveWindow(gkm::SliceRows(data, begin, stop));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = gkm::bench::ScaledN(50000, 50000);
+  const std::size_t dim = 32;
+  const std::size_t k = 64;
+  const std::size_t window = 1000;
+
+  gkm::bench::Header("Streaming subsystem",
+                     "GK-means over a window stream vs the batch pipeline");
+  std::printf("dataset: GMM n=%zu d=%zu; k=%zu, window=%zu\n", n, dim, k,
+              window);
+
+  gkm::SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = k;
+  spec.seed = 3;
+  const gkm::SyntheticData data = gkm::MakeGaussianMixture(spec);
+
+  gkm::StreamingGkMeansParams sp;
+  sp.k = k;
+  sp.kappa = 16;
+  sp.graph.kappa = 16;
+  sp.graph.beam_width = 48;
+  sp.bootstrap_min = 2000;
+  // Production-shaped maintenance budget: enough split/merge ops per
+  // window that the model keeps tracking the mode structure as the corpus
+  // grows far beyond the bootstrap sample.
+  sp.max_splits_per_window = 16;
+
+  // --- Stream the first half, checkpoint, stream the rest. ---
+  gkm::StreamingGkMeans model(dim, sp);
+  gkm::Timer ingest;
+  Feed(model, data.vectors, 0, n / 2, window);
+
+  const std::string ckpt = "/tmp/gkm_stream_throughput.ckpt";
+  gkm::Timer save_timer;
+  gkm::SaveStreamCheckpoint(ckpt, model);
+  const double save_secs = save_timer.Seconds();
+  gkm::Timer load_timer;
+  gkm::StreamingGkMeans resumed = gkm::LoadStreamCheckpoint(ckpt);
+  const double load_secs = load_timer.Seconds();
+  std::remove(ckpt.c_str());
+
+  Feed(model, data.vectors, n / 2, n, window);
+  const double stream_secs = ingest.Seconds() - save_secs - load_secs;
+  const double stream_e_raw = model.Distortion();
+
+  gkm::Timer consolidate;
+  model.Consolidate(3);
+  const double consolidate_secs = consolidate.Seconds();
+  const double stream_e = model.Distortion();
+
+  std::printf("\nstreaming: %.2fs ingest (%.0f points/sec), %.2fs "
+              "consolidation\n",
+              stream_secs, static_cast<double>(n) / stream_secs,
+              consolidate_secs);
+  std::printf("online graph: %zu nodes, %zu edges (degree %zu)\n",
+              model.graph().size(), model.graph().graph().NumEdges(),
+              model.graph().graph().k());
+  std::printf("checkpoint: save %.3fs, load %.3fs\n", save_secs, load_secs);
+
+  gkm::bench::PrintSeriesHeader("window", "distortion", "streaming GK-means");
+  const auto& history = model.history();
+  for (std::size_t w = 0; w < history.size(); w += 5) {
+    if (history[w].distortion > 0.0) {
+      std::printf("%-12zu %-14.4f\n", w, history[w].distortion);
+    }
+  }
+
+  // --- Finish the stream on the restored model: must match exactly. ---
+  Feed(resumed, data.vectors, n / 2, n, window);
+  resumed.Consolidate(3);
+  const bool identical = resumed.labels() == model.labels() &&
+                         resumed.Distortion() == model.Distortion();
+
+  // --- Batch reference on the same data. ---
+  gkm::PipelineParams bp;
+  bp.k = k;
+  bp.clustering.kappa = sp.kappa;
+  bp.graph.kappa = sp.kappa;
+  bp.graph.tau = 6;
+  gkm::Timer batch_timer;
+  const gkm::PipelineResult batch = gkm::GkMeansCluster(data.vectors, bp);
+  const double batch_secs = batch_timer.Seconds();
+  const double batch_e = batch.clustering.distortion;
+
+  std::printf("\nbatch GK-means: %.2fs, distortion %.4f\n", batch_secs,
+              batch_e);
+  std::printf("streaming:      distortion %.4f raw, %.4f consolidated "
+              "(gap %+.2f%%)\n",
+              stream_e_raw, stream_e, 100.0 * (stream_e - batch_e) / batch_e);
+
+  std::printf("\nshape checks:\n");
+  std::printf("  streamed SSE within 10%% of batch:      %s\n",
+              stream_e <= batch_e * 1.10 ? "PASS" : "FAIL");
+  std::printf("  checkpoint restore continues identically: %s\n",
+              identical ? "PASS" : "FAIL");
+  return (stream_e <= batch_e * 1.10 && identical) ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Copyright 2026 The gkmeans Authors.
+// Streaming subsystem walkthrough: cluster a continuously-arriving vector
+// stream with StreamingGkMeans, watch per-window diagnostics, checkpoint
+// mid-stream, and restart from the checkpoint as a server would after a
+// crash or deploy.
+//
+//   ./example_stream_cluster [n] [k] [window]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "stream/checkpoint.h"
+#include "stream/streaming_gkmeans.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32;
+  const std::size_t window =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 500;
+  const std::size_t dim = 24;
+  const std::size_t bootstrap_min = std::max<std::size_t>(4 * k, 512);
+  if (n < 2 * bootstrap_min || k < 2 || window == 0) {
+    std::fprintf(stderr,
+                 "usage: %s [n] [k] [window]\n"
+                 "  n >= %zu (twice the bootstrap threshold for k=%zu), "
+                 "k >= 2, window >= 1\n",
+                 argv[0], 2 * bootstrap_min, k);
+    return 1;
+  }
+
+  std::printf("streaming %zu synthetic points (d=%zu) into k=%zu clusters, "
+              "windows of %zu\n\n", n, dim, k, window);
+  gkm::SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.modes = k;
+  spec.seed = 7;
+  const gkm::SyntheticData data = gkm::MakeGaussianMixture(spec);
+
+  gkm::StreamingGkMeansParams params;
+  params.k = k;
+  params.kappa = 12;
+  params.graph.kappa = 12;
+  params.bootstrap_min = bootstrap_min;
+
+  // Phase 1: stream the first half, as if serving live traffic.
+  gkm::StreamingGkMeans model(dim, params);
+  for (std::size_t begin = 0; begin < n / 2; begin += window) {
+    const std::size_t end = std::min(begin + window, n / 2);
+    model.ObserveWindow(gkm::SliceRows(data.vectors, begin, end));
+    const gkm::WindowStats& ws = model.history().back();
+    if (ws.window % 3 == 0 && model.bootstrapped()) {
+      std::printf("window %3zu: %5zu pts, touched %5zu, moves %4zu, "
+                  "E=%.3f%s\n",
+                  ws.window, ws.points, ws.touched, ws.moves, ws.distortion,
+                  ws.drifted > 0 ? " [drift]" : "");
+    }
+  }
+
+  // Phase 2: checkpoint and "restart the server".
+  const std::string ckpt = "/tmp/gkm_stream_example.ckpt";
+  gkm::SaveStreamCheckpoint(ckpt, model);
+  std::printf("\ncheckpointed %zu points at window %zu -> %s\n",
+              model.points_seen(), model.windows_seen(), ckpt.c_str());
+  gkm::StreamingGkMeans restarted = gkm::LoadStreamCheckpoint(ckpt);
+  std::remove(ckpt.c_str());
+  std::printf("restored: %zu points, distortion %.3f (matches: %s)\n\n",
+              restarted.points_seen(), restarted.Distortion(),
+              restarted.Distortion() == model.Distortion() ? "yes" : "no");
+
+  // Phase 3: the restored instance finishes the stream.
+  for (std::size_t begin = n / 2; begin < n; begin += window) {
+    const std::size_t end = std::min(begin + window, n);
+    restarted.ObserveWindow(gkm::SliceRows(data.vectors, begin, end));
+  }
+  restarted.Consolidate(2);
+
+  const gkm::ClusteringResult res = restarted.Result();
+  const gkm::ClusterSizeStats sizes =
+      gkm::SummarizeClusterSizes(res.assignments, k);
+  std::printf("final: %zu points in %zu clusters, distortion %.3f\n",
+              restarted.points_seen(), k, res.distortion);
+  std::printf("cluster sizes: min %zu / mean %.1f / max %zu (%zu empty)\n",
+              sizes.min, sizes.mean, sizes.max, sizes.empty);
+
+  // Serving: route a fresh query to its cluster via the online graph.
+  const gkm::SyntheticData probe = gkm::MakeGaussianMixture(
+      {.n = 1, .dim = dim, .modes = k, .seed = 99});
+  const auto nn = restarted.graph().SearchKnn(probe.vectors.Row(0), 3);
+  std::printf("\nquery routed to cluster %u via nearest stored points "
+              "[%u %u %u]\n",
+              restarted.labels()[nn[0].id], nn[0].id, nn[1].id, nn[2].id);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "common/binary_io.h"
+
+namespace gkm {
+namespace io {
+
+void WriteMatrix(std::FILE* f, const Matrix& m) {
+  WriteRaw<std::uint64_t>(f, m.rows());
+  WriteRaw<std::uint64_t>(f, m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    WriteArray(f, m.Row(i), m.cols());
+  }
+}
+
+Matrix ReadMatrix(std::FILE* f) {
+  const auto rows64 = ReadRaw<std::uint64_t>(f);
+  const auto cols64 = ReadRaw<std::uint64_t>(f);
+  // The header comes from an untrusted file: bound each dimension and the
+  // product so Matrix::Reset's rows * stride arithmetic cannot wrap into a
+  // short allocation that the payload read then overruns.
+  GKM_CHECK_MSG(rows64 <= (1ull << 40) && cols64 <= (1ull << 24) &&
+                    (cols64 == 0 || rows64 <= (1ull << 40) / cols64),
+                "implausible matrix header");
+  const auto rows = static_cast<std::size_t>(rows64);
+  const auto cols = static_cast<std::size_t>(cols64);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    ReadArray(f, m.Row(i), cols);
+  }
+  return m;
+}
+
+}  // namespace io
+}  // namespace gkm

@@ -1,0 +1,70 @@
+// Copyright 2026 The gkmeans Authors.
+// RAII stdio handle plus checked scalar/array primitives — the shared
+// substrate of every binary reader/writer in the library (the *vecs
+// formats of dataset/io, KnnGraph serialization, stream checkpoints).
+// Lives in common/ so lower-level modules never depend on dataset/.
+
+#ifndef GKM_COMMON_BINARY_IO_H_
+#define GKM_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/matrix.h"
+
+namespace gkm {
+namespace io {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Opens `path` with `mode`, aborting with the path on failure.
+inline File OpenOrDie(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  GKM_CHECK_MSG(f != nullptr, path.c_str());
+  return f;
+}
+
+template <typename T>
+void WriteRaw(std::FILE* f, const T& v) {
+  GKM_CHECK(std::fwrite(&v, sizeof(T), 1, f) == 1);
+}
+
+template <typename T>
+void WriteArray(std::FILE* f, const T* p, std::size_t count) {
+  if (count == 0) return;
+  GKM_CHECK(std::fwrite(p, sizeof(T), count, f) == count);
+}
+
+template <typename T>
+T ReadRaw(std::FILE* f) {
+  T v{};
+  GKM_CHECK_MSG(std::fread(&v, sizeof(T), 1, f) == 1, "truncated file");
+  return v;
+}
+
+template <typename T>
+void ReadArray(std::FILE* f, T* p, std::size_t count) {
+  if (count == 0) return;
+  GKM_CHECK_MSG(std::fread(p, sizeof(T), count, f) == count, "truncated file");
+}
+
+/// Writes `m` as a raw block: u64 rows, u64 cols, then row payloads
+/// (padding stripped). Counterpart of ReadMatrix.
+void WriteMatrix(std::FILE* f, const Matrix& m);
+
+/// Reads a WriteMatrix block. Headers are untrusted input: implausible
+/// dimensions abort rather than feeding an overflowed allocation.
+Matrix ReadMatrix(std::FILE* f);
+
+}  // namespace io
+}  // namespace gkm
+
+#endif  // GKM_COMMON_BINARY_IO_H_

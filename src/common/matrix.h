@@ -67,6 +67,35 @@ class Matrix {
     std::memcpy(Row(i), src, d_ * sizeof(float));
   }
 
+  /// Grows backing storage to hold at least `rows` rows without moving
+  /// existing data logically. The column count must already be set.
+  void Reserve(std::size_t rows) {
+    GKM_CHECK_MSG(stride_ > 0, "Reserve before column count is set");
+    const std::size_t need = rows * stride_ + kAlignFloats;
+    if (need <= data_.size()) return;
+    // Reallocation can land on a different alignment offset, so rows are
+    // copied into a fresh buffer at its own aligned base rather than
+    // resized in place.
+    std::vector<float> fresh(need, 0.0f);
+    float* fresh_base = AlignedIn(fresh);
+    if (n_ > 0) {
+      std::memcpy(fresh_base, base_, n_ * stride_ * sizeof(float));
+    }
+    data_ = std::move(fresh);
+    base_ = AlignedBase();
+  }
+
+  /// Appends one row (amortized O(d) via capacity doubling) — the growth
+  /// path of the streaming subsystem. Use `Matrix(0, d)` to fix `d` first.
+  void AppendRow(const float* src) {
+    GKM_CHECK_MSG(stride_ > 0, "AppendRow before column count is set");
+    if ((n_ + 1) * stride_ + kAlignFloats > data_.size()) {
+      Reserve(n_ < 8 ? 16 : n_ * 2);
+    }
+    ++n_;
+    SetRow(n_ - 1, src);
+  }
+
   /// Logical equality on shape and row contents (padding ignored).
   bool operator==(const Matrix& o) const {
     if (n_ != o.n_ || d_ != o.d_) return false;
@@ -95,11 +124,13 @@ class Matrix {
     return (d + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
   }
 
-  float* AlignedBase() {
-    auto addr = reinterpret_cast<std::uintptr_t>(data_.data());
+  static float* AlignedIn(std::vector<float>& buf) {
+    auto addr = reinterpret_cast<std::uintptr_t>(buf.data());
     std::uintptr_t aligned = (addr + kAlignBytes - 1) / kAlignBytes * kAlignBytes;
-    return data_.data() + (aligned - addr) / sizeof(float);
+    return buf.data() + (aligned - addr) / sizeof(float);
   }
+
+  float* AlignedBase() { return AlignedIn(data_); }
 
   void CopyFrom(const Matrix& o) {
     Reset(o.n_, o.d_);

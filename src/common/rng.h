@@ -14,6 +14,14 @@
 
 namespace gkm {
 
+/// Full generator state, exposed so long-running consumers (the stream
+/// checkpoint) can persist and resume a random stream exactly.
+struct RngSnapshot {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool have_spare = false;
+  double spare = 0.0;
+};
+
 /// splitmix64-seeded xoshiro256** generator. Not cryptographic; chosen for
 /// speed, tiny state and excellent statistical quality for simulation use.
 class Rng {
@@ -110,6 +118,22 @@ class Rng {
   /// `count` distinct indices drawn uniformly from [0, n), in arbitrary
   /// order. Requires count <= n. O(count) expected time via Floyd's method.
   std::vector<std::uint32_t> SampleDistinct(std::size_t n, std::size_t count);
+
+  /// Captures the exact generator state.
+  RngSnapshot Snapshot() const {
+    RngSnapshot snap;
+    for (int i = 0; i < 4; ++i) snap.s[i] = s_[i];
+    snap.have_spare = have_spare_;
+    snap.spare = spare_;
+    return snap;
+  }
+
+  /// Restores a previously captured state; the stream continues bit-exact.
+  void Restore(const RngSnapshot& snap) {
+    for (int i = 0; i < 4; ++i) s_[i] = snap.s[i];
+    have_spare_ = snap.have_spare;
+    spare_ = snap.spare;
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {

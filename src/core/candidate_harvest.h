@@ -1,0 +1,40 @@
+// Copyright 2026 The gkmeans Authors.
+// The candidate-cluster harvesting step shared by batch GK-means (Alg. 2)
+// and the streaming subsystem's mini-batch epochs: collect the distinct
+// cluster ids of a sample's graph neighbors. Deduplication uses an
+// epoch-stamped array — O(kappa) with no clearing.
+
+#ifndef GKM_CORE_CANDIDATE_HARVEST_H_
+#define GKM_CORE_CANDIDATE_HARVEST_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gkm {
+
+/// Collects the distinct cluster ids of the neighbors in `nbrs[0..kappa)`
+/// into `cand`, excluding `skip` (pass an impossible label, e.g. k, to keep
+/// all). `nbrs` entries of UINT32_MAX terminate the scan (short lists).
+/// `stamp`/`cur_stamp` implement the allocation-free dedup; the caller
+/// increments `cur_stamp` before every call.
+inline void HarvestCandidates(const std::uint32_t* nbrs, std::size_t kappa,
+                              const std::vector<std::uint32_t>& labels,
+                              std::uint32_t skip,
+                              std::vector<std::uint32_t>& stamp,
+                              std::uint32_t cur_stamp,
+                              std::vector<std::uint32_t>& cand) {
+  cand.clear();
+  for (std::size_t j = 0; j < kappa; ++j) {
+    const std::uint32_t nb = nbrs[j];
+    if (nb == std::numeric_limits<std::uint32_t>::max()) break;
+    const std::uint32_t c = labels[nb];
+    if (c == skip || stamp[c] == cur_stamp) continue;
+    stamp[c] = cur_stamp;
+    cand.push_back(c);
+  }
+}
+
+}  // namespace gkm
+
+#endif  // GKM_CORE_CANDIDATE_HARVEST_H_

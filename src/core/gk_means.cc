@@ -9,48 +9,10 @@
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/candidate_harvest.h"
 #include "kmeans/cluster_state.h"
 
 namespace gkm {
-namespace {
-
-// Flattened, distance-sorted, truncated-to-kappa neighbor ids: one cache-
-// friendly row per sample. Built once per run — the graph is static during
-// clustering.
-std::vector<std::uint32_t> FlattenNeighbors(const KnnGraph& graph,
-                                            std::size_t kappa) {
-  const std::size_t n = graph.num_nodes();
-  std::vector<std::uint32_t> flat(n * kappa, std::numeric_limits<std::uint32_t>::max());
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::vector<Neighbor> sorted = graph.SortedNeighbors(i);
-    const std::size_t take = std::min(kappa, sorted.size());
-    for (std::size_t j = 0; j < take; ++j) flat[i * kappa + j] = sorted[j].id;
-  }
-  return flat;
-}
-
-// Collects the distinct cluster ids of `i`'s neighbors into `cand`,
-// excluding `skip` (the sample's own cluster in BKM mode; none in
-// traditional mode, which passes k). Deduplication uses an epoch-stamped
-// array: O(kappa) with no clearing.
-inline void HarvestCandidates(const std::uint32_t* nbrs, std::size_t kappa,
-                              const std::vector<std::uint32_t>& labels,
-                              std::uint32_t skip,
-                              std::vector<std::uint32_t>& stamp,
-                              std::uint32_t cur_stamp,
-                              std::vector<std::uint32_t>& cand) {
-  cand.clear();
-  for (std::size_t j = 0; j < kappa; ++j) {
-    const std::uint32_t nb = nbrs[j];
-    if (nb == std::numeric_limits<std::uint32_t>::max()) break;
-    const std::uint32_t c = labels[nb];
-    if (c == skip || stamp[c] == cur_stamp) continue;
-    stamp[c] = cur_stamp;
-    cand.push_back(c);
-  }
-}
-
-}  // namespace
 
 ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
                                   const GkMeansParams& params) {
@@ -76,8 +38,9 @@ ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
     tree.bisect_epochs = params.bisect_epochs;
     labels = TwoMeansTree(data, tree, rng);
   }
+  // Flattened once per run — the graph is static during batch clustering.
   const std::size_t kappa = std::min(params.kappa, graph.k());
-  const std::vector<std::uint32_t> flat = FlattenNeighbors(graph, kappa);
+  const std::vector<std::uint32_t> flat = graph.FlattenNeighborIds(kappa);
 
   ClusterState state(data, labels, k);
   std::vector<float> norms(n);

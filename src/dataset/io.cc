@@ -5,25 +5,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <memory>
 
+#include "common/binary_io.h"
 #include "common/macros.h"
 
 namespace gkm {
 namespace {
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using File = std::unique_ptr<std::FILE, FileCloser>;
-
-File OpenOrDie(const std::string& path, const char* mode) {
-  File f(std::fopen(path.c_str(), mode));
-  GKM_CHECK_MSG(f != nullptr, path.c_str());
-  return f;
-}
+using io::File;
+using io::OpenOrDie;
 
 // Reads one record header; returns false on clean EOF, aborts on corruption.
 bool ReadDim(std::FILE* f, std::int32_t* dim) {

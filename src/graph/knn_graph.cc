@@ -3,9 +3,9 @@
 #include "graph/knn_graph.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <memory>
+#include <limits>
 
+#include "common/binary_io.h"
 #include "common/distance.h"
 #include "common/macros.h"
 
@@ -17,10 +17,42 @@ KnnGraph::KnnGraph(std::size_t n, std::size_t k) : k_(k) {
   for (std::size_t i = 0; i < n; ++i) lists_.emplace_back(k);
 }
 
+std::size_t KnnGraph::NumEdges() const {
+  std::size_t total = 0;
+  for (const TopK& list : lists_) total += list.size();
+  return total;
+}
+
 std::vector<Neighbor> KnnGraph::SortedNeighbors(std::size_t i) const {
-  std::vector<Neighbor> out = lists_[i].items();
-  std::sort(out.begin(), out.end());
+  std::vector<Neighbor> out;
+  SortedNeighborsInto(i, out);
   return out;
+}
+
+void KnnGraph::SortedNeighborsInto(std::size_t i,
+                                   std::vector<Neighbor>& out) const {
+  const std::vector<Neighbor>& items = lists_[i].items();
+  out.assign(items.begin(), items.end());
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<std::uint32_t> KnnGraph::FlattenNeighborIds(
+    std::size_t kappa) const {
+  const std::size_t n = num_nodes();
+  std::vector<std::uint32_t> flat(n * kappa,
+                                  std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<Neighbor> sorted = SortedNeighbors(i);
+    const std::size_t take = std::min(kappa, sorted.size());
+    for (std::size_t j = 0; j < take; ++j) flat[i * kappa + j] = sorted[j].id;
+  }
+  return flat;
+}
+
+std::uint32_t KnnGraph::AddNode() {
+  GKM_CHECK_MSG(k_ > 0, "AddNode on a default-constructed graph");
+  lists_.emplace_back(k_);
+  return static_cast<std::uint32_t>(lists_.size() - 1);
 }
 
 bool KnnGraph::Update(std::size_t i, std::uint32_t j, float dist) {
@@ -60,49 +92,46 @@ void KnnGraph::SetList(std::size_t i, const std::vector<Neighbor>& neighbors) {
   lists_[i] = std::move(fresh);
 }
 
-namespace {
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-}  // namespace
-
-void KnnGraph::Save(const std::string& path) const {
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
-  GKM_CHECK_MSG(f != nullptr, path.c_str());
+void KnnGraph::SaveTo(std::FILE* f) const {
   const std::uint64_t n = num_nodes();
-  const std::uint64_t k = k_;
-  GKM_CHECK(std::fwrite(&n, sizeof(n), 1, f.get()) == 1);
-  GKM_CHECK(std::fwrite(&k, sizeof(k), 1, f.get()) == 1);
+  io::WriteRaw<std::uint64_t>(f, n);
+  io::WriteRaw<std::uint64_t>(f, k_);
   for (std::size_t i = 0; i < n; ++i) {
     const std::vector<Neighbor> nbs = SortedNeighbors(i);
-    const std::uint32_t len = static_cast<std::uint32_t>(nbs.size());
-    GKM_CHECK(std::fwrite(&len, sizeof(len), 1, f.get()) == 1);
-    if (len > 0) {
-      GKM_CHECK(std::fwrite(nbs.data(), sizeof(Neighbor), len, f.get()) == len);
-    }
+    io::WriteRaw<std::uint32_t>(f, static_cast<std::uint32_t>(nbs.size()));
+    io::WriteArray(f, nbs.data(), nbs.size());
   }
 }
 
-KnnGraph KnnGraph::Load(const std::string& path) {
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
-  GKM_CHECK_MSG(f != nullptr, path.c_str());
-  std::uint64_t n = 0, k = 0;
-  GKM_CHECK(std::fread(&n, sizeof(n), 1, f.get()) == 1);
-  GKM_CHECK(std::fread(&k, sizeof(k), 1, f.get()) == 1);
-  KnnGraph g(static_cast<std::size_t>(n), static_cast<std::size_t>(k));
+KnnGraph KnnGraph::LoadFrom(std::FILE* f) {
+  const auto n64 = io::ReadRaw<std::uint64_t>(f);
+  const auto k64 = io::ReadRaw<std::uint64_t>(f);
+  // The header is untrusted file input: bound it so a corrupt file aborts
+  // cleanly instead of attempting a terabyte-scale allocation.
+  GKM_CHECK_MSG(n64 <= (1ull << 40) && k64 > 0 && k64 <= (1u << 24),
+                "implausible graph header");
+  const auto n = static_cast<std::size_t>(n64);
+  const auto k = static_cast<std::size_t>(k64);
+  KnnGraph g(n, k);
   std::vector<Neighbor> buf;
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint32_t len = 0;
-    GKM_CHECK(std::fread(&len, sizeof(len), 1, f.get()) == 1);
+    const auto len = io::ReadRaw<std::uint32_t>(f);
+    GKM_CHECK_MSG(len <= k, "graph list longer than capacity");
     buf.resize(len);
-    if (len > 0) {
-      GKM_CHECK(std::fread(buf.data(), sizeof(Neighbor), len, f.get()) == len);
-    }
+    io::ReadArray(f, buf.data(), buf.size());
     g.SetList(i, buf);
   }
   return g;
+}
+
+void KnnGraph::Save(const std::string& path) const {
+  io::File f = io::OpenOrDie(path, "wb");
+  SaveTo(f.get());
+}
+
+KnnGraph KnnGraph::Load(const std::string& path) {
+  io::File f = io::OpenOrDie(path, "rb");
+  return LoadFrom(f.get());
 }
 
 }  // namespace gkm

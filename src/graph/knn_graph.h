@@ -8,6 +8,7 @@
 #define GKM_GRAPH_KNN_GRAPH_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,9 @@ class KnnGraph {
   std::size_t num_nodes() const { return lists_.size(); }
   std::size_t k() const { return k_; }
 
+  /// Total number of directed edges currently stored (<= num_nodes * k).
+  std::size_t NumEdges() const;
+
   /// Neighbor list of node `i` (unsorted; see SortedNeighbors).
   const std::vector<Neighbor>& NeighborsOf(std::size_t i) const {
     return lists_[i].items();
@@ -35,6 +39,20 @@ class KnnGraph {
 
   /// Neighbors of node `i` sorted ascending by distance (copies).
   std::vector<Neighbor> SortedNeighbors(std::size_t i) const;
+
+  /// Allocation-free variant: fills the caller's buffer instead. For hot
+  /// loops that fetch lists live from a mutating graph (streaming epochs).
+  void SortedNeighborsInto(std::size_t i, std::vector<Neighbor>& out) const;
+
+  /// Flattened, distance-sorted neighbor ids truncated to `kappa` per node:
+  /// one cache-friendly row of length `kappa` per node, short lists padded
+  /// with UINT32_MAX. The export GK-means iterates over and serializers
+  /// walk — callers never touch the heap internals.
+  std::vector<std::uint32_t> FlattenNeighborIds(std::size_t kappa) const;
+
+  /// Appends a node with an empty neighbor list; returns its id. The
+  /// incremental-build entry point of the streaming subsystem.
+  std::uint32_t AddNode();
 
   /// Attempts to insert the directed edge i -> (j, dist). Self-loops are
   /// rejected. Returns true when the list changed.
@@ -54,6 +72,11 @@ class KnnGraph {
   /// Binary serialization (for building once and reusing across benches).
   void Save(const std::string& path) const;
   static KnnGraph Load(const std::string& path);
+
+  /// Stream variants, for embedding a graph inside a larger file (the
+  /// stream checkpoint format).
+  void SaveTo(std::FILE* f) const;
+  static KnnGraph LoadFrom(std::FILE* f);
 
  private:
   std::size_t k_ = 0;

@@ -29,9 +29,67 @@ ClusterState::ClusterState(const Matrix& data,
   Rebuild(data, labels);
 }
 
+ClusterState::ClusterState(std::size_t dim, std::size_t k)
+    : dim_(dim), n_(0) {
+  d_.assign(k * dim, 0.0);
+  counts_.assign(k, 0);
+  dnorm_.assign(k, 0.0);
+  point_norms_.assign(k, 0.0);
+}
+
+void ClusterState::AddPoint(const float* x, std::size_t v) {
+  GKM_DCHECK(v < counts_.size());
+  double* dv = d_.data() + v * dim_;
+  double nv = 0.0, norm = 0.0;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    dv[j] += x[j];
+    nv += dv[j] * dv[j];
+    norm += static_cast<double>(x[j]) * x[j];
+  }
+  dnorm_[v] = nv;
+  ++counts_[v];
+  point_norms_[v] += norm;
+  sum_point_norms_ += norm;
+  ++n_;
+}
+
+void ClusterState::MergeClusters(std::size_t dst, std::size_t src) {
+  GKM_DCHECK(dst != src);
+  double* dd = d_.data() + dst * dim_;
+  double* ds = d_.data() + src * dim_;
+  double nrm = 0.0;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    dd[j] += ds[j];
+    ds[j] = 0.0;
+    nrm += dd[j] * dd[j];
+  }
+  dnorm_[dst] = nrm;
+  dnorm_[src] = 0.0;
+  counts_[dst] += counts_[src];
+  counts_[src] = 0;
+  point_norms_[dst] += point_norms_[src];
+  point_norms_[src] = 0.0;
+}
+
+void ClusterState::RestoreRaw(std::size_t n, std::vector<double> composites,
+                              std::vector<std::uint32_t> counts,
+                              std::vector<double> composite_norms,
+                              std::vector<double> point_norms,
+                              double sum_point_norms) {
+  const std::size_t k = counts_.size();
+  GKM_CHECK(composites.size() == k * dim_);
+  GKM_CHECK(counts.size() == k && composite_norms.size() == k);
+  GKM_CHECK(point_norms.size() == k);
+  n_ = n;
+  d_ = std::move(composites);
+  counts_ = std::move(counts);
+  dnorm_ = std::move(composite_norms);
+  point_norms_ = std::move(point_norms);
+  sum_point_norms_ = sum_point_norms;
+}
+
 void ClusterState::Rebuild(const Matrix& data,
                            const std::vector<std::uint32_t>& labels) {
-  data_ = &data;
   dim_ = data.cols();
   n_ = data.rows();
   GKM_CHECK(labels.size() == n_);
@@ -39,6 +97,7 @@ void ClusterState::Rebuild(const Matrix& data,
   d_.assign(k * dim_, 0.0);
   counts_.assign(k, 0);
   dnorm_.assign(k, 0.0);
+  point_norms_.assign(k, 0.0);
   sum_point_norms_ = 0.0;
   for (std::size_t i = 0; i < n_; ++i) {
     const std::uint32_t r = labels[i];
@@ -51,6 +110,7 @@ void ClusterState::Rebuild(const Matrix& data,
       norm += static_cast<double>(x[j]) * x[j];
     }
     ++counts_[r];
+    point_norms_[r] += norm;
     sum_point_norms_ += norm;
   }
   for (std::size_t r = 0; r < k; ++r) {
@@ -87,17 +147,20 @@ void ClusterState::Move(const float* x, std::size_t u, std::size_t v) {
   GKM_DCHECK(counts_[u] >= 1);
   double* du = d_.data() + u * dim_;
   double* dv = d_.data() + v * dim_;
-  double nu = 0.0, nv = 0.0;
+  double nu = 0.0, nv = 0.0, xn = 0.0;
   for (std::size_t j = 0; j < dim_; ++j) {
     du[j] -= x[j];
     dv[j] += x[j];
     nu += du[j] * du[j];
     nv += dv[j] * dv[j];
+    xn += static_cast<double>(x[j]) * x[j];
   }
   dnorm_[u] = nu;
   dnorm_[v] = nv;
   --counts_[u];
   ++counts_[v];
+  point_norms_[u] -= xn;
+  point_norms_[v] += xn;
 }
 
 double ClusterState::ObjectiveI() const {

@@ -28,12 +28,18 @@
 
 namespace gkm {
 
-/// Incrementally-maintained cluster statistics over a fixed dataset.
+/// Incrementally-maintained cluster statistics. The classic constructor
+/// covers a fixed dataset; the streaming subsystem instead starts empty and
+/// grows one sample at a time via AddPoint.
 class ClusterState {
  public:
   /// Builds the state for `labels` (values in [0, k)). O(n d).
   ClusterState(const Matrix& data, const std::vector<std::uint32_t>& labels,
                std::size_t k);
+
+  /// Empty state over `k` clusters of dimension `dim` (n = 0). Populate
+  /// with AddPoint.
+  ClusterState(std::size_t dim, std::size_t k);
 
   std::size_t k() const { return counts_.size(); }
   std::size_t dim() const { return dim_; }
@@ -56,6 +62,38 @@ class ClusterState {
   /// O(d). Updates composites, counts and cached norms.
   void Move(const float* x, std::size_t u, std::size_t v);
 
+  /// Admits a brand-new sample into cluster `v` (n grows by one). O(d).
+  /// The streaming ingest path.
+  void AddPoint(const float* x, std::size_t v);
+
+  /// Folds cluster `src` into `dst`, leaving `src` empty. O(d). The caller
+  /// owns relabeling the members. Streaming merge maintenance.
+  void MergeClusters(std::size_t dst, std::size_t src);
+
+  /// Within-cluster SSE of `r`: sum_{i in r} ||x_i - c_r||^2, via the
+  /// identity SSE_r = sum ||x_i||^2 - ||D_r||^2 / n_r. O(1).
+  double ClusterSse(std::size_t r) const {
+    return counts_[r] == 0 ? 0.0
+                           : point_norms_[r] - dnorm_[r] / counts_[r];
+  }
+
+  std::size_t n() const { return n_; }
+
+  /// Replaces every cached statistic with externally supplied values — the
+  /// checkpoint-restore path, which must reproduce the incremental state
+  /// bit-for-bit rather than re-derive it (re-summation changes low-order
+  /// float bits). Sizes must match k() * dim().
+  void RestoreRaw(std::size_t n, std::vector<double> composites,
+                  std::vector<std::uint32_t> counts,
+                  std::vector<double> composite_norms,
+                  std::vector<double> point_norms, double sum_point_norms);
+
+  const std::vector<std::uint32_t>& counts() const { return counts_; }
+  const std::vector<double>& composites() const { return d_; }
+  const std::vector<double>& composite_norms() const { return dnorm_; }
+  /// Per-cluster sum of member ||x||^2 (the SSE bookkeeping).
+  const std::vector<double>& point_norms() const { return point_norms_; }
+
   /// Objective I = sum_r ||D_r||^2 / n_r (empty clusters contribute 0).
   double ObjectiveI() const;
 
@@ -73,12 +111,12 @@ class ClusterState {
   void Rebuild(const Matrix& data, const std::vector<std::uint32_t>& labels);
 
  private:
-  const Matrix* data_;
   std::size_t dim_ = 0;
   std::size_t n_ = 0;
   std::vector<double> d_;        // k x dim composite vectors
   std::vector<std::uint32_t> counts_;
   std::vector<double> dnorm_;    // ||D_r||^2
+  std::vector<double> point_norms_;  // per-cluster sum of ||x_i||^2
   double sum_point_norms_ = 0.0;
 };
 

@@ -1,0 +1,169 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "stream/checkpoint.h"
+
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/macros.h"
+
+namespace gkm {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'K', 'M', 'C'};
+constexpr char kTrailer[4] = {'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
+  io::WriteRaw<std::uint64_t>(f, p.k);
+  io::WriteRaw<std::uint64_t>(f, p.kappa);
+  io::WriteRaw<std::uint64_t>(f, p.graph.kappa);
+  io::WriteRaw<std::uint64_t>(f, p.graph.beam_width);
+  io::WriteRaw<std::uint64_t>(f, p.graph.num_seeds);
+  io::WriteRaw<std::uint64_t>(f, p.graph.bootstrap);
+  io::WriteRaw<std::uint64_t>(f, p.graph.seed);
+  io::WriteRaw<std::uint64_t>(f, p.epochs_per_window);
+  io::WriteRaw<std::uint64_t>(f, p.bootstrap_min);
+  io::WriteRaw<std::uint64_t>(f, p.bootstrap_epochs);
+  io::WriteRaw<std::uint64_t>(f, p.bisect_epochs);
+  io::WriteRaw<double>(f, p.drift_threshold);
+  io::WriteRaw<std::uint64_t>(f, p.max_extra_epochs);
+  io::WriteRaw<std::uint64_t>(f, p.max_splits_per_window);
+  io::WriteRaw<double>(f, p.split_gain_factor);
+  io::WriteRaw<std::uint64_t>(f, p.route_hints);
+  io::WriteRaw<std::uint64_t>(f, p.history_limit);
+  io::WriteRaw<std::uint64_t>(f, p.seed);
+}
+
+StreamingGkMeansParams ReadParams(std::FILE* f) {
+  StreamingGkMeansParams p;
+  p.k = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.kappa = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.graph.kappa = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.graph.beam_width = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.graph.num_seeds = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.graph.bootstrap = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.graph.seed = io::ReadRaw<std::uint64_t>(f);
+  p.epochs_per_window =
+      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.bootstrap_min = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.bootstrap_epochs =
+      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.bisect_epochs = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.drift_threshold = io::ReadRaw<double>(f);
+  p.max_extra_epochs =
+      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.max_splits_per_window =
+      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.split_gain_factor = io::ReadRaw<double>(f);
+  p.route_hints = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.history_limit = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
+  p.seed = io::ReadRaw<std::uint64_t>(f);
+  return p;
+}
+
+void WriteRng(std::FILE* f, const RngSnapshot& r) {
+  io::WriteArray(f, r.s, 4);
+  io::WriteRaw<std::uint8_t>(f, r.have_spare ? 1 : 0);
+  io::WriteRaw<double>(f, r.spare);
+}
+
+RngSnapshot ReadRng(std::FILE* f) {
+  RngSnapshot r;
+  io::ReadArray(f, r.s, 4);
+  r.have_spare = io::ReadRaw<std::uint8_t>(f) != 0;
+  r.spare = io::ReadRaw<double>(f);
+  return r;
+}
+
+}  // namespace
+
+void SaveStreamCheckpoint(const std::string& path,
+                          const StreamingGkMeans& model) {
+  const StreamSnapshot snap = model.Snapshot();
+  io::File f = io::OpenOrDie(path, "wb");
+
+  io::WriteArray(f.get(), kMagic, 4);
+  io::WriteRaw<std::uint32_t>(f.get(), kVersion);
+  WriteParams(f.get(), snap.params);
+
+  io::WriteRaw<std::uint64_t>(f.get(), snap.windows);
+  io::WriteRaw<std::uint8_t>(f.get(), snap.bootstrapped ? 1 : 0);
+  WriteRng(f.get(), snap.rng);
+  WriteRng(f.get(), snap.graph_rng);
+
+  io::WriteMatrix(f.get(), snap.points);
+  snap.graph.SaveTo(f.get());
+  io::WriteRaw<std::uint64_t>(f.get(), snap.labels.size());
+  io::WriteArray(f.get(), snap.labels.data(), snap.labels.size());
+  io::WriteArray(f.get(), snap.cluster_reps.data(), snap.cluster_reps.size());
+
+  io::WriteRaw<std::uint64_t>(f.get(), snap.n);
+  io::WriteArray(f.get(), snap.counts.data(), snap.counts.size());
+  io::WriteArray(f.get(), snap.composites.data(), snap.composites.size());
+  io::WriteArray(f.get(), snap.composite_norms.data(),
+                 snap.composite_norms.size());
+  io::WriteArray(f.get(), snap.point_norms.data(), snap.point_norms.size());
+  io::WriteRaw<double>(f.get(), snap.sum_point_norms);
+
+  io::WriteMatrix(f.get(), snap.prev_centroids);
+  io::WriteArray(f.get(), kTrailer, 4);
+}
+
+StreamingGkMeans LoadStreamCheckpoint(const std::string& path) {
+  io::File f = io::OpenOrDie(path, "rb");
+
+  char magic[4];
+  io::ReadArray(f.get(), magic, 4);
+  GKM_CHECK_MSG(std::memcmp(magic, kMagic, 4) == 0,
+                "not a GKMC checkpoint file");
+  const auto version = io::ReadRaw<std::uint32_t>(f.get());
+  GKM_CHECK_MSG(version == kVersion, "unsupported checkpoint version");
+
+  StreamSnapshot snap;
+  snap.params = ReadParams(f.get());
+  // Plausibility bounds on file-supplied sizes, mirroring io::ReadMatrix:
+  // a bit-flipped header must abort cleanly, not feed resize() a
+  // terabyte-scale or size_t-wrapping request.
+  GKM_CHECK_MSG(snap.params.k > 0 && snap.params.k <= (1u << 24),
+                "implausible checkpoint k");
+  snap.windows = io::ReadRaw<std::uint64_t>(f.get());
+  snap.bootstrapped = io::ReadRaw<std::uint8_t>(f.get()) != 0;
+  snap.rng = ReadRng(f.get());
+  snap.graph_rng = ReadRng(f.get());
+
+  snap.points = io::ReadMatrix(f.get());
+  snap.graph = KnnGraph::LoadFrom(f.get());
+  const auto n_labels =
+      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
+  GKM_CHECK_MSG(n_labels == snap.points.rows(),
+                "checkpoint label count does not match point count");
+  snap.labels.resize(n_labels);
+  io::ReadArray(f.get(), snap.labels.data(), n_labels);
+  const std::size_t k = snap.params.k;
+  snap.cluster_reps.resize(k);
+  io::ReadArray(f.get(), snap.cluster_reps.data(), k);
+
+  GKM_CHECK_MSG(k * snap.points.cols() <= (1ull << 40),
+                "implausible checkpoint state size");
+  snap.n = io::ReadRaw<std::uint64_t>(f.get());
+  snap.counts.resize(k);
+  io::ReadArray(f.get(), snap.counts.data(), k);
+  snap.composites.resize(k * snap.points.cols());
+  io::ReadArray(f.get(), snap.composites.data(), snap.composites.size());
+  snap.composite_norms.resize(k);
+  io::ReadArray(f.get(), snap.composite_norms.data(), k);
+  snap.point_norms.resize(k);
+  io::ReadArray(f.get(), snap.point_norms.data(), k);
+  snap.sum_point_norms = io::ReadRaw<double>(f.get());
+
+  snap.prev_centroids = io::ReadMatrix(f.get());
+  char trailer[4];
+  io::ReadArray(f.get(), trailer, 4);
+  GKM_CHECK_MSG(std::memcmp(trailer, kTrailer, 4) == 0,
+                "corrupt checkpoint: missing trailer");
+
+  return StreamingGkMeans::FromSnapshot(std::move(snap));
+}
+
+}  // namespace gkm

@@ -1,0 +1,44 @@
+// Copyright 2026 The gkmeans Authors.
+// Versioned binary checkpointing for the streaming subsystem: the whole
+// StreamingGkMeans state — ingested vectors, online KNN graph, labels,
+// composite-vector statistics, drift baseline, stream cursor and RNG —
+// round-trips through one file, so a serving process can restart
+// mid-stream and continue bit-for-bit as if never interrupted.
+//
+// File layout (little-endian; see README "Checkpoint file format"):
+//   magic "GKMC" | u32 version (currently 1)
+//   params block  — every StreamingGkMeansParams / OnlineGraphParams field
+//   cursor block  — windows consumed, bootstrapped flag, RNG snapshots
+//                   (clusterer then online graph)
+//   points        — io::WriteMatrix (u64 rows, u64 cols, row payloads)
+//   graph         — KnnGraph::SaveTo (u64 n, u64 k, per-node sorted lists)
+//   labels        — u64 count, u32 per point, then u32 routing
+//                   representative per cluster
+//   state block   — u64 n, u32 counts[k], f64 composites[k*dim],
+//                   f64 composite_norms[k], f64 point_norms[k],
+//                   f64 sum_point_norms
+//   drift block   — io::WriteMatrix of the previous-window centroids
+//   trailer magic "CKPT"
+//
+// Per-window history (diagnostics only) is intentionally not persisted.
+
+#ifndef GKM_STREAM_CHECKPOINT_H_
+#define GKM_STREAM_CHECKPOINT_H_
+
+#include <string>
+
+#include "stream/streaming_gkmeans.h"
+
+namespace gkm {
+
+/// Writes `model`'s full state to `path`. Aborts on I/O failure.
+void SaveStreamCheckpoint(const std::string& path,
+                          const StreamingGkMeans& model);
+
+/// Restores a model from `path`. Aborts on missing file, bad magic or an
+/// unsupported version.
+StreamingGkMeans LoadStreamCheckpoint(const std::string& path);
+
+}  // namespace gkm
+
+#endif  // GKM_STREAM_CHECKPOINT_H_

@@ -1,0 +1,205 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "stream/online_knn_graph.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/macros.h"
+
+namespace gkm {
+namespace {
+
+// Pool entry ordered by distance; `expanded` marks walked candidates.
+struct PoolEntry {
+  std::uint32_t id;
+  float dist;
+  bool expanded;
+};
+
+}  // namespace
+
+namespace {
+
+// Shared by both constructors: restored params are as untrusted as fresh
+// ones, and the walk assumes every one of these.
+void ValidateParams(const OnlineGraphParams& params) {
+  GKM_CHECK(params.kappa > 0);
+  GKM_CHECK(params.beam_width >= params.kappa);
+  GKM_CHECK(params.num_seeds > 0);
+}
+
+}  // namespace
+
+OnlineKnnGraph::OnlineKnnGraph(std::size_t dim,
+                               const OnlineGraphParams& params)
+    : params_(params), points_(0, dim), graph_(0, params.kappa),
+      rng_(params.seed) {
+  GKM_CHECK(dim > 0);
+  ValidateParams(params);
+}
+
+OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
+                               const OnlineGraphParams& params,
+                               const RngSnapshot& rng)
+    : params_(params), points_(std::move(points)), graph_(std::move(graph)) {
+  ValidateParams(params);
+  GKM_CHECK_MSG(points_.rows() == graph_.num_nodes(),
+                "points/graph size mismatch");
+  GKM_CHECK(graph_.k() == params.kappa);
+  // Edge ids come from an untrusted checkpoint and are dereferenced
+  // unchecked by every later walk: reject out-of-range or self edges here.
+  const std::size_t n = points_.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : graph_.NeighborsOf(i)) {
+      GKM_CHECK_MSG(nb.id < n && nb.id != i, "corrupt graph edge");
+    }
+  }
+  rng_.Restore(rng);
+  visit_stamp_.assign(points_.rows(), 0);
+}
+
+std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
+    const float* q, Rng& rng, const std::vector<std::uint32_t>* seed_hints,
+    std::vector<std::uint32_t>& stamp, std::uint32_t& epoch) const {
+  const std::size_t n = points_.rows();
+  const std::size_t d = points_.cols();
+
+  if (n <= params_.bootstrap) {
+    // Small corpus: exact scan, all points are candidates.
+    std::vector<Neighbor> all(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      all[i] = Neighbor{static_cast<std::uint32_t>(i),
+                        L2Sqr(q, points_.Row(i), d)};
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  const std::size_t beam = params_.beam_width;
+  ++epoch;
+  std::vector<PoolEntry> pool;
+  pool.reserve(beam + 1);
+
+  auto try_add = [&](std::uint32_t id) {
+    if (stamp[id] == epoch) return;
+    stamp[id] = epoch;
+    const float dist = L2Sqr(q, points_.Row(id), d);
+    if (pool.size() == beam && dist >= pool.back().dist) return;
+    const PoolEntry fresh{id, dist, false};
+    auto pos = std::lower_bound(pool.begin(), pool.end(), fresh,
+                                [](const PoolEntry& a, const PoolEntry& b) {
+                                  return a.dist < b.dist;
+                                });
+    pool.insert(pos, fresh);
+    if (pool.size() > beam) pool.pop_back();
+  };
+
+  // Hint entry points first: callers with structural knowledge (the
+  // streaming clusterer's per-cluster representatives) route the walk
+  // straight into the query's region.
+  if (seed_hints != nullptr) {
+    for (const std::uint32_t h : *seed_hints) {
+      if (h < n) try_add(h);
+    }
+  }
+  // Fresh random entry points every walk, so failures to land in the
+  // query's mode are independent across inserts. The most recent node is
+  // always seeded too — streams are often locally correlated and the
+  // newest region is exactly where lists are thinnest.
+  for (std::size_t s = 0; s < params_.num_seeds; ++s) {
+    try_add(static_cast<std::uint32_t>(rng.Index(n)));
+  }
+  try_add(static_cast<std::uint32_t>(n - 1));
+
+  for (;;) {
+    std::size_t next = pool.size();
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      if (!pool[p].expanded) {
+        next = p;
+        break;
+      }
+    }
+    if (next == pool.size()) break;
+    pool[next].expanded = true;
+    for (const Neighbor& nb : graph_.NeighborsOf(pool[next].id)) {
+      try_add(nb.id);
+    }
+  }
+
+  std::vector<Neighbor> out;
+  out.reserve(pool.size());
+  for (const PoolEntry& e : pool) out.push_back(Neighbor{e.id, e.dist});
+  return out;
+}
+
+std::uint32_t OnlineKnnGraph::Insert(
+    const float* x, std::vector<std::uint32_t>* touched,
+    const std::vector<std::uint32_t>* seed_hints) {
+  const std::size_t n_before = points_.rows();
+  const std::vector<Neighbor> cand =
+      CollectCandidates(x, rng_, seed_hints, visit_stamp_, visit_epoch_);
+
+  const std::uint32_t id = graph_.AddNode();
+  points_.AppendRow(x);
+  visit_stamp_.push_back(0);
+
+  // Forward edges: the kappa closest candidates become the new node's list.
+  const std::size_t take = std::min(params_.kappa, cand.size());
+  for (std::size_t j = 0; j < take; ++j) {
+    graph_.Update(id, cand[j].id, cand[j].dist);
+  }
+  // Reverse-edge repair: offer the new point to every node the walk
+  // scored. Each Push is O(log kappa) against an already-known distance,
+  // and it is what keeps early nodes' lists converging toward the true
+  // neighborhood as the corpus fills in around them.
+  std::vector<std::uint32_t> adopters;  // ascending distance (cand is sorted)
+  for (const Neighbor& nb : cand) {
+    if (graph_.Update(nb.id, id, nb.dist)) {
+      adopters.push_back(nb.id);
+      if (touched != nullptr) touched->push_back(nb.id);
+    }
+  }
+
+  // Local join (NN-Descent's join step, applied once around each insert):
+  // a node whose own insertion walk failed — likely in a rare mode no
+  // entry point hit — has a list full of far points; reverse pushes alone
+  // only hand it this one new id. Cross-linking each adopter with the new
+  // node's accepted neighbor list reconnects such nodes to their real
+  // neighborhood through the new point. Bounded to the kappa closest
+  // adopters: O(kappa^2) extra distance evaluations.
+  if (n_before > params_.bootstrap) {
+    const std::size_t d = points_.cols();
+    const std::vector<Neighbor> my_list = graph_.SortedNeighbors(id);
+    const std::size_t join = std::min(params_.kappa, adopters.size());
+    for (std::size_t a = 0; a < join; ++a) {
+      const std::uint32_t t = adopters[a];
+      for (const Neighbor& l : my_list) {
+        if (l.id == t || l.id == id) continue;
+        const float dist = L2Sqr(points_.Row(t), points_.Row(l.id), d);
+        const bool t_changed = graph_.Update(t, l.id, dist);
+        const bool l_changed = graph_.Update(l.id, t, dist);
+        if (touched != nullptr) {
+          if (t_changed) touched->push_back(t);
+          if (l_changed) touched->push_back(l.id);
+        }
+      }
+    }
+  }
+  return id;
+}
+
+std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
+                                                std::size_t topk) const {
+  // Local generator and visited scratch: read-only queries never perturb
+  // the insert stream (replay determinism) and never share mutable state
+  // with concurrent searches.
+  Rng rng(params_.seed ^ (size() * 0x9e3779b97f4a7c15ULL));
+  std::vector<std::uint32_t> stamp(points_.rows(), 0);
+  std::uint32_t epoch = 0;
+  std::vector<Neighbor> cand = CollectCandidates(q, rng, nullptr, stamp, epoch);
+  if (cand.size() > topk) cand.resize(topk);
+  return cand;
+}
+
+}  // namespace gkm

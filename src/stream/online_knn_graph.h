@@ -1,0 +1,104 @@
+// Copyright 2026 The gkmeans Authors.
+// Incrementally-maintained approximate KNN graph for continuously-arriving
+// points, after "Fast Online k-nn Graph Building" (Debatty et al.): each
+// insert runs a bounded graph-walk search over the current graph to find
+// the new point's kappa nearest neighbors, then offers the new point back
+// to every node inspected (reverse-edge repair), so old nodes' lists keep
+// improving as the stream flows. Per-insert work is O(beam * kappa)
+// distance evaluations — sub-linear in the corpus — versus the O(n) of a
+// brute-force insert.
+//
+// The structure owns both the vectors (an append-only Matrix) and the
+// graph, because insertion must read existing rows to score candidates.
+
+#ifndef GKM_STREAM_ONLINE_KNN_GRAPH_H_
+#define GKM_STREAM_ONLINE_KNN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "graph/knn_graph.h"
+
+namespace gkm {
+
+/// Knobs of the online builder.
+struct OnlineGraphParams {
+  std::size_t kappa = 20;      ///< graph out-degree (neighbors kept per node)
+  std::size_t beam_width = 48; ///< insert-search candidate pool (recall knob)
+  /// Walk entry points per insert, drawn fresh from the builder's RNG each
+  /// time. On multi-modal data the graph is near-disconnected across
+  /// modes, so a walk only succeeds when a seed lands in the query's mode;
+  /// fresh draws make consecutive inserts fail independently instead of
+  /// isolating whole stretches of a mode the way a fixed seed set would.
+  std::size_t num_seeds = 64;
+  std::size_t bootstrap = 128; ///< below this size, inserts are brute-force
+  std::uint64_t seed = 42;     ///< RNG seed for entry-point draws
+};
+
+/// Growing KNN graph + vector store. Deterministic: the graph produced is a
+/// pure function of the insertion sequence and the RNG seed, which the
+/// streaming replay test relies on; the RNG state round-trips through
+/// checkpoints so restarts continue the same stream.
+class OnlineKnnGraph {
+ public:
+  /// Empty structure over `dim`-dimensional points.
+  OnlineKnnGraph(std::size_t dim, const OnlineGraphParams& params);
+
+  /// Re-assembles a structure from checkpointed parts. `rng` must be the
+  /// snapshot taken alongside the parts for insertions to continue
+  /// bit-exact.
+  OnlineKnnGraph(Matrix points, KnnGraph graph, const OnlineGraphParams& params,
+                 const RngSnapshot& rng);
+
+  std::size_t size() const { return points_.rows(); }
+  std::size_t dim() const { return points_.cols(); }
+  const Matrix& points() const { return points_; }
+  const KnnGraph& graph() const { return graph_; }
+  const OnlineGraphParams& params() const { return params_; }
+  RngSnapshot rng_state() const { return rng_.Snapshot(); }
+
+  /// Inserts `x` (dim floats): finds its kappa approximate nearest
+  /// neighbors, links both directions and locally joins the surrounding
+  /// lists; returns the new node's id. When `touched` is non-null, ids of
+  /// pre-existing nodes whose neighbor lists changed are appended to it —
+  /// possibly with duplicates — forming the set the streaming clusterer
+  /// re-optimizes. `seed_hints` (optional) adds caller-supplied walk entry
+  /// points on top of the random ones — the streaming clusterer passes
+  /// representatives of the clusters nearest `x`, which routes the walk
+  /// into rare modes that random entry would miss.
+  std::uint32_t Insert(const float* x,
+                       std::vector<std::uint32_t>* touched = nullptr,
+                       const std::vector<std::uint32_t>* seed_hints = nullptr);
+
+  /// Approximate top-k nearest existing points to `q` via the same bounded
+  /// graph walk the insert path uses. Sorted ascending by distance.
+  /// Thread-safe against other concurrent SearchKnn calls (each query
+  /// carries its own visited scratch); not against concurrent Insert.
+  std::vector<Neighbor> SearchKnn(const float* q, std::size_t topk) const;
+
+ private:
+  /// Bounded best-first walk seeded from `rng` plus optional hint entry
+  /// points; returns up to beam_width exact-scored candidates sorted
+  /// ascending. Falls back to scanning everything while the corpus is
+  /// below the bootstrap threshold. `stamp`/`epoch` are the caller's
+  /// visited markers (one slot per node, epoch-stamped so walks never
+  /// clear O(n) state).
+  std::vector<Neighbor> CollectCandidates(
+      const float* q, Rng& rng, const std::vector<std::uint32_t>* seed_hints,
+      std::vector<std::uint32_t>& stamp, std::uint32_t& epoch) const;
+
+  OnlineGraphParams params_;
+  Matrix points_;
+  KnnGraph graph_;
+  Rng rng_;
+  // Insert-path visited markers; read-only queries use per-call scratch
+  // instead so concurrent searches never share state.
+  std::vector<std::uint32_t> visit_stamp_;
+  std::uint32_t visit_epoch_ = 0;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_STREAM_ONLINE_KNN_GRAPH_H_

@@ -1,0 +1,521 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "stream/streaming_gkmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/macros.h"
+#include "core/candidate_harvest.h"
+#include "kmeans/two_means_tree.h"
+
+namespace gkm {
+namespace {
+
+constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+
+// Both constructors funnel through this: params restored from a checkpoint
+// are as untrusted as caller-supplied ones.
+void ValidateParams(const StreamingGkMeansParams& params) {
+  GKM_CHECK(params.k >= 2);
+  GKM_CHECK(params.kappa > 0);
+  GKM_CHECK_MSG(params.bootstrap_min > 2 * params.k,
+                "bootstrap window too small for k clusters");
+}
+
+}  // namespace
+
+StreamingGkMeans::StreamingGkMeans(std::size_t dim,
+                                   const StreamingGkMeansParams& params)
+    : params_(params),
+      graph_(dim, params.graph),
+      state_(dim, params.k),
+      cluster_reps_(params.k, kUnassigned),
+      rng_(params.seed),
+      stamp_(params.k, 0) {
+  ValidateParams(params);
+  cand_.reserve(params.kappa + 1);
+}
+
+StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
+    : params_(snap.params),
+      graph_(std::move(snap.points), std::move(snap.graph), snap.params.graph,
+             snap.graph_rng),
+      labels_(std::move(snap.labels)),
+      state_(graph_.dim(), snap.params.k),
+      prev_centroids_(std::move(snap.prev_centroids)),
+      cluster_reps_(std::move(snap.cluster_reps)),
+      rng_(snap.params.seed),
+      windows_(snap.windows),
+      bootstrapped_(snap.bootstrapped),
+      stamp_(snap.params.k, 0) {
+  ValidateParams(params_);
+  GKM_CHECK_MSG(labels_.size() == graph_.size(),
+                "labels/points size mismatch in snapshot");
+  if (cluster_reps_.empty()) cluster_reps_.assign(params_.k, kUnassigned);
+  GKM_CHECK(cluster_reps_.size() == params_.k);
+  // Snapshots come from untrusted files: validate every index that later
+  // code uses unchecked, so a bit-flipped checkpoint aborts cleanly here
+  // instead of corrupting the heap in an epoch loop.
+  for (const std::uint32_t l : labels_) {
+    GKM_CHECK_MSG(l < params_.k || (!bootstrapped_ && l == kUnassigned),
+                  "snapshot label out of range");
+  }
+  for (const std::uint32_t rep : cluster_reps_) {
+    GKM_CHECK_MSG(rep == kUnassigned || rep < graph_.size(),
+                  "snapshot cluster representative out of range");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : snap.counts) total += c;
+  GKM_CHECK_MSG(total == snap.n, "snapshot counts do not sum to n");
+  GKM_CHECK_MSG(snap.n <= labels_.size(), "snapshot n exceeds point count");
+  GKM_CHECK_MSG(prev_centroids_.rows() == 0 ||
+                    (prev_centroids_.rows() == params_.k &&
+                     prev_centroids_.cols() == graph_.dim()),
+                "snapshot drift baseline has wrong shape");
+  state_.RestoreRaw(static_cast<std::size_t>(snap.n),
+                    std::move(snap.composites), std::move(snap.counts),
+                    std::move(snap.composite_norms),
+                    std::move(snap.point_norms), snap.sum_point_norms);
+  rng_.Restore(snap.rng);
+  cand_.reserve(params_.kappa + 1);
+}
+
+void StreamingGkMeans::ObserveWindow(const Matrix& window) {
+  GKM_CHECK_MSG(window.cols() == dim(), "window dimension mismatch");
+  WindowStats ws;
+  ws.window = static_cast<std::size_t>(windows_);
+  ws.points = window.rows();
+
+  // Centroids snapshotted at window start: they steer both insert routing
+  // and the nearest-centroid assignment fallback.
+  const bool was_bootstrapped = bootstrapped_;
+  Matrix centroids;
+  if (was_bootstrapped) centroids = state_.Centroids();
+
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint32_t> fresh;
+  std::vector<std::uint32_t> hints;
+  fresh.reserve(window.rows());
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    const float* x = window.Row(r);
+    const std::vector<std::uint32_t>* hint_ptr = nullptr;
+    if (was_bootstrapped && params_.route_hints > 0) {
+      ComputeRouteHints(x, centroids, hints);
+      if (!hints.empty()) hint_ptr = &hints;
+    }
+    const std::uint32_t id = graph_.Insert(x, &touched, hint_ptr);
+    labels_.push_back(kUnassigned);
+    fresh.push_back(id);
+  }
+
+  if (!bootstrapped_) {
+    if (graph_.size() >= params_.bootstrap_min) Bootstrap();
+  } else {
+    for (const std::uint32_t id : fresh) AssignNew(id, centroids);
+
+    // The re-optimization scope: the new points, every node whose neighbor
+    // list adopted one of them, and the immediate graph neighborhood of
+    // the new points — everything whose local density the window changed.
+    for (const std::uint32_t id : fresh) {
+      touched.push_back(id);
+      for (const Neighbor& nb : graph_.graph().NeighborsOf(id)) {
+        touched.push_back(nb.id);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    ws.touched = touched.size();
+
+    ws.moves = RunEpochs(touched, params_.epochs_per_window, &ws.epochs);
+    DriftAndReseed(touched, ws);
+    SplitMergeMaintain(ws);
+  }
+
+  if (bootstrapped_) ws.distortion = state_.Distortion();
+  ++windows_;
+  if (params_.history_limit > 0 && history_.size() >= params_.history_limit) {
+    history_.pop_front();
+  }
+  history_.push_back(ws);
+}
+
+void StreamingGkMeans::Bootstrap() {
+  const Matrix& data = graph_.points();
+  TwoMeansParams tp;
+  tp.k = params_.k;
+  tp.bisect_epochs = params_.bisect_epochs;
+  labels_ = TwoMeansTree(data, tp, rng_);
+  state_.Rebuild(data, labels_);
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    cluster_reps_[labels_[i]] = static_cast<std::uint32_t>(i);
+  }
+  bootstrapped_ = true;
+
+  std::vector<std::uint32_t> all(graph_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
+  }
+  RunEpochs(all, params_.bootstrap_epochs, nullptr);
+  prev_centroids_ = state_.Centroids();
+}
+
+void StreamingGkMeans::ComputeRouteHints(const float* x,
+                                         const Matrix& centroids,
+                                         std::vector<std::uint32_t>& hints) {
+  hints.clear();
+  TopK nearest(params_.route_hints);
+  for (std::size_t c = 0; c < params_.k; ++c) {
+    if (state_.CountOf(c) == 0 || cluster_reps_[c] == kUnassigned) continue;
+    nearest.Push(static_cast<std::uint32_t>(c),
+                 L2Sqr(x, centroids.Row(c), dim()));
+  }
+  for (const Neighbor& nb : nearest.items()) {
+    hints.push_back(cluster_reps_[nb.id]);
+  }
+}
+
+void StreamingGkMeans::AssignNew(std::uint32_t id, const Matrix& centroids) {
+  const float* x = graph_.points().Row(id);
+  const float xn = NormSqr(x, dim());
+  const std::size_t kappa = std::min(params_.kappa, graph_.graph().k());
+
+  graph_.graph().SortedNeighborsInto(id, nbr_scratch_);
+  const std::size_t take = std::min(kappa, nbr_scratch_.size());
+  nbr_ids_.assign(kappa, kUnassigned);
+  for (std::size_t j = 0; j < take; ++j) nbr_ids_[j] = nbr_scratch_[j].id;
+  // skip = kUnassigned keeps same-window not-yet-assigned neighbors out.
+  ++cur_stamp_;
+  HarvestCandidates(nbr_ids_.data(), kappa, labels_, kUnassigned, stamp_,
+                    cur_stamp_, cand_);
+  double best_gain = -std::numeric_limits<double>::max();
+  std::uint32_t best = kUnassigned;
+  for (const std::uint32_t c : cand_) {
+    const double g = state_.GainArrive(x, xn, c);
+    if (g > best_gain) {
+      best_gain = g;
+      best = c;
+    }
+  }
+  if (best == kUnassigned) {
+    best = static_cast<std::uint32_t>(NearestRow(centroids, x));
+  }
+  state_.AddPoint(x, best);
+  labels_[id] = best;
+  cluster_reps_[best] = id;
+}
+
+std::size_t StreamingGkMeans::RunEpochs(const std::vector<std::uint32_t>& ids,
+                                        std::size_t epochs,
+                                        std::size_t* epochs_run) {
+  const Matrix& data = graph_.points();
+  const std::size_t d = dim();
+  const std::size_t kappa = std::min(params_.kappa, graph_.graph().k());
+  std::vector<std::uint32_t> order(ids);
+  std::vector<std::uint32_t> nbr(kappa);
+
+  std::size_t total_moves = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    rng_.Shuffle(order);
+    std::size_t moves = 0;
+    for (const std::uint32_t i : order) {
+      const std::uint32_t u = labels_[i];
+      if (state_.CountOf(u) < 2) continue;
+      // The graph mutates between windows, so neighbor rows are fetched
+      // live rather than flattened once as in the batch algorithm (into a
+      // reused buffer — this runs once per visited sample per epoch).
+      graph_.graph().SortedNeighborsInto(i, nbr_scratch_);
+      const std::vector<Neighbor>& sorted = nbr_scratch_;
+      const std::size_t take = std::min(kappa, sorted.size());
+      for (std::size_t j = 0; j < take; ++j) nbr[j] = sorted[j].id;
+      for (std::size_t j = take; j < kappa; ++j) nbr[j] = kUnassigned;
+      ++cur_stamp_;
+      HarvestCandidates(nbr.data(), kappa, labels_, u, stamp_, cur_stamp_,
+                        cand_);
+      if (cand_.empty()) continue;
+      const float* x = data.Row(i);
+      const float xn = NormSqr(x, d);
+      double best_gain = -std::numeric_limits<double>::max();
+      std::uint32_t best_v = u;
+      for (const std::uint32_t v : cand_) {
+        const double g = state_.GainArrive(x, xn, v);
+        if (g > best_gain) {
+          best_gain = g;
+          best_v = v;
+        }
+      }
+      if (best_v == u) continue;
+      if (best_gain + state_.GainLeave(x, xn, u) > 0.0) {
+        state_.Move(x, u, best_v);
+        labels_[i] = best_v;
+        cluster_reps_[best_v] = i;
+        ++moves;
+      }
+    }
+    total_moves += moves;
+    if (epochs_run != nullptr) ++*epochs_run;
+    if (moves == 0) break;
+  }
+  return total_moves;
+}
+
+void StreamingGkMeans::DriftAndReseed(
+    const std::vector<std::uint32_t>& touched, WindowStats& ws) {
+  const std::size_t k = params_.k;
+  const std::size_t d = dim();
+  Matrix cur = state_.Centroids();
+
+  if (params_.drift_threshold > 0.0 && prev_centroids_.rows() == k) {
+    const double rms = std::sqrt(std::max(state_.Distortion(), 1e-30));
+    std::size_t drifted = 0;
+    double max_rel = 0.0;
+    for (std::size_t r = 0; r < k; ++r) {
+      if (state_.CountOf(r) == 0) continue;
+      const double rel =
+          std::sqrt(L2Sqr(cur.Row(r), prev_centroids_.Row(r), d)) / rms;
+      max_rel = std::max(max_rel, rel);
+      if (rel > params_.drift_threshold) ++drifted;
+    }
+    ws.drifted = drifted;
+    ws.max_drift = max_rel;
+    if (drifted > 0 && params_.max_extra_epochs > 0) {
+      // Drift means the window genuinely moved the model: grant the
+      // touched neighborhoods extra settling epochs before the next window
+      // lands on a stale partition.
+      ws.moves += RunEpochs(touched, params_.max_extra_epochs, &ws.epochs);
+      cur = state_.Centroids();
+    }
+  }
+
+  // Re-seed empty clusters (possible when the bootstrap partition starved
+  // one, or after Restore of a degenerate state): move the worst-fit
+  // member of the most populous cluster in as the new seed.
+  for (std::size_t r = 0; r < k; ++r) {
+    if (state_.CountOf(r) != 0) continue;
+    std::size_t donor = 0;
+    for (std::size_t c = 1; c < k; ++c) {
+      if (state_.CountOf(c) > state_.CountOf(donor)) donor = c;
+    }
+    if (state_.CountOf(donor) < 2) break;
+    const Matrix& data = graph_.points();
+    std::uint32_t seed_id = kUnassigned;
+    float worst = -1.0f;
+    for (const std::uint32_t i : touched) {
+      if (labels_[i] != donor) continue;
+      const float dist = L2Sqr(data.Row(i), cur.Row(donor), d);
+      if (dist > worst) {
+        worst = dist;
+        seed_id = i;
+      }
+    }
+    if (seed_id == kUnassigned) {
+      // Rare fallback: no touched member of the donor — full scan.
+      for (std::size_t i = 0; i < labels_.size(); ++i) {
+        if (labels_[i] != donor) continue;
+        const float dist = L2Sqr(data.Row(i), cur.Row(donor), d);
+        if (dist > worst) {
+          worst = dist;
+          seed_id = static_cast<std::uint32_t>(i);
+        }
+      }
+    }
+    if (seed_id == kUnassigned) break;
+    state_.Move(data.Row(seed_id), donor, r);
+    labels_[seed_id] = r;
+    cluster_reps_[r] = seed_id;
+    ++ws.reseeded;
+    cur = state_.Centroids();
+  }
+
+  prev_centroids_ = std::move(cur);
+}
+
+void StreamingGkMeans::SplitMergeMaintain(WindowStats& ws) {
+  const std::size_t k = params_.k;
+  if (k < 3 || params_.max_splits_per_window == 0) return;
+  const std::size_t d = dim();
+  const Matrix& data = graph_.points();
+
+  for (std::size_t op = 0; op < params_.max_splits_per_window; ++op) {
+    // Cheapest merge: the pair whose union loses the least Delta-I,
+    //   loss(a,b) = ||Da||^2/na + ||Db||^2/nb - ||Da+Db||^2/(na+nb).
+    // O(k^2 d) on the composite vectors — no point data touched.
+    double best_loss = std::numeric_limits<double>::max();
+    std::size_t ma = k, mb = k;
+    for (std::size_t a = 0; a < k; ++a) {
+      if (state_.CountOf(a) == 0) continue;
+      const double* da = state_.Composite(a);
+      for (std::size_t b = a + 1; b < k; ++b) {
+        if (state_.CountOf(b) == 0) continue;
+        const double* db = state_.Composite(b);
+        double dot = 0.0;
+        for (std::size_t j = 0; j < d; ++j) dot += da[j] * db[j];
+        const double na = state_.CountOf(a);
+        const double nb = state_.CountOf(b);
+        const double merged = state_.CompositeNormSqr(a) + 2.0 * dot +
+                              state_.CompositeNormSqr(b);
+        const double loss = state_.CompositeNormSqr(a) / na +
+                            state_.CompositeNormSqr(b) / nb -
+                            merged / (na + nb);
+        if (loss < best_loss) {
+          best_loss = loss;
+          ma = a;
+          mb = b;
+        }
+      }
+    }
+    if (ma == k) break;
+
+    // Split target: the highest-SSE cluster with enough members to carve.
+    double best_sse = 0.0;
+    std::size_t sc = k;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == ma || c == mb || state_.CountOf(c) < 8) continue;
+      const double sse = state_.ClusterSse(c);
+      if (sse > best_sse) {
+        best_sse = sse;
+        sc = c;
+      }
+    }
+    // Restructure only when the split's (conservatively estimated) gain
+    // clearly buys back the merge's loss. `break`, not return: earlier ops
+    // this window may have moved centroids, and the final baseline refresh
+    // below must still run.
+    if (sc == k || best_loss >= params_.split_gain_factor * best_sse) break;
+
+    // Execute. One label scan: fold mb's members into ma, gather sc's.
+    std::vector<std::uint32_t> members;
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      if (labels_[i] == mb) {
+        labels_[i] = ma;
+        cluster_reps_[ma] = static_cast<std::uint32_t>(i);
+      } else if (labels_[i] == sc) {
+        members.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    state_.MergeClusters(ma, mb);
+
+    // Split sc in two with a short 2-means over its members: seeds are the
+    // member farthest from the centroid and the member farthest from that
+    // seed (a cheap stand-in for the principal axis extremes).
+    std::vector<float> c1(d), c2(d);
+    {
+      const double* ds = state_.Composite(sc);
+      const double inv = 1.0 / state_.CountOf(sc);
+      for (std::size_t j = 0; j < d; ++j) {
+        c1[j] = static_cast<float>(ds[j] * inv);
+      }
+    }
+    std::uint32_t m1 = members[0];
+    float worst = -1.0f;
+    for (const std::uint32_t i : members) {
+      const float dist = L2Sqr(data.Row(i), c1.data(), d);
+      if (dist > worst) {
+        worst = dist;
+        m1 = i;
+      }
+    }
+    std::uint32_t m2 = members[0];
+    worst = -1.0f;
+    for (const std::uint32_t i : members) {
+      const float dist = L2Sqr(data.Row(i), data.Row(m1), d);
+      if (dist > worst) {
+        worst = dist;
+        m2 = i;
+      }
+    }
+    std::vector<char> side(members.size(), 0);
+    std::memcpy(c1.data(), data.Row(m1), d * sizeof(float));
+    std::memcpy(c2.data(), data.Row(m2), d * sizeof(float));
+    for (int pass = 0; pass < 3; ++pass) {
+      std::vector<double> s1(d, 0.0), s2(d, 0.0);
+      std::size_t n1 = 0, n2 = 0;
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const float* x = data.Row(members[m]);
+        side[m] = L2Sqr(x, c2.data(), d) < L2Sqr(x, c1.data(), d) ? 1 : 0;
+        double* s = side[m] ? s2.data() : s1.data();
+        for (std::size_t j = 0; j < d; ++j) s[j] += x[j];
+        (side[m] ? n2 : n1) += 1;
+      }
+      if (n1 == 0 || n2 == 0) break;
+      for (std::size_t j = 0; j < d; ++j) {
+        c1[j] = static_cast<float>(s1[j] / static_cast<double>(n1));
+        c2[j] = static_cast<float>(s2[j] / static_cast<double>(n2));
+      }
+    }
+    // Side 2 becomes the freed cluster id; keep at least one point on each
+    // side (degenerate splits just leave mb empty for the re-seeder).
+    const double sse_before = state_.ClusterSse(sc);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (side[m] == 0) continue;
+      if (state_.CountOf(sc) < 2) break;
+      state_.Move(data.Row(members[m]), sc, mb);
+      labels_[members[m]] = mb;
+      cluster_reps_[mb] = members[m];
+    }
+    ++ws.split_merges;
+    // One settling epoch over the restructured region refines the new
+    // boundary against neighboring clusters.
+    RunEpochs(members, 1, nullptr);
+    // Stop when restructuring stops paying: the split's realized SSE
+    // reduction no longer covers the merge's loss.
+    const double realized =
+        sse_before - state_.ClusterSse(sc) - state_.ClusterSse(mb);
+    if (realized <= best_loss) break;
+  }
+  prev_centroids_ = state_.Centroids();
+}
+
+void StreamingGkMeans::Consolidate(std::size_t epochs) {
+  GKM_CHECK_MSG(bootstrapped_, "Consolidate before bootstrap");
+  std::vector<std::uint32_t> all(graph_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
+  }
+  WindowStats scratch;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    RunEpochs(all, 1, nullptr);
+    SplitMergeMaintain(scratch);
+  }
+  prev_centroids_ = state_.Centroids();
+}
+
+ClusteringResult StreamingGkMeans::Result() const {
+  ClusteringResult res;
+  res.method = "streaming-gk-means";
+  res.assignments = labels_;
+  res.centroids = state_.Centroids();
+  if (state_.n() > 0) res.distortion = state_.Distortion();
+  res.iterations = static_cast<std::size_t>(windows_);
+  return res;
+}
+
+StreamSnapshot StreamingGkMeans::Snapshot() const {
+  StreamSnapshot s;
+  s.params = params_;
+  s.points = graph_.points();
+  s.graph = graph_.graph();
+  s.labels = labels_;
+  s.n = state_.n();
+  s.composites = state_.composites();
+  s.counts = state_.counts();
+  s.composite_norms = state_.composite_norms();
+  s.point_norms = state_.point_norms();
+  s.sum_point_norms = state_.SumPointNormSqr();
+  s.prev_centroids = prev_centroids_;
+  s.cluster_reps = cluster_reps_;
+  s.windows = windows_;
+  s.bootstrapped = bootstrapped_;
+  s.rng = rng_.Snapshot();
+  s.graph_rng = graph_.rng_state();
+  return s;
+}
+
+StreamingGkMeans StreamingGkMeans::FromSnapshot(StreamSnapshot snap) {
+  return StreamingGkMeans(std::move(snap));
+}
+
+}  // namespace gkm

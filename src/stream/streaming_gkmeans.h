@@ -1,0 +1,197 @@
+// Copyright 2026 The gkmeans Authors.
+// Streaming GK-means: graph-supported clustering (Alg. 2's Delta-I move
+// machinery) over a corpus that arrives in windows. Each window is (1)
+// inserted into an OnlineKnnGraph, (2) assigned to clusters by the BKM
+// arrival gain over its graph neighbors' clusters, and (3) re-optimized by
+// a bounded number of mini-batch epochs that only visit the neighborhoods
+// the window touched — per-window cost is proportional to the window, not
+// the corpus. Cluster drift is detected by centroid displacement between
+// windows, and clusters that end up empty are re-seeded from the worst-fit
+// member of the most populous cluster.
+//
+// The clusterer's entire state — vectors, graph, labels, composite-vector
+// statistics, stream cursor, RNG — round-trips through the checkpoint
+// format (see stream/checkpoint.h), so a serving process can restart
+// mid-stream without recomputation.
+
+#ifndef GKM_STREAM_STREAMING_GKMEANS_H_
+#define GKM_STREAM_STREAMING_GKMEANS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "kmeans/cluster_state.h"
+#include "kmeans/types.h"
+#include "stream/online_knn_graph.h"
+
+namespace gkm {
+
+/// Knobs of the streaming clusterer.
+struct StreamingGkMeansParams {
+  std::size_t k = 8;                ///< number of clusters
+  std::size_t kappa = 20;           ///< neighbors consulted per sample
+  OnlineGraphParams graph;          ///< online graph knobs (degree >= kappa)
+  std::size_t epochs_per_window = 2;///< bounded mini-batch epochs per window
+  std::size_t bootstrap_min = 256;  ///< points accumulated before clustering
+  std::size_t bootstrap_epochs = 4; ///< full epochs right after bootstrap
+  std::size_t bisect_epochs = 6;    ///< 2M-tree refinement at bootstrap
+  /// A cluster whose centroid moves more than this fraction of the RMS
+  /// point-to-centroid distance in one window counts as drifted; any drift
+  /// grants up to `max_extra_epochs` additional epochs. 0 disables.
+  double drift_threshold = 0.25;
+  std::size_t max_extra_epochs = 1;
+  /// Split/merge maintenance ops allowed per window (0 disables). Each op
+  /// merges the cheapest cluster pair and splits the highest-SSE cluster —
+  /// the global restructuring single-sample Delta-I moves cannot perform,
+  /// without which a streamed model locks into its bootstrap partition.
+  /// The loop also stops early once an op's realized SSE reduction no
+  /// longer covers its merge loss. Each op costs O(k^2 d) on composite
+  /// vectors plus one label scan and a local epoch over the split cluster.
+  std::size_t max_splits_per_window = 4;
+  /// A split/merge runs only when the merge's Delta-I loss is below this
+  /// fraction of the split target's SSE (conservative estimate of the
+  /// split's gain).
+  double split_gain_factor = 0.35;
+  /// Insert-routing: seed each point's graph walk from representatives of
+  /// this many nearest clusters (0 disables). Couples the clustering back
+  /// into graph construction — rare modes own a cluster (split/merge sees
+  /// to that), so their representative routes the walk where random entry
+  /// points rarely land.
+  std::size_t route_hints = 8;
+  /// Diagnostics retained: history() keeps the stats of the most recent
+  /// this-many windows (the stream is unbounded; the process must not be).
+  std::size_t history_limit = 4096;
+  std::uint64_t seed = 42;
+};
+
+/// Per-window diagnostics (the streaming analogue of IterStat).
+struct WindowStats {
+  std::size_t window = 0;       ///< 0-based window index
+  std::size_t points = 0;       ///< rows ingested this window
+  std::size_t touched = 0;      ///< nodes re-optimized by the epochs
+  std::size_t epochs = 0;       ///< epochs actually run (incl. drift extras)
+  std::size_t moves = 0;        ///< label changes across those epochs
+  std::size_t drifted = 0;      ///< clusters beyond the drift threshold
+  std::size_t reseeded = 0;     ///< empty clusters re-seeded
+  std::size_t split_merges = 0; ///< split/merge maintenance ops executed
+  double max_drift = 0.0;       ///< max centroid shift / RMS radius
+  double distortion = 0.0;      ///< E (Eqn. 4) over all points so far
+};
+
+/// Everything needed to reconstruct a StreamingGkMeans exactly — produced
+/// by Snapshot(), consumed by FromSnapshot(), serialized by
+/// stream/checkpoint.{h,cc}.
+struct StreamSnapshot {
+  StreamingGkMeansParams params;
+  Matrix points;                          ///< n x dim ingested vectors
+  KnnGraph graph;                         ///< online graph edges
+  std::vector<std::uint32_t> labels;      ///< cluster per point
+  std::uint64_t n = 0;                    ///< points admitted to the state
+  std::vector<double> composites;         ///< k x dim composite vectors
+  std::vector<std::uint32_t> counts;      ///< cluster sizes
+  std::vector<double> composite_norms;    ///< ||D_r||^2 cache
+  std::vector<double> point_norms;        ///< per-cluster sum ||x||^2
+  double sum_point_norms = 0.0;
+  Matrix prev_centroids;                  ///< drift baseline (may be empty)
+  std::vector<std::uint32_t> cluster_reps;///< routing representative per cluster
+  std::uint64_t windows = 0;              ///< stream cursor: windows consumed
+  bool bootstrapped = false;
+  RngSnapshot rng;                        ///< clusterer RNG
+  RngSnapshot graph_rng;                  ///< online-graph RNG
+};
+
+/// Online GK-means over an unbounded stream of fixed-dimension vectors.
+class StreamingGkMeans {
+ public:
+  StreamingGkMeans(std::size_t dim, const StreamingGkMeansParams& params);
+
+  /// Ingests one window (any number of rows, dim columns): inserts into the
+  /// graph, assigns, and re-optimizes the touched neighborhoods. Before
+  /// `bootstrap_min` points have accumulated the rows are only inserted;
+  /// the first window that crosses the threshold triggers batch
+  /// initialization of the clustering.
+  void ObserveWindow(const Matrix& window);
+
+  /// Runs `epochs` Delta-I epochs over *all* points — the periodic
+  /// consolidation a server can schedule off-peak. Cost O(n kappa d).
+  void Consolidate(std::size_t epochs);
+
+  std::size_t dim() const { return graph_.dim(); }
+  std::size_t points_seen() const { return graph_.size(); }
+  std::size_t windows_seen() const { return windows_; }
+  bool bootstrapped() const { return bootstrapped_; }
+  const OnlineKnnGraph& graph() const { return graph_; }
+  const std::vector<std::uint32_t>& labels() const { return labels_; }
+  /// Per-window diagnostics, most recent `history_limit` windows only.
+  const std::deque<WindowStats>& history() const { return history_; }
+  const StreamingGkMeansParams& params() const { return params_; }
+
+  /// Average distortion E over everything ingested so far (bootstrapped
+  /// streams only).
+  double Distortion() const { return state_.Distortion(); }
+
+  /// Snapshot of the clustering in the shape batch algorithms report, so
+  /// streaming and batch results drop into the same benches.
+  ClusteringResult Result() const;
+
+  /// Checkpoint support.
+  StreamSnapshot Snapshot() const;
+  static StreamingGkMeans FromSnapshot(StreamSnapshot snap);
+
+ private:
+  explicit StreamingGkMeans(StreamSnapshot snap);
+
+  /// Fills `hints` with the representatives of the route_hints clusters
+  /// whose centroids are nearest `x` — the walk entry points for Insert.
+  void ComputeRouteHints(const float* x, const Matrix& centroids,
+                         std::vector<std::uint32_t>& hints);
+
+  /// Assigns a freshly inserted node by the best arrival gain among its
+  /// graph neighbors' clusters (nearest centroid when none are labeled
+  /// yet, e.g. the first rows of a window).
+  void AssignNew(std::uint32_t id, const Matrix& centroids);
+
+  /// Batch initialization once bootstrap_min points have accumulated.
+  void Bootstrap();
+
+  /// `epochs` shuffled Delta-I passes over `ids`; returns moves made.
+  std::size_t RunEpochs(const std::vector<std::uint32_t>& ids,
+                        std::size_t epochs, std::size_t* epochs_run);
+
+  /// Drift bookkeeping + empty-cluster re-seeding after a window's epochs.
+  void DriftAndReseed(const std::vector<std::uint32_t>& touched,
+                      WindowStats& ws);
+
+  /// Bounded ISODATA-style restructuring: merge the cheapest cluster pair,
+  /// split the highest-SSE cluster in two. Runs at most
+  /// max_splits_per_window times per call.
+  void SplitMergeMaintain(WindowStats& ws);
+
+  StreamingGkMeansParams params_;
+  OnlineKnnGraph graph_;
+  std::vector<std::uint32_t> labels_;
+  ClusterState state_;
+  Matrix prev_centroids_;
+  /// One member node id per cluster (the most recently assigned), used as
+  /// a walk entry point when inserting nearby new points. Staleness after
+  /// relabeling is harmless — a hint is a routing aid, not an invariant.
+  std::vector<std::uint32_t> cluster_reps_;
+  Rng rng_;
+  std::uint64_t windows_ = 0;
+  bool bootstrapped_ = false;
+  std::deque<WindowStats> history_;  // bounded ring: O(1) trim per window
+  // Epoch-stamped scratch for candidate harvesting, plus a reused buffer
+  // for live sorted-neighbor fetches in the epoch hot path.
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t cur_stamp_ = 0;
+  std::vector<std::uint32_t> cand_;
+  std::vector<Neighbor> nbr_scratch_;
+  std::vector<std::uint32_t> nbr_ids_;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_STREAM_STREAMING_GKMEANS_H_

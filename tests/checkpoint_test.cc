@@ -1,0 +1,168 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the stream checkpoint: save -> load round-trip equality of the
+// entire model state, bit-exact continuation after restore, pre-bootstrap
+// checkpoints, and corruption rejection.
+
+#include "stream/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "stream/streaming_gkmeans.h"
+
+namespace gkm {
+namespace {
+
+constexpr std::size_t kDim = 10;
+
+SyntheticData StreamData(std::size_t n, std::uint64_t seed = 21) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = kDim;
+  spec.modes = 10;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+StreamingGkMeansParams SmallParams() {
+  // Deliberately non-default values throughout: a params field the
+  // checkpoint forgets to persist breaks the continuation tests below.
+  StreamingGkMeansParams p;
+  p.k = 8;
+  p.kappa = 8;
+  p.graph.kappa = 8;
+  p.graph.beam_width = 24;
+  p.graph.num_seeds = 24;
+  p.graph.seed = 77;
+  p.bootstrap_min = 300;
+  p.route_hints = 5;
+  p.split_gain_factor = 0.4;
+  p.seed = 9;
+  return p;
+}
+
+void Feed(StreamingGkMeans& model, const Matrix& data, std::size_t window) {
+  for (std::size_t begin = 0; begin < data.rows(); begin += window) {
+    const std::size_t end = std::min(begin + window, data.rows());
+    model.ObserveWindow(SliceRows(data, begin, end));
+  }
+}
+
+void ExpectIdenticalState(const StreamingGkMeans& a,
+                          const StreamingGkMeans& b) {
+  EXPECT_EQ(a.points_seen(), b.points_seen());
+  EXPECT_EQ(a.windows_seen(), b.windows_seen());
+  EXPECT_EQ(a.bootstrapped(), b.bootstrapped());
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_TRUE(a.graph().points() == b.graph().points());
+  ASSERT_EQ(a.graph().graph().num_nodes(), b.graph().graph().num_nodes());
+  for (std::size_t i = 0; i < a.graph().graph().num_nodes(); ++i) {
+    EXPECT_EQ(a.graph().graph().SortedNeighbors(i),
+              b.graph().graph().SortedNeighbors(i));
+  }
+  if (a.bootstrapped()) {
+    EXPECT_DOUBLE_EQ(a.Distortion(), b.Distortion());
+    EXPECT_TRUE(a.Result().centroids == b.Result().centroids);
+  }
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripRestoresIdenticalState) {
+  const SyntheticData data = StreamData(1000);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 200);
+  ASSERT_TRUE(model.bootstrapped());
+
+  const std::string path = TempPath("stream.ckpt");
+  SaveStreamCheckpoint(path, model);
+  StreamingGkMeans back = LoadStreamCheckpoint(path);
+  ExpectIdenticalState(model, back);
+  // Every params field survives (all are non-default in SmallParams).
+  EXPECT_EQ(back.params().route_hints, model.params().route_hints);
+  EXPECT_EQ(back.params().seed, model.params().seed);
+  EXPECT_EQ(back.params().split_gain_factor,
+            model.params().split_gain_factor);
+  EXPECT_EQ(back.graph().params().seed, model.graph().params().seed);
+  EXPECT_EQ(back.graph().params().num_seeds,
+            model.graph().params().num_seeds);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RestoredModelContinuesBitExact) {
+  const SyntheticData data = StreamData(1600);
+  const Matrix head = SliceRows(data.vectors, 0, 800);
+  const Matrix tail = SliceRows(data.vectors, 800, 1600);
+
+  StreamingGkMeans uninterrupted(kDim, SmallParams());
+  Feed(uninterrupted, head, 200);
+
+  const std::string path = TempPath("stream_continue.ckpt");
+  SaveStreamCheckpoint(path, uninterrupted);
+  StreamingGkMeans resumed = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+
+  // Stream the tail into both; a restart must be invisible.
+  Feed(uninterrupted, tail, 200);
+  Feed(resumed, tail, 200);
+  ExpectIdenticalState(uninterrupted, resumed);
+}
+
+TEST(CheckpointTest, PreBootstrapCheckpointRoundTrips) {
+  const SyntheticData data = StreamData(150);
+  StreamingGkMeans model(kDim, SmallParams());
+  model.ObserveWindow(data.vectors);
+  ASSERT_FALSE(model.bootstrapped());
+
+  const std::string path = TempPath("stream_young.ckpt");
+  SaveStreamCheckpoint(path, model);
+  StreamingGkMeans back = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+  ExpectIdenticalState(model, back);
+
+  // Both cross the bootstrap threshold identically afterwards.
+  const SyntheticData more = StreamData(400, 77);
+  model.ObserveWindow(more.vectors);
+  back.ObserveWindow(more.vectors);
+  EXPECT_TRUE(model.bootstrapped());
+  ExpectIdenticalState(model, back);
+}
+
+TEST(CheckpointTest, RejectsNonCheckpointFile) {
+  const std::string path = TempPath("not_a_checkpoint.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a GKMC file", f);
+  std::fclose(f);
+  EXPECT_DEATH(LoadStreamCheckpoint(path), "not a GKMC checkpoint");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTruncatedFile) {
+  const SyntheticData data = StreamData(500);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 250);
+  const std::string path = TempPath("stream_trunc.ckpt");
+  SaveStreamCheckpoint(path, model);
+
+  // Truncate the tail off.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 64);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_DEATH(LoadStreamCheckpoint(path), "truncated|trailer");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gkm

@@ -136,5 +136,70 @@ TEST(ClusterStateTest, SingletonClusterDistortionZeroContribution) {
   EXPECT_NEAR(state.Distortion(), 0.0, 1e-9);
 }
 
+TEST(ClusterStateTest, AddPointGrowthMatchesBatchConstruction) {
+  // Growing an empty state one sample at a time must land on the same
+  // statistics as constructing from the full label vector.
+  const SyntheticData data = SmallData(120, 6);
+  Rng rng(9);
+  const auto labels = BalancedRandomLabels(120, 8, rng);
+  ClusterState batch(data.vectors, labels, 8);
+
+  ClusterState grown(6, 8);
+  for (std::size_t i = 0; i < 120; ++i) {
+    grown.AddPoint(data.vectors.Row(i), labels[i]);
+  }
+  EXPECT_EQ(grown.n(), 120u);
+  EXPECT_EQ(grown.counts(), batch.counts());
+  EXPECT_NEAR(grown.Distortion(), batch.Distortion(),
+              1e-9 * (1.0 + batch.Distortion()));
+  EXPECT_NEAR(grown.ObjectiveI(), batch.ObjectiveI(),
+              1e-9 * (1.0 + batch.ObjectiveI()));
+}
+
+TEST(ClusterStateTest, ClusterSseSumsToTotalSse) {
+  const SyntheticData data = SmallData(150, 6);
+  Rng rng(2);
+  const auto labels = BalancedRandomLabels(150, 6, rng);
+  ClusterState state(data.vectors, labels, 6);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 6; ++r) total += state.ClusterSse(r);
+  EXPECT_NEAR(total / 150.0, state.Distortion(),
+              1e-9 * (1.0 + state.Distortion()));
+}
+
+TEST(ClusterStateTest, MergeClustersPreservesInvariants) {
+  const SyntheticData data = SmallData(100, 5);
+  Rng rng(3);
+  auto labels = BalancedRandomLabels(100, 4, rng);
+  ClusterState state(data.vectors, labels, 4);
+  const double sum_norms = state.SumPointNormSqr();
+
+  state.MergeClusters(0, 3);
+  for (auto& l : labels) {
+    if (l == 3) l = 0;
+  }
+  ClusterState merged(data.vectors, labels, 4);
+  EXPECT_EQ(state.CountOf(3), 0u);
+  EXPECT_EQ(state.counts(), merged.counts());
+  EXPECT_NEAR(state.Distortion(), merged.Distortion(),
+              1e-9 * (1.0 + merged.Distortion()));
+  EXPECT_DOUBLE_EQ(state.SumPointNormSqr(), sum_norms);
+}
+
+TEST(ClusterStateTest, RestoreRawReproducesStateExactly) {
+  const SyntheticData data = SmallData(80, 5);
+  Rng rng(5);
+  const auto labels = BalancedRandomLabels(80, 5, rng);
+  ClusterState state(data.vectors, labels, 5);
+
+  ClusterState back(5, 5);
+  back.RestoreRaw(state.n(), state.composites(), state.counts(),
+                  state.composite_norms(), state.point_norms(),
+                  state.SumPointNormSqr());
+  EXPECT_DOUBLE_EQ(back.Distortion(), state.Distortion());
+  EXPECT_DOUBLE_EQ(back.ObjectiveI(), state.ObjectiveI());
+  EXPECT_TRUE(back.Centroids() == state.Centroids());
+}
+
 }  // namespace
 }  // namespace gkm

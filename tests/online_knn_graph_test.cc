@@ -1,0 +1,163 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the incremental KNN graph: recall of online inserts against the
+// exact graph, deterministic construction, bootstrap/brute-force phase, and
+// search behavior.
+
+#include "stream/online_knn_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+
+namespace gkm {
+namespace {
+
+SyntheticData StreamData(std::size_t n, std::uint64_t seed = 11) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = 16;
+  spec.modes = 20;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+OnlineKnnGraph InsertAll(const Matrix& data, const OnlineGraphParams& p) {
+  OnlineKnnGraph g(data.cols(), p);
+  for (std::size_t i = 0; i < data.rows(); ++i) g.Insert(data.Row(i));
+  return g;
+}
+
+TEST(OnlineKnnGraphTest, SizeAndDimTrackInserts) {
+  const SyntheticData data = StreamData(50);
+  OnlineGraphParams p;
+  p.kappa = 5;
+  p.beam_width = 16;
+  OnlineKnnGraph g(16, p);
+  EXPECT_EQ(g.size(), 0u);
+  std::uint32_t id0 = g.Insert(data.vectors.Row(0));
+  std::uint32_t id1 = g.Insert(data.vectors.Row(1));
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.dim(), 16u);
+  EXPECT_EQ(g.points().rows(), 2u);
+  EXPECT_EQ(g.graph().num_nodes(), 2u);
+}
+
+TEST(OnlineKnnGraphTest, BruteForcePhaseIsExact) {
+  // While the corpus is below the bootstrap threshold every insert scans
+  // everything, so the graph must equal the exact KNN graph.
+  const SyntheticData data = StreamData(100);
+  OnlineGraphParams p;
+  p.kappa = 8;
+  p.beam_width = 16;
+  p.bootstrap = 200;  // never leaves the exact phase
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+  const KnnGraph truth = BruteForceGraph(data.vectors, 8);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(g.graph().SortedNeighbors(i), truth.SortedNeighbors(i))
+        << "node " << i;
+  }
+}
+
+TEST(OnlineKnnGraphTest, OnlineInsertRecallAtLeast08On2kPoints) {
+  const SyntheticData data = StreamData(2000);
+  OnlineGraphParams p;
+  p.kappa = 10;
+  p.beam_width = 48;
+  p.num_seeds = 64;
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+  const KnnGraph truth = BruteForceGraph(data.vectors, 10);
+  const double recall = GraphRecallAtK(g.graph(), truth, 10);
+  EXPECT_GE(recall, 0.8) << "online graph recall@10 too low";
+  EXPECT_GE(GraphRecallAt1(g.graph(), truth), 0.8);
+  // Online insertion fills every list to capacity on a corpus this dense.
+  EXPECT_EQ(g.graph().NumEdges(), 2000u * 10u);
+}
+
+TEST(OnlineKnnGraphTest, DeterministicForAFixedInsertionSequence) {
+  const SyntheticData data = StreamData(600);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  const OnlineKnnGraph a = InsertAll(data.vectors, p);
+  const OnlineKnnGraph b = InsertAll(data.vectors, p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph().SortedNeighbors(i), b.graph().SortedNeighbors(i));
+  }
+}
+
+TEST(OnlineKnnGraphTest, TouchedReportsRepairedNodes) {
+  const SyntheticData data = StreamData(300);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  OnlineKnnGraph g(16, p);
+  for (std::size_t i = 0; i + 1 < data.vectors.rows(); ++i) {
+    g.Insert(data.vectors.Row(i));
+  }
+  std::vector<std::uint32_t> touched;
+  const std::uint32_t id = g.Insert(data.vectors.Row(data.vectors.rows() - 1),
+                                    &touched);
+  EXPECT_FALSE(touched.empty());
+  // Touched ids are pre-existing nodes, and the nodes that adopted the new
+  // point are all among them.
+  for (const std::uint32_t t : touched) ASSERT_LT(t, id);
+  for (std::size_t i = 0; i < id; ++i) {
+    bool has_edge = false;
+    for (const Neighbor& nb : g.graph().NeighborsOf(i)) {
+      has_edge = has_edge || nb.id == id;
+    }
+    if (!has_edge) continue;
+    const bool reported =
+        std::find(touched.begin(), touched.end(), i) != touched.end();
+    EXPECT_TRUE(reported) << "node " << i << " adopted the point unreported";
+  }
+}
+
+TEST(OnlineKnnGraphTest, SearchKnnFindsTrueNearestOnExactPhase) {
+  const SyntheticData data = StreamData(120);
+  OnlineGraphParams p;
+  p.kappa = 5;
+  p.beam_width = 16;
+  p.bootstrap = 200;
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+  // Query with a stored point: the point itself must come back first at
+  // distance zero.
+  const auto got = g.SearchKnn(data.vectors.Row(7), 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].id, 7u);
+  EXPECT_FLOAT_EQ(got[0].dist, 0.0f);
+}
+
+TEST(OnlineKnnGraphTest, RestoreFromPartsMatchesOriginal) {
+  const SyntheticData data = StreamData(400);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+  OnlineKnnGraph back(g.points(), g.graph(), p, g.rng_state());
+  ASSERT_EQ(back.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(back.graph().SortedNeighbors(i), g.graph().SortedNeighbors(i));
+  }
+  // Continued insertion behaves identically on both instances.
+  const SyntheticData more = StreamData(50, 99);
+  OnlineKnnGraph g2 = g;
+  for (std::size_t i = 0; i < more.vectors.rows(); ++i) {
+    g2.Insert(more.vectors.Row(i));
+    back.Insert(more.vectors.Row(i));
+  }
+  for (std::size_t i = 0; i < g2.size(); ++i) {
+    EXPECT_EQ(back.graph().SortedNeighbors(i), g2.graph().SortedNeighbors(i));
+  }
+}
+
+}  // namespace
+}  // namespace gkm

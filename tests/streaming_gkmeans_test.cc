@@ -1,0 +1,151 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the streaming clusterer: bootstrap semantics, deterministic
+// replay, quality against the batch pipeline on the same data, and
+// invariants (no empty clusters, label/count consistency).
+
+#include "stream/streaming_gkmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gk_means.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/brute_force.h"
+
+namespace gkm {
+namespace {
+
+constexpr std::size_t kDim = 12;
+
+SyntheticData StreamData(std::size_t n, std::uint64_t seed = 5) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = kDim;
+  spec.modes = 15;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+StreamingGkMeansParams SmallParams() {
+  StreamingGkMeansParams p;
+  p.k = 12;
+  p.kappa = 10;
+  p.graph.kappa = 10;
+  p.graph.beam_width = 32;
+  p.bootstrap_min = 400;
+  return p;
+}
+
+void Feed(StreamingGkMeans& model, const Matrix& data, std::size_t window) {
+  for (std::size_t begin = 0; begin < data.rows(); begin += window) {
+    const std::size_t end = std::min(begin + window, data.rows());
+    model.ObserveWindow(SliceRows(data, begin, end));
+  }
+}
+
+TEST(StreamingGkMeansTest, StaysUnbootstrappedBelowThreshold) {
+  StreamingGkMeans model(kDim, SmallParams());
+  const SyntheticData data = StreamData(300);
+  model.ObserveWindow(data.vectors);
+  EXPECT_FALSE(model.bootstrapped());
+  EXPECT_EQ(model.points_seen(), 300u);
+  EXPECT_EQ(model.windows_seen(), 1u);
+}
+
+TEST(StreamingGkMeansTest, BootstrapsOnceThresholdCrossed) {
+  StreamingGkMeans model(kDim, SmallParams());
+  const SyntheticData data = StreamData(1000);
+  Feed(model, data.vectors, 250);
+  EXPECT_TRUE(model.bootstrapped());
+  EXPECT_EQ(model.points_seen(), 1000u);
+  EXPECT_EQ(model.labels().size(), 1000u);
+  for (const std::uint32_t label : model.labels()) {
+    EXPECT_LT(label, SmallParams().k);
+  }
+  // Every cluster is populated.
+  const ClusterSizeStats sizes =
+      SummarizeClusterSizes(model.labels(), SmallParams().k);
+  EXPECT_EQ(sizes.empty, 0u);
+  EXPECT_GT(model.Distortion(), 0.0);
+}
+
+TEST(StreamingGkMeansTest, DeterministicReplayUnderFixedSeed) {
+  const SyntheticData data = StreamData(1500);
+  StreamingGkMeans a(kDim, SmallParams());
+  StreamingGkMeans b(kDim, SmallParams());
+  Feed(a, data.vectors, 200);
+  Feed(b, data.vectors, 200);
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_DOUBLE_EQ(a.Distortion(), b.Distortion());
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t w = 0; w < a.history().size(); ++w) {
+    EXPECT_EQ(a.history()[w].moves, b.history()[w].moves);
+    EXPECT_EQ(a.history()[w].touched, b.history()[w].touched);
+  }
+}
+
+TEST(StreamingGkMeansTest, DistortionWithin10PercentOfBatchGkMeans) {
+  const SyntheticData data = StreamData(3000);
+  StreamingGkMeansParams sp = SmallParams();
+  StreamingGkMeans model(kDim, sp);
+  Feed(model, data.vectors, 300);
+  model.Consolidate(3);
+
+  // Batch reference: GK-means over the exact graph at the same kappa.
+  const KnnGraph graph = BruteForceGraph(data.vectors, sp.kappa);
+  GkMeansParams bp;
+  bp.k = sp.k;
+  bp.kappa = sp.kappa;
+  const ClusteringResult batch = GkMeansWithGraph(data.vectors, graph, bp);
+
+  const double stream_e = model.Distortion();
+  const double batch_e = batch.distortion;
+  EXPECT_LE(stream_e, batch_e * 1.10)
+      << "streaming distortion " << stream_e << " vs batch " << batch_e;
+}
+
+TEST(StreamingGkMeansTest, DistortionMatchesIndependentRecomputation) {
+  const SyntheticData data = StreamData(1200);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 300);
+  const double reported = model.Distortion();
+  const double recomputed =
+      AverageDistortion(model.graph().points(), model.labels(),
+                        SmallParams().k);
+  EXPECT_NEAR(reported, recomputed, 1e-6 * (1.0 + recomputed));
+}
+
+TEST(StreamingGkMeansTest, ResultSnapshotIsCoherent) {
+  const SyntheticData data = StreamData(800);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 400);
+  const ClusteringResult res = model.Result();
+  EXPECT_EQ(res.method, "streaming-gk-means");
+  EXPECT_EQ(res.assignments.size(), 800u);
+  EXPECT_EQ(res.centroids.rows(), SmallParams().k);
+  EXPECT_EQ(res.centroids.cols(), kDim);
+  EXPECT_DOUBLE_EQ(res.distortion, model.Distortion());
+  EXPECT_EQ(res.iterations, model.windows_seen());
+}
+
+TEST(StreamingGkMeansTest, WindowStatsAccumulate) {
+  const SyntheticData data = StreamData(900);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 300);
+  ASSERT_EQ(model.history().size(), 3u);
+  EXPECT_EQ(model.history()[0].points, 300u);
+  // Post-bootstrap windows report non-empty touched scopes and run epochs.
+  const WindowStats& last = model.history().back();
+  EXPECT_GT(last.touched, 0u);
+  EXPECT_GE(last.epochs, 1u);
+  EXPECT_GT(last.distortion, 0.0);
+}
+
+TEST(StreamingGkMeansTest, RejectsDimensionMismatch) {
+  StreamingGkMeans model(kDim, SmallParams());
+  Matrix wrong(10, kDim + 1);
+  EXPECT_DEATH(model.ObserveWindow(wrong), "dimension mismatch");
+}
+
+}  // namespace
+}  // namespace gkm
