@@ -7,13 +7,19 @@
 // model finishes the stream with an identical clustering.
 //
 // Shape targets: streamed SSE within 10% of batch; checkpoint restore
-// exact.
+// exact; parallel results bit-identical to serial; graph ingest >= 2x the
+// 1-thread rate at 4 threads (gated only when the hardware has >= 4
+// cores — the full pipeline's sequential Delta-I epochs cap its own
+// speedup lower, so it is reported but not speed-gated).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
 #include "dataset/synthetic.h"
@@ -61,6 +67,69 @@ int main() {
   // window that the model keeps tracking the mode structure as the corpus
   // grows far beyond the bootstrap sample.
   sp.max_splits_per_window = 16;
+
+  // --- Parallel ingest scaling: same stream at 1 and 4 walk threads. ---
+  // Two measurements. (1) Graph ingest (OnlineKnnGraph::InsertBatch),
+  // the path the thread pool actually parallelizes (~15% serial commit):
+  // this carries the >= 2x speedup gate. (2) The full streaming pipeline,
+  // whose Delta-I epochs are sequential by design: reported for context,
+  // gated only on being bit-identical to the serial run (thread count is
+  // an execution knob, not model state). Speedup gates apply only on
+  // hardware that can actually run 4 walkers.
+  const std::size_t cores = std::thread::hardware_concurrency();
+  const std::size_t scale_n = std::min<std::size_t>(n / 2, 25000);
+  double graph_speedup = 0.0;
+  bool graph_identical = true;
+  double pipeline_speedup = 0.0;
+  bool parallel_identical = false;
+  {
+    gkm::ThreadPool pool1(1);
+    gkm::ThreadPool pool4(4);
+    gkm::OnlineKnnGraph g1(dim, sp.graph);
+    gkm::OnlineKnnGraph g4(dim, sp.graph);
+    gkm::Timer t1;
+    for (std::size_t b = 0; b < scale_n; b += window) {
+      g1.InsertBatch(gkm::SliceRows(data.vectors, b,
+                                    std::min(b + window, scale_n)), &pool1);
+    }
+    const double secs1 = t1.Seconds();
+    gkm::Timer t4;
+    for (std::size_t b = 0; b < scale_n; b += window) {
+      g4.InsertBatch(gkm::SliceRows(data.vectors, b,
+                                    std::min(b + window, scale_n)), &pool4);
+    }
+    const double secs4 = t4.Seconds();
+    graph_speedup = secs1 / secs4;
+    for (std::size_t i = 0; i < scale_n && graph_identical; ++i) {
+      graph_identical =
+          g1.graph().SortedNeighbors(i) == g4.graph().SortedNeighbors(i);
+    }
+    std::printf("\ngraph ingest (%zu points, %zu cores): 1 thread %.0f "
+                "pts/s, 4 threads %.0f pts/s (%.2fx)\n",
+                scale_n, cores, static_cast<double>(scale_n) / secs1,
+                static_cast<double>(scale_n) / secs4, graph_speedup);
+  }
+  {
+    gkm::StreamingGkMeansParams one = sp;
+    one.ingest_threads = 1;
+    gkm::StreamingGkMeansParams four = sp;
+    four.ingest_threads = 4;
+    gkm::StreamingGkMeans m1(dim, one);
+    gkm::Timer t1;
+    Feed(m1, data.vectors, 0, scale_n, window);
+    const double secs1 = t1.Seconds();
+    gkm::StreamingGkMeans m4(dim, four);
+    gkm::Timer t4;
+    Feed(m4, data.vectors, 0, scale_n, window);
+    const double secs4 = t4.Seconds();
+    pipeline_speedup = secs1 / secs4;
+    parallel_identical = m1.labels() == m4.labels() &&
+                         m1.Distortion() == m4.Distortion();
+    std::printf("full pipeline (ingest + epochs): 1 thread %.0f pts/s, "
+                "4 threads %.0f pts/s (%.2fx)\n",
+                static_cast<double>(scale_n) / secs1,
+                static_cast<double>(scale_n) / secs4, pipeline_speedup);
+  }
 
   // --- Stream the first half, checkpoint, stream the rest. ---
   gkm::StreamingGkMeans model(dim, sp);
@@ -125,10 +194,31 @@ int main() {
               "(gap %+.2f%%)\n",
               stream_e_raw, stream_e, 100.0 * (stream_e - batch_e) / batch_e);
 
+  // The speedup gate needs 4 schedulable walkers and a full-scale
+  // workload: reduced-scale smoke runs (CI's GKM_SCALE=0.2 on shared
+  // 4-vCPU runners, where SMT and noisy neighbors sit right at the 2x
+  // ceiling) print the measurement but do not turn it into an exit code.
+  const bool can_gate_speedup = cores >= 4 && gkm::bench::Scale() >= 1.0;
   std::printf("\nshape checks:\n");
   std::printf("  streamed SSE within 10%% of batch:      %s\n",
               stream_e <= batch_e * 1.10 ? "PASS" : "FAIL");
   std::printf("  checkpoint restore continues identically: %s\n",
               identical ? "PASS" : "FAIL");
-  return (stream_e <= batch_e * 1.10 && identical) ? 0 : 1;
+  std::printf("  parallel ingest identical to serial:      %s\n",
+              parallel_identical && graph_identical ? "PASS" : "FAIL");
+  if (can_gate_speedup) {
+    std::printf("  graph ingest >= 2x at 4 threads:          %s (%.2fx; "
+                "full pipeline %.2fx)\n",
+                graph_speedup >= 2.0 ? "PASS" : "FAIL", graph_speedup,
+                pipeline_speedup);
+  } else {
+    std::printf("  graph ingest >= 2x at 4 threads:          SKIP "
+                "(need >= 4 cores and GKM_SCALE >= 1; %zu cores, scale "
+                "%.2g; measured %.2fx, pipeline %.2fx)\n",
+                cores, gkm::bench::Scale(), graph_speedup, pipeline_speedup);
+  }
+  const bool pass = stream_e <= batch_e * 1.10 && identical &&
+                    parallel_identical && graph_identical &&
+                    (!can_gate_speedup || graph_speedup >= 2.0);
+  return pass ? 0 : 1;
 }

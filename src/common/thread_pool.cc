@@ -64,6 +64,31 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   Wait();
 }
 
+void ThreadPool::ParallelForSlots(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = num_threads();
+  if (n < 2 || threads < 2) {
+    for (std::size_t i = begin; i < end; ++i) fn(0, i);
+    return;
+  }
+  // One contiguous chunk per slot: slot s is owned by exactly one task, so
+  // per-slot caller state needs no locking.
+  const std::size_t chunks = std::min(n, threads);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    Submit([&fn, c, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(c, i);
+    });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

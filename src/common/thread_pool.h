@@ -1,8 +1,14 @@
 // Copyright 2026 The gkmeans Authors.
-// Minimal fixed-size thread pool with a blocking ParallelFor. Used only for
-// embarrassingly-parallel *evaluation* work (brute-force ground truth,
-// recall estimation): the clustering algorithms themselves stay
-// single-threaded to match the paper's measurement protocol.
+// Minimal fixed-size thread pool with blocking ParallelFor variants. Used
+// for embarrassingly-parallel evaluation work (brute-force ground truth,
+// recall estimation) and for the streaming subsystem's window ingest, whose
+// parallel phase is a pure fan-out over read-only state. The batch
+// clustering algorithms themselves stay single-threaded to match the
+// paper's measurement protocol.
+//
+// The blocking helpers (Wait, ParallelFor*) assume a single submitting
+// thread per pool: Wait returns when *all* in-flight tasks finish, so two
+// threads fanning out on one pool would observe each other's completion.
 
 #ifndef GKM_COMMON_THREAD_POOL_H_
 #define GKM_COMMON_THREAD_POOL_H_
@@ -41,6 +47,16 @@ class ThreadPool {
   /// execution for trivially small ranges.
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
+
+  /// Like ParallelFor, but `fn(slot, i)` also receives a slot index in
+  /// [0, num_threads()): the range is split into exactly one contiguous
+  /// chunk per slot and no two indices with the same slot ever run
+  /// concurrently, so callers can keep per-slot scratch (visited stamps,
+  /// buffers) without any further synchronization. Coarser chunking than
+  /// ParallelFor — slot affinity is traded against load balance. The inline
+  /// fallback for small ranges or single-threaded pools uses slot 0.
+  void ParallelForSlots(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void WorkerLoop();

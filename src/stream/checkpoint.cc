@@ -3,6 +3,7 @@
 #include "stream/checkpoint.h"
 
 #include <cstring>
+#include <utility>
 
 #include "common/binary_io.h"
 #include "common/macros.h"
@@ -12,7 +13,8 @@ namespace {
 
 constexpr char kMagic[4] = {'G', 'K', 'M', 'C'};
 constexpr char kTrailer[4] = {'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
+// v2: adds the adaptive-seed state to the cursor block.
+constexpr std::uint32_t kVersion = 2;
 
 void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
   io::WriteRaw<std::uint64_t>(f, p.k);
@@ -33,6 +35,8 @@ void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
   io::WriteRaw<std::uint64_t>(f, p.route_hints);
   io::WriteRaw<std::uint64_t>(f, p.history_limit);
   io::WriteRaw<std::uint64_t>(f, p.seed);
+  // ingest_threads is deliberately not persisted: it is an execution knob
+  // with no effect on results, and a resumed process sizes its own pool.
 }
 
 StreamingGkMeansParams ReadParams(std::FILE* f) {
@@ -76,6 +80,41 @@ RngSnapshot ReadRng(std::FILE* f) {
   return r;
 }
 
+// Mirrors the invariants the StreamingGkMeans/OnlineKnnGraph constructors
+// enforce with GKM_CHECK, so a malformed checkpoint surfaces as a load
+// error at the file boundary instead of an abort deep inside construction.
+// Returns nullptr when everything is sane.
+const char* ValidateLoadedParams(const StreamingGkMeansParams& p,
+                                 const AdaptiveSeedState& seeds) {
+  if (p.k < 2 || p.k > (1u << 24)) return "implausible checkpoint k";
+  if (p.kappa == 0 || p.kappa > (1u << 24)) {
+    return "implausible checkpoint kappa";
+  }
+  if (p.graph.kappa == 0 || p.graph.kappa > (1u << 24)) {
+    return "implausible checkpoint graph kappa";
+  }
+  if (p.graph.beam_width < p.graph.kappa ||
+      p.graph.beam_width > (1u << 24)) {
+    return "checkpoint beam_width below graph kappa or implausible";
+  }
+  if (p.graph.num_seeds == 0 || p.graph.num_seeds > (1u << 24)) {
+    return "checkpoint num_seeds out of range";
+  }
+  if (p.graph.bootstrap > (1ull << 40)) {
+    return "implausible checkpoint bootstrap threshold";
+  }
+  if (p.bootstrap_min <= 2 * p.k) {
+    return "checkpoint bootstrap window too small for k";
+  }
+  if (seeds.live_seeds == 0 || seeds.live_seeds > (1u << 24)) {
+    return "checkpoint adaptive seed state out of range";
+  }
+  if (!(seeds.fail_ewma >= 0.0 && seeds.fail_ewma <= 1.0)) {
+    return "checkpoint adaptive failure rate out of range";
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 void SaveStreamCheckpoint(const std::string& path,
@@ -91,6 +130,9 @@ void SaveStreamCheckpoint(const std::string& path,
   io::WriteRaw<std::uint8_t>(f.get(), snap.bootstrapped ? 1 : 0);
   WriteRng(f.get(), snap.rng);
   WriteRng(f.get(), snap.graph_rng);
+  io::WriteRaw<std::uint64_t>(f.get(), snap.seed_state.live_seeds);
+  io::WriteRaw<double>(f.get(), snap.seed_state.fail_ewma);
+  io::WriteRaw<std::uint64_t>(f.get(), snap.seed_state.audit_tick);
 
   io::WriteMatrix(f.get(), snap.points);
   snap.graph.SaveTo(f.get());
@@ -110,42 +152,57 @@ void SaveStreamCheckpoint(const std::string& path,
   io::WriteArray(f.get(), kTrailer, 4);
 }
 
-StreamingGkMeans LoadStreamCheckpoint(const std::string& path) {
-  io::File f = io::OpenOrDie(path, "rb");
+std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
+    const std::string& path, std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::optional<StreamingGkMeans>();
+  };
+
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (raw == nullptr) return fail("cannot open checkpoint: " + path);
+  io::File f(raw);
 
   char magic[4];
   io::ReadArray(f.get(), magic, 4);
-  GKM_CHECK_MSG(std::memcmp(magic, kMagic, 4) == 0,
-                "not a GKMC checkpoint file");
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return fail("not a GKMC checkpoint file");
+  }
   const auto version = io::ReadRaw<std::uint32_t>(f.get());
-  GKM_CHECK_MSG(version == kVersion, "unsupported checkpoint version");
+  if (version != kVersion) return fail("unsupported checkpoint version");
 
   StreamSnapshot snap;
   snap.params = ReadParams(f.get());
-  // Plausibility bounds on file-supplied sizes, mirroring io::ReadMatrix:
-  // a bit-flipped header must abort cleanly, not feed resize() a
-  // terabyte-scale or size_t-wrapping request.
-  GKM_CHECK_MSG(snap.params.k > 0 && snap.params.k <= (1u << 24),
-                "implausible checkpoint k");
   snap.windows = io::ReadRaw<std::uint64_t>(f.get());
   snap.bootstrapped = io::ReadRaw<std::uint8_t>(f.get()) != 0;
   snap.rng = ReadRng(f.get());
   snap.graph_rng = ReadRng(f.get());
+  snap.seed_state.live_seeds = io::ReadRaw<std::uint64_t>(f.get());
+  snap.seed_state.fail_ewma = io::ReadRaw<double>(f.get());
+  snap.seed_state.audit_tick = io::ReadRaw<std::uint64_t>(f.get());
+  if (const char* msg = ValidateLoadedParams(snap.params, snap.seed_state)) {
+    return fail(msg);
+  }
 
   snap.points = io::ReadMatrix(f.get());
   snap.graph = KnnGraph::LoadFrom(f.get());
   const auto n_labels =
       static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
-  GKM_CHECK_MSG(n_labels == snap.points.rows(),
-                "checkpoint label count does not match point count");
+  if (n_labels != snap.points.rows()) {
+    return fail("checkpoint label count does not match point count");
+  }
   snap.labels.resize(n_labels);
   io::ReadArray(f.get(), snap.labels.data(), n_labels);
   const std::size_t k = snap.params.k;
   snap.cluster_reps.resize(k);
   io::ReadArray(f.get(), snap.cluster_reps.data(), k);
 
-  GKM_CHECK_MSG(k * snap.points.cols() <= (1ull << 40),
-                "implausible checkpoint state size");
+  // Plausibility bound on the file-supplied state size, mirroring
+  // io::ReadMatrix: a bit-flipped header must fail cleanly, not feed
+  // resize() a terabyte-scale or size_t-wrapping request.
+  if (k * snap.points.cols() > (1ull << 40)) {
+    return fail("implausible checkpoint state size");
+  }
   snap.n = io::ReadRaw<std::uint64_t>(f.get());
   snap.counts.resize(k);
   io::ReadArray(f.get(), snap.counts.data(), k);
@@ -160,10 +217,19 @@ StreamingGkMeans LoadStreamCheckpoint(const std::string& path) {
   snap.prev_centroids = io::ReadMatrix(f.get());
   char trailer[4];
   io::ReadArray(f.get(), trailer, 4);
-  GKM_CHECK_MSG(std::memcmp(trailer, kTrailer, 4) == 0,
-                "corrupt checkpoint: missing trailer");
+  if (std::memcmp(trailer, kTrailer, 4) != 0) {
+    return fail("corrupt checkpoint: missing trailer");
+  }
 
   return StreamingGkMeans::FromSnapshot(std::move(snap));
+}
+
+StreamingGkMeans LoadStreamCheckpoint(const std::string& path) {
+  std::string error;
+  std::optional<StreamingGkMeans> model =
+      TryLoadStreamCheckpoint(path, &error);
+  GKM_CHECK_MSG(model.has_value(), error.c_str());
+  return std::move(*model);
 }
 
 }  // namespace gkm

@@ -1,15 +1,19 @@
 // Copyright 2026 The gkmeans Authors.
 // Versioned binary checkpointing for the streaming subsystem: the whole
 // StreamingGkMeans state — ingested vectors, online KNN graph, labels,
-// composite-vector statistics, drift baseline, stream cursor and RNG —
-// round-trips through one file, so a serving process can restart
-// mid-stream and continue bit-for-bit as if never interrupted.
+// composite-vector statistics, drift baseline, stream cursor, RNG and the
+// adaptive-seed policy state — round-trips through one file, so a serving
+// process can restart mid-stream and continue bit-for-bit as if never
+// interrupted.
 //
 // File layout (little-endian; see README "Checkpoint file format"):
-//   magic "GKMC" | u32 version (currently 1)
+//   magic "GKMC" | u32 version (currently 2)
 //   params block  — every StreamingGkMeansParams / OnlineGraphParams field
+//                   except ingest_threads (an execution knob, not model
+//                   state: results are thread-count independent)
 //   cursor block  — windows consumed, bootstrapped flag, RNG snapshots
-//                   (clusterer then online graph)
+//                   (clusterer then online graph), adaptive-seed state
+//                   (u64 live_seeds, f64 fail_ewma, u64 audit_tick)
 //   points        — io::WriteMatrix (u64 rows, u64 cols, row payloads)
 //   graph         — KnnGraph::SaveTo (u64 n, u64 k, per-node sorted lists)
 //   labels        — u64 count, u32 per point, then u32 routing
@@ -25,6 +29,7 @@
 #ifndef GKM_STREAM_CHECKPOINT_H_
 #define GKM_STREAM_CHECKPOINT_H_
 
+#include <optional>
 #include <string>
 
 #include "stream/streaming_gkmeans.h"
@@ -35,9 +40,21 @@ namespace gkm {
 void SaveStreamCheckpoint(const std::string& path,
                           const StreamingGkMeans& model);
 
-/// Restores a model from `path`. Aborts on missing file, bad magic or an
-/// unsupported version.
+/// Restores a model from `path`. Aborts on any malformed input (missing
+/// file, bad magic, unsupported version, invalid params) with the same
+/// diagnostic TryLoadStreamCheckpoint would report.
 StreamingGkMeans LoadStreamCheckpoint(const std::string& path);
+
+/// Non-aborting load: validates the header, version and every deserialized
+/// parameter (kappa/beam/seed/bootstrap invariants) *before* constructing
+/// the model, returning std::nullopt with a diagnostic in `*error` (when
+/// non-null) on a malformed file instead of tripping GKM_CHECK aborts deep
+/// in the constructors. A file truncated mid-block still aborts (the
+/// binary-io substrate treats short reads as fatal); deeper payload
+/// corruption (e.g. invalid graph edges) is caught by the constructors'
+/// own validation.
+std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
+    const std::string& path, std::string* error = nullptr);
 
 }  // namespace gkm
 

@@ -3,9 +3,12 @@
 #include "stream/online_knn_graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <mutex>
 
 #include "common/distance.h"
 #include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace gkm {
 namespace {
@@ -17,10 +20,6 @@ struct PoolEntry {
   bool expanded;
 };
 
-}  // namespace
-
-namespace {
-
 // Shared by both constructors: restored params are as untrusted as fresh
 // ones, and the walk assumes every one of these.
 void ValidateParams(const OnlineGraphParams& params) {
@@ -29,19 +28,62 @@ void ValidateParams(const OnlineGraphParams& params) {
   GKM_CHECK(params.num_seeds > 0);
 }
 
+// --- Adaptive seed policy ---------------------------------------------------
+// Every kAuditPeriod-th insert runs a second, independently seeded walk and
+// compares best candidate distances. Two successful walks converge on the
+// same nearest candidate (identical distance), so disagreement means at
+// least one walk missed the query's region — the directly observable
+// symptom of too few entry points. The disagreement rate is tracked as an
+// EWMA: sustained failure doubles the live seed count, sustained agreement
+// halves it, within bounds derived from params.num_seeds. After each
+// adjustment the EWMA resets to a neutral midpoint so the policy re-measures
+// at the new count instead of oscillating on stale evidence.
+constexpr std::uint64_t kAuditPeriod = 16;  // every 16th insert: ~6% extra walks
+constexpr double kEwmaAlpha = 1.0 / 16.0;
+constexpr double kRaiseThreshold = 0.25;
+constexpr double kLowerThreshold = 0.05;
+constexpr double kNeutralEwma = 0.125;
+
+std::size_t MinSeeds(const OnlineGraphParams& p) {
+  return std::max<std::size_t>(8, p.num_seeds / 4);
+}
+
+std::size_t MaxSeeds(const OnlineGraphParams& p) {
+  return std::max<std::size_t>(p.num_seeds * 4, 256);
+}
+
+// Sub-batch granularity of InsertBatch: rows of a sub-batch walk one graph
+// snapshot in parallel and are scored exactly against their sub-batch
+// predecessors; commits land between sub-batches, so later sub-batches see
+// earlier rows as ordinary graph nodes.
+constexpr std::size_t kSubBatch = 256;
+
 }  // namespace
+
+// One row's planned insert: produced against the sub-batch snapshot by the
+// parallel phase, consumed by the serial commit. Candidate ids at or above
+// the snapshot size denote sub-batch predecessors — because commits run in
+// row order, such an id is exactly the node id the predecessor receives.
+struct OnlineKnnGraph::PlannedInsert {
+  std::vector<Neighbor> cand;  // walk + intra-batch candidates, ascending
+  std::vector<float> join;     // cand.size() x take local-join distance table
+  std::size_t take = 0;        // forward-edge count = min(kappa, cand.size())
+  bool audited = false;
+  bool audit_failed = false;
+};
 
 OnlineKnnGraph::OnlineKnnGraph(std::size_t dim,
                                const OnlineGraphParams& params)
     : params_(params), points_(0, dim), graph_(0, params.kappa),
-      rng_(params.seed) {
+      rng_(params.seed), live_seeds_(params.num_seeds) {
   GKM_CHECK(dim > 0);
   ValidateParams(params);
 }
 
 OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
                                const OnlineGraphParams& params,
-                               const RngSnapshot& rng)
+                               const RngSnapshot& rng,
+                               const AdaptiveSeedState& seeds)
     : params_(params), points_(std::move(points)), graph_(std::move(graph)) {
   ValidateParams(params);
   GKM_CHECK_MSG(points_.rows() == graph_.num_nodes(),
@@ -56,12 +98,26 @@ OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
     }
   }
   rng_.Restore(rng);
-  visit_stamp_.assign(points_.rows(), 0);
+  live_seeds_ = seeds.live_seeds == 0
+                    ? params.num_seeds
+                    : static_cast<std::size_t>(seeds.live_seeds);
+  live_seeds_ = std::min(live_seeds_, MaxSeeds(params));
+  fail_ewma_ = seeds.fail_ewma;
+  audit_tick_ = seeds.audit_tick;
+}
+
+AdaptiveSeedState OnlineKnnGraph::seed_state() const {
+  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  AdaptiveSeedState s;
+  s.live_seeds = live_seeds_;
+  s.fail_ewma = fail_ewma_;
+  s.audit_tick = audit_tick_;
+  return s;
 }
 
 std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     const float* q, Rng& rng, const std::vector<std::uint32_t>* seed_hints,
-    std::vector<std::uint32_t>& stamp, std::uint32_t& epoch) const {
+    SearchScratch& scratch, std::size_t num_seeds) const {
   const std::size_t n = points_.rows();
   const std::size_t d = points_.cols();
 
@@ -77,7 +133,9 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   }
 
   const std::size_t beam = params_.beam_width;
-  ++epoch;
+  scratch.Prepare(n);
+  std::vector<std::uint32_t>& stamp = scratch.stamp;
+  const std::uint32_t epoch = scratch.epoch;
   std::vector<PoolEntry> pool;
   pool.reserve(beam + 1);
 
@@ -107,7 +165,7 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   // query's mode are independent across inserts. The most recent node is
   // always seeded too — streams are often locally correlated and the
   // newest region is exactly where lists are thinnest.
-  for (std::size_t s = 0; s < params_.num_seeds; ++s) {
+  for (std::size_t s = 0; s < num_seeds; ++s) {
     try_add(static_cast<std::uint32_t>(rng.Index(n)));
   }
   try_add(static_cast<std::uint32_t>(n - 1));
@@ -133,30 +191,101 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   return out;
 }
 
-std::uint32_t OnlineKnnGraph::Insert(
-    const float* x, std::vector<std::uint32_t>* touched,
-    const std::vector<std::uint32_t>* seed_hints) {
-  const std::size_t n_before = points_.rows();
-  const std::vector<Neighbor> cand =
-      CollectCandidates(x, rng_, seed_hints, visit_stamp_, visit_epoch_);
+void OnlineKnnGraph::PlanRow(const Matrix& rows, std::size_t batch_begin,
+                             std::size_t r, std::uint64_t row_seed,
+                             std::size_t num_seeds, std::uint64_t tick,
+                             const std::vector<std::uint32_t>* seed_hints,
+                             SearchScratch& scratch,
+                             PlannedInsert& plan) const {
+  const float* x = rows.Row(r);
+  const std::size_t n = points_.rows();  // snapshot size, frozen this phase
+  const std::size_t d = points_.cols();
+  const bool exact = n <= params_.bootstrap;
 
+  // Walks consume a private generator derived from one serial rng_ draw,
+  // so the plan is a pure function of (row, snapshot, seed) regardless of
+  // which thread runs it.
+  Rng walk_rng(row_seed);
+  plan.cand = CollectCandidates(x, walk_rng, seed_hints, scratch, num_seeds);
+  plan.join.clear();
+  plan.audited = false;
+  plan.audit_failed = false;
+
+  // Audit walk (adaptive seed policy): a second independent walk over the
+  // same snapshot. Disagreement on the best distance means at least one
+  // walk missed the query's region. Exact-phase scans cannot fail, so no
+  // audits there.
+  if (!exact && !plan.cand.empty() && (tick + 1) % kAuditPeriod == 0) {
+    plan.audited = true;
+    Rng audit_rng(row_seed ^ 0x5851f42d4c957f2dULL);
+    const std::vector<Neighbor> check =
+        CollectCandidates(x, audit_rng, seed_hints, scratch, num_seeds);
+    const float a = plan.cand.front().dist;
+    const float b = check.empty() ? -1.0f : check.front().dist;
+    const float lo = std::min(a, b);
+    plan.audit_failed = std::fabs(a - b) > 1e-6f * (1.0f + lo);
+  }
+
+  // Intra-batch candidates: exact distances to the sub-batch predecessors,
+  // which the snapshot walk cannot see. Their ids (>= n) resolve to real
+  // node ids once the in-order commit assigns them.
+  const std::size_t beam = params_.beam_width;
+  for (std::size_t j = batch_begin; j < r; ++j) {
+    const float dist = L2Sqr(x, rows.Row(j), d);
+    if (plan.cand.size() >= beam && dist >= plan.cand.back().dist) continue;
+    const Neighbor fresh{static_cast<std::uint32_t>(n + (j - batch_begin)),
+                         dist};
+    auto pos = std::lower_bound(plan.cand.begin(), plan.cand.end(), fresh,
+                                [](const Neighbor& a, const Neighbor& b) {
+                                  return a.dist < b.dist;
+                                });
+    plan.cand.insert(pos, fresh);
+    if (plan.cand.size() > beam) plan.cand.pop_back();
+  }
+
+  plan.take = std::min(params_.kappa, plan.cand.size());
+
+  // Local-join distance table, precomputed here so the serial commit phase
+  // is pure heap updates: all candidate coordinates are readable during
+  // the parallel phase (snapshot rows or window rows).
+  const std::size_t n_before = n + (r - batch_begin);
+  if (n_before > params_.bootstrap && plan.take > 0) {
+    auto resolve = [&](std::uint32_t id) -> const float* {
+      return id < n ? points_.Row(id)
+                    : rows.Row(batch_begin + (id - n));
+    };
+    plan.join.assign(plan.cand.size() * plan.take, 0.0f);
+    for (std::size_t t = 0; t < plan.cand.size(); ++t) {
+      const float* pt = resolve(plan.cand[t].id);
+      for (std::size_t l = 0; l < plan.take; ++l) {
+        if (l == t) continue;
+        plan.join[t * plan.take + l] = L2Sqr(pt, resolve(plan.cand[l].id), d);
+      }
+    }
+  }
+}
+
+std::uint32_t OnlineKnnGraph::CommitRow(const Matrix& rows, std::size_t r,
+                                        PlannedInsert& plan,
+                                        std::vector<std::uint32_t>* touched) {
+  const float* x = rows.Row(r);
   const std::uint32_t id = graph_.AddNode();
   points_.AppendRow(x);
-  visit_stamp_.push_back(0);
 
   // Forward edges: the kappa closest candidates become the new node's list.
-  const std::size_t take = std::min(params_.kappa, cand.size());
+  const std::size_t take = plan.take;
   for (std::size_t j = 0; j < take; ++j) {
-    graph_.Update(id, cand[j].id, cand[j].dist);
+    graph_.Update(id, plan.cand[j].id, plan.cand[j].dist);
   }
   // Reverse-edge repair: offer the new point to every node the walk
   // scored. Each Push is O(log kappa) against an already-known distance,
   // and it is what keeps early nodes' lists converging toward the true
   // neighborhood as the corpus fills in around them.
-  std::vector<std::uint32_t> adopters;  // ascending distance (cand is sorted)
-  for (const Neighbor& nb : cand) {
+  std::vector<std::uint32_t> adopters;  // candidate indices, ascending dist
+  for (std::size_t t = 0; t < plan.cand.size(); ++t) {
+    const Neighbor& nb = plan.cand[t];
     if (graph_.Update(nb.id, id, nb.dist)) {
-      adopters.push_back(nb.id);
+      adopters.push_back(static_cast<std::uint32_t>(t));
       if (touched != nullptr) touched->push_back(nb.id);
     }
   }
@@ -167,37 +296,140 @@ std::uint32_t OnlineKnnGraph::Insert(
   // only hand it this one new id. Cross-linking each adopter with the new
   // node's accepted neighbor list reconnects such nodes to their real
   // neighborhood through the new point. Bounded to the kappa closest
-  // adopters: O(kappa^2) extra distance evaluations.
-  if (n_before > params_.bootstrap) {
-    const std::size_t d = points_.cols();
-    const std::vector<Neighbor> my_list = graph_.SortedNeighbors(id);
+  // adopters; distances come from the plan's precomputed table.
+  if (!plan.join.empty()) {
     const std::size_t join = std::min(params_.kappa, adopters.size());
     for (std::size_t a = 0; a < join; ++a) {
-      const std::uint32_t t = adopters[a];
-      for (const Neighbor& l : my_list) {
-        if (l.id == t || l.id == id) continue;
-        const float dist = L2Sqr(points_.Row(t), points_.Row(l.id), d);
-        const bool t_changed = graph_.Update(t, l.id, dist);
-        const bool l_changed = graph_.Update(l.id, t, dist);
+      const std::size_t t = adopters[a];
+      const std::uint32_t t_id = plan.cand[t].id;
+      for (std::size_t l = 0; l < take; ++l) {
+        const std::uint32_t l_id = plan.cand[l].id;
+        if (l_id == t_id) continue;
+        const float dist = plan.join[t * take + l];
+        const bool t_changed = graph_.Update(t_id, l_id, dist);
+        const bool l_changed = graph_.Update(l_id, t_id, dist);
         if (touched != nullptr) {
-          if (t_changed) touched->push_back(t);
-          if (l_changed) touched->push_back(l.id);
+          if (t_changed) touched->push_back(t_id);
+          if (l_changed) touched->push_back(l_id);
         }
       }
     }
   }
+
+  ++audit_tick_;
+  if (plan.audited) ApplyAudit(plan.audit_failed);
   return id;
+}
+
+void OnlineKnnGraph::ApplyAudit(bool failed) {
+  fail_ewma_ = fail_ewma_ * (1.0 - kEwmaAlpha) + (failed ? kEwmaAlpha : 0.0);
+  if (fail_ewma_ > kRaiseThreshold && live_seeds_ < MaxSeeds(params_)) {
+    live_seeds_ = std::min(live_seeds_ * 2, MaxSeeds(params_));
+    fail_ewma_ = kNeutralEwma;
+  } else if (fail_ewma_ < kLowerThreshold && live_seeds_ > MinSeeds(params_)) {
+    live_seeds_ = std::max(live_seeds_ / 2, MinSeeds(params_));
+    fail_ewma_ = kNeutralEwma;
+  }
+}
+
+void OnlineKnnGraph::EnsureScratch(std::size_t slots) {
+  if (ingest_scratch_.size() < std::max<std::size_t>(slots, 1)) {
+    ingest_scratch_.resize(std::max<std::size_t>(slots, 1));
+  }
+}
+
+std::uint32_t OnlineKnnGraph::Insert(
+    const float* x, std::vector<std::uint32_t>* touched,
+    const std::vector<std::uint32_t>* seed_hints) {
+  Matrix one(1, points_.cols());
+  one.SetRow(0, x);
+  if (seed_hints == nullptr) return InsertBatch(one, nullptr, touched);
+  const std::vector<std::vector<std::uint32_t>> hints(1, *seed_hints);
+  return InsertBatch(one, nullptr, touched, &hints);
+}
+
+std::uint32_t OnlineKnnGraph::InsertBatch(
+    const Matrix& rows, ThreadPool* pool,
+    std::vector<std::uint32_t>* touched,
+    const std::vector<std::vector<std::uint32_t>>* seed_hints) {
+  GKM_CHECK_MSG(rows.cols() == points_.cols(), "batch dimension mismatch");
+  GKM_CHECK_MSG(seed_hints == nullptr || seed_hints->size() == rows.rows(),
+                "one seed-hint vector per row required");
+  const auto first_id = static_cast<std::uint32_t>(points_.rows());
+  const std::size_t total = rows.rows();
+  const std::size_t slots =
+      pool != nullptr ? std::max<std::size_t>(pool->num_threads(), 1) : 1;
+  EnsureScratch(slots);
+
+  std::vector<PlannedInsert> plans;
+  std::vector<std::uint64_t> row_seeds;
+  std::size_t begin = 0;
+  while (begin < total) {
+    // Exact phase: single-row sub-batches, so every brute-force scan sees
+    // all predecessors — identical to sequential insertion.
+    const std::size_t width = points_.rows() <= params_.bootstrap
+                                  ? 1
+                                  : std::min(kSubBatch, total - begin);
+    // One serial rng_ draw per row, in row order: the only RNG consumption
+    // of the batch, so thread count cannot perturb the stream.
+    row_seeds.resize(width);
+    for (auto& s : row_seeds) s = rng_.Next();
+    const std::size_t live = live_seeds_;
+    const std::uint64_t base_tick = audit_tick_;
+    plans.resize(width);
+
+    auto plan_one = [&](std::size_t slot, std::size_t i) {
+      const std::size_t r = begin + i;
+      const std::vector<std::uint32_t>* hints =
+          seed_hints != nullptr ? &(*seed_hints)[r] : nullptr;
+      PlanRow(rows, begin, r, row_seeds[i], live, base_tick + i, hints,
+              ingest_scratch_[slot], plans[i]);
+    };
+    {
+      // Walks read a frozen graph: the ingest thread holds the shared side
+      // for the whole phase, which also lets concurrent SearchKnn readers
+      // proceed while excluding the commit phase below.
+      std::shared_lock<std::shared_mutex> read_guard(mu_.mu);
+      if (pool != nullptr && width > 1) {
+        pool->ParallelForSlots(0, width, plan_one);
+      } else {
+        for (std::size_t i = 0; i < width; ++i) plan_one(0, i);
+      }
+    }
+    {
+      std::unique_lock<std::shared_mutex> write_guard(mu_.mu);
+      for (std::size_t i = 0; i < width; ++i) {
+        CommitRow(rows, begin + i, plans[i], touched);
+      }
+    }
+    begin += width;
+  }
+
+  if (touched != nullptr) {
+    std::sort(touched->begin(), touched->end());
+    touched->erase(std::unique(touched->begin(), touched->end()),
+                   touched->end());
+  }
+  return first_id;
 }
 
 std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
                                                 std::size_t topk) const {
-  // Local generator and visited scratch: read-only queries never perturb
-  // the insert stream (replay determinism) and never share mutable state
-  // with concurrent searches.
-  Rng rng(params_.seed ^ (size() * 0x9e3779b97f4a7c15ULL));
-  std::vector<std::uint32_t> stamp(points_.rows(), 0);
-  std::uint32_t epoch = 0;
-  std::vector<Neighbor> cand = CollectCandidates(q, rng, nullptr, stamp, epoch);
+  thread_local SearchScratch scratch;
+  return SearchKnn(q, topk, scratch);
+}
+
+std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
+                                                std::size_t topk,
+                                                SearchScratch& scratch) const {
+  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  const std::size_t n = points_.rows();
+  if (n == 0) return {};
+  // Local generator: read-only queries never perturb the insert stream
+  // (replay determinism), and a fixed corpus size gives a fixed answer.
+  Rng rng(params_.seed ^ (n * 0x9e3779b97f4a7c15ULL));
+  std::vector<Neighbor> cand =
+      CollectCandidates(q, rng, nullptr, scratch, live_seeds_);
   if (cand.size() > topk) cand.resize(topk);
   return cand;
 }

@@ -8,13 +8,24 @@
 // distance evaluations — sub-linear in the corpus — versus the O(n) of a
 // brute-force insert.
 //
+// Ingest is batched and two-phase: a window of rows is split into
+// sub-batches whose walks all run against the same read-snapshot of the
+// graph (thread-parallel over a ThreadPool, each walk scored exactly
+// against its sub-batch predecessors so intra-window neighborhoods are not
+// lost), followed by a serial commit phase that applies AddNode/Update
+// edge mutations in row order. The committed graph is a pure function of
+// the insertion sequence and the RNG seed — independent of thread count —
+// which checkpoint replay relies on.
+//
 // The structure owns both the vectors (an append-only Matrix) and the
 // graph, because insertion must read existing rows to score candidates.
 
 #ifndef GKM_STREAM_ONLINE_KNN_GRAPH_H_
 #define GKM_STREAM_ONLINE_KNN_GRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/matrix.h"
@@ -23,24 +34,85 @@
 
 namespace gkm {
 
+class ThreadPool;
+
 /// Knobs of the online builder.
 struct OnlineGraphParams {
   std::size_t kappa = 20;      ///< graph out-degree (neighbors kept per node)
   std::size_t beam_width = 48; ///< insert-search candidate pool (recall knob)
-  /// Walk entry points per insert, drawn fresh from the builder's RNG each
-  /// time. On multi-modal data the graph is near-disconnected across
-  /// modes, so a walk only succeeds when a seed lands in the query's mode;
-  /// fresh draws make consecutive inserts fail independently instead of
-  /// isolating whole stretches of a mode the way a fixed seed set would.
+  /// Initial walk entry points per insert, drawn fresh per walk from a
+  /// deterministic per-row generator. On multi-modal data the graph is
+  /// near-disconnected across modes, so a walk only succeeds when a seed
+  /// lands in the query's mode; fresh draws make consecutive inserts fail
+  /// independently instead of isolating whole stretches of a mode the way
+  /// a fixed seed set would. This is only the starting value: the live
+  /// count adapts to the observed walk-failure rate (see
+  /// AdaptiveSeedState), so it no longer needs hand-tuning per dataset.
   std::size_t num_seeds = 64;
   std::size_t bootstrap = 128; ///< below this size, inserts are brute-force
   std::uint64_t seed = 42;     ///< RNG seed for entry-point draws
 };
 
+/// Reusable visited-marker scratch for graph walks: one stamp slot per
+/// node, epoch-tagged so opening a fresh walk never clears O(n) state.
+/// Keep one instance per thread and pass it to SearchKnn for
+/// allocation-free serving-path queries; a default-constructed instance
+/// adapts to any graph size (and may be shared across graphs, since every
+/// Prepare opens an epoch newer than any stamp previously written).
+struct SearchScratch {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+
+  /// Grows the stamp array to cover `n` nodes and opens a fresh epoch.
+  /// The 32-bit epoch wraps after 2^32 walks; stamps are zeroed on wrap,
+  /// because a wrapped epoch re-issues old values and stale entries would
+  /// otherwise make `stamp[id] == epoch` spuriously true, silently
+  /// dropping candidates from every later walk.
+  void Prepare(std::size_t n) {
+    if (stamp.size() < n) stamp.resize(n, 0);
+    if (++epoch == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+};
+
+/// State of the adaptive entry-point policy, persisted through checkpoints
+/// so a resumed stream continues with the seed count it had converged to.
+/// `live_seeds == 0` means "not yet initialized" — the graph starts from
+/// params.num_seeds.
+struct AdaptiveSeedState {
+  std::uint64_t live_seeds = 0;  ///< entry points currently in force
+  double fail_ewma = 0.125;      ///< audit-walk disagreement rate (EWMA)
+  std::uint64_t audit_tick = 0;  ///< inserts observed (audit cadence cursor)
+};
+
+namespace internal {
+
+/// std::shared_mutex held by value in a copyable class: copies and moves
+/// get a fresh mutex, since the lock guards its owning object's state,
+/// which is never shared with a copy. Copying/moving while locked is the
+/// caller's bug, as with any mutex-owning type.
+struct CopyableSharedMutex {
+  mutable std::shared_mutex mu;
+  CopyableSharedMutex() = default;
+  CopyableSharedMutex(const CopyableSharedMutex&) {}
+  CopyableSharedMutex& operator=(const CopyableSharedMutex&) { return *this; }
+};
+
+}  // namespace internal
+
 /// Growing KNN graph + vector store. Deterministic: the graph produced is a
-/// pure function of the insertion sequence and the RNG seed, which the
+/// pure function of the insertion sequence and the RNG seed (thread count
+/// included — parallel and serial ingest commit identical edges), which the
 /// streaming replay test relies on; the RNG state round-trips through
 /// checkpoints so restarts continue the same stream.
+///
+/// Concurrency model: one ingest thread calls Insert/InsertBatch; any
+/// number of serving threads call SearchKnn concurrently with it. Ingest
+/// holds a reader-writer lock — shared while walks read the graph, unique
+/// only for the serial commit phase — so searches interleave with the
+/// expensive part of ingest and block only during edge application.
 class OnlineKnnGraph {
  public:
   /// Empty structure over `dim`-dimensional points.
@@ -48,55 +120,122 @@ class OnlineKnnGraph {
 
   /// Re-assembles a structure from checkpointed parts. `rng` must be the
   /// snapshot taken alongside the parts for insertions to continue
-  /// bit-exact.
+  /// bit-exact, and `seeds` the adaptive-policy state captured with it.
   OnlineKnnGraph(Matrix points, KnnGraph graph, const OnlineGraphParams& params,
-                 const RngSnapshot& rng);
+                 const RngSnapshot& rng,
+                 const AdaptiveSeedState& seeds = AdaptiveSeedState());
 
-  std::size_t size() const { return points_.rows(); }
+  /// Number of stored points. Safe to call from serving threads while an
+  /// ingest is running (monotonically non-decreasing).
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    return points_.rows();
+  }
   std::size_t dim() const { return points_.cols(); }
+  /// Direct views of the stores. Unsynchronized: for quiescent use only
+  /// (no concurrent ingest) — serving threads should go through SearchKnn.
   const Matrix& points() const { return points_; }
   const KnnGraph& graph() const { return graph_; }
   const OnlineGraphParams& params() const { return params_; }
   RngSnapshot rng_state() const { return rng_.Snapshot(); }
+  /// Adaptive-policy snapshot for checkpointing. Safe during ingest.
+  AdaptiveSeedState seed_state() const;
+  /// Entry points currently used per walk (adapts; see AdaptiveSeedState).
+  /// Safe to poll from serving/monitoring threads during ingest.
+  std::size_t live_num_seeds() const {
+    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    return live_seeds_;
+  }
 
   /// Inserts `x` (dim floats): finds its kappa approximate nearest
   /// neighbors, links both directions and locally joins the surrounding
   /// lists; returns the new node's id. When `touched` is non-null, ids of
-  /// pre-existing nodes whose neighbor lists changed are appended to it —
-  /// possibly with duplicates — forming the set the streaming clusterer
-  /// re-optimizes. `seed_hints` (optional) adds caller-supplied walk entry
-  /// points on top of the random ones — the streaming clusterer passes
-  /// representatives of the clusters nearest `x`, which routes the walk
-  /// into rare modes that random entry would miss.
+  /// pre-existing nodes whose neighbor lists changed are appended to it
+  /// and the whole vector is sorted and deduplicated before returning —
+  /// the set the streaming clusterer re-optimizes, each id exactly once.
+  /// `seed_hints` (optional) adds caller-supplied walk entry points on top
+  /// of the random ones — the streaming clusterer passes representatives
+  /// of the clusters nearest `x`, which routes the walk into rare modes
+  /// that random entry would miss.
   std::uint32_t Insert(const float* x,
                        std::vector<std::uint32_t>* touched = nullptr,
                        const std::vector<std::uint32_t>* seed_hints = nullptr);
 
+  /// Batch insert of every row of `rows` (ids are assigned contiguously in
+  /// row order; the first id is returned). Candidate walks run
+  /// thread-parallel on `pool` (nullptr or a single-thread pool runs them
+  /// inline) against a frozen snapshot of the graph, then edges are
+  /// committed serially in row order — the result is bit-identical at any
+  /// thread count. `touched` behaves as in Insert (sorted, deduplicated).
+  /// `seed_hints`, when non-null, supplies one hint vector per row.
+  std::uint32_t InsertBatch(
+      const Matrix& rows, ThreadPool* pool,
+      std::vector<std::uint32_t>* touched = nullptr,
+      const std::vector<std::vector<std::uint32_t>>* seed_hints = nullptr);
+
   /// Approximate top-k nearest existing points to `q` via the same bounded
-  /// graph walk the insert path uses. Sorted ascending by distance.
-  /// Thread-safe against other concurrent SearchKnn calls (each query
-  /// carries its own visited scratch); not against concurrent Insert.
+  /// graph walk the insert path uses, seeded with the adaptive entry-point
+  /// count. Sorted ascending by distance. Safe to call from any number of
+  /// threads concurrently with each other *and* with a single ingest
+  /// thread running Insert/InsertBatch. The scratch overload reuses the
+  /// caller's per-thread scratch; the plain overload uses a thread_local
+  /// one. Read-only: never perturbs the insert RNG stream.
+  ///
+  /// Liveness caveat: platform rwlocks commonly prefer readers, so many
+  /// threads issuing back-to-back searches with no think time can delay
+  /// ingest commits unboundedly. If ingest latency matters under a
+  /// sustained query flood, pace the query loops or shard the graph.
   std::vector<Neighbor> SearchKnn(const float* q, std::size_t topk) const;
+  std::vector<Neighbor> SearchKnn(const float* q, std::size_t topk,
+                                  SearchScratch& scratch) const;
 
  private:
+  struct PlannedInsert;
+
   /// Bounded best-first walk seeded from `rng` plus optional hint entry
   /// points; returns up to beam_width exact-scored candidates sorted
   /// ascending. Falls back to scanning everything while the corpus is
-  /// below the bootstrap threshold. `stamp`/`epoch` are the caller's
-  /// visited markers (one slot per node, epoch-stamped so walks never
-  /// clear O(n) state).
+  /// below the bootstrap threshold. Reads only graph/point state — callers
+  /// must hold the read lock (or be the single writer).
   std::vector<Neighbor> CollectCandidates(
       const float* q, Rng& rng, const std::vector<std::uint32_t>* seed_hints,
-      std::vector<std::uint32_t>& stamp, std::uint32_t& epoch) const;
+      SearchScratch& scratch, std::size_t num_seeds) const;
+
+  /// Parallel phase of one row: walk + audit + intra-batch scoring + local
+  /// join distance table, all against the sub-batch's graph snapshot.
+  void PlanRow(const Matrix& rows, std::size_t batch_begin, std::size_t r,
+               std::uint64_t row_seed, std::size_t num_seeds,
+               std::uint64_t tick,
+               const std::vector<std::uint32_t>* seed_hints,
+               SearchScratch& scratch, PlannedInsert& plan) const;
+
+  /// Serial phase of one row: node allocation, forward/reverse edges,
+  /// local join from the precomputed table, adaptive-policy bookkeeping.
+  std::uint32_t CommitRow(const Matrix& rows, std::size_t r,
+                          PlannedInsert& plan,
+                          std::vector<std::uint32_t>* touched);
+
+  /// Folds one audit verdict into the failure EWMA and adjusts the live
+  /// seed count when the rate crosses a policy threshold.
+  void ApplyAudit(bool failed);
+
+  void EnsureScratch(std::size_t slots);
 
   OnlineGraphParams params_;
   Matrix points_;
   KnnGraph graph_;
   Rng rng_;
-  // Insert-path visited markers; read-only queries use per-call scratch
-  // instead so concurrent searches never share state.
-  std::vector<std::uint32_t> visit_stamp_;
-  std::uint32_t visit_epoch_ = 0;
+  // Adaptive entry-point policy (see "Adaptive seed policy" in the .cc).
+  std::size_t live_seeds_ = 0;
+  double fail_ewma_ = 0.125;
+  std::uint64_t audit_tick_ = 0;
+  // Per-slot walk scratch for the parallel ingest phase; serving threads
+  // bring their own SearchScratch instead.
+  std::vector<SearchScratch> ingest_scratch_;
+  // Guards points_/graph_/live_seeds_ between the single ingest thread
+  // (shared for walks, unique for commits) and concurrent SearchKnn
+  // readers (shared).
+  internal::CopyableSharedMutex mu_;
 };
 
 }  // namespace gkm

@@ -31,6 +31,7 @@ void ValidateParams(const StreamingGkMeansParams& params) {
 StreamingGkMeans::StreamingGkMeans(std::size_t dim,
                                    const StreamingGkMeansParams& params)
     : params_(params),
+      pool_(std::make_unique<ThreadPool>(params.ingest_threads)),
       graph_(dim, params.graph),
       state_(dim, params.k),
       cluster_reps_(params.k, kUnassigned),
@@ -42,8 +43,9 @@ StreamingGkMeans::StreamingGkMeans(std::size_t dim,
 
 StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
     : params_(snap.params),
+      pool_(std::make_unique<ThreadPool>(snap.params.ingest_threads)),
       graph_(std::move(snap.points), std::move(snap.graph), snap.params.graph,
-             snap.graph_rng),
+             snap.graph_rng, snap.seed_state),
       labels_(std::move(snap.labels)),
       state_(graph_.dim(), snap.params.k),
       prev_centroids_(std::move(snap.prev_centroids)),
@@ -96,20 +98,27 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
   Matrix centroids;
   if (was_bootstrapped) centroids = state_.Centroids();
 
+  // Route hints per row, computed in parallel against the window-start
+  // centroid snapshot (cluster state is read-only here).
+  const std::size_t rows = window.rows();
+  std::vector<std::vector<std::uint32_t>> hints;
+  const bool use_hints = was_bootstrapped && params_.route_hints > 0;
+  if (use_hints) {
+    hints.resize(rows);
+    pool_->ParallelFor(0, rows, [&](std::size_t r) {
+      ComputeRouteHints(window.Row(r), centroids, hints[r]);
+    });
+  }
+
+  // Batched graph ingest: walks fan out over the pool against a frozen
+  // snapshot, edges commit serially — bit-identical at any thread count.
   std::vector<std::uint32_t> touched;
-  std::vector<std::uint32_t> fresh;
-  std::vector<std::uint32_t> hints;
-  fresh.reserve(window.rows());
-  for (std::size_t r = 0; r < window.rows(); ++r) {
-    const float* x = window.Row(r);
-    const std::vector<std::uint32_t>* hint_ptr = nullptr;
-    if (was_bootstrapped && params_.route_hints > 0) {
-      ComputeRouteHints(x, centroids, hints);
-      if (!hints.empty()) hint_ptr = &hints;
-    }
-    const std::uint32_t id = graph_.Insert(x, &touched, hint_ptr);
-    labels_.push_back(kUnassigned);
-    fresh.push_back(id);
+  const std::uint32_t first_id = graph_.InsertBatch(
+      window, pool_.get(), &touched, use_hints ? &hints : nullptr);
+  labels_.resize(labels_.size() + rows, kUnassigned);
+  std::vector<std::uint32_t> fresh(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    fresh[r] = first_id + static_cast<std::uint32_t>(r);
   }
 
   if (!bootstrapped_) {
@@ -165,7 +174,8 @@ void StreamingGkMeans::Bootstrap() {
 
 void StreamingGkMeans::ComputeRouteHints(const float* x,
                                          const Matrix& centroids,
-                                         std::vector<std::uint32_t>& hints) {
+                                         std::vector<std::uint32_t>& hints)
+    const {
   hints.clear();
   TopK nearest(params_.route_hints);
   for (std::size_t c = 0; c < params_.k; ++c) {
@@ -511,6 +521,7 @@ StreamSnapshot StreamingGkMeans::Snapshot() const {
   s.bootstrapped = bootstrapped_;
   s.rng = rng_.Snapshot();
   s.graph_rng = graph_.rng_state();
+  s.seed_state = graph_.seed_state();
   return s;
 }
 

@@ -19,10 +19,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "kmeans/cluster_state.h"
 #include "kmeans/types.h"
 #include "stream/online_knn_graph.h"
@@ -64,6 +66,11 @@ struct StreamingGkMeansParams {
   /// Diagnostics retained: history() keeps the stats of the most recent
   /// this-many windows (the stream is unbounded; the process must not be).
   std::size_t history_limit = 4096;
+  /// Worker threads for window ingest (route-hint scoring and candidate
+  /// walks); 0 means all hardware threads. Pure execution knob: the model
+  /// produced is bit-identical at any value, so it is not persisted in
+  /// checkpoints — a resumed process picks its own.
+  std::size_t ingest_threads = 0;
   std::uint64_t seed = 42;
 };
 
@@ -101,6 +108,7 @@ struct StreamSnapshot {
   bool bootstrapped = false;
   RngSnapshot rng;                        ///< clusterer RNG
   RngSnapshot graph_rng;                  ///< online-graph RNG
+  AdaptiveSeedState seed_state;           ///< online-graph adaptive seeds
 };
 
 /// Online GK-means over an unbounded stream of fixed-dimension vectors.
@@ -112,7 +120,10 @@ class StreamingGkMeans {
   /// graph, assigns, and re-optimizes the touched neighborhoods. Before
   /// `bootstrap_min` points have accumulated the rows are only inserted;
   /// the first window that crosses the threshold triggers batch
-  /// initialization of the clustering.
+  /// initialization of the clustering. Route-hint scoring and the graph
+  /// candidate walks fan out over `ingest_threads` workers; the result is
+  /// bit-identical at any thread count. Serving threads may call
+  /// graph().SearchKnn concurrently with this.
   void ObserveWindow(const Matrix& window);
 
   /// Runs `epochs` Delta-I epochs over *all* points — the periodic
@@ -146,8 +157,9 @@ class StreamingGkMeans {
 
   /// Fills `hints` with the representatives of the route_hints clusters
   /// whose centroids are nearest `x` — the walk entry points for Insert.
+  /// Reads only cluster state, so rows of a window run it concurrently.
   void ComputeRouteHints(const float* x, const Matrix& centroids,
-                         std::vector<std::uint32_t>& hints);
+                         std::vector<std::uint32_t>& hints) const;
 
   /// Assigns a freshly inserted node by the best arrival gain among its
   /// graph neighbors' clusters (nearest centroid when none are labeled
@@ -171,6 +183,9 @@ class StreamingGkMeans {
   void SplitMergeMaintain(WindowStats& ws);
 
   StreamingGkMeansParams params_;
+  // Ingest worker pool (behind unique_ptr so the clusterer stays movable);
+  // idle outside ObserveWindow.
+  std::unique_ptr<ThreadPool> pool_;
   OnlineKnnGraph graph_;
   std::vector<std::uint32_t> labels_;
   ClusterState state_;

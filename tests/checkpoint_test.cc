@@ -135,12 +135,95 @@ TEST(CheckpointTest, PreBootstrapCheckpointRoundTrips) {
   ExpectIdenticalState(model, back);
 }
 
+// Overwrites 8 bytes at `offset` with `value` — for corrupting a specific
+// u64 field of the params block in place.
+void PatchU64(const std::string& path, long offset, std::uint64_t value) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&value, sizeof(value), 1, f), 1u);
+  std::fclose(f);
+}
+
+// Params-block layout: magic(4) version(4), then u64 fields in WriteParams
+// order — k@8, kappa@16, graph.kappa@24, graph.beam_width@32,
+// graph.num_seeds@40.
+constexpr long kKappaOffset = 16;
+constexpr long kBeamWidthOffset = 32;
+constexpr long kNumSeedsOffset = 40;
+
+TEST(CheckpointTest, TryLoadReportsInvalidParamsInsteadOfAborting) {
+  const SyntheticData data = StreamData(600);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 200);
+  const std::string path = TempPath("bad_params.ckpt");
+
+  SaveStreamCheckpoint(path, model);
+  PatchU64(path, kNumSeedsOffset, 0);  // num_seeds = 0: walk would divide by it
+  std::string error;
+  EXPECT_FALSE(TryLoadStreamCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("num_seeds"), std::string::npos) << error;
+
+  SaveStreamCheckpoint(path, model);
+  // Absurd kappa: must be a load error, not a std::bad_alloc in the
+  // constructor's scratch reservation.
+  PatchU64(path, kKappaOffset, 1ull << 60);
+  EXPECT_FALSE(TryLoadStreamCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("kappa"), std::string::npos) << error;
+
+  SaveStreamCheckpoint(path, model);
+  PatchU64(path, kBeamWidthOffset, 1);  // beam_width < graph kappa
+  EXPECT_FALSE(TryLoadStreamCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("beam_width"), std::string::npos) << error;
+
+  // The aborting wrapper reports the same diagnostic instead of tripping a
+  // constructor GKM_CHECK. StreamingGkMeans owns a thread pool, so the
+  // death test must re-exec rather than fork the threaded process.
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(LoadStreamCheckpoint(path), "beam_width");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TryLoadReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(
+      TryLoadStreamCheckpoint(TempPath("no_such.ckpt"), &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, TryLoadReportsWrongMagicAndVersion) {
+  const std::string path = TempPath("bad_magic.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("XXXXjunk data beyond the bad magic", f);
+  std::fclose(f);
+  std::string error;
+  EXPECT_FALSE(TryLoadStreamCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("not a GKMC"), std::string::npos) << error;
+
+  const SyntheticData data = StreamData(600);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 200);
+  SaveStreamCheckpoint(path, model);
+  // Version field sits right after the 4-byte magic.
+  f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+  const std::uint32_t bogus = 99;
+  ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+  std::fclose(f);
+  EXPECT_FALSE(TryLoadStreamCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, RejectsNonCheckpointFile) {
   const std::string path = TempPath("not_a_checkpoint.bin");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
   std::fputs("definitely not a GKMC file", f);
   std::fclose(f);
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
   EXPECT_DEATH(LoadStreamCheckpoint(path), "not a GKMC checkpoint");
   std::remove(path.c_str());
 }
@@ -160,6 +243,8 @@ TEST(CheckpointTest, RejectsTruncatedFile) {
   std::fclose(f);
   ASSERT_GT(size, 64);
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  // The model above spawned pool threads: re-exec instead of forking.
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
   EXPECT_DEATH(LoadStreamCheckpoint(path), "truncated|trailer");
   std::remove(path.c_str());
 }

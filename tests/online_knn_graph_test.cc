@@ -6,10 +6,13 @@
 #include "stream/online_knn_graph.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "common/distance.h"
+#include "common/thread_pool.h"
 #include "dataset/synthetic.h"
 #include "eval/metrics.h"
 #include "graph/brute_force.h"
@@ -142,7 +145,8 @@ TEST(OnlineKnnGraphTest, RestoreFromPartsMatchesOriginal) {
   p.kappa = 6;
   p.beam_width = 24;
   const OnlineKnnGraph g = InsertAll(data.vectors, p);
-  OnlineKnnGraph back(g.points(), g.graph(), p, g.rng_state());
+  OnlineKnnGraph back(g.points(), g.graph(), p, g.rng_state(),
+                      g.seed_state());
   ASSERT_EQ(back.size(), g.size());
   for (std::size_t i = 0; i < g.size(); ++i) {
     EXPECT_EQ(back.graph().SortedNeighbors(i), g.graph().SortedNeighbors(i));
@@ -157,6 +161,156 @@ TEST(OnlineKnnGraphTest, RestoreFromPartsMatchesOriginal) {
   for (std::size_t i = 0; i < g2.size(); ++i) {
     EXPECT_EQ(back.graph().SortedNeighbors(i), g2.graph().SortedNeighbors(i));
   }
+}
+
+TEST(OnlineKnnGraphTest, TouchedIsSortedAndDeduplicated) {
+  // Every Update used to push its endpoint, so a node adopted during both
+  // reverse repair and the local join appeared twice. The contract is now
+  // sorted-unique output.
+  const SyntheticData data = StreamData(500);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  OnlineKnnGraph g(16, p);
+  for (std::size_t i = 0; i + 1 < data.vectors.rows(); ++i) {
+    g.Insert(data.vectors.Row(i));
+  }
+  std::vector<std::uint32_t> touched;
+  g.Insert(data.vectors.Row(data.vectors.rows() - 1), &touched);
+  ASSERT_FALSE(touched.empty());
+  EXPECT_TRUE(std::is_sorted(touched.begin(), touched.end()));
+  EXPECT_EQ(std::adjacent_find(touched.begin(), touched.end()),
+            touched.end());
+}
+
+TEST(OnlineKnnGraphTest, SearchScratchEpochWrapDoesNotDropCandidates) {
+  // Regression: a wrapped u32 epoch re-issues old stamp values, so stale
+  // entries would read as already-visited and the walk would silently
+  // discard candidates. Prepare must zero the stamps on wrap.
+  const SyntheticData data = StreamData(600);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+
+  SearchScratch poisoned;
+  poisoned.epoch = std::numeric_limits<std::uint32_t>::max();
+  // Stale stamps that collide with the post-wrap epoch value (1) on every
+  // node — without the wrap reset, the whole corpus looks visited.
+  poisoned.stamp.assign(g.size(), 1u);
+  const auto got = g.SearchKnn(data.vectors.Row(3), 5, poisoned);
+  SearchScratch fresh;
+  const auto want = g.SearchKnn(data.vectors.Row(3), 5, fresh);
+  EXPECT_EQ(got, want);
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got[0].id, 3u);
+  EXPECT_FLOAT_EQ(got[0].dist, 0.0f);
+}
+
+TEST(OnlineKnnGraphTest, SearchKnnScratchOverloadMatchesPlain) {
+  const SyntheticData data = StreamData(800);
+  OnlineGraphParams p;
+  p.kappa = 8;
+  p.beam_width = 32;
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+  SearchScratch scratch;
+  for (std::size_t q = 0; q < 20; ++q) {
+    EXPECT_EQ(g.SearchKnn(data.vectors.Row(q), 10, scratch),
+              g.SearchKnn(data.vectors.Row(q), 10));
+  }
+}
+
+TEST(OnlineKnnGraphTest, InsertBatchParallelMatchesSerialBitForBit) {
+  // The batch ingest contract: the committed graph, RNG stream and
+  // adaptive state are pure functions of the insertion sequence — thread
+  // count must not perturb anything.
+  const SyntheticData data = StreamData(1500);
+  OnlineGraphParams p;
+  p.kappa = 8;
+  p.beam_width = 32;
+  ThreadPool pool(4);
+
+  OnlineKnnGraph serial(16, p);
+  OnlineKnnGraph parallel(16, p);
+  std::vector<std::uint32_t> touched_serial, touched_parallel;
+  const std::size_t window = 500;
+  for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+    const Matrix slice =
+        SliceRows(data.vectors, b, std::min(b + window, data.vectors.rows()));
+    touched_serial.clear();
+    touched_parallel.clear();
+    serial.InsertBatch(slice, nullptr, &touched_serial);
+    parallel.InsertBatch(slice, &pool, &touched_parallel);
+    EXPECT_EQ(touched_serial, touched_parallel);
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.graph().SortedNeighbors(i),
+              parallel.graph().SortedNeighbors(i))
+        << "node " << i;
+  }
+  const RngSnapshot rs = serial.rng_state();
+  const RngSnapshot rp = parallel.rng_state();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rs.s[i], rp.s[i]);
+  EXPECT_EQ(serial.seed_state().live_seeds, parallel.seed_state().live_seeds);
+  EXPECT_EQ(serial.seed_state().audit_tick, parallel.seed_state().audit_tick);
+  EXPECT_DOUBLE_EQ(serial.seed_state().fail_ewma,
+                   parallel.seed_state().fail_ewma);
+}
+
+TEST(OnlineKnnGraphTest, InsertBatchExactPhaseMatchesSequentialInserts) {
+  // Below the bootstrap threshold the batch path degenerates to one-row
+  // sub-batches, so it must equal per-point insertion exactly.
+  const SyntheticData data = StreamData(100);
+  OnlineGraphParams p;
+  p.kappa = 8;
+  p.beam_width = 16;
+  p.bootstrap = 200;
+  OnlineKnnGraph batched(16, p);
+  ThreadPool pool(4);
+  batched.InsertBatch(data.vectors, &pool);
+  const OnlineKnnGraph sequential = InsertAll(data.vectors, p);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched.graph().SortedNeighbors(i),
+              sequential.graph().SortedNeighbors(i));
+  }
+}
+
+TEST(OnlineKnnGraphTest, BatchIngestKeepsRecallAtLeast08) {
+  // Quality gate for the snapshot-walk + intra-batch path: windows of 500
+  // over a multi-modal corpus must still produce a high-recall graph.
+  const SyntheticData data = StreamData(2000);
+  OnlineGraphParams p;
+  p.kappa = 10;
+  p.beam_width = 48;
+  p.num_seeds = 64;
+  ThreadPool pool(4);
+  OnlineKnnGraph g(16, p);
+  const std::size_t window = 500;
+  for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+    g.InsertBatch(
+        SliceRows(data.vectors, b, std::min(b + window, data.vectors.rows())),
+        &pool);
+  }
+  const KnnGraph truth = BruteForceGraph(data.vectors, 10);
+  EXPECT_GE(GraphRecallAtK(g.graph(), truth, 10), 0.8);
+}
+
+TEST(OnlineKnnGraphTest, AdaptiveSeedsStayWithinPolicyBounds) {
+  const SyntheticData data = StreamData(2000);
+  OnlineGraphParams p;
+  p.kappa = 10;
+  p.beam_width = 48;
+  p.num_seeds = 64;
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+  const AdaptiveSeedState s = g.seed_state();
+  EXPECT_GE(s.live_seeds, 8u);          // policy floor
+  EXPECT_LE(s.live_seeds, 64u * 4u);    // policy ceiling
+  EXPECT_EQ(s.audit_tick, 2000u);       // one tick per insert
+  EXPECT_GE(s.fail_ewma, 0.0);
+  EXPECT_LE(s.fail_ewma, 1.0);
+  EXPECT_EQ(g.live_num_seeds(), s.live_seeds);
 }
 
 }  // namespace

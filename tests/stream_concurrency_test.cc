@@ -1,0 +1,155 @@
+// Copyright 2026 The gkmeans Authors.
+// Concurrency tests for the streaming subsystem: parallel window ingest
+// must produce checkpoints byte-identical to serial ingest, and the
+// SearchKnn serving path must stay correct while an ingest thread mutates
+// the graph. The CI ThreadSanitizer job runs this file to race-check the
+// reader-writer locking.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "stream/checkpoint.h"
+#include "stream/streaming_gkmeans.h"
+
+namespace gkm {
+namespace {
+
+constexpr std::size_t kDim = 12;
+
+SyntheticData StreamData(std::size_t n, std::uint64_t seed = 31) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = kDim;
+  spec.modes = 15;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec);
+}
+
+StreamingGkMeansParams SmallParams(std::size_t ingest_threads) {
+  StreamingGkMeansParams p;
+  p.k = 12;
+  p.kappa = 10;
+  p.graph.kappa = 10;
+  p.graph.beam_width = 32;
+  p.bootstrap_min = 400;
+  p.ingest_threads = ingest_threads;
+  return p;
+}
+
+void Feed(StreamingGkMeans& model, const Matrix& data, std::size_t window) {
+  for (std::size_t begin = 0; begin < data.rows(); begin += window) {
+    const std::size_t end = std::min(begin + window, data.rows());
+    model.ObserveWindow(SliceRows(data, begin, end));
+  }
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+TEST(StreamConcurrencyTest, ParallelIngestCheckpointsIdenticalToSerial) {
+  // The determinism contract of the whole subsystem: thread count is an
+  // execution knob, so the persisted model state — every byte of it —
+  // must not depend on it.
+  const SyntheticData data = StreamData(2500);
+  StreamingGkMeans serial(kDim, SmallParams(1));
+  StreamingGkMeans parallel(kDim, SmallParams(4));
+  Feed(serial, data.vectors, 250);
+  Feed(parallel, data.vectors, 250);
+
+  EXPECT_EQ(serial.labels(), parallel.labels());
+  EXPECT_DOUBLE_EQ(serial.Distortion(), parallel.Distortion());
+
+  const std::string serial_path = ::testing::TempDir() + "/serial.ckpt";
+  const std::string parallel_path = ::testing::TempDir() + "/parallel.ckpt";
+  SaveStreamCheckpoint(serial_path, serial);
+  SaveStreamCheckpoint(parallel_path, parallel);
+  EXPECT_EQ(ReadFileBytes(serial_path), ReadFileBytes(parallel_path));
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
+}
+
+TEST(StreamConcurrencyTest, SearchKnnStaysCorrectDuringIngest) {
+  // Serving path under fire: several query threads hammer SearchKnn with
+  // their own scratch while the main thread streams windows in. Results
+  // must always be well-formed (sorted, in-bounds, self-consistent) and
+  // the run must be race-free (checked by the TSan CI job).
+  const SyntheticData data = StreamData(3000);
+  const SyntheticData queries = StreamData(64, 77);
+  StreamingGkMeans model(kDim, SmallParams(2));
+  // Pre-fill past the graph's brute-force bootstrap so searches walk.
+  model.ObserveWindow(SliceRows(data.vectors, 0, 500));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> searches{0};
+  std::atomic<bool> ok{true};
+  auto serve = [&]() {
+    SearchScratch scratch;
+    std::size_t q = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const float* query = queries.vectors.Row(q % queries.vectors.rows());
+      const auto got = model.graph().SearchKnn(query, 10, scratch);
+      // The graph only grows, so ids are bounded by the size observed
+      // *after* the search returned.
+      const std::size_t bound = model.graph().size();
+      bool good = !got.empty() && got.size() <= 10;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        good = good && got[i].id < bound && got[i].dist >= 0.0f;
+        if (i > 0) good = good && got[i - 1].dist <= got[i].dist;
+      }
+      if (!good) ok.store(false);
+      searches.fetch_add(1);
+      ++q;
+      // Pace the query loop: pthread's shared_mutex prefers readers, so
+      // back-to-back searches from several threads on few cores would
+      // starve the ingest commits this test races against.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 2; ++t) servers.emplace_back(serve);
+  Feed(model, SliceRows(data.vectors, 500, data.vectors.rows()), 250);
+  stop.store(true);
+  for (auto& t : servers) t.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(searches.load(), 0u);
+  EXPECT_EQ(model.points_seen(), 3000u);
+}
+
+TEST(StreamConcurrencyTest, AdaptiveSeedStateSurvivesCheckpointResume) {
+  const SyntheticData data = StreamData(2000);
+  StreamingGkMeans model(kDim, SmallParams(2));
+  Feed(model, data.vectors, 250);
+
+  const std::string path = ::testing::TempDir() + "/adaptive.ckpt";
+  SaveStreamCheckpoint(path, model);
+  StreamingGkMeans back = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(back.graph().seed_state().live_seeds,
+            model.graph().seed_state().live_seeds);
+  EXPECT_EQ(back.graph().seed_state().audit_tick,
+            model.graph().seed_state().audit_tick);
+  EXPECT_DOUBLE_EQ(back.graph().seed_state().fail_ewma,
+                   model.graph().seed_state().fail_ewma);
+}
+
+}  // namespace
+}  // namespace gkm

@@ -144,6 +144,9 @@ TEST(StreamingGkMeansTest, WindowStatsAccumulate) {
 TEST(StreamingGkMeansTest, RejectsDimensionMismatch) {
   StreamingGkMeans model(kDim, SmallParams());
   Matrix wrong(10, kDim + 1);
+  // The model owns a thread pool: re-exec instead of forking the
+  // threaded process.
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
   EXPECT_DEATH(model.ObserveWindow(wrong), "dimension mismatch");
 }
 

@@ -61,6 +61,50 @@ TEST(ThreadPoolTest, SingleThreadFallbackWorks) {
   EXPECT_EQ(order.size(), 10u);
 }
 
+TEST(ThreadPoolTest, ParallelForSlotsCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  pool.ParallelForSlots(0, hits.size(), [&hits](std::size_t, std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsSlotIndicesStayInBounds) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<std::size_t>> slot_of(200);
+  pool.ParallelForSlots(0, slot_of.size(),
+                        [&slot_of](std::size_t slot, std::size_t i) {
+                          slot_of[i].store(slot);
+                        });
+  for (const auto& s : slot_of) EXPECT_LT(s.load(), pool.num_threads());
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsNeverRunsASlotConcurrently) {
+  // Per-slot unsynchronized counters: the contract is that at most one
+  // task owns a slot at a time, so plain increments must not be lost (and
+  // the TSan CI job would flag a race if two tasks shared a slot).
+  ThreadPool pool(4);
+  std::vector<std::size_t> per_slot(pool.num_threads(), 0);
+  const std::size_t n = 1000;
+  pool.ParallelForSlots(0, n, [&per_slot](std::size_t slot, std::size_t) {
+    ++per_slot[slot];
+  });
+  std::size_t sum = 0;
+  for (const std::size_t c : per_slot) sum += c;
+  EXPECT_EQ(sum, n);
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsInlineFallbackUsesSlotZero) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> slots;
+  pool.ParallelForSlots(0, 6, [&slots](std::size_t slot, std::size_t) {
+    slots.push_back(slot);  // single worker: no data race
+  });
+  ASSERT_EQ(slots.size(), 6u);
+  for (const std::size_t s : slots) EXPECT_EQ(s, 0u);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossBatches) {
   ThreadPool pool(3);
   std::atomic<long> sum{0};
