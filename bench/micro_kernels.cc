@@ -1,12 +1,26 @@
 // Copyright 2026 The gkmeans Authors.
 // Google-benchmark microbenchmarks for the hot kernels underneath every
-// experiment: distance computations at the paper's dimensions and the
+// experiment: the one-pair scalar distances, the batched one-to-many and
+// blocked kernels of common/kernels.h at the paper's dimensions, and the
 // BKM move-gain evaluation. These are sanity gauges for the cost model in
 // DESIGN.md, not paper artifacts.
+//
+// `--smoke` runs a self-contained throughput gate instead of the
+// benchmark suite: the dispatched one-to-many batch kernel must beat a
+// loop over the per-pair scalar L2Sqr by >= 1.5x at d=128 (the CI
+// assertion for the SIMD dispatch actually engaging). Exits non-zero on
+// failure, prints the active tier either way.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "dataset/synthetic.h"
 #include "kmeans/cluster_state.h"
@@ -14,6 +28,15 @@
 
 namespace gkm {
 namespace {
+
+Matrix RandomRows(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Matrix m(n, d);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) m.At(i, j) = rng.UniformFloat();
+  }
+  return m;
+}
 
 void BM_L2Sqr(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
@@ -45,6 +68,58 @@ void BM_Dot(benchmark::State& state) {
 }
 BENCHMARK(BM_Dot)->Arg(128)->Arg(512);
 
+// One-to-many: per-pair scalar loop (the pre-kernel-layer baseline)...
+void BM_L2SqrPerPairLoop(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 64;
+  const Matrix rows = RandomRows(n, d, 3);
+  const Matrix q = RandomRows(1, d, 4);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = L2Sqr(q.Row(0), rows.Row(i), d);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * d);
+}
+BENCHMARK(BM_L2SqrPerPairLoop)->Arg(100)->Arg(128)->Arg(960);
+
+// ...versus the dispatched one-to-many batch kernel over the same rows.
+void BM_L2SqrBatch(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 64;
+  const Matrix rows = RandomRows(n, d, 3);
+  const Matrix q = RandomRows(1, d, 4);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    L2SqrBatch(q.Row(0), rows.Row(0), rows.stride(), n, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * d);
+}
+BENCHMARK(BM_L2SqrBatch)->Arg(100)->Arg(128)->Arg(960);
+
+// Gathered variant at graph-walk candidate counts.
+void BM_L2SqrBatchGather(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 128;
+  const Matrix rows = RandomRows(256, d, 5);
+  const Matrix q = RandomRows(1, d, 6);
+  Rng rng(7);
+  std::vector<const float*> ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) ptrs[i] = rows.Row(rng.Index(256));
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    L2SqrBatchGather(q.Row(0), ptrs.data(), n, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * d);
+}
+BENCHMARK(BM_L2SqrBatchGather)->Arg(16)->Arg(48);
+
+// Many-to-many assignment: scalar NearestRow loop vs the blocked
+// dot-trick kernel with cached norms (the Lloyd/mini-batch hot path).
 void BM_NearestRow(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   const std::size_t d = 128;
@@ -58,6 +133,27 @@ void BM_NearestRow(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
 }
 BENCHMARK(BM_NearestRow)->Arg(64)->Arg(1024);
+
+void BM_AssignBlocked(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 128;
+  const std::size_t n = 512;
+  const SyntheticData data = MakeSiftLike(n + k, d, 3);
+  Matrix centroids(k, d);
+  for (std::size_t r = 0; r < k; ++r) centroids.SetRow(r, data.vectors.Row(r));
+  const Matrix points = SliceRows(data.vectors, k, k + n);
+  std::vector<float> qnorms(n), cnorms(k);
+  RowNormsSqr(points, qnorms.data());
+  RowNormsSqr(centroids, cnorms.data());
+  std::vector<std::uint32_t> labels(n);
+  for (auto _ : state) {
+    AssignNearestBlocked(points, centroids, qnorms.data(), cnorms.data(),
+                         labels.data());
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * k);
+}
+BENCHMARK(BM_AssignBlocked)->Arg(64)->Arg(1024);
 
 // One BKM candidate evaluation (GainArrive): the inner loop of GK-means.
 void BM_GainArrive(benchmark::State& state) {
@@ -81,7 +177,68 @@ void BM_GainArrive(benchmark::State& state) {
 }
 BENCHMARK(BM_GainArrive)->Arg(128)->Arg(512);
 
+// --- CI smoke gate ---------------------------------------------------------
+
+int RunSmoke() {
+  const std::size_t n = 64, d = 128;
+  const Matrix rows = RandomRows(n, d, 3);
+  const Matrix q = RandomRows(1, d, 4);
+  std::vector<float> out(n);
+  const int reps = 120000;
+
+  // Warm both paths, then time. Best-of-3 interleaved windows per path:
+  // shared CI runners deschedule whole ~0.1s windows, and the minimum is
+  // the standard noise-robust microbenchmark statistic.
+  for (int w = 0; w < 1000; ++w) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = L2Sqr(q.Row(0), rows.Row(i), d);
+    L2SqrBatch(q.Row(0), rows.Row(0), rows.stride(), n, d, out.data());
+  }
+  double scalar_s = 1e30, batch_s = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = L2Sqr(q.Row(0), rows.Row(i), d);
+      }
+      benchmark::DoNotOptimize(out.data());
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      L2SqrBatch(q.Row(0), rows.Row(0), rows.stride(), n, d, out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    scalar_s = std::min(scalar_s, std::chrono::duration<double>(t1 - t0).count());
+    batch_s = std::min(batch_s, std::chrono::duration<double>(t2 - t1).count());
+  }
+  const double speedup = scalar_s / batch_s;
+  const SimdTier tier = ActiveSimdTier();
+  std::printf("kernel smoke: tier=%s d=%zu n=%zu scalar=%.3fs batch=%.3fs "
+              "speedup=%.2fx\n",
+              SimdTierName(tier), d, n, scalar_s, batch_s, speedup);
+  if (tier == SimdTier::kScalar) {
+    // Forced-scalar (or no SIMD): the batch path IS the scalar loop; only
+    // sanity-check it didn't regress.
+    const bool ok = speedup > 0.8;
+    std::printf("scalar tier: no speedup expected — %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  const bool ok = speedup >= 1.5;
+  std::printf("batched >= 1.5x per-pair scalar: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace gkm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) return gkm::RunSmoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

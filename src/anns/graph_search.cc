@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/top_k.h"
 #include "kmeans/cluster_state.h"
@@ -75,14 +76,8 @@ GraphSearcher::GraphSearcher(const Matrix& base, const KnnGraph& graph)
   for (std::size_t j = 0; j < d; ++j) {
     meanf[j] = static_cast<float>(mean[j] / static_cast<double>(base.rows()));
   }
-  float best = std::numeric_limits<float>::max();
-  for (std::size_t i = 0; i < base.rows(); ++i) {
-    const float dist = L2Sqr(base.Row(i), meanf.data(), d);
-    if (dist < best) {
-      best = dist;
-      medoid_ = static_cast<std::uint32_t>(i);
-    }
-  }
+  medoid_ = static_cast<std::uint32_t>(NearestRowBatch(
+      meanf.data(), base.Row(0), base.stride(), base.rows(), d));
 }
 
 std::vector<Neighbor> GraphSearcher::Search(const float* query,
@@ -98,12 +93,12 @@ std::vector<Neighbor> GraphSearcher::Search(const float* query,
   std::vector<char> visited(n, 0);
   std::vector<PoolEntry> pool;
   pool.reserve(beam + 1);
+  std::vector<std::uint32_t> pending;
+  std::vector<const float*> pending_rows;
+  std::vector<float> pending_dist;
 
   Rng rng(params.seed);
-  auto try_add = [&](std::uint32_t id) {
-    if (visited[id]) return;
-    visited[id] = 1;
-    const float dist = L2Sqr(query, base_.Row(id), d);
+  auto offer = [&](std::uint32_t id, float dist) {
     if (stats != nullptr) ++stats->distance_evals;
     if (pool.size() == beam && dist >= pool.back().dist) return;
     const PoolEntry fresh{id, dist, false};
@@ -114,6 +109,11 @@ std::vector<Neighbor> GraphSearcher::Search(const float* query,
     pool.insert(pos, fresh);
     if (pool.size() > beam) pool.pop_back();
   };
+  auto try_add = [&](std::uint32_t id) {
+    if (visited[id]) return;
+    visited[id] = 1;
+    offer(id, L2Sqr(query, base_.Row(id), d));
+  };
 
   // Seed selection. With installed entry points: score them all, take the
   // closest num_seeds. Otherwise: medoid + random nodes. Every seed's
@@ -122,9 +122,16 @@ std::vector<Neighbor> GraphSearcher::Search(const float* query,
   // may hold the path to the query's region.
   std::vector<std::uint32_t> seeds;
   if (!entries_.empty()) {
+    // Entry points are scored with one gathered batch, then pushed in
+    // entry order — the same TopK content as per-entry scoring.
+    pending_rows.clear();
+    for (const std::uint32_t e : entries_) pending_rows.push_back(base_.Row(e));
+    pending_dist.resize(entries_.size());
+    L2SqrBatchGather(query, pending_rows.data(), entries_.size(), d,
+                     pending_dist.data());
     TopK nearest_entries(std::min(params.num_seeds, entries_.size()));
-    for (const std::uint32_t e : entries_) {
-      nearest_entries.Push(e, L2Sqr(query, base_.Row(e), d));
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      nearest_entries.Push(entries_[e], pending_dist[e]);
       if (stats != nullptr) ++stats->distance_evals;
     }
     for (const Neighbor& nb : nearest_entries.items()) seeds.push_back(nb.id);
@@ -134,11 +141,26 @@ std::vector<Neighbor> GraphSearcher::Search(const float* query,
       seeds.push_back(static_cast<std::uint32_t>(rng.Index(n)));
     }
   }
+  // Hop expansion: unvisited neighbors of the node are scored with one
+  // gathered batch and offered in adjacency order — identical pool
+  // evolution to per-neighbor try_add.
   auto expand = [&](std::uint32_t node) {
     if (stats != nullptr) ++stats->hops;
+    pending.clear();
+    pending_rows.clear();
     for (std::uint32_t p = adj_offsets_[node]; p < adj_offsets_[node + 1];
          ++p) {
-      try_add(adj_edges_[p]);
+      const std::uint32_t id = adj_edges_[p];
+      if (visited[id]) continue;
+      visited[id] = 1;
+      pending.push_back(id);
+      pending_rows.push_back(base_.Row(id));
+    }
+    pending_dist.resize(pending.size());
+    L2SqrBatchGather(query, pending_rows.data(), pending.size(), d,
+                     pending_dist.data());
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      offer(pending[p], pending_dist[p]);
     }
   };
 

@@ -4,6 +4,8 @@
 
 #include <limits>
 
+#include "common/kernels.h"
+
 namespace gkm {
 
 float L2Sqr(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
@@ -45,25 +47,20 @@ float Dot(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
 
 float NormSqr(const float* a, std::size_t d) { return Dot(a, a, d); }
 
+// Both of the matrix-level helpers are thin wrappers over the batched
+// kernel layer (common/kernels.h) — same results bit-for-bit as the
+// original scalar loops at every dispatch tier, see the kernel contract.
+
 std::size_t NearestRow(const Matrix& centroids, const float* x,
                        float* dist_out) {
   GKM_CHECK(centroids.rows() > 0);
-  std::size_t best = 0;
-  float best_d = std::numeric_limits<float>::max();
-  const std::size_t d = centroids.cols();
-  for (std::size_t r = 0; r < centroids.rows(); ++r) {
-    const float dist = L2Sqr(centroids.Row(r), x, d);
-    if (dist < best_d) {
-      best_d = dist;
-      best = r;
-    }
-  }
-  if (dist_out != nullptr) *dist_out = best_d;
-  return best;
+  return NearestRowBatch(x, centroids.Row(0), centroids.stride(),
+                         centroids.rows(), centroids.cols(), dist_out);
 }
 
 void RowNormsSqr(const Matrix& m, float* out) {
-  for (std::size_t i = 0; i < m.rows(); ++i) out[i] = NormSqr(m.Row(i), m.cols());
+  if (m.rows() == 0) return;
+  RowNormsSqrBatch(m.Row(0), m.stride(), m.rows(), m.cols(), out);
 }
 
 }  // namespace gkm

@@ -1,8 +1,10 @@
 // Copyright 2026 The gkmeans Authors.
-// Scalar-code distance kernels written so GCC/Clang auto-vectorize them at
-// -O3. These are the single hottest functions in the library: every k-means
-// assignment, every BKM move evaluation and every graph refinement pair goes
-// through one of them.
+// One-pair scalar distance primitives, written so GCC/Clang auto-vectorize
+// them at -O3, plus matrix-level helpers that are thin wrappers over the
+// batched SIMD kernel layer in common/kernels.h. The scalar pair functions
+// define the library's reference arithmetic: every batched kernel tier is
+// bit-identical to them on the exact paths. Hot loops that score many rows
+// against one query should call the kernels directly.
 
 #ifndef GKM_COMMON_DISTANCE_H_
 #define GKM_COMMON_DISTANCE_H_

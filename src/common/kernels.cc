@@ -1,0 +1,891 @@
+// Copyright 2026 The gkmeans Authors.
+//
+// Batched distance kernels with runtime SIMD dispatch. Read the contract in
+// kernels.h first. The load-bearing invariant throughout this file: the
+// EXACT kernels keep each row's arithmetic in the scalar code's 4-lane
+// accumulator structure —
+//
+//   lane j accumulates elements j, j+4, j+8, ... with mul-then-add
+//   (two roundings, never FMA), the tail (d % 4 elements) folds into
+//   lane 0 sequentially, and the final reduction is (s0+s1)+(s2+s3)
+//
+// — which is exactly what L2Sqr/Dot in common/distance.cc compute. A SIMD
+// tier widens this by processing MORE ROWS per instruction (2 rows per
+// 256-bit register, 4 per 512-bit), never by widening a single row's
+// accumulator, so every tier is bit-identical to scalar. This TU (and
+// distance.cc) is compiled with -ffp-contract=off so a -march=native build
+// cannot fuse the mul+add into an FMA behind our back; the dot-trick
+// kernels, which are allowed to be fast-and-loose, use explicit FMA
+// intrinsics instead.
+
+#include "common/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/macros.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define GKM_KERNELS_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define GKM_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace gkm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact scalar cores — verbatim the arithmetic of distance.cc, the golden
+// semantics every tier must reproduce.
+// ---------------------------------------------------------------------------
+
+inline float L2One(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
+                   std::size_t d) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < d; ++i) {
+    const float df = a[i] - b[i];
+    s0 += df * df;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+inline float DotOne(const float* GKM_RESTRICT a, const float* GKM_RESTRICT b,
+                    std::size_t d) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < d; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+// Mixed-precision dot — verbatim the arithmetic of DotDF in
+// kmeans/cluster_state.cc: two double accumulators over even/odd elements,
+// tail into s0, final s0 + s1.
+inline double DotDFOne(const double* GKM_RESTRICT a,
+                       const float* GKM_RESTRICT b, std::size_t d) {
+  double s0 = 0.0, s1 = 0.0;
+  std::size_t i = 0;
+  for (; i + 2 <= d; i += 2) {
+    s0 += a[i] * static_cast<double>(b[i]);
+    s1 += a[i + 1] * static_cast<double>(b[i + 1]);
+  }
+  if (i < d) s0 += a[i] * static_cast<double>(b[i]);
+  return s0 + s1;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier.
+// ---------------------------------------------------------------------------
+
+void ScalarL2Strided(const float* q, const float* base, std::size_t stride,
+                     std::size_t n, std::size_t d, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = L2One(q, base + i * stride, d);
+}
+
+void ScalarL2Gather(const float* q, const float* const* rows, std::size_t n,
+                    std::size_t d, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = L2One(q, rows[i], d);
+}
+
+void ScalarDotDFGather(const float* q, const double* const* rows,
+                       std::size_t n, std::size_t d, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = DotDFOne(rows[i], q, d);
+}
+
+void ScalarDot4(const float* q0, const float* q1, const float* q2,
+                const float* q3, const float* c, std::size_t d, float* out4) {
+  out4[0] = DotOne(q0, c, d);
+  out4[1] = DotOne(q1, c, d);
+  out4[2] = DotOne(q2, c, d);
+  out4[3] = DotOne(q3, c, d);
+}
+
+float ScalarDot1(const float* a, const float* b, std::size_t d) {
+  return DotOne(a, b, d);
+}
+
+#if defined(GKM_KERNELS_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. 256-bit registers hold TWO rows' 4-lane accumulators (low
+// half row A, high half row B); the query chunk is broadcast to both
+// halves. The per-row serial mul-then-add chain is the exactness contract,
+// so throughput comes entirely from parallel row chains: NREG independent
+// accumulator registers process 2*NREG rows per step.
+// ---------------------------------------------------------------------------
+
+template <int NREG>
+__attribute__((target("avx2,fma"))) inline void Avx2L2Rows(
+    const float* q, const float* const* rows, std::size_t d, float* out) {
+  __m256 acc[NREG];
+  for (int r = 0; r < NREG; ++r) acc[r] = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const __m256 qq =
+        _mm256_broadcast_ps(reinterpret_cast<const __m128*>(q + j));
+    for (int r = 0; r < NREG; ++r) {
+      const __m256 rr = _mm256_insertf128_ps(
+          _mm256_castps128_ps256(_mm_loadu_ps(rows[2 * r] + j)),
+          _mm_loadu_ps(rows[2 * r + 1] + j), 1);
+      const __m256 df = _mm256_sub_ps(qq, rr);
+      acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(df, df));
+    }
+  }
+  for (int r = 0; r < NREG; ++r) {
+    alignas(32) float l[8];
+    _mm256_store_ps(l, acc[r]);
+    for (int h = 0; h < 2; ++h) {
+      const float* row = rows[2 * r + h];
+      float s0 = l[4 * h];
+      for (std::size_t t = j; t < d; ++t) {
+        const float df = q[t] - row[t];
+        s0 += df * df;
+      }
+      out[2 * r + h] = (s0 + l[4 * h + 1]) + (l[4 * h + 2] + l[4 * h + 3]);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void Avx2L2Gather(
+    const float* q, const float* const* rows, std::size_t n, std::size_t d,
+    float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) Avx2L2Rows<4>(q, rows + i, d, out + i);
+  for (; i + 2 <= n; i += 2) Avx2L2Rows<1>(q, rows + i, d, out + i);
+  for (; i < n; ++i) out[i] = L2One(q, rows[i], d);
+}
+
+__attribute__((target("avx2,fma"))) void Avx2L2Strided(
+    const float* q, const float* base, std::size_t stride, std::size_t n,
+    std::size_t d, float* out) {
+  const float* ptrs[8];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t r = 0; r < 8; ++r) ptrs[r] = base + (i + r) * stride;
+    Avx2L2Rows<4>(q, ptrs, d, out + i);
+  }
+  for (; i + 2 <= n; i += 2) {
+    ptrs[0] = base + i * stride;
+    ptrs[1] = ptrs[0] + stride;
+    Avx2L2Rows<1>(q, ptrs, d, out + i);
+  }
+  for (; i < n; ++i) out[i] = L2One(q, base + i * stride, d);
+}
+
+// Mixed-precision dot, 2 rows per 256-bit double register (each row owns
+// its even/odd accumulator pair); NREG registers of independent chains.
+template <int NREG>
+__attribute__((target("avx2,fma"))) inline void Avx2DotDFRows(
+    const float* q, const double* const* rows, std::size_t d, double* out) {
+  __m256d acc[NREG];
+  for (int r = 0; r < NREG; ++r) acc[r] = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    const __m128d qd = _mm_cvtps_pd(_mm_castsi128_ps(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + j))));
+    const __m256d qq = _mm256_set_m128d(qd, qd);
+    for (int r = 0; r < NREG; ++r) {
+      const __m256d rr = _mm256_set_m128d(_mm_loadu_pd(rows[2 * r + 1] + j),
+                                          _mm_loadu_pd(rows[2 * r] + j));
+      acc[r] = _mm256_add_pd(acc[r], _mm256_mul_pd(qq, rr));
+    }
+  }
+  for (int r = 0; r < NREG; ++r) {
+    alignas(32) double l[4];
+    _mm256_store_pd(l, acc[r]);
+    for (int h = 0; h < 2; ++h) {
+      double s0 = l[2 * h], s1 = l[2 * h + 1];
+      if (j < d) s0 += rows[2 * r + h][j] * static_cast<double>(q[j]);
+      out[2 * r + h] = s0 + s1;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void Avx2DotDFGather(
+    const float* q, const double* const* rows, std::size_t n, std::size_t d,
+    double* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) Avx2DotDFRows<4>(q, rows + i, d, out + i);
+  for (; i + 2 <= n; i += 2) Avx2DotDFRows<1>(q, rows + i, d, out + i);
+  for (; i < n; ++i) out[i] = DotDFOne(rows[i], q, d);
+}
+
+__attribute__((target("avx2,fma"))) inline float Avx2Hsum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+__attribute__((target("avx2,fma"))) void Avx2Dot4(
+    const float* q0, const float* q1, const float* q2, const float* q3,
+    const float* c, std::size_t d, float* out4) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= d; j += 8) {
+    const __m256 cc = _mm256_loadu_ps(c + j);
+    a0 = _mm256_fmadd_ps(_mm256_loadu_ps(q0 + j), cc, a0);
+    a1 = _mm256_fmadd_ps(_mm256_loadu_ps(q1 + j), cc, a1);
+    a2 = _mm256_fmadd_ps(_mm256_loadu_ps(q2 + j), cc, a2);
+    a3 = _mm256_fmadd_ps(_mm256_loadu_ps(q3 + j), cc, a3);
+  }
+  out4[0] = Avx2Hsum(a0);
+  out4[1] = Avx2Hsum(a1);
+  out4[2] = Avx2Hsum(a2);
+  out4[3] = Avx2Hsum(a3);
+  for (; j < d; ++j) {
+    out4[0] += q0[j] * c[j];
+    out4[1] += q1[j] * c[j];
+    out4[2] += q2[j] * c[j];
+    out4[3] += q3[j] * c[j];
+  }
+}
+
+__attribute__((target("avx2,fma"))) float Avx2Dot1(const float* a,
+                                                   const float* b,
+                                                   std::size_t d) {
+  __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 16 <= d; j += 16) {
+    s0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j), s0);
+    s1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 8), _mm256_loadu_ps(b + j + 8),
+                         s1);
+  }
+  for (; j + 8 <= d; j += 8) {
+    s0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j), s0);
+  }
+  float out = Avx2Hsum(_mm256_add_ps(s0, s1));
+  for (; j < d; ++j) out += a[j] * b[j];
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier. 512-bit registers hold FOUR rows' 4-lane accumulators; the
+// query chunk is broadcast to all four 128-bit sub-lanes. Two accumulator
+// registers per step = 8 rows in flight.
+//
+// GCC 12's avx512fintrin.h trips a bogus -Wuninitialized on
+// _mm512_loadu_ps (GCC PR105593); silence it for this block only.
+// ---------------------------------------------------------------------------
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+template <int NREG>
+__attribute__((target("avx2,fma,avx512f"))) inline void Avx512L2Rows(
+    const float* q, const float* const* rows, std::size_t d, float* out) {
+  __m512 acc[NREG];
+  for (int r = 0; r < NREG; ++r) acc[r] = _mm512_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const __m512 qq = _mm512_broadcast_f32x4(_mm_loadu_ps(q + j));
+    for (int r = 0; r < NREG; ++r) {
+      __m512 rr = _mm512_castps128_ps512(_mm_loadu_ps(rows[4 * r] + j));
+      rr = _mm512_insertf32x4(rr, _mm_loadu_ps(rows[4 * r + 1] + j), 1);
+      rr = _mm512_insertf32x4(rr, _mm_loadu_ps(rows[4 * r + 2] + j), 2);
+      rr = _mm512_insertf32x4(rr, _mm_loadu_ps(rows[4 * r + 3] + j), 3);
+      const __m512 df = _mm512_sub_ps(qq, rr);
+      acc[r] = _mm512_add_ps(acc[r], _mm512_mul_ps(df, df));
+    }
+  }
+  for (int r = 0; r < NREG; ++r) {
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, acc[r]);
+    for (int h = 0; h < 4; ++h) {
+      const float* row = rows[4 * r + h];
+      float s0 = lanes[4 * h];
+      for (std::size_t t = j; t < d; ++t) {
+        const float df = q[t] - row[t];
+        s0 += df * df;
+      }
+      out[4 * r + h] =
+          (s0 + lanes[4 * h + 1]) + (lanes[4 * h + 2] + lanes[4 * h + 3]);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma,avx512f"))) void Avx512L2Gather(
+    const float* q, const float* const* rows, std::size_t n, std::size_t d,
+    float* out) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) Avx512L2Rows<4>(q, rows + i, d, out + i);
+  for (; i + 4 <= n; i += 4) Avx512L2Rows<1>(q, rows + i, d, out + i);
+  for (; i < n; ++i) out[i] = L2One(q, rows[i], d);
+}
+
+__attribute__((target("avx2,fma,avx512f"))) void Avx512L2Strided(
+    const float* q, const float* base, std::size_t stride, std::size_t n,
+    std::size_t d, float* out) {
+  const float* ptrs[16];
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (std::size_t r = 0; r < 16; ++r) ptrs[r] = base + (i + r) * stride;
+    Avx512L2Rows<4>(q, ptrs, d, out + i);
+  }
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t r = 0; r < 4; ++r) ptrs[r] = base + (i + r) * stride;
+    Avx512L2Rows<1>(q, ptrs, d, out + i);
+  }
+  for (; i < n; ++i) out[i] = L2One(q, base + i * stride, d);
+}
+
+// Mixed-precision dot, 4 rows per 512-bit double register.
+template <int NREG>
+__attribute__((target("avx2,fma,avx512f"))) inline void Avx512DotDFRows(
+    const float* q, const double* const* rows, std::size_t d, double* out) {
+  __m512d acc[NREG];
+  for (int r = 0; r < NREG; ++r) acc[r] = _mm512_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    const __m128d qd = _mm_cvtps_pd(_mm_castsi128_ps(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + j))));
+    const __m256d q4 = _mm256_set_m128d(qd, qd);
+    const __m512d qq =
+        _mm512_insertf64x4(_mm512_castpd256_pd512(q4), q4, 1);
+    for (int r = 0; r < NREG; ++r) {
+      const __m256d lo = _mm256_set_m128d(_mm_loadu_pd(rows[4 * r + 1] + j),
+                                          _mm_loadu_pd(rows[4 * r] + j));
+      const __m256d hi = _mm256_set_m128d(_mm_loadu_pd(rows[4 * r + 3] + j),
+                                          _mm_loadu_pd(rows[4 * r + 2] + j));
+      const __m512d rr =
+          _mm512_insertf64x4(_mm512_castpd256_pd512(lo), hi, 1);
+      acc[r] = _mm512_add_pd(acc[r], _mm512_mul_pd(qq, rr));
+    }
+  }
+  for (int r = 0; r < NREG; ++r) {
+    alignas(64) double l[8];
+    _mm512_store_pd(l, acc[r]);
+    for (int h = 0; h < 4; ++h) {
+      double s0 = l[2 * h], s1 = l[2 * h + 1];
+      if (j < d) s0 += rows[4 * r + h][j] * static_cast<double>(q[j]);
+      out[4 * r + h] = s0 + s1;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma,avx512f"))) void Avx512DotDFGather(
+    const float* q, const double* const* rows, std::size_t n, std::size_t d,
+    double* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) Avx512DotDFRows<2>(q, rows + i, d, out + i);
+  for (; i + 4 <= n; i += 4) Avx512DotDFRows<1>(q, rows + i, d, out + i);
+  for (; i < n; ++i) out[i] = DotDFOne(rows[i], q, d);
+}
+
+__attribute__((target("avx2,fma,avx512f"))) void Avx512Dot4(
+    const float* q0, const float* q1, const float* q2, const float* q3,
+    const float* c, std::size_t d, float* out4) {
+  __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+  __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 16 <= d; j += 16) {
+    const __m512 cc = _mm512_loadu_ps(c + j);
+    a0 = _mm512_fmadd_ps(_mm512_loadu_ps(q0 + j), cc, a0);
+    a1 = _mm512_fmadd_ps(_mm512_loadu_ps(q1 + j), cc, a1);
+    a2 = _mm512_fmadd_ps(_mm512_loadu_ps(q2 + j), cc, a2);
+    a3 = _mm512_fmadd_ps(_mm512_loadu_ps(q3 + j), cc, a3);
+  }
+  out4[0] = _mm512_reduce_add_ps(a0);
+  out4[1] = _mm512_reduce_add_ps(a1);
+  out4[2] = _mm512_reduce_add_ps(a2);
+  out4[3] = _mm512_reduce_add_ps(a3);
+  for (; j < d; ++j) {
+    out4[0] += q0[j] * c[j];
+    out4[1] += q1[j] * c[j];
+    out4[2] += q2[j] * c[j];
+    out4[3] += q3[j] * c[j];
+  }
+}
+
+__attribute__((target("avx2,fma,avx512f"))) float Avx512Dot1(const float* a,
+                                                             const float* b,
+                                                             std::size_t d) {
+  __m512 s0 = _mm512_setzero_ps(), s1 = _mm512_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 32 <= d; j += 32) {
+    s0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j), s0);
+    s1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j + 16),
+                         _mm512_loadu_ps(b + j + 16), s1);
+  }
+  for (; j + 16 <= d; j += 16) {
+    s0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j), s0);
+  }
+  float out = _mm512_reduce_add_ps(_mm512_add_ps(s0, s1));
+  for (; j < d; ++j) out += a[j] * b[j];
+  return out;
+}
+#pragma GCC diagnostic pop
+
+#elif defined(GKM_KERNELS_NEON)
+
+// ---------------------------------------------------------------------------
+// NEON tier. 128-bit registers are exactly one row's 4-lane accumulator;
+// the win over scalar comes from running two rows' independent chains per
+// step and keeping the query chunk in a register.
+// ---------------------------------------------------------------------------
+
+inline void NeonL2RowPair(const float* q, const float* r0, const float* r1,
+                          std::size_t d, float* out2) {
+  float32x4_t accA = vdupq_n_f32(0.0f);
+  float32x4_t accB = vdupq_n_f32(0.0f);
+  std::size_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const float32x4_t qq = vld1q_f32(q + j);
+    const float32x4_t da = vsubq_f32(qq, vld1q_f32(r0 + j));
+    const float32x4_t db = vsubq_f32(qq, vld1q_f32(r1 + j));
+    accA = vaddq_f32(accA, vmulq_f32(da, da));
+    accB = vaddq_f32(accB, vmulq_f32(db, db));
+  }
+  float la[4], lb[4];
+  vst1q_f32(la, accA);
+  vst1q_f32(lb, accB);
+  for (std::size_t t = j; t < d; ++t) {
+    const float da = q[t] - r0[t];
+    la[0] += da * da;
+    const float db = q[t] - r1[t];
+    lb[0] += db * db;
+  }
+  out2[0] = (la[0] + la[1]) + (la[2] + la[3]);
+  out2[1] = (lb[0] + lb[1]) + (lb[2] + lb[3]);
+}
+
+void NeonL2Strided(const float* q, const float* base, std::size_t stride,
+                   std::size_t n, std::size_t d, float* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    NeonL2RowPair(q, base + i * stride, base + (i + 1) * stride, d, out + i);
+  }
+  for (; i < n; ++i) out[i] = L2One(q, base + i * stride, d);
+}
+
+void NeonL2Gather(const float* q, const float* const* rows, std::size_t n,
+                  std::size_t d, float* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    NeonL2RowPair(q, rows[i], rows[i + 1], d, out + i);
+  }
+  for (; i < n; ++i) out[i] = L2One(q, rows[i], d);
+}
+
+// Mixed-precision dot: one row's even/odd double accumulators per 128-bit
+// register, two independent row chains per step.
+inline void NeonDotDFRowPair(const float* q, const double* r0,
+                             const double* r1, std::size_t d, double* out2) {
+  float64x2_t a0 = vdupq_n_f64(0.0);
+  float64x2_t a1 = vdupq_n_f64(0.0);
+  std::size_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    const float64x2_t qd = vcvt_f64_f32(vld1_f32(q + j));
+    a0 = vaddq_f64(a0, vmulq_f64(qd, vld1q_f64(r0 + j)));
+    a1 = vaddq_f64(a1, vmulq_f64(qd, vld1q_f64(r1 + j)));
+  }
+  double l0[2], l1[2];
+  vst1q_f64(l0, a0);
+  vst1q_f64(l1, a1);
+  if (j < d) {
+    l0[0] += r0[j] * static_cast<double>(q[j]);
+    l1[0] += r1[j] * static_cast<double>(q[j]);
+  }
+  out2[0] = l0[0] + l0[1];
+  out2[1] = l1[0] + l1[1];
+}
+
+void NeonDotDFGather(const float* q, const double* const* rows, std::size_t n,
+                     std::size_t d, double* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    NeonDotDFRowPair(q, rows[i], rows[i + 1], d, out + i);
+  }
+  for (; i < n; ++i) out[i] = DotDFOne(rows[i], q, d);
+}
+
+inline float NeonHsum(float32x4_t v) {
+  float l[4];
+  vst1q_f32(l, v);
+  return (l[0] + l[1]) + (l[2] + l[3]);
+}
+
+void NeonDot4(const float* q0, const float* q1, const float* q2,
+              const float* q3, const float* c, std::size_t d, float* out4) {
+  float32x4_t a0 = vdupq_n_f32(0.0f), a1 = vdupq_n_f32(0.0f);
+  float32x4_t a2 = vdupq_n_f32(0.0f), a3 = vdupq_n_f32(0.0f);
+  std::size_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const float32x4_t cc = vld1q_f32(c + j);
+    a0 = vfmaq_f32(a0, vld1q_f32(q0 + j), cc);
+    a1 = vfmaq_f32(a1, vld1q_f32(q1 + j), cc);
+    a2 = vfmaq_f32(a2, vld1q_f32(q2 + j), cc);
+    a3 = vfmaq_f32(a3, vld1q_f32(q3 + j), cc);
+  }
+  out4[0] = NeonHsum(a0);
+  out4[1] = NeonHsum(a1);
+  out4[2] = NeonHsum(a2);
+  out4[3] = NeonHsum(a3);
+  for (; j < d; ++j) {
+    out4[0] += q0[j] * c[j];
+    out4[1] += q1[j] * c[j];
+    out4[2] += q2[j] * c[j];
+    out4[3] += q3[j] * c[j];
+  }
+}
+
+float NeonDot1(const float* a, const float* b, std::size_t d) {
+  float32x4_t s0 = vdupq_n_f32(0.0f), s1 = vdupq_n_f32(0.0f);
+  std::size_t j = 0;
+  for (; j + 8 <= d; j += 8) {
+    s0 = vfmaq_f32(s0, vld1q_f32(a + j), vld1q_f32(b + j));
+    s1 = vfmaq_f32(s1, vld1q_f32(a + j + 4), vld1q_f32(b + j + 4));
+  }
+  for (; j + 4 <= d; j += 4) {
+    s0 = vfmaq_f32(s0, vld1q_f32(a + j), vld1q_f32(b + j));
+  }
+  float out = NeonHsum(vaddq_f32(s0, s1));
+  for (; j < d; ++j) out += a[j] * b[j];
+  return out;
+}
+
+#endif  // tier implementations
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+constexpr internal::KernelOps kScalarTable = {ScalarL2Strided, ScalarL2Gather,
+                                              ScalarDotDFGather, ScalarDot4,
+                                              ScalarDot1, false};
+#if defined(GKM_KERNELS_X86)
+constexpr internal::KernelOps kAvx2Table = {Avx2L2Strided, Avx2L2Gather,
+                                            Avx2DotDFGather, Avx2Dot4,
+                                            Avx2Dot1, true};
+constexpr internal::KernelOps kAvx512Table = {Avx512L2Strided, Avx512L2Gather,
+                                              Avx512DotDFGather, Avx512Dot4,
+                                              Avx512Dot1, true};
+#elif defined(GKM_KERNELS_NEON)
+constexpr internal::KernelOps kNeonTable = {NeonL2Strided, NeonL2Gather,
+                                            NeonDotDFGather, NeonDot4,
+                                            NeonDot1, true};
+#endif
+
+bool ForceScalarEnv() {
+  const char* f = std::getenv("GKM_FORCE_SCALAR");
+  return f != nullptr && f[0] != '\0' && !(f[0] == '0' && f[1] == '\0');
+}
+
+const internal::KernelOps& Ops() {
+  static const internal::KernelOps& table = internal::OpsForTier(ActiveSimdTier());
+  return table;
+}
+
+}  // namespace
+
+namespace internal {
+
+SimdTier BestSupportedTier() {
+#if defined(GKM_KERNELS_X86)
+  if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdTier::kAvx2;
+  }
+  return SimdTier::kScalar;
+#elif defined(GKM_KERNELS_NEON)
+  return SimdTier::kNeon;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+const KernelOps& OpsForTier(SimdTier tier) {
+  if (tier != SimdTier::kScalar) {
+    GKM_CHECK_MSG(tier == BestSupportedTier() ||
+                      (tier == SimdTier::kAvx2 &&
+                       BestSupportedTier() == SimdTier::kAvx512),
+                  "requested SIMD tier unsupported on this CPU");
+  }
+  switch (tier) {
+#if defined(GKM_KERNELS_X86)
+    case SimdTier::kAvx512:
+      return kAvx512Table;
+    case SimdTier::kAvx2:
+      return kAvx2Table;
+#elif defined(GKM_KERNELS_NEON)
+    case SimdTier::kNeon:
+      return kNeonTable;
+#endif
+    default:
+      return kScalarTable;
+  }
+}
+
+}  // namespace internal
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier tier =
+      ForceScalarEnv() ? SimdTier::kScalar : internal::BestSupportedTier();
+  return tier;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kNeon:
+      return "neon";
+    default:
+      return "scalar";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public exact kernels.
+// ---------------------------------------------------------------------------
+
+void L2SqrBatch(const float* q, const float* base, std::size_t stride,
+                std::size_t n, std::size_t d, float* out) {
+  Ops().l2_strided(q, base, stride, n, d, out);
+}
+
+void L2SqrBatchGather(const float* q, const float* const* rows, std::size_t n,
+                      std::size_t d, float* out) {
+  Ops().l2_gather(q, rows, n, d, out);
+}
+
+void RowNormsSqrBatch(const float* base, std::size_t stride, std::size_t n,
+                      std::size_t d, float* out) {
+  // ||x||^2 as L2Sqr(0, x): (0 - x_i)^2 multiplies out to x_i * x_i with
+  // identical rounding, so this is bit-equal to Dot(x, x) while reusing
+  // the multi-row L2 kernels. The zero query is per-thread scratch.
+  if (n == 0) return;
+  thread_local std::vector<float> zeros;
+  if (zeros.size() < d) zeros.resize(d, 0.0f);
+  Ops().l2_strided(zeros.data(), base, stride, n, d, out);
+}
+
+std::size_t NearestRowBatch(const float* q, const float* base,
+                            std::size_t stride, std::size_t n, std::size_t d,
+                            float* dist_out) {
+  GKM_CHECK(n > 0);
+  constexpr std::size_t kBlock = 256;
+  float buf[kBlock];
+  std::size_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    Ops().l2_strided(q, base + b * stride, stride, len, d, buf);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (buf[i] < best_d) {
+        best_d = buf[i];
+        best = b + i;
+      }
+    }
+  }
+  if (dist_out != nullptr) *dist_out = best_d;
+  return best;
+}
+
+void DotDFBatchGather(const float* q, const double* const* rows,
+                      std::size_t n, std::size_t d, double* out) {
+  Ops().dot_df_gather(q, rows, n, d, out);
+}
+
+void L2SqrToTopK(const float* q, const float* base, std::size_t stride,
+                 std::size_t n, std::size_t d, std::uint32_t id_offset,
+                 std::uint32_t skip_id, TopK& top) {
+  constexpr std::size_t kBlock = 256;
+  float buf[kBlock];
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    Ops().l2_strided(q, base + b * stride, stride, len, d, buf);
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto id = static_cast<std::uint32_t>(id_offset + b + i);
+      if (id == skip_id) continue;
+      if (!top.full() || buf[i] < top.WorstDist()) top.Push(id, buf[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked dot-trick kernels.
+// ---------------------------------------------------------------------------
+
+void L2SqrBatchDotTrick(const float* q, float qnorm, const float* base,
+                        std::size_t stride, std::size_t n, std::size_t d,
+                        const float* row_norms, float* out) {
+  const internal::KernelOps& ops = Ops();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r = base + i * stride;
+    float dots[4];
+    ops.dot4(r, r + stride, r + 2 * stride, r + 3 * stride, q, d, dots);
+    for (std::size_t j = 0; j < 4; ++j) {
+      out[i + j] =
+          std::max(0.0f, qnorm - 2.0f * dots[j] + row_norms[i + j]);
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = std::max(
+        0.0f, qnorm - 2.0f * ops.dot1(q, base + i * stride, d) + row_norms[i]);
+  }
+}
+
+namespace {
+
+// Shared driver of both AssignNearestBlocked variants. The dot-trick pass
+// finds each query's best/second candidate; a winner only stands when its
+// margin clears a conservative float-error bound (see kernels.h), else the
+// query is rescanned with the exact kernel. Winners that stand are
+// rescored exactly when distances are requested, so outputs never carry
+// dot-trick error.
+void AssignCore(const float* const* queries, const float* query_norms,
+                std::size_t nq, const Matrix& rows, const float* row_norms,
+                std::uint32_t* labels, float* dists) {
+  GKM_CHECK(rows.rows() > 0);
+  const std::size_t k = rows.rows();
+  const std::size_t d = rows.cols();
+  const std::size_t rstride = rows.stride();
+  const float* rbase = rows.Row(0);
+  const internal::KernelOps& ops = Ops();
+
+  if (!ops.dot_trick) {
+    for (std::size_t i = 0; i < nq; ++i) {
+      float dist = 0.0f;
+      labels[i] = static_cast<std::uint32_t>(
+          NearestRowBatch(queries[i], rbase, rstride, k, d, &dist));
+      if (dists != nullptr) dists[i] = dist;
+    }
+    return;
+  }
+
+  std::vector<float> rnorm_buf;
+  if (row_norms == nullptr) {
+    rnorm_buf.resize(k);
+    RowNormsSqrBatch(rbase, rstride, k, d, rnorm_buf.data());
+    row_norms = rnorm_buf.data();
+  }
+  float max_rn = 0.0f;
+  for (std::size_t r = 0; r < k; ++r) max_rn = std::max(max_rn, row_norms[r]);
+
+  for (std::size_t i = 0; i < nq; i += 4) {
+    const std::size_t lim = std::min<std::size_t>(4, nq - i);
+    const float* q[4];
+    float qn[4];
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t src = i + (j < lim ? j : 0);
+      q[j] = queries[src];
+      qn[j] = query_norms != nullptr ? query_norms[src]
+                                     : ops.dot1(q[j], q[j], d);
+    }
+    float best[4], second[4];
+    std::uint32_t arg[4] = {0, 0, 0, 0};
+    for (std::size_t j = 0; j < 4; ++j) {
+      best[j] = std::numeric_limits<float>::max();
+      second[j] = std::numeric_limits<float>::max();
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      float dots[4];
+      ops.dot4(q[0], q[1], q[2], q[3], rbase + r * rstride, d, dots);
+      const float rn = row_norms[r];
+      for (std::size_t j = 0; j < 4; ++j) {
+        const float dist = qn[j] - 2.0f * dots[j] + rn;
+        if (dist < best[j]) {
+          second[j] = best[j];
+          best[j] = dist;
+          arg[j] = static_cast<std::uint32_t>(r);
+        } else if (dist < second[j]) {
+          second[j] = dist;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < lim; ++j) {
+      // Conservative bound on |dot-trick - exact| for this query: the
+      // per-lane series has ~d/8 sequential adds of terms bounded by the
+      // norm scale; the constant carries a >30x cushion.
+      const float err = 1e-6f * (0.25f * static_cast<float>(d) + 8.0f) *
+                        (qn[j] + max_rn);
+      if (second[j] - best[j] > err) {
+        labels[i + j] = arg[j];
+        if (dists != nullptr) {
+          const float* row = rbase + arg[j] * rstride;
+          ops.l2_gather(q[j], &row, 1, d, &dists[i + j]);
+        }
+      } else {
+        float dist = 0.0f;
+        labels[i + j] = static_cast<std::uint32_t>(
+            NearestRowBatch(q[j], rbase, rstride, k, d, &dist));
+        if (dists != nullptr) dists[i + j] = dist;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void AssignNearestBlocked(const Matrix& queries, const Matrix& rows,
+                          const float* query_norms, const float* row_norms,
+                          std::uint32_t* labels, float* dists) {
+  GKM_CHECK(queries.cols() == rows.cols());
+  const std::size_t nq = queries.rows();
+  if (nq == 0) return;
+  std::vector<const float*> ptrs(nq);
+  for (std::size_t i = 0; i < nq; ++i) ptrs[i] = queries.Row(i);
+  AssignCore(ptrs.data(), query_norms, nq, rows, row_norms, labels, dists);
+}
+
+void AssignNearestBlockedGather(const float* const* queries,
+                                const float* query_norms, std::size_t nq,
+                                const Matrix& rows, const float* row_norms,
+                                std::uint32_t* labels, float* dists) {
+  if (nq == 0) return;
+  AssignCore(queries, query_norms, nq, rows, row_norms, labels, dists);
+}
+
+// ---------------------------------------------------------------------------
+// RowNormCache.
+// ---------------------------------------------------------------------------
+
+void RowNormCache::Invalidate(std::size_t row) {
+  if (!all_stale_) stale_.push_back(static_cast<std::uint32_t>(row));
+}
+
+const float* RowNormCache::Refresh(const Matrix& m) {
+  const std::size_t n = m.rows();
+  const std::size_t d = m.cols();
+  if (n == 0) return nullptr;
+  if (all_stale_ || norms_.size() != n) {
+    norms_.resize(n);
+    RowNormsSqrBatch(m.Row(0), m.stride(), n, d, norms_.data());
+    all_stale_ = false;
+    stale_.clear();
+    return norms_.data();
+  }
+  for (const std::uint32_t r : stale_) {
+    if (r < n) RowNormsSqrBatch(m.Row(r), m.stride(), 1, d, &norms_[r]);
+  }
+  stale_.clear();
+  return norms_.data();
+}
+
+}  // namespace gkm

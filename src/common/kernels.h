@@ -1,0 +1,178 @@
+// Copyright 2026 The gkmeans Authors.
+// Batched distance kernels behind runtime SIMD dispatch — the single
+// compute substrate under every hot path in the library (k-means
+// assignment, graph construction, graph walks, serving-path search, eval).
+//
+// Two families, two contracts:
+//
+//  * EXACT one-to-many kernels (L2SqrBatch / L2SqrBatchGather /
+//    RowNormsSqrBatch / NearestRowBatch / L2SqrToTopK): bit-identical to
+//    the scalar L2Sqr/Dot in common/distance.h at EVERY dispatch tier.
+//    The SIMD implementations process several rows per step but keep each
+//    row's arithmetic in the same 4-lane accumulator structure (and the
+//    same mul-then-add rounding) as the scalar code, so checkpoints,
+//    graph edges and cluster assignments do not depend on the host CPU.
+//
+//  * BLOCKED dot-trick kernels (L2SqrBatchDotTrick and the
+//    AssignNearestBlocked* drivers): compute ||x||^2 - 2 x.c + ||c||^2
+//    with cached row norms and free-association FMA at full vector width.
+//    Raw distances carry a ~1e-4 relative accuracy contract and are NOT
+//    bit-stable across tiers. The Assign* drivers are still exact-by-
+//    construction: any query whose top-2 margin falls inside the float
+//    error bound is rescanned with the exact kernel, and every winner's
+//    distance is exactly rescored, so returned labels and distances match
+//    the scalar scan bit-for-bit — only the FLOP count changes.
+//
+// Dispatch: the tier (AVX-512 / AVX2+FMA / NEON / scalar) is detected once
+// at first use. GKM_FORCE_SCALAR=1 in the environment pins the scalar tier
+// (useful for bit-reproducing runs recorded on unknown hardware); the
+// scalar tier also disables the dot-trick entirely, making every code path
+// identical to the pre-kernel-layer library.
+
+#ifndef GKM_COMMON_KERNELS_H_
+#define GKM_COMMON_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/top_k.h"
+
+namespace gkm {
+
+/// Instruction-set tier the dispatcher selected (or can select).
+enum class SimdTier { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+/// Tier serving all public kernel entry points in this process. Detected
+/// once (CPU features + GKM_FORCE_SCALAR) and then immutable.
+SimdTier ActiveSimdTier();
+
+/// Human-readable tier name ("avx512", "avx2", "neon", "scalar").
+const char* SimdTierName(SimdTier tier);
+
+// ---------------------------------------------------------------------------
+// Exact one-to-many kernels (bit-identical to scalar at every tier).
+// ---------------------------------------------------------------------------
+
+/// out[i] = L2Sqr(q, base + i*stride, d) for i in [0, n).
+void L2SqrBatch(const float* q, const float* base, std::size_t stride,
+                std::size_t n, std::size_t d, float* out);
+
+/// out[i] = L2Sqr(q, rows[i], d) — gathered-row variant for adjacency
+/// walks and candidate lists.
+void L2SqrBatchGather(const float* q, const float* const* rows,
+                      std::size_t n, std::size_t d, float* out);
+
+/// out[i] = NormSqr(base + i*stride, d) — vectorized row norms, bit-equal
+/// to Dot(row, row).
+void RowNormsSqrBatch(const float* base, std::size_t stride, std::size_t n,
+                      std::size_t d, float* out);
+
+/// Index of the row minimizing L2Sqr(q, row) over n strided rows, scanning
+/// in row order with strict less-than — identical winner and distance to
+/// the scalar NearestRow loop. `dist_out` (optional) receives the winning
+/// distance. n must be > 0.
+std::size_t NearestRowBatch(const float* q, const float* base,
+                            std::size_t stride, std::size_t n, std::size_t d,
+                            float* dist_out = nullptr);
+
+/// Streams rows [0, n) into `top` as (id_offset + i, L2Sqr(q, row_i)),
+/// skipping i == skip_id - id_offset when skip_id != kNoSkip; push order is
+/// row order, so the resulting set matches the scalar loop exactly.
+inline constexpr std::uint32_t kNoSkipRow = 0xffffffffu;
+void L2SqrToTopK(const float* q, const float* base, std::size_t stride,
+                 std::size_t n, std::size_t d, std::uint32_t id_offset,
+                 std::uint32_t skip_id, TopK& top);
+
+/// out[i] = dot(rows[i], q) where rows are double-precision composite
+/// vectors and q is a float sample — the mixed-precision kernel behind the
+/// BKM Delta-I gains. Bit-identical at every tier to the scalar
+/// 2-accumulator loop in kmeans/cluster_state.cc (even/odd element lanes,
+/// mul-then-add, tail into lane 0).
+void DotDFBatchGather(const float* q, const double* const* rows,
+                      std::size_t n, std::size_t d, double* out);
+
+// ---------------------------------------------------------------------------
+// Blocked dot-trick kernels (cached norms, FMA, ~1e-4 relative accuracy).
+// ---------------------------------------------------------------------------
+
+/// out[i] = max(0, qnorm - 2*dot(q, row_i) + row_norms[i]). Fast, not
+/// bit-stable across tiers; see the accuracy contract in the file comment.
+/// On the scalar tier this still evaluates the dot-trick (scalar FLOPs).
+void L2SqrBatchDotTrick(const float* q, float qnorm, const float* base,
+                        std::size_t stride, std::size_t n, std::size_t d,
+                        const float* row_norms, float* out);
+
+/// Assigns each query row of `queries` to its nearest row of `rows`:
+/// labels[i] = argmin_r L2Sqr(query_i, row_r), dists[i] (optional) = the
+/// exact winning distance. Results are bit-identical to a scalar
+/// NearestRow scan at every tier (see file comment: the dot-trick is only
+/// a filter; small-margin queries fall back to the exact kernel and every
+/// winner is rescored exactly). `query_norms` / `row_norms` may be null
+/// (computed internally); pass cached norms to skip the recomputation —
+/// the point of RowNormCache below.
+void AssignNearestBlocked(const Matrix& queries, const Matrix& rows,
+                          const float* query_norms, const float* row_norms,
+                          std::uint32_t* labels, float* dists = nullptr);
+
+/// Gathered-query variant (mini-batch sampling): queries[i] points at a
+/// d-dimensional vector with norm query_norms[i] (may be null).
+void AssignNearestBlockedGather(const float* const* queries,
+                                const float* query_norms, std::size_t nq,
+                                const Matrix& rows, const float* row_norms,
+                                std::uint32_t* labels, float* dists = nullptr);
+
+/// Cached squared row norms of a mutating matrix: recompute only rows that
+/// were invalidated (or appeared) since the last Refresh. Callers hand the
+/// refreshed pointer to the blocked kernels, fixing the per-call norm
+/// recomputation the naive dot-trick would do — mini-batch invalidates
+/// only the centers a gradient step touched; Lloyd invalidates all once
+/// per centroid update instead of once per point.
+class RowNormCache {
+ public:
+  /// Marks one row stale (cheap, idempotent).
+  void Invalidate(std::size_t row);
+  /// Marks every row stale (after a whole-table centroid update).
+  void InvalidateAll() { all_stale_ = true; }
+
+  /// Returns a pointer to `m.rows()` up-to-date norms. O(changed rows * d).
+  const float* Refresh(const Matrix& m);
+
+ private:
+  std::vector<float> norms_;
+  std::vector<std::uint32_t> stale_;  // row indices pending recompute
+  bool all_stale_ = true;
+};
+
+namespace internal {
+
+/// Per-tier kernel table — exposed so tests and benches can pin a tier and
+/// compare implementations inside one process. Entries mirror the public
+/// functions; `dot_trick` is false on the scalar tier (the Assign* drivers
+/// then use the exact scan directly).
+struct KernelOps {
+  void (*l2_strided)(const float* q, const float* base, std::size_t stride,
+                     std::size_t n, std::size_t d, float* out);
+  void (*l2_gather)(const float* q, const float* const* rows, std::size_t n,
+                    std::size_t d, float* out);
+  void (*dot_df_gather)(const float* q, const double* const* rows,
+                        std::size_t n, std::size_t d, double* out);
+  void (*dot4)(const float* q0, const float* q1, const float* q2,
+               const float* q3, const float* c, std::size_t d, float* out4);
+  float (*dot1)(const float* a, const float* b, std::size_t d);
+  bool dot_trick;
+};
+
+/// Table for `tier`; aborts if the current CPU cannot execute it. Tiers at
+/// or below BestSupportedTier() are always safe.
+const KernelOps& OpsForTier(SimdTier tier);
+
+/// Best tier the CPU supports, ignoring GKM_FORCE_SCALAR.
+SimdTier BestSupportedTier();
+
+}  // namespace internal
+
+}  // namespace gkm
+
+#endif  // GKM_COMMON_KERNELS_H_

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -56,7 +57,11 @@ ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
 
   Timer iter_timer;
   if (!params.traditional) {
-    // --- BKM mode: incremental Delta-I moves over harvested candidates. ---
+    // --- BKM mode: incremental Delta-I moves over harvested candidates.
+    // Arrival gains for the whole candidate set come from one batched
+    // mixed-precision dot (GainArriveBatch), scanned in harvest order. ---
+    std::vector<double> gains;
+    gains.reserve(kappa + 1);
     for (std::size_t it = 0; it < params.max_iters; ++it) {
       rng.Shuffle(order);
       std::size_t moves = 0;
@@ -69,13 +74,15 @@ ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
         if (cand.empty()) continue;
         const float* x = data.Row(i);
         const float xn = norms[i];
+        gains.resize(cand.size());
+        state.GainArriveBatch(x, xn, cand.data(), cand.size(), gains.data());
         double best_gain = -std::numeric_limits<double>::max();
         std::uint32_t best_v = u;
-        for (const std::uint32_t v : cand) {
-          const double g = state.GainArrive(x, xn, v);
+        for (std::size_t ci = 0; ci < cand.size(); ++ci) {
+          const double g = gains[ci];
           if (g > best_gain) {
             best_gain = g;
-            best_v = v;
+            best_v = cand[ci];
           }
         }
         if (best_v == u) continue;
@@ -94,6 +101,8 @@ ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
     // --- Traditional mode (GK-means⁻): nearest candidate centroid with
     // batch Lloyd updates. ---
     Matrix centroids = state.Centroids();
+    std::vector<const float*> cand_rows;
+    std::vector<float> cand_dist;
     for (std::size_t it = 0; it < params.max_iters; ++it) {
       std::size_t moves = 0;
       for (std::size_t i = 0; i < n; ++i) {
@@ -107,14 +116,19 @@ ClusteringResult GkMeansWithGraph(const Matrix& data, const KnnGraph& graph,
         HarvestCandidates(flat.data() + i * kappa, kappa, labels,
                           static_cast<std::uint32_t>(k), stamp, cur_stamp,
                           cand);
+        // One gathered batch over the harvested candidate centroids.
         const float* x = data.Row(i);
+        cand_rows.clear();
+        for (const std::uint32_t v : cand) cand_rows.push_back(centroids.Row(v));
+        cand_dist.resize(cand.size());
+        L2SqrBatchGather(x, cand_rows.data(), cand.size(), d,
+                         cand_dist.data());
         float best_dist = std::numeric_limits<float>::max();
         std::uint32_t best_v = u;
-        for (const std::uint32_t v : cand) {
-          const float dist = L2Sqr(x, centroids.Row(v), d);
-          if (dist < best_dist) {
-            best_dist = dist;
-            best_v = v;
+        for (std::size_t ci = 0; ci < cand.size(); ++ci) {
+          if (cand_dist[ci] < best_dist) {
+            best_dist = cand_dist[ci];
+            best_v = cand[ci];
           }
         }
         if (best_v != u) {

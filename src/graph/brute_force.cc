@@ -2,9 +2,7 @@
 
 #include "graph/brute_force.h"
 
-#include <limits>
-
-#include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "common/top_k.h"
@@ -20,14 +18,8 @@ KnnGraph BruteForceGraph(const Matrix& data, std::size_t k,
   ThreadPool pool(threads);
   pool.ParallelFor(0, n, [&](std::size_t i) {
     TopK top(k);
-    const float* xi = data.Row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const float dist = L2Sqr(xi, data.Row(j), d);
-      if (!top.full() || dist < top.WorstDist()) {
-        top.Push(static_cast<std::uint32_t>(j), dist);
-      }
-    }
+    L2SqrToTopK(data.Row(i), data.Row(0), data.stride(), n, d, 0,
+                static_cast<std::uint32_t>(i), top);
     g.SetList(i, top.items());
   });
   return g;
@@ -43,13 +35,8 @@ std::vector<std::vector<Neighbor>> BruteForceSearch(const Matrix& base,
   ThreadPool pool(threads);
   pool.ParallelFor(0, queries.rows(), [&](std::size_t q) {
     TopK top(k);
-    const float* xq = queries.Row(q);
-    for (std::size_t j = 0; j < base.rows(); ++j) {
-      const float dist = L2Sqr(xq, base.Row(j), base.cols());
-      if (!top.full() || dist < top.WorstDist()) {
-        top.Push(static_cast<std::uint32_t>(j), dist);
-      }
-    }
+    L2SqrToTopK(queries.Row(q), base.Row(0), base.stride(), base.rows(),
+                base.cols(), 0, kNoSkipRow, top);
     out[q] = top.TakeSorted();
   });
   return out;
@@ -62,18 +49,10 @@ std::vector<std::uint32_t> ExactNearestForSubset(
   ThreadPool pool(threads);
   pool.ParallelFor(0, subset.size(), [&](std::size_t s) {
     const std::size_t i = subset[s];
-    const float* xi = data.Row(i);
-    float best = std::numeric_limits<float>::max();
-    std::uint32_t best_id = 0;
-    for (std::size_t j = 0; j < data.rows(); ++j) {
-      if (j == i) continue;
-      const float dist = L2Sqr(xi, data.Row(j), data.cols());
-      if (dist < best) {
-        best = dist;
-        best_id = static_cast<std::uint32_t>(j);
-      }
-    }
-    out[s] = best_id;
+    TopK top(1);
+    L2SqrToTopK(data.Row(i), data.Row(0), data.stride(), data.rows(),
+                data.cols(), 0, static_cast<std::uint32_t>(i), top);
+    out[s] = top.size() > 0 ? top.items()[0].id : 0;
   });
   return out;
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/rng.h"
 
@@ -45,14 +46,23 @@ KnnGraph NnDescent(const Matrix& data, const NnDescentParams& params,
   GKM_CHECK(k > 0 && n > k);
   Rng rng(params.seed);
 
-  // Random initialization, all edges flagged new.
+  // Random initialization, all edges flagged new. Candidate rows are
+  // scored with one gathered batch per node.
   std::vector<std::vector<Entry>> lists(n);
+  std::vector<const float*> rows_buf;
+  std::vector<float> dist_buf;
   for (std::size_t i = 0; i < n; ++i) {
     lists[i].reserve(k + 1);
     const std::vector<std::uint32_t> cand = rng.SampleDistinct(n, k + 1);
-    for (const std::uint32_t c : cand) {
+    rows_buf.clear();
+    for (const std::uint32_t c : cand) rows_buf.push_back(data.Row(c));
+    dist_buf.resize(cand.size());
+    L2SqrBatchGather(data.Row(i), rows_buf.data(), cand.size(), d,
+                     dist_buf.data());
+    for (std::size_t ci = 0; ci < cand.size(); ++ci) {
+      const std::uint32_t c = cand[ci];
       if (c == i || lists[i].size() == k) continue;
-      InsertSorted(lists[i], k, c, L2Sqr(data.Row(i), data.Row(c), d));
+      InsertSorted(lists[i], k, c, dist_buf[ci]);
     }
   }
 
@@ -112,21 +122,34 @@ KnnGraph NnDescent(const Matrix& data, const NnDescentParams& params,
       }
       join_old.insert(join_old.end(), rev_old[v].begin(), rev_old[v].end());
 
+      // The join pairs u1 with every later "new" member and every "old"
+      // member: one gathered one-to-many batch per u1 scores both groups
+      // at once, then the sorted-list updates replay in the original pair
+      // order.
       for (std::size_t a = 0; a < join_new.size(); ++a) {
         const std::uint32_t u1 = join_new[a];
+        rows_buf.clear();
+        for (std::size_t b = a + 1; b < join_new.size(); ++b) {
+          rows_buf.push_back(data.Row(join_new[b]));
+        }
+        for (const std::uint32_t u2 : join_old) rows_buf.push_back(data.Row(u2));
+        dist_buf.resize(rows_buf.size());
+        L2SqrBatchGather(data.Row(u1), rows_buf.data(), rows_buf.size(), d,
+                         dist_buf.data());
+        std::size_t cursor = 0;
         // new x new (unordered pairs)
         for (std::size_t b = a + 1; b < join_new.size(); ++b) {
           const std::uint32_t u2 = join_new[b];
+          const float dist = dist_buf[cursor++];
           if (u1 == u2) continue;
-          const float dist = L2Sqr(data.Row(u1), data.Row(u2), d);
           ++distance_evals;
           updates += InsertSorted(lists[u1], k, u2, dist) ? 1 : 0;
           updates += InsertSorted(lists[u2], k, u1, dist) ? 1 : 0;
         }
         // new x old
         for (const std::uint32_t u2 : join_old) {
+          const float dist = dist_buf[cursor++];
           if (u1 == u2) continue;
-          const float dist = L2Sqr(data.Row(u1), data.Row(u2), d);
           ++distance_evals;
           updates += InsertSorted(lists[u1], k, u2, dist) ? 1 : 0;
           updates += InsertSorted(lists[u2], k, u1, dist) ? 1 : 0;

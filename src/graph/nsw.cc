@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/rng.h"
 
@@ -42,6 +43,9 @@ KnnGraph NswBuild(const Matrix& data, const NswParams& params,
   std::vector<char> visited(n, 0);
   std::vector<std::uint32_t> touched;
   std::vector<Candidate> pool;
+  std::vector<std::uint32_t> pending;
+  std::vector<const float*> pending_rows;
+  std::vector<float> pending_dist;
   std::size_t evals = 0;
 
   auto trim = [&](std::uint32_t node) {
@@ -62,11 +66,7 @@ KnnGraph NswBuild(const Matrix& data, const NswParams& params,
     touched.clear();
     const std::size_t beam = std::max(params.ef_construction, degree);
     const std::size_t num_seeds = std::min<std::size_t>(step, 4);
-    auto try_add = [&](std::uint32_t c) {
-      if (visited[c]) return;
-      visited[c] = 1;
-      touched.push_back(c);
-      const float dist = L2Sqr(x, data.Row(c), d);
+    auto offer = [&](std::uint32_t c, float dist) {
       ++evals;
       if (pool.size() == beam && dist >= pool.back().dist) return;
       const Candidate fresh{c, dist, false};
@@ -77,9 +77,18 @@ KnnGraph NswBuild(const Matrix& data, const NswParams& params,
       pool.insert(pos, fresh);
       if (pool.size() > beam) pool.pop_back();
     };
+    auto try_add = [&](std::uint32_t c) {
+      if (visited[c]) return;
+      visited[c] = 1;
+      touched.push_back(c);
+      offer(c, L2Sqr(x, data.Row(c), d));
+    };
     for (std::size_t s = 0; s < num_seeds; ++s) {
       try_add(insertion_order[rng.Index(step)]);
     }
+    // Beam expansion: the unvisited neighbors of the expanded node are
+    // scored with one gathered batch, then offered in adjacency order —
+    // identical pool evolution to per-neighbor scoring.
     for (;;) {
       std::size_t next = pool.size();
       for (std::size_t p = 0; p < pool.size(); ++p) {
@@ -90,7 +99,21 @@ KnnGraph NswBuild(const Matrix& data, const NswParams& params,
       }
       if (next == pool.size()) break;
       pool[next].expanded = true;
-      for (const Neighbor& nb : adj[pool[next].id]) try_add(nb.id);
+      pending.clear();
+      pending_rows.clear();
+      for (const Neighbor& nb : adj[pool[next].id]) {
+        if (visited[nb.id]) continue;
+        visited[nb.id] = 1;
+        touched.push_back(nb.id);
+        pending.push_back(nb.id);
+        pending_rows.push_back(data.Row(nb.id));
+      }
+      pending_dist.resize(pending.size());
+      L2SqrBatchGather(x, pending_rows.data(), pending.size(), d,
+                       pending_dist.data());
+      for (std::size_t p = 0; p < pending.size(); ++p) {
+        offer(pending[p], pending_dist[p]);
+      }
     }
     for (const std::uint32_t t : touched) visited[t] = 0;
 

@@ -3,6 +3,7 @@
 #include "kmeans/cluster_state.h"
 
 #include "common/distance.h"
+#include "common/kernels.h"
 
 namespace gkm {
 namespace {
@@ -131,6 +132,29 @@ double ClusterState::GainArrive(const float* x, float x_norm_sqr,
   const double dv_dot_x = DotDF(Composite(v), x, dim_);
   const double grown = dnorm_[v] + 2.0 * dv_dot_x + x_norm_sqr;
   return grown / (nv + 1.0) - dnorm_[v] / nv;
+}
+
+void ClusterState::GainArriveBatch(const float* x, float x_norm_sqr,
+                                   const std::uint32_t* cands, std::size_t m,
+                                   double* out) const {
+  // Gather the candidate composites and score them in one batch; empty
+  // clusters skip the dot (their composite is zero anyway) and keep the
+  // scalar function's ||x||^2 semantics.
+  thread_local std::vector<const double*> rows;
+  thread_local std::vector<double> dots;
+  rows.resize(m);
+  dots.resize(m);
+  for (std::size_t i = 0; i < m; ++i) rows[i] = Composite(cands[i]);
+  DotDFBatchGather(x, rows.data(), m, dim_, dots.data());
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t nv = counts_[cands[i]];
+    if (nv == 0) {
+      out[i] = static_cast<double>(x_norm_sqr);
+      continue;
+    }
+    const double grown = dnorm_[cands[i]] + 2.0 * dots[i] + x_norm_sqr;
+    out[i] = grown / (nv + 1.0) - dnorm_[cands[i]] / nv;
+  }
 }
 
 double ClusterState::GainLeave(const float* x, float x_norm_sqr,

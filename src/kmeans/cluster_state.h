@@ -54,6 +54,14 @@ class ClusterState {
   /// involving v).
   double GainArrive(const float* x, float x_norm_sqr, std::size_t v) const;
 
+  /// Batched arrival gains: out[i] = GainArrive(x, x_norm_sqr, cands[i]),
+  /// evaluated as one gathered mixed-precision dot batch over the
+  /// candidate composites (common/kernels.h) — bit-identical to the
+  /// per-candidate calls at every dispatch tier. The BKM inner loop.
+  void GainArriveBatch(const float* x, float x_norm_sqr,
+                       const std::uint32_t* cands, std::size_t m,
+                       double* out) const;
+
   /// Gain of removing `x` from cluster `u` (the u-terms of Eqn. 3).
   /// Requires n_u >= 2: BKM never empties a cluster.
   double GainLeave(const float* x, float x_norm_sqr, std::size_t u) const;

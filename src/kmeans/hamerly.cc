@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -15,14 +16,21 @@
 namespace gkm {
 namespace {
 
-// Exact distances of x to all centroids; returns the best and second-best.
+// Exact distances of x to all centroids via one batched kernel call;
+// returns the best and second-best. The tracking loop runs on the same
+// sqrt'ed values in the same order as the scalar version did, so winners,
+// ties and the k == 1 sentinel behave identically.
 void TwoNearest(const Matrix& centroids, const float* x, std::size_t d,
-                std::uint32_t* best, float* best_dist, float* second_dist) {
+                std::vector<float>& scan, std::uint32_t* best,
+                float* best_dist, float* second_dist) {
+  const std::size_t k = centroids.rows();
+  scan.resize(k);
+  L2SqrBatch(x, centroids.Row(0), centroids.stride(), k, d, scan.data());
   float b1 = std::numeric_limits<float>::max();
   float b2 = std::numeric_limits<float>::max();
   std::uint32_t arg = 0;
-  for (std::size_t c = 0; c < centroids.rows(); ++c) {
-    const float dist = std::sqrt(L2Sqr(x, centroids.Row(c), d));
+  for (std::size_t c = 0; c < k; ++c) {
+    const float dist = std::sqrt(scan[c]);
     if (dist < b1) {
       b2 = b1;
       b1 = dist;
@@ -58,20 +66,24 @@ ClusteringResult HamerlyKMeans(const Matrix& data, const HamerlyParams& params) 
   std::vector<float> half_nearest(k), shift(k);
   std::vector<double> sums(k * d, 0.0);
   std::vector<std::uint32_t> counts(k, 0);
+  std::vector<float> scan(k);
 
   for (std::size_t i = 0; i < n; ++i) {
-    TwoNearest(centroids, data.Row(i), d, &labels[i], &upper[i], &lower[i]);
+    TwoNearest(centroids, data.Row(i), d, scan, &labels[i], &upper[i],
+               &lower[i]);
   }
 
   Timer iter_timer;
   for (std::size_t it = 0; it < params.max_iters; ++it) {
-    // s(c) = half the distance from c to its nearest other center.
+    // s(c) = half the distance from c to its nearest other center, one
+    // batched row scan per center.
     for (std::size_t a = 0; a < k; ++a) {
+      L2SqrBatch(centroids.Row(a), centroids.Row(0), centroids.stride(), k, d,
+                 scan.data());
       float nearest = std::numeric_limits<float>::max();
       for (std::size_t b = 0; b < k; ++b) {
         if (a == b) continue;
-        nearest = std::min(
-            nearest, std::sqrt(L2Sqr(centroids.Row(a), centroids.Row(b), d)));
+        nearest = std::min(nearest, std::sqrt(scan[b]));
       }
       half_nearest[a] = 0.5f * nearest;
     }
@@ -85,7 +97,7 @@ ClusteringResult HamerlyKMeans(const Matrix& data, const HamerlyParams& params) 
         upper[i] = std::sqrt(L2Sqr(data.Row(i), centroids.Row(labels[i]), d));
         if (upper[i] > bound) {
           const std::uint32_t old = labels[i];
-          TwoNearest(centroids, data.Row(i), d, &labels[i], &upper[i],
+          TwoNearest(centroids, data.Row(i), d, scan, &labels[i], &upper[i],
                      &lower[i]);
           if (labels[i] != old) ++moves;
         }

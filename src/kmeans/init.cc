@@ -5,9 +5,28 @@
 #include <limits>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 
 namespace gkm {
+namespace {
+
+// Batched distances of every data row to one centroid, blockwise so the
+// scratch stays cache-resident. `fn(i, dist)` sees rows in order — the
+// D^2-sampling updates below depend on that.
+template <typename Fn>
+void ForEachRowDist(const Matrix& data, const float* center, Fn&& fn) {
+  constexpr std::size_t kBlock = 1024;
+  float buf[kBlock];
+  const std::size_t n = data.rows();
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    L2SqrBatch(center, data.Row(b), data.stride(), len, data.cols(), buf);
+    for (std::size_t i = 0; i < len; ++i) fn(b + i, buf[i]);
+  }
+}
+
+}  // namespace
 
 Matrix RandomCentroids(const Matrix& data, std::size_t k, Rng& rng) {
   GKM_CHECK(k > 0 && k <= data.rows());
@@ -40,11 +59,11 @@ Matrix KMeansPlusPlus(const Matrix& data, std::size_t k, Rng& rng) {
   for (std::size_t picked = 1; picked < k; ++picked) {
     const float* last = c.Row(picked - 1);
     double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double dist = L2Sqr(data.Row(i), last, d);
+    ForEachRowDist(data, last, [&](std::size_t i, float fdist) {
+      const double dist = fdist;
       if (dist < min_dist[i]) min_dist[i] = dist;
       total += min_dist[i];
-    }
+    });
     if (total <= 0.0) {
       // Degenerate data (all remaining points coincide with a centroid):
       // fall back to uniform sampling.
@@ -78,10 +97,10 @@ Matrix KMeansParallel(const Matrix& data, std::size_t k, std::size_t rounds,
   sketch.push_back(static_cast<std::uint32_t>(rng.Index(n)));
   std::vector<double> min_dist(n);
   double cost = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    min_dist[i] = L2Sqr(data.Row(i), data.Row(sketch[0]), d);
+  ForEachRowDist(data, data.Row(sketch[0]), [&](std::size_t i, float dist) {
+    min_dist[i] = dist;
     cost += min_dist[i];
-  }
+  });
   for (std::size_t r = 0; r < rounds && cost > 0.0; ++r) {
     std::vector<std::uint32_t> fresh;
     for (std::size_t i = 0; i < n; ++i) {
@@ -91,11 +110,10 @@ Matrix KMeansParallel(const Matrix& data, std::size_t k, std::size_t rounds,
     for (const std::uint32_t f : fresh) {
       sketch.push_back(f);
       // Refresh distances against the newly added center only.
-      const float* cf = data.Row(f);
-      for (std::size_t i = 0; i < n; ++i) {
-        const double dist = L2Sqr(data.Row(i), cf, d);
+      ForEachRowDist(data, data.Row(f), [&](std::size_t i, float fdist) {
+        const double dist = fdist;
         if (dist < min_dist[i]) min_dist[i] = dist;
-      }
+      });
     }
     cost = 0.0;
     for (std::size_t i = 0; i < n; ++i) cost += min_dist[i];
@@ -112,8 +130,10 @@ Matrix KMeansParallel(const Matrix& data, std::size_t k, std::size_t rounds,
     cand.SetRow(s, data.Row(sketch[s]));
   }
   std::vector<double> weight(sketch.size(), 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    weight[NearestRow(cand, data.Row(i))] += 1.0;
+  {
+    std::vector<std::uint32_t> nearest(n);
+    AssignNearestBlocked(data, cand, nullptr, nullptr, nearest.data());
+    for (std::size_t i = 0; i < n; ++i) weight[nearest[i]] += 1.0;
   }
 
   Matrix out(k, d);
@@ -161,9 +181,7 @@ Matrix KMeansParallel(const Matrix& data, std::size_t k, std::size_t rounds,
 std::vector<std::uint32_t> AssignAll(const Matrix& data,
                                      const Matrix& centroids) {
   std::vector<std::uint32_t> labels(data.rows());
-  for (std::size_t i = 0; i < data.rows(); ++i) {
-    labels[i] = static_cast<std::uint32_t>(NearestRow(centroids, data.Row(i)));
-  }
+  AssignNearestBlocked(data, centroids, nullptr, nullptr, labels.data());
   return labels;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -58,22 +59,30 @@ ClusteringResult LloydKMeans(const Matrix& data, const LloydParams& params) {
   std::vector<std::uint32_t> counts(k, 0);
   std::vector<float> dist_to_assigned(n, 0.0f);
   std::vector<double> sums(k * d, 0.0);
+  std::vector<std::uint32_t> fresh(n, 0);
+
+  // Norm caches for the blocked assignment kernel: point norms are fixed
+  // for the whole run; centroid norms are invalidated once per update step
+  // instead of being recomputed once per point.
+  std::vector<float> point_norms(n);
+  RowNormsSqr(data, point_norms.data());
+  RowNormCache centroid_norms;
 
   Timer iter_timer;
   for (std::size_t it = 0; it < params.max_iters; ++it) {
-    // Assignment step.
+    // Assignment step: blocked nearest-row over all points (exact labels
+    // and distances — see AssignNearestBlocked's contract).
+    AssignNearestBlocked(data, centroids, point_norms.data(),
+                         centroid_norms.Refresh(centroids), fresh.data(),
+                         dist_to_assigned.data());
     std::size_t moves = 0;
     double inertia = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      float best_dist = 0.0f;
-      const auto best =
-          static_cast<std::uint32_t>(NearestRow(centroids, data.Row(i), &best_dist));
-      if (it == 0 || best != labels[i]) {
+      if (it == 0 || fresh[i] != labels[i]) {
         ++moves;
-        labels[i] = best;
+        labels[i] = fresh[i];
       }
-      dist_to_assigned[i] = best_dist;
-      inertia += best_dist;
+      inertia += dist_to_assigned[i];
     }
     counts.assign(k, 0);
     for (std::size_t i = 0; i < n; ++i) ++counts[labels[i]];
@@ -93,6 +102,7 @@ ClusteringResult LloydKMeans(const Matrix& data, const LloydParams& params) {
       const double* s = sums.data() + r * d;
       for (std::size_t j = 0; j < d; ++j) c[j] = static_cast<float>(s[j] * inv);
     }
+    centroid_norms.InvalidateAll();
 
     res.trace.push_back(IterStat{it, inertia / static_cast<double>(n),
                                  total.Seconds(), moves});

@@ -3,6 +3,7 @@
 #include "kmeans/mini_batch.h"
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -29,18 +30,30 @@ ClusteringResult MiniBatchKMeans(const Matrix& data,
   std::vector<double> counts(k, 0.0);  // per-center streaming counts
   res.init_seconds = total.Seconds();
 
+  // Norm caches for the blocked assignment kernel. Point norms are fixed;
+  // centroid norms survive across iterations and only the centers a
+  // gradient step touched are recomputed.
+  std::vector<float> point_norms(n);
+  RowNormsSqr(data, point_norms.data());
+  RowNormCache centroid_norms;
+
   Timer iter_timer;
   std::vector<std::uint32_t> batch_ids(batch);
   std::vector<std::uint32_t> batch_label(batch);
+  std::vector<const float*> batch_rows(batch);
+  std::vector<float> batch_norms(batch);
+  std::vector<std::uint32_t> all_labels(n);
   for (std::size_t it = 0; it < params.max_iters; ++it) {
     for (std::size_t b = 0; b < batch; ++b) {
       batch_ids[b] = static_cast<std::uint32_t>(rng.Index(n));
+      batch_rows[b] = data.Row(batch_ids[b]);
+      batch_norms[b] = point_norms[batch_ids[b]];
     }
-    // Assign the cached batch, then take per-center gradient steps.
-    for (std::size_t b = 0; b < batch; ++b) {
-      batch_label[b] = static_cast<std::uint32_t>(
-          NearestRow(centroids, data.Row(batch_ids[b])));
-    }
+    // Assign the cached batch (blocked one-to-many kernel over the sampled
+    // rows), then take per-center gradient steps.
+    AssignNearestBlockedGather(batch_rows.data(), batch_norms.data(), batch,
+                               centroids, centroid_norms.Refresh(centroids),
+                               batch_label.data());
     for (std::size_t b = 0; b < batch; ++b) {
       const std::uint32_t c = batch_label[b];
       counts[c] += 1.0;
@@ -50,11 +63,15 @@ ClusteringResult MiniBatchKMeans(const Matrix& data,
       for (std::size_t j = 0; j < d; ++j) {
         cc[j] += eta * (x[j] - cc[j]);
       }
+      centroid_norms.Invalidate(c);
     }
 
     double distortion = -1.0;
     if (params.eval_every > 0 && (it + 1) % params.eval_every == 0) {
-      distortion = Inertia(data, centroids, AssignAll(data, centroids));
+      AssignNearestBlocked(data, centroids, point_norms.data(),
+                           centroid_norms.Refresh(centroids),
+                           all_labels.data());
+      distortion = Inertia(data, centroids, all_labels);
     }
     res.trace.push_back(IterStat{it, distortion, total.Seconds(), batch});
     res.iterations = it + 1;
@@ -62,7 +79,9 @@ ClusteringResult MiniBatchKMeans(const Matrix& data,
   res.iter_seconds = iter_timer.Seconds();
 
   // Final full assignment for a comparable E (Eqn. 4).
-  res.assignments = AssignAll(data, centroids);
+  AssignNearestBlocked(data, centroids, point_norms.data(),
+                       centroid_norms.Refresh(centroids), all_labels.data());
+  res.assignments = all_labels;
   res.total_seconds = total.Seconds();
   ClusterState state(data, res.assignments, k);
   res.distortion = state.Distortion();

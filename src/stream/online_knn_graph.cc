@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 
@@ -120,13 +121,17 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     SearchScratch& scratch, std::size_t num_seeds) const {
   const std::size_t n = points_.rows();
   const std::size_t d = points_.cols();
+  if (n == 0) return {};
 
   if (n <= params_.bootstrap) {
-    // Small corpus: exact scan, all points are candidates.
+    // Small corpus: exact scan, all points are candidates — one strided
+    // batch over the whole store.
     std::vector<Neighbor> all(n);
+    std::vector<float>& dist = scratch.pending_dist;
+    dist.resize(n);
+    L2SqrBatch(q, points_.Row(0), points_.stride(), n, d, dist.data());
     for (std::size_t i = 0; i < n; ++i) {
-      all[i] = Neighbor{static_cast<std::uint32_t>(i),
-                        L2Sqr(q, points_.Row(i), d)};
+      all[i] = Neighbor{static_cast<std::uint32_t>(i), dist[i]};
     }
     std::sort(all.begin(), all.end());
     return all;
@@ -139,10 +144,7 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   std::vector<PoolEntry> pool;
   pool.reserve(beam + 1);
 
-  auto try_add = [&](std::uint32_t id) {
-    if (stamp[id] == epoch) return;
-    stamp[id] = epoch;
-    const float dist = L2Sqr(q, points_.Row(id), d);
+  auto offer = [&](std::uint32_t id, float dist) {
     if (pool.size() == beam && dist >= pool.back().dist) return;
     const PoolEntry fresh{id, dist, false};
     auto pos = std::lower_bound(pool.begin(), pool.end(), fresh,
@@ -151,6 +153,11 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
                                 });
     pool.insert(pos, fresh);
     if (pool.size() > beam) pool.pop_back();
+  };
+  auto try_add = [&](std::uint32_t id) {
+    if (stamp[id] == epoch) return;
+    stamp[id] = epoch;
+    offer(id, L2Sqr(q, points_.Row(id), d));
   };
 
   // Hint entry points first: callers with structural knowledge (the
@@ -170,6 +177,12 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   }
   try_add(static_cast<std::uint32_t>(n - 1));
 
+  // Best-first expansion. Each expanded node's unstamped neighbors are
+  // scored with one gathered batch and offered in adjacency order, which
+  // evolves the pool exactly as per-neighbor try_add did.
+  std::vector<std::uint32_t>& pending = scratch.pending;
+  std::vector<const float*>& pending_rows = scratch.pending_rows;
+  std::vector<float>& pending_dist = scratch.pending_dist;
   for (;;) {
     std::size_t next = pool.size();
     for (std::size_t p = 0; p < pool.size(); ++p) {
@@ -180,8 +193,19 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     }
     if (next == pool.size()) break;
     pool[next].expanded = true;
+    pending.clear();
+    pending_rows.clear();
     for (const Neighbor& nb : graph_.NeighborsOf(pool[next].id)) {
-      try_add(nb.id);
+      if (stamp[nb.id] == epoch) continue;
+      stamp[nb.id] = epoch;
+      pending.push_back(nb.id);
+      pending_rows.push_back(points_.Row(nb.id));
+    }
+    pending_dist.resize(pending.size());
+    L2SqrBatchGather(q, pending_rows.data(), pending.size(), d,
+                     pending_dist.data());
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      offer(pending[p], pending_dist[p]);
     }
   }
 
@@ -228,19 +252,26 @@ void OnlineKnnGraph::PlanRow(const Matrix& rows, std::size_t batch_begin,
 
   // Intra-batch candidates: exact distances to the sub-batch predecessors,
   // which the snapshot walk cannot see. Their ids (>= n) resolve to real
-  // node ids once the in-order commit assigns them.
+  // node ids once the in-order commit assigns them. One strided batch over
+  // the window rows, merged in row order as before.
   const std::size_t beam = params_.beam_width;
-  for (std::size_t j = batch_begin; j < r; ++j) {
-    const float dist = L2Sqr(x, rows.Row(j), d);
-    if (plan.cand.size() >= beam && dist >= plan.cand.back().dist) continue;
-    const Neighbor fresh{static_cast<std::uint32_t>(n + (j - batch_begin)),
-                         dist};
-    auto pos = std::lower_bound(plan.cand.begin(), plan.cand.end(), fresh,
-                                [](const Neighbor& a, const Neighbor& b) {
-                                  return a.dist < b.dist;
-                                });
-    plan.cand.insert(pos, fresh);
-    if (plan.cand.size() > beam) plan.cand.pop_back();
+  if (r > batch_begin) {
+    std::vector<float>& dist_buf = scratch.pending_dist;
+    dist_buf.resize(r - batch_begin);
+    L2SqrBatch(x, rows.Row(batch_begin), rows.stride(), r - batch_begin, d,
+               dist_buf.data());
+    for (std::size_t j = batch_begin; j < r; ++j) {
+      const float dist = dist_buf[j - batch_begin];
+      if (plan.cand.size() >= beam && dist >= plan.cand.back().dist) continue;
+      const Neighbor fresh{static_cast<std::uint32_t>(n + (j - batch_begin)),
+                           dist};
+      auto pos = std::lower_bound(plan.cand.begin(), plan.cand.end(), fresh,
+                                  [](const Neighbor& a, const Neighbor& b) {
+                                    return a.dist < b.dist;
+                                  });
+      plan.cand.insert(pos, fresh);
+      if (plan.cand.size() > beam) plan.cand.pop_back();
+    }
   }
 
   plan.take = std::min(params_.kappa, plan.cand.size());
@@ -254,12 +285,22 @@ void OnlineKnnGraph::PlanRow(const Matrix& rows, std::size_t batch_begin,
       return id < n ? points_.Row(id)
                     : rows.Row(batch_begin + (id - n));
     };
+    // Each table row is one gathered one-to-many batch: candidate t
+    // against the plan.take forward-edge targets.
+    std::vector<const float*>& take_rows = scratch.pending_rows;
+    take_rows.clear();
+    for (std::size_t l = 0; l < plan.take; ++l) {
+      take_rows.push_back(resolve(plan.cand[l].id));
+    }
+    std::vector<float>& dist_buf = scratch.pending_dist;
+    dist_buf.resize(plan.take);
     plan.join.assign(plan.cand.size() * plan.take, 0.0f);
     for (std::size_t t = 0; t < plan.cand.size(); ++t) {
       const float* pt = resolve(plan.cand[t].id);
+      L2SqrBatchGather(pt, take_rows.data(), plan.take, d, dist_buf.data());
       for (std::size_t l = 0; l < plan.take; ++l) {
         if (l == t) continue;
-        plan.join[t * plan.take + l] = L2Sqr(pt, resolve(plan.cand[l].id), d);
+        plan.join[t * plan.take + l] = dist_buf[l];
       }
     }
   }
@@ -419,10 +460,8 @@ std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
   return SearchKnn(q, topk, scratch);
 }
 
-std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
-                                                std::size_t topk,
-                                                SearchScratch& scratch) const {
-  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+std::vector<Neighbor> OnlineKnnGraph::SearchKnnLocked(
+    const float* q, std::size_t topk, SearchScratch& scratch) const {
   const std::size_t n = points_.rows();
   if (n == 0) return {};
   // Local generator: read-only queries never perturb the insert stream
@@ -432,6 +471,34 @@ std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
       CollectCandidates(q, rng, nullptr, scratch, live_seeds_);
   if (cand.size() > topk) cand.resize(topk);
   return cand;
+}
+
+std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
+                                                std::size_t topk,
+                                                SearchScratch& scratch) const {
+  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  return SearchKnnLocked(q, topk, scratch);
+}
+
+std::vector<std::vector<Neighbor>> OnlineKnnGraph::SearchKnnBatch(
+    const Matrix& queries, std::size_t topk) const {
+  thread_local SearchScratch scratch;
+  return SearchKnnBatch(queries, topk, scratch);
+}
+
+std::vector<std::vector<Neighbor>> OnlineKnnGraph::SearchKnnBatch(
+    const Matrix& queries, std::size_t topk, SearchScratch& scratch) const {
+  GKM_CHECK_MSG(queries.cols() == points_.cols(),
+                "query dimension mismatch");
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  // One reader acquisition for the whole batch. The corpus size is frozen
+  // under the lock, so every per-query RNG below matches what a per-query
+  // SearchKnn call would have drawn — results are element-wise identical.
+  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    out[i] = SearchKnnLocked(queries.Row(i), topk, scratch);
+  }
+  return out;
 }
 
 }  // namespace gkm

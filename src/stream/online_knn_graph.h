@@ -58,10 +58,15 @@ struct OnlineGraphParams {
 /// Keep one instance per thread and pass it to SearchKnn for
 /// allocation-free serving-path queries; a default-constructed instance
 /// adapts to any graph size (and may be shared across graphs, since every
-/// Prepare opens an epoch newer than any stamp previously written).
+/// Prepare opens an epoch newer than any stamp previously written). The
+/// pending_* buffers are reused by the batched candidate scoring inside
+/// each walk expansion.
 struct SearchScratch {
   std::vector<std::uint32_t> stamp;
   std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> pending;
+  std::vector<const float*> pending_rows;
+  std::vector<float> pending_dist;
 
   /// Grows the stamp array to cover `n` nodes and opens a fresh epoch.
   /// The 32-bit epoch wraps after 2^32 walks; stamps are zeroed on wrap,
@@ -189,7 +194,22 @@ class OnlineKnnGraph {
   std::vector<Neighbor> SearchKnn(const float* q, std::size_t topk,
                                   SearchScratch& scratch) const;
 
+  /// Batched serving queries: one result vector per row of `queries`,
+  /// element-wise identical to calling SearchKnn row by row, but the
+  /// reader lock is acquired once for the whole batch instead of once per
+  /// query — the lock-amortization path for hot query tiers (a large
+  /// batch does delay ingest commits for its whole duration; size batches
+  /// accordingly). The scratch overload reuses the caller's per-thread
+  /// scratch; the plain overload uses a thread_local one.
+  std::vector<std::vector<Neighbor>> SearchKnnBatch(const Matrix& queries,
+                                                    std::size_t topk) const;
+  std::vector<std::vector<Neighbor>> SearchKnnBatch(
+      const Matrix& queries, std::size_t topk, SearchScratch& scratch) const;
+
  private:
+  /// Lock-free core of SearchKnn; the caller must hold the reader lock.
+  std::vector<Neighbor> SearchKnnLocked(const float* q, std::size_t topk,
+                                        SearchScratch& scratch) const;
   struct PlannedInsert;
 
   /// Bounded best-first walk seeded from `rng` plus optional hint entry

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "common/distance.h"
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "core/candidate_harvest.h"
 #include "kmeans/two_means_tree.h"
@@ -176,12 +177,18 @@ void StreamingGkMeans::ComputeRouteHints(const float* x,
                                          const Matrix& centroids,
                                          std::vector<std::uint32_t>& hints)
     const {
+  // One strided batch over the centroid table (runs per inserted point, so
+  // this is an ingest hot path); pushes visit clusters in the same order
+  // as the scalar loop did.
   hints.clear();
+  thread_local std::vector<float> dist;
+  dist.resize(params_.k);
+  L2SqrBatch(x, centroids.Row(0), centroids.stride(), params_.k, dim(),
+             dist.data());
   TopK nearest(params_.route_hints);
   for (std::size_t c = 0; c < params_.k; ++c) {
     if (state_.CountOf(c) == 0 || cluster_reps_[c] == kUnassigned) continue;
-    nearest.Push(static_cast<std::uint32_t>(c),
-                 L2Sqr(x, centroids.Row(c), dim()));
+    nearest.Push(static_cast<std::uint32_t>(c), dist[c]);
   }
   for (const Neighbor& nb : nearest.items()) {
     hints.push_back(cluster_reps_[nb.id]);
@@ -201,13 +208,16 @@ void StreamingGkMeans::AssignNew(std::uint32_t id, const Matrix& centroids) {
   ++cur_stamp_;
   HarvestCandidates(nbr_ids_.data(), kappa, labels_, kUnassigned, stamp_,
                     cur_stamp_, cand_);
+  gain_scratch_.resize(cand_.size());
+  state_.GainArriveBatch(x, xn, cand_.data(), cand_.size(),
+                         gain_scratch_.data());
   double best_gain = -std::numeric_limits<double>::max();
   std::uint32_t best = kUnassigned;
-  for (const std::uint32_t c : cand_) {
-    const double g = state_.GainArrive(x, xn, c);
+  for (std::size_t ci = 0; ci < cand_.size(); ++ci) {
+    const double g = gain_scratch_[ci];
     if (g > best_gain) {
       best_gain = g;
-      best = c;
+      best = cand_[ci];
     }
   }
   if (best == kUnassigned) {
@@ -248,13 +258,19 @@ std::size_t StreamingGkMeans::RunEpochs(const std::vector<std::uint32_t>& ids,
       if (cand_.empty()) continue;
       const float* x = data.Row(i);
       const float xn = NormSqr(x, d);
+      // One batched mixed-precision dot over the candidate composites
+      // (bit-identical to per-candidate GainArrive — checkpoint replay
+      // and the golden test depend on that).
+      gain_scratch_.resize(cand_.size());
+      state_.GainArriveBatch(x, xn, cand_.data(), cand_.size(),
+                             gain_scratch_.data());
       double best_gain = -std::numeric_limits<double>::max();
       std::uint32_t best_v = u;
-      for (const std::uint32_t v : cand_) {
-        const double g = state_.GainArrive(x, xn, v);
+      for (std::size_t ci = 0; ci < cand_.size(); ++ci) {
+        const double g = gain_scratch_[ci];
         if (g > best_gain) {
           best_gain = g;
-          best_v = v;
+          best_v = cand_[ci];
         }
       }
       if (best_v == u) continue;

@@ -205,6 +205,7 @@ class StreamingGkMeans {
   std::vector<std::uint32_t> cand_;
   std::vector<Neighbor> nbr_scratch_;
   std::vector<std::uint32_t> nbr_ids_;
+  std::vector<double> gain_scratch_;  // batched GainArrive results
 };
 
 }  // namespace gkm

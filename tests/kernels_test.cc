@@ -1,0 +1,320 @@
+// Copyright 2026 The gkmeans Authors.
+// Contract tests of the batched kernel layer (common/kernels.h):
+//
+//  * EXACT kernels agree with the scalar L2Sqr/Dot loops bit-for-bit at
+//    every SIMD tier the host supports — across odd dims, tail lengths,
+//    zeros and denormals. This is what makes checkpoints and cluster
+//    assignments CPU-independent.
+//  * The blocked dot-trick path meets its ~1e-4 relative accuracy
+//    contract, and the Assign* drivers built on it still return exact
+//    labels and exact distances (margin guard + rescore).
+//
+// The byte-level end-to-end consequence is pinned separately in
+// checkpoint_golden_test.cc.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/kernels.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace gkm {
+namespace {
+
+// Every tier runnable on this host: scalar always, plus the detected SIMD
+// tier, plus AVX2 when the host is AVX-512 (the dispatcher supports
+// running one tier below peak).
+std::vector<SimdTier> RunnableTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  const SimdTier best = internal::BestSupportedTier();
+  if (best == SimdTier::kAvx512) tiers.push_back(SimdTier::kAvx2);
+  if (best != SimdTier::kScalar) tiers.push_back(best);
+  return tiers;
+}
+
+// The dims the satellite task calls out: every tail length of the 4-lane
+// kernels, plus the paper's d=100 (audio-like) and d=960 (GIST-like).
+std::vector<std::size_t> TestDims() {
+  std::vector<std::size_t> dims;
+  for (std::size_t d = 1; d <= 17; ++d) dims.push_back(d);
+  dims.push_back(100);
+  dims.push_back(960);
+  return dims;
+}
+
+Matrix RandomMatrix(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Matrix m(n, d);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      m.At(i, j) = rng.UniformFloat() * 4.0f - 2.0f;
+    }
+  }
+  return m;
+}
+
+TEST(Kernels, TierReporting) {
+  const SimdTier tier = ActiveSimdTier();
+  EXPECT_NE(SimdTierName(tier), nullptr);
+  // The active tier never exceeds what the CPU supports.
+  EXPECT_LE(static_cast<int>(tier),
+            static_cast<int>(internal::BestSupportedTier()));
+}
+
+TEST(Kernels, L2BatchMatchesScalarBitForBitAtEveryTier) {
+  for (const std::size_t d : TestDims()) {
+    const Matrix rows = RandomMatrix(37, d, 1000 + d);  // odd n: all tails
+    std::vector<float> q(d);
+    Rng rng(7 * d + 1);
+    for (std::size_t j = 0; j < d; ++j) q[j] = rng.UniformFloat() * 2.0f - 1.0f;
+
+    std::vector<float> want(rows.rows());
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      want[i] = L2Sqr(q.data(), rows.Row(i), d);
+    }
+    for (const SimdTier tier : RunnableTiers()) {
+      const internal::KernelOps& ops = internal::OpsForTier(tier);
+      std::vector<float> got(rows.rows(), -1.0f);
+      ops.l2_strided(q.data(), rows.Row(0), rows.stride(), rows.rows(), d,
+                     got.data());
+      for (std::size_t i = 0; i < rows.rows(); ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << "tier=" << SimdTierName(tier) << " d=" << d << " row=" << i;
+      }
+      // Gathered variant, rows revisited in a scrambled order.
+      std::vector<const float*> ptrs;
+      for (std::size_t i = rows.rows(); i-- > 0;) ptrs.push_back(rows.Row(i));
+      std::vector<float> got_g(rows.rows(), -1.0f);
+      ops.l2_gather(q.data(), ptrs.data(), ptrs.size(), d, got_g.data());
+      for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        EXPECT_EQ(got_g[i], want[rows.rows() - 1 - i])
+            << "tier=" << SimdTierName(tier) << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ExactKernelsHandleZerosAndDenormals) {
+  const std::size_t d = 13;
+  Matrix rows(5, d);
+  // Row 0 all zeros; row 1 denormals; row 2 mixed tiny/large; rest normal.
+  for (std::size_t j = 0; j < d; ++j) {
+    rows.At(1, j) = 1e-41f;  // denormal
+    rows.At(2, j) = (j % 2 == 0) ? 1e-39f : 3.5f;
+    rows.At(3, j) = static_cast<float>(j) - 6.0f;
+    rows.At(4, j) = -1e-40f;
+  }
+  std::vector<float> q(d, 0.0f);
+  q[3] = 1e-40f;  // denormal query component
+  q[7] = -2.0f;
+
+  std::vector<float> want(rows.rows());
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    want[i] = L2Sqr(q.data(), rows.Row(i), d);
+  }
+  for (const SimdTier tier : RunnableTiers()) {
+    const internal::KernelOps& ops = internal::OpsForTier(tier);
+    std::vector<float> got(rows.rows(), -1.0f);
+    ops.l2_strided(q.data(), rows.Row(0), rows.stride(), rows.rows(), d,
+                   got.data());
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(Kernels, RowNormsMatchDotBitForBit) {
+  for (const std::size_t d : {1u, 5u, 16u, 17u, 100u}) {
+    const Matrix rows = RandomMatrix(9, d, 50 + d);
+    std::vector<float> got(rows.rows(), -1.0f);
+    RowNormsSqrBatch(rows.Row(0), rows.stride(), rows.rows(), d, got.data());
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      EXPECT_EQ(got[i], NormSqr(rows.Row(i), d)) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, DotDFMatchesScalarBitForBitAtEveryTier) {
+  // Mixed-precision (double rows x float query) dots — the BKM gain
+  // kernel. The reference is the library's own scalar tier: a reference
+  // loop written here would be compiled with this test's FP flags (e.g.
+  // FMA contraction under -march=native) and diverge in the last ulp;
+  // the library is compiled -ffp-contract=off precisely to pin this.
+  const internal::KernelOps& scalar = internal::OpsForTier(SimdTier::kScalar);
+  for (const std::size_t d : TestDims()) {
+    Rng rng(40 + d);
+    std::vector<std::vector<double>> rows(11, std::vector<double>(d));
+    std::vector<const double*> ptrs;
+    for (auto& r : rows) {
+      for (auto& v : r) v = rng.UniformDouble() * 6.0 - 3.0;
+      ptrs.push_back(r.data());
+    }
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.UniformFloat() * 2.0f - 1.0f;
+    std::vector<double> want(ptrs.size(), -2.0);
+    scalar.dot_df_gather(q.data(), ptrs.data(), ptrs.size(), d, want.data());
+    for (const SimdTier tier : RunnableTiers()) {
+      const internal::KernelOps& ops = internal::OpsForTier(tier);
+      std::vector<double> got(ptrs.size(), -1.0);
+      ops.dot_df_gather(q.data(), ptrs.data(), ptrs.size(), d, got.data());
+      for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << "tier=" << SimdTierName(tier) << " d=" << d << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, NearestRowBatchMatchesScalarScan) {
+  const std::size_t d = 24;
+  const Matrix rows = RandomMatrix(301, d, 3);  // crosses the 256 block edge
+  const Matrix queries = RandomMatrix(40, d, 4);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    float want_dist = 0.0f;
+    const std::size_t want = NearestRow(rows, queries.Row(i), &want_dist);
+    float got_dist = 0.0f;
+    const std::size_t got = NearestRowBatch(queries.Row(i), rows.Row(0),
+                                            rows.stride(), rows.rows(), d,
+                                            &got_dist);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(got_dist, want_dist);
+  }
+}
+
+TEST(Kernels, TopKFusedMatchesSequentialPushes) {
+  const std::size_t d = 19;
+  const Matrix rows = RandomMatrix(300, d, 11);
+  const Matrix queries = RandomMatrix(5, d, 12);
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    const float* q = queries.Row(qi);
+    TopK want(10);
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      if (i == 17) continue;
+      const float dist = L2Sqr(q, rows.Row(i), d);
+      if (!want.full() || dist < want.WorstDist()) {
+        want.Push(static_cast<std::uint32_t>(i), dist);
+      }
+    }
+    TopK got(10);
+    L2SqrToTopK(q, rows.Row(0), rows.stride(), rows.rows(), d, 0, 17, got);
+    EXPECT_EQ(got.TakeSorted(), want.TakeSorted());
+  }
+}
+
+TEST(Kernels, DotTrickMeetsAccuracyContract) {
+  for (const std::size_t d : {7u, 32u, 100u, 960u}) {
+    const Matrix rows = RandomMatrix(33, d, 600 + d);
+    const Matrix queries = RandomMatrix(6, d, 601 + d);
+    std::vector<float> rnorms(rows.rows());
+    RowNormsSqrBatch(rows.Row(0), rows.stride(), rows.rows(), d, rnorms.data());
+    for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+      const float* q = queries.Row(qi);
+      const float qn = NormSqr(q, d);
+      std::vector<float> got(rows.rows());
+      L2SqrBatchDotTrick(q, qn, rows.Row(0), rows.stride(), rows.rows(), d,
+                         rnorms.data(), got.data());
+      for (std::size_t i = 0; i < rows.rows(); ++i) {
+        const float exact = L2Sqr(q, rows.Row(i), d);
+        const float scale = std::max(1.0f, qn + rnorms[i]);
+        EXPECT_NEAR(got[i], exact, 1e-4f * scale)
+            << "d=" << d << " q=" << qi << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, AssignBlockedIsExactDespiteDotTrick) {
+  for (const std::size_t d : {3u, 17u, 64u}) {
+    const Matrix centroids = RandomMatrix(29, d, 900 + d);
+    const Matrix points = RandomMatrix(157, d, 901 + d);
+    std::vector<std::uint32_t> labels(points.rows(), 77777u);
+    std::vector<float> dists(points.rows(), -1.0f);
+    AssignNearestBlocked(points, centroids, nullptr, nullptr, labels.data(),
+                         dists.data());
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      float want_dist = 0.0f;
+      const std::size_t want = NearestRow(centroids, points.Row(i), &want_dist);
+      EXPECT_EQ(labels[i], want) << "d=" << d << " i=" << i;
+      EXPECT_EQ(dists[i], want_dist) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, AssignBlockedExactOnAdversarialNearTies) {
+  // Centroid pairs engineered to float-equal distance from the queries:
+  // the dot-trick margin is ~0, forcing the fallback path, which must
+  // break ties exactly like the scalar scan (lowest index wins).
+  const std::size_t d = 8;
+  Matrix centroids(4, d);
+  for (std::size_t j = 0; j < d; ++j) {
+    centroids.At(0, j) = 1.0f;
+    centroids.At(1, j) = -1.0f;  // same distance from 0 as centroid 0
+    centroids.At(2, j) = 3.0f;
+    centroids.At(3, j) = 3.0f;  // exact duplicate of centroid 2
+  }
+  Matrix points(3, d);  // all zeros: every centroid pair ties
+  std::vector<std::uint32_t> labels(points.rows(), 99u);
+  std::vector<float> dists(points.rows(), -1.0f);
+  AssignNearestBlocked(points, centroids, nullptr, nullptr, labels.data(),
+                       dists.data());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    EXPECT_EQ(labels[i], 0u);  // ties resolve to the first row, as scalar
+    EXPECT_EQ(dists[i], L2Sqr(points.Row(i), centroids.Row(0), d));
+  }
+}
+
+TEST(Kernels, AssignBlockedGatherMatchesStrided) {
+  const std::size_t d = 21;
+  const Matrix centroids = RandomMatrix(13, d, 70);
+  const Matrix points = RandomMatrix(50, d, 71);
+  std::vector<std::uint32_t> want(points.rows());
+  std::vector<float> want_d(points.rows());
+  AssignNearestBlocked(points, centroids, nullptr, nullptr, want.data(),
+                       want_d.data());
+  std::vector<const float*> ptrs(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) ptrs[i] = points.Row(i);
+  std::vector<std::uint32_t> got(points.rows());
+  std::vector<float> got_d(points.rows());
+  AssignNearestBlockedGather(ptrs.data(), nullptr, ptrs.size(), centroids,
+                             nullptr, got.data(), got_d.data());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got_d, want_d);
+}
+
+TEST(Kernels, RowNormCacheTracksInvalidations) {
+  Matrix m = RandomMatrix(8, 10, 42);
+  RowNormCache cache;
+  const float* norms = cache.Refresh(m);
+  ASSERT_NE(norms, nullptr);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(norms[i], NormSqr(m.Row(i), m.cols()));
+  }
+  // Mutate two rows; only invalidated entries may change.
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    m.At(2, j) += 1.0f;
+    m.At(5, j) -= 2.0f;
+  }
+  cache.Invalidate(2);
+  cache.Invalidate(5);
+  norms = cache.Refresh(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(norms[i], NormSqr(m.Row(i), m.cols())) << i;
+  }
+  // InvalidateAll after a full table rewrite.
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) m.At(i, j) *= 0.5f;
+  }
+  cache.InvalidateAll();
+  norms = cache.Refresh(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(norms[i], NormSqr(m.Row(i), m.cols())) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gkm

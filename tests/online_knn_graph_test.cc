@@ -220,6 +220,47 @@ TEST(OnlineKnnGraphTest, SearchKnnScratchOverloadMatchesPlain) {
   }
 }
 
+TEST(OnlineKnnGraphTest, SearchKnnBatchMatchesPerQueryCalls) {
+  const SyntheticData data = StreamData(900);
+  OnlineGraphParams p;
+  p.kappa = 8;
+  p.beam_width = 32;
+  const std::size_t nq = 50;
+  const Matrix base = SliceRows(data.vectors, 0, data.vectors.rows() - nq);
+  const Matrix queries =
+      SliceRows(data.vectors, data.vectors.rows() - nq, data.vectors.rows());
+  const OnlineKnnGraph g = InsertAll(base, p);
+
+  SearchScratch scratch;
+  const std::vector<std::vector<Neighbor>> batch =
+      g.SearchKnnBatch(queries, 10, scratch);
+  ASSERT_EQ(batch.size(), nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    EXPECT_EQ(batch[q], g.SearchKnn(queries.Row(q), 10)) << q;
+  }
+  // Plain overload (thread_local scratch) agrees too.
+  EXPECT_EQ(g.SearchKnnBatch(queries, 10), batch);
+}
+
+TEST(OnlineKnnGraphTest, SearchKnnBatchEmptyAndBootstrapPhases) {
+  OnlineGraphParams p;
+  p.kappa = 4;
+  p.beam_width = 8;
+  p.bootstrap = 64;
+  OnlineKnnGraph g(16, p);
+  const SyntheticData data = StreamData(40);
+  // Empty graph: every per-query result is empty.
+  const auto empty = g.SearchKnnBatch(data.vectors, 5);
+  ASSERT_EQ(empty.size(), data.vectors.rows());
+  for (const auto& r : empty) EXPECT_TRUE(r.empty());
+  // Bootstrap (brute-force) phase: batch equals per-query.
+  for (std::size_t i = 0; i < 30; ++i) g.Insert(data.vectors.Row(i));
+  const auto batch = g.SearchKnnBatch(data.vectors, 5);
+  for (std::size_t q = 0; q < data.vectors.rows(); ++q) {
+    EXPECT_EQ(batch[q], g.SearchKnn(data.vectors.Row(q), 5)) << q;
+  }
+}
+
 TEST(OnlineKnnGraphTest, InsertBatchParallelMatchesSerialBitForBit) {
   // The batch ingest contract: the committed graph, RNG stream and
   // adaptive state are pure functions of the insertion sequence — thread

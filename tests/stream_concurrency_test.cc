@@ -98,12 +98,25 @@ TEST(StreamConcurrencyTest, SearchKnnStaysCorrectDuringIngest) {
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> searches{0};
   std::atomic<bool> ok{true};
+  // One thread uses the per-query API, the other the batched API (one
+  // reader acquisition per small batch) — both lock paths race against
+  // the same ingest.
+  std::atomic<int> thread_no{0};
   auto serve = [&]() {
+    const bool use_batch = thread_no.fetch_add(1) % 2 == 1;
     SearchScratch scratch;
+    Matrix one(1, kDim);  // reused so allocation doesn't throttle the race
     std::size_t q = 0;
+    std::vector<Neighbor> got;
     while (!stop.load(std::memory_order_relaxed)) {
       const float* query = queries.vectors.Row(q % queries.vectors.rows());
-      const auto got = model.graph().SearchKnn(query, 10, scratch);
+      if (use_batch) {
+        one.SetRow(0, query);
+        auto batch = model.graph().SearchKnnBatch(one, 10, scratch);
+        got = std::move(batch[0]);
+      } else {
+        got = model.graph().SearchKnn(query, 10, scratch);
+      }
       // The graph only grows, so ids are bounded by the size observed
       // *after* the search returned.
       const std::size_t bound = model.graph().size();
