@@ -7,7 +7,10 @@
 //   - online SearchKnn, thread-parallel over the pool (per-slot scratch)
 //   - anns/GraphSearcher beam search over the same graph + vectors (the
 //     batch serving stack, as the reference point)
-// Ground truth is brute force. Shape target: online recall@10 >= 0.8.
+// Ground truth is brute force. A churn phase then removes 30% of the
+// corpus and backfills with fresh points, re-measuring recall against the
+// survivors — the deletion/repair path must hold serving quality.
+// Shape targets: online recall@10 >= 0.8, post-churn recall@10 >= 0.8.
 
 #include <cstdio>
 #include <vector>
@@ -140,11 +143,77 @@ int main() {
   std::printf("%-28s %-10.3f %-10.0f\n", "anns/graph_search",
               reference_recall, static_cast<double>(nq) / batch_secs);
 
+  // --- Churn phase: remove 30% of the corpus, backfill, re-measure. ---
+  // Tombstoned nodes must drop out of results immediately, the repair
+  // join has to keep the graph navigable, and the amortized purge +
+  // slot reuse keep the arena dense (it must not grow past the original
+  // corpus even though 30% of it was replaced).
+  gkm::Timer churn_timer;
+  std::size_t removed = 0;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (id % 10 < 3) {
+      graph.Remove(id);
+      ++removed;
+    }
+  }
+  // Sweep the stragglers below the auto-purge threshold at a quiet moment
+  // so the whole backfill lands in reclaimed slots.
+  graph.CompactTombstones();
+  gkm::SyntheticSpec refill_spec = spec;
+  refill_spec.n = removed;
+  refill_spec.seed = 1234;
+  const gkm::SyntheticData refill = gkm::MakeGaussianMixture(refill_spec);
+  for (std::size_t b = 0; b < removed; b += window) {
+    graph.InsertBatch(
+        gkm::SliceRows(refill.vectors, b, std::min(b + window, removed)),
+        &pool);
+  }
+  const double churn_secs = churn_timer.Seconds();
+  std::printf("\nchurn: removed %zu (30%%) + backfilled %zu in %.2fs "
+              "(%.0f ops/s); arena %zu slots, %zu alive\n",
+              removed, removed, churn_secs,
+              2.0 * static_cast<double>(removed) / churn_secs, graph.size(),
+              graph.num_alive());
+
+  // Ground truth over the survivors, mapped back to graph slot ids.
+  std::vector<std::uint32_t> alive_ids;
+  gkm::Matrix alive(0, dim);
+  for (std::uint32_t id = 0; id < graph.size(); ++id) {
+    if (!graph.IsAlive(id)) continue;
+    alive_ids.push_back(id);
+    alive.AppendRow(graph.points().Row(id));
+  }
+  const std::vector<std::vector<gkm::Neighbor>> churn_truth =
+      gkm::BruteForceSearch(alive, queries, topk);
+  std::vector<std::vector<gkm::Neighbor>> churn_got(nq);
+  gkm::Timer churn_search;
+  for (std::size_t q = 0; q < nq; ++q) {
+    churn_got[q] = graph.SearchKnn(queries.Row(q), topk, scratch);
+  }
+  const double churn_search_secs = churn_search.Seconds();
+  std::size_t hit = 0, want = 0;
+  for (std::size_t q = 0; q < nq; ++q) {
+    want += churn_truth[q].size();
+    for (const gkm::Neighbor& t : churn_truth[q]) {
+      for (const gkm::Neighbor& g : churn_got[q]) {
+        if (g.id == alive_ids[t.id]) {
+          ++hit;
+          break;
+        }
+      }
+    }
+  }
+  const double churn_recall =
+      want == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(want);
+  std::printf("%-28s %-10.3f %-10.0f\n", "online SearchKnn post-churn",
+              churn_recall, static_cast<double>(nq) / churn_search_secs);
+
   // Element-wise determinism: pooled serving with per-slot scratch must
   // return exactly the serial answers, not merely the same recall — and
   // the batch API must be a pure lock-amortization of the per-query path.
   const bool pool_identical = parallel == online;
   const bool batch_identical = batched == online;
+  const bool arena_dense = graph.size() == n && graph.num_alive() == n;
   std::printf("\nshape checks:\n");
   std::printf("  online recall@10 >= 0.8:  %s\n",
               online_recall >= 0.8 ? "PASS" : "FAIL");
@@ -152,5 +221,12 @@ int main() {
               pool_identical ? "PASS" : "FAIL");
   std::printf("  batch results match serial: %s\n",
               batch_identical ? "PASS" : "FAIL");
-  return (online_recall >= 0.8 && pool_identical && batch_identical) ? 0 : 1;
+  std::printf("  post-churn recall@10 >= 0.8 (30%% churn): %s\n",
+              churn_recall >= 0.8 ? "PASS" : "FAIL");
+  std::printf("  slot reuse keeps arena dense: %s\n",
+              arena_dense ? "PASS" : "FAIL");
+  return (online_recall >= 0.8 && pool_identical && batch_identical &&
+          churn_recall >= 0.8 && arena_dense)
+             ? 0
+             : 1;
 }

@@ -37,6 +37,27 @@ void Feed(gkm::StreamingGkMeans& model, const gkm::Matrix& data,
   }
 }
 
+std::size_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size < 0 ? 0 : static_cast<std::size_t>(size);
+}
+
+std::vector<char> ReadBytesOrDie(const std::string& path) {
+  std::vector<char> bytes(FileBytes(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr || std::fread(bytes.data(), 1, bytes.size(), f) !=
+                          bytes.size()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
 }  // namespace
 
 int main() {
@@ -171,8 +192,54 @@ int main() {
     }
   }
 
-  // --- Finish the stream on the restored model: must match exactly. ---
-  Feed(resumed, data.vectors, n / 2, n, window);
+  // --- Finish the stream on the restored model: must match exactly.
+  // The restored copy also drives the incremental-checkpoint path: its
+  // second half is journaled window by window into a GKMD delta log, and
+  // the resumed base+journal chain must reproduce the full snapshot of the
+  // finished model byte for byte — at O(window) instead of O(corpus) bytes
+  // per checkpoint. ---
+  const std::string delta_base = "/tmp/gkm_stream_delta_base.ckpt";
+  const std::string delta_journal = "/tmp/gkm_stream_delta.gkmd";
+  gkm::Timer delta_timer;
+  gkm::StreamDeltaLog dlog(delta_base, delta_journal, resumed);
+  std::size_t delta_windows = 0;
+  for (std::size_t b = n / 2; b < n; b += window) {
+    const gkm::Matrix w = gkm::SliceRows(data.vectors, b, std::min(b + window, n));
+    dlog.AppendWindow(w);
+    resumed.ObserveWindow(w);
+    ++delta_windows;
+  }
+  dlog.AppendStateCheck(resumed);
+  const double delta_secs = delta_timer.Seconds();
+
+  const std::string full_a = "/tmp/gkm_stream_full_a.ckpt";
+  const std::string full_b = "/tmp/gkm_stream_full_b.ckpt";
+  gkm::SaveStreamCheckpoint(full_a, resumed);
+  const std::size_t full_bytes = FileBytes(full_a);
+  const std::size_t journal_bytes = FileBytes(delta_journal);
+  gkm::Timer delta_load_timer;
+  gkm::StreamingGkMeans delta_resumed =
+      gkm::ResumeStreamCheckpoint(delta_base, delta_journal);
+  const double delta_load_secs = delta_load_timer.Seconds();
+  gkm::SaveStreamCheckpoint(full_b, delta_resumed);
+  std::vector<char> bytes_a = ReadBytesOrDie(full_a);
+  std::vector<char> bytes_b = ReadBytesOrDie(full_b);
+  const bool delta_identical = bytes_a == bytes_b;
+  std::printf("\ndelta checkpoints: %zu windows journaled in %.2fs "
+              "(%.0f bytes/window vs %.0f for a full snapshot rewrite, "
+              "%.1fx smaller); chain replay %.2fs\n",
+              delta_windows, delta_secs,
+              static_cast<double>(journal_bytes) /
+                  static_cast<double>(delta_windows),
+              static_cast<double>(full_bytes),
+              static_cast<double>(full_bytes) * delta_windows /
+                  static_cast<double>(journal_bytes),
+              delta_load_secs);
+  for (const char* f : {delta_base.c_str(), delta_journal.c_str(),
+                        full_a.c_str(), full_b.c_str()}) {
+    std::remove(f);
+  }
+
   resumed.Consolidate(3);
   const bool identical = resumed.labels() == model.labels() &&
                          resumed.Distortion() == model.Distortion();
@@ -204,6 +271,8 @@ int main() {
               stream_e <= batch_e * 1.10 ? "PASS" : "FAIL");
   std::printf("  checkpoint restore continues identically: %s\n",
               identical ? "PASS" : "FAIL");
+  std::printf("  delta chain resumes bit-identical:        %s\n",
+              delta_identical ? "PASS" : "FAIL");
   std::printf("  parallel ingest identical to serial:      %s\n",
               parallel_identical && graph_identical ? "PASS" : "FAIL");
   if (can_gate_speedup) {
@@ -218,7 +287,8 @@ int main() {
                 cores, gkm::bench::Scale(), graph_speedup, pipeline_speedup);
   }
   const bool pass = stream_e <= batch_e * 1.10 && identical &&
-                    parallel_identical && graph_identical &&
+                    delta_identical && parallel_identical &&
+                    graph_identical &&
                     (!can_gate_speedup || graph_speedup >= 2.0);
   return pass ? 0 : 1;
 }

@@ -66,6 +66,19 @@ class TopK {
     return true;
   }
 
+  /// Removes the entry with `id` if present; returns true when one was
+  /// removed. O(k) scan plus an O(k) re-heapify — removal is the cold path
+  /// (tombstone purges and in-edge repair), so no index is maintained.
+  bool EraseId(std::uint32_t id) {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i].id != id) continue;
+      heap_.erase(heap_.begin() + static_cast<std::ptrdiff_t>(i));
+      std::make_heap(heap_.begin(), heap_.end(), ByDist);
+      return true;
+    }
+    return false;
+  }
+
   /// Extracts the contents sorted ascending by distance, leaving the set
   /// empty.
   std::vector<Neighbor> TakeSorted() {

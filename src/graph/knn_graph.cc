@@ -68,6 +68,16 @@ int KnnGraph::UpdateBoth(std::size_t i, std::size_t j, float dist) {
   return changed;
 }
 
+bool KnnGraph::RemoveNeighbor(std::size_t i, std::uint32_t j) {
+  GKM_DCHECK(i < lists_.size());
+  return lists_[i].EraseId(j);
+}
+
+void KnnGraph::ClearList(std::size_t i) {
+  GKM_DCHECK(i < lists_.size());
+  lists_[i] = TopK(k_);
+}
+
 void KnnGraph::InitRandom(const Matrix& data, Rng& rng) {
   const std::size_t n = num_nodes();
   GKM_CHECK(data.rows() == n);

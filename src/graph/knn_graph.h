@@ -62,6 +62,15 @@ class KnnGraph {
   /// lists changed (0..2).
   int UpdateBoth(std::size_t i, std::size_t j, float dist);
 
+  /// Removes the directed edge i -> j if present; returns true when it
+  /// existed. The deletion path of the streaming subsystem (in-edge repair
+  /// and tombstone purges).
+  bool RemoveNeighbor(std::size_t i, std::uint32_t j);
+
+  /// Empties node i's neighbor list (the node stays allocated). Used when a
+  /// node is tombstoned: its slot must stop referencing live nodes.
+  void ClearList(std::size_t i);
+
   /// Fills every list with `k` distinct random neighbors and their true
   /// distances w.r.t. `data` (the random initialization of Alg. 3 line 4).
   void InitRandom(const Matrix& data, Rng& rng);

@@ -54,6 +54,24 @@ void ClusterState::AddPoint(const float* x, std::size_t v) {
   ++n_;
 }
 
+void ClusterState::RemovePoint(const float* x, std::size_t u) {
+  GKM_DCHECK(u < counts_.size());
+  GKM_CHECK_MSG(counts_[u] >= 1, "RemovePoint from an empty cluster");
+  GKM_DCHECK(n_ >= 1);
+  double* du = d_.data() + u * dim_;
+  double nu = 0.0, norm = 0.0;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    du[j] -= x[j];
+    nu += du[j] * du[j];
+    norm += static_cast<double>(x[j]) * x[j];
+  }
+  dnorm_[u] = nu;
+  --counts_[u];
+  point_norms_[u] -= norm;
+  sum_point_norms_ -= norm;
+  --n_;
+}
+
 void ClusterState::MergeClusters(std::size_t dst, std::size_t src) {
   GKM_DCHECK(dst != src);
   double* dd = d_.data() + dst * dim_;

@@ -74,6 +74,12 @@ class ClusterState {
   /// The streaming ingest path.
   void AddPoint(const float* x, std::size_t v);
 
+  /// Retires member `x` from cluster `u` (n shrinks by one). O(d). The
+  /// streaming deletion/TTL path. Unlike BKM moves this may empty a
+  /// cluster — decay is allowed to; the streaming maintenance re-seeds
+  /// empty clusters on the next window.
+  void RemovePoint(const float* x, std::size_t u);
+
   /// Folds cluster `src` into `dst`, leaving `src` empty. O(d). The caller
   /// owns relabeling the members. Streaming merge maintenance.
   void MergeClusters(std::size_t dst, std::size_t src);

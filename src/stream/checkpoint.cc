@@ -2,6 +2,7 @@
 
 #include "stream/checkpoint.h"
 
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
@@ -13,8 +14,29 @@ namespace {
 
 constexpr char kMagic[4] = {'G', 'K', 'M', 'C'};
 constexpr char kTrailer[4] = {'C', 'K', 'P', 'T'};
+constexpr char kDeltaMagic[4] = {'G', 'K', 'M', 'D'};
 // v2: adds the adaptive-seed state to the cursor block.
-constexpr std::uint32_t kVersion = 2;
+// v3: adds ttl_windows to the params block and the removal block (graph
+//     tombstones, free slots, last-inserted slot, per-slot birth windows)
+//     before the trailer. v2 files still load; see ReadParams/ReadRemoval.
+constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kOldestReadable = 2;
+constexpr std::uint32_t kDeltaVersion = 1;
+
+constexpr std::uint32_t kNoSlot = RemovalState::kNoSlot;
+
+// FNV-1a 64-bit, incremental: binds a delta journal to its base snapshot
+// and digests cluster state for the 'C' verification record.
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ULL;
+
+std::uint64_t FnvMix(std::uint64_t h, const void* bytes, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
   io::WriteRaw<std::uint64_t>(f, p.k);
@@ -35,11 +57,12 @@ void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
   io::WriteRaw<std::uint64_t>(f, p.route_hints);
   io::WriteRaw<std::uint64_t>(f, p.history_limit);
   io::WriteRaw<std::uint64_t>(f, p.seed);
+  io::WriteRaw<std::uint64_t>(f, p.ttl_windows);  // v3+
   // ingest_threads is deliberately not persisted: it is an execution knob
   // with no effect on results, and a resumed process sizes its own pool.
 }
 
-StreamingGkMeansParams ReadParams(std::FILE* f) {
+StreamingGkMeansParams ReadParams(std::FILE* f, std::uint32_t version) {
   StreamingGkMeansParams p;
   p.k = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
   p.kappa = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
@@ -63,6 +86,10 @@ StreamingGkMeansParams ReadParams(std::FILE* f) {
   p.route_hints = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
   p.history_limit = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
   p.seed = io::ReadRaw<std::uint64_t>(f);
+  // v2 predates deletion: the field defaults to "TTL disabled".
+  p.ttl_windows = version >= 3
+                      ? static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f))
+                      : 0;
   return p;
 }
 
@@ -78,6 +105,11 @@ RngSnapshot ReadRng(std::FILE* f) {
   r.have_spare = io::ReadRaw<std::uint8_t>(f) != 0;
   r.spare = io::ReadRaw<double>(f);
   return r;
+}
+
+void WriteIdList(std::FILE* f, const std::vector<std::uint32_t>& ids) {
+  io::WriteRaw<std::uint64_t>(f, ids.size());
+  io::WriteArray(f, ids.data(), ids.size());
 }
 
 // Mirrors the invariants the StreamingGkMeans/OnlineKnnGraph constructors
@@ -115,6 +147,66 @@ const char* ValidateLoadedParams(const StreamingGkMeansParams& p,
   return nullptr;
 }
 
+// The removal block's lists index the arena unchecked later (tombstone
+// flags, slot reuse): enforce sortedness, range and disjointness here so a
+// corrupt v3 file is a load error, not memory corruption.
+const char* ValidateRemovalState(const RemovalState& r, std::size_t n) {
+  auto sorted_in_range = [n](const std::vector<std::uint32_t>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] >= n) return false;
+      if (i > 0 && v[i] <= v[i - 1]) return false;
+    }
+    return true;
+  };
+  if (!sorted_in_range(r.pending_dead)) {
+    return "checkpoint tombstone list corrupt";
+  }
+  if (!sorted_in_range(r.free_slots)) {
+    return "checkpoint free-slot list corrupt";
+  }
+  std::size_t i = 0, j = 0;
+  while (i < r.pending_dead.size() && j < r.free_slots.size()) {
+    if (r.pending_dead[i] == r.free_slots[j]) {
+      return "checkpoint slot both tombstoned and free";
+    }
+    if (r.pending_dead[i] < r.free_slots[j]) ++i; else ++j;
+  }
+  if (r.last_inserted != kNoSlot && r.last_inserted >= n) {
+    return "checkpoint last-inserted slot out of range";
+  }
+  return nullptr;
+}
+
+// Digest of the replay-visible cluster state (record 'C'): composite
+// vectors, counts and labels. Everything else that matters (graph edges,
+// RNG) feeds into these within a window, so divergence shows up here.
+std::uint64_t StateDigest(const StreamingGkMeans& model) {
+  const ClusterState& state = model.cluster_state();
+  std::uint64_t h = kFnvSeed;
+  h = FnvMix(h, state.composites().data(),
+             state.composites().size() * sizeof(double));
+  h = FnvMix(h, state.counts().data(),
+             state.counts().size() * sizeof(std::uint32_t));
+  h = FnvMix(h, model.labels().data(),
+             model.labels().size() * sizeof(std::uint32_t));
+  return h;
+}
+
+// Hash of a whole file's bytes; false when unreadable.
+bool HashFileBytes(const std::string& path, std::uint64_t* out) {
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (raw == nullptr) return false;
+  io::File f(raw);
+  std::uint64_t h = kFnvSeed;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    h = FnvMix(h, buf, got);
+  }
+  *out = h;
+  return true;
+}
+
 }  // namespace
 
 void SaveStreamCheckpoint(const std::string& path,
@@ -149,6 +241,15 @@ void SaveStreamCheckpoint(const std::string& path,
   io::WriteRaw<double>(f.get(), snap.sum_point_norms);
 
   io::WriteMatrix(f.get(), snap.prev_centroids);
+
+  // Removal block (v3): deletion bookkeeping + TTL birth windows.
+  WriteIdList(f.get(), snap.removal.pending_dead);
+  WriteIdList(f.get(), snap.removal.free_slots);
+  io::WriteRaw<std::uint32_t>(f.get(), snap.removal.last_inserted);
+  io::WriteRaw<std::uint64_t>(f.get(), snap.birth_windows.size());
+  io::WriteArray(f.get(), snap.birth_windows.data(),
+                 snap.birth_windows.size());
+
   io::WriteArray(f.get(), kTrailer, 4);
 }
 
@@ -169,10 +270,12 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
     return fail("not a GKMC checkpoint file");
   }
   const auto version = io::ReadRaw<std::uint32_t>(f.get());
-  if (version != kVersion) return fail("unsupported checkpoint version");
+  if (version < kOldestReadable || version > kVersion) {
+    return fail("unsupported checkpoint version");
+  }
 
   StreamSnapshot snap;
-  snap.params = ReadParams(f.get());
+  snap.params = ReadParams(f.get(), version);
   snap.windows = io::ReadRaw<std::uint64_t>(f.get());
   snap.bootstrapped = io::ReadRaw<std::uint8_t>(f.get()) != 0;
   snap.rng = ReadRng(f.get());
@@ -215,6 +318,36 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
   snap.sum_point_norms = io::ReadRaw<double>(f.get());
 
   snap.prev_centroids = io::ReadMatrix(f.get());
+
+  if (version >= 3) {
+    auto read_ids = [&](std::vector<std::uint32_t>& out) {
+      const auto count =
+          static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
+      if (count > snap.points.rows()) return false;
+      out.resize(count);
+      io::ReadArray(f.get(), out.data(), count);
+      return true;
+    };
+    if (!read_ids(snap.removal.pending_dead) ||
+        !read_ids(snap.removal.free_slots)) {
+      return fail("implausible checkpoint removal-list size");
+    }
+    snap.removal.last_inserted = io::ReadRaw<std::uint32_t>(f.get());
+    if (const char* msg =
+            ValidateRemovalState(snap.removal, snap.points.rows())) {
+      return fail(msg);
+    }
+    const auto births =
+        static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
+    if (births != snap.points.rows()) {
+      return fail("checkpoint birth-window count does not match points");
+    }
+    snap.birth_windows.resize(births);
+    io::ReadArray(f.get(), snap.birth_windows.data(), births);
+  }
+  // v2: removal state stays default-empty and birth windows are filled in
+  // by the model constructor ("born at restore").
+
   char trailer[4];
   io::ReadArray(f.get(), trailer, 4);
   if (std::memcmp(trailer, kTrailer, 4) != 0) {
@@ -228,6 +361,158 @@ StreamingGkMeans LoadStreamCheckpoint(const std::string& path) {
   std::string error;
   std::optional<StreamingGkMeans> model =
       TryLoadStreamCheckpoint(path, &error);
+  GKM_CHECK_MSG(model.has_value(), error.c_str());
+  return std::move(*model);
+}
+
+// --- Delta checkpointing ----------------------------------------------------
+
+StreamDeltaLog::StreamDeltaLog(std::string base_path, std::string delta_path,
+                               const StreamingGkMeans& model)
+    : base_path_(std::move(base_path)), delta_path_(std::move(delta_path)) {
+  SaveStreamCheckpoint(base_path_, model);
+  StartJournal(model);
+}
+
+void StreamDeltaLog::StartJournal(const StreamingGkMeans& model) {
+  std::uint64_t base_hash = 0;
+  GKM_CHECK_MSG(HashFileBytes(base_path_, &base_hash),
+                "cannot re-read base snapshot for journal header");
+  f_ = io::OpenOrDie(delta_path_, "wb");
+  io::WriteArray(f_.get(), kDeltaMagic, 4);
+  io::WriteRaw<std::uint32_t>(f_.get(), kDeltaVersion);
+  io::WriteRaw<std::uint64_t>(f_.get(), base_hash);
+  io::WriteRaw<std::uint64_t>(f_.get(), model.windows_seen());
+  std::fflush(f_.get());
+}
+
+void StreamDeltaLog::AppendWindow(const Matrix& window) {
+  io::WriteRaw<std::uint8_t>(f_.get(), 'W');
+  io::WriteMatrix(f_.get(), window);
+  std::fflush(f_.get());
+}
+
+void StreamDeltaLog::AppendRemoval(std::uint32_t id) {
+  io::WriteRaw<std::uint8_t>(f_.get(), 'R');
+  io::WriteRaw<std::uint32_t>(f_.get(), id);
+  std::fflush(f_.get());
+}
+
+void StreamDeltaLog::AppendStateCheck(const StreamingGkMeans& model) {
+  io::WriteRaw<std::uint8_t>(f_.get(), 'C');
+  io::WriteRaw<std::uint64_t>(f_.get(), StateDigest(model));
+  std::fflush(f_.get());
+}
+
+void StreamDeltaLog::Compact(const StreamingGkMeans& model) {
+  f_.reset();  // close before rewriting under the journal's feet
+  // Crash safety, in two pieces. (1) The base is never truncated in
+  // place: the new snapshot lands in a side file and renames over the
+  // original, so a crash mid-write leaves the old base + old journal
+  // fully resumable. (2) A crash between the rename and the journal
+  // rewrite leaves the new base beside the stale journal — resume detects
+  // that shape (base cursor ahead of the journal anchor) and treats the
+  // base as authoritative, since it already contains the journal's inputs.
+  const std::string tmp = base_path_ + ".compact.tmp";
+  SaveStreamCheckpoint(tmp, model);
+  GKM_CHECK_MSG(std::rename(tmp.c_str(), base_path_.c_str()) == 0,
+                "cannot rename compacted base snapshot into place");
+  StartJournal(model);
+}
+
+std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
+    const std::string& base_path, const std::string& delta_path,
+    std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::optional<StreamingGkMeans>();
+  };
+
+  std::optional<StreamingGkMeans> model =
+      TryLoadStreamCheckpoint(base_path, error);
+  if (!model.has_value()) return std::nullopt;
+
+  errno = 0;
+  std::FILE* raw = std::fopen(delta_path.c_str(), "rb");
+  if (raw == nullptr) {
+    // Only a genuinely absent journal means "the base is the state". Any
+    // other open failure (permissions, fd exhaustion, I/O error) would
+    // silently drop journaled-and-flushed inputs if treated the same.
+    if (errno == ENOENT) return model;
+    return fail("cannot open delta journal: " + delta_path);
+  }
+  io::File f(raw);
+
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kDeltaMagic, 4) != 0) {
+    return fail("not a GKMD delta journal");
+  }
+  if (io::ReadRaw<std::uint32_t>(f.get()) != kDeltaVersion) {
+    return fail("unsupported delta journal version");
+  }
+  std::uint64_t base_hash = 0;
+  if (!HashFileBytes(base_path, &base_hash)) {
+    return fail("cannot re-read base snapshot: " + base_path);
+  }
+  const auto journal_hash = io::ReadRaw<std::uint64_t>(f.get());
+  const auto journal_windows = io::ReadRaw<std::uint64_t>(f.get());
+  if (journal_hash != base_hash) {
+    // One mismatch shape is legitimate: Compact renames the new base into
+    // place before it rewrites the journal, so a crash in between leaves a
+    // completed newer base beside a stale journal whose inputs the base
+    // already contains. The base's window cursor being strictly ahead of
+    // the journal's anchor identifies it; the base alone is the state.
+    if (model->windows_seen() > journal_windows) return model;
+    return fail("delta journal does not match this base snapshot");
+  }
+  if (journal_windows != model->windows_seen()) {
+    return fail("delta journal window cursor does not match base");
+  }
+
+  // Replay. Each record goes through the same public API the original
+  // process used, so the deterministic-model contract makes the result
+  // bit-identical to the state that produced the journal.
+  for (;;) {
+    std::uint8_t tag;
+    if (std::fread(&tag, 1, 1, f.get()) != 1) break;  // clean end
+    switch (tag) {
+      case 'W': {
+        const Matrix window = io::ReadMatrix(f.get());
+        if (window.cols() != model->dim()) {
+          return fail("delta window dimension does not match model");
+        }
+        model->ObserveWindow(window);
+        break;
+      }
+      case 'R': {
+        const auto id = io::ReadRaw<std::uint32_t>(f.get());
+        if (id >= model->points_seen() || !model->graph().IsAlive(id)) {
+          return fail("delta removal of a dead or out-of-range id");
+        }
+        model->RemovePoint(id);
+        break;
+      }
+      case 'C': {
+        const auto want = io::ReadRaw<std::uint64_t>(f.get());
+        if (StateDigest(*model) != want) {
+          return fail("delta state digest mismatch: journal and base "
+                      "disagree with the replayed model");
+        }
+        break;
+      }
+      default:
+        return fail("unknown delta journal record tag");
+    }
+  }
+  return model;
+}
+
+StreamingGkMeans ResumeStreamCheckpoint(const std::string& base_path,
+                                        const std::string& delta_path) {
+  std::string error;
+  std::optional<StreamingGkMeans> model =
+      TryResumeStreamCheckpoint(base_path, delta_path, &error);
   GKM_CHECK_MSG(model.has_value(), error.c_str());
   return std::move(*model);
 }

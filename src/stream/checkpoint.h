@@ -1,28 +1,24 @@
 // Copyright 2026 The gkmeans Authors.
 // Versioned binary checkpointing for the streaming subsystem: the whole
 // StreamingGkMeans state — ingested vectors, online KNN graph, labels,
-// composite-vector statistics, drift baseline, stream cursor, RNG and the
-// adaptive-seed policy state — round-trips through one file, so a serving
-// process can restart mid-stream and continue bit-for-bit as if never
-// interrupted.
+// composite-vector statistics, drift baseline, stream cursor, RNG, the
+// adaptive-seed policy and the deletion/TTL bookkeeping — round-trips
+// through one file, so a serving process can restart mid-stream and
+// continue bit-for-bit as if never interrupted.
 //
-// File layout (little-endian; see README "Checkpoint file format"):
-//   magic "GKMC" | u32 version (currently 2)
-//   params block  — every StreamingGkMeansParams / OnlineGraphParams field
-//                   except ingest_threads (an execution knob, not model
-//                   state: results are thread-count independent)
-//   cursor block  — windows consumed, bootstrapped flag, RNG snapshots
-//                   (clusterer then online graph), adaptive-seed state
-//                   (u64 live_seeds, f64 fail_ewma, u64 audit_tick)
-//   points        — io::WriteMatrix (u64 rows, u64 cols, row payloads)
-//   graph         — KnnGraph::SaveTo (u64 n, u64 k, per-node sorted lists)
-//   labels        — u64 count, u32 per point, then u32 routing
-//                   representative per cluster
-//   state block   — u64 n, u32 counts[k], f64 composites[k*dim],
-//                   f64 composite_norms[k], f64 point_norms[k],
-//                   f64 sum_point_norms
-//   drift block   — io::WriteMatrix of the previous-window centroids
-//   trailer magic "CKPT"
+// Two persistence modes share the format:
+//
+//  - Full snapshots ("GKMC", version 3): one self-contained file.
+//    docs/checkpoint-format.md documents the authoritative v1→v3 layout
+//    and compatibility rules; v2 files (pre-deletion) still load.
+//  - Incremental (delta) checkpoints: a full base snapshot plus an
+//    append-only journal ("GKMD") of the stream inputs since the base —
+//    per-window ingest records, explicit removals, and optional state
+//    digests. Because the model is a pure function of its input sequence,
+//    replaying the journal over the base reconstructs the exact state a
+//    full snapshot would have stored, at O(window) rather than O(corpus)
+//    bytes per checkpoint. StreamDeltaLog::Compact folds the journal back
+//    into a fresh base.
 //
 // Per-window history (diagnostics only) is intentionally not persisted.
 
@@ -32,6 +28,7 @@
 #include <optional>
 #include <string>
 
+#include "common/binary_io.h"
 #include "stream/streaming_gkmeans.h"
 
 namespace gkm {
@@ -46,15 +43,84 @@ void SaveStreamCheckpoint(const std::string& path,
 StreamingGkMeans LoadStreamCheckpoint(const std::string& path);
 
 /// Non-aborting load: validates the header, version and every deserialized
-/// parameter (kappa/beam/seed/bootstrap invariants) *before* constructing
-/// the model, returning std::nullopt with a diagnostic in `*error` (when
-/// non-null) on a malformed file instead of tripping GKM_CHECK aborts deep
-/// in the constructors. A file truncated mid-block still aborts (the
-/// binary-io substrate treats short reads as fatal); deeper payload
-/// corruption (e.g. invalid graph edges) is caught by the constructors'
-/// own validation.
+/// parameter (kappa/beam/seed/bootstrap invariants, removal-state shape)
+/// *before* constructing the model, returning std::nullopt with a
+/// diagnostic in `*error` (when non-null) on a malformed file instead of
+/// tripping GKM_CHECK aborts deep in the constructors. A file truncated
+/// mid-block still aborts (the binary-io substrate treats short reads as
+/// fatal); deeper payload corruption (e.g. invalid graph edges) is caught
+/// by the constructors' own validation.
 std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
     const std::string& path, std::string* error = nullptr);
+
+/// Append-only delta journal anchored at a full base snapshot. Usage, on
+/// the ingest thread that owns the model:
+///
+///   StreamDeltaLog log(base, delta, model);     // writes base + header
+///   for each window w:
+///     log.AppendWindow(w);                      // journal first...
+///     model.ObserveWindow(w);                   // ...then apply
+///   log.AppendRemoval(id); model.RemovePoint(id);   // explicit deletes
+///   log.AppendStateCheck(model);                // optional digest record
+///   if (log too long) log.Compact(model);       // fold into a new base
+///
+/// Journal before apply: a crash between the two replays one extra input,
+/// which is idempotent for the resume path only if the caller re-feeds
+/// from its own durable source — otherwise accept that the resumed model
+/// is one input ahead of the crashed one. TTL expiry needs no records: it
+/// replays deterministically from the base's birth windows and cursor.
+///
+/// ResumeStreamCheckpoint(base, delta) rebuilds the model by loading the
+/// base and replaying the journal; the result is bit-identical to the
+/// full snapshot a non-delta checkpoint would have produced at the same
+/// point (tests/checkpoint_test.cc pins this byte-for-byte).
+class StreamDeltaLog {
+ public:
+  /// Writes a fresh base snapshot of `model` to `base_path` and starts an
+  /// empty journal at `delta_path` (truncating any previous one). The
+  /// journal header embeds a hash of the base file, so a mismatched
+  /// base/delta pair is rejected at resume instead of replaying onto the
+  /// wrong state.
+  StreamDeltaLog(std::string base_path, std::string delta_path,
+                 const StreamingGkMeans& model);
+
+  /// Journals one ingest window (record 'W'). Flushed before returning.
+  void AppendWindow(const Matrix& window);
+
+  /// Journals one explicit removal (record 'R'). Flushed before returning.
+  void AppendRemoval(std::uint32_t id);
+
+  /// Journals a digest of `model`'s cluster statistics and labels (record
+  /// 'C'). Replay recomputes the digest at the same point and fails the
+  /// resume on mismatch — a cheap tripwire for determinism bugs and
+  /// journal/model divergence. O(k*dim + n) to compute, 8 bytes on disk.
+  void AppendStateCheck(const StreamingGkMeans& model);
+
+  /// Folds the journal into the base: rewrites `base_path` from `model`
+  /// (which must reflect every journaled record) and truncates the
+  /// journal to empty. Bounds replay cost after long uptimes.
+  void Compact(const StreamingGkMeans& model);
+
+ private:
+  void StartJournal(const StreamingGkMeans& model);
+
+  std::string base_path_;
+  std::string delta_path_;
+  io::File f_;
+};
+
+/// Rebuilds a model from a base snapshot plus its delta journal. A missing
+/// or empty journal resumes from the base alone. Aborts on malformed input
+/// with the diagnostic TryResumeStreamCheckpoint would report.
+StreamingGkMeans ResumeStreamCheckpoint(const std::string& base_path,
+                                        const std::string& delta_path);
+
+/// Non-aborting resume: reports unreadable bases, header/base mismatches,
+/// unknown record tags and digest failures through `*error`. As with
+/// TryLoadStreamCheckpoint, a journal truncated mid-record aborts.
+std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
+    const std::string& base_path, const std::string& delta_path,
+    std::string* error = nullptr);
 
 }  // namespace gkm
 

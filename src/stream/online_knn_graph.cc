@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <mutex>
 
 #include "common/distance.h"
@@ -59,6 +60,20 @@ std::size_t MaxSeeds(const OnlineGraphParams& p) {
 // earlier rows as ordinary graph nodes.
 constexpr std::size_t kSubBatch = 256;
 
+constexpr std::uint32_t kNoSlot = RemovalState::kNoSlot;
+
+// Tombstone compaction triggers once pending tombstones reach this fraction
+// of the arena (and at least this many, so tiny graphs don't sweep per
+// removal). The sweep is O(n*kappa), so amortized against >= n/4 removals
+// it adds O(kappa) per removal.
+constexpr std::size_t kPurgeDenominator = 4;
+constexpr std::size_t kPurgeMinPending = 64;
+
+// Inserts `id` into the ascending-sorted `v` (absent by precondition).
+void InsertSorted(std::vector<std::uint32_t>& v, std::uint32_t id) {
+  v.insert(std::lower_bound(v.begin(), v.end(), id), id);
+}
+
 }  // namespace
 
 // One row's planned insert: produced against the sub-batch snapshot by the
@@ -84,20 +99,54 @@ OnlineKnnGraph::OnlineKnnGraph(std::size_t dim,
 OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
                                const OnlineGraphParams& params,
                                const RngSnapshot& rng,
-                               const AdaptiveSeedState& seeds)
+                               const AdaptiveSeedState& seeds,
+                               const RemovalState& removal)
     : params_(params), points_(std::move(points)), graph_(std::move(graph)) {
   ValidateParams(params);
   GKM_CHECK_MSG(points_.rows() == graph_.num_nodes(),
                 "points/graph size mismatch");
   GKM_CHECK(graph_.k() == params.kappa);
-  // Edge ids come from an untrusted checkpoint and are dereferenced
-  // unchecked by every later walk: reject out-of-range or self edges here.
   const std::size_t n = points_.rows();
+  // Deletion bookkeeping precedes edge validation: which edges are legal
+  // depends on which slots are tombstoned vs reclaimed.
+  dead_.assign(n, 0);
+  pending_dead_ = removal.pending_dead;
+  free_slots_ = removal.free_slots;
+  for (const std::uint32_t id : pending_dead_) {
+    GKM_CHECK_MSG(id < n && dead_[id] == 0, "corrupt tombstone list");
+    dead_[id] = 1;
+  }
+  for (const std::uint32_t id : free_slots_) {
+    GKM_CHECK_MSG(id < n && dead_[id] == 0, "corrupt free-slot list");
+    dead_[id] = 1;
+  }
+  last_inserted_ = removal.last_inserted;
+  if (last_inserted_ == kNoSlot && n > 0 && pending_dead_.empty() &&
+      free_slots_.empty()) {
+    // Pre-deletion checkpoint: ids were contiguous, the newest is n-1.
+    last_inserted_ = static_cast<std::uint32_t>(n - 1);
+  }
+  GKM_CHECK_MSG(last_inserted_ == kNoSlot || last_inserted_ < n,
+                "corrupt last-inserted slot");
+  // Edge ids come from an untrusted checkpoint and are dereferenced
+  // unchecked by every later walk: reject out-of-range and self edges, and
+  // enforce the deletion invariants — tombstoned slots keep no out-edges,
+  // reclaimed slots keep no in-edges (a stale edge into a reused slot
+  // would silently score the wrong vector).
   for (std::size_t i = 0; i < n; ++i) {
-    for (const Neighbor& nb : graph_.NeighborsOf(i)) {
+    const std::vector<Neighbor>& nbs = graph_.NeighborsOf(i);
+    GKM_CHECK_MSG(dead_[i] == 0 || nbs.empty(),
+                  "tombstoned slot still has out-edges");
+    for (const Neighbor& nb : nbs) {
       GKM_CHECK_MSG(nb.id < n && nb.id != i, "corrupt graph edge");
+      GKM_CHECK_MSG(
+          !std::binary_search(free_slots_.begin(), free_slots_.end(), nb.id),
+          "edge into a reclaimed slot");
     }
   }
+  // Internal free-list order is descending (O(1) lowest-first pops); the
+  // serialized form just validated above is ascending.
+  std::reverse(free_slots_.begin(), free_slots_.end());
   rng_.Restore(rng);
   live_seeds_ = seeds.live_seeds == 0
                     ? params.num_seeds
@@ -116,6 +165,16 @@ AdaptiveSeedState OnlineKnnGraph::seed_state() const {
   return s;
 }
 
+RemovalState OnlineKnnGraph::removal_state() const {
+  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  RemovalState s;
+  s.pending_dead = pending_dead_;
+  s.free_slots = free_slots_;
+  std::reverse(s.free_slots.begin(), s.free_slots.end());  // ascending on disk
+  s.last_inserted = last_inserted_;
+  return s;
+}
+
 std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     const float* q, Rng& rng, const std::vector<std::uint32_t>* seed_hints,
     SearchScratch& scratch, std::size_t num_seeds) const {
@@ -124,14 +183,17 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   if (n == 0) return {};
 
   if (n <= params_.bootstrap) {
-    // Small corpus: exact scan, all points are candidates — one strided
-    // batch over the whole store.
-    std::vector<Neighbor> all(n);
+    // Small corpus: exact scan, every live point is a candidate — one
+    // strided batch over the whole store, tombstones dropped afterwards
+    // (the batch is cheaper than a gather over the survivors).
+    std::vector<Neighbor> all;
+    all.reserve(n);
     std::vector<float>& dist = scratch.pending_dist;
     dist.resize(n);
     L2SqrBatch(q, points_.Row(0), points_.stride(), n, d, dist.data());
     for (std::size_t i = 0; i < n; ++i) {
-      all[i] = Neighbor{static_cast<std::uint32_t>(i), dist[i]};
+      if (dead_[i]) continue;
+      all.push_back(Neighbor{static_cast<std::uint32_t>(i), dist[i]});
     }
     std::sort(all.begin(), all.end());
     return all;
@@ -157,6 +219,11 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   auto try_add = [&](std::uint32_t id) {
     if (stamp[id] == epoch) return;
     stamp[id] = epoch;
+    // Tombstoned slots are stamped (never re-inspected) but not offered:
+    // the pool only ever holds live nodes, so walks neither return nor
+    // route through removed points. Connectivity across a removal is the
+    // repair join's job, not the walk's.
+    if (dead_[id]) return;
     offer(id, L2Sqr(q, points_.Row(id), d));
   };
 
@@ -175,7 +242,7 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   for (std::size_t s = 0; s < num_seeds; ++s) {
     try_add(static_cast<std::uint32_t>(rng.Index(n)));
   }
-  try_add(static_cast<std::uint32_t>(n - 1));
+  if (last_inserted_ != kNoSlot) try_add(last_inserted_);
 
   // Best-first expansion. Each expanded node's unstamped neighbors are
   // scored with one gathered batch and offered in adjacency order, which
@@ -198,6 +265,9 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     for (const Neighbor& nb : graph_.NeighborsOf(pool[next].id)) {
       if (stamp[nb.id] == epoch) continue;
       stamp[nb.id] = epoch;
+      // Stale edges may still reference tombstones until the next purge
+      // sweep — skip them without scoring.
+      if (dead_[nb.id]) continue;
       pending.push_back(nb.id);
       pending_rows.push_back(points_.Row(nb.id));
     }
@@ -307,11 +377,34 @@ void OnlineKnnGraph::PlanRow(const Matrix& rows, std::size_t batch_begin,
 }
 
 std::uint32_t OnlineKnnGraph::CommitRow(const Matrix& rows, std::size_t r,
+                                        std::size_t snapshot_n,
+                                        const std::vector<std::uint32_t>& batch_ids,
                                         PlannedInsert& plan,
                                         std::vector<std::uint32_t>* touched) {
   const float* x = rows.Row(r);
-  const std::uint32_t id = graph_.AddNode();
-  points_.AppendRow(x);
+  // Slot allocation: reclaim the lowest free slot (keeps the arena dense)
+  // before growing. A reclaimed slot has an empty neighbor list and no
+  // in-edges (the purge sweep guarantees both), so overwriting its vector
+  // makes it an ordinary fresh node.
+  std::uint32_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();  // descending order: back is the lowest slot
+    free_slots_.pop_back();
+    dead_[id] = 0;
+    points_.SetRow(id, x);
+  } else {
+    id = graph_.AddNode();
+    points_.AppendRow(x);
+    dead_.push_back(0);
+  }
+  last_inserted_ = id;
+
+  // Plans encode sub-batch predecessors as virtual ids >= the snapshot
+  // arena size (walk candidates are always below it); resolve them to the
+  // ids those rows actually received — slot reuse makes them non-contiguous.
+  for (Neighbor& nb : plan.cand) {
+    if (nb.id >= snapshot_n) nb.id = batch_ids[nb.id - snapshot_n];
+  }
 
   // Forward edges: the kappa closest candidates become the new node's list.
   const std::size_t take = plan.take;
@@ -392,18 +485,21 @@ std::uint32_t OnlineKnnGraph::Insert(
 std::uint32_t OnlineKnnGraph::InsertBatch(
     const Matrix& rows, ThreadPool* pool,
     std::vector<std::uint32_t>* touched,
-    const std::vector<std::vector<std::uint32_t>>* seed_hints) {
+    const std::vector<std::vector<std::uint32_t>>* seed_hints,
+    std::vector<std::uint32_t>* assigned) {
   GKM_CHECK_MSG(rows.cols() == points_.cols(), "batch dimension mismatch");
   GKM_CHECK_MSG(seed_hints == nullptr || seed_hints->size() == rows.rows(),
                 "one seed-hint vector per row required");
-  const auto first_id = static_cast<std::uint32_t>(points_.rows());
   const std::size_t total = rows.rows();
+  if (total == 0) return kNoSlot;
   const std::size_t slots =
       pool != nullptr ? std::max<std::size_t>(pool->num_threads(), 1) : 1;
   EnsureScratch(slots);
 
+  std::uint32_t first_id = kNoSlot;
   std::vector<PlannedInsert> plans;
   std::vector<std::uint64_t> row_seeds;
+  std::vector<std::uint32_t> batch_ids;
   std::size_t begin = 0;
   while (begin < total) {
     // Exact phase: single-row sub-batches, so every brute-force scan sees
@@ -411,6 +507,9 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
     const std::size_t width = points_.rows() <= params_.bootstrap
                                   ? 1
                                   : std::min(kSubBatch, total - begin);
+    // Arena size the sub-batch's plans are made against: predecessor rows
+    // are encoded as virtual ids at or above it (see CommitRow).
+    const std::size_t snapshot_n = points_.rows();
     // One serial rng_ draw per row, in row order: the only RNG consumption
     // of the batch, so thread count cannot perturb the stream.
     row_seeds.resize(width);
@@ -439,8 +538,13 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
     }
     {
       std::unique_lock<std::shared_mutex> write_guard(mu_.mu);
+      batch_ids.clear();
       for (std::size_t i = 0; i < width; ++i) {
-        CommitRow(rows, begin + i, plans[i], touched);
+        const std::uint32_t id = CommitRow(rows, begin + i, snapshot_n,
+                                           batch_ids, plans[i], touched);
+        batch_ids.push_back(id);
+        if (first_id == kNoSlot) first_id = id;
+        if (assigned != nullptr) assigned->push_back(id);
       }
     }
     begin += width;
@@ -452,6 +556,95 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
                    touched->end());
   }
   return first_id;
+}
+
+void OnlineKnnGraph::Remove(std::uint32_t id,
+                            std::vector<std::uint32_t>* repaired) {
+  std::unique_lock<std::shared_mutex> guard(mu_.mu);
+  GKM_CHECK_MSG(id < points_.rows(), "Remove of an out-of-range id");
+  GKM_CHECK_MSG(dead_[id] == 0, "Remove of an already-removed id");
+
+  // Snapshot the live out-neighborhood before tombstoning: these nodes are
+  // both the likely in-edge owners (reverse repair made most edges mutual)
+  // and the replacement candidates for each other. Ascending id order keeps
+  // the repair deterministic regardless of heap layout.
+  std::vector<std::uint32_t> ring;
+  for (const Neighbor& nb : graph_.NeighborsOf(id)) {
+    if (dead_[nb.id] == 0) ring.push_back(nb.id);
+  }
+  std::sort(ring.begin(), ring.end());
+
+  dead_[id] = 1;
+  InsertSorted(pending_dead_, id);
+  graph_.ClearList(id);
+  if (last_inserted_ == id) {
+    // The walk's recency seed must stay live; fall back to "none" (random
+    // seeds still cover the corpus) until the next insert re-establishes it.
+    last_inserted_ = kNoSlot;
+  }
+
+  // In-edge repair, reusing the local-join machinery of the insert path:
+  // drop the ring's edges to the dead node and cross-link the ring with
+  // exact distances, so a node that loses its bridge through `id` is
+  // re-attached to the rest of the neighborhood directly. In-edges from
+  // outside the ring stay as stale tombstone references — walks skip them
+  // and the amortized purge below erases them in bulk.
+  const std::size_t d = points_.cols();
+  for (const std::uint32_t r : ring) {
+    bool changed = graph_.RemoveNeighbor(r, id);
+    for (const std::uint32_t s : ring) {
+      if (s == r) continue;
+      const float dist = L2Sqr(points_.Row(r), points_.Row(s), d);
+      changed = graph_.Update(r, s, dist) || changed;
+    }
+    if (changed && repaired != nullptr) repaired->push_back(r);
+  }
+  if (repaired != nullptr) {
+    std::sort(repaired->begin(), repaired->end());
+    repaired->erase(std::unique(repaired->begin(), repaired->end()),
+                    repaired->end());
+  }
+
+  if (pending_dead_.size() >= kPurgeMinPending &&
+      pending_dead_.size() * kPurgeDenominator >= points_.rows()) {
+    PurgeTombstonesLocked();
+  }
+}
+
+void OnlineKnnGraph::CompactTombstones() {
+  std::unique_lock<std::shared_mutex> guard(mu_.mu);
+  PurgeTombstonesLocked();
+}
+
+void OnlineKnnGraph::PurgeTombstonesLocked() {
+  if (pending_dead_.empty()) return;
+  // One sweep over every live list: drop edges whose target is tombstoned.
+  // Degree lost here is not refilled — the Remove-time join already
+  // repaired the neighborhood, and subsequent inserts' reverse-edge repair
+  // keeps lists converging — so the sweep stays pure deletion, O(n*kappa).
+  const std::size_t n = points_.rows();
+  std::vector<Neighbor> kept;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead_[i]) continue;
+    const std::vector<Neighbor>& items = graph_.NeighborsOf(i);
+    bool stale = false;
+    for (const Neighbor& nb : items) stale = stale || dead_[nb.id] != 0;
+    if (!stale) continue;
+    kept.clear();
+    for (const Neighbor& nb : items) {
+      if (dead_[nb.id] == 0) kept.push_back(nb);
+    }
+    graph_.SetList(i, kept);
+  }
+  // Every tombstone is now unreferenced: hand the slots to the allocator
+  // (both inputs merged descending, matching the free list's order).
+  std::vector<std::uint32_t> merged;
+  merged.reserve(free_slots_.size() + pending_dead_.size());
+  std::merge(free_slots_.begin(), free_slots_.end(), pending_dead_.rbegin(),
+             pending_dead_.rend(), std::back_inserter(merged),
+             std::greater<std::uint32_t>());
+  free_slots_ = std::move(merged);
+  pending_dead_.clear();
 }
 
 std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,

@@ -92,6 +92,25 @@ struct AdaptiveSeedState {
   std::uint64_t audit_tick = 0;  ///< inserts observed (audit cadence cursor)
 };
 
+/// Deletion bookkeeping of the online graph, persisted through checkpoints
+/// (GKMC v3) so a resumed stream reproduces slot reuse bit-exact. Slots move
+/// through three states: alive -> tombstoned (`pending_dead`: walks skip
+/// them, stale in-edges may still reference them) -> reclaimed
+/// (`free_slots`: all in-edges purged by compaction, slot awaits reuse by a
+/// later insert). Both lists are kept sorted ascending.
+struct RemovalState {
+  /// The "no such slot" sentinel shared by every consumer of slot ids
+  /// (walk recency seed, checkpoint serialization): one definition, so
+  /// the persisted value cannot drift between writer and reader.
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  std::vector<std::uint32_t> pending_dead;  ///< tombstoned, not yet purged
+  std::vector<std::uint32_t> free_slots;    ///< purged, reusable
+  /// Slot id of the most recently committed insert (each walk seeds it:
+  /// streams are locally correlated). kNoSlot when nothing was inserted.
+  std::uint32_t last_inserted = kNoSlot;
+};
+
 namespace internal {
 
 /// std::shared_mutex held by value in a copyable class: copies and moves
@@ -113,8 +132,9 @@ struct CopyableSharedMutex {
 /// streaming replay test relies on; the RNG state round-trips through
 /// checkpoints so restarts continue the same stream.
 ///
-/// Concurrency model: one ingest thread calls Insert/InsertBatch; any
-/// number of serving threads call SearchKnn concurrently with it. Ingest
+/// Concurrency model: one ingest thread calls Insert/InsertBatch/Remove/
+/// CompactTombstones; any number of serving threads call SearchKnn
+/// concurrently with it. Ingest
 /// holds a reader-writer lock — shared while walks read the graph, unique
 /// only for the serial commit phase — so searches interleave with the
 /// expensive part of ingest and block only during edge application.
@@ -125,16 +145,38 @@ class OnlineKnnGraph {
 
   /// Re-assembles a structure from checkpointed parts. `rng` must be the
   /// snapshot taken alongside the parts for insertions to continue
-  /// bit-exact, and `seeds` the adaptive-policy state captured with it.
+  /// bit-exact, `seeds` the adaptive-policy state captured with it, and
+  /// `removal` the deletion bookkeeping (empty for pre-deletion
+  /// checkpoints: every slot alive, last insert = highest id).
   OnlineKnnGraph(Matrix points, KnnGraph graph, const OnlineGraphParams& params,
                  const RngSnapshot& rng,
-                 const AdaptiveSeedState& seeds = AdaptiveSeedState());
+                 const AdaptiveSeedState& seeds = AdaptiveSeedState(),
+                 const RemovalState& removal = RemovalState());
 
-  /// Number of stored points. Safe to call from serving threads while an
-  /// ingest is running (monotonically non-decreasing).
+  /// Number of arena slots (== the exclusive upper bound on node ids).
+  /// Removal tombstones a slot without shrinking the arena, so this is
+  /// monotonically non-decreasing; see num_alive() for the live count.
+  /// Safe to call from serving threads while an ingest is running.
   std::size_t size() const {
     std::shared_lock<std::shared_mutex> guard(mu_.mu);
     return points_.rows();
+  }
+  /// Number of live (non-tombstoned) points. Safe during ingest.
+  std::size_t num_alive() const {
+    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    return points_.rows() - pending_dead_.size() - free_slots_.size();
+  }
+  /// Whether slot `id` currently holds a live point. Safe during ingest.
+  bool IsAlive(std::uint32_t id) const {
+    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    return id < dead_.size() && dead_[id] == 0;
+  }
+  /// Unsynchronized variant, mirroring points()/graph(): for the ingest
+  /// thread (the only writer of the flags — its own reads cannot race) or
+  /// quiescent use. Avoids one lock round-trip per slot in O(n) sweeps
+  /// like TTL expiry. Serving threads must use IsAlive.
+  bool IsAliveUnlocked(std::uint32_t id) const {
+    return id < dead_.size() && dead_[id] == 0;
   }
   std::size_t dim() const { return points_.cols(); }
   /// Direct views of the stores. Unsynchronized: for quiescent use only
@@ -145,6 +187,8 @@ class OnlineKnnGraph {
   RngSnapshot rng_state() const { return rng_.Snapshot(); }
   /// Adaptive-policy snapshot for checkpointing. Safe during ingest.
   AdaptiveSeedState seed_state() const;
+  /// Deletion-bookkeeping snapshot for checkpointing. Safe during ingest.
+  RemovalState removal_state() const;
   /// Entry points currently used per walk (adapts; see AdaptiveSeedState).
   /// Safe to poll from serving/monitoring threads during ingest.
   std::size_t live_num_seeds() const {
@@ -166,8 +210,10 @@ class OnlineKnnGraph {
                        std::vector<std::uint32_t>* touched = nullptr,
                        const std::vector<std::uint32_t>* seed_hints = nullptr);
 
-  /// Batch insert of every row of `rows` (ids are assigned contiguously in
-  /// row order; the first id is returned). Candidate walks run
+  /// Batch insert of every row of `rows`. Ids are assigned in row order —
+  /// reclaimed slots first (lowest id first, keeping the arena dense), then
+  /// fresh appends; the first row's id is returned and `assigned`, when
+  /// non-null, receives every row's id in order. Candidate walks run
   /// thread-parallel on `pool` (nullptr or a single-thread pool runs them
   /// inline) against a frozen snapshot of the graph, then edges are
   /// committed serially in row order — the result is bit-identical at any
@@ -176,7 +222,31 @@ class OnlineKnnGraph {
   std::uint32_t InsertBatch(
       const Matrix& rows, ThreadPool* pool,
       std::vector<std::uint32_t>* touched = nullptr,
-      const std::vector<std::vector<std::uint32_t>>* seed_hints = nullptr);
+      const std::vector<std::vector<std::uint32_t>>* seed_hints = nullptr,
+      std::vector<std::uint32_t>* assigned = nullptr);
+
+  /// Tombstones point `id` (which must be alive): concurrent SearchKnn and
+  /// SearchKnnBatch readers skip it from then on without blocking, and its
+  /// in-edges within the 1-hop neighborhood are routed through a repair
+  /// pass that cross-links the removed node's neighbors with each other
+  /// (the same local-join machinery the insert path uses), so the
+  /// neighborhood stays connected once the node drops out. Stale in-edges
+  /// from further away remain until the amortized compaction pass — walks
+  /// ignore them. Ids of nodes whose lists changed are appended to
+  /// `repaired` (sorted, deduplicated) when non-null.
+  ///
+  /// Must be called from the ingest thread (it serializes with commits
+  /// under the writer lock). Deterministic: the graph remains a pure
+  /// function of the interleaved insert/remove sequence.
+  void Remove(std::uint32_t id,
+              std::vector<std::uint32_t>* repaired = nullptr);
+
+  /// Purges every edge pointing at a tombstoned slot (one O(n*kappa)
+  /// sweep) and moves those slots to the reusable free list, so later
+  /// inserts fill them instead of growing the arena. Runs automatically
+  /// once tombstones reach a fixed fraction of the arena; public for
+  /// callers that want the sweep at a quiet moment. Ingest-thread only.
+  void CompactTombstones();
 
   /// Approximate top-k nearest existing points to `q` via the same bounded
   /// graph walk the insert path uses, seeded with the adaptive entry-point
@@ -229,11 +299,19 @@ class OnlineKnnGraph {
                const std::vector<std::uint32_t>* seed_hints,
                SearchScratch& scratch, PlannedInsert& plan) const;
 
-  /// Serial phase of one row: node allocation, forward/reverse edges,
-  /// local join from the precomputed table, adaptive-policy bookkeeping.
+  /// Serial phase of one row: slot allocation (reclaimed slots first),
+  /// forward/reverse edges, local join from the precomputed table,
+  /// adaptive-policy bookkeeping. Candidate ids at or above `snapshot_n`
+  /// are sub-batch predecessors and resolve through `batch_ids` (the ids
+  /// already committed for earlier rows of the sub-batch).
   std::uint32_t CommitRow(const Matrix& rows, std::size_t r,
+                          std::size_t snapshot_n,
+                          const std::vector<std::uint32_t>& batch_ids,
                           PlannedInsert& plan,
                           std::vector<std::uint32_t>* touched);
+
+  /// Unlocked core of CompactTombstones; requires the writer lock.
+  void PurgeTombstonesLocked();
 
   /// Folds one audit verdict into the failure EWMA and adjusts the live
   /// seed count when the rate crosses a policy threshold.
@@ -244,6 +322,19 @@ class OnlineKnnGraph {
   OnlineGraphParams params_;
   Matrix points_;
   KnnGraph graph_;
+  // Per-slot tombstone flags (1 = dead), always sized to the arena. Walks
+  // and the brute-force phase skip dead slots; serving readers only ever
+  // see a slot flip alive->dead under the writer lock.
+  std::vector<std::uint8_t> dead_;
+  // Tombstoned slots not yet purged (stale in-edges may reference them),
+  // sorted ascending, and purged slots awaiting reuse, sorted DESCENDING
+  // so the lowest-slot-first reuse policy is an O(1) pop_back even after
+  // a mass expiry frees a whole window. (RemovalState serializes both
+  // ascending; the constructor and removal_state() convert.)
+  std::vector<std::uint32_t> pending_dead_;
+  std::vector<std::uint32_t> free_slots_;
+  // Most recently committed insert (see RemovalState::last_inserted).
+  std::uint32_t last_inserted_ = RemovalState::kNoSlot;
   Rng rng_;
   // Adaptive entry-point policy (see "Adaptive seed policy" in the .cc).
   std::size_t live_seeds_ = 0;

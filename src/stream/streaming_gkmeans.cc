@@ -46,11 +46,12 @@ StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
     : params_(snap.params),
       pool_(std::make_unique<ThreadPool>(snap.params.ingest_threads)),
       graph_(std::move(snap.points), std::move(snap.graph), snap.params.graph,
-             snap.graph_rng, snap.seed_state),
+             snap.graph_rng, snap.seed_state, snap.removal),
       labels_(std::move(snap.labels)),
       state_(graph_.dim(), snap.params.k),
       prev_centroids_(std::move(snap.prev_centroids)),
       cluster_reps_(std::move(snap.cluster_reps)),
+      birth_window_(std::move(snap.birth_windows)),
       rng_(snap.params.seed),
       windows_(snap.windows),
       bootstrapped_(snap.bootstrapped),
@@ -60,15 +61,28 @@ StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
                 "labels/points size mismatch in snapshot");
   if (cluster_reps_.empty()) cluster_reps_.assign(params_.k, kUnassigned);
   GKM_CHECK(cluster_reps_.size() == params_.k);
+  // Pre-deletion (v2) snapshots carry no birth windows: every slot counts
+  // as born at restore time, which a ttl_windows=0 model never reads.
+  if (birth_window_.empty()) birth_window_.assign(graph_.size(), windows_);
+  GKM_CHECK_MSG(birth_window_.size() == graph_.size(),
+                "snapshot birth-window count mismatch");
   // Snapshots come from untrusted files: validate every index that later
   // code uses unchecked, so a bit-flipped checkpoint aborts cleanly here
   // instead of corrupting the heap in an epoch loop.
-  for (const std::uint32_t l : labels_) {
-    GKM_CHECK_MSG(l < params_.k || (!bootstrapped_ && l == kUnassigned),
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const std::uint32_t l = labels_[i];
+    GKM_CHECK_MSG(l < params_.k || l == kUnassigned,
                   "snapshot label out of range");
+    GKM_CHECK_MSG(l != kUnassigned || !bootstrapped_ ||
+                      !graph_.IsAlive(static_cast<std::uint32_t>(i)),
+                  "live point unlabeled in bootstrapped snapshot");
+    GKM_CHECK_MSG(l == kUnassigned ||
+                      graph_.IsAlive(static_cast<std::uint32_t>(i)),
+                  "tombstoned slot still labeled in snapshot");
   }
   for (const std::uint32_t rep : cluster_reps_) {
-    GKM_CHECK_MSG(rep == kUnassigned || rep < graph_.size(),
+    GKM_CHECK_MSG(rep == kUnassigned ||
+                      (rep < graph_.size() && graph_.IsAlive(rep)),
                   "snapshot cluster representative out of range");
   }
   std::uint64_t total = 0;
@@ -93,6 +107,13 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
   ws.window = static_cast<std::size_t>(windows_);
   ws.points = window.rows();
 
+  // TTL expiry runs before ingest, against the window cursor the points
+  // were aged by — so a checkpoint cut between windows resumes with the
+  // exact same expiry schedule. Nodes whose lists the removal repair
+  // touched join the window's re-optimization scope below.
+  std::vector<std::uint32_t> touched;
+  ws.expired = ExpireTtl(&touched);
+
   // Centroids snapshotted at window start: they steer both insert routing
   // and the nearest-centroid assignment fallback.
   const bool was_bootstrapped = bootstrapped_;
@@ -113,17 +134,20 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
 
   // Batched graph ingest: walks fan out over the pool against a frozen
   // snapshot, edges commit serially — bit-identical at any thread count.
-  std::vector<std::uint32_t> touched;
-  const std::uint32_t first_id = graph_.InsertBatch(
-      window, pool_.get(), &touched, use_hints ? &hints : nullptr);
-  labels_.resize(labels_.size() + rows, kUnassigned);
-  std::vector<std::uint32_t> fresh(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    fresh[r] = first_id + static_cast<std::uint32_t>(r);
+  // Removals make assigned ids non-contiguous (reclaimed slots come
+  // first), so the graph reports them explicitly.
+  std::vector<std::uint32_t> fresh;
+  graph_.InsertBatch(window, pool_.get(), &touched,
+                     use_hints ? &hints : nullptr, &fresh);
+  labels_.resize(graph_.size(), kUnassigned);
+  birth_window_.resize(graph_.size(), windows_);
+  for (const std::uint32_t id : fresh) {
+    labels_[id] = kUnassigned;  // reclaimed slots carry no stale label
+    birth_window_[id] = windows_;
   }
 
   if (!bootstrapped_) {
-    if (graph_.size() >= params_.bootstrap_min) Bootstrap();
+    if (graph_.num_alive() >= params_.bootstrap_min) Bootstrap();
   } else {
     for (const std::uint32_t id : fresh) AssignNew(id, centroids);
 
@@ -145,7 +169,7 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
     SplitMergeMaintain(ws);
   }
 
-  if (bootstrapped_) ws.distortion = state_.Distortion();
+  if (bootstrapped_ && state_.n() > 0) ws.distortion = state_.Distortion();
   ++windows_;
   if (params_.history_limit > 0 && history_.size() >= params_.history_limit) {
     history_.pop_front();
@@ -158,18 +182,32 @@ void StreamingGkMeans::Bootstrap() {
   TwoMeansParams tp;
   tp.k = params_.k;
   tp.bisect_epochs = params_.bisect_epochs;
-  labels_ = TwoMeansTree(data, tp, rng_);
-  state_.Rebuild(data, labels_);
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    cluster_reps_[labels_[i]] = static_cast<std::uint32_t>(i);
+  const std::vector<std::uint32_t> alive = AliveIds();
+  if (alive.size() == data.rows()) {
+    // No pre-bootstrap removals: cluster the arena in place.
+    labels_ = TwoMeansTree(data, tp, rng_);
+    state_.Rebuild(data, labels_);
+  } else {
+    // Pre-bootstrap removals left tombstoned slots in the arena: cluster a
+    // compacted copy of the live rows, then scatter the labels back.
+    Matrix live(alive.size(), data.cols());
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      live.SetRow(i, data.Row(alive[i]));
+    }
+    const std::vector<std::uint32_t> live_labels =
+        TwoMeansTree(live, tp, rng_);
+    state_.Rebuild(live, live_labels);
+    labels_.assign(data.rows(), kUnassigned);
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      labels_[alive[i]] = live_labels[i];
+    }
+  }
+  for (const std::uint32_t i : alive) {
+    cluster_reps_[labels_[i]] = i;
   }
   bootstrapped_ = true;
 
-  std::vector<std::uint32_t> all(graph_.size());
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    all[i] = static_cast<std::uint32_t>(i);
-  }
-  RunEpochs(all, params_.bootstrap_epochs, nullptr);
+  RunEpochs(alive, params_.bootstrap_epochs, nullptr);
   prev_centroids_ = state_.Centroids();
 }
 
@@ -243,14 +281,22 @@ std::size_t StreamingGkMeans::RunEpochs(const std::vector<std::uint32_t>& ids,
     std::size_t moves = 0;
     for (const std::uint32_t i : order) {
       const std::uint32_t u = labels_[i];
+      // Tombstoned slots (and same-window unassigned ids a caller might
+      // pass) own no composite statistics — skip before indexing by label.
+      if (u == kUnassigned) continue;
       if (state_.CountOf(u) < 2) continue;
       // The graph mutates between windows, so neighbor rows are fetched
       // live rather than flattened once as in the batch algorithm (into a
       // reused buffer — this runs once per visited sample per epoch).
       graph_.graph().SortedNeighborsInto(i, nbr_scratch_);
       const std::vector<Neighbor>& sorted = nbr_scratch_;
-      const std::size_t take = std::min(kappa, sorted.size());
-      for (std::size_t j = 0; j < take; ++j) nbr[j] = sorted[j].id;
+      // Unlabeled neighbors (stale edges to tombstones awaiting the purge
+      // sweep, or same-window inserts) contribute no candidate cluster.
+      std::size_t take = 0;
+      for (std::size_t j = 0; j < sorted.size() && take < kappa; ++j) {
+        if (labels_[sorted[j].id] == kUnassigned) continue;
+        nbr[take++] = sorted[j].id;
+      }
       for (std::size_t j = take; j < kappa; ++j) nbr[j] = kUnassigned;
       ++cur_stamp_;
       HarvestCandidates(nbr.data(), kappa, labels_, u, stamp_, cur_stamp_,
@@ -497,16 +543,62 @@ void StreamingGkMeans::SplitMergeMaintain(WindowStats& ws) {
 
 void StreamingGkMeans::Consolidate(std::size_t epochs) {
   GKM_CHECK_MSG(bootstrapped_, "Consolidate before bootstrap");
-  std::vector<std::uint32_t> all(graph_.size());
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    all[i] = static_cast<std::uint32_t>(i);
-  }
+  const std::vector<std::uint32_t> all = AliveIds();
   WindowStats scratch;
   for (std::size_t e = 0; e < epochs; ++e) {
     RunEpochs(all, 1, nullptr);
     SplitMergeMaintain(scratch);
   }
   prev_centroids_ = state_.Centroids();
+}
+
+std::vector<std::uint32_t> StreamingGkMeans::AliveIds() const {
+  // Ingest-thread context: unlocked flag reads, not one lock round-trip
+  // per slot (labels_ is sized to the arena, so no size() lock either).
+  std::vector<std::uint32_t> ids;
+  ids.reserve(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    if (graph_.IsAliveUnlocked(id)) ids.push_back(id);
+  }
+  return ids;
+}
+
+void StreamingGkMeans::RetirePoint(std::uint32_t id,
+                                   std::vector<std::uint32_t>* repaired) {
+  if (labels_[id] != kUnassigned) {
+    state_.RemovePoint(graph_.points().Row(id), labels_[id]);
+    labels_[id] = kUnassigned;
+  }
+  // A representative must stay a live routable node; the cluster regains
+  // one on its next assignment or move.
+  for (std::uint32_t& rep : cluster_reps_) {
+    if (rep == id) rep = kUnassigned;
+  }
+  graph_.Remove(id, repaired);
+}
+
+void StreamingGkMeans::RemovePoint(std::uint32_t id) {
+  GKM_CHECK_MSG(id < labels_.size() && graph_.IsAliveUnlocked(id),
+                "RemovePoint of a dead or out-of-range id");
+  RetirePoint(id, nullptr);
+}
+
+std::size_t StreamingGkMeans::ExpireTtl(
+    std::vector<std::uint32_t>* repaired) {
+  if (params_.ttl_windows == 0 || windows_ < params_.ttl_windows) return 0;
+  const std::uint64_t cutoff = windows_ - params_.ttl_windows;
+  std::size_t expired = 0;
+  // Unlocked liveness reads: this O(arena) sweep runs on the ingest thread
+  // before every window, and per-slot lock round-trips would contend with
+  // concurrent searches for no benefit (only this thread flips the flags).
+  for (std::size_t i = 0; i < birth_window_.size(); ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    if (!graph_.IsAliveUnlocked(id) || birth_window_[i] > cutoff) continue;
+    RetirePoint(id, repaired);
+    ++expired;
+  }
+  return expired;
 }
 
 ClusteringResult StreamingGkMeans::Result() const {
@@ -538,6 +630,8 @@ StreamSnapshot StreamingGkMeans::Snapshot() const {
   s.rng = rng_.Snapshot();
   s.graph_rng = graph_.rng_state();
   s.seed_state = graph_.seed_state();
+  s.removal = graph_.removal_state();
+  s.birth_windows = birth_window_;
   return s;
 }
 

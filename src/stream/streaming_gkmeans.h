@@ -63,6 +63,12 @@ struct StreamingGkMeansParams {
   /// to that), so their representative routes the walk where random entry
   /// points rarely land.
   std::size_t route_hints = 8;
+  /// Per-window time-to-live: a point ingested in window w is retired at
+  /// the start of window w + ttl_windows (its graph node tombstoned, its
+  /// cluster statistics decremented). 0 disables expiry. The windowed-churn
+  /// setting of Debatty et al.'s online graph building: the model tracks a
+  /// sliding corpus instead of an ever-growing one.
+  std::size_t ttl_windows = 0;
   /// Diagnostics retained: history() keeps the stats of the most recent
   /// this-many windows (the stream is unbounded; the process must not be).
   std::size_t history_limit = 4096;
@@ -84,6 +90,7 @@ struct WindowStats {
   std::size_t drifted = 0;      ///< clusters beyond the drift threshold
   std::size_t reseeded = 0;     ///< empty clusters re-seeded
   std::size_t split_merges = 0; ///< split/merge maintenance ops executed
+  std::size_t expired = 0;      ///< points retired by TTL this window
   double max_drift = 0.0;       ///< max centroid shift / RMS radius
   double distortion = 0.0;      ///< E (Eqn. 4) over all points so far
 };
@@ -109,6 +116,8 @@ struct StreamSnapshot {
   RngSnapshot rng;                        ///< clusterer RNG
   RngSnapshot graph_rng;                  ///< online-graph RNG
   AdaptiveSeedState seed_state;           ///< online-graph adaptive seeds
+  RemovalState removal;                   ///< online-graph deletion state
+  std::vector<std::uint64_t> birth_windows; ///< per-slot ingest window (TTL)
 };
 
 /// Online GK-means over an unbounded stream of fixed-dimension vectors.
@@ -126,16 +135,31 @@ class StreamingGkMeans {
   /// graph().SearchKnn concurrently with this.
   void ObserveWindow(const Matrix& window);
 
-  /// Runs `epochs` Delta-I epochs over *all* points — the periodic
+  /// Explicitly retires point `id` (which must be alive): its graph node
+  /// is tombstoned (concurrent searches skip it without blocking), its
+  /// neighborhood repaired, and — when bootstrapped — its cluster's
+  /// composite statistics decremented. A cluster emptied by removals is
+  /// re-seeded by the next window's maintenance pass. Ingest-thread only.
+  /// Deterministic: the model stays a pure function of the interleaved
+  /// window/remove sequence, which delta-checkpoint replay relies on.
+  void RemovePoint(std::uint32_t id);
+
+  /// Runs `epochs` Delta-I epochs over *all* live points — the periodic
   /// consolidation a server can schedule off-peak. Cost O(n kappa d).
   void Consolidate(std::size_t epochs);
 
   std::size_t dim() const { return graph_.dim(); }
+  /// Arena slots (== exclusive upper bound on point ids); removals do not
+  /// shrink it. points_alive() is the live count.
   std::size_t points_seen() const { return graph_.size(); }
+  std::size_t points_alive() const { return graph_.num_alive(); }
   std::size_t windows_seen() const { return windows_; }
   bool bootstrapped() const { return bootstrapped_; }
   const OnlineKnnGraph& graph() const { return graph_; }
+  /// Per-slot labels; tombstoned slots hold UINT32_MAX ("unassigned").
   const std::vector<std::uint32_t>& labels() const { return labels_; }
+  /// Read-only view of the composite-vector statistics (live points only).
+  const ClusterState& cluster_state() const { return state_; }
   /// Per-window diagnostics, most recent `history_limit` windows only.
   const std::deque<WindowStats>& history() const { return history_; }
   const StreamingGkMeansParams& params() const { return params_; }
@@ -177,6 +201,18 @@ class StreamingGkMeans {
   void DriftAndReseed(const std::vector<std::uint32_t>& touched,
                       WindowStats& ws);
 
+  /// Shared removal path of RemovePoint and TTL expiry: cluster statistics,
+  /// labels, representative invalidation, then the graph tombstone.
+  void RetirePoint(std::uint32_t id, std::vector<std::uint32_t>* repaired);
+
+  /// Retires every point whose TTL elapsed as of the current window cursor;
+  /// returns how many, appending repair-touched node ids to `repaired`.
+  /// Ascending id order (deterministic).
+  std::size_t ExpireTtl(std::vector<std::uint32_t>* repaired);
+
+  /// Ids of all live points, ascending — the scope of full epochs.
+  std::vector<std::uint32_t> AliveIds() const;
+
   /// Bounded ISODATA-style restructuring: merge the cheapest cluster pair,
   /// split the highest-SSE cluster in two. Runs at most
   /// max_splits_per_window times per call.
@@ -194,6 +230,9 @@ class StreamingGkMeans {
   /// a walk entry point when inserting nearby new points. Staleness after
   /// relabeling is harmless — a hint is a routing aid, not an invariant.
   std::vector<std::uint32_t> cluster_reps_;
+  /// Window index each slot's point was ingested in (TTL bookkeeping;
+  /// resized with the arena, stale for reclaimed slots until reuse).
+  std::vector<std::uint64_t> birth_window_;
   Rng rng_;
   std::uint64_t windows_ = 0;
   bool bootstrapped_ = false;

@@ -80,11 +80,35 @@ std::string BuildGoldenCheckpoint() {
   return ReadFileBytes(path);
 }
 
-// Captured from the pre-kernel-layer scalar implementation (see file
-// comment). Both halves of the pin matter: the size catches layout drift,
-// the hash catches numeric drift.
-constexpr std::uint64_t kGoldenHash = 0x8a78c3a019750edaULL;
-constexpr std::size_t kGoldenSize = 124687;
+// Captured from the GKMC v3 layout (deletion/TTL + delta checkpoints PR).
+// Both halves of the pin matter: the size catches layout drift, the hash
+// catches numeric drift.
+constexpr std::uint64_t kGoldenHash = 0xb56ab723d22ad176ULL;
+constexpr std::size_t kGoldenSize = 131923;
+
+// The original golden, captured from the pre-kernel-layer scalar
+// implementation against the v2 layout. The v2 *projection* of a v3 file
+// (drop the appended ttl_windows param and the removal block, rewrite the
+// version word) must still hit it bit-for-bit: v3 appended fields, it did
+// not change a single number the v2 format carried.
+constexpr std::uint64_t kGoldenHashV2 = 0x8a78c3a019750edaULL;
+constexpr std::size_t kGoldenSizeV2 = 124687;
+
+// v3 layout arithmetic for the projection (see docs/checkpoint-format.md):
+// the params block is 19 u64-sized fields at offset 8 with ttl_windows
+// last, and the removal block before the 4-byte trailer is two empty id
+// lists, a u32 last-inserted slot, and one u64 birth window per point.
+std::string ProjectToV2(const std::string& v3, std::size_t n_points) {
+  const std::size_t ttl_begin = 8 + 18 * 8;
+  const std::size_t removal = 8 + 8 + 4 + 8 + 8 * n_points;
+  std::string out = v3.substr(0, 4);
+  const std::uint32_t v2 = 2;
+  out.append(reinterpret_cast<const char*>(&v2), 4);
+  out += v3.substr(8, ttl_begin - 8);
+  out += v3.substr(ttl_begin + 8, v3.size() - 4 - removal - (ttl_begin + 8));
+  out += v3.substr(v3.size() - 4);
+  return out;
+}
 
 TEST(CheckpointGolden, StreamingPipelineBytesAreBitStable) {
   const std::string bytes = BuildGoldenCheckpoint();
@@ -96,6 +120,12 @@ TEST(CheckpointGolden, StreamingPipelineBytesAreBitStable) {
   }
   EXPECT_EQ(bytes.size(), kGoldenSize);
   EXPECT_EQ(hash, kGoldenHash);
+}
+
+TEST(CheckpointGolden, V2ProjectionStillMatchesPreKernelGolden) {
+  const std::string projected = ProjectToV2(BuildGoldenCheckpoint(), 900);
+  EXPECT_EQ(projected.size(), kGoldenSizeV2);
+  EXPECT_EQ(Fnv1a64(projected), kGoldenHashV2);
 }
 
 // A second, independent determinism property: two identical runs in one

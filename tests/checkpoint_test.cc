@@ -75,6 +75,19 @@ std::string TempPath(const char* name) {
   return ::testing::TempDir() + "/" + name;
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
 TEST(CheckpointTest, SaveLoadRoundTripRestoresIdenticalState) {
   const SyntheticData data = StreamData(1000);
   StreamingGkMeans model(kDim, SmallParams());
@@ -133,6 +146,205 @@ TEST(CheckpointTest, PreBootstrapCheckpointRoundTrips) {
   back.ObserveWindow(more.vectors);
   EXPECT_TRUE(model.bootstrapped());
   ExpectIdenticalState(model, back);
+}
+
+TEST(CheckpointTest, RemovalStateRoundTripsAndContinuesBitExact) {
+  // Churn the stream (tombstones, repair, slot reuse), checkpoint, and
+  // require the resumed model to finish an identical churned tail —
+  // deletion state is model state, not an approximation.
+  const SyntheticData data = StreamData(1600);
+  StreamingGkMeans uninterrupted(kDim, SmallParams());
+  auto churn = [](StreamingGkMeans& model, const Matrix& rows) {
+    for (std::size_t b = 0; b < rows.rows(); b += 200) {
+      model.ObserveWindow(SliceRows(rows, b, std::min(b + 200, rows.rows())));
+      for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+        if (id % 5 == 2 && model.graph().IsAlive(id)) model.RemovePoint(id);
+      }
+    }
+  };
+  churn(uninterrupted, SliceRows(data.vectors, 0, 800));
+  ASSERT_LT(uninterrupted.points_alive(), uninterrupted.points_seen());
+
+  const std::string path = TempPath("removal.ckpt");
+  SaveStreamCheckpoint(path, uninterrupted);
+  StreamingGkMeans resumed = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+
+  const RemovalState a = uninterrupted.graph().removal_state();
+  const RemovalState b = resumed.graph().removal_state();
+  EXPECT_EQ(a.pending_dead, b.pending_dead);
+  EXPECT_EQ(a.free_slots, b.free_slots);
+  EXPECT_EQ(a.last_inserted, b.last_inserted);
+
+  churn(uninterrupted, SliceRows(data.vectors, 800, 1600));
+  churn(resumed, SliceRows(data.vectors, 800, 1600));
+  ExpectIdenticalState(uninterrupted, resumed);
+}
+
+TEST(CheckpointTest, TtlExpiryContinuesAcrossResume) {
+  // A point's TTL clock is its birth window, which must survive the
+  // checkpoint: the resumed model has to expire exactly the same points in
+  // exactly the same windows as the uninterrupted one.
+  const SyntheticData data = StreamData(2000);
+  StreamingGkMeansParams p = SmallParams();
+  p.ttl_windows = 4;
+  StreamingGkMeans uninterrupted(kDim, p);
+  Feed(uninterrupted, SliceRows(data.vectors, 0, 1200), 200);
+  // TTL is live by now: the sliding corpus is smaller than the stream.
+  ASSERT_LT(uninterrupted.points_alive(), 1200u);
+
+  const std::string path = TempPath("ttl.ckpt");
+  SaveStreamCheckpoint(path, uninterrupted);
+  StreamingGkMeans resumed = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(resumed.points_alive(), uninterrupted.points_alive());
+
+  Feed(uninterrupted, SliceRows(data.vectors, 1200, 2000), 200);
+  Feed(resumed, SliceRows(data.vectors, 1200, 2000), 200);
+  ExpectIdenticalState(uninterrupted, resumed);
+  EXPECT_EQ(uninterrupted.points_alive(), resumed.points_alive());
+  EXPECT_EQ(uninterrupted.history().back().expired,
+            resumed.history().back().expired);
+}
+
+TEST(CheckpointTest, DeltaChainResumeMatchesFullSnapshotByteForByte) {
+  // The incremental-checkpoint contract: base + journal replay must land on
+  // the *identical* model a full snapshot would store — proven by comparing
+  // the full checkpoints of both, byte for byte.
+  const SyntheticData data = StreamData(1600);
+  StreamingGkMeansParams p = SmallParams();
+  p.ttl_windows = 5;  // internal TTL removals need no journal records
+  StreamingGkMeans model(kDim, p);
+  Feed(model, SliceRows(data.vectors, 0, 800), 200);
+
+  const std::string base = TempPath("delta_base.ckpt");
+  const std::string delta = TempPath("delta_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  for (std::size_t b = 800; b < 1600; b += 200) {
+    const Matrix window = SliceRows(data.vectors, b, b + 200);
+    log.AppendWindow(window);
+    model.ObserveWindow(window);
+    // Journal an explicit removal alongside the windows.
+    for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+      if (id % 11 == 3 && model.graph().IsAlive(id)) {
+        log.AppendRemoval(id);
+        model.RemovePoint(id);
+        break;
+      }
+    }
+    log.AppendStateCheck(model);
+  }
+
+  StreamingGkMeans resumed = ResumeStreamCheckpoint(base, delta);
+  const std::string full_a = TempPath("delta_full_a.ckpt");
+  const std::string full_b = TempPath("delta_full_b.ckpt");
+  SaveStreamCheckpoint(full_a, model);
+  SaveStreamCheckpoint(full_b, resumed);
+  EXPECT_EQ(ReadFileBytes(full_a), ReadFileBytes(full_b));
+
+  // Compact folds the journal into a fresh base: resuming the compacted
+  // pair reproduces the same model with nothing left to replay.
+  log.Compact(model);
+  StreamingGkMeans compacted = ResumeStreamCheckpoint(base, delta);
+  SaveStreamCheckpoint(full_a, compacted);
+  EXPECT_EQ(ReadFileBytes(full_a), ReadFileBytes(full_b));
+
+  for (const std::string& f : {base, delta, full_a, full_b}) {
+    std::remove(f.c_str());
+  }
+}
+
+TEST(CheckpointTest, DeltaResumeWithoutJournalLoadsBase) {
+  const SyntheticData data = StreamData(600);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 200);
+  const std::string base = TempPath("lone_base.ckpt");
+  SaveStreamCheckpoint(base, model);
+  StreamingGkMeans resumed =
+      ResumeStreamCheckpoint(base, TempPath("no_such.gkmd"));
+  ExpectIdenticalState(model, resumed);
+  std::remove(base.c_str());
+}
+
+TEST(CheckpointTest, DeltaResumeRejectsMismatchedBase) {
+  // Replaying a journal onto the wrong base would silently corrupt the
+  // model; the header's base hash must catch it at load time. (The one
+  // tolerated mismatch — a base strictly AHEAD of the journal's anchor,
+  // the interrupted-Compact shape — is covered separately below; a
+  // same-cursor foreign base must still be an error.)
+  const SyntheticData data = StreamData(1000);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 600), 200);
+
+  const std::string base = TempPath("mismatch_base.ckpt");
+  const std::string delta = TempPath("mismatch_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  const Matrix window = SliceRows(data.vectors, 600, 800);
+  log.AppendWindow(window);
+  model.ObserveWindow(window);
+
+  // A foreign model with the same window cursor as the journal's anchor:
+  // the hash mismatch cannot be explained by an interrupted Compact.
+  const SyntheticData other = StreamData(600, 4242);
+  StreamingGkMeans foreign(kDim, SmallParams());
+  Feed(foreign, other.vectors, 200);
+  ASSERT_EQ(foreign.windows_seen(), 3u);  // == journal anchor
+  SaveStreamCheckpoint(base, foreign);
+  std::string error;
+  EXPECT_FALSE(TryResumeStreamCheckpoint(base, delta, &error).has_value());
+  EXPECT_NE(error.find("does not match"), std::string::npos) << error;
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST(CheckpointTest, InterruptedCompactResumesFromTheNewBase) {
+  // Compact renames the new base into place before rewriting the journal.
+  // Simulate a crash in that window — new base on disk, stale journal
+  // still present — and require resume to recognize the shape and treat
+  // the base as authoritative rather than failing on the hash mismatch.
+  const SyntheticData data = StreamData(1200);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 600), 200);
+
+  const std::string base = TempPath("compact_base.ckpt");
+  const std::string delta = TempPath("compact_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  const Matrix window = SliceRows(data.vectors, 600, 800);
+  log.AppendWindow(window);
+  model.ObserveWindow(window);
+  const std::string stale_journal = ReadFileBytes(delta);
+
+  log.Compact(model);
+  // Put the pre-compact journal back: exactly the crash-window state.
+  std::FILE* f = std::fopen(delta.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(stale_journal.data(), 1, stale_journal.size(), f),
+            stale_journal.size());
+  std::fclose(f);
+
+  StreamingGkMeans resumed = ResumeStreamCheckpoint(base, delta);
+  ExpectIdenticalState(model, resumed);
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST(CheckpointTest, DeltaResumeRejectsUnknownRecordTag) {
+  const SyntheticData data = StreamData(600);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 200);
+  const std::string base = TempPath("tag_base.ckpt");
+  const std::string delta = TempPath("tag_journal.gkmd");
+  { StreamDeltaLog log(base, delta, model); }
+  std::FILE* f = std::fopen(delta.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc('X', f);
+  std::fclose(f);
+  std::string error;
+  EXPECT_FALSE(TryResumeStreamCheckpoint(base, delta, &error).has_value());
+  EXPECT_NE(error.find("unknown delta journal record"), std::string::npos)
+      << error;
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
 }
 
 // Overwrites 8 bytes at `offset` with `value` — for corrupting a specific

@@ -186,6 +186,50 @@ TEST(ClusterStateTest, MergeClustersPreservesInvariants) {
   EXPECT_DOUBLE_EQ(state.SumPointNormSqr(), sum_norms);
 }
 
+TEST(ClusterStateTest, RemovePointUndoesAddPoint) {
+  // The streaming deletion path: retiring a subset must land on the same
+  // statistics as never having admitted it (up to double rounding of the
+  // +=/-= pair).
+  const SyntheticData data = SmallData(120, 6);
+  Rng rng(11);
+  const auto labels = BalancedRandomLabels(120, 8, rng);
+
+  ClusterState survivors(6, 8);
+  ClusterState churned(6, 8);
+  for (std::size_t i = 0; i < 120; ++i) {
+    churned.AddPoint(data.vectors.Row(i), labels[i]);
+    if (i % 3 != 0) survivors.AddPoint(data.vectors.Row(i), labels[i]);
+  }
+  for (std::size_t i = 0; i < 120; ++i) {
+    if (i % 3 == 0) churned.RemovePoint(data.vectors.Row(i), labels[i]);
+  }
+  EXPECT_EQ(churned.n(), survivors.n());
+  EXPECT_EQ(churned.counts(), survivors.counts());
+  EXPECT_NEAR(churned.Distortion(), survivors.Distortion(),
+              1e-9 * (1.0 + survivors.Distortion()));
+  EXPECT_NEAR(churned.SumPointNormSqr(), survivors.SumPointNormSqr(),
+              1e-9 * (1.0 + survivors.SumPointNormSqr()));
+}
+
+TEST(ClusterStateTest, RemovePointMayEmptyACluster) {
+  // Unlike BKM moves, decay is allowed to empty a cluster; the emptied
+  // cluster must contribute nothing and stay usable for re-seeding.
+  const SyntheticData data = SmallData(20, 4);
+  ClusterState state(4, 2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    state.AddPoint(data.vectors.Row(i), i < 5 ? 0 : 1);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    state.RemovePoint(data.vectors.Row(i), 0);
+  }
+  EXPECT_EQ(state.CountOf(0), 0u);
+  EXPECT_EQ(state.n(), 15u);
+  EXPECT_DOUBLE_EQ(state.ClusterSse(0), 0.0);
+  // Re-seeding drops a member back in.
+  state.AddPoint(data.vectors.Row(0), 0);
+  EXPECT_EQ(state.CountOf(0), 1u);
+}
+
 TEST(ClusterStateTest, RestoreRawReproducesStateExactly) {
   const SyntheticData data = SmallData(80, 5);
   Rng rng(5);

@@ -338,6 +338,226 @@ TEST(OnlineKnnGraphTest, BatchIngestKeepsRecallAtLeast08) {
   EXPECT_GE(GraphRecallAtK(g.graph(), truth, 10), 0.8);
 }
 
+TEST(OnlineKnnGraphTest, RemoveTombstonesNodeAndSearchSkipsIt) {
+  const SyntheticData data = StreamData(800);
+  OnlineGraphParams p;
+  p.kappa = 8;
+  p.beam_width = 32;
+  OnlineKnnGraph g = InsertAll(data.vectors, p);
+  ASSERT_EQ(g.num_alive(), 800u);
+
+  // Remove every 5th point; searches must never return a removed id.
+  std::vector<bool> removed(800, false);
+  for (std::uint32_t id = 0; id < 800; id += 5) {
+    g.Remove(id);
+    removed[id] = true;
+  }
+  EXPECT_EQ(g.size(), 800u);  // arena does not shrink
+  EXPECT_EQ(g.num_alive(), 800u - 160u);
+  EXPECT_FALSE(g.IsAlive(0));
+  EXPECT_TRUE(g.IsAlive(1));
+  SearchScratch scratch;
+  for (std::size_t q = 0; q < 800; q += 7) {
+    const auto got = g.SearchKnn(data.vectors.Row(q), 10, scratch);
+    ASSERT_FALSE(got.empty());
+    for (const Neighbor& nb : got) {
+      EXPECT_FALSE(removed[nb.id]) << "search returned removed id " << nb.id;
+    }
+  }
+}
+
+TEST(OnlineKnnGraphTest, RemoveReportsRepairedNeighborhood) {
+  const SyntheticData data = StreamData(600);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  OnlineKnnGraph g = InsertAll(data.vectors, p);
+  std::vector<std::uint32_t> repaired;
+  g.Remove(123, &repaired);
+  // The dead node's former neighbors were cross-linked (sorted unique).
+  EXPECT_FALSE(repaired.empty());
+  EXPECT_TRUE(std::is_sorted(repaired.begin(), repaired.end()));
+  EXPECT_EQ(std::adjacent_find(repaired.begin(), repaired.end()),
+            repaired.end());
+  for (const std::uint32_t r : repaired) {
+    EXPECT_TRUE(g.IsAlive(r));
+    // Repair removed the ring's edges to the dead node outright.
+    for (const Neighbor& nb : g.graph().NeighborsOf(r)) {
+      EXPECT_NE(nb.id, 123u);
+    }
+  }
+}
+
+TEST(OnlineKnnGraphTest, CompactionReclaimsSlotsAndKeepsArenaDense) {
+  const SyntheticData data = StreamData(400);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  OnlineKnnGraph g = InsertAll(data.vectors, p);
+
+  // Enough removals to cross the automatic purge threshold (>= 64 pending
+  // and >= 1/4 of the arena).
+  for (std::uint32_t id = 0; id < 300; id += 2) g.Remove(id);
+  RemovalState rs = g.removal_state();
+  EXPECT_FALSE(rs.free_slots.empty()) << "purge should have triggered";
+  // After an explicit compaction every tombstone is reclaimed and no live
+  // list references a dead slot.
+  g.CompactTombstones();
+  rs = g.removal_state();
+  EXPECT_TRUE(rs.pending_dead.empty());
+  EXPECT_EQ(rs.free_slots.size(), 150u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (!g.IsAlive(static_cast<std::uint32_t>(i))) {
+      EXPECT_TRUE(g.graph().NeighborsOf(i).empty());
+      continue;
+    }
+    for (const Neighbor& nb : g.graph().NeighborsOf(i)) {
+      EXPECT_TRUE(g.IsAlive(nb.id));
+    }
+  }
+
+  // Re-inserts reuse the freed slots lowest-first: the arena stays dense.
+  const SyntheticData more = StreamData(150, 77);
+  std::vector<std::uint32_t> assigned;
+  g.InsertBatch(more.vectors, nullptr, nullptr, nullptr, &assigned);
+  EXPECT_EQ(g.size(), 400u);
+  EXPECT_EQ(g.num_alive(), 400u);
+  ASSERT_EQ(assigned.size(), 150u);
+  EXPECT_EQ(assigned.front(), 0u);  // lowest free slot first
+  EXPECT_TRUE(g.IsAlive(assigned.front()));
+}
+
+TEST(OnlineKnnGraphTest, ChurnIsDeterministicAcrossThreadCounts) {
+  // The determinism contract extended to deletion: an identical interleaved
+  // insert/remove sequence commits an identical graph and removal state
+  // whether walks run serial or on a pool.
+  const SyntheticData data = StreamData(1200);
+  OnlineGraphParams p;
+  p.kappa = 8;
+  p.beam_width = 32;
+  ThreadPool pool(4);
+  OnlineKnnGraph serial(16, p);
+  OnlineKnnGraph parallel(16, p);
+
+  const std::size_t window = 300;
+  for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+    const Matrix slice =
+        SliceRows(data.vectors, b, std::min(b + window, data.vectors.rows()));
+    serial.InsertBatch(slice, nullptr);
+    parallel.InsertBatch(slice, &pool);
+    // Remove a deterministic third of the window just ingested.
+    for (std::uint32_t id = 0; id < serial.size(); ++id) {
+      if (id % 9 == 3 && serial.IsAlive(id)) {
+        serial.Remove(id);
+        parallel.Remove(id);
+      }
+    }
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial.num_alive(), parallel.num_alive());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.graph().SortedNeighbors(i),
+              parallel.graph().SortedNeighbors(i))
+        << "node " << i;
+  }
+  const RemovalState rs = serial.removal_state();
+  const RemovalState rp = parallel.removal_state();
+  EXPECT_EQ(rs.pending_dead, rp.pending_dead);
+  EXPECT_EQ(rs.free_slots, rp.free_slots);
+  EXPECT_EQ(rs.last_inserted, rp.last_inserted);
+}
+
+TEST(OnlineKnnGraphTest, RestoreFromPartsWithRemovalStateContinuesExact) {
+  const SyntheticData data = StreamData(500);
+  OnlineGraphParams p;
+  p.kappa = 6;
+  p.beam_width = 24;
+  OnlineKnnGraph g = InsertAll(data.vectors, p);
+  for (std::uint32_t id = 0; id < 200; id += 3) g.Remove(id);
+
+  OnlineKnnGraph back(g.points(), g.graph(), p, g.rng_state(), g.seed_state(),
+                      g.removal_state());
+  ASSERT_EQ(back.size(), g.size());
+  EXPECT_EQ(back.num_alive(), g.num_alive());
+
+  // Continued churn behaves identically on both instances.
+  const SyntheticData more = StreamData(120, 99);
+  for (std::size_t i = 0; i < more.vectors.rows(); ++i) {
+    g.Insert(more.vectors.Row(i));
+    back.Insert(more.vectors.Row(i));
+    if (i % 4 == 0) {
+      const std::uint32_t victim = static_cast<std::uint32_t>(i) * 2 + 1;
+      if (g.IsAlive(victim)) {
+        g.Remove(victim);
+        back.Remove(victim);
+      }
+    }
+  }
+  ASSERT_EQ(back.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(back.graph().SortedNeighbors(i), g.graph().SortedNeighbors(i));
+  }
+  const RemovalState ra = g.removal_state();
+  const RemovalState rb = back.removal_state();
+  EXPECT_EQ(ra.pending_dead, rb.pending_dead);
+  EXPECT_EQ(ra.free_slots, rb.free_slots);
+  EXPECT_EQ(ra.last_inserted, rb.last_inserted);
+}
+
+TEST(OnlineKnnGraphTest, ChurnKeepsServingRecall) {
+  // Remove 30% of a multi-modal corpus, backfill with fresh points, and
+  // require the serving path to keep recall@10 >= 0.8 against brute force
+  // over the survivors — the repair join plus reverse-edge refill must
+  // hold the graph together through churn.
+  const SyntheticData data = StreamData(2000);
+  const SyntheticData queries = StreamData(100, 321);
+  OnlineGraphParams p;
+  p.kappa = 10;
+  p.beam_width = 48;
+  p.num_seeds = 64;
+  ThreadPool pool(4);
+  OnlineKnnGraph g(16, p);
+  const std::size_t window = 500;
+  for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+    g.InsertBatch(
+        SliceRows(data.vectors, b, std::min(b + window, data.vectors.rows())),
+        &pool);
+  }
+  for (std::uint32_t id = 0; id < 2000; ++id) {
+    if (id % 10 < 3) g.Remove(id);
+  }
+  const SyntheticData refill = StreamData(600, 654);
+  g.InsertBatch(refill.vectors, &pool);
+  EXPECT_EQ(g.num_alive(), 2000u);
+
+  // Brute-force truth over the live points, mapped back to graph ids.
+  std::vector<std::uint32_t> alive_ids;
+  Matrix alive(0, 16);
+  for (std::uint32_t id = 0; id < g.size(); ++id) {
+    if (!g.IsAlive(id)) continue;
+    alive_ids.push_back(id);
+    alive.AppendRow(g.points().Row(id));
+  }
+  const auto truth = BruteForceSearch(alive, queries.vectors, 10);
+  std::size_t hit = 0, want = 0;
+  SearchScratch scratch;
+  for (std::size_t q = 0; q < queries.vectors.rows(); ++q) {
+    const auto got = g.SearchKnn(queries.vectors.Row(q), 10, scratch);
+    want += truth[q].size();
+    for (const Neighbor& t : truth[q]) {
+      for (const Neighbor& r : got) {
+        if (r.id == alive_ids[t.id]) {
+          ++hit;
+          break;
+        }
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(hit) / static_cast<double>(want);
+  EXPECT_GE(recall, 0.8) << "post-churn serving recall too low";
+}
+
 TEST(OnlineKnnGraphTest, AdaptiveSeedsStayWithinPolicyBounds) {
   const SyntheticData data = StreamData(2000);
   OnlineGraphParams p;

@@ -146,6 +146,92 @@ TEST(StreamConcurrencyTest, SearchKnnStaysCorrectDuringIngest) {
   EXPECT_EQ(model.points_seen(), 3000u);
 }
 
+TEST(StreamConcurrencyTest, RemovalsDuringConcurrentSearchesStayWellFormed) {
+  // Deletion under fire: serving threads hammer SearchKnn while the ingest
+  // thread interleaves window ingest with point removals (tombstoning,
+  // neighborhood repair, and eventually a purge sweep all happen under the
+  // writer lock this test races against; the TSan CI job checks it).
+  const SyntheticData data = StreamData(2400);
+  const SyntheticData queries = StreamData(64, 77);
+  StreamingGkMeans model(kDim, SmallParams(2));
+  model.ObserveWindow(SliceRows(data.vectors, 0, 600));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> searches{0};
+  std::atomic<bool> ok{true};
+  auto serve = [&]() {
+    SearchScratch scratch;
+    std::size_t q = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const float* query = queries.vectors.Row(q % queries.vectors.rows());
+      const auto got = model.graph().SearchKnn(query, 10, scratch);
+      const std::size_t bound = model.graph().size();
+      // Results must stay well-formed mid-churn. (A returned id may be
+      // tombstoned immediately after the search returns, so liveness of
+      // the ids cannot be asserted here — only shape and bounds.)
+      bool good = got.size() <= 10;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        good = good && got[i].id < bound && got[i].dist >= 0.0f;
+        if (i > 0) good = good && got[i - 1].dist <= got[i].dist;
+      }
+      if (!good) ok.store(false);
+      searches.fetch_add(1);
+      ++q;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 2; ++t) servers.emplace_back(serve);
+  const std::size_t window = 300;
+  for (std::size_t b = 600; b < data.vectors.rows(); b += window) {
+    model.ObserveWindow(
+        SliceRows(data.vectors, b, std::min(b + window, data.vectors.rows())));
+    // Retire a deterministic slice of the corpus between windows — enough
+    // churn to cross the purge threshold while searches are in flight.
+    for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+      if (id % 7 == 2 && model.graph().IsAlive(id)) model.RemovePoint(id);
+    }
+  }
+  stop.store(true);
+  for (auto& t : servers) t.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(searches.load(), 0u);
+  EXPECT_LT(model.points_alive(), model.points_seen());
+}
+
+TEST(StreamConcurrencyTest, ChurnedStreamCheckpointsIdenticalAcrossThreads) {
+  // Deletion extends the determinism contract: an identical interleaved
+  // window/remove sequence must serialize byte-identically at any ingest
+  // thread count — slot reuse, tombstone purges and all.
+  const SyntheticData data = StreamData(2000);
+  StreamingGkMeans serial(kDim, SmallParams(1));
+  StreamingGkMeans parallel(kDim, SmallParams(4));
+  auto churn = [&](StreamingGkMeans& model) {
+    const std::size_t window = 250;
+    for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+      model.ObserveWindow(SliceRows(data.vectors, b,
+                                    std::min(b + window, data.vectors.rows())));
+      for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+        if (id % 6 == 1 && model.graph().IsAlive(id)) model.RemovePoint(id);
+      }
+    }
+  };
+  churn(serial);
+  churn(parallel);
+
+  EXPECT_EQ(serial.labels(), parallel.labels());
+  const std::string serial_path = ::testing::TempDir() + "/churn_serial.ckpt";
+  const std::string parallel_path =
+      ::testing::TempDir() + "/churn_parallel.ckpt";
+  SaveStreamCheckpoint(serial_path, serial);
+  SaveStreamCheckpoint(parallel_path, parallel);
+  EXPECT_EQ(ReadFileBytes(serial_path), ReadFileBytes(parallel_path));
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
+}
+
 TEST(StreamConcurrencyTest, AdaptiveSeedStateSurvivesCheckpointResume) {
   const SyntheticData data = StreamData(2000);
   StreamingGkMeans model(kDim, SmallParams(2));

@@ -141,6 +141,78 @@ TEST(StreamingGkMeansTest, WindowStatsAccumulate) {
   EXPECT_GT(last.distortion, 0.0);
 }
 
+TEST(StreamingGkMeansTest, RemovePointRetiresClusterMembership) {
+  const SyntheticData data = StreamData(1000);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 250);
+  ASSERT_TRUE(model.bootstrapped());
+
+  const std::uint32_t victim = 17;
+  const std::uint32_t c = model.labels()[victim];
+  ASSERT_LT(c, SmallParams().k);
+  const std::uint32_t count_before = model.cluster_state().CountOf(c);
+  const std::size_t alive_before = model.points_alive();
+
+  model.RemovePoint(victim);
+  EXPECT_EQ(model.labels()[victim],
+            std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(model.cluster_state().CountOf(c), count_before - 1);
+  EXPECT_EQ(model.points_alive(), alive_before - 1);
+  EXPECT_FALSE(model.graph().IsAlive(victim));
+  // The composite bookkeeping stays exactly consistent: n tracks alive.
+  EXPECT_EQ(model.cluster_state().n(), model.points_alive());
+}
+
+TEST(StreamingGkMeansTest, DecayedEmptyClusterIsReseededNextWindow) {
+  const SyntheticData data = StreamData(1400);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 1000), 250);
+  ASSERT_TRUE(model.bootstrapped());
+
+  // Decay one cluster to empty by removing every member.
+  const std::uint32_t target = 3;
+  for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+    if (model.graph().IsAlive(id) && model.labels()[id] == target) {
+      model.RemovePoint(id);
+    }
+  }
+  ASSERT_EQ(model.cluster_state().CountOf(target), 0u);
+
+  // The next window's maintenance pass must re-seed it.
+  model.ObserveWindow(SliceRows(data.vectors, 1000, 1400));
+  EXPECT_GT(model.cluster_state().CountOf(target), 0u);
+  EXPECT_GE(model.history().back().reseeded, 1u);
+}
+
+TEST(StreamingGkMeansTest, TtlBoundsTheLiveCorpus) {
+  // With a per-window TTL the model tracks a sliding corpus: the live
+  // count is bounded by ttl_windows * window size while the arena is
+  // bounded too (slot reuse), and the model keeps clustering sanely.
+  const SyntheticData data = StreamData(3000);
+  StreamingGkMeansParams p = SmallParams();
+  p.ttl_windows = 3;
+  StreamingGkMeans model(kDim, p);
+  Feed(model, data.vectors, 250);
+
+  EXPECT_LE(model.points_alive(), 3u * 250u);
+  EXPECT_GT(model.points_alive(), 0u);
+  // Slot reuse keeps the arena within one window of the live bound.
+  EXPECT_LE(model.points_seen(), 4u * 250u + 250u);
+  EXPECT_GT(model.history().back().expired, 0u);
+  if (model.bootstrapped() && model.cluster_state().n() > 0) {
+    EXPECT_GT(model.Distortion(), 0.0);
+  }
+  // Labels of live points stay in range; dead slots are unassigned.
+  for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+    if (model.graph().IsAlive(id)) {
+      if (model.bootstrapped()) EXPECT_LT(model.labels()[id], p.k);
+    } else {
+      EXPECT_EQ(model.labels()[id],
+                std::numeric_limits<std::uint32_t>::max());
+    }
+  }
+}
+
 TEST(StreamingGkMeansTest, RejectsDimensionMismatch) {
   StreamingGkMeans model(kDim, SmallParams());
   Matrix wrong(10, kDim + 1);

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+# Copyright 2026 The gkmeans Authors.
+"""Internal link checker for the docs suite.
+
+Scans README.md and docs/*.md for markdown links, verifies that every
+relative link resolves to an existing file, and that every `#fragment`
+(on a relative link or an intra-document anchor) matches a heading in
+the target file using GitHub's anchor rules. External links (scheme://)
+are not fetched. Exits non-zero listing every broken reference — the CI
+docs job runs this so cross-references cannot rot silently.
+
+Usage: tools/check_docs_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug: lowercase, drop punctuation,
+    spaces to hyphens (inline code/emphasis markers stripped)."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def links_of(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    doc_files = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        doc_files += sorted(
+            os.path.join(docs_dir, f)
+            for f in os.listdir(docs_dir)
+            if f.endswith(".md")
+        )
+
+    errors = []
+    checked = 0
+    for doc in doc_files:
+        if not os.path.isfile(doc):
+            errors.append(f"{doc}: listed doc file missing")
+            continue
+        base = os.path.dirname(doc)
+        for lineno, target in links_of(doc):
+            if re.match(r"^[a-z][a-z0-9+.-]*://", target) or target.startswith(
+                "mailto:"
+            ):
+                continue  # external
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(os.path.join(base, path_part))
+                if not os.path.exists(dest):
+                    errors.append(
+                        f"{os.path.relpath(doc, root)}:{lineno}: broken link "
+                        f"-> {target} (no such file)"
+                    )
+                    continue
+            else:
+                dest = doc  # intra-document anchor
+            if fragment:
+                if not dest.endswith(".md"):
+                    continue  # cannot verify anchors in non-markdown targets
+                if github_anchor(fragment) not in anchors_of(dest):
+                    errors.append(
+                        f"{os.path.relpath(doc, root)}:{lineno}: broken anchor "
+                        f"-> {target} (no heading '#{fragment}' in "
+                        f"{os.path.relpath(dest, root)})"
+                    )
+
+    for e in errors:
+        print(e)
+    print(
+        f"checked {checked} internal links across {len(doc_files)} files: "
+        f"{len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
