@@ -118,6 +118,29 @@ void BM_L2SqrBatchGather(benchmark::State& state) {
 }
 BENCHMARK(BM_L2SqrBatchGather)->Arg(16)->Arg(48);
 
+// Cold gather: candidates scattered across an arena far larger than L2
+// cache, a fresh random set each iteration — the memory-bound shape of a
+// walk expansion over a big online graph, where the kernel's software
+// prefetch of the next block's rows pays (the 256-row case above is
+// cache-resident and measures pure compute).
+void BM_L2SqrBatchGatherCold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 128;
+  const std::size_t arena = 200000;  // ~100 MB of rows
+  const Matrix rows = RandomRows(arena, d, 5);
+  const Matrix q = RandomRows(1, d, 6);
+  Rng rng(7);
+  std::vector<const float*> ptrs(n);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) ptrs[i] = rows.Row(rng.Index(arena));
+    L2SqrBatchGather(q.Row(0), ptrs.data(), n, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * d);
+}
+BENCHMARK(BM_L2SqrBatchGatherCold)->Arg(16)->Arg(48)->Arg(256);
+
 // Many-to-many assignment: scalar NearestRow loop vs the blocked
 // dot-trick kernel with cached norms (the Lloyd/mini-batch hot path).
 void BM_NearestRow(benchmark::State& state) {

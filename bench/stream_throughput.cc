@@ -130,6 +130,56 @@ int main() {
                 scale_n, cores, static_cast<double>(scale_n) / secs1,
                 static_cast<double>(scale_n) / secs4, graph_speedup);
   }
+  // --- Sharded multi-writer ingest: 4 shards committed by 4 concurrent
+  // writer threads vs the single-shard single-writer path, both fanning
+  // their walks over the same 4-thread pool. Sharding parallelizes the
+  // serial commit fraction (and walks smaller per-shard graphs), so
+  // multi-writer ingest must clear 1.5x the single-shard rate wherever 4
+  // writers can actually run. Also re-checked: for a FIXED shard count the
+  // pool size changes nothing (per-shard edges byte-identical). ---
+  double shard_speedup = 0.0;
+  bool shard_identical = true;
+  {
+    gkm::ThreadPool pool1(1);
+    gkm::ThreadPool pool4(4);
+    gkm::OnlineGraphParams sg = sp.graph;
+    sg.shards = 1;
+    gkm::ShardedOnlineKnnGraph g1(dim, sg);
+    sg.shards = 4;
+    gkm::ShardedOnlineKnnGraph g4(dim, sg);
+    gkm::ShardedOnlineKnnGraph g4_serial(dim, sg);
+    gkm::Timer t1;
+    for (std::size_t b = 0; b < scale_n; b += window) {
+      g1.InsertBatch(gkm::SliceRows(data.vectors, b,
+                                    std::min(b + window, scale_n)), &pool4);
+    }
+    const double secs1 = t1.Seconds();
+    gkm::Timer t4;
+    for (std::size_t b = 0; b < scale_n; b += window) {
+      g4.InsertBatch(gkm::SliceRows(data.vectors, b,
+                                    std::min(b + window, scale_n)), &pool4);
+    }
+    const double secs4 = t4.Seconds();
+    for (std::size_t b = 0; b < scale_n; b += window) {
+      g4_serial.InsertBatch(gkm::SliceRows(data.vectors, b,
+                                           std::min(b + window, scale_n)),
+                            &pool1);
+    }
+    shard_speedup = secs1 / secs4;
+    for (std::size_t s = 0; s < 4 && shard_identical; ++s) {
+      const gkm::OnlineKnnGraph& a = g4.shard(s);
+      const gkm::OnlineKnnGraph& b = g4_serial.shard(s);
+      shard_identical = a.size() == b.size();
+      for (std::size_t i = 0; i < a.size() && shard_identical; ++i) {
+        shard_identical =
+            a.graph().SortedNeighbors(i) == b.graph().SortedNeighbors(i);
+      }
+    }
+    std::printf("sharded ingest (%zu points): single shard %.0f pts/s, "
+                "4 shards x 4 writers %.0f pts/s (%.2fx)\n",
+                scale_n, static_cast<double>(scale_n) / secs1,
+                static_cast<double>(scale_n) / secs4, shard_speedup);
+  }
   {
     gkm::StreamingGkMeansParams one = sp;
     one.ingest_threads = 1;
@@ -180,8 +230,8 @@ int main() {
               stream_secs, static_cast<double>(n) / stream_secs,
               consolidate_secs);
   std::printf("online graph: %zu nodes, %zu edges (degree %zu)\n",
-              model.graph().size(), model.graph().graph().NumEdges(),
-              model.graph().graph().k());
+              model.graph().size(), model.graph().shard(0).graph().NumEdges(),
+              model.graph().shard(0).graph().k());
   std::printf("checkpoint: save %.3fs, load %.3fs\n", save_secs, load_secs);
 
   gkm::bench::PrintSeriesHeader("window", "distortion", "streaming GK-means");
@@ -286,9 +336,24 @@ int main() {
                 "%.2g; measured %.2fx, pipeline %.2fx)\n",
                 cores, gkm::bench::Scale(), graph_speedup, pipeline_speedup);
   }
+  std::printf("  sharded ingest identical across pools:    %s\n",
+              shard_identical ? "PASS" : "FAIL");
+  // Multi-writer gate: needs 4 schedulable writers but NOT full scale —
+  // the sharded/unsharded comparison runs the same fixed workload, so the
+  // ratio is meaningful in reduced-scale CI smoke runs too.
+  const bool can_gate_shards = cores >= 4;
+  if (can_gate_shards) {
+    std::printf("  multi-writer >= 1.5x single shard (4T):   %s (%.2fx)\n",
+                shard_speedup >= 1.5 ? "PASS" : "FAIL", shard_speedup);
+  } else {
+    std::printf("  multi-writer >= 1.5x single shard (4T):   SKIP "
+                "(need >= 4 cores, have %zu; measured %.2fx)\n",
+                cores, shard_speedup);
+  }
   const bool pass = stream_e <= batch_e * 1.10 && identical &&
                     delta_identical && parallel_identical &&
-                    graph_identical &&
-                    (!can_gate_speedup || graph_speedup >= 2.0);
+                    graph_identical && shard_identical &&
+                    (!can_gate_speedup || graph_speedup >= 2.0) &&
+                    (!can_gate_shards || shard_speedup >= 1.5);
   return pass ? 0 : 1;
 }

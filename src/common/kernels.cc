@@ -92,6 +92,23 @@ inline double DotDFOne(const double* GKM_RESTRICT a,
   return s0 + s1;
 }
 
+// Software prefetch for the gathered L2 kernels. Gathered row pointers
+// come from graph-walk expansions — scattered arena slots the hardware
+// prefetcher sees no stream in — so each block hints the next block's rows
+// (first line plus the line one ahead, covering ~32 floats of a row)
+// while the current block's FLOPs hide the latency. Prefetch is
+// architecturally invisible: it cannot change a single result bit, so the
+// exact-kernel contract (kernels.h) is untouched; bench/micro_kernels's
+// cold-gather benches measure the effect.
+constexpr std::size_t kPrefetchLookahead = 2;  // blocks ahead per tier loop
+
+inline void PrefetchRows(const float* const* rows, std::size_t count) {
+  for (std::size_t r = 0; r < count; ++r) {
+    __builtin_prefetch(rows[r], 0, 1);
+    __builtin_prefetch(rows[r] + 16, 0, 1);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Scalar tier.
 // ---------------------------------------------------------------------------
@@ -103,7 +120,12 @@ void ScalarL2Strided(const float* q, const float* base, std::size_t stride,
 
 void ScalarL2Gather(const float* q, const float* const* rows, std::size_t n,
                     std::size_t d, float* out) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = L2One(q, rows[i], d);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchLookahead < n) {
+      PrefetchRows(rows + i + kPrefetchLookahead, 1);
+    }
+    out[i] = L2One(q, rows[i], d);
+  }
 }
 
 void ScalarDotDFGather(const float* q, const double* const* rows,
@@ -169,7 +191,12 @@ __attribute__((target("avx2,fma"))) void Avx2L2Gather(
     const float* q, const float* const* rows, std::size_t n, std::size_t d,
     float* out) {
   std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) Avx2L2Rows<4>(q, rows + i, d, out + i);
+  for (; i + 8 <= n; i += 8) {
+    if (i + 8 < n) {
+      PrefetchRows(rows + i + 8, std::min<std::size_t>(8, n - (i + 8)));
+    }
+    Avx2L2Rows<4>(q, rows + i, d, out + i);
+  }
   for (; i + 2 <= n; i += 2) Avx2L2Rows<1>(q, rows + i, d, out + i);
   for (; i < n; ++i) out[i] = L2One(q, rows[i], d);
 }
@@ -330,7 +357,12 @@ __attribute__((target("avx2,fma,avx512f"))) void Avx512L2Gather(
     const float* q, const float* const* rows, std::size_t n, std::size_t d,
     float* out) {
   std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) Avx512L2Rows<4>(q, rows + i, d, out + i);
+  for (; i + 16 <= n; i += 16) {
+    if (i + 16 < n) {
+      PrefetchRows(rows + i + 16, std::min<std::size_t>(16, n - (i + 16)));
+    }
+    Avx512L2Rows<4>(q, rows + i, d, out + i);
+  }
   for (; i + 4 <= n; i += 4) Avx512L2Rows<1>(q, rows + i, d, out + i);
   for (; i < n; ++i) out[i] = L2One(q, rows[i], d);
 }
@@ -484,6 +516,9 @@ void NeonL2Gather(const float* q, const float* const* rows, std::size_t n,
                   std::size_t d, float* out) {
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) {
+    if (i + 2 < n) {
+      PrefetchRows(rows + i + 2, std::min<std::size_t>(2, n - (i + 2)));
+    }
     NeonL2RowPair(q, rows[i], rows[i + 1], d, out + i);
   }
   for (; i < n; ++i) out[i] = L2One(q, rows[i], d);

@@ -42,6 +42,31 @@ void ThreadPool::Wait() {
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+// Per-call completion latch: each ParallelFor* invocation counts down its
+// own tasks, so concurrent submitters on one pool never observe each
+// other's completion (the global in_flight_ counter behind Wait() cannot
+// distinguish owners).
+struct CallLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining;
+
+  explicit CallLatch(std::size_t n) : remaining(n) {}
+
+  void CountDown() {
+    std::unique_lock<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Await() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
   if (end <= begin) return;
@@ -53,15 +78,17 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   }
   const std::size_t chunks = std::min(n, threads * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  const std::size_t live = (n + chunk - 1) / chunk;  // chunks actually issued
+  CallLatch latch(live);
+  for (std::size_t c = 0; c < live; ++c) {
     const std::size_t lo = begin + c * chunk;
-    if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk);
-    Submit([&fn, lo, hi] {
+    Submit([&fn, &latch, lo, hi] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
+      latch.CountDown();
     });
   }
-  Wait();
+  latch.Await();
 }
 
 void ThreadPool::ParallelForSlots(
@@ -78,15 +105,17 @@ void ThreadPool::ParallelForSlots(
   // per-slot caller state needs no locking.
   const std::size_t chunks = std::min(n, threads);
   const std::size_t chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  const std::size_t live = (n + chunk - 1) / chunk;
+  CallLatch latch(live);
+  for (std::size_t c = 0; c < live; ++c) {
     const std::size_t lo = begin + c * chunk;
-    if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk);
-    Submit([&fn, c, lo, hi] {
+    Submit([&fn, &latch, c, lo, hi] {
       for (std::size_t i = lo; i < hi; ++i) fn(c, i);
+      latch.CountDown();
     });
   }
-  Wait();
+  latch.Await();
 }
 
 void ThreadPool::WorkerLoop() {

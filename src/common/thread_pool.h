@@ -6,9 +6,14 @@
 // clustering algorithms themselves stay single-threaded to match the
 // paper's measurement protocol.
 //
-// The blocking helpers (Wait, ParallelFor*) assume a single submitting
-// thread per pool: Wait returns when *all* in-flight tasks finish, so two
-// threads fanning out on one pool would observe each other's completion.
+// ParallelFor/ParallelForSlots track completion with a per-call latch, so
+// any number of threads may fan out on one pool concurrently without
+// observing each other's completion — the sharded online graph runs one
+// per-shard ingest driver per writer thread over a single shared pool.
+// The submitting threads must not themselves be pool workers (a worker
+// blocking in a nested ParallelFor could deadlock the pool). The raw
+// Submit/Wait pair still assumes a single submitting thread: Wait returns
+// when *all* in-flight tasks finish, whoever submitted them.
 
 #ifndef GKM_COMMON_THREAD_POOL_H_
 #define GKM_COMMON_THREAD_POOL_H_
@@ -44,7 +49,8 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [begin, end), splitting the range into contiguous
   /// chunks across the pool, and blocks until done. Falls back to inline
-  /// execution for trivially small ranges.
+  /// execution for trivially small ranges. Safe to call from several
+  /// (non-worker) threads concurrently on one pool.
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 
@@ -55,6 +61,9 @@ class ThreadPool {
   /// buffers) without any further synchronization. Coarser chunking than
   /// ParallelFor — slot affinity is traded against load balance. The inline
   /// fallback for small ranges or single-threaded pools uses slot 0.
+  /// Concurrent submitters each get the full slot range; per-slot state
+  /// must therefore be per-submitter too (as with the per-shard ingest
+  /// scratch in the sharded online graph).
   void ParallelForSlots(std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -18,8 +18,14 @@ constexpr char kDeltaMagic[4] = {'G', 'K', 'M', 'D'};
 // v2: adds the adaptive-seed state to the cursor block.
 // v3: adds ttl_windows to the params block and the removal block (graph
 //     tombstones, free slots, last-inserted slot, per-slot birth windows)
-//     before the trailer. v2 files still load; see ReadParams/ReadRemoval.
-constexpr std::uint32_t kVersion = 3;
+//     before the trailer. v2 files still load; see ReadParams.
+// v4: adds graph.shards to the params block and, between the removal block
+//     and the trailer, a shard section table (u64 shard count + one u64
+//     byte size per extra shard) followed by one section per shard beyond
+//     shard 0 (whose state occupies the v3-position sections, so an S=1
+//     file is the v3 layout plus 16 appended bytes). v2/v3 files load as
+//     S=1. See docs/checkpoint-format.md.
+constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kOldestReadable = 2;
 constexpr std::uint32_t kDeltaVersion = 1;
 
@@ -57,9 +63,12 @@ void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
   io::WriteRaw<std::uint64_t>(f, p.route_hints);
   io::WriteRaw<std::uint64_t>(f, p.history_limit);
   io::WriteRaw<std::uint64_t>(f, p.seed);
-  io::WriteRaw<std::uint64_t>(f, p.ttl_windows);  // v3+
+  io::WriteRaw<std::uint64_t>(f, p.ttl_windows);   // v3+
+  io::WriteRaw<std::uint64_t>(f, p.graph.shards);  // v4+
   // ingest_threads is deliberately not persisted: it is an execution knob
   // with no effect on results, and a resumed process sizes its own pool.
+  // graph.shards IS persisted: the shard count partitions the id space and
+  // the stream, so it is model state like any other.
 }
 
 StreamingGkMeansParams ReadParams(std::FILE* f, std::uint32_t version) {
@@ -90,6 +99,10 @@ StreamingGkMeansParams ReadParams(std::FILE* f, std::uint32_t version) {
   p.ttl_windows = version >= 3
                       ? static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f))
                       : 0;
+  // v2/v3 predate sharding: a single arena, i.e. S=1.
+  p.graph.shards = version >= 4
+                       ? static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f))
+                       : 1;
   return p;
 }
 
@@ -112,10 +125,50 @@ void WriteIdList(std::FILE* f, const std::vector<std::uint32_t>& ids) {
   io::WriteArray(f, ids.data(), ids.size());
 }
 
+// Exclusive upper bound on global ids encoded by the shard parts (via the
+// shared ShardedArenaBound invariant): the size the global-indexed blocks
+// (labels, birth windows) must match.
+std::size_t GlobalArenaBound(const std::vector<OnlineShardParts>& shards) {
+  std::vector<std::size_t> rows(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    rows[s] = shards[s].points.rows();
+  }
+  return ShardedArenaBound(rows.data(), rows.size());
+}
+
+// One extra-shard section (shards 1..S-1; shard 0 lives in the v3-position
+// sections): cursor-style RNG + adaptive seeds, then stores and removal
+// lists. Counterpart of ReadShardSection.
+void WriteShardSection(std::FILE* f, const OnlineShardParts& shard) {
+  WriteRng(f, shard.rng);
+  io::WriteRaw<std::uint64_t>(f, shard.seeds.live_seeds);
+  io::WriteRaw<double>(f, shard.seeds.fail_ewma);
+  io::WriteRaw<std::uint64_t>(f, shard.seeds.audit_tick);
+  io::WriteMatrix(f, shard.points);
+  shard.graph.SaveTo(f);
+  WriteIdList(f, shard.removal.pending_dead);
+  WriteIdList(f, shard.removal.free_slots);
+  io::WriteRaw<std::uint32_t>(f, shard.removal.last_inserted);
+}
+
+// Per-shard adaptive-seed sanity, applied to shard 0's cursor-block state
+// and to every extra shard section.
+const char* ValidateSeedState(const AdaptiveSeedState& seeds) {
+  if (seeds.live_seeds == 0 || seeds.live_seeds > (1u << 24)) {
+    return "checkpoint adaptive seed state out of range";
+  }
+  if (!(seeds.fail_ewma >= 0.0 && seeds.fail_ewma <= 1.0)) {
+    return "checkpoint adaptive failure rate out of range";
+  }
+  return nullptr;
+}
+
 // Mirrors the invariants the StreamingGkMeans/OnlineKnnGraph constructors
 // enforce with GKM_CHECK, so a malformed checkpoint surfaces as a load
 // error at the file boundary instead of an abort deep inside construction.
-// Returns nullptr when everything is sane.
+// Returns nullptr when everything is sane. (The shard count is validated
+// at its read site in TryLoadStreamCheckpoint — it gates a resize that
+// happens before params validation can run.)
 const char* ValidateLoadedParams(const StreamingGkMeansParams& p,
                                  const AdaptiveSeedState& seeds) {
   if (p.k < 2 || p.k > (1u << 24)) return "implausible checkpoint k";
@@ -138,13 +191,7 @@ const char* ValidateLoadedParams(const StreamingGkMeansParams& p,
   if (p.bootstrap_min <= 2 * p.k) {
     return "checkpoint bootstrap window too small for k";
   }
-  if (seeds.live_seeds == 0 || seeds.live_seeds > (1u << 24)) {
-    return "checkpoint adaptive seed state out of range";
-  }
-  if (!(seeds.fail_ewma >= 0.0 && seeds.fail_ewma <= 1.0)) {
-    return "checkpoint adaptive failure rate out of range";
-  }
-  return nullptr;
+  return ValidateSeedState(seeds);
 }
 
 // The removal block's lists index the arena unchecked later (tombstone
@@ -192,18 +239,24 @@ std::uint64_t StateDigest(const StreamingGkMeans& model) {
   return h;
 }
 
-// Hash of a whole file's bytes; false when unreadable.
-bool HashFileBytes(const std::string& path, std::uint64_t* out) {
+// Hash of a whole file's bytes; false when unreadable. `size_out` (when
+// non-null) receives the byte count — the auto-compaction policy's base
+// size comes along for free with the journal-binding hash.
+bool HashFileBytes(const std::string& path, std::uint64_t* out,
+                   std::size_t* size_out = nullptr) {
   std::FILE* raw = std::fopen(path.c_str(), "rb");
   if (raw == nullptr) return false;
   io::File f(raw);
   std::uint64_t h = kFnvSeed;
+  std::size_t total = 0;
   char buf[1 << 16];
   std::size_t got;
   while ((got = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
     h = FnvMix(h, buf, got);
+    total += got;
   }
   *out = h;
+  if (size_out != nullptr) *size_out = total;
   return true;
 }
 
@@ -212,22 +265,26 @@ bool HashFileBytes(const std::string& path, std::uint64_t* out) {
 void SaveStreamCheckpoint(const std::string& path,
                           const StreamingGkMeans& model) {
   const StreamSnapshot snap = model.Snapshot();
+  const OnlineShardParts& shard0 = snap.shards[0];
   io::File f = io::OpenOrDie(path, "wb");
 
   io::WriteArray(f.get(), kMagic, 4);
   io::WriteRaw<std::uint32_t>(f.get(), kVersion);
   WriteParams(f.get(), snap.params);
 
+  // Cursor block. The graph RNG/adaptive-seed fields at the v3 positions
+  // belong to shard 0 — for S=1 that IS the whole graph, which keeps the
+  // projected layout byte-identical to v3.
   io::WriteRaw<std::uint64_t>(f.get(), snap.windows);
   io::WriteRaw<std::uint8_t>(f.get(), snap.bootstrapped ? 1 : 0);
   WriteRng(f.get(), snap.rng);
-  WriteRng(f.get(), snap.graph_rng);
-  io::WriteRaw<std::uint64_t>(f.get(), snap.seed_state.live_seeds);
-  io::WriteRaw<double>(f.get(), snap.seed_state.fail_ewma);
-  io::WriteRaw<std::uint64_t>(f.get(), snap.seed_state.audit_tick);
+  WriteRng(f.get(), shard0.rng);
+  io::WriteRaw<std::uint64_t>(f.get(), shard0.seeds.live_seeds);
+  io::WriteRaw<double>(f.get(), shard0.seeds.fail_ewma);
+  io::WriteRaw<std::uint64_t>(f.get(), shard0.seeds.audit_tick);
 
-  io::WriteMatrix(f.get(), snap.points);
-  snap.graph.SaveTo(f.get());
+  io::WriteMatrix(f.get(), shard0.points);
+  shard0.graph.SaveTo(f.get());
   io::WriteRaw<std::uint64_t>(f.get(), snap.labels.size());
   io::WriteArray(f.get(), snap.labels.data(), snap.labels.size());
   io::WriteArray(f.get(), snap.cluster_reps.data(), snap.cluster_reps.size());
@@ -242,13 +299,40 @@ void SaveStreamCheckpoint(const std::string& path,
 
   io::WriteMatrix(f.get(), snap.prev_centroids);
 
-  // Removal block (v3): deletion bookkeeping + TTL birth windows.
-  WriteIdList(f.get(), snap.removal.pending_dead);
-  WriteIdList(f.get(), snap.removal.free_slots);
-  io::WriteRaw<std::uint32_t>(f.get(), snap.removal.last_inserted);
+  // Removal block (v3): shard 0's deletion bookkeeping (slot-local ids)
+  // plus the global TTL birth windows.
+  WriteIdList(f.get(), shard0.removal.pending_dead);
+  WriteIdList(f.get(), shard0.removal.free_slots);
+  io::WriteRaw<std::uint32_t>(f.get(), shard0.removal.last_inserted);
   io::WriteRaw<std::uint64_t>(f.get(), snap.birth_windows.size());
   io::WriteArray(f.get(), snap.birth_windows.data(),
                  snap.birth_windows.size());
+
+  // Shard section table (v4): shard count, one byte-size entry per extra
+  // shard (so readers and tools can skip sections), then the sections.
+  // Sizes are back-patched after the sections are written; the content is
+  // deterministic, so the patched bytes are too.
+  const std::size_t num_shards = snap.shards.size();
+  io::WriteRaw<std::uint64_t>(f.get(), num_shards);
+  const long table_pos = std::ftell(f.get());
+  GKM_CHECK(table_pos >= 0);
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    io::WriteRaw<std::uint64_t>(f.get(), 0);  // placeholder
+  }
+  std::vector<std::uint64_t> section_bytes;
+  section_bytes.reserve(num_shards > 0 ? num_shards - 1 : 0);
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    const long begin = std::ftell(f.get());
+    WriteShardSection(f.get(), snap.shards[s]);
+    const long end = std::ftell(f.get());
+    GKM_CHECK(begin >= 0 && end >= begin);
+    section_bytes.push_back(static_cast<std::uint64_t>(end - begin));
+  }
+  if (!section_bytes.empty()) {
+    GKM_CHECK(std::fseek(f.get(), table_pos, SEEK_SET) == 0);
+    io::WriteArray(f.get(), section_bytes.data(), section_bytes.size());
+    GKM_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
+  }
 
   io::WriteArray(f.get(), kTrailer, 4);
 }
@@ -276,23 +360,37 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
 
   StreamSnapshot snap;
   snap.params = ReadParams(f.get(), version);
+  const std::size_t num_shards = snap.params.graph.shards;
+  if (num_shards == 0 || num_shards > (1u << 16)) {
+    return fail("checkpoint shard count out of range");
+  }
+  snap.shards.resize(num_shards);
+  OnlineShardParts& shard0 = snap.shards[0];
   snap.windows = io::ReadRaw<std::uint64_t>(f.get());
   snap.bootstrapped = io::ReadRaw<std::uint8_t>(f.get()) != 0;
   snap.rng = ReadRng(f.get());
-  snap.graph_rng = ReadRng(f.get());
-  snap.seed_state.live_seeds = io::ReadRaw<std::uint64_t>(f.get());
-  snap.seed_state.fail_ewma = io::ReadRaw<double>(f.get());
-  snap.seed_state.audit_tick = io::ReadRaw<std::uint64_t>(f.get());
-  if (const char* msg = ValidateLoadedParams(snap.params, snap.seed_state)) {
+  shard0.rng = ReadRng(f.get());
+  shard0.seeds.live_seeds = io::ReadRaw<std::uint64_t>(f.get());
+  shard0.seeds.fail_ewma = io::ReadRaw<double>(f.get());
+  shard0.seeds.audit_tick = io::ReadRaw<std::uint64_t>(f.get());
+  if (const char* msg = ValidateLoadedParams(snap.params, shard0.seeds)) {
     return fail(msg);
   }
 
-  snap.points = io::ReadMatrix(f.get());
-  snap.graph = KnnGraph::LoadFrom(f.get());
+  shard0.points = io::ReadMatrix(f.get());
+  shard0.graph = KnnGraph::LoadFrom(f.get());
+  // Labels (and birth windows below) index the GLOBAL arena. With a single
+  // shard that equals shard 0's rows and is checked here; with more shards
+  // the bound depends on sections not read yet, so the exact check is
+  // deferred until after the shard table (a plausibility cap still guards
+  // the resize against a bit-flipped count).
   const auto n_labels =
       static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
-  if (n_labels != snap.points.rows()) {
+  if (num_shards == 1 && n_labels != shard0.points.rows()) {
     return fail("checkpoint label count does not match point count");
+  }
+  if (n_labels > (1ull << 40)) {
+    return fail("implausible checkpoint label count");
   }
   snap.labels.resize(n_labels);
   io::ReadArray(f.get(), snap.labels.data(), n_labels);
@@ -303,13 +401,13 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
   // Plausibility bound on the file-supplied state size, mirroring
   // io::ReadMatrix: a bit-flipped header must fail cleanly, not feed
   // resize() a terabyte-scale or size_t-wrapping request.
-  if (k * snap.points.cols() > (1ull << 40)) {
+  if (k * shard0.points.cols() > (1ull << 40)) {
     return fail("implausible checkpoint state size");
   }
   snap.n = io::ReadRaw<std::uint64_t>(f.get());
   snap.counts.resize(k);
   io::ReadArray(f.get(), snap.counts.data(), k);
-  snap.composites.resize(k * snap.points.cols());
+  snap.composites.resize(k * shard0.points.cols());
   io::ReadArray(f.get(), snap.composites.data(), snap.composites.size());
   snap.composite_norms.resize(k);
   io::ReadArray(f.get(), snap.composite_norms.data(), k);
@@ -320,30 +418,75 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
   snap.prev_centroids = io::ReadMatrix(f.get());
 
   if (version >= 3) {
-    auto read_ids = [&](std::vector<std::uint32_t>& out) {
+    auto read_ids = [&](std::vector<std::uint32_t>& out,
+                        std::size_t bound) {
       const auto count =
           static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
-      if (count > snap.points.rows()) return false;
+      if (count > bound) return false;
       out.resize(count);
       io::ReadArray(f.get(), out.data(), count);
       return true;
     };
-    if (!read_ids(snap.removal.pending_dead) ||
-        !read_ids(snap.removal.free_slots)) {
+    if (!read_ids(shard0.removal.pending_dead, shard0.points.rows()) ||
+        !read_ids(shard0.removal.free_slots, shard0.points.rows())) {
       return fail("implausible checkpoint removal-list size");
     }
-    snap.removal.last_inserted = io::ReadRaw<std::uint32_t>(f.get());
+    shard0.removal.last_inserted = io::ReadRaw<std::uint32_t>(f.get());
     if (const char* msg =
-            ValidateRemovalState(snap.removal, snap.points.rows())) {
+            ValidateRemovalState(shard0.removal, shard0.points.rows())) {
       return fail(msg);
     }
     const auto births =
         static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
-    if (births != snap.points.rows()) {
-      return fail("checkpoint birth-window count does not match points");
+    if (births != n_labels) {
+      return fail("checkpoint birth-window count does not match labels");
     }
     snap.birth_windows.resize(births);
     io::ReadArray(f.get(), snap.birth_windows.data(), births);
+
+    // Shard section table (v4): one section per shard beyond shard 0.
+    if (version >= 4) {
+      const auto table_shards = io::ReadRaw<std::uint64_t>(f.get());
+      if (table_shards != num_shards) {
+        return fail("checkpoint shard table disagrees with params");
+      }
+      std::vector<std::uint64_t> section_bytes(num_shards - 1);
+      io::ReadArray(f.get(), section_bytes.data(), section_bytes.size());
+      for (std::size_t s = 1; s < num_shards; ++s) {
+        OnlineShardParts& shard = snap.shards[s];
+        const long begin = std::ftell(f.get());
+        shard.rng = ReadRng(f.get());
+        shard.seeds.live_seeds = io::ReadRaw<std::uint64_t>(f.get());
+        shard.seeds.fail_ewma = io::ReadRaw<double>(f.get());
+        shard.seeds.audit_tick = io::ReadRaw<std::uint64_t>(f.get());
+        if (const char* msg = ValidateSeedState(shard.seeds)) {
+          return fail(msg);
+        }
+        shard.points = io::ReadMatrix(f.get());
+        if (shard.points.cols() != shard0.points.cols()) {
+          return fail("checkpoint shard dimension mismatch");
+        }
+        shard.graph = KnnGraph::LoadFrom(f.get());
+        if (!read_ids(shard.removal.pending_dead, shard.points.rows()) ||
+            !read_ids(shard.removal.free_slots, shard.points.rows())) {
+          return fail("implausible checkpoint removal-list size");
+        }
+        shard.removal.last_inserted = io::ReadRaw<std::uint32_t>(f.get());
+        if (const char* msg =
+                ValidateRemovalState(shard.removal, shard.points.rows())) {
+          return fail(msg);
+        }
+        const long end = std::ftell(f.get());
+        if (begin < 0 || end < begin ||
+            static_cast<std::uint64_t>(end - begin) != section_bytes[s - 1]) {
+          return fail("checkpoint shard section size mismatch");
+        }
+      }
+    }
+    // Deferred global-arena check (see the labels read above).
+    if (n_labels != GlobalArenaBound(snap.shards)) {
+      return fail("checkpoint label count does not match the sharded arena");
+    }
   }
   // v2: removal state stays default-empty and birth windows are filled in
   // by the model constructor ("born at restore").
@@ -376,7 +519,7 @@ StreamDeltaLog::StreamDeltaLog(std::string base_path, std::string delta_path,
 
 void StreamDeltaLog::StartJournal(const StreamingGkMeans& model) {
   std::uint64_t base_hash = 0;
-  GKM_CHECK_MSG(HashFileBytes(base_path_, &base_hash),
+  GKM_CHECK_MSG(HashFileBytes(base_path_, &base_hash, &base_bytes_),
                 "cannot re-read base snapshot for journal header");
   f_ = io::OpenOrDie(delta_path_, "wb");
   io::WriteArray(f_.get(), kDeltaMagic, 4);
@@ -384,24 +527,42 @@ void StreamDeltaLog::StartJournal(const StreamingGkMeans& model) {
   io::WriteRaw<std::uint64_t>(f_.get(), base_hash);
   io::WriteRaw<std::uint64_t>(f_.get(), model.windows_seen());
   std::fflush(f_.get());
+  journal_bytes_ = 4 + 4 + 8 + 8;
+  replay_windows_ = 0;
 }
 
 void StreamDeltaLog::AppendWindow(const Matrix& window) {
   io::WriteRaw<std::uint8_t>(f_.get(), 'W');
   io::WriteMatrix(f_.get(), window);
   std::fflush(f_.get());
+  journal_bytes_ += 1 + 16 + window.rows() * window.cols() * sizeof(float);
+  ++replay_windows_;
 }
 
 void StreamDeltaLog::AppendRemoval(std::uint32_t id) {
   io::WriteRaw<std::uint8_t>(f_.get(), 'R');
   io::WriteRaw<std::uint32_t>(f_.get(), id);
   std::fflush(f_.get());
+  journal_bytes_ += 1 + 4;
 }
 
 void StreamDeltaLog::AppendStateCheck(const StreamingGkMeans& model) {
   io::WriteRaw<std::uint8_t>(f_.get(), 'C');
   io::WriteRaw<std::uint64_t>(f_.get(), StateDigest(model));
   std::fflush(f_.get());
+  journal_bytes_ += 1 + 8;
+}
+
+bool StreamDeltaLog::MaybeCompact(const StreamingGkMeans& model) {
+  const bool over_size =
+      policy_.max_journal_fraction > 0.0 &&
+      static_cast<double>(journal_bytes_) >
+          policy_.max_journal_fraction * static_cast<double>(base_bytes_);
+  const bool over_replay = policy_.max_replay_windows > 0 &&
+                           replay_windows_ > policy_.max_replay_windows;
+  if (!over_size && !over_replay) return false;
+  Compact(model);
+  return true;
 }
 
 void StreamDeltaLog::Compact(const StreamingGkMeans& model) {

@@ -53,16 +53,33 @@ StreamingGkMeans LoadStreamCheckpoint(const std::string& path);
 std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
     const std::string& path, std::string* error = nullptr);
 
+/// Auto-compaction policy for StreamDeltaLog::MaybeCompact. Either trigger
+/// set to its zero value is disabled; with both disabled MaybeCompact is a
+/// no-op and compaction stays fully manual.
+struct DeltaCompactionPolicy {
+  /// Size trigger: compact once journal bytes exceed this fraction of the
+  /// base snapshot's bytes (e.g. 0.5 folds when the journal reaches half
+  /// the base — past that, replay I/O approaches just rewriting the base).
+  double max_journal_fraction = 0.0;
+  /// Replay-cost trigger: compact once more than this many 'W' window
+  /// records would need replaying at resume. Windows dominate replay cost
+  /// (each is a full ObserveWindow), so the budget bounds restart latency
+  /// to roughly max_replay_windows times the per-window ingest cost.
+  std::size_t max_replay_windows = 0;
+};
+
 /// Append-only delta journal anchored at a full base snapshot. Usage, on
 /// the ingest thread that owns the model:
 ///
 ///   StreamDeltaLog log(base, delta, model);     // writes base + header
+///   log.SetAutoCompaction({0.5, 256});          // optional policy
 ///   for each window w:
 ///     log.AppendWindow(w);                      // journal first...
 ///     model.ObserveWindow(w);                   // ...then apply
+///     log.MaybeCompact(model);                  // policy-driven fold
 ///   log.AppendRemoval(id); model.RemovePoint(id);   // explicit deletes
 ///   log.AppendStateCheck(model);                // optional digest record
-///   if (log too long) log.Compact(model);       // fold into a new base
+///   if (log too long) log.Compact(model);       // manual fold
 ///
 /// Journal before apply: a crash between the two replays one extra input,
 /// which is idempotent for the resume path only if the caller re-feeds
@@ -101,12 +118,36 @@ class StreamDeltaLog {
   /// journal to empty. Bounds replay cost after long uptimes.
   void Compact(const StreamingGkMeans& model);
 
+  /// Installs (or replaces) the auto-compaction policy consulted by
+  /// MaybeCompact. Default: both triggers disabled.
+  void SetAutoCompaction(const DeltaCompactionPolicy& policy) {
+    policy_ = policy;
+  }
+
+  /// Runs Compact(model) when the installed policy says so; returns
+  /// whether it did. Call *after* applying the journaled input to `model`
+  /// — Compact snapshots the model, so folding between AppendWindow and
+  /// ObserveWindow would anchor a base that silently drops the in-flight
+  /// window.
+  bool MaybeCompact(const StreamingGkMeans& model);
+
+  /// Journal bytes written since the current base (header included).
+  std::size_t journal_bytes() const { return journal_bytes_; }
+  /// Size of the current base snapshot file.
+  std::size_t base_bytes() const { return base_bytes_; }
+  /// 'W' records in the journal — the replay cost in windows.
+  std::size_t replay_windows() const { return replay_windows_; }
+
  private:
   void StartJournal(const StreamingGkMeans& model);
 
   std::string base_path_;
   std::string delta_path_;
   io::File f_;
+  DeltaCompactionPolicy policy_;
+  std::size_t base_bytes_ = 0;
+  std::size_t journal_bytes_ = 0;
+  std::size_t replay_windows_ = 0;
 };
 
 /// Rebuilds a model from a base snapshot plus its delta journal. A missing

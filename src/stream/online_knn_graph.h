@@ -51,6 +51,11 @@ struct OnlineGraphParams {
   std::size_t num_seeds = 64;
   std::size_t bootstrap = 128; ///< below this size, inserts are brute-force
   std::uint64_t seed = 42;     ///< RNG seed for entry-point draws
+  /// Shard count consumed by ShardedOnlineKnnGraph (a single OnlineKnnGraph
+  /// ignores it): S independent arenas ingested by S concurrent writers.
+  /// 1 keeps the single-arena behavior bit-for-bit. Model state — changing
+  /// it re-partitions the stream, so it is persisted in checkpoints (v4).
+  std::size_t shards = 1;
 };
 
 /// Reusable visited-marker scratch for graph walks: one stamp slot per

@@ -1,0 +1,193 @@
+// Copyright 2026 The gkmeans Authors.
+// Sharded online KNN graph: S independent OnlineKnnGraph arenas, each with
+// its own reader-writer lock, RNG, scratch and deletion bookkeeping.
+// Incoming points are assigned to shards by a deterministic content hash,
+// per-shard ingest runs on concurrent writer threads (commits no longer
+// serialize globally), and cross-shard search fans SearchKnn over the
+// shards and merges by the Neighbor ordering of the top_k machinery —
+// a query only ever waits for the brief commit window of the one shard it
+// is currently reading, never for a commit in another shard.
+//
+// Why partitioning preserves quality: Debatty et al. ("Fast Online k-nn
+// Graph Building") show partitioned online construction with local repair
+// keeps the approximation sound, and cluster-locality ("Cluster-and-
+// Conquer") keeps cross-partition edges rare — which the streaming
+// clusterer's cluster-routed seed hints give each shard for free.
+//
+// Identity scheme ("GlobalId"): a point living in shard s at arena slot t
+// is published as the global id t*S + s (shard = g % S, slot = g / S).
+// Interleaving keeps global ids dense while shards stay balanced, and for
+// S == 1 the global id IS the slot id — every id-indexed consumer
+// (labels, TTL clocks, checkpoints) is bit-identical to the unsharded
+// graph, which the golden checkpoint test pins.
+
+#ifndef GKM_STREAM_SHARDED_ONLINE_KNN_GRAPH_H_
+#define GKM_STREAM_SHARDED_ONLINE_KNN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "stream/online_knn_graph.h"
+
+namespace gkm {
+
+class ThreadPool;
+
+/// Shard-qualified point identity. Thin by design: conversions are two
+/// integer ops, so global ids travel as plain u32 everywhere (labels,
+/// checkpoints, touched sets) and only ingest/search translate.
+struct GlobalId {
+  std::uint32_t shard = 0;
+  std::uint32_t slot = 0;
+
+  static GlobalId Split(std::uint32_t global, std::size_t num_shards) {
+    return GlobalId{static_cast<std::uint32_t>(global % num_shards),
+                    static_cast<std::uint32_t>(global / num_shards)};
+  }
+  static std::uint32_t Join(std::uint32_t shard, std::uint32_t slot,
+                            std::size_t num_shards) {
+    return static_cast<std::uint32_t>(slot * num_shards + shard);
+  }
+};
+
+/// Exclusive upper bound on the interleaved global ids of shards with
+/// these arena row counts: max over shards of (rows_s - 1)*S + s + 1.
+/// The single definition of the persisted-format invariant shared by
+/// ShardedOnlineKnnGraph::size() and the checkpoint loader's label/birth
+/// count validation.
+std::size_t ShardedArenaBound(const std::size_t* rows_per_shard,
+                              std::size_t num_shards);
+
+/// Checkpointed per-shard state, consumed by the restore constructor. The
+/// fields mirror OnlineKnnGraph's restore constructor arguments.
+struct OnlineShardParts {
+  Matrix points;
+  KnnGraph graph;
+  RngSnapshot rng;
+  AdaptiveSeedState seeds;
+  RemovalState removal;
+};
+
+/// S independent online graphs behind one global-id facade.
+///
+/// Concurrency model: one *logical* ingest caller (the streaming clusterer
+/// or an ingest loop) calls InsertBatch/Remove/CompactTombstones; inside
+/// InsertBatch, per-shard commits run on S concurrent writer threads, each
+/// taking only its own shard's writer lock. Any number of serving threads
+/// call SearchKnn/SearchKnnBatch concurrently with all of it. Determinism:
+/// shard assignment is a pure content hash, every shard is itself
+/// deterministic, and merged results are ordered by (dist, global id) — so
+/// the whole structure stays a pure function of the input sequence at any
+/// writer/pool thread count, for a fixed shard count.
+class ShardedOnlineKnnGraph {
+ public:
+  /// Empty structure over `dim`-dimensional points with `params.shards`
+  /// shards. Shard s draws from seed `params.seed + s` (splitmix-expanded,
+  /// so nearby seeds are uncorrelated streams); shard 0 therefore matches
+  /// the unsharded graph exactly.
+  ShardedOnlineKnnGraph(std::size_t dim, const OnlineGraphParams& params);
+
+  /// Re-assembles from checkpointed per-shard parts (`parts.size()` must
+  /// equal `params.shards`).
+  ShardedOnlineKnnGraph(std::vector<OnlineShardParts> parts,
+                        const OnlineGraphParams& params);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const OnlineKnnGraph& shard(std::size_t s) const { return shards_[s]; }
+  const OnlineGraphParams& params() const { return params_; }
+  std::size_t dim() const { return shards_[0].dim(); }
+
+  /// Deterministic shard of a point: FNV-1a over the row's float bytes,
+  /// mod S. Content-addressed, so the partition is independent of arrival
+  /// order, thread count and process restarts.
+  std::uint32_t ShardOf(const float* x) const;
+
+  /// Exclusive upper bound on global ids. Interleaving leaves holes when
+  /// shards are momentarily unbalanced; IsAlive is false for a hole.
+  /// Monotonically non-decreasing. Safe during ingest.
+  std::size_t size() const;
+  /// Live points across all shards. Safe during ingest.
+  std::size_t num_alive() const;
+  /// Whether global id `g` names a live point. Safe during ingest.
+  bool IsAlive(std::uint32_t g) const;
+  /// Ingest-thread / quiescent variant (see OnlineKnnGraph::IsAliveUnlocked).
+  bool IsAliveUnlocked(std::uint32_t g) const;
+  /// Entry points per walk currently in force (max across shards).
+  std::size_t live_num_seeds() const;
+
+  /// Coordinates of the live point `g`. Unsynchronized: ingest thread or
+  /// quiescent use only (serving threads go through SearchKnn).
+  const float* Point(std::uint32_t g) const;
+
+  /// Neighbor list of `g` sorted ascending by distance, ids global.
+  /// Unsynchronized, like Point.
+  void SortedNeighborsInto(std::uint32_t g, std::vector<Neighbor>& out) const;
+
+  /// Appends the global ids of `g`'s current neighbors to `out`
+  /// (unsorted). Unsynchronized, like Point.
+  void AppendNeighborIds(std::uint32_t g, std::vector<std::uint32_t>& out)
+      const;
+
+  /// Batch insert of every row of `rows`, partitioned to shards by
+  /// ShardOf. Per-shard ingest runs on one writer thread per non-empty
+  /// shard (walks additionally fan out over `pool` when given), and
+  /// commits of different shards proceed concurrently under their own
+  /// locks. `assigned` (when non-null) receives every row's *global* id in
+  /// row order; the first row's id is returned. `touched` collects global
+  /// ids of pre-existing nodes whose lists changed (sorted, deduplicated).
+  /// `seed_hints`, when non-null, supplies one *global-id* hint vector per
+  /// row; hints living in a foreign shard are dropped (a walk cannot enter
+  /// another shard's arena). Deterministic at any thread count.
+  std::uint32_t InsertBatch(
+      const Matrix& rows, ThreadPool* pool,
+      std::vector<std::uint32_t>* touched = nullptr,
+      const std::vector<std::vector<std::uint32_t>>* seed_hints = nullptr,
+      std::vector<std::uint32_t>* assigned = nullptr);
+
+  /// Tombstones global id `g` in its shard (repair + amortized purge as in
+  /// OnlineKnnGraph::Remove). `repaired` collects global ids (sorted,
+  /// deduplicated). Ingest-caller only.
+  void Remove(std::uint32_t g, std::vector<std::uint32_t>* repaired = nullptr);
+
+  /// Purges tombstones of every shard (see CompactTombstones there).
+  void CompactTombstones();
+
+  /// Approximate top-k nearest live points across all shards, ids global,
+  /// sorted ascending by (dist, id). Fans the per-shard walk over the
+  /// shards sequentially, acquiring one shard's reader lock at a time —
+  /// a commit in shard s delays a query only while it reads shard s.
+  /// Safe from any number of threads concurrently with ingest.
+  std::vector<Neighbor> SearchKnn(const float* q, std::size_t topk) const;
+  std::vector<Neighbor> SearchKnn(const float* q, std::size_t topk,
+                                  SearchScratch& scratch) const;
+
+  /// Single-shard query, ids global: the routed-serving fast path when the
+  /// caller knows the target shard (e.g. cluster-affine routing), and the
+  /// stall-independence primitive — it takes only shard `s`'s reader lock,
+  /// so it can never block on any other shard's commit.
+  std::vector<Neighbor> SearchKnnInShard(std::size_t s, const float* q,
+                                         std::size_t topk,
+                                         SearchScratch& scratch) const;
+
+  /// Batched serving queries: per-shard SearchKnnBatch (one reader
+  /// acquisition per shard per batch), merged per query. Element-wise
+  /// identical to per-query SearchKnn calls.
+  std::vector<std::vector<Neighbor>> SearchKnnBatch(const Matrix& queries,
+                                                    std::size_t topk) const;
+  std::vector<std::vector<Neighbor>> SearchKnnBatch(
+      const Matrix& queries, std::size_t topk, SearchScratch& scratch) const;
+
+ private:
+  std::uint32_t ToGlobal(std::uint32_t shard, std::uint32_t slot) const {
+    return GlobalId::Join(shard, slot, shards_.size());
+  }
+
+  OnlineGraphParams params_;
+  std::vector<OnlineKnnGraph> shards_;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_STREAM_SHARDED_ONLINE_KNN_GRAPH_H_

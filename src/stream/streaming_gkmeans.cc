@@ -45,8 +45,7 @@ StreamingGkMeans::StreamingGkMeans(std::size_t dim,
 StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
     : params_(snap.params),
       pool_(std::make_unique<ThreadPool>(snap.params.ingest_threads)),
-      graph_(std::move(snap.points), std::move(snap.graph), snap.params.graph,
-             snap.graph_rng, snap.seed_state, snap.removal),
+      graph_(std::move(snap.shards), snap.params.graph),
       labels_(std::move(snap.labels)),
       state_(graph_.dim(), snap.params.k),
       prev_centroids_(std::move(snap.prev_centroids)),
@@ -156,9 +155,7 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
     // the new points — everything whose local density the window changed.
     for (const std::uint32_t id : fresh) {
       touched.push_back(id);
-      for (const Neighbor& nb : graph_.graph().NeighborsOf(id)) {
-        touched.push_back(nb.id);
-      }
+      graph_.AppendNeighborIds(id, touched);
     }
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
@@ -178,29 +175,24 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
 }
 
 void StreamingGkMeans::Bootstrap() {
-  const Matrix& data = graph_.points();
   TwoMeansParams tp;
   tp.k = params_.k;
   tp.bisect_epochs = params_.bisect_epochs;
+  // Cluster a compacted copy of the live rows (ascending global id — for a
+  // dense single-shard arena that is exactly the arena order, so the copy
+  // changes no value the clustering sees), then scatter the labels back to
+  // their global slots. One path covers dense, tombstoned and sharded
+  // arenas alike.
   const std::vector<std::uint32_t> alive = AliveIds();
-  if (alive.size() == data.rows()) {
-    // No pre-bootstrap removals: cluster the arena in place.
-    labels_ = TwoMeansTree(data, tp, rng_);
-    state_.Rebuild(data, labels_);
-  } else {
-    // Pre-bootstrap removals left tombstoned slots in the arena: cluster a
-    // compacted copy of the live rows, then scatter the labels back.
-    Matrix live(alive.size(), data.cols());
-    for (std::size_t i = 0; i < alive.size(); ++i) {
-      live.SetRow(i, data.Row(alive[i]));
-    }
-    const std::vector<std::uint32_t> live_labels =
-        TwoMeansTree(live, tp, rng_);
-    state_.Rebuild(live, live_labels);
-    labels_.assign(data.rows(), kUnassigned);
-    for (std::size_t i = 0; i < alive.size(); ++i) {
-      labels_[alive[i]] = live_labels[i];
-    }
+  Matrix live(alive.size(), dim());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    live.SetRow(i, graph_.Point(alive[i]));
+  }
+  const std::vector<std::uint32_t> live_labels = TwoMeansTree(live, tp, rng_);
+  state_.Rebuild(live, live_labels);
+  labels_.assign(graph_.size(), kUnassigned);
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    labels_[alive[i]] = live_labels[i];
   }
   for (const std::uint32_t i : alive) {
     cluster_reps_[labels_[i]] = i;
@@ -234,11 +226,11 @@ void StreamingGkMeans::ComputeRouteHints(const float* x,
 }
 
 void StreamingGkMeans::AssignNew(std::uint32_t id, const Matrix& centroids) {
-  const float* x = graph_.points().Row(id);
+  const float* x = graph_.Point(id);
   const float xn = NormSqr(x, dim());
-  const std::size_t kappa = std::min(params_.kappa, graph_.graph().k());
+  const std::size_t kappa = std::min(params_.kappa, params_.graph.kappa);
 
-  graph_.graph().SortedNeighborsInto(id, nbr_scratch_);
+  graph_.SortedNeighborsInto(id, nbr_scratch_);
   const std::size_t take = std::min(kappa, nbr_scratch_.size());
   nbr_ids_.assign(kappa, kUnassigned);
   for (std::size_t j = 0; j < take; ++j) nbr_ids_[j] = nbr_scratch_[j].id;
@@ -269,9 +261,8 @@ void StreamingGkMeans::AssignNew(std::uint32_t id, const Matrix& centroids) {
 std::size_t StreamingGkMeans::RunEpochs(const std::vector<std::uint32_t>& ids,
                                         std::size_t epochs,
                                         std::size_t* epochs_run) {
-  const Matrix& data = graph_.points();
   const std::size_t d = dim();
-  const std::size_t kappa = std::min(params_.kappa, graph_.graph().k());
+  const std::size_t kappa = std::min(params_.kappa, params_.graph.kappa);
   std::vector<std::uint32_t> order(ids);
   std::vector<std::uint32_t> nbr(kappa);
 
@@ -288,7 +279,7 @@ std::size_t StreamingGkMeans::RunEpochs(const std::vector<std::uint32_t>& ids,
       // The graph mutates between windows, so neighbor rows are fetched
       // live rather than flattened once as in the batch algorithm (into a
       // reused buffer — this runs once per visited sample per epoch).
-      graph_.graph().SortedNeighborsInto(i, nbr_scratch_);
+      graph_.SortedNeighborsInto(i, nbr_scratch_);
       const std::vector<Neighbor>& sorted = nbr_scratch_;
       // Unlabeled neighbors (stale edges to tombstones awaiting the purge
       // sweep, or same-window inserts) contribute no candidate cluster.
@@ -302,7 +293,7 @@ std::size_t StreamingGkMeans::RunEpochs(const std::vector<std::uint32_t>& ids,
       HarvestCandidates(nbr.data(), kappa, labels_, u, stamp_, cur_stamp_,
                         cand_);
       if (cand_.empty()) continue;
-      const float* x = data.Row(i);
+      const float* x = graph_.Point(i);
       const float xn = NormSqr(x, d);
       // One batched mixed-precision dot over the candidate composites
       // (bit-identical to per-candidate GainArrive — checkpoint replay
@@ -372,12 +363,11 @@ void StreamingGkMeans::DriftAndReseed(
       if (state_.CountOf(c) > state_.CountOf(donor)) donor = c;
     }
     if (state_.CountOf(donor) < 2) break;
-    const Matrix& data = graph_.points();
     std::uint32_t seed_id = kUnassigned;
     float worst = -1.0f;
     for (const std::uint32_t i : touched) {
       if (labels_[i] != donor) continue;
-      const float dist = L2Sqr(data.Row(i), cur.Row(donor), d);
+      const float dist = L2Sqr(graph_.Point(i), cur.Row(donor), d);
       if (dist > worst) {
         worst = dist;
         seed_id = i;
@@ -387,7 +377,7 @@ void StreamingGkMeans::DriftAndReseed(
       // Rare fallback: no touched member of the donor — full scan.
       for (std::size_t i = 0; i < labels_.size(); ++i) {
         if (labels_[i] != donor) continue;
-        const float dist = L2Sqr(data.Row(i), cur.Row(donor), d);
+        const float dist = L2Sqr(graph_.Point(i), cur.Row(donor), d);
         if (dist > worst) {
           worst = dist;
           seed_id = static_cast<std::uint32_t>(i);
@@ -395,7 +385,7 @@ void StreamingGkMeans::DriftAndReseed(
       }
     }
     if (seed_id == kUnassigned) break;
-    state_.Move(data.Row(seed_id), donor, r);
+    state_.Move(graph_.Point(seed_id), donor, r);
     labels_[seed_id] = r;
     cluster_reps_[r] = seed_id;
     ++ws.reseeded;
@@ -409,7 +399,6 @@ void StreamingGkMeans::SplitMergeMaintain(WindowStats& ws) {
   const std::size_t k = params_.k;
   if (k < 3 || params_.max_splits_per_window == 0) return;
   const std::size_t d = dim();
-  const Matrix& data = graph_.points();
 
   for (std::size_t op = 0; op < params_.max_splits_per_window; ++op) {
     // Cheapest merge: the pair whose union loses the least Delta-I,
@@ -484,7 +473,7 @@ void StreamingGkMeans::SplitMergeMaintain(WindowStats& ws) {
     std::uint32_t m1 = members[0];
     float worst = -1.0f;
     for (const std::uint32_t i : members) {
-      const float dist = L2Sqr(data.Row(i), c1.data(), d);
+      const float dist = L2Sqr(graph_.Point(i), c1.data(), d);
       if (dist > worst) {
         worst = dist;
         m1 = i;
@@ -493,20 +482,20 @@ void StreamingGkMeans::SplitMergeMaintain(WindowStats& ws) {
     std::uint32_t m2 = members[0];
     worst = -1.0f;
     for (const std::uint32_t i : members) {
-      const float dist = L2Sqr(data.Row(i), data.Row(m1), d);
+      const float dist = L2Sqr(graph_.Point(i), graph_.Point(m1), d);
       if (dist > worst) {
         worst = dist;
         m2 = i;
       }
     }
     std::vector<char> side(members.size(), 0);
-    std::memcpy(c1.data(), data.Row(m1), d * sizeof(float));
-    std::memcpy(c2.data(), data.Row(m2), d * sizeof(float));
+    std::memcpy(c1.data(), graph_.Point(m1), d * sizeof(float));
+    std::memcpy(c2.data(), graph_.Point(m2), d * sizeof(float));
     for (int pass = 0; pass < 3; ++pass) {
       std::vector<double> s1(d, 0.0), s2(d, 0.0);
       std::size_t n1 = 0, n2 = 0;
       for (std::size_t m = 0; m < members.size(); ++m) {
-        const float* x = data.Row(members[m]);
+        const float* x = graph_.Point(members[m]);
         side[m] = L2Sqr(x, c2.data(), d) < L2Sqr(x, c1.data(), d) ? 1 : 0;
         double* s = side[m] ? s2.data() : s1.data();
         for (std::size_t j = 0; j < d; ++j) s[j] += x[j];
@@ -524,7 +513,7 @@ void StreamingGkMeans::SplitMergeMaintain(WindowStats& ws) {
     for (std::size_t m = 0; m < members.size(); ++m) {
       if (side[m] == 0) continue;
       if (state_.CountOf(sc) < 2) break;
-      state_.Move(data.Row(members[m]), sc, mb);
+      state_.Move(graph_.Point(members[m]), sc, mb);
       labels_[members[m]] = mb;
       cluster_reps_[mb] = members[m];
     }
@@ -567,7 +556,7 @@ std::vector<std::uint32_t> StreamingGkMeans::AliveIds() const {
 void StreamingGkMeans::RetirePoint(std::uint32_t id,
                                    std::vector<std::uint32_t>* repaired) {
   if (labels_[id] != kUnassigned) {
-    state_.RemovePoint(graph_.points().Row(id), labels_[id]);
+    state_.RemovePoint(graph_.Point(id), labels_[id]);
     labels_[id] = kUnassigned;
   }
   // A representative must stay a live routable node; the cluster regains
@@ -614,8 +603,15 @@ ClusteringResult StreamingGkMeans::Result() const {
 StreamSnapshot StreamingGkMeans::Snapshot() const {
   StreamSnapshot s;
   s.params = params_;
-  s.points = graph_.points();
-  s.graph = graph_.graph();
+  s.shards.resize(graph_.num_shards());
+  for (std::size_t i = 0; i < graph_.num_shards(); ++i) {
+    const OnlineKnnGraph& shard = graph_.shard(i);
+    s.shards[i].points = shard.points();
+    s.shards[i].graph = shard.graph();
+    s.shards[i].rng = shard.rng_state();
+    s.shards[i].seeds = shard.seed_state();
+    s.shards[i].removal = shard.removal_state();
+  }
   s.labels = labels_;
   s.n = state_.n();
   s.composites = state_.composites();
@@ -628,9 +624,6 @@ StreamSnapshot StreamingGkMeans::Snapshot() const {
   s.windows = windows_;
   s.bootstrapped = bootstrapped_;
   s.rng = rng_.Snapshot();
-  s.graph_rng = graph_.rng_state();
-  s.seed_state = graph_.seed_state();
-  s.removal = graph_.removal_state();
   s.birth_windows = birth_window_;
   return s;
 }

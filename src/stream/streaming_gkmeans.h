@@ -27,7 +27,7 @@
 #include "common/thread_pool.h"
 #include "kmeans/cluster_state.h"
 #include "kmeans/types.h"
-#include "stream/online_knn_graph.h"
+#include "stream/sharded_online_knn_graph.h"
 
 namespace gkm {
 
@@ -35,7 +35,10 @@ namespace gkm {
 struct StreamingGkMeansParams {
   std::size_t k = 8;                ///< number of clusters
   std::size_t kappa = 20;           ///< neighbors consulted per sample
-  OnlineGraphParams graph;          ///< online graph knobs (degree >= kappa)
+  /// Online graph knobs (degree >= kappa). `graph.shards` > 1 shards the
+  /// arena for multi-writer ingest and stall-free serving; point ids seen
+  /// through labels()/RemovePoint/history are global ids (slot*S + shard).
+  OnlineGraphParams graph;
   std::size_t epochs_per_window = 2;///< bounded mini-batch epochs per window
   std::size_t bootstrap_min = 256;  ///< points accumulated before clustering
   std::size_t bootstrap_epochs = 4; ///< full epochs right after bootstrap
@@ -100,9 +103,12 @@ struct WindowStats {
 /// stream/checkpoint.{h,cc}.
 struct StreamSnapshot {
   StreamingGkMeansParams params;
-  Matrix points;                          ///< n x dim ingested vectors
-  KnnGraph graph;                         ///< online graph edges
-  std::vector<std::uint32_t> labels;      ///< cluster per point
+  /// Per-shard graph state: points, edges, RNG, adaptive seeds and removal
+  /// bookkeeping — one entry per shard (params.graph.shards of them; a
+  /// single entry for the unsharded S=1 default). Slot-local ids inside;
+  /// every other field below indexes by global id.
+  std::vector<OnlineShardParts> shards;
+  std::vector<std::uint32_t> labels;      ///< cluster per global slot
   std::uint64_t n = 0;                    ///< points admitted to the state
   std::vector<double> composites;         ///< k x dim composite vectors
   std::vector<std::uint32_t> counts;      ///< cluster sizes
@@ -114,9 +120,6 @@ struct StreamSnapshot {
   std::uint64_t windows = 0;              ///< stream cursor: windows consumed
   bool bootstrapped = false;
   RngSnapshot rng;                        ///< clusterer RNG
-  RngSnapshot graph_rng;                  ///< online-graph RNG
-  AdaptiveSeedState seed_state;           ///< online-graph adaptive seeds
-  RemovalState removal;                   ///< online-graph deletion state
   std::vector<std::uint64_t> birth_windows; ///< per-slot ingest window (TTL)
 };
 
@@ -155,7 +158,7 @@ class StreamingGkMeans {
   std::size_t points_alive() const { return graph_.num_alive(); }
   std::size_t windows_seen() const { return windows_; }
   bool bootstrapped() const { return bootstrapped_; }
-  const OnlineKnnGraph& graph() const { return graph_; }
+  const ShardedOnlineKnnGraph& graph() const { return graph_; }
   /// Per-slot labels; tombstoned slots hold UINT32_MAX ("unassigned").
   const std::vector<std::uint32_t>& labels() const { return labels_; }
   /// Read-only view of the composite-vector statistics (live points only).
@@ -222,7 +225,7 @@ class StreamingGkMeans {
   // Ingest worker pool (behind unique_ptr so the clusterer stays movable);
   // idle outside ObserveWindow.
   std::unique_ptr<ThreadPool> pool_;
-  OnlineKnnGraph graph_;
+  ShardedOnlineKnnGraph graph_;
   std::vector<std::uint32_t> labels_;
   ClusterState state_;
   Matrix prev_centroids_;

@@ -80,24 +80,47 @@ std::string BuildGoldenCheckpoint() {
   return ReadFileBytes(path);
 }
 
-// Captured from the GKMC v3 layout (deletion/TTL + delta checkpoints PR).
-// Both halves of the pin matter: the size catches layout drift, the hash
+// Captured from the GKMC v4 layout (sharded-graph PR; S=1 here). Both
+// halves of the pin matter: the size catches layout drift, the hash
 // catches numeric drift.
-constexpr std::uint64_t kGoldenHash = 0xb56ab723d22ad176ULL;
-constexpr std::size_t kGoldenSize = 131923;
+constexpr std::uint64_t kGoldenHash = 0x40122b34c6f22701ULL;
+constexpr std::size_t kGoldenSize = 131939;
+
+// The v3 golden, captured from the deletion/TTL + delta checkpoints PR.
+// The v3 *projection* of a v4 file (drop the appended graph.shards param
+// and the empty shard section table, rewrite the version word) must hit it
+// bit-for-bit: v4 appended fields, it did not change a single number the
+// v3 format carried — so an S=1 sharded pipeline is provably zero-drift
+// against the single-arena implementation it replaced.
+constexpr std::uint64_t kGoldenHashV3 = 0xb56ab723d22ad176ULL;
+constexpr std::size_t kGoldenSizeV3 = 131923;
 
 // The original golden, captured from the pre-kernel-layer scalar
-// implementation against the v2 layout. The v2 *projection* of a v3 file
-// (drop the appended ttl_windows param and the removal block, rewrite the
-// version word) must still hit it bit-for-bit: v3 appended fields, it did
-// not change a single number the v2 format carried.
+// implementation against the v2 layout; reached by chaining the v4->v3
+// and v3->v2 projections.
 constexpr std::uint64_t kGoldenHashV2 = 0x8a78c3a019750edaULL;
 constexpr std::size_t kGoldenSizeV2 = 124687;
 
-// v3 layout arithmetic for the projection (see docs/checkpoint-format.md):
-// the params block is 19 u64-sized fields at offset 8 with ttl_windows
-// last, and the removal block before the 4-byte trailer is two empty id
-// lists, a u32 last-inserted slot, and one u64 birth window per point.
+// v4 layout arithmetic (see docs/checkpoint-format.md): the params block
+// is 20 u64-sized fields at offset 8 with graph.shards last, and an S=1
+// file's shard section table is a single u64 shard count right before the
+// 4-byte trailer.
+std::string ProjectToV3(const std::string& v4) {
+  const std::size_t shards_param = 8 + 19 * 8;
+  std::string out = v4.substr(0, 4);
+  const std::uint32_t v3 = 3;
+  out.append(reinterpret_cast<const char*>(&v3), 4);
+  out += v4.substr(8, shards_param - 8);
+  out += v4.substr(shards_param + 8,
+                   v4.size() - 4 - 8 - (shards_param + 8));
+  out += v4.substr(v4.size() - 4);
+  return out;
+}
+
+// v3 layout arithmetic: the params block is 19 u64-sized fields at offset
+// 8 with ttl_windows last, and the removal block before the 4-byte trailer
+// is two empty id lists, a u32 last-inserted slot, and one u64 birth
+// window per point.
 std::string ProjectToV2(const std::string& v3, std::size_t n_points) {
   const std::size_t ttl_begin = 8 + 18 * 8;
   const std::size_t removal = 8 + 8 + 4 + 8 + 8 * n_points;
@@ -122,8 +145,15 @@ TEST(CheckpointGolden, StreamingPipelineBytesAreBitStable) {
   EXPECT_EQ(hash, kGoldenHash);
 }
 
+TEST(CheckpointGolden, V3ProjectionStillMatchesPreShardingGolden) {
+  const std::string projected = ProjectToV3(BuildGoldenCheckpoint());
+  EXPECT_EQ(projected.size(), kGoldenSizeV3);
+  EXPECT_EQ(Fnv1a64(projected), kGoldenHashV3);
+}
+
 TEST(CheckpointGolden, V2ProjectionStillMatchesPreKernelGolden) {
-  const std::string projected = ProjectToV2(BuildGoldenCheckpoint(), 900);
+  const std::string projected =
+      ProjectToV2(ProjectToV3(BuildGoldenCheckpoint()), 900);
   EXPECT_EQ(projected.size(), kGoldenSizeV2);
   EXPECT_EQ(Fnv1a64(projected), kGoldenHashV2);
 }

@@ -59,11 +59,15 @@ void ExpectIdenticalState(const StreamingGkMeans& a,
   EXPECT_EQ(a.windows_seen(), b.windows_seen());
   EXPECT_EQ(a.bootstrapped(), b.bootstrapped());
   EXPECT_EQ(a.labels(), b.labels());
-  EXPECT_TRUE(a.graph().points() == b.graph().points());
-  ASSERT_EQ(a.graph().graph().num_nodes(), b.graph().graph().num_nodes());
-  for (std::size_t i = 0; i < a.graph().graph().num_nodes(); ++i) {
-    EXPECT_EQ(a.graph().graph().SortedNeighbors(i),
-              b.graph().graph().SortedNeighbors(i));
+  ASSERT_EQ(a.graph().num_shards(), b.graph().num_shards());
+  for (std::size_t s = 0; s < a.graph().num_shards(); ++s) {
+    const OnlineKnnGraph& sa = a.graph().shard(s);
+    const OnlineKnnGraph& sb = b.graph().shard(s);
+    EXPECT_TRUE(sa.points() == sb.points());
+    ASSERT_EQ(sa.graph().num_nodes(), sb.graph().num_nodes());
+    for (std::size_t i = 0; i < sa.graph().num_nodes(); ++i) {
+      EXPECT_EQ(sa.graph().SortedNeighbors(i), sb.graph().SortedNeighbors(i));
+    }
   }
   if (a.bootstrapped()) {
     EXPECT_DOUBLE_EQ(a.Distortion(), b.Distortion());
@@ -170,8 +174,8 @@ TEST(CheckpointTest, RemovalStateRoundTripsAndContinuesBitExact) {
   StreamingGkMeans resumed = LoadStreamCheckpoint(path);
   std::remove(path.c_str());
 
-  const RemovalState a = uninterrupted.graph().removal_state();
-  const RemovalState b = resumed.graph().removal_state();
+  const RemovalState a = uninterrupted.graph().shard(0).removal_state();
+  const RemovalState b = resumed.graph().shard(0).removal_state();
   EXPECT_EQ(a.pending_dead, b.pending_dead);
   EXPECT_EQ(a.free_slots, b.free_slots);
   EXPECT_EQ(a.last_inserted, b.last_inserted);
@@ -343,6 +347,207 @@ TEST(CheckpointTest, DeltaResumeRejectsUnknownRecordTag) {
   EXPECT_FALSE(TryResumeStreamCheckpoint(base, delta, &error).has_value());
   EXPECT_NE(error.find("unknown delta journal record"), std::string::npos)
       << error;
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST(CheckpointTest, ShardedModelRoundTripsAndContinuesBitExact) {
+  // v4's reason to exist: a multi-shard model (per-shard section table in
+  // the file) must restore every shard's arena/RNG/removal state and then
+  // continue a churned stream exactly as the uninterrupted model does.
+  const SyntheticData data = StreamData(1600);
+  StreamingGkMeansParams p = SmallParams();
+  p.graph.shards = 4;
+  p.ttl_windows = 6;
+  StreamingGkMeans uninterrupted(kDim, p);
+  auto churn = [](StreamingGkMeans& model, const Matrix& rows) {
+    for (std::size_t b = 0; b < rows.rows(); b += 200) {
+      model.ObserveWindow(SliceRows(rows, b, std::min(b + 200, rows.rows())));
+      for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+        if (id % 7 == 2 && model.graph().IsAlive(id)) model.RemovePoint(id);
+      }
+    }
+  };
+  churn(uninterrupted, SliceRows(data.vectors, 0, 800));
+  ASSERT_TRUE(uninterrupted.bootstrapped());
+
+  const std::string path = TempPath("sharded.ckpt");
+  SaveStreamCheckpoint(path, uninterrupted);
+  StreamingGkMeans resumed = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(resumed.graph().num_shards(), 4u);
+  ExpectIdenticalState(uninterrupted, resumed);
+
+  churn(uninterrupted, SliceRows(data.vectors, 800, 1600));
+  churn(resumed, SliceRows(data.vectors, 800, 1600));
+  ExpectIdenticalState(uninterrupted, resumed);
+}
+
+TEST(CheckpointTest, ShardedDeltaChainResumesByteIdentical) {
+  // Delta journals record inputs, which are shard-agnostic (the partition
+  // is a deterministic content hash replayed by ObserveWindow): the
+  // base+journal chain must land on the byte-identical model at S=4 too.
+  const SyntheticData data = StreamData(1200);
+  StreamingGkMeansParams p = SmallParams();
+  p.graph.shards = 4;
+  StreamingGkMeans model(kDim, p);
+  Feed(model, SliceRows(data.vectors, 0, 600), 200);
+
+  const std::string base = TempPath("shard_delta_base.ckpt");
+  const std::string delta = TempPath("shard_delta_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  for (std::size_t b = 600; b < 1200; b += 200) {
+    const Matrix window = SliceRows(data.vectors, b, b + 200);
+    log.AppendWindow(window);
+    model.ObserveWindow(window);
+    log.AppendStateCheck(model);
+  }
+  StreamingGkMeans resumed = ResumeStreamCheckpoint(base, delta);
+  const std::string full_a = TempPath("shard_full_a.ckpt");
+  const std::string full_b = TempPath("shard_full_b.ckpt");
+  SaveStreamCheckpoint(full_a, model);
+  SaveStreamCheckpoint(full_b, resumed);
+  EXPECT_EQ(ReadFileBytes(full_a), ReadFileBytes(full_b));
+  for (const std::string& f : {base, delta, full_a, full_b}) {
+    std::remove(f.c_str());
+  }
+}
+
+TEST(CheckpointTest, V3FileLoadsAsSingleShardAndContinues) {
+  // Back-compat: a v3 file (no shards param, no section table) must load
+  // as S=1 and continue identically. v4 appended exactly two u64s to the
+  // v3 layout for S=1, so the projection below reconstructs the bytes a
+  // v3 writer would have produced.
+  const SyntheticData data = StreamData(1000);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 600), 200);
+
+  const std::string v4_path = TempPath("compat_v4.ckpt");
+  SaveStreamCheckpoint(v4_path, model);
+  std::string bytes = ReadFileBytes(v4_path);
+  std::remove(v4_path.c_str());
+  const std::size_t shards_param = 8 + 19 * 8;  // 20th params field
+  std::string v3 = bytes.substr(0, 4);
+  const std::uint32_t version3 = 3;
+  v3.append(reinterpret_cast<const char*>(&version3), 4);
+  v3 += bytes.substr(8, shards_param - 8);
+  v3 += bytes.substr(shards_param + 8,
+                     bytes.size() - 4 - 8 - (shards_param + 8));
+  v3 += bytes.substr(bytes.size() - 4);
+
+  const std::string v3_path = TempPath("compat_v3.ckpt");
+  std::FILE* f = std::fopen(v3_path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(v3.data(), 1, v3.size(), f), v3.size());
+  std::fclose(f);
+
+  StreamingGkMeans back = LoadStreamCheckpoint(v3_path);
+  std::remove(v3_path.c_str());
+  EXPECT_EQ(back.graph().num_shards(), 1u);
+  ExpectIdenticalState(model, back);
+  Feed(model, SliceRows(data.vectors, 600, 1000), 200);
+  Feed(back, SliceRows(data.vectors, 600, 1000), 200);
+  ExpectIdenticalState(model, back);
+}
+
+TEST(CheckpointTest, AutoCompactionDisabledByDefault) {
+  const SyntheticData data = StreamData(800);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 400), 200);
+  const std::string base = TempPath("auto_off_base.ckpt");
+  const std::string delta = TempPath("auto_off_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  for (std::size_t b = 400; b < 800; b += 200) {
+    const Matrix window = SliceRows(data.vectors, b, b + 200);
+    log.AppendWindow(window);
+    model.ObserveWindow(window);
+    EXPECT_FALSE(log.MaybeCompact(model));  // no policy installed
+  }
+  EXPECT_EQ(log.replay_windows(), 2u);
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST(CheckpointTest, AutoCompactionTriggersOnJournalFraction) {
+  const SyntheticData data = StreamData(1200);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 400), 200);
+  const std::string base = TempPath("auto_size_base.ckpt");
+  const std::string delta = TempPath("auto_size_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  // Each 200x10f window journals ~8KB against a base of tens of KB, so a
+  // 5% ceiling trips within the first window or two.
+  DeltaCompactionPolicy policy;
+  policy.max_journal_fraction = 0.05;
+  log.SetAutoCompaction(policy);
+
+  bool compacted = false;
+  for (std::size_t b = 400; b < 1200 && !compacted; b += 200) {
+    const Matrix window = SliceRows(data.vectors, b, b + 200);
+    log.AppendWindow(window);
+    model.ObserveWindow(window);
+    const bool over =
+        static_cast<double>(log.journal_bytes()) >
+        0.05 * static_cast<double>(log.base_bytes());
+    compacted = log.MaybeCompact(model);
+    EXPECT_EQ(compacted, over);  // fires exactly at the threshold
+  }
+  ASSERT_TRUE(compacted);
+  // Compaction folded the journal: fresh header only, zero replay debt,
+  // and the (base, journal) pair resumes to the exact current model.
+  EXPECT_EQ(log.replay_windows(), 0u);
+  EXPECT_LT(log.journal_bytes(), 64u);
+  StreamingGkMeans resumed = ResumeStreamCheckpoint(base, delta);
+  ExpectIdenticalState(model, resumed);
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST(CheckpointTest, AutoCompactionTriggersOnReplayBudget) {
+  const SyntheticData data = StreamData(1600);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 400), 200);
+  const std::string base = TempPath("auto_replay_base.ckpt");
+  const std::string delta = TempPath("auto_replay_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  DeltaCompactionPolicy policy;
+  policy.max_replay_windows = 3;
+  log.SetAutoCompaction(policy);
+
+  std::size_t compactions = 0;
+  for (std::size_t b = 400; b < 1600; b += 200) {
+    const Matrix window = SliceRows(data.vectors, b, b + 200);
+    log.AppendWindow(window);
+    model.ObserveWindow(window);
+    const bool expect_fire = log.replay_windows() > 3;
+    EXPECT_EQ(log.MaybeCompact(model), expect_fire);
+    if (expect_fire) ++compactions;
+  }
+  // 6 windows against a budget of 3: exactly one fold (at window 4), and
+  // the remaining 2 windows sit in the fresh journal.
+  EXPECT_EQ(compactions, 1u);
+  EXPECT_EQ(log.replay_windows(), 2u);
+  StreamingGkMeans resumed = ResumeStreamCheckpoint(base, delta);
+  ExpectIdenticalState(model, resumed);
+  std::remove(base.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST(CheckpointTest, JournalByteAccountingMatchesTheFile) {
+  const SyntheticData data = StreamData(800);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, SliceRows(data.vectors, 0, 400), 200);
+  const std::string base = TempPath("acct_base.ckpt");
+  const std::string delta = TempPath("acct_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  const Matrix window = SliceRows(data.vectors, 400, 600);
+  log.AppendWindow(window);
+  model.ObserveWindow(window);
+  log.AppendRemoval(0);
+  model.RemovePoint(0);
+  log.AppendStateCheck(model);
+  EXPECT_EQ(log.journal_bytes(), ReadFileBytes(delta).size());
+  EXPECT_EQ(log.base_bytes(), ReadFileBytes(base).size());
   std::remove(base.c_str());
   std::remove(delta.c_str());
 }

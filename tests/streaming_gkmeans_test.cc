@@ -110,7 +110,7 @@ TEST(StreamingGkMeansTest, DistortionMatchesIndependentRecomputation) {
   Feed(model, data.vectors, 300);
   const double reported = model.Distortion();
   const double recomputed =
-      AverageDistortion(model.graph().points(), model.labels(),
+      AverageDistortion(model.graph().shard(0).points(), model.labels(),
                         SmallParams().k);
   EXPECT_NEAR(reported, recomputed, 1e-6 * (1.0 + recomputed));
 }
