@@ -1,26 +1,57 @@
 // Copyright 2026 The gkmeans Authors.
 // Shared plumbing for the paper-reproduction bench harnesses: scale
 // selection (GKM_SCALE env multiplies workload sizes so the same binaries
-// run laptop-fast by default and paper-scale on big machines), and tabular
-// printing in the shape of the paper's figures/tables.
+// run laptop-fast by default and paper-scale on big machines), tabular
+// printing in the shape of the paper's figures/tables, and the
+// machine-readable result emitter (schema "gkm-bench-v1") that CI gates
+// read — each bench run writes BENCH_<name>.json next to the binary's
+// working directory (or into $GKM_BENCH_DIR).
 
 #ifndef GKM_BENCH_BENCH_UTIL_H_
 #define GKM_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/kernels.h"
 
 namespace gkm::bench {
 
-/// Multiplicative workload scale from the GKM_SCALE environment variable
-/// (default 1.0). Every bench multiplies its n (and where appropriate k)
-/// by this, so GKM_SCALE=10 approaches paper scale.
+/// Process-wide scale override; 0 means "none, use the environment".
+/// Set by --smoke (see SmokeFromArgs) so a smoke run pins its workload
+/// regardless of the caller's GKM_SCALE.
+inline double& ScaleOverride() {
+  static double s = 0.0;
+  return s;
+}
+
+/// Multiplicative workload scale: the --smoke override when set, else the
+/// GKM_SCALE environment variable (default 1.0). Every bench multiplies
+/// its n (and where appropriate k) by this, so GKM_SCALE=10 approaches
+/// paper scale.
 inline double Scale() {
+  if (ScaleOverride() > 0.0) return ScaleOverride();
   const char* env = std::getenv("GKM_SCALE");
   if (env == nullptr) return 1.0;
   const double s = std::atof(env);
   return s > 0.0 ? s : 1.0;
+}
+
+/// Consumes a `--smoke` flag: when present, pins the scale to
+/// `smoke_scale` (a small fixed workload CI can gate on) and returns
+/// true. Call before the first Scale() use.
+inline bool SmokeFromArgs(int argc, char** argv, double smoke_scale) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      ScaleOverride() = smoke_scale;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// n scaled and clamped to a minimum.
@@ -43,6 +74,79 @@ inline void PrintSeriesHeader(const char* x_name, const char* y_name,
                               const char* series) {
   std::printf("\n# series: %s\n%-12s %-14s\n", series, x_name, y_name);
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: schema "gkm-bench-v1".
+//
+// One flat JSON object per bench run:
+//   {"schema":"gkm-bench-v1","bench":"<name>","scale":<x>,
+//    "simd_tier":"<scalar|avx2|avx512|neon>","metrics":{<key>:<number>,...}}
+// Metric keys are bench-specific but stable (documented in
+// docs/observability.md); CI overhead/quality gates parse these files, so
+// renaming a key is a schema change and must bump the version string.
+// ---------------------------------------------------------------------------
+
+/// Collects named numeric results and writes BENCH_<name>.json into
+/// $GKM_BENCH_DIR (cwd when unset). Keys keep insertion order.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes the file; returns the path (empty string on I/O failure —
+  /// benches report but do not abort, the textual output still stands).
+  std::string Write() const {
+    std::string dir;
+    if (const char* env = std::getenv("GKM_BENCH_DIR")) dir = env;
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    const std::string path = dir + "BENCH_" + bench_name_ + ".json";
+
+    std::string out = "{\"schema\":\"gkm-bench-v1\",\"bench\":\"";
+    out += bench_name_;
+    out += "\",\"scale\":";
+    AppendNumber(out, Scale());
+    out += ",\"simd_tier\":\"";
+    out += SimdTierName(ActiveSimdTier());
+    out += "\",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += metrics_[i].first;
+      out += "\":";
+      AppendNumber(out, metrics_[i].second);
+    }
+    out += "}}\n";
+
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return "";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!ok || !closed) return "";
+    std::printf("\n[bench-json] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  static void AppendNumber(std::string& out, double v) {
+    char buf[40];
+    if (std::isfinite(v) && v == static_cast<double>(static_cast<long long>(v)) &&
+        std::fabs(v) < 9.0e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else if (std::isfinite(v)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+    }
+    out += buf;
+  }
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace gkm::bench
 

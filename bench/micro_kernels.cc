@@ -14,14 +14,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/distance.h"
 #include "common/kernels.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "dataset/synthetic.h"
 #include "kmeans/cluster_state.h"
 #include "kmeans/init.h"
@@ -218,37 +219,48 @@ int RunSmoke() {
   }
   double scalar_s = 1e30, batch_s = 1e30;
   for (int round = 0; round < 3; ++round) {
-    auto t0 = std::chrono::steady_clock::now();
+    Timer t;
     for (int r = 0; r < reps; ++r) {
       for (std::size_t i = 0; i < n; ++i) {
         out[i] = L2Sqr(q.Row(0), rows.Row(i), d);
       }
       benchmark::DoNotOptimize(out.data());
     }
-    auto t1 = std::chrono::steady_clock::now();
+    scalar_s = std::min(scalar_s, t.Seconds());
+    t.Reset();
     for (int r = 0; r < reps; ++r) {
       L2SqrBatch(q.Row(0), rows.Row(0), rows.stride(), n, d, out.data());
       benchmark::DoNotOptimize(out.data());
     }
-    auto t2 = std::chrono::steady_clock::now();
-    scalar_s = std::min(scalar_s, std::chrono::duration<double>(t1 - t0).count());
-    batch_s = std::min(batch_s, std::chrono::duration<double>(t2 - t1).count());
+    batch_s = std::min(batch_s, t.Seconds());
   }
   const double speedup = scalar_s / batch_s;
+  // The active tier is part of every BENCH json (JsonReport adds it), so
+  // the smoke line no longer prints its own copy.
   const SimdTier tier = ActiveSimdTier();
-  std::printf("kernel smoke: tier=%s d=%zu n=%zu scalar=%.3fs batch=%.3fs "
+  std::printf("kernel smoke: d=%zu n=%zu scalar=%.3fs batch=%.3fs "
               "speedup=%.2fx\n",
-              SimdTierName(tier), d, n, scalar_s, batch_s, speedup);
+              d, n, scalar_s, batch_s, speedup);
+  bool ok = false;
   if (tier == SimdTier::kScalar) {
     // Forced-scalar (or no SIMD): the batch path IS the scalar loop; only
     // sanity-check it didn't regress.
-    const bool ok = speedup > 0.8;
+    ok = speedup > 0.8;
     std::printf("scalar tier: no speedup expected — %s\n",
                 ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+  } else {
+    ok = speedup >= 1.5;
+    std::printf("batched >= 1.5x per-pair scalar: %s\n", ok ? "PASS" : "FAIL");
   }
-  const bool ok = speedup >= 1.5;
-  std::printf("batched >= 1.5x per-pair scalar: %s\n", ok ? "PASS" : "FAIL");
+
+  bench::JsonReport report("micro_kernels");
+  report.Add("d", static_cast<double>(d));
+  report.Add("n", static_cast<double>(n));
+  report.Add("scalar_secs", scalar_s);
+  report.Add("batch_secs", batch_s);
+  report.Add("batch_speedup", speedup);
+  report.Add("pass", ok ? 1.0 : 0.0);
+  report.Write();
   return ok ? 0 : 1;
 }
 

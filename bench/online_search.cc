@@ -21,6 +21,8 @@
 #include "common/timer.h"
 #include "dataset/synthetic.h"
 #include "graph/brute_force.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/online_knn_graph.h"
 #include "stream/sharded_online_knn_graph.h"
 
@@ -45,7 +47,10 @@ double RecallAt10(const std::vector<std::vector<gkm::Neighbor>>& got,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke pins the CI smoke workload (build-and-test runs this bench at
+  // GKM_SCALE=0.3) so gate scripts get a stable BENCH json.
+  gkm::bench::SmokeFromArgs(argc, argv, 0.3);
   const std::size_t n = gkm::bench::ScaledN(20000, 5000);
   const std::size_t nq = 500;
   const std::size_t dim = 32;
@@ -77,23 +82,28 @@ int main() {
   for (std::size_t b = 0; b < n; b += window) {
     graph.InsertBatch(gkm::SliceRows(base, b, std::min(b + window, n)), &pool);
   }
+  const double ingest_secs = ingest.Seconds();
   std::printf("ingest: %zu points in %.2fs (%.0f pts/s, %zu threads), "
               "adaptive seeds settled at %zu (from %zu)\n",
-              n, ingest.Seconds(),
-              static_cast<double>(n) / ingest.Seconds(), pool.num_threads(),
-              graph.live_num_seeds(), p.num_seeds);
+              n, ingest_secs, static_cast<double>(n) / ingest_secs,
+              pool.num_threads(), graph.live_num_seeds(), p.num_seeds);
 
   const std::vector<std::vector<gkm::Neighbor>> truth =
       gkm::BruteForceSearch(base, queries, topk);
 
-  // --- Online SearchKnn, single thread, reused scratch. ---
+  // --- Online SearchKnn, single thread, reused scratch. Per-query
+  // latency lands in a concrete obs::Histogram (works in GKM_NO_STATS
+  // builds too), so the json carries p50/p99 alongside QPS. ---
   std::vector<std::vector<gkm::Neighbor>> online(nq);
   gkm::SearchScratch scratch;
+  gkm::obs::Histogram query_hist;
   gkm::Timer single;
   for (std::size_t q = 0; q < nq; ++q) {
+    gkm::obs::ScopedTimer span(query_hist);
     online[q] = graph.SearchKnn(queries.Row(q), topk, scratch);
   }
   const double single_secs = single.Seconds();
+  const gkm::obs::HistogramData query_lat = query_hist.Snapshot();
   const double online_recall = RecallAt10(online, truth);
 
   // --- Online SearchKnnBatch: one rwlock acquisition per batch of 64. ---
@@ -319,9 +329,24 @@ int main() {
               sharded_recall >= 0.8 ? "PASS" : "FAIL");
   std::printf("  sharded (S=4) recall@10 >= 0.8 post-churn: %s\n",
               sharded_churn_recall >= 0.8 ? "PASS" : "FAIL");
-  return (online_recall >= 0.8 && pool_identical && batch_identical &&
-          churn_recall >= 0.8 && arena_dense && sharded_recall >= 0.8 &&
-          sharded_churn_recall >= 0.8)
-             ? 0
-             : 1;
+  const bool pass = online_recall >= 0.8 && pool_identical &&
+                    batch_identical && churn_recall >= 0.8 && arena_dense &&
+                    sharded_recall >= 0.8 && sharded_churn_recall >= 0.8;
+
+  gkm::bench::JsonReport report("online_search");
+  report.Add("n", static_cast<double>(n));
+  report.Add("num_queries", static_cast<double>(nq));
+  report.Add("ingest_pts_per_sec", static_cast<double>(n) / ingest_secs);
+  report.Add("recall_at_10", online_recall);
+  report.Add("qps", static_cast<double>(nq) / single_secs);
+  report.Add("qps_batch64", static_cast<double>(nq) / batched_secs);
+  report.Add("qps_pool", static_cast<double>(nq) / multi_secs);
+  report.Add("p50_us", query_lat.Quantile(0.5));
+  report.Add("p99_us", query_lat.Quantile(0.99));
+  report.Add("recall_at_10_post_churn", churn_recall);
+  report.Add("recall_at_10_sharded", sharded_recall);
+  report.Add("pass", pass ? 1.0 : 0.0);
+  report.Write();
+
+  return pass ? 0 : 1;
 }

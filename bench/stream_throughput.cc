@@ -24,6 +24,8 @@
 #include "core/pipeline.h"
 #include "dataset/synthetic.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/checkpoint.h"
 #include "stream/streaming_gkmeans.h"
 
@@ -60,7 +62,10 @@ std::vector<char> ReadBytesOrDie(const std::string& path) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke pins the CI smoke workload (the scale build-and-test already
+  // runs via GKM_SCALE=0.2) so gate scripts get a stable BENCH json.
+  gkm::bench::SmokeFromArgs(argc, argv, 0.2);
   const std::size_t n = gkm::bench::ScaledN(50000, 50000);
   const std::size_t dim = 32;
   const std::size_t k = 64;
@@ -305,6 +310,25 @@ int main() {
   const double batch_secs = batch_timer.Seconds();
   const double batch_e = batch.clustering.distortion;
 
+  // --- Serving probe: per-query SearchKnn latency against the finished
+  // graph. Latency/QPS only — recall@10 needs ground truth and lives in
+  // bench_online_search's json. The concrete obs::Histogram is used
+  // directly (not via the registry), so the probe reports quantiles in
+  // GKM_NO_STATS builds too — which is what the overhead gate compares.
+  const std::size_t probe_queries = std::min<std::size_t>(n, 2000);
+  gkm::obs::Histogram serve_hist;
+  gkm::Timer serve_timer;
+  for (std::size_t i = 0; i < probe_queries; ++i) {
+    gkm::obs::ScopedTimer span(serve_hist);
+    model.graph().SearchKnn(data.vectors.Row(i), 10);
+  }
+  const double serve_secs = serve_timer.Seconds();
+  const gkm::obs::HistogramData serve_lat = serve_hist.Snapshot();
+  std::printf("\nserving probe: %zu queries, %.0f qps, p50 %.0f us, "
+              "p99 %.0f us\n",
+              probe_queries, static_cast<double>(probe_queries) / serve_secs,
+              serve_lat.Quantile(0.5), serve_lat.Quantile(0.99));
+
   std::printf("\nbatch GK-means: %.2fs, distortion %.4f\n", batch_secs,
               batch_e);
   std::printf("streaming:      distortion %.4f raw, %.4f consolidated "
@@ -355,5 +379,25 @@ int main() {
                     graph_identical && shard_identical &&
                     (!can_gate_speedup || graph_speedup >= 2.0) &&
                     (!can_gate_shards || shard_speedup >= 1.5);
+
+  gkm::bench::JsonReport report("stream_throughput");
+  report.Add("n", static_cast<double>(n));
+  report.Add("ingest_pts_per_sec", static_cast<double>(n) / stream_secs);
+  report.Add("graph_speedup_4t", graph_speedup);
+  report.Add("shard_speedup_4t", shard_speedup);
+  report.Add("pipeline_speedup_4t", pipeline_speedup);
+  report.Add("stream_distortion", stream_e);
+  report.Add("batch_distortion", batch_e);
+  report.Add("ckpt_save_secs", save_secs);
+  report.Add("ckpt_load_secs", load_secs);
+  report.Add("journal_bytes_per_window",
+             static_cast<double>(journal_bytes) /
+                 static_cast<double>(delta_windows));
+  report.Add("serve_qps", static_cast<double>(probe_queries) / serve_secs);
+  report.Add("serve_p50_us", serve_lat.Quantile(0.5));
+  report.Add("serve_p99_us", serve_lat.Quantile(0.99));
+  report.Add("pass", pass ? 1.0 : 0.0);
+  report.Write();
+
   return pass ? 0 : 1;
 }

@@ -25,6 +25,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 #if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
 #define GKM_KERNELS_X86 1
@@ -678,6 +679,17 @@ const KernelOps& OpsForTier(SimdTier tier) {
 SimdTier ActiveSimdTier() {
   static const SimdTier tier =
       ForceScalarEnv() ? SimdTier::kScalar : internal::BestSupportedTier();
+  // Export the dispatch decision once per process: the tier as a gauge
+  // (numeric enum value) plus a per-tier-name dispatch counter, so a stats
+  // scrape always shows which kernel table this process runs on. The hot
+  // kernels themselves stay uninstrumented (overhead contract in
+  // docs/observability.md).
+  static const bool recorded = [] {
+    GKM_GAUGE_SET("kernels.simd_tier", static_cast<std::int64_t>(tier));
+    GKM_COUNTER_ADD(std::string("kernels.dispatch.") + SimdTierName(tier), 1);
+    return true;
+  }();
+  (void)recorded;
   return tier;
 }
 
@@ -803,6 +815,9 @@ void AssignCore(const float* const* queries, const float* query_norms,
   const std::size_t rstride = rows.stride();
   const float* rbase = rows.Row(0);
   const internal::KernelOps& ops = Ops();
+  // Per-block counter (one Add per driver call, never per row — the
+  // per-query work below must stay pure kernel arithmetic).
+  GKM_COUNTER_ADD("kernels.assign.queries", static_cast<std::int64_t>(nq));
 
   if (!ops.dot_trick) {
     for (std::size_t i = 0; i < nq; ++i) {
@@ -867,6 +882,9 @@ void AssignCore(const float* const* queries, const float* query_norms,
           ops.l2_gather(q[j], &row, 1, d, &dists[i + j]);
         }
       } else {
+        // Counting here is in-budget: the fallback already pays a full
+        // exact rescan over all k rows.
+        GKM_COUNTER_ADD("kernels.assign.exact_fallback", 1);
         float dist = 0.0f;
         labels[i + j] = static_cast<std::uint32_t>(
             NearestRowBatch(q[j], rbase, rstride, k, d, &dist));

@@ -1,32 +1,41 @@
 // Copyright 2026 The gkmeans Authors.
 // Wall-clock timing for the benchmark harnesses and per-phase cost reports.
+// Thin stopwatch over the tree's single steady-clock source (obs/clock.h),
+// so every latency number — bench tables, trace spans, sampler uptimes —
+// comes off the same monotonic clock.
 
 #ifndef GKM_COMMON_TIMER_H_
 #define GKM_COMMON_TIMER_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.h"
 
 namespace gkm {
 
 /// Monotonic wall-clock stopwatch.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_ns_(obs::MonotonicNanos()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = obs::MonotonicNanos(); }
 
   /// Seconds elapsed since construction or the last Reset().
   double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return obs::NanosToSeconds(obs::MonotonicNanos() - start_ns_);
   }
 
   /// Milliseconds elapsed since construction or the last Reset().
   double Millis() const { return Seconds() * 1e3; }
 
+  /// Microseconds elapsed since construction or the last Reset().
+  double Micros() const {
+    return obs::NanosToMicros(obs::MonotonicNanos() - start_ns_);
+  }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::int64_t start_ns_;
 };
 
 }  // namespace gkm

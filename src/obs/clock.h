@@ -1,0 +1,40 @@
+// Copyright 2026 The gkmeans Authors.
+// The single steady-clock source of the tree. Every elapsed-time
+// measurement — common/timer.h stopwatches, the obs ScopedTimer/TraceSpan
+// instrumentation, the StatsSampler cadence, bench harness timing — reads
+// this one monotonic clock, so latencies recorded in different layers are
+// directly comparable and no call site reaches for std::chrono (or, worse,
+// a wall clock) on its own.
+//
+// Telemetry stays off the determinism path by construction: clock reads
+// feed metrics and logs only, never any value that is checkpointed,
+// journaled, hashed, or used to make a model decision (see
+// docs/observability.md, "The overhead and determinism contract").
+
+#ifndef GKM_OBS_CLOCK_H_
+#define GKM_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gkm::obs {
+
+/// Nanoseconds on the process-wide monotonic clock. The epoch is
+/// unspecified (steady_clock's); only differences are meaningful.
+inline std::int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Convenience conversions for the common reporting units.
+inline double NanosToMicros(std::int64_t ns) {
+  return static_cast<double>(ns) * 1e-3;
+}
+inline double NanosToSeconds(std::int64_t ns) {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+}  // namespace gkm::obs
+
+#endif  // GKM_OBS_CLOCK_H_

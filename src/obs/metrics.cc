@@ -1,0 +1,284 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace gkm::obs {
+namespace {
+
+// Mantissa thresholds of the 4 sub-buckets per octave: frexp yields
+// m in [0.5, 1); sub-bucket j covers m in [2^((j-4)/4), 2^((j-3)/4)).
+constexpr double kSub1 = 0.5946035575013605;  // 2^-0.75
+constexpr double kSub2 = 0.7071067811865476;  // 2^-0.5
+constexpr double kSub3 = 0.8408964152537145;  // 2^-0.25
+
+constexpr int kNumOctaves = 64;
+
+// Relaxed CAS-loop helpers for the double-valued histogram fields. Both
+// loops terminate: a failed CAS reloads the latest value, and the quantity
+// only ever moves toward the update.
+void AtomicAddDouble(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void AppendJsonNumber(std::string& out, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Histogram --
+
+std::size_t Histogram::BucketOf(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  const int octave = (e - 1) - kMinExp;  // 0-based octave above 2^kMinExp
+  if (octave < 0) return 0;
+  if (octave >= kNumOctaves) return kNumBuckets - 1;
+  int sub = 0;
+  if (m >= kSub3) {
+    sub = 3;
+  } else if (m >= kSub2) {
+    sub = 2;
+  } else if (m >= kSub1) {
+    sub = 1;
+  }
+  return 1 + static_cast<std::size_t>(octave) * 4 +
+         static_cast<std::size_t>(sub);
+}
+
+void Histogram::BucketBounds(std::size_t i, double* lower, double* upper) {
+  if (i == 0) {
+    *lower = 0.0;
+    *upper = std::ldexp(1.0, kMinExp);
+    return;
+  }
+  if (i >= kNumBuckets - 1) {
+    *lower = std::ldexp(1.0, kMinExp + kNumOctaves);
+    *upper = std::numeric_limits<double>::infinity();
+    return;
+  }
+  // Bucket i (1-based among the log buckets) spans one quarter-octave:
+  // [2^(kMinExp + (i-1)/4), 2^(kMinExp + i/4)).
+  *lower = std::pow(2.0, kMinExp + static_cast<double>(i - 1) / 4.0);
+  *upper = std::pow(2.0, kMinExp + static_cast<double>(i) / 4.0);
+}
+
+void Histogram::Record(double v) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(v)) {
+    AtomicAddDouble(sum_, v);
+    AtomicMaxDouble(max_, v);
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData d;
+  d.buckets.resize(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    d.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.max = max_.load(std::memory_order_relaxed);
+  return d;
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (buckets.empty()) buckets.resize(other.buckets.size(), 0);
+  GKM_CHECK_MSG(buckets.size() == other.buckets.size(),
+                "histogram merge with mismatched bucket layouts");
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based; q=1 is the max (exact).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen < target) continue;
+    if (i + 1 == buckets.size()) return max;  // overflow bucket: exact max
+    double lo = 0.0, hi = 0.0;
+    Histogram::BucketBounds(i, &lo, &hi);
+    // Geometric midpoint, clamped by the exact max (the top occupied
+    // bucket's midpoint may exceed it).
+    const double mid = i == 0 ? hi * 0.5 : std::sqrt(lo * hi);
+    return max > 0.0 ? std::min(mid, max) : mid;
+  }
+  return max;
+}
+
+// ------------------------------------------------------- RegistrySnapshot --
+
+std::string RegistrySnapshot::ToJson(std::uint64_t seq,
+                                     std::int64_t uptime_ns) const {
+  std::string out = "{\"schema\":\"gkm-stats-v1\",\"seq\":";
+  AppendJsonNumber(out, static_cast<double>(seq));
+  out += ",\"uptime_ns\":";
+  AppendJsonNumber(out, static_cast<double>(uptime_ns));
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":";
+    AppendJsonNumber(out, static_cast<double>(v));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":";
+    AppendJsonNumber(out, static_cast<double>(v));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":{\"count\":";
+    AppendJsonNumber(out, static_cast<double>(h.count));
+    out += ",\"mean\":";
+    AppendJsonNumber(out, h.Mean());
+    out += ",\"max\":";
+    AppendJsonNumber(out, h.max);
+    out += ",\"p50\":";
+    AppendJsonNumber(out, h.Quantile(0.50));
+    out += ",\"p90\":";
+    AppendJsonNumber(out, h.Quantile(0.90));
+    out += ",\"p99\":";
+    AppendJsonNumber(out, h.Quantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RegistrySnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(line, sizeof(line), "%-40s %lld\n", name.c_str(),
+                  static_cast<long long>(v));
+    out += line;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(line, sizeof(line), "%-40s %lld (gauge)\n", name.c_str(),
+                  static_cast<long long>(v));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s n=%llu mean=%.1f p50=%.1f p90=%.1f p99=%.1f "
+                  "max=%.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.Mean(), h.Quantile(0.5), h.Quantile(0.9),
+                  h.Quantile(0.99), h.max);
+    out += line;
+  }
+  return out;
+}
+
+// -------------------------------------------------------- MetricsRegistry --
+
+#if GKM_STATS_ENABLED
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally immortal (never destructed): instrument references are
+  // cached in function-local statics across the tree, and destruction
+  // order at exit must not be able to dangle them.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+#endif  // GKM_STATS_ENABLED
+
+}  // namespace gkm::obs

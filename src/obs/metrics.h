@@ -1,0 +1,305 @@
+// Copyright 2026 The gkmeans Authors.
+// Low-overhead, thread-safe telemetry primitives and the process-wide
+// MetricsRegistry behind them.
+//
+// Three instrument kinds:
+//
+//  * Counter — monotonically increasing event count. Add() is a relaxed
+//    fetch_add on a per-thread cache-line-padded shard (threads hash to
+//    one of kCounterShards lines, so concurrent writers almost never
+//    contend); Value() sums the shards at scrape time. Counts are exact:
+//    sharding trades scrape-time work for write-path cheapness, never
+//    increments.
+//
+//  * Gauge — a settable level (arena size, live seed count, SIMD tier).
+//    One relaxed atomic.
+//
+//  * Histogram — log-bucketed latency/size distribution: 4 sub-buckets
+//    per power of two (worst-case quantile error one bucket, i.e. a
+//    factor of 2^(1/4) ~ 19%), covering [2^-16, 2^48) with explicit
+//    underflow/overflow buckets, plus an exact count, sum and max.
+//    Record() is a handful of relaxed atomic updates; snapshots merge
+//    exactly (bucket-wise addition) and answer p50/p90/p99/max queries.
+//
+// The instruments themselves are always compiled — benches and tests use
+// them as plain local measurement tools. What GKM_NO_STATS compiles out is
+// the *instrumentation layer*: the registry degrades to no-op handles
+// (empty inline Add/Set/Record, no name table, no atomics), so every
+// GKM_COUNTER_ADD / TraceSpan site in the library vanishes entirely from
+// the build — the escape hatch proving telemetry stays within its
+// overhead budget (see docs/observability.md).
+//
+// Naming scheme ("dotted path, unit suffix"): subsystem.event[_unit],
+// e.g. stream.ingest.walk_us, serve.queries, kernels.simd_tier. Units:
+// _us microseconds, _bytes bytes; bare names are counts or levels.
+
+#ifndef GKM_OBS_METRICS_H_
+#define GKM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(GKM_NO_STATS)
+#define GKM_STATS_ENABLED 0
+#else
+#define GKM_STATS_ENABLED 1
+#endif
+
+namespace gkm::obs {
+
+// ---------------------------------------------------------------------------
+// Instruments (always compiled; see file comment).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kCounterShards = 16;  // power of two
+
+/// Index of the calling thread's counter shard: the first thread to call
+/// gets shard 0, the next shard 1, ... wrapping at kCounterShards. Distinct
+/// live threads below the shard count never share a line.
+inline unsigned ThreadShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed) &
+      static_cast<unsigned>(kCounterShards - 1);
+  return id;
+}
+
+/// Sharded monotonic event counter. Thread-safe; Add is wait-free.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::int64_t n = 1) {
+    shards_[ThreadShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Exact sum of all shards (relaxed reads: a scrape concurrent with
+  /// writers sees each increment either fully or not yet — never torn).
+  std::int64_t Value() const {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  Shard shards_[kCounterShards];
+};
+
+/// Settable level. Thread-safe.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time histogram contents: the mergeable, queryable snapshot
+/// form. Bucket i of `buckets` is Histogram's bucket i (see BucketBounds).
+struct HistogramData {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  /// Exact-count merge: bucket-wise addition (both sides must come from
+  /// Histogram snapshots, so the bucket layout is identical).
+  void Merge(const HistogramData& other);
+
+  /// Value at quantile q in [0, 1]: the geometric midpoint of the bucket
+  /// holding the rank-ceil(q*count) sample (exact for max; one log-bucket
+  /// of relative error, <= 2^(1/8) each side, otherwise). 0 when empty.
+  double Quantile(double q) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Log-bucketed distribution of a non-negative quantity (latencies in
+/// microseconds by convention). Thread-safe; Record is lock-free.
+class Histogram {
+ public:
+  /// 1 underflow + 64 octaves x 4 sub-buckets + 1 overflow.
+  static constexpr std::size_t kNumBuckets = 1 + 64 * 4 + 1;
+  /// Values below 2^kMinExp land in the underflow bucket, values at or
+  /// above 2^(kMinExp + 64) in the overflow bucket.
+  static constexpr int kMinExp = -16;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Folds one observation in. Non-positive and non-finite values count
+  /// into the underflow bucket (they never occur on intended call sites;
+  /// the histogram must still never corrupt its state on one).
+  void Record(double v);
+
+  /// Bucket index a value falls in — exposed for tests.
+  static std::size_t BucketOf(double v);
+  /// [lower, upper) value bounds of bucket i — exposed for tests.
+  static void BucketBounds(std::size_t i, double* lower, double* upper);
+
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent-enough copy for reporting: relaxed reads concurrent with
+  /// writers may straddle an in-flight Record (bucket landed, count not
+  /// yet) — bounded by the number of concurrent writers, exact once they
+  /// quiesce.
+  HistogramData Snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry snapshots (always compiled; empty under GKM_NO_STATS).
+// ---------------------------------------------------------------------------
+
+/// One scrape of every registered instrument, sorted by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Versioned machine-readable form (schema "gkm-stats-v1"): one JSON
+  /// object with counters/gauges verbatim and histograms summarized as
+  /// {count, mean, max, p50, p90, p99}. `seq` and `uptime_ns` come from
+  /// the caller (the sampler's tick counter and monotonic-clock uptime).
+  std::string ToJson(std::uint64_t seq, std::int64_t uptime_ns) const;
+
+  /// Human-readable aligned dump of the same content.
+  std::string ToText() const;
+};
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: the name -> instrument table. This is the GKM_NO_STATS
+// seam — the disabled variant hands out no-op handles and records nothing.
+// ---------------------------------------------------------------------------
+
+#if GKM_STATS_ENABLED
+
+/// Process-wide instrument table. Get* registers on first use and returns
+/// a reference that stays valid for the life of the process (instruments
+/// are never removed), so call sites resolve the name once into a static
+/// local and pay only the instrument update afterwards.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+  /// The process-wide registry (immortal: never destructed, so statically
+  /// cached instrument references cannot dangle during shutdown).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+#else  // !GKM_STATS_ENABLED
+
+/// No-op instrument handles: same surface as the real ones, empty inline
+/// bodies, so instrumented call sites compile to nothing.
+struct NoopCounter {
+  void Add(std::int64_t = 1) {}
+  std::int64_t Value() const { return 0; }
+};
+struct NoopGauge {
+  void Set(std::int64_t) {}
+  void Add(std::int64_t = 1) {}
+  std::int64_t Value() const { return 0; }
+};
+struct NoopHistogram {
+  void Record(double) {}
+  std::uint64_t Count() const { return 0; }
+  HistogramData Snapshot() const { return HistogramData(); }
+};
+
+class MetricsRegistry {
+ public:
+  NoopCounter& GetCounter(const std::string&) {
+    static NoopCounter c;
+    return c;
+  }
+  NoopGauge& GetGauge(const std::string&) {
+    static NoopGauge g;
+    return g;
+  }
+  NoopHistogram& GetHistogram(const std::string&) {
+    static NoopHistogram h;
+    return h;
+  }
+  RegistrySnapshot Snapshot() const { return RegistrySnapshot(); }
+  static MetricsRegistry& Global() {
+    static MetricsRegistry r;
+    return r;
+  }
+};
+
+#endif  // GKM_STATS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Call-site macros: resolve the name once (static local), update through
+// the cached handle. Under GKM_NO_STATS the argument expressions are never
+// evaluated — instrumentation cannot keep side effects alive in a no-stats
+// build, so only pass pure expressions.
+// ---------------------------------------------------------------------------
+
+#if GKM_STATS_ENABLED
+#define GKM_COUNTER_ADD(name, n)                                       \
+  do {                                                                 \
+    static ::gkm::obs::Counter& gkm_obs_c =                            \
+        ::gkm::obs::MetricsRegistry::Global().GetCounter(name);        \
+    gkm_obs_c.Add(n);                                                  \
+  } while (0)
+#define GKM_GAUGE_SET(name, v)                                         \
+  do {                                                                 \
+    static ::gkm::obs::Gauge& gkm_obs_g =                              \
+        ::gkm::obs::MetricsRegistry::Global().GetGauge(name);          \
+    gkm_obs_g.Set(v);                                                  \
+  } while (0)
+#define GKM_HISTOGRAM_RECORD(name, v)                                  \
+  do {                                                                 \
+    static ::gkm::obs::Histogram& gkm_obs_h =                          \
+        ::gkm::obs::MetricsRegistry::Global().GetHistogram(name);      \
+    gkm_obs_h.Record(v);                                               \
+  } while (0)
+#else
+#define GKM_COUNTER_ADD(name, n) do { } while (0)
+#define GKM_GAUGE_SET(name, v) do { } while (0)
+#define GKM_HISTOGRAM_RECORD(name, v) do { } while (0)
+#endif
+
+}  // namespace gkm::obs
+
+#endif  // GKM_OBS_METRICS_H_

@@ -1,0 +1,106 @@
+// Copyright 2026 The gkmeans Authors.
+
+#include "obs/sampler.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/clock.h"
+
+namespace gkm::obs {
+namespace {
+
+// Atomic file replace: write the whole payload to `path`.tmp, rename over
+// `path`. A concurrent reader sees either the previous complete file or
+// the new complete file, never a partial write. Failures are swallowed
+// (telemetry must never take the serving process down with it).
+void WriteFileAtomic(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;
+  const bool ok =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  const bool closed = std::fclose(f) == 0;
+  if (ok && closed) {
+    std::rename(tmp.c_str(), path.c_str());
+  } else {
+    std::remove(tmp.c_str());
+  }
+}
+
+}  // namespace
+
+StatsSampler::StatsSampler(MetricsRegistry& registry, SamplerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      start_ns_(MonotonicNanos()) {}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+bool StatsSampler::Start() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (running_) return false;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+bool StatsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!running_) return false;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    running_ = false;
+    stopping_ = false;
+  }
+  // Final flush after the thread is gone, so the last emitted sample
+  // reflects everything recorded up to the Stop() call.
+  SampleNow();
+  return true;
+}
+
+bool StatsSampler::running() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return running_;
+}
+
+void StatsSampler::SampleNow() {
+  Emit(registry_.Snapshot());
+}
+
+void StatsSampler::Emit(const RegistrySnapshot& snap) {
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t uptime = MonotonicNanos() - start_ns_;
+  if (options_.on_sample) options_.on_sample(snap);
+  if (!options_.json_path.empty()) {
+    WriteFileAtomic(options_.json_path, snap.ToJson(seq, uptime) + "\n");
+  }
+  if (options_.text_out != nullptr) {
+    const std::string text = snap.ToText();
+    std::fprintf(options_.text_out, "--- stats sample %llu (uptime %.1fs)\n%s",
+                 static_cast<unsigned long long>(seq),
+                 NanosToSeconds(uptime), text.c_str());
+    std::fflush(options_.text_out);
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    // Scrape outside the lifecycle lock: Snapshot takes the registry's own
+    // mutex and sinks may be slow; Stop must stay responsive throughout.
+    lock.unlock();
+    Emit(registry_.Snapshot());
+    lock.lock();
+    cv_.wait_for(lock, options_.period, [this] { return stopping_; });
+  }
+}
+
+}  // namespace gkm::obs

@@ -1,0 +1,95 @@
+// Copyright 2026 The gkmeans Authors.
+// StatsSampler: the monitoring daemon of a long-running ingest/serve
+// process. A background thread wakes on a fixed period, scrapes the
+// MetricsRegistry, and hands the snapshot to every configured sink — a
+// caller callback, a human-readable text stream, and/or an atomically
+// rewritten JSON file (schema "gkm-stats-v1", tmp + rename so a concurrent
+// reader never sees a torn file).
+//
+// Lifecycle (the hierarchical-monitors daemon shape): construct with
+// options, Start() spawns the thread, Stop() takes one final flush sample
+// and joins. Both are idempotent — double Start and double Stop are safe
+// no-ops returning false — and the destructor stops implicitly, so a
+// sampler can guard any scope. The sampler only ever *reads* instruments;
+// it perturbs no model state, takes no model locks, and is therefore
+// architecturally invisible to the determinism contract.
+
+#ifndef GKM_OBS_SAMPLER_H_
+#define GKM_OBS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace gkm::obs {
+
+/// Sinks and cadence of a StatsSampler. At least one sink should be set
+/// for the thread to be useful; none is still legal (the sampler then
+/// just counts ticks — handy in tests).
+struct SamplerOptions {
+  /// Time between scrapes. Also the worst-case Stop() latency bound —
+  /// Stop wakes the thread immediately via its condition variable.
+  std::chrono::milliseconds period{1000};
+  /// Called with every snapshot, on the sampler thread. Must not block
+  /// for long (the next tick waits on it) and must not call Start/Stop.
+  std::function<void(const RegistrySnapshot&)> on_sample;
+  /// When non-empty: each tick atomically rewrites this file with the
+  /// versioned JSON form of the snapshot (write tmp, rename over).
+  std::string json_path;
+  /// When non-null: each tick appends the human-readable dump here.
+  std::FILE* text_out = nullptr;
+};
+
+/// Periodic registry scraper with a clean start/stop lifecycle.
+class StatsSampler {
+ public:
+  explicit StatsSampler(MetricsRegistry& registry, SamplerOptions options);
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+  /// Stops the thread if still running.
+  ~StatsSampler();
+
+  /// Spawns the sampling thread. Returns false (and does nothing) if it
+  /// is already running.
+  bool Start();
+
+  /// Takes one final flush sample, stops the thread and joins it. Returns
+  /// false (and does nothing) if not running — double-stop safe.
+  bool Stop();
+
+  bool running() const;
+
+  /// Samples emitted so far (including the final flush of each Stop).
+  std::uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+  /// Scrapes and emits once, synchronously on the calling thread — the
+  /// same code path a tick runs. Usable whether or not the thread runs.
+  void SampleNow();
+
+ private:
+  void Emit(const RegistrySnapshot& snap);
+  void Loop();
+
+  MetricsRegistry& registry_;
+  const SamplerOptions options_;
+  const std::int64_t start_ns_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;   // guarded by mu_
+  bool stopping_ = false;  // guarded by mu_
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace gkm::obs
+
+#endif  // GKM_OBS_SAMPLER_H_

@@ -1,0 +1,124 @@
+// Copyright 2026 The gkmeans Authors.
+// RAII latency instrumentation over obs/metrics.h: TracePoint (a named
+// span site, resolved against the registry once) and TraceSpan /
+// ScopedTimer (record the enclosing scope's duration on destruction).
+//
+// Cost per span in an instrumented build: two monotonic clock reads plus
+// one histogram Record (a handful of relaxed atomics) — cheap enough for
+// per-batch and per-query scopes, deliberately NOT placed per-row or
+// per-kernel-invocation (see the overhead contract in
+// docs/observability.md). Under GKM_NO_STATS everything here is an empty
+// inline shell: no clock reads, no atomics, no registry.
+
+#ifndef GKM_OBS_TRACE_H_
+#define GKM_OBS_TRACE_H_
+
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace gkm::obs {
+
+#if GKM_STATS_ENABLED
+
+/// A named instrumentation site: histogram "<name>_us" + counter
+/// "<name>.calls", resolved once. Declare as a function-local static next
+/// to the scope it measures and open TraceSpans against it.
+class TracePoint {
+ public:
+  explicit TracePoint(const std::string& name)
+      : hist_(MetricsRegistry::Global().GetHistogram(name + "_us")),
+        calls_(MetricsRegistry::Global().GetCounter(name + ".calls")) {}
+
+  Histogram& hist() { return hist_; }
+  Counter& calls() { return calls_; }
+
+ private:
+  Histogram& hist_;
+  Counter& calls_;
+};
+
+/// Records the span from construction to destruction into `point`'s
+/// latency histogram (microseconds) and bumps its call counter.
+class TraceSpan {
+ public:
+  explicit TraceSpan(TracePoint& point)
+      : point_(point), start_ns_(MonotonicNanos()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    point_.hist().Record(NanosToMicros(MonotonicNanos() - start_ns_));
+    point_.calls().Add(1);
+  }
+
+ private:
+  TracePoint& point_;
+  std::int64_t start_ns_;
+};
+
+/// Records the scope's duration (microseconds) into a caller-owned
+/// histogram — the registry-free variant for benches and local
+/// measurement.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(hist), start_ns_(MonotonicNanos()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    hist_.Record(NanosToMicros(MonotonicNanos() - start_ns_));
+  }
+
+ private:
+  Histogram& hist_;
+  std::int64_t start_ns_;
+};
+
+#else  // !GKM_STATS_ENABLED
+
+class TracePoint {
+ public:
+  explicit TracePoint(const std::string&) {}
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(TracePoint&) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+/// The concrete Histogram class still exists under GKM_NO_STATS (benches
+/// use it directly); only the registry-backed instrumentation layer is
+/// stubbed, so this timer still works against a caller-owned histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(hist), start_ns_(MonotonicNanos()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    hist_.Record(NanosToMicros(MonotonicNanos() - start_ns_));
+  }
+
+ private:
+  Histogram& hist_;
+  std::int64_t start_ns_;
+};
+
+#endif  // GKM_STATS_ENABLED
+
+// Statement macro: `GKM_TRACE_SPAN("stream.ingest.walk");` instruments the
+// enclosing scope. One use per scope (fixed variable names).
+#if GKM_STATS_ENABLED
+#define GKM_TRACE_SPAN(name)                            \
+  static ::gkm::obs::TracePoint gkm_obs_trace_point(name); \
+  ::gkm::obs::TraceSpan gkm_obs_trace_span(gkm_obs_trace_point)
+#else
+#define GKM_TRACE_SPAN(name) do { } while (0)
+#endif
+
+}  // namespace gkm::obs
+
+#endif  // GKM_OBS_TRACE_H_

@@ -8,6 +8,8 @@
 
 #include "common/binary_io.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gkm {
 namespace {
@@ -264,6 +266,9 @@ bool HashFileBytes(const std::string& path, std::uint64_t* out,
 
 void SaveStreamCheckpoint(const std::string& path,
                           const StreamingGkMeans& model) {
+  // Telemetry here observes the save; it never feeds the written bytes
+  // (the checkpoint stays byte-identical with stats compiled out).
+  GKM_TRACE_SPAN("ckpt.save");
   const StreamSnapshot snap = model.Snapshot();
   const OnlineShardParts& shard0 = snap.shards[0];
   io::File f = io::OpenOrDie(path, "wb");
@@ -335,10 +340,15 @@ void SaveStreamCheckpoint(const std::string& path,
   }
 
   io::WriteArray(f.get(), kTrailer, 4);
+  const long total_bytes = std::ftell(f.get());
+  if (total_bytes > 0) {
+    GKM_COUNTER_ADD("ckpt.save.bytes", static_cast<std::int64_t>(total_bytes));
+  }
 }
 
 std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
     const std::string& path, std::string* error) {
+  GKM_TRACE_SPAN("ckpt.load");
   auto fail = [error](const std::string& msg) {
     if (error != nullptr) *error = msg;
     return std::optional<StreamingGkMeans>();
@@ -532,11 +542,14 @@ void StreamDeltaLog::StartJournal(const StreamingGkMeans& model) {
 }
 
 void StreamDeltaLog::AppendWindow(const Matrix& window) {
+  GKM_TRACE_SPAN("ckpt.delta.append_window");
   io::WriteRaw<std::uint8_t>(f_.get(), 'W');
   io::WriteMatrix(f_.get(), window);
   std::fflush(f_.get());
   journal_bytes_ += 1 + 16 + window.rows() * window.cols() * sizeof(float);
   ++replay_windows_;
+  GKM_GAUGE_SET("ckpt.delta.journal_bytes",
+                static_cast<std::int64_t>(journal_bytes_));
 }
 
 void StreamDeltaLog::AppendRemoval(std::uint32_t id) {
@@ -566,6 +579,7 @@ bool StreamDeltaLog::MaybeCompact(const StreamingGkMeans& model) {
 }
 
 void StreamDeltaLog::Compact(const StreamingGkMeans& model) {
+  GKM_TRACE_SPAN("ckpt.delta.compact");
   f_.reset();  // close before rewriting under the journal's feet
   // Crash safety, in two pieces. (1) The base is never truncated in
   // place: the new snapshot lands in a side file and renames over the
@@ -584,6 +598,7 @@ void StreamDeltaLog::Compact(const StreamingGkMeans& model) {
 std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
     const std::string& base_path, const std::string& delta_path,
     std::string* error) {
+  GKM_TRACE_SPAN("ckpt.delta.replay");
   auto fail = [error](const std::string& msg) {
     if (error != nullptr) *error = msg;
     return std::optional<StreamingGkMeans>();

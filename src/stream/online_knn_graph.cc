@@ -11,6 +11,8 @@
 #include "common/kernels.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gkm {
 namespace {
@@ -529,6 +531,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
       // Walks read a frozen graph: the ingest thread holds the shared side
       // for the whole phase, which also lets concurrent SearchKnn readers
       // proceed while excluding the commit phase below.
+      GKM_TRACE_SPAN("stream.ingest.walk");
       std::shared_lock<std::shared_mutex> read_guard(mu_.mu);
       if (pool != nullptr && width > 1) {
         pool->ParallelForSlots(0, width, plan_one);
@@ -537,6 +540,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
       }
     }
     {
+      GKM_TRACE_SPAN("stream.ingest.commit");
       std::unique_lock<std::shared_mutex> write_guard(mu_.mu);
       batch_ids.clear();
       for (std::size_t i = 0; i < width; ++i) {
@@ -549,6 +553,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
     }
     begin += width;
   }
+  GKM_COUNTER_ADD("stream.ingest.rows", static_cast<std::int64_t>(total));
 
   if (touched != nullptr) {
     std::sort(touched->begin(), touched->end());
@@ -560,6 +565,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
 
 void OnlineKnnGraph::Remove(std::uint32_t id,
                             std::vector<std::uint32_t>* repaired) {
+  GKM_COUNTER_ADD("stream.remove.calls", 1);
   std::unique_lock<std::shared_mutex> guard(mu_.mu);
   GKM_CHECK_MSG(id < points_.rows(), "Remove of an out-of-range id");
   GKM_CHECK_MSG(dead_[id] == 0, "Remove of an already-removed id");
@@ -618,6 +624,9 @@ void OnlineKnnGraph::CompactTombstones() {
 
 void OnlineKnnGraph::PurgeTombstonesLocked() {
   if (pending_dead_.empty()) return;
+  GKM_TRACE_SPAN("stream.purge");
+  GKM_COUNTER_ADD("stream.purge.tombstones",
+                  static_cast<std::int64_t>(pending_dead_.size()));
   // One sweep over every live list: drop edges whose target is tombstoned.
   // Degree lost here is not refilled — the Remove-time join already
   // repaired the neighborhood, and subsequent inserts' reverse-edge repair
@@ -669,6 +678,7 @@ std::vector<Neighbor> OnlineKnnGraph::SearchKnnLocked(
 std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
                                                 std::size_t topk,
                                                 SearchScratch& scratch) const {
+  GKM_TRACE_SPAN("serve.search");
   std::shared_lock<std::shared_mutex> guard(mu_.mu);
   return SearchKnnLocked(q, topk, scratch);
 }
@@ -684,6 +694,9 @@ std::vector<std::vector<Neighbor>> OnlineKnnGraph::SearchKnnBatch(
   GKM_CHECK_MSG(queries.cols() == points_.cols(),
                 "query dimension mismatch");
   std::vector<std::vector<Neighbor>> out(queries.rows());
+  GKM_TRACE_SPAN("serve.search_batch");
+  GKM_COUNTER_ADD("serve.search_batch.queries",
+                  static_cast<std::int64_t>(queries.rows()));
   // One reader acquisition for the whole batch. The corpus size is frozen
   // under the lock, so every per-query RNG below matches what a per-query
   // SearchKnn call would have drawn — results are element-wise identical.

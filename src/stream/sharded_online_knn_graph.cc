@@ -7,6 +7,8 @@
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gkm {
 namespace {
@@ -144,6 +146,7 @@ std::uint32_t ShardedOnlineKnnGraph::InsertBatch(
                 "one seed-hint vector per row required");
   const std::size_t total = rows.rows();
   if (total == 0) return kNoSlot;
+  GKM_TRACE_SPAN("stream.shard.insert_batch");
 
   // Deterministic partition: input row indices per shard, in row order.
   std::vector<std::vector<std::uint32_t>> rows_of(num_shards);
@@ -256,6 +259,7 @@ std::vector<Neighbor> ShardedOnlineKnnGraph::SearchKnn(
     const float* q, std::size_t topk, SearchScratch& scratch) const {
   const std::size_t num_shards = shards_.size();
   if (num_shards == 1) return shards_[0].SearchKnn(q, topk, scratch);
+  GKM_TRACE_SPAN("serve.shard.search");
   // Sequential fan-out, one shard's reader lock at a time: the query never
   // holds a lock while waiting for another shard's, so a commit in shard s
   // delays it only for the moment it reads shard s. Merge by the Neighbor

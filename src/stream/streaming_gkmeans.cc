@@ -12,6 +12,8 @@
 #include "common/macros.h"
 #include "core/candidate_harvest.h"
 #include "kmeans/two_means_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gkm {
 namespace {
@@ -102,6 +104,7 @@ StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
 
 void StreamingGkMeans::ObserveWindow(const Matrix& window) {
   GKM_CHECK_MSG(window.cols() == dim(), "window dimension mismatch");
+  GKM_TRACE_SPAN("stream.window");
   WindowStats ws;
   ws.window = static_cast<std::size_t>(windows_);
   ws.points = window.rows();
@@ -167,6 +170,16 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
   }
 
   if (bootstrapped_ && state_.n() > 0) ws.distortion = state_.Distortion();
+  GKM_COUNTER_ADD("stream.window.count", 1);
+  GKM_COUNTER_ADD("stream.window.points", static_cast<std::int64_t>(ws.points));
+  GKM_COUNTER_ADD("stream.window.expired",
+                  static_cast<std::int64_t>(ws.expired));
+  GKM_COUNTER_ADD("stream.window.touched",
+                  static_cast<std::int64_t>(ws.touched));
+  GKM_COUNTER_ADD("stream.window.split_merges",
+                  static_cast<std::int64_t>(ws.split_merges));
+  GKM_GAUGE_SET("stream.points_alive",
+                static_cast<std::int64_t>(graph_.num_alive()));
   ++windows_;
   if (params_.history_limit > 0 && history_.size() >= params_.history_limit) {
     history_.pop_front();

@@ -80,6 +80,54 @@ std::string BuildGoldenCheckpoint() {
   return ReadFileBytes(path);
 }
 
+// GKMD twin of the checkpoint pin: the same pipeline cut mid-stream, the
+// remainder journaled window by window plus one explicit removal and a
+// closing state-check digest. Journal bytes bind to the base snapshot by
+// hash and carry no clocks, counters or any other telemetry-adjacent
+// value, so they pin exactly like the base does — and the pin holds
+// bit-for-bit in instrumented and GKM_NO_STATS builds alike.
+std::string BuildGoldenJournal() {
+  SyntheticSpec spec;
+  spec.n = 900;
+  spec.dim = 16;
+  spec.modes = 9;
+  spec.seed = 123;
+  const SyntheticData data = MakeGaussianMixture(spec);
+
+  StreamingGkMeansParams p;
+  p.k = 9;
+  p.kappa = 8;
+  p.graph.kappa = 8;
+  p.graph.beam_width = 24;
+  p.graph.num_seeds = 16;
+  p.graph.bootstrap = 128;
+  p.graph.seed = 77;
+  p.bootstrap_min = 256;
+  p.ingest_threads = 1;
+  p.seed = 31;
+
+  StreamingGkMeans model(spec.dim, p);
+  const std::size_t window = 150;
+  for (std::size_t b = 0; b < 600; b += window) {
+    model.ObserveWindow(SliceRows(data.vectors, b, b + window));
+  }
+
+  const std::string base =
+      std::string(::testing::TempDir()) + "/gkm_golden_delta_base.bin";
+  const std::string delta =
+      std::string(::testing::TempDir()) + "/gkm_golden_delta.gkmd";
+  StreamDeltaLog log(base, delta, model);
+  for (std::size_t b = 600; b < 900; b += window) {
+    const Matrix w = SliceRows(data.vectors, b, b + window);
+    log.AppendWindow(w);
+    model.ObserveWindow(w);
+  }
+  log.AppendRemoval(3);
+  model.RemovePoint(3);
+  log.AppendStateCheck(model);
+  return ReadFileBytes(delta);
+}
+
 // Captured from the GKMC v4 layout (sharded-graph PR; S=1 here). Both
 // halves of the pin matter: the size catches layout drift, the hash
 // catches numeric drift.
@@ -163,6 +211,25 @@ TEST(CheckpointGolden, V2ProjectionStillMatchesPreKernelGolden) {
 // whatever distance path is dispatched).
 TEST(CheckpointGolden, RepeatRunsAreByteIdentical) {
   EXPECT_EQ(BuildGoldenCheckpoint(), BuildGoldenCheckpoint());
+}
+
+// GKMD journal pin (captured from the v1 journal layout, telemetry PR).
+// A clock or counter value leaking into a journal record — the exact
+// failure mode the telemetry determinism contract forbids — lands here as
+// a hash mismatch, in instrumented and GKM_NO_STATS builds alike.
+constexpr std::uint64_t kGoldenJournalHash = 0x270aedbdbbdeeb77ULL;
+constexpr std::size_t kGoldenJournalSize = 19272;
+
+TEST(CheckpointGolden, DeltaJournalBytesAreBitStable) {
+  const std::string bytes = BuildGoldenJournal();
+  const std::uint64_t hash = Fnv1a64(bytes);
+  if (std::getenv("GKM_PRINT_GOLDEN") != nullptr) {
+    std::printf("journal hash = 0x%016llxULL size = %zu\n",
+                static_cast<unsigned long long>(hash), bytes.size());
+    return;
+  }
+  EXPECT_EQ(bytes.size(), kGoldenJournalSize);
+  EXPECT_EQ(hash, kGoldenJournalHash);
 }
 
 }  // namespace

@@ -1,0 +1,331 @@
+// Copyright 2026 The gkmeans Authors.
+// Tests for the telemetry subsystem (src/obs/): histogram quantiles
+// against a sorted-vector oracle, exact counter aggregation under
+// concurrent writers, snapshot merge exactness, and the sampler's
+// start/stop lifecycle. Every test also compiles (and the applicable
+// subset runs) under GKM_NO_STATS — registry-dependent cases are gated on
+// GKM_STATS_ENABLED, instrument-level cases run in both configs.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/clock.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+namespace gkm::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsPartitionThePositiveReals) {
+  double prev_upper = 0.0;
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    double lo = 0.0, hi = 0.0;
+    Histogram::BucketBounds(i, &lo, &hi);
+    EXPECT_EQ(lo, prev_upper) << "gap/overlap before bucket " << i;
+    EXPECT_LT(lo, hi);
+    prev_upper = hi;
+  }
+  EXPECT_TRUE(std::isinf(prev_upper));
+}
+
+TEST(HistogramTest, BucketOfAgreesWithBucketBounds) {
+  // Probe just inside both edges of every finite bucket.
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    double lo = 0.0, hi = 0.0;
+    Histogram::BucketBounds(i, &lo, &hi);
+    const double inner_lo = i == 0 ? lo : lo * 1.0000001;
+    EXPECT_EQ(Histogram::BucketOf(inner_lo), i) << "lower edge of " << i;
+    if (std::isfinite(hi)) {
+      EXPECT_EQ(Histogram::BucketOf(hi * 0.9999999), i)
+          << "upper edge of " << i;
+    }
+  }
+}
+
+TEST(HistogramTest, DegenerateValuesLandInUnderflow) {
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(-3.5), 0u);
+  EXPECT_EQ(Histogram::BucketOf(std::nan("")), 0u);
+  // +inf is non-finite: underflow by policy (never corrupts state).
+  EXPECT_EQ(Histogram::BucketOf(HUGE_VAL), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs a sorted-vector oracle. The histogram's contract: the
+// reported quantile is within one log-bucket of the exact order statistic
+// (relative error <= 2^(1/8) per side for in-range values), and q=1.0 /
+// the overflow bucket report the exact max.
+// ---------------------------------------------------------------------------
+
+double OracleQuantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[rank == 0 ? 0 : rank - 1];
+}
+
+TEST(HistogramQuantileTest, TracksSortedOracleWithinOneBucket) {
+  Rng rng(17);
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~6 decades: exercises many octaves.
+    const double v = std::pow(10.0, 6.0 * rng.UniformFloat() - 2.0);
+    values.push_back(v);
+    h.Record(v);
+  }
+  const HistogramData d = h.Snapshot();
+  ASSERT_EQ(d.count, values.size());
+  const double tol = std::pow(2.0, 0.125) + 1e-9;  // one sub-bucket per side
+  for (const double q : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double exact = OracleQuantile(values, q);
+    const double approx = d.Quantile(q);
+    EXPECT_LE(approx / exact, tol) << "q=" << q;
+    EXPECT_GE(approx / exact, 1.0 / tol) << "q=" << q;
+  }
+  EXPECT_EQ(d.Quantile(1.0), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(HistogramQuantileTest, SingleBucketEdge) {
+  // All mass in one bucket: every quantile answers from that bucket and
+  // stays clamped by the exact max.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(3.0);
+  const HistogramData d = h.Snapshot();
+  double lo = 0.0, hi = 0.0;
+  Histogram::BucketBounds(Histogram::BucketOf(3.0), &lo, &hi);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double v = d.Quantile(q);
+    EXPECT_GE(v, lo) << "q=" << q;
+    EXPECT_LE(v, 3.0) << "q=" << q;  // clamped by max, not bucket upper
+  }
+}
+
+TEST(HistogramQuantileTest, OverflowBucketReportsExactMax) {
+  Histogram h;
+  h.Record(1.0);
+  const double huge = std::ldexp(1.0, 60);  // above 2^48: overflow bucket
+  h.Record(huge);
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.buckets.back(), 1u);
+  EXPECT_EQ(d.Quantile(0.99), huge);
+  EXPECT_EQ(d.Quantile(1.0), huge);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramAnswersZero) {
+  Histogram h;
+  EXPECT_EQ(h.Snapshot().Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeIsExactBucketwiseAddition) {
+  Rng rng(23);
+  Histogram a, b, whole;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::pow(10.0, 4.0 * rng.UniformFloat());
+    (i % 2 == 0 ? a : b).Record(v);
+    whole.Record(v);
+  }
+  HistogramData merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramData expect = whole.Snapshot();
+  EXPECT_EQ(merged.buckets, expect.buckets);
+  EXPECT_EQ(merged.count, expect.count);
+  // Counts merge exactly; the float sum only up to summation order.
+  EXPECT_NEAR(merged.sum, expect.sum, 1e-9 * expect.sum);
+  EXPECT_EQ(merged.max, expect.max);
+  EXPECT_EQ(merged.Quantile(0.9), expect.Quantile(0.9));
+}
+
+// ---------------------------------------------------------------------------
+// Counter aggregation under concurrent writers. Counts must be exact:
+// sharding moves contention off the write path, it never drops
+// increments. This test runs under TSan in CI.
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, ExactUnderEightConcurrentWriters) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, ExactCountUnderConcurrentRecords) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : d.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, d.count);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 40);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + trace spans (instrumented builds only: under GKM_NO_STATS the
+// registry hands out no-ops and spans compile away — which is the point).
+// ---------------------------------------------------------------------------
+
+#if GKM_STATS_ENABLED
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("test.counter");
+  Counter& b = reg.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3);
+  EXPECT_NE(static_cast<void*>(&reg.GetCounter("test.other")),
+            static_cast<void*>(&a));
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.counter").Add(2);
+  reg.GetCounter("a.counter").Add(1);
+  reg.GetGauge("g.level").Set(7);
+  reg.GetHistogram("h.lat_us").Record(5.0);
+  const RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.counter");
+  EXPECT_EQ(snap.counters[0].second, 1);
+  EXPECT_EQ(snap.counters[1].first, "b.counter");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 7);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonShapeIsVersioned) {
+  MetricsRegistry reg;
+  reg.GetCounter("c").Add(1);
+  const std::string json = reg.Snapshot().ToJson(3, 1000);
+  EXPECT_NE(json.find("\"schema\":\"gkm-stats-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_ns\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":1"), std::string::npos);
+}
+
+TEST(TraceSpanTest, RecordsIntoPointInstruments) {
+  TracePoint point("test.span");
+  { TraceSpan span(point); }
+  { TraceSpan span(point); }
+  EXPECT_EQ(point.calls().Value(), 2);
+  EXPECT_EQ(point.hist().Count(), 2u);
+}
+
+#endif  // GKM_STATS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Sampler lifecycle. The sampler itself is built in both configs (its
+// registry reference degrades to the no-op registry under GKM_NO_STATS,
+// but start/stop semantics are identical).
+// ---------------------------------------------------------------------------
+
+TEST(StatsSamplerTest, StartStopLifecycle) {
+  SamplerOptions opts;
+  opts.period = std::chrono::milliseconds(5);
+  std::atomic<int> ticks{0};
+  opts.on_sample = [&ticks](const RegistrySnapshot&) { ticks.fetch_add(1); };
+  StatsSampler sampler(MetricsRegistry::Global(), opts);
+
+  EXPECT_FALSE(sampler.running());
+  EXPECT_TRUE(sampler.Start());
+  EXPECT_TRUE(sampler.running());
+  EXPECT_FALSE(sampler.Start());  // double start: rejected
+
+  // The loop samples immediately on entry; wait for at least one tick.
+  while (ticks.load() == 0) std::this_thread::yield();
+
+  EXPECT_TRUE(sampler.Stop());
+  EXPECT_FALSE(sampler.running());
+  EXPECT_FALSE(sampler.Stop());  // double stop: rejected, no hang
+  const int after_stop = ticks.load();
+  EXPECT_GE(after_stop, 2);  // >= 1 periodic + the final flush
+  EXPECT_EQ(sampler.samples(), static_cast<std::uint64_t>(after_stop));
+
+  // Restartable after a stop.
+  EXPECT_TRUE(sampler.Start());
+  EXPECT_TRUE(sampler.Stop());
+}
+
+TEST(StatsSamplerTest, DestructorStopsARunningSampler) {
+  std::atomic<int> ticks{0};
+  {
+    SamplerOptions opts;
+    opts.period = std::chrono::milliseconds(1);
+    opts.on_sample = [&ticks](const RegistrySnapshot&) { ticks.fetch_add(1); };
+    StatsSampler sampler(MetricsRegistry::Global(), opts);
+    sampler.Start();
+    while (ticks.load() == 0) std::this_thread::yield();
+  }  // destructor must stop + join without a use-after-free
+  SUCCEED();
+}
+
+TEST(StatsSamplerTest, SampleNowWorksWithoutThread) {
+  std::atomic<int> ticks{0};
+  SamplerOptions opts;
+  opts.on_sample = [&ticks](const RegistrySnapshot&) { ticks.fetch_add(1); };
+  StatsSampler sampler(MetricsRegistry::Global(), opts);
+  sampler.SampleNow();
+  EXPECT_EQ(ticks.load(), 1);
+  EXPECT_EQ(sampler.samples(), 1u);
+}
+
+TEST(StatsSamplerTest, JsonSinkWritesParseableFile) {
+  const std::string path = "/tmp/gkm_obs_sampler_test.json";
+  std::remove(path.c_str());
+  SamplerOptions opts;
+  opts.json_path = path;
+  StatsSampler sampler(MetricsRegistry::Global(), opts);
+  sampler.SampleNow();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_GT(got, 0u);
+  EXPECT_EQ(std::string(buf).rfind("{\"schema\":\"gkm-stats-v1\"", 0), 0u);
+}
+
+}  // namespace
+}  // namespace gkm::obs

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+# Copyright 2026 The gkmeans Authors.
+"""Gates telemetry overhead: instrumented vs GKM_NO_STATS bench results.
+
+Usage:
+  check_bench_overhead.py INSTRUMENTED.json[,MORE.json...] \\
+      BASELINE.json[,MORE.json...] \\
+      [--metric ingest_pts_per_sec] [--min-ratio 0.97]
+
+Both inputs are gkm-bench-v1 files from the SAME bench run in the two
+build configs on the same machine. Each side accepts a comma-separated
+list of repeat runs; the best (max) value per side is compared, which
+filters out one-off scheduler noise on shared CI runners. The gate
+passes when
+    best(instrumented[metric]) / best(baseline[metric]) >= min_ratio
+i.e. compiling the telemetry in costs at most (1 - min_ratio) of the
+throughput metric. See the overhead contract in docs/observability.md.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metric(path: str, metric: str) -> float:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "gkm-bench-v1":
+        raise ValueError(f"{path}: not a gkm-bench-v1 file")
+    value = doc.get("metrics", {}).get(metric)
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise ValueError(f"{path}: metric {metric!r} is {value!r}, "
+                         "want a positive number")
+    return float(value)
+
+
+def best_metric(paths: str, metric: str) -> float:
+    return max(load_metric(p, metric) for p in paths.split(","))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("instrumented",
+                        help="json(s) from the default build, comma-separated")
+    parser.add_argument("baseline",
+                        help="json(s) from the GKM_NO_STATS build, "
+                             "comma-separated")
+    parser.add_argument("--metric", default="ingest_pts_per_sec")
+    parser.add_argument("--min-ratio", type=float, default=0.97)
+    args = parser.parse_args()
+
+    try:
+        with_stats = best_metric(args.instrumented, args.metric)
+        no_stats = best_metric(args.baseline, args.metric)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 2
+
+    ratio = with_stats / no_stats
+    verdict = "PASS" if ratio >= args.min_ratio else "FAIL"
+    print(f"{verdict}: {args.metric} instrumented={with_stats:.1f} "
+          f"no-stats={no_stats:.1f} ratio={ratio:.4f} "
+          f"(gate >= {args.min_ratio})")
+    return 0 if ratio >= args.min_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
