@@ -1,0 +1,48 @@
+// Copyright 2026 The gkmeans Authors.
+// libFuzzer harness for TryLoadStreamCheckpoint: every byte string must
+// produce either a model or a clean error — never an abort, crash,
+// unbounded allocation, or leak. The input is served through fmemopen so
+// no filesystem round-trip is needed per execution.
+//
+// Build with -DGKM_FUZZ=ON. Under Clang this links libFuzzer; elsewhere
+// GKM_FUZZ_STANDALONE supplies a main() that replays the files given on
+// the command line (the checked-in corpus doubles as a regression suite).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "stream/checkpoint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;  // fmemopen rejects zero-length buffers
+  std::FILE* f = fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
+  if (f == nullptr) return 0;
+  std::string error;
+  (void)gkm::TryLoadStreamCheckpoint(f, &error);
+  std::fclose(f);
+  return 0;
+}
+
+#ifdef GKM_FUZZ_STANDALONE
+#include <cstdlib>
+#include <vector>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<std::uint8_t> bytes;
+    int c;
+    while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<std::uint8_t>(c));
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
+#endif  // GKM_FUZZ_STANDALONE

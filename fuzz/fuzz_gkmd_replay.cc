@@ -1,0 +1,70 @@
+// Copyright 2026 The gkmeans Authors.
+// libFuzzer harness for the delta-journal replay path: a fixed valid base
+// checkpoint (regenerated deterministically at startup from
+// fuzz/fuzz_model.h, byte-identical to the one the corpus seeds were
+// journaled against) plus a fuzzed journal must produce either a resumed
+// model or a clean error — never an abort or crash. A journal cut mid-
+// record, lying about record sizes, or carrying unknown tags is the
+// expected input here, not the exception.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fuzz_model.h"
+#include "stream/checkpoint.h"
+
+namespace {
+
+std::string g_base_path;
+
+void EnsureBase() {
+  if (!g_base_path.empty()) return;
+  const char* tmp = std::getenv("TMPDIR");
+  g_base_path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                "/gkm_fuzz_gkmd_base." + std::to_string(getpid()) + ".gkmc";
+  gkm::SaveStreamCheckpoint(g_base_path, gkmfuzz::MakeFuzzBase(1));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerInitialize(int*, char***) {
+  EnsureBase();
+  return 0;
+}
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;  // fmemopen rejects zero-length buffers
+  EnsureBase();  // standalone builds never call LLVMFuzzerInitialize
+  std::FILE* journal = fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
+  if (journal == nullptr) return 0;
+  std::string error;
+  (void)gkm::TryResumeStreamCheckpoint(g_base_path, journal, &error);
+  std::fclose(journal);
+  return 0;
+}
+
+#ifdef GKM_FUZZ_STANDALONE
+#include <vector>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<std::uint8_t> bytes;
+    int c;
+    while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<std::uint8_t>(c));
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
+#endif  // GKM_FUZZ_STANDALONE

@@ -1,0 +1,79 @@
+// Copyright 2026 The gkmeans Authors.
+// Deterministic miniature model shared by the fuzz harnesses and the seed
+// corpus generator (fuzz/make_corpus.cc). fuzz_gkmd_replay.cc rebuilds the
+// exact same base checkpoint at startup that make_corpus wrote the journal
+// seeds against, so their base-hash binding survives into the fuzz run.
+// Keep every constant here in sync across harness and generator by never
+// duplicating them — change this file, then regenerate the corpus
+// (`make_fuzz_corpus <repo>/fuzz/corpus`).
+
+#ifndef GKM_FUZZ_FUZZ_MODEL_H_
+#define GKM_FUZZ_FUZZ_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "dataset/synthetic.h"
+#include "stream/streaming_gkmeans.h"
+
+namespace gkmfuzz {
+
+constexpr std::size_t kDim = 6;
+constexpr std::size_t kWindowRows = 16;
+// Windows fed into the base model; FuzzWindows() returns two extra so the
+// corpus generator can journal post-base ingest records.
+constexpr std::size_t kBaseWindows = 4;
+constexpr std::size_t kExtraWindows = 2;
+
+inline gkm::StreamingGkMeansParams FuzzParams(std::size_t shards) {
+  gkm::StreamingGkMeansParams p;
+  p.k = 3;
+  p.kappa = 4;
+  p.graph.kappa = 4;
+  p.graph.beam_width = 12;
+  p.graph.num_seeds = 8;
+  p.graph.bootstrap = 16;
+  p.graph.seed = 11;
+  p.graph.shards = shards;
+  p.bootstrap_min = 32;  // must exceed 2k
+  p.bootstrap_epochs = 2;
+  p.bisect_epochs = 2;
+  p.route_hints = 2;
+  p.seed = 5;
+  return p;
+}
+
+inline std::vector<gkm::Matrix> FuzzWindows() {
+  gkm::SyntheticSpec spec;
+  spec.n = kWindowRows * (kBaseWindows + kExtraWindows);
+  spec.dim = kDim;
+  spec.modes = 3;
+  spec.seed = 13;
+  const gkm::SyntheticData data = gkm::MakeGaussianMixture(spec);
+  std::vector<gkm::Matrix> windows;
+  for (std::size_t w = 0; w < kBaseWindows + kExtraWindows; ++w) {
+    windows.push_back(
+        gkm::SliceRows(data.vectors, w * kWindowRows, (w + 1) * kWindowRows));
+  }
+  return windows;
+}
+
+/// Bootstrapped model with tombstones: kBaseWindows windows ingested, two
+/// points removed. The state every GKMC/GKMD seed in the corpus derives
+/// from.
+inline gkm::StreamingGkMeans MakeFuzzBase(std::size_t shards) {
+  gkm::StreamingGkMeans model(kDim, FuzzParams(shards));
+  const std::vector<gkm::Matrix> windows = FuzzWindows();
+  for (std::size_t w = 0; w < kBaseWindows; ++w) {
+    model.ObserveWindow(windows[w]);
+  }
+  model.RemovePoint(3);
+  model.RemovePoint(10);
+  return model;
+}
+
+}  // namespace gkmfuzz
+
+#endif  // GKM_FUZZ_FUZZ_MODEL_H_

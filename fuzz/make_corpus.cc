@@ -1,0 +1,220 @@
+// Copyright 2026 The gkmeans Authors.
+// Seed-corpus generator for the checkpoint fuzz harnesses. Usage:
+//
+//   make_fuzz_corpus <output-dir>      # typically <repo>/fuzz/corpus
+//
+// Writes GKMC seeds under <out>/gkmc_load/ and GKMD journal seeds under
+// <out>/gkmd_replay/, every one derived from the deterministic model in
+// fuzz/fuzz_model.h so the journal seeds' base-hash binding matches the
+// base fuzz_gkmd_replay.cc rebuilds at startup. Current-version (v4)
+// checkpoints come from the real writer; v2/v3 layouts are handcrafted
+// here because the writer only emits v4 — each file is loaded back through
+// the Try* entry points before the generator exits, so a drifted legacy
+// layout fails generation instead of checking in a dead seed.
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "fuzz_model.h"
+#include "stream/checkpoint.h"
+#include "stream/streaming_gkmeans.h"
+
+namespace {
+
+void Die(const std::string& msg) {
+  std::fprintf(stderr, "make_fuzz_corpus: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+void MakeDir(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    Die("cannot create " + path);
+  }
+}
+
+void CopyFile(const std::string& from, const std::string& to) {
+  std::FILE* in = std::fopen(from.c_str(), "rb");
+  if (in == nullptr) Die("cannot read " + from);
+  std::FILE* out = std::fopen(to.c_str(), "wb");
+  if (out == nullptr) Die("cannot write " + to);
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    if (std::fwrite(buf, 1, n, out) != n) Die("short write to " + to);
+  }
+  std::fclose(in);
+  std::fclose(out);
+}
+
+// --- legacy (v2/v3) writers -------------------------------------------------
+// Mirrors the layout documented in docs/checkpoint-format.md: v3 is v4
+// without the shard section table, v2 is additionally without the
+// ttl_windows/graph.shards params fields and the removal block.
+
+void WriteLegacyParams(std::FILE* f, const gkm::StreamingGkMeansParams& p,
+                       std::uint32_t version) {
+  gkm::io::WriteRaw<std::uint64_t>(f, p.k);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.kappa);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.graph.kappa);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.graph.beam_width);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.graph.num_seeds);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.graph.bootstrap);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.graph.seed);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.epochs_per_window);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.bootstrap_min);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.bootstrap_epochs);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.bisect_epochs);
+  gkm::io::WriteRaw<double>(f, p.drift_threshold);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.max_extra_epochs);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.max_splits_per_window);
+  gkm::io::WriteRaw<double>(f, p.split_gain_factor);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.route_hints);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.history_limit);
+  gkm::io::WriteRaw<std::uint64_t>(f, p.seed);
+  if (version >= 3) gkm::io::WriteRaw<std::uint64_t>(f, p.ttl_windows);
+}
+
+void WriteRngSnap(std::FILE* f, const gkm::RngSnapshot& r) {
+  gkm::io::WriteArray(f, r.s, 4);
+  gkm::io::WriteRaw<std::uint8_t>(f, r.have_spare ? 1 : 0);
+  gkm::io::WriteRaw<double>(f, r.spare);
+}
+
+void WriteIds(std::FILE* f, const std::vector<std::uint32_t>& ids) {
+  gkm::io::WriteRaw<std::uint64_t>(f, ids.size());
+  gkm::io::WriteArray(f, ids.data(), ids.size());
+}
+
+void WriteLegacyCheckpoint(const std::string& path,
+                           const gkm::StreamSnapshot& snap,
+                           std::uint32_t version) {
+  if (snap.shards.size() != 1) Die("legacy formats are single-shard");
+  const gkm::OnlineShardParts& shard0 = snap.shards[0];
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) Die("cannot write " + path);
+
+  gkm::io::WriteArray(f, "GKMC", 4);
+  gkm::io::WriteRaw<std::uint32_t>(f, version);
+  WriteLegacyParams(f, snap.params, version);
+
+  gkm::io::WriteRaw<std::uint64_t>(f, snap.windows);
+  gkm::io::WriteRaw<std::uint8_t>(f, snap.bootstrapped ? 1 : 0);
+  WriteRngSnap(f, snap.rng);
+  WriteRngSnap(f, shard0.rng);
+  gkm::io::WriteRaw<std::uint64_t>(f, shard0.seeds.live_seeds);
+  gkm::io::WriteRaw<double>(f, shard0.seeds.fail_ewma);
+  gkm::io::WriteRaw<std::uint64_t>(f, shard0.seeds.audit_tick);
+
+  gkm::io::WriteMatrix(f, shard0.points);
+  shard0.graph.SaveTo(f);
+  gkm::io::WriteRaw<std::uint64_t>(f, snap.labels.size());
+  gkm::io::WriteArray(f, snap.labels.data(), snap.labels.size());
+  gkm::io::WriteArray(f, snap.cluster_reps.data(), snap.cluster_reps.size());
+
+  gkm::io::WriteRaw<std::uint64_t>(f, snap.n);
+  gkm::io::WriteArray(f, snap.counts.data(), snap.counts.size());
+  gkm::io::WriteArray(f, snap.composites.data(), snap.composites.size());
+  gkm::io::WriteArray(f, snap.composite_norms.data(),
+                      snap.composite_norms.size());
+  gkm::io::WriteArray(f, snap.point_norms.data(), snap.point_norms.size());
+  gkm::io::WriteRaw<double>(f, snap.sum_point_norms);
+
+  gkm::io::WriteMatrix(f, snap.prev_centroids);
+
+  if (version >= 3) {
+    WriteIds(f, shard0.removal.pending_dead);
+    WriteIds(f, shard0.removal.free_slots);
+    gkm::io::WriteRaw<std::uint32_t>(f, shard0.removal.last_inserted);
+    gkm::io::WriteRaw<std::uint64_t>(f, snap.birth_windows.size());
+    gkm::io::WriteArray(f, snap.birth_windows.data(),
+                        snap.birth_windows.size());
+  }
+
+  gkm::io::WriteArray(f, "CKPT", 4);
+  std::fclose(f);
+}
+
+void CheckLoads(const std::string& path) {
+  std::string error;
+  if (!gkm::TryLoadStreamCheckpoint(path, &error)) {
+    Die(path + " does not load back: " + error);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "fuzz/corpus";
+  const std::string gkmc = out + "/gkmc_load";
+  const std::string gkmd = out + "/gkmd_replay";
+  MakeDir(out);
+  MakeDir(gkmc);
+  MakeDir(gkmd);
+
+  const std::vector<gkm::Matrix> windows = gkmfuzz::FuzzWindows();
+
+  // v4 current-format seeds straight from the writer: the canonical
+  // single-shard base (identical to the replay harness's), a 3-shard
+  // arena, and a pre-bootstrap cursor.
+  gkm::StreamingGkMeans base = gkmfuzz::MakeFuzzBase(1);
+  gkm::SaveStreamCheckpoint(gkmc + "/v4_s1.gkmc", base);
+  CheckLoads(gkmc + "/v4_s1.gkmc");
+
+  gkm::SaveStreamCheckpoint(gkmc + "/v4_s3.gkmc", gkmfuzz::MakeFuzzBase(3));
+  CheckLoads(gkmc + "/v4_s3.gkmc");
+
+  gkm::StreamingGkMeans young(gkmfuzz::kDim, gkmfuzz::FuzzParams(1));
+  young.ObserveWindow(windows[0]);  // 16 points < bootstrap_min
+  gkm::SaveStreamCheckpoint(gkmc + "/v4_prebootstrap.gkmc", young);
+  CheckLoads(gkmc + "/v4_prebootstrap.gkmc");
+
+  // Legacy seeds. v2 predates deletion, so it snapshots a model with no
+  // removals (tombstones without a removal block would fail liveness
+  // validation — correctly); v3 carries the tombstoned state.
+  gkm::StreamingGkMeans clean(gkmfuzz::kDim, gkmfuzz::FuzzParams(1));
+  for (std::size_t w = 0; w < gkmfuzz::kBaseWindows; ++w) {
+    clean.ObserveWindow(windows[w]);
+  }
+  WriteLegacyCheckpoint(gkmc + "/v2.gkmc", clean.Snapshot(), 2);
+  CheckLoads(gkmc + "/v2.gkmc");
+  WriteLegacyCheckpoint(gkmc + "/v3.gkmc", base.Snapshot(), 3);
+  CheckLoads(gkmc + "/v3.gkmc");
+
+  // Journal seeds, bound to the same base the replay harness regenerates.
+  // Scratch base/journal live in the output dir and are cleaned up after.
+  const std::string tmp_base = out + "/scratch_base.gkmc";
+  const std::string tmp_journal = out + "/scratch_journal.gkmd";
+  {
+    gkm::StreamDeltaLog log(tmp_base, tmp_journal, base);
+    CopyFile(tmp_journal, gkmd + "/header_only.gkmd");
+
+    log.AppendWindow(windows[gkmfuzz::kBaseWindows]);
+    base.ObserveWindow(windows[gkmfuzz::kBaseWindows]);
+    log.AppendStateCheck(base);
+    log.AppendRemoval(5);
+    base.RemovePoint(5);
+    log.AppendWindow(windows[gkmfuzz::kBaseWindows + 1]);
+    base.ObserveWindow(windows[gkmfuzz::kBaseWindows + 1]);
+    log.AppendStateCheck(base);
+    CopyFile(tmp_journal, gkmd + "/ingest_remove_digest.gkmd");
+  }
+  for (const char* name : {"header_only.gkmd", "ingest_remove_digest.gkmd"}) {
+    std::string error;
+    if (!gkm::TryResumeStreamCheckpoint(tmp_base, gkmd + "/" + name,
+                                        &error)) {
+      Die(std::string(name) + " does not replay: " + error);
+    }
+  }
+  std::remove(tmp_base.c_str());
+  std::remove(tmp_journal.c_str());
+
+  std::printf("corpus written under %s\n", out.c_str());
+  return 0;
+}

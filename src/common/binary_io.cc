@@ -13,6 +13,28 @@ void WriteMatrix(std::FILE* f, const Matrix& m) {
   }
 }
 
+bool Reader::ReadMatrix(Matrix* out) {
+  std::uint64_t rows = 0, cols = 0;
+  if (!Read(&rows) || !Read(&cols)) return false;
+  // Same caps as the aborting ReadMatrix below, plus two robust-loader
+  // tightenings: a dimensioned-but-columnless matrix is rejected (no
+  // writer produces one), and the payload must actually be present in the
+  // stream before the allocation happens.
+  if (rows > (1ull << 40) || cols > (1ull << 24) ||
+      (cols == 0 && rows != 0) ||
+      (cols != 0 && rows > (1ull << 40) / cols) ||
+      !Fits<float>(rows * cols)) {
+    ok_ = false;
+    return false;
+  }
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (!ReadArray(m.Row(i), m.cols())) return false;
+  }
+  *out = std::move(m);
+  return true;
+}
+
 Matrix ReadMatrix(std::FILE* f) {
   const auto rows64 = ReadRaw<std::uint64_t>(f);
   const auto cols64 = ReadRaw<std::uint64_t>(f);

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/matrix.h"
@@ -55,6 +56,81 @@ void ReadArray(std::FILE* f, T* p, std::size_t count) {
   if (count == 0) return;
   GKM_CHECK_MSG(std::fread(p, sizeof(T), count, f) == count, "truncated file");
 }
+
+/// Failure-latching bounded reader: the substrate of the Try* loaders
+/// (stream checkpoints, fuzz harnesses). Every primitive returns false
+/// instead of aborting, and any count read from the file is checked
+/// against the bytes actually remaining in the stream BEFORE memory is
+/// allocated for it — a size field that lies (truncated file, bit flip,
+/// fuzzed input) produces a clean load error, never an OOM or a
+/// multi-gigabyte allocation. Requires a seekable stream (regular files,
+/// fmemopen buffers); construction latches failure otherwise.
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {
+    const long pos = std::ftell(f_);
+    if (pos < 0 || std::fseek(f_, 0, SEEK_END) != 0) {
+      ok_ = false;
+      return;
+    }
+    const long end = std::ftell(f_);
+    if (end < pos || std::fseek(f_, pos, SEEK_SET) != 0) {
+      ok_ = false;
+      return;
+    }
+    remaining_ = static_cast<std::uint64_t>(end - pos);
+  }
+
+  /// False once any read failed; every later read no-ops and fails too.
+  bool ok() const { return ok_; }
+  /// Bytes between the cursor and the end of the stream.
+  std::uint64_t remaining() const { return remaining_; }
+
+  /// True when `count` items of T could still be present in the stream —
+  /// the pre-allocation guard for file-supplied counts.
+  template <typename T>
+  bool Fits(std::uint64_t count) const {
+    return ok_ && count <= remaining_ / sizeof(T);
+  }
+
+  template <typename T>
+  bool Read(T* out) {
+    return ReadArray(out, 1);
+  }
+
+  template <typename T>
+  bool ReadArray(T* p, std::size_t count) {
+    if (!ok_) return false;
+    if (count == 0) return true;
+    if (!Fits<T>(count) || std::fread(p, sizeof(T), count, f_) != count) {
+      ok_ = false;
+      return false;
+    }
+    remaining_ -= count * sizeof(T);
+    return true;
+  }
+
+  /// Bounds-checks `count` against the remaining bytes, then resizes and
+  /// fills `out` — the only way a file-supplied count may reach resize().
+  template <typename T>
+  bool ReadVector(std::vector<T>& out, std::uint64_t count) {
+    if (!Fits<T>(count)) {
+      ok_ = false;
+      return false;
+    }
+    out.resize(static_cast<std::size_t>(count));
+    return ReadArray(out.data(), out.size());
+  }
+
+  /// Non-aborting counterpart of io::ReadMatrix: same dimension caps, plus
+  /// the payload must fit in the remaining bytes before the allocation.
+  bool ReadMatrix(Matrix* out);
+
+ private:
+  std::FILE* f_;
+  std::uint64_t remaining_ = 0;
+  bool ok_ = true;
+};
 
 /// Writes `m` as a raw block: u64 rows, u64 cols, then row payloads
 /// (padding stripped). Counterpart of ReadMatrix.

@@ -1,0 +1,150 @@
+// Copyright 2026 The gkmeans Authors.
+// Annotated lock types: thin wrappers over std::mutex / std::shared_mutex
+// carrying the thread-safety-analysis capability attributes from
+// common/thread_annotations.h, plus their RAII guards and a condition
+// variable that keeps the capability visible across waits.
+//
+// The standard-library lock types cannot be annotated (libstdc++ ships
+// them bare), so the library's concurrency-bearing classes hold these
+// wrappers instead; under any compiler but Clang they compile to exactly
+// the std type plus nothing. Lock/Unlock are spelled both ways — Pascal
+// for annotated call sites, lowercase std-style so std::unique_lock and
+// std::condition_variable_any still interoperate where needed.
+
+#ifndef GKM_COMMON_MUTEX_H_
+#define GKM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace gkm {
+
+/// Annotated exclusive mutex. All operations are usable on a const object
+/// (the inner mutex is mutable) so const accessors can take the lock, as
+/// with std practice for synchronization members.
+class GKM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() const GKM_ACQUIRE() { mu_.lock(); }
+  void Unlock() const GKM_RELEASE() { mu_.unlock(); }
+  bool TryLock() const GKM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// std Lockable surface (std::condition_variable_any, std::unique_lock).
+  void lock() const GKM_ACQUIRE() { mu_.lock(); }
+  void unlock() const GKM_RELEASE() { mu_.unlock(); }
+  bool try_lock() const GKM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  mutable std::mutex mu_;
+};
+
+/// RAII exclusive guard over a Mutex.
+class GKM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(const Mutex& mu) GKM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() GKM_RELEASE() { mu_.Unlock(); }
+
+ private:
+  const Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Waits take the locked Mutex itself
+/// (it is the Lockable); the transient release inside a wait is invisible
+/// to the analysis, which is sound for the predicate-loop idiom — the
+/// capability is re-held whenever caller code runs. Annotate wait
+/// predicates with GKM_REQUIRES(mu) so their guarded-field reads check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(const Mutex& mu) GKM_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void Wait(const Mutex& mu, Pred pred) GKM_REQUIRES(mu) {
+    cv_.wait(mu, pred);
+  }
+
+  /// Returns pred()'s value on wake (false = timed out with pred false).
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(const Mutex& mu, const std::chrono::duration<Rep, Period>& d,
+               Pred pred) GKM_REQUIRES(mu) {
+    return cv_.wait_for(mu, d, pred);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// Annotated reader-writer mutex. Copy/move construct a FRESH mutex: the
+/// lock guards its owning object's state, which is never shared with a
+/// copy — the semantics the stream graph types rely on to stay movable
+/// (copying/moving while locked is the caller's bug, as with any
+/// mutex-owning type). All operations are const (mutable inner mutex).
+class GKM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) {}
+  SharedMutex& operator=(const SharedMutex&) { return *this; }
+
+  void Lock() const GKM_ACQUIRE() { mu_.lock(); }
+  void Unlock() const GKM_RELEASE() { mu_.unlock(); }
+  void LockShared() const GKM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() const GKM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  /// Externally-serialized access claims: tell the analysis the capability
+  /// is held without taking it. For the audited patterns only — a pool
+  /// worker borrowing the shared capability its submitter holds for the
+  /// whole fan-out, or a documented quiescent/single-ingest-thread
+  /// accessor — each call site must say which (docs/static-analysis.md).
+  void AssertHeld() const GKM_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const GKM_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  mutable std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) guard over a SharedMutex.
+class GKM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(const SharedMutex& mu) GKM_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() GKM_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+ private:
+  const SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) guard over a SharedMutex.
+class GKM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(const SharedMutex& mu) GKM_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() GKM_RELEASE() { mu_.Unlock(); }
+
+ private:
+  const SharedMutex& mu_;
+};
+
+}  // namespace gkm
+
+#endif  // GKM_COMMON_MUTEX_H_

@@ -1,0 +1,94 @@
+// Copyright 2026 The gkmeans Authors.
+// Clang thread-safety-analysis capability macros, the compile-time face of
+// the concurrency contracts prose-documented in docs/architecture.md
+// ("Threading model"). Annotating a lock as a GKM_CAPABILITY and its
+// guarded fields with GKM_GUARDED_BY turns "searches hold the reader side,
+// commits hold the writer side" from a comment the next refactor can break
+// into a build error (-Wthread-safety -Werror, the GKM_THREAD_SAFETY CMake
+// option and its CI job).
+//
+// Every macro expands to nothing on compilers without the attribute (GCC,
+// MSVC), so annotated headers stay portable; only Clang builds analyze.
+// Conventions — which fields to guard, how to express the audited
+// single-writer unlocked reads, when GKM_NO_THREAD_SAFETY_ANALYSIS is
+// acceptable — live in docs/static-analysis.md.
+
+#ifndef GKM_COMMON_THREAD_ANNOTATIONS_H_
+#define GKM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GKM_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define GKM_THREAD_ANNOTATION_IMPL(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lock ("capability"): its acquire/release members carry
+/// the GKM_ACQUIRE*/GKM_RELEASE* attributes below, and GKM_GUARDED_BY
+/// references instances of it.
+#define GKM_CAPABILITY(name) GKM_THREAD_ANNOTATION_IMPL(capability(name))
+
+/// Marks an RAII guard type: constructing acquires, destructing releases.
+#define GKM_SCOPED_CAPABILITY GKM_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Field may only be read/written while holding `x` (shared suffices for
+/// reads, exclusive for writes).
+#define GKM_GUARDED_BY(x) GKM_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define GKM_PT_GUARDED_BY(x) GKM_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Function requires the capability exclusively (resp. shared) on entry and
+/// does not release it.
+#define GKM_REQUIRES(...) \
+  GKM_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define GKM_REQUIRES_SHARED(...) \
+  GKM_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it on
+/// return.
+#define GKM_ACQUIRE(...) \
+  GKM_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define GKM_ACQUIRE_SHARED(...) \
+  GKM_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (either mode for the plain form).
+#define GKM_RELEASE(...) \
+  GKM_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define GKM_RELEASE_SHARED(...) \
+  GKM_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+#define GKM_RELEASE_GENERIC(...) \
+  GKM_THREAD_ANNOTATION_IMPL(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire and reports success as `ret`.
+#define GKM_TRY_ACQUIRE(ret, ...) \
+  GKM_THREAD_ANNOTATION_IMPL(try_acquire_capability(ret, __VA_ARGS__))
+#define GKM_TRY_ACQUIRE_SHARED(ret, ...) \
+  GKM_THREAD_ANNOTATION_IMPL(try_acquire_shared_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called while holding `x` (deadlock guard for
+/// re-entrant call graphs).
+#define GKM_EXCLUDES(...) \
+  GKM_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability IS held here without acquiring it —
+/// the annotation for externally-serialized access (e.g. the documented
+/// single-ingest-thread unlocked reads). Each call site must carry a
+/// comment naming the serialization source; see docs/static-analysis.md.
+#define GKM_ASSERT_CAPABILITY(x) \
+  GKM_THREAD_ANNOTATION_IMPL(assert_capability(x))
+#define GKM_ASSERT_SHARED_CAPABILITY(x) \
+  GKM_THREAD_ANNOTATION_IMPL(assert_shared_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define GKM_RETURN_CAPABILITY(x) \
+  GKM_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch: function body is not analyzed. Reserved for audited
+/// trylock/condition-variable patterns the analysis cannot express; each
+/// use must carry an inline justification (enforced by review, tallied in
+/// docs/static-analysis.md). Not permitted in src/stream/.
+#define GKM_NO_THREAD_SAFETY_ANALYSIS \
+  GKM_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // GKM_COMMON_THREAD_ANNOTATIONS_H_

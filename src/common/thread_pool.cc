@@ -20,26 +20,26 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     GKM_CHECK_MSG(!stop_, "Submit after destruction began");
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  done_cv_.Wait(mu_, [this]() GKM_REQUIRES(mu_) { return in_flight_ == 0; });
 }
 
 namespace {
@@ -49,19 +49,19 @@ namespace {
 // other's completion (the global in_flight_ counter behind Wait() cannot
 // distinguish owners).
 struct CallLatch {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t remaining;
+  Mutex mu;
+  CondVar cv;
+  std::size_t remaining GKM_GUARDED_BY(mu);
 
   explicit CallLatch(std::size_t n) : remaining(n) {}
 
   void CountDown() {
-    std::unique_lock<std::mutex> lock(mu);
-    if (--remaining == 0) cv.notify_all();
+    MutexLock lock(mu);
+    if (--remaining == 0) cv.NotifyAll();
   }
   void Await() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return remaining == 0; });
+    MutexLock lock(mu);
+    cv.Wait(mu, [this]() GKM_REQUIRES(mu) { return remaining == 0; });
   }
 };
 
@@ -122,8 +122,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      task_cv_.Wait(
+          mu_, [this]() GKM_REQUIRES(mu_) { return stop_ || !tasks_.empty(); });
       if (tasks_.empty()) {
         if (stop_) return;
         continue;
@@ -133,9 +134,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+      if (in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }

@@ -18,14 +18,14 @@
 #ifndef GKM_COMMON_THREAD_POOL_H_
 #define GKM_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gkm {
 
@@ -71,12 +71,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  // Guards the queue and its bookkeeping between submitters and workers.
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ GKM_GUARDED_BY(mu_);
+  CondVar task_cv_;  // signaled on enqueue and shutdown
+  CondVar done_cv_;  // signaled when in_flight_ drains to zero
+  std::size_t in_flight_ GKM_GUARDED_BY(mu_) = 0;
+  bool stop_ GKM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gkm

@@ -134,6 +134,38 @@ KnnGraph KnnGraph::LoadFrom(std::FILE* f) {
   return g;
 }
 
+bool KnnGraph::TryLoadFrom(io::Reader& r, KnnGraph* out) {
+  std::uint64_t n64 = 0;
+  std::uint64_t k64 = 0;
+  if (!r.Read(&n64) || !r.Read(&k64)) return false;
+  // Robust-loader plausibility cap: no k-NN graph has anywhere near 2^16
+  // neighbors per node (the aborting LoadFrom tolerates up to 2^24).
+  if (k64 == 0 || k64 > (1u << 16)) return false;
+  // Every node contributes at least its u32 list length, so the node count
+  // is bounded by the bytes actually present in the stream.
+  if (!r.Fits<std::uint32_t>(n64)) return false;
+  // The arena allocation is n*k Neighbor slots even when most lists are
+  // empty (tombstoned slots serialize as a bare length). Bound it by a
+  // constant plus a multiple of the remaining bytes: legitimate files —
+  // even mostly-tombstoned arenas — fit comfortably, while a size-lying
+  // header cannot turn a small file into a huge allocation.
+  const std::uint64_t arena_cap = (1ull << 26) + 16 * r.remaining();
+  if (n64 > arena_cap / k64) return false;
+  const auto n = static_cast<std::size_t>(n64);
+  const auto k = static_cast<std::size_t>(k64);
+  KnnGraph g(n, k);
+  std::vector<Neighbor> buf;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t len = 0;
+    if (!r.Read(&len) || len > k) return false;
+    buf.resize(len);
+    if (!r.ReadArray(buf.data(), buf.size())) return false;
+    g.SetList(i, buf);
+  }
+  *out = std::move(g);
+  return true;
+}
+
 void KnnGraph::Save(const std::string& path) const {
   io::File f = io::OpenOrDie(path, "wb");
   SaveTo(f.get());

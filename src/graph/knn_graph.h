@@ -17,6 +17,9 @@
 #include "common/top_k.h"
 
 namespace gkm {
+namespace io {
+class Reader;
+}  // namespace io
 
 /// Approximate k-nearest-neighbor graph over `n` nodes with out-degree κ.
 class KnnGraph {
@@ -86,6 +89,15 @@ class KnnGraph {
   /// stream checkpoint format).
   void SaveTo(std::FILE* f) const;
   static KnnGraph LoadFrom(std::FILE* f);
+
+  /// Non-aborting LoadFrom for untrusted input (the Try* checkpoint
+  /// loaders and the fuzz harnesses): returns false on truncation or an
+  /// implausible header instead of aborting, and bounds the n*k arena
+  /// allocation by the bytes actually present in the stream, so a header
+  /// that lies cannot request an unbounded allocation. Slightly stricter
+  /// caps than LoadFrom (see the implementation); any graph this library
+  /// writes loads fine.
+  static bool TryLoadFrom(io::Reader& r, KnnGraph* out);
 
  private:
   std::size_t k_ = 0;

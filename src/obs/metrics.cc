@@ -233,28 +233,28 @@ std::string RegistrySnapshot::ToText() const {
 #if GKM_STATS_ENABLED
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 RegistrySnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   RegistrySnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

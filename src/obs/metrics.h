@@ -41,9 +41,11 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #if defined(GKM_NO_STATS)
 #define GKM_STATS_ENABLED 0
@@ -220,10 +222,15 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Guards the name tables only: the instruments behind the unique_ptrs
+  // are internally synchronized (atomics) and returned references outlive
+  // the lock by design.
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GKM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GKM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GKM_GUARDED_BY(mu_);
 };
 
 #else  // !GKM_STATS_ENABLED

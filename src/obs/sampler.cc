@@ -38,7 +38,7 @@ StatsSampler::StatsSampler(MetricsRegistry& registry, SamplerOptions options)
 StatsSampler::~StatsSampler() { Stop(); }
 
 bool StatsSampler::Start() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (running_) return false;
   running_ = true;
   stopping_ = false;
@@ -48,14 +48,14 @@ bool StatsSampler::Start() {
 
 bool StatsSampler::Stop() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (!running_) return false;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     running_ = false;
     stopping_ = false;
   }
@@ -66,7 +66,7 @@ bool StatsSampler::Stop() {
 }
 
 bool StatsSampler::running() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return running_;
 }
 
@@ -92,15 +92,21 @@ void StatsSampler::Emit(const RegistrySnapshot& snap) {
 }
 
 void StatsSampler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Manual Lock/Unlock instead of a scoped guard: the lock is dropped
+  // around the scrape and re-held across the wait, and the analysis checks
+  // the hand-over-hand state (held at the loop condition on entry and on
+  // every back edge).
+  mu_.Lock();
   while (!stopping_) {
     // Scrape outside the lifecycle lock: Snapshot takes the registry's own
     // mutex and sinks may be slow; Stop must stay responsive throughout.
-    lock.unlock();
+    mu_.Unlock();
     Emit(registry_.Snapshot());
-    lock.lock();
-    cv_.wait_for(lock, options_.period, [this] { return stopping_; });
+    mu_.Lock();
+    cv_.WaitFor(mu_, options_.period,
+                [this]() GKM_REQUIRES(mu_) { return stopping_; });
   }
+  mu_.Unlock();
 }
 
 }  // namespace gkm::obs

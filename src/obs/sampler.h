@@ -17,15 +17,16 @@
 #ifndef GKM_OBS_SAMPLER_H_
 #define GKM_OBS_SAMPLER_H_
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace gkm::obs {
@@ -81,11 +82,13 @@ class StatsSampler {
   const SamplerOptions options_;
   const std::int64_t start_ns_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Lifecycle lock: guards the running/stopping flags only — ticks scrape
+  // and emit outside it so Stop stays responsive (see Loop).
+  Mutex mu_;
+  CondVar cv_;
   std::thread thread_;
-  bool running_ = false;   // guarded by mu_
-  bool stopping_ = false;  // guarded by mu_
+  bool running_ GKM_GUARDED_BY(mu_) = false;
+  bool stopping_ GKM_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> samples_{0};
   std::atomic<std::uint64_t> seq_{0};
 };

@@ -73,39 +73,36 @@ void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
   // the stream, so it is model state like any other.
 }
 
-StreamingGkMeansParams ReadParams(std::FILE* f, std::uint32_t version) {
-  StreamingGkMeansParams p;
-  p.k = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.kappa = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.graph.kappa = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.graph.beam_width = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.graph.num_seeds = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.graph.bootstrap = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.graph.seed = io::ReadRaw<std::uint64_t>(f);
-  p.epochs_per_window =
-      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.bootstrap_min = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.bootstrap_epochs =
-      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.bisect_epochs = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.drift_threshold = io::ReadRaw<double>(f);
-  p.max_extra_epochs =
-      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.max_splits_per_window =
-      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.split_gain_factor = io::ReadRaw<double>(f);
-  p.route_hints = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.history_limit = static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f));
-  p.seed = io::ReadRaw<std::uint64_t>(f);
+// Non-aborting size_t field read (the format stores every count as u64).
+bool ReadSize(io::Reader& r, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!r.Read(&v)) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool ReadParams(io::Reader& r, std::uint32_t version,
+                StreamingGkMeansParams* p) {
+  bool ok = ReadSize(r, &p->k) && ReadSize(r, &p->kappa) &&
+            ReadSize(r, &p->graph.kappa) &&
+            ReadSize(r, &p->graph.beam_width) &&
+            ReadSize(r, &p->graph.num_seeds) &&
+            ReadSize(r, &p->graph.bootstrap) && r.Read(&p->graph.seed) &&
+            ReadSize(r, &p->epochs_per_window) &&
+            ReadSize(r, &p->bootstrap_min) &&
+            ReadSize(r, &p->bootstrap_epochs) &&
+            ReadSize(r, &p->bisect_epochs) && r.Read(&p->drift_threshold) &&
+            ReadSize(r, &p->max_extra_epochs) &&
+            ReadSize(r, &p->max_splits_per_window) &&
+            r.Read(&p->split_gain_factor) && ReadSize(r, &p->route_hints) &&
+            ReadSize(r, &p->history_limit) && r.Read(&p->seed);
   // v2 predates deletion: the field defaults to "TTL disabled".
-  p.ttl_windows = version >= 3
-                      ? static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f))
-                      : 0;
+  p->ttl_windows = 0;
+  if (ok && version >= 3) ok = ReadSize(r, &p->ttl_windows);
   // v2/v3 predate sharding: a single arena, i.e. S=1.
-  p.graph.shards = version >= 4
-                       ? static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f))
-                       : 1;
-  return p;
+  p->graph.shards = 1;
+  if (ok && version >= 4) ok = ReadSize(r, &p->graph.shards);
+  return ok;
 }
 
 void WriteRng(std::FILE* f, const RngSnapshot& r) {
@@ -114,12 +111,13 @@ void WriteRng(std::FILE* f, const RngSnapshot& r) {
   io::WriteRaw<double>(f, r.spare);
 }
 
-RngSnapshot ReadRng(std::FILE* f) {
-  RngSnapshot r;
-  io::ReadArray(f, r.s, 4);
-  r.have_spare = io::ReadRaw<std::uint8_t>(f) != 0;
-  r.spare = io::ReadRaw<double>(f);
-  return r;
+bool ReadRng(io::Reader& r, RngSnapshot* out) {
+  std::uint8_t have = 0;
+  if (!r.ReadArray(out->s, 4) || !r.Read(&have) || !r.Read(&out->spare)) {
+    return false;
+  }
+  out->have_spare = have != 0;
+  return true;
 }
 
 void WriteIdList(std::FILE* f, const std::vector<std::uint32_t>& ids) {
@@ -346,149 +344,152 @@ void SaveStreamCheckpoint(const std::string& path,
   }
 }
 
-std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
-    const std::string& path, std::string* error) {
+std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
+                                                        std::string* error) {
   GKM_TRACE_SPAN("ckpt.load");
   auto fail = [error](const std::string& msg) {
     if (error != nullptr) *error = msg;
     return std::optional<StreamingGkMeans>();
   };
-
-  std::FILE* raw = std::fopen(path.c_str(), "rb");
-  if (raw == nullptr) return fail("cannot open checkpoint: " + path);
-  io::File f(raw);
+  constexpr const char* kTruncated = "truncated or unreadable checkpoint";
+  io::Reader r(file);
 
   char magic[4];
-  io::ReadArray(f.get(), magic, 4);
+  if (!r.ReadArray(magic, 4)) return fail(kTruncated);
   if (std::memcmp(magic, kMagic, 4) != 0) {
     return fail("not a GKMC checkpoint file");
   }
-  const auto version = io::ReadRaw<std::uint32_t>(f.get());
+  std::uint32_t version = 0;
+  if (!r.Read(&version)) return fail(kTruncated);
   if (version < kOldestReadable || version > kVersion) {
     return fail("unsupported checkpoint version");
   }
 
   StreamSnapshot snap;
-  snap.params = ReadParams(f.get(), version);
+  if (!ReadParams(r, version, &snap.params)) return fail(kTruncated);
   const std::size_t num_shards = snap.params.graph.shards;
   if (num_shards == 0 || num_shards > (1u << 16)) {
     return fail("checkpoint shard count out of range");
   }
   snap.shards.resize(num_shards);
   OnlineShardParts& shard0 = snap.shards[0];
-  snap.windows = io::ReadRaw<std::uint64_t>(f.get());
-  snap.bootstrapped = io::ReadRaw<std::uint8_t>(f.get()) != 0;
-  snap.rng = ReadRng(f.get());
-  shard0.rng = ReadRng(f.get());
-  shard0.seeds.live_seeds = io::ReadRaw<std::uint64_t>(f.get());
-  shard0.seeds.fail_ewma = io::ReadRaw<double>(f.get());
-  shard0.seeds.audit_tick = io::ReadRaw<std::uint64_t>(f.get());
+  std::uint8_t bootstrapped = 0;
+  if (!r.Read(&snap.windows) || !r.Read(&bootstrapped) ||
+      !ReadRng(r, &snap.rng) || !ReadRng(r, &shard0.rng) ||
+      !r.Read(&shard0.seeds.live_seeds) || !r.Read(&shard0.seeds.fail_ewma) ||
+      !r.Read(&shard0.seeds.audit_tick)) {
+    return fail(kTruncated);
+  }
+  snap.bootstrapped = bootstrapped != 0;
   if (const char* msg = ValidateLoadedParams(snap.params, shard0.seeds)) {
     return fail(msg);
   }
 
-  shard0.points = io::ReadMatrix(f.get());
-  shard0.graph = KnnGraph::LoadFrom(f.get());
+  if (!r.ReadMatrix(&shard0.points)) {
+    return fail("truncated or implausible checkpoint points");
+  }
+  if (!KnnGraph::TryLoadFrom(r, &shard0.graph)) {
+    return fail("truncated or implausible checkpoint graph");
+  }
   // Labels (and birth windows below) index the GLOBAL arena. With a single
   // shard that equals shard 0's rows and is checked here; with more shards
   // the bound depends on sections not read yet, so the exact check is
-  // deferred until after the shard table (a plausibility cap still guards
-  // the resize against a bit-flipped count).
-  const auto n_labels =
-      static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
-  if (num_shards == 1 && n_labels != shard0.points.rows()) {
+  // deferred until after the shard table (ReadVector still bounds the
+  // resize by the bytes actually present).
+  std::uint64_t n_labels64 = 0;
+  if (!r.Read(&n_labels64)) return fail(kTruncated);
+  if (num_shards == 1 && n_labels64 != shard0.points.rows()) {
     return fail("checkpoint label count does not match point count");
   }
-  if (n_labels > (1ull << 40)) {
+  if (!r.ReadVector(snap.labels, n_labels64)) {
     return fail("implausible checkpoint label count");
   }
-  snap.labels.resize(n_labels);
-  io::ReadArray(f.get(), snap.labels.data(), n_labels);
+  const std::size_t n_labels = snap.labels.size();
   const std::size_t k = snap.params.k;
-  snap.cluster_reps.resize(k);
-  io::ReadArray(f.get(), snap.cluster_reps.data(), k);
+  if (!r.ReadVector(snap.cluster_reps, k)) return fail(kTruncated);
 
-  // Plausibility bound on the file-supplied state size, mirroring
-  // io::ReadMatrix: a bit-flipped header must fail cleanly, not feed
-  // resize() a terabyte-scale or size_t-wrapping request.
+  // k and cols are individually capped (ValidateLoadedParams, ReadMatrix),
+  // so the product cannot wrap; ReadVector then bounds each block by the
+  // remaining bytes before any allocation.
   if (k * shard0.points.cols() > (1ull << 40)) {
     return fail("implausible checkpoint state size");
   }
-  snap.n = io::ReadRaw<std::uint64_t>(f.get());
-  snap.counts.resize(k);
-  io::ReadArray(f.get(), snap.counts.data(), k);
-  snap.composites.resize(k * shard0.points.cols());
-  io::ReadArray(f.get(), snap.composites.data(), snap.composites.size());
-  snap.composite_norms.resize(k);
-  io::ReadArray(f.get(), snap.composite_norms.data(), k);
-  snap.point_norms.resize(k);
-  io::ReadArray(f.get(), snap.point_norms.data(), k);
-  snap.sum_point_norms = io::ReadRaw<double>(f.get());
+  if (!r.Read(&snap.n) || !r.ReadVector(snap.counts, k) ||
+      !r.ReadVector(snap.composites,
+                    static_cast<std::uint64_t>(k) * shard0.points.cols()) ||
+      !r.ReadVector(snap.composite_norms, k) ||
+      !r.ReadVector(snap.point_norms, k) || !r.Read(&snap.sum_point_norms)) {
+    return fail(kTruncated);
+  }
 
-  snap.prev_centroids = io::ReadMatrix(f.get());
+  if (!r.ReadMatrix(&snap.prev_centroids)) {
+    return fail("truncated or implausible checkpoint drift baseline");
+  }
 
   if (version >= 3) {
-    auto read_ids = [&](std::vector<std::uint32_t>& out,
-                        std::size_t bound) {
-      const auto count =
-          static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
-      if (count > bound) return false;
-      out.resize(count);
-      io::ReadArray(f.get(), out.data(), count);
-      return true;
+    auto read_ids = [&r](std::vector<std::uint32_t>& out, std::size_t bound) {
+      std::uint64_t count = 0;
+      if (!r.Read(&count) || count > bound) return false;
+      return r.ReadVector(out, count);
     };
     if (!read_ids(shard0.removal.pending_dead, shard0.points.rows()) ||
         !read_ids(shard0.removal.free_slots, shard0.points.rows())) {
       return fail("implausible checkpoint removal-list size");
     }
-    shard0.removal.last_inserted = io::ReadRaw<std::uint32_t>(f.get());
+    if (!r.Read(&shard0.removal.last_inserted)) return fail(kTruncated);
     if (const char* msg =
             ValidateRemovalState(shard0.removal, shard0.points.rows())) {
       return fail(msg);
     }
-    const auto births =
-        static_cast<std::size_t>(io::ReadRaw<std::uint64_t>(f.get()));
+    std::uint64_t births = 0;
+    if (!r.Read(&births)) return fail(kTruncated);
     if (births != n_labels) {
       return fail("checkpoint birth-window count does not match labels");
     }
-    snap.birth_windows.resize(births);
-    io::ReadArray(f.get(), snap.birth_windows.data(), births);
+    if (!r.ReadVector(snap.birth_windows, births)) return fail(kTruncated);
 
     // Shard section table (v4): one section per shard beyond shard 0.
     if (version >= 4) {
-      const auto table_shards = io::ReadRaw<std::uint64_t>(f.get());
+      std::uint64_t table_shards = 0;
+      if (!r.Read(&table_shards)) return fail(kTruncated);
       if (table_shards != num_shards) {
         return fail("checkpoint shard table disagrees with params");
       }
-      std::vector<std::uint64_t> section_bytes(num_shards - 1);
-      io::ReadArray(f.get(), section_bytes.data(), section_bytes.size());
+      std::vector<std::uint64_t> section_bytes;
+      if (!r.ReadVector(section_bytes,
+                        static_cast<std::uint64_t>(num_shards) - 1)) {
+        return fail(kTruncated);
+      }
       for (std::size_t s = 1; s < num_shards; ++s) {
         OnlineShardParts& shard = snap.shards[s];
-        const long begin = std::ftell(f.get());
-        shard.rng = ReadRng(f.get());
-        shard.seeds.live_seeds = io::ReadRaw<std::uint64_t>(f.get());
-        shard.seeds.fail_ewma = io::ReadRaw<double>(f.get());
-        shard.seeds.audit_tick = io::ReadRaw<std::uint64_t>(f.get());
+        const std::uint64_t begin_remaining = r.remaining();
+        if (!ReadRng(r, &shard.rng) || !r.Read(&shard.seeds.live_seeds) ||
+            !r.Read(&shard.seeds.fail_ewma) ||
+            !r.Read(&shard.seeds.audit_tick)) {
+          return fail(kTruncated);
+        }
         if (const char* msg = ValidateSeedState(shard.seeds)) {
           return fail(msg);
         }
-        shard.points = io::ReadMatrix(f.get());
+        if (!r.ReadMatrix(&shard.points)) {
+          return fail("truncated or implausible checkpoint points");
+        }
         if (shard.points.cols() != shard0.points.cols()) {
           return fail("checkpoint shard dimension mismatch");
         }
-        shard.graph = KnnGraph::LoadFrom(f.get());
+        if (!KnnGraph::TryLoadFrom(r, &shard.graph)) {
+          return fail("truncated or implausible checkpoint graph");
+        }
         if (!read_ids(shard.removal.pending_dead, shard.points.rows()) ||
             !read_ids(shard.removal.free_slots, shard.points.rows())) {
           return fail("implausible checkpoint removal-list size");
         }
-        shard.removal.last_inserted = io::ReadRaw<std::uint32_t>(f.get());
+        if (!r.Read(&shard.removal.last_inserted)) return fail(kTruncated);
         if (const char* msg =
                 ValidateRemovalState(shard.removal, shard.points.rows())) {
           return fail(msg);
         }
-        const long end = std::ftell(f.get());
-        if (begin < 0 || end < begin ||
-            static_cast<std::uint64_t>(end - begin) != section_bytes[s - 1]) {
+        if (begin_remaining - r.remaining() != section_bytes[s - 1]) {
           return fail("checkpoint shard section size mismatch");
         }
       }
@@ -502,12 +503,28 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
   // by the model constructor ("born at restore").
 
   char trailer[4];
-  io::ReadArray(f.get(), trailer, 4);
+  if (!r.ReadArray(trailer, 4)) return fail(kTruncated);
   if (std::memcmp(trailer, kTrailer, 4) != 0) {
     return fail("corrupt checkpoint: missing trailer");
   }
 
+  // The file-shaped checks above are necessarily piecemeal; this is the
+  // authoritative gate — the same validator FromSnapshot aborts through,
+  // run here first so deep payload corruption (bad edges, label/liveness
+  // violations) is a clean load error.
+  if (const char* msg = ValidateStreamSnapshot(snap)) return fail(msg);
   return StreamingGkMeans::FromSnapshot(std::move(snap));
+}
+
+std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
+    const std::string& path, std::string* error) {
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (raw == nullptr) {
+    if (error != nullptr) *error = "cannot open checkpoint: " + path;
+    return std::nullopt;
+  }
+  io::File f(raw);
+  return TryLoadStreamCheckpoint(f.get(), error);
 }
 
 StreamingGkMeans LoadStreamCheckpoint(const std::string& path) {
@@ -596,43 +613,37 @@ void StreamDeltaLog::Compact(const StreamingGkMeans& model) {
 }
 
 std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
-    const std::string& base_path, const std::string& delta_path,
-    std::string* error) {
+    const std::string& base_path, std::FILE* journal, std::string* error) {
   GKM_TRACE_SPAN("ckpt.delta.replay");
   auto fail = [error](const std::string& msg) {
     if (error != nullptr) *error = msg;
     return std::optional<StreamingGkMeans>();
   };
+  constexpr const char* kTruncated = "truncated or unreadable delta journal";
 
   std::optional<StreamingGkMeans> model =
       TryLoadStreamCheckpoint(base_path, error);
   if (!model.has_value()) return std::nullopt;
 
-  errno = 0;
-  std::FILE* raw = std::fopen(delta_path.c_str(), "rb");
-  if (raw == nullptr) {
-    // Only a genuinely absent journal means "the base is the state". Any
-    // other open failure (permissions, fd exhaustion, I/O error) would
-    // silently drop journaled-and-flushed inputs if treated the same.
-    if (errno == ENOENT) return model;
-    return fail("cannot open delta journal: " + delta_path);
-  }
-  io::File f(raw);
-
+  io::Reader r(journal);
   char magic[4];
-  if (std::fread(magic, 1, 4, f.get()) != 4 ||
-      std::memcmp(magic, kDeltaMagic, 4) != 0) {
+  if (!r.ReadArray(magic, 4) || std::memcmp(magic, kDeltaMagic, 4) != 0) {
     return fail("not a GKMD delta journal");
   }
-  if (io::ReadRaw<std::uint32_t>(f.get()) != kDeltaVersion) {
+  std::uint32_t journal_version = 0;
+  if (!r.Read(&journal_version)) return fail(kTruncated);
+  if (journal_version != kDeltaVersion) {
     return fail("unsupported delta journal version");
   }
   std::uint64_t base_hash = 0;
   if (!HashFileBytes(base_path, &base_hash)) {
     return fail("cannot re-read base snapshot: " + base_path);
   }
-  const auto journal_hash = io::ReadRaw<std::uint64_t>(f.get());
-  const auto journal_windows = io::ReadRaw<std::uint64_t>(f.get());
+  std::uint64_t journal_hash = 0;
+  std::uint64_t journal_windows = 0;
+  if (!r.Read(&journal_hash) || !r.Read(&journal_windows)) {
+    return fail(kTruncated);
+  }
   if (journal_hash != base_hash) {
     // One mismatch shape is legitimate: Compact renames the new base into
     // place before it rewrites the journal, so a crash in between leaves a
@@ -648,13 +659,18 @@ std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
 
   // Replay. Each record goes through the same public API the original
   // process used, so the deterministic-model contract makes the result
-  // bit-identical to the state that produced the journal.
-  for (;;) {
-    std::uint8_t tag;
-    if (std::fread(&tag, 1, 1, f.get()) != 1) break;  // clean end
+  // bit-identical to the state that produced the journal. A journal cut
+  // mid-record is a clean error (the process may have crashed mid-append;
+  // the caller decides whether to fall back to the base alone).
+  while (r.remaining() > 0) {
+    std::uint8_t tag = 0;
+    if (!r.Read(&tag)) return fail(kTruncated);
     switch (tag) {
       case 'W': {
-        const Matrix window = io::ReadMatrix(f.get());
+        Matrix window;
+        if (!r.ReadMatrix(&window)) {
+          return fail("truncated or implausible delta window");
+        }
         if (window.cols() != model->dim()) {
           return fail("delta window dimension does not match model");
         }
@@ -662,7 +678,8 @@ std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
         break;
       }
       case 'R': {
-        const auto id = io::ReadRaw<std::uint32_t>(f.get());
+        std::uint32_t id = 0;
+        if (!r.Read(&id)) return fail(kTruncated);
         if (id >= model->points_seen() || !model->graph().IsAlive(id)) {
           return fail("delta removal of a dead or out-of-range id");
         }
@@ -670,7 +687,8 @@ std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
         break;
       }
       case 'C': {
-        const auto want = io::ReadRaw<std::uint64_t>(f.get());
+        std::uint64_t want = 0;
+        if (!r.Read(&want)) return fail(kTruncated);
         if (StateDigest(*model) != want) {
           return fail("delta state digest mismatch: journal and base "
                       "disagree with the replayed model");
@@ -682,6 +700,23 @@ std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
     }
   }
   return model;
+}
+
+std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
+    const std::string& base_path, const std::string& delta_path,
+    std::string* error) {
+  errno = 0;
+  std::FILE* raw = std::fopen(delta_path.c_str(), "rb");
+  if (raw == nullptr) {
+    // Only a genuinely absent journal means "the base is the state". Any
+    // other open failure (permissions, fd exhaustion, I/O error) would
+    // silently drop journaled-and-flushed inputs if treated the same.
+    if (errno == ENOENT) return TryLoadStreamCheckpoint(base_path, error);
+    if (error != nullptr) *error = "cannot open delta journal: " + delta_path;
+    return std::nullopt;
+  }
+  io::File f(raw);
+  return TryResumeStreamCheckpoint(base_path, f.get(), error);
 }
 
 StreamingGkMeans ResumeStreamCheckpoint(const std::string& base_path,

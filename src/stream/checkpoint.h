@@ -8,9 +8,10 @@
 //
 // Two persistence modes share the format:
 //
-//  - Full snapshots ("GKMC", version 3): one self-contained file.
-//    docs/checkpoint-format.md documents the authoritative v1→v3 layout
-//    and compatibility rules; v2 files (pre-deletion) still load.
+//  - Full snapshots ("GKMC", version 4): one self-contained file.
+//    docs/checkpoint-format.md documents the authoritative layout and
+//    compatibility rules; v2 (pre-deletion) and v3 (pre-sharding) files
+//    still load.
 //  - Incremental (delta) checkpoints: a full base snapshot plus an
 //    append-only journal ("GKMD") of the stream inputs since the base —
 //    per-window ingest records, explicit removals, and optional state
@@ -42,16 +43,22 @@ void SaveStreamCheckpoint(const std::string& path,
 /// diagnostic TryLoadStreamCheckpoint would report.
 StreamingGkMeans LoadStreamCheckpoint(const std::string& path);
 
-/// Non-aborting load: validates the header, version and every deserialized
-/// parameter (kappa/beam/seed/bootstrap invariants, removal-state shape)
-/// *before* constructing the model, returning std::nullopt with a
-/// diagnostic in `*error` (when non-null) on a malformed file instead of
-/// tripping GKM_CHECK aborts deep in the constructors. A file truncated
-/// mid-block still aborts (the binary-io substrate treats short reads as
-/// fatal); deeper payload corruption (e.g. invalid graph edges) is caught
-/// by the constructors' own validation.
+/// Non-aborting load: returns std::nullopt with a diagnostic in `*error`
+/// (when non-null) on ANY malformed input — truncation anywhere in the
+/// file, size fields that exceed the bytes actually present (checked
+/// before every allocation, via io::Reader), implausible headers, and
+/// deep payload corruption (invalid graph edges, label/liveness
+/// violations — the same ValidateStreamSnapshot gate the constructors
+/// abort through). The fuzz harness fuzz/fuzz_gkmc_load.cc holds this
+/// function to that contract.
 std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
     const std::string& path, std::string* error = nullptr);
+
+/// Stream variant of the above, reading the checkpoint from an already
+/// opened seekable stream (regular file or fmemopen buffer) positioned at
+/// the start of the GKMC block. Consumes through the trailer.
+std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(
+    std::FILE* file, std::string* error = nullptr);
 
 /// Auto-compaction policy for StreamDeltaLog::MaybeCompact. Either trigger
 /// set to its zero value is disabled; with both disabled MaybeCompact is a
@@ -157,10 +164,19 @@ StreamingGkMeans ResumeStreamCheckpoint(const std::string& base_path,
                                         const std::string& delta_path);
 
 /// Non-aborting resume: reports unreadable bases, header/base mismatches,
-/// unknown record tags and digest failures through `*error`. As with
-/// TryLoadStreamCheckpoint, a journal truncated mid-record aborts.
+/// unknown record tags, digest failures, and — as with
+/// TryLoadStreamCheckpoint — truncation or size-field lies anywhere in
+/// either file, through `*error`. A journal cut mid-record is a clean
+/// error, not an abort (fuzz/fuzz_gkmd_replay.cc holds it to that).
 std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
     const std::string& base_path, const std::string& delta_path,
+    std::string* error = nullptr);
+
+/// Stream variant: replays an already opened journal over the base at
+/// `base_path`. Unlike the path overload there is no missing-journal
+/// fallback — `journal` must be a valid open stream.
+std::optional<StreamingGkMeans> TryResumeStreamCheckpoint(
+    const std::string& base_path, std::FILE* journal,
     std::string* error = nullptr);
 
 }  // namespace gkm

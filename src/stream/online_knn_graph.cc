@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
-#include <mutex>
 
 #include "common/distance.h"
 #include "common/kernels.h"
@@ -92,10 +91,65 @@ struct OnlineKnnGraph::PlannedInsert {
 
 OnlineKnnGraph::OnlineKnnGraph(std::size_t dim,
                                const OnlineGraphParams& params)
-    : params_(params), points_(0, dim), graph_(0, params.kappa),
+    : params_(params), dim_(dim), points_(0, dim), graph_(0, params.kappa),
       rng_(params.seed), live_seeds_(params.num_seeds) {
   GKM_CHECK(dim > 0);
   ValidateParams(params);
+}
+
+const char* ValidateOnlineGraphRestoreParts(const Matrix& points,
+                                            const KnnGraph& graph,
+                                            const OnlineGraphParams& params,
+                                            const RemovalState& removal) {
+  if (params.kappa == 0) return "graph kappa must be positive";
+  if (params.beam_width < params.kappa) return "beam width below graph kappa";
+  if (params.num_seeds == 0) return "graph num_seeds must be positive";
+  if (points.cols() == 0) return "restored points have zero dimension";
+  if (points.rows() != graph.num_nodes()) return "points/graph size mismatch";
+  if (graph.k() != params.kappa) return "graph capacity does not match kappa";
+  const std::size_t n = points.rows();
+  // Deletion bookkeeping precedes edge validation: which edges are legal
+  // depends on which slots are tombstoned vs reclaimed.
+  std::vector<std::uint8_t> tomb(n, 0);
+  std::vector<std::uint8_t> freed(n, 0);
+  auto mark = [n](const std::vector<std::uint32_t>& ids,
+                  std::vector<std::uint8_t>& flags,
+                  const std::vector<std::uint8_t>& other) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::uint32_t id = ids[i];
+      if (id >= n) return false;
+      if (i > 0 && id <= ids[i - 1]) return false;  // sorted, duplicate-free
+      if (flags[id] != 0 || other[id] != 0) return false;  // disjoint
+      flags[id] = 1;
+    }
+    return true;
+  };
+  if (!mark(removal.pending_dead, tomb, freed)) {
+    return "corrupt tombstone list";
+  }
+  if (!mark(removal.free_slots, freed, tomb)) {
+    return "corrupt free-slot list";
+  }
+  if (removal.last_inserted != RemovalState::kNoSlot &&
+      removal.last_inserted >= n) {
+    return "corrupt last-inserted slot";
+  }
+  // Edge ids come from an untrusted checkpoint and are dereferenced
+  // unchecked by every later walk: reject out-of-range and self edges, and
+  // enforce the deletion invariants — tombstoned slots keep no out-edges,
+  // reclaimed slots keep no in-edges (a stale edge into a reused slot
+  // would silently score the wrong vector).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<Neighbor>& nbs = graph.NeighborsOf(i);
+    if ((tomb[i] != 0 || freed[i] != 0) && !nbs.empty()) {
+      return "tombstoned slot still has out-edges";
+    }
+    for (const Neighbor& nb : nbs) {
+      if (nb.id >= n || nb.id == i) return "corrupt graph edge";
+      if (freed[nb.id] != 0) return "edge into a reclaimed slot";
+    }
+  }
+  return nullptr;
 }
 
 OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
@@ -104,50 +158,27 @@ OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
                                const AdaptiveSeedState& seeds,
                                const RemovalState& removal)
     : params_(params), points_(std::move(points)), graph_(std::move(graph)) {
-  ValidateParams(params);
-  GKM_CHECK_MSG(points_.rows() == graph_.num_nodes(),
-                "points/graph size mismatch");
-  GKM_CHECK(graph_.k() == params.kappa);
+  dim_ = points_.cols();
+  // Restore invariants live in ValidateOnlineGraphRestoreParts, shared
+  // with the Try* checkpoint loaders (which reject a malformed file cleanly
+  // before getting here); a caller that bypassed them still aborts.
+  const char* bad =
+      ValidateOnlineGraphRestoreParts(points_, graph_, params, removal);
+  GKM_CHECK_MSG(bad == nullptr, bad);
   const std::size_t n = points_.rows();
-  // Deletion bookkeeping precedes edge validation: which edges are legal
-  // depends on which slots are tombstoned vs reclaimed.
   dead_.assign(n, 0);
   pending_dead_ = removal.pending_dead;
   free_slots_ = removal.free_slots;
-  for (const std::uint32_t id : pending_dead_) {
-    GKM_CHECK_MSG(id < n && dead_[id] == 0, "corrupt tombstone list");
-    dead_[id] = 1;
-  }
-  for (const std::uint32_t id : free_slots_) {
-    GKM_CHECK_MSG(id < n && dead_[id] == 0, "corrupt free-slot list");
-    dead_[id] = 1;
-  }
+  for (const std::uint32_t id : pending_dead_) dead_[id] = 1;
+  for (const std::uint32_t id : free_slots_) dead_[id] = 1;
   last_inserted_ = removal.last_inserted;
   if (last_inserted_ == kNoSlot && n > 0 && pending_dead_.empty() &&
       free_slots_.empty()) {
     // Pre-deletion checkpoint: ids were contiguous, the newest is n-1.
     last_inserted_ = static_cast<std::uint32_t>(n - 1);
   }
-  GKM_CHECK_MSG(last_inserted_ == kNoSlot || last_inserted_ < n,
-                "corrupt last-inserted slot");
-  // Edge ids come from an untrusted checkpoint and are dereferenced
-  // unchecked by every later walk: reject out-of-range and self edges, and
-  // enforce the deletion invariants — tombstoned slots keep no out-edges,
-  // reclaimed slots keep no in-edges (a stale edge into a reused slot
-  // would silently score the wrong vector).
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::vector<Neighbor>& nbs = graph_.NeighborsOf(i);
-    GKM_CHECK_MSG(dead_[i] == 0 || nbs.empty(),
-                  "tombstoned slot still has out-edges");
-    for (const Neighbor& nb : nbs) {
-      GKM_CHECK_MSG(nb.id < n && nb.id != i, "corrupt graph edge");
-      GKM_CHECK_MSG(
-          !std::binary_search(free_slots_.begin(), free_slots_.end(), nb.id),
-          "edge into a reclaimed slot");
-    }
-  }
   // Internal free-list order is descending (O(1) lowest-first pops); the
-  // serialized form just validated above is ascending.
+  // serialized form just validated is ascending.
   std::reverse(free_slots_.begin(), free_slots_.end());
   rng_.Restore(rng);
   live_seeds_ = seeds.live_seeds == 0
@@ -159,7 +190,7 @@ OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
 }
 
 AdaptiveSeedState OnlineKnnGraph::seed_state() const {
-  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  ReaderMutexLock guard(mu_);
   AdaptiveSeedState s;
   s.live_seeds = live_seeds_;
   s.fail_ewma = fail_ewma_;
@@ -168,7 +199,7 @@ AdaptiveSeedState OnlineKnnGraph::seed_state() const {
 }
 
 RemovalState OnlineKnnGraph::removal_state() const {
-  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  ReaderMutexLock guard(mu_);
   RemovalState s;
   s.pending_dead = pending_dead_;
   s.free_slots = free_slots_;
@@ -477,7 +508,7 @@ void OnlineKnnGraph::EnsureScratch(std::size_t slots) {
 std::uint32_t OnlineKnnGraph::Insert(
     const float* x, std::vector<std::uint32_t>* touched,
     const std::vector<std::uint32_t>* seed_hints) {
-  Matrix one(1, points_.cols());
+  Matrix one(1, dim_);
   one.SetRow(0, x);
   if (seed_hints == nullptr) return InsertBatch(one, nullptr, touched);
   const std::vector<std::vector<std::uint32_t>> hints(1, *seed_hints);
@@ -489,7 +520,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
     std::vector<std::uint32_t>* touched,
     const std::vector<std::vector<std::uint32_t>>* seed_hints,
     std::vector<std::uint32_t>* assigned) {
-  GKM_CHECK_MSG(rows.cols() == points_.cols(), "batch dimension mismatch");
+  GKM_CHECK_MSG(rows.cols() == dim_, "batch dimension mismatch");
   GKM_CHECK_MSG(seed_hints == nullptr || seed_hints->size() == rows.rows(),
                 "one seed-hint vector per row required");
   const std::size_t total = rows.rows();
@@ -504,23 +535,37 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
   std::vector<std::uint32_t> batch_ids;
   std::size_t begin = 0;
   while (begin < total) {
-    // Exact phase: single-row sub-batches, so every brute-force scan sees
-    // all predecessors — identical to sequential insertion.
-    const std::size_t width = points_.rows() <= params_.bootstrap
-                                  ? 1
-                                  : std::min(kSubBatch, total - begin);
-    // Arena size the sub-batch's plans are made against: predecessor rows
-    // are encoded as virtual ids at or above it (see CommitRow).
-    const std::size_t snapshot_n = points_.rows();
+    std::size_t width, snapshot_n, live;
+    std::uint64_t base_tick;
+    {
+      // Sub-batch setup reads reader-visible state (arena size, adaptive
+      // policy counters) — one brief shared acquisition per sub-batch. No
+      // writer can intervene (this thread is the only one), so the values
+      // match what the unlocked reads saw before annotation.
+      ReaderMutexLock guard(mu_);
+      // Exact phase: single-row sub-batches, so every brute-force scan sees
+      // all predecessors — identical to sequential insertion.
+      // snapshot_n is the arena size the sub-batch's plans are made
+      // against: predecessor rows are encoded as virtual ids at or above
+      // it (see CommitRow).
+      snapshot_n = points_.rows();
+      width = snapshot_n <= params_.bootstrap ? 1
+                                              : std::min(kSubBatch, total - begin);
+      live = live_seeds_;
+      base_tick = audit_tick_;
+    }
     // One serial rng_ draw per row, in row order: the only RNG consumption
     // of the batch, so thread count cannot perturb the stream.
     row_seeds.resize(width);
     for (auto& s : row_seeds) s = rng_.Next();
-    const std::size_t live = live_seeds_;
-    const std::uint64_t base_tick = audit_tick_;
     plans.resize(width);
 
     auto plan_one = [&](std::size_t slot, std::size_t i) {
+      // Borrowed shared capability: the submitting thread below holds the
+      // reader lock across the entire ParallelForSlots fan-out (workers
+      // finish before the guard releases), so every invocation — inline or
+      // on a pool worker — runs with mu_ held shared.
+      mu_.AssertReaderHeld();
       const std::size_t r = begin + i;
       const std::vector<std::uint32_t>* hints =
           seed_hints != nullptr ? &(*seed_hints)[r] : nullptr;
@@ -532,7 +577,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
       // for the whole phase, which also lets concurrent SearchKnn readers
       // proceed while excluding the commit phase below.
       GKM_TRACE_SPAN("stream.ingest.walk");
-      std::shared_lock<std::shared_mutex> read_guard(mu_.mu);
+      ReaderMutexLock read_guard(mu_);
       if (pool != nullptr && width > 1) {
         pool->ParallelForSlots(0, width, plan_one);
       } else {
@@ -541,7 +586,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
     }
     {
       GKM_TRACE_SPAN("stream.ingest.commit");
-      std::unique_lock<std::shared_mutex> write_guard(mu_.mu);
+      WriterMutexLock write_guard(mu_);
       batch_ids.clear();
       for (std::size_t i = 0; i < width; ++i) {
         const std::uint32_t id = CommitRow(rows, begin + i, snapshot_n,
@@ -566,7 +611,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
 void OnlineKnnGraph::Remove(std::uint32_t id,
                             std::vector<std::uint32_t>* repaired) {
   GKM_COUNTER_ADD("stream.remove.calls", 1);
-  std::unique_lock<std::shared_mutex> guard(mu_.mu);
+  WriterMutexLock guard(mu_);
   GKM_CHECK_MSG(id < points_.rows(), "Remove of an out-of-range id");
   GKM_CHECK_MSG(dead_[id] == 0, "Remove of an already-removed id");
 
@@ -618,7 +663,7 @@ void OnlineKnnGraph::Remove(std::uint32_t id,
 }
 
 void OnlineKnnGraph::CompactTombstones() {
-  std::unique_lock<std::shared_mutex> guard(mu_.mu);
+  WriterMutexLock guard(mu_);
   PurgeTombstonesLocked();
 }
 
@@ -679,7 +724,7 @@ std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
                                                 std::size_t topk,
                                                 SearchScratch& scratch) const {
   GKM_TRACE_SPAN("serve.search");
-  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  ReaderMutexLock guard(mu_);
   return SearchKnnLocked(q, topk, scratch);
 }
 
@@ -691,8 +736,7 @@ std::vector<std::vector<Neighbor>> OnlineKnnGraph::SearchKnnBatch(
 
 std::vector<std::vector<Neighbor>> OnlineKnnGraph::SearchKnnBatch(
     const Matrix& queries, std::size_t topk, SearchScratch& scratch) const {
-  GKM_CHECK_MSG(queries.cols() == points_.cols(),
-                "query dimension mismatch");
+  GKM_CHECK_MSG(queries.cols() == dim_, "query dimension mismatch");
   std::vector<std::vector<Neighbor>> out(queries.rows());
   GKM_TRACE_SPAN("serve.search_batch");
   GKM_COUNTER_ADD("serve.search_batch.queries",
@@ -700,7 +744,7 @@ std::vector<std::vector<Neighbor>> OnlineKnnGraph::SearchKnnBatch(
   // One reader acquisition for the whole batch. The corpus size is frozen
   // under the lock, so every per-query RNG below matches what a per-query
   // SearchKnn call would have drawn — results are element-wise identical.
-  std::shared_lock<std::shared_mutex> guard(mu_.mu);
+  ReaderMutexLock guard(mu_);
   for (std::size_t i = 0; i < queries.rows(); ++i) {
     out[i] = SearchKnnLocked(queries.Row(i), topk, scratch);
   }

@@ -25,11 +25,12 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "graph/knn_graph.h"
 
 namespace gkm {
@@ -116,20 +117,19 @@ struct RemovalState {
   std::uint32_t last_inserted = kNoSlot;
 };
 
-namespace internal {
-
-/// std::shared_mutex held by value in a copyable class: copies and moves
-/// get a fresh mutex, since the lock guards its owning object's state,
-/// which is never shared with a copy. Copying/moving while locked is the
-/// caller's bug, as with any mutex-owning type.
-struct CopyableSharedMutex {
-  mutable std::shared_mutex mu;
-  CopyableSharedMutex() = default;
-  CopyableSharedMutex(const CopyableSharedMutex&) {}
-  CopyableSharedMutex& operator=(const CopyableSharedMutex&) { return *this; }
-};
-
-}  // namespace internal
+/// Validates checkpointed per-arena parts against every invariant the
+/// restore constructor requires: parameter sanity, points/graph shape
+/// agreement, well-formed (sorted, in-range, disjoint) removal lists, and
+/// the full edge audit (no out-of-range/self edges, tombstoned slots keep
+/// no out-edges, reclaimed slots keep no in-edges). Returns nullptr when
+/// the parts are safe to construct from, else a static description of the
+/// first violation. This is the single source of truth: the restore
+/// constructor aborts via this validator, and the Try* checkpoint loaders
+/// call it first so a malformed file is a clean load error instead.
+const char* ValidateOnlineGraphRestoreParts(const Matrix& points,
+                                            const KnnGraph& graph,
+                                            const OnlineGraphParams& params,
+                                            const RemovalState& removal);
 
 /// Growing KNN graph + vector store. Deterministic: the graph produced is a
 /// pure function of the insertion sequence and the RNG seed (thread count
@@ -163,17 +163,17 @@ class OnlineKnnGraph {
   /// monotonically non-decreasing; see num_alive() for the live count.
   /// Safe to call from serving threads while an ingest is running.
   std::size_t size() const {
-    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    ReaderMutexLock guard(mu_);
     return points_.rows();
   }
   /// Number of live (non-tombstoned) points. Safe during ingest.
   std::size_t num_alive() const {
-    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    ReaderMutexLock guard(mu_);
     return points_.rows() - pending_dead_.size() - free_slots_.size();
   }
   /// Whether slot `id` currently holds a live point. Safe during ingest.
   bool IsAlive(std::uint32_t id) const {
-    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    ReaderMutexLock guard(mu_);
     return id < dead_.size() && dead_[id] == 0;
   }
   /// Unsynchronized variant, mirroring points()/graph(): for the ingest
@@ -181,13 +181,22 @@ class OnlineKnnGraph {
   /// quiescent use. Avoids one lock round-trip per slot in O(n) sweeps
   /// like TTL expiry. Serving threads must use IsAlive.
   bool IsAliveUnlocked(std::uint32_t id) const {
+    // Externally serialized: caller is the single ingest thread (sole
+    // writer of dead_) or the structure is quiescent.
+    mu_.AssertReaderHeld();
     return id < dead_.size() && dead_[id] == 0;
   }
-  std::size_t dim() const { return points_.cols(); }
+  std::size_t dim() const { return dim_; }
   /// Direct views of the stores. Unsynchronized: for quiescent use only
   /// (no concurrent ingest) — serving threads should go through SearchKnn.
-  const Matrix& points() const { return points_; }
-  const KnnGraph& graph() const { return graph_; }
+  const Matrix& points() const {
+    mu_.AssertReaderHeld();  // externally serialized: quiescent use only
+    return points_;
+  }
+  const KnnGraph& graph() const {
+    mu_.AssertReaderHeld();  // externally serialized: quiescent use only
+    return graph_;
+  }
   const OnlineGraphParams& params() const { return params_; }
   RngSnapshot rng_state() const { return rng_.Snapshot(); }
   /// Adaptive-policy snapshot for checkpointing. Safe during ingest.
@@ -197,7 +206,7 @@ class OnlineKnnGraph {
   /// Entry points currently used per walk (adapts; see AdaptiveSeedState).
   /// Safe to poll from serving/monitoring threads during ingest.
   std::size_t live_num_seeds() const {
-    std::shared_lock<std::shared_mutex> guard(mu_.mu);
+    ReaderMutexLock guard(mu_);
     return live_seeds_;
   }
 
@@ -284,7 +293,8 @@ class OnlineKnnGraph {
  private:
   /// Lock-free core of SearchKnn; the caller must hold the reader lock.
   std::vector<Neighbor> SearchKnnLocked(const float* q, std::size_t topk,
-                                        SearchScratch& scratch) const;
+                                        SearchScratch& scratch) const
+      GKM_REQUIRES_SHARED(mu_);
   struct PlannedInsert;
 
   /// Bounded best-first walk seeded from `rng` plus optional hint entry
@@ -294,7 +304,8 @@ class OnlineKnnGraph {
   /// must hold the read lock (or be the single writer).
   std::vector<Neighbor> CollectCandidates(
       const float* q, Rng& rng, const std::vector<std::uint32_t>* seed_hints,
-      SearchScratch& scratch, std::size_t num_seeds) const;
+      SearchScratch& scratch, std::size_t num_seeds) const
+      GKM_REQUIRES_SHARED(mu_);
 
   /// Parallel phase of one row: walk + audit + intra-batch scoring + local
   /// join distance table, all against the sub-batch's graph snapshot.
@@ -302,7 +313,8 @@ class OnlineKnnGraph {
                std::uint64_t row_seed, std::size_t num_seeds,
                std::uint64_t tick,
                const std::vector<std::uint32_t>* seed_hints,
-               SearchScratch& scratch, PlannedInsert& plan) const;
+               SearchScratch& scratch, PlannedInsert& plan) const
+      GKM_REQUIRES_SHARED(mu_);
 
   /// Serial phase of one row: slot allocation (reclaimed slots first),
   /// forward/reverse edges, local join from the precomputed table,
@@ -313,45 +325,51 @@ class OnlineKnnGraph {
                           std::size_t snapshot_n,
                           const std::vector<std::uint32_t>& batch_ids,
                           PlannedInsert& plan,
-                          std::vector<std::uint32_t>* touched);
+                          std::vector<std::uint32_t>* touched)
+      GKM_REQUIRES(mu_);
 
   /// Unlocked core of CompactTombstones; requires the writer lock.
-  void PurgeTombstonesLocked();
+  void PurgeTombstonesLocked() GKM_REQUIRES(mu_);
 
   /// Folds one audit verdict into the failure EWMA and adjusts the live
   /// seed count when the rate crosses a policy threshold.
-  void ApplyAudit(bool failed);
+  void ApplyAudit(bool failed) GKM_REQUIRES(mu_);
 
   void EnsureScratch(std::size_t slots);
 
+  // Immutable after construction: readable from any thread without mu_.
   OnlineGraphParams params_;
-  Matrix points_;
-  KnnGraph graph_;
+  std::size_t dim_ = 0;
+  // Guards every reader-visible piece of model state below between the
+  // single ingest thread (shared for walks, unique for commits) and
+  // concurrent SearchKnn readers (shared). Declared first so the analysis
+  // sees the capability before its guarded fields.
+  SharedMutex mu_;
+  Matrix points_ GKM_GUARDED_BY(mu_);
+  KnnGraph graph_ GKM_GUARDED_BY(mu_);
   // Per-slot tombstone flags (1 = dead), always sized to the arena. Walks
   // and the brute-force phase skip dead slots; serving readers only ever
   // see a slot flip alive->dead under the writer lock.
-  std::vector<std::uint8_t> dead_;
+  std::vector<std::uint8_t> dead_ GKM_GUARDED_BY(mu_);
   // Tombstoned slots not yet purged (stale in-edges may reference them),
   // sorted ascending, and purged slots awaiting reuse, sorted DESCENDING
   // so the lowest-slot-first reuse policy is an O(1) pop_back even after
   // a mass expiry frees a whole window. (RemovalState serializes both
   // ascending; the constructor and removal_state() convert.)
-  std::vector<std::uint32_t> pending_dead_;
-  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> pending_dead_ GKM_GUARDED_BY(mu_);
+  std::vector<std::uint32_t> free_slots_ GKM_GUARDED_BY(mu_);
   // Most recently committed insert (see RemovalState::last_inserted).
-  std::uint32_t last_inserted_ = RemovalState::kNoSlot;
+  std::uint32_t last_inserted_ GKM_GUARDED_BY(mu_) = RemovalState::kNoSlot;
+  // Ingest-thread-owned: consumed only by Insert/InsertBatch callers (one
+  // serial draw per row), never reader-visible, so not guarded by mu_.
   Rng rng_;
   // Adaptive entry-point policy (see "Adaptive seed policy" in the .cc).
-  std::size_t live_seeds_ = 0;
-  double fail_ewma_ = 0.125;
-  std::uint64_t audit_tick_ = 0;
-  // Per-slot walk scratch for the parallel ingest phase; serving threads
-  // bring their own SearchScratch instead.
+  std::size_t live_seeds_ GKM_GUARDED_BY(mu_) = 0;
+  double fail_ewma_ GKM_GUARDED_BY(mu_) = 0.125;
+  std::uint64_t audit_tick_ GKM_GUARDED_BY(mu_) = 0;
+  // Per-slot walk scratch for the parallel ingest phase (each pool slot
+  // owns one entry); serving threads bring their own SearchScratch.
   std::vector<SearchScratch> ingest_scratch_;
-  // Guards points_/graph_/live_seeds_ between the single ingest thread
-  // (shared for walks, unique for commits) and concurrent SearchKnn
-  // readers (shared).
-  internal::CopyableSharedMutex mu_;
 };
 
 }  // namespace gkm

@@ -175,8 +175,11 @@ std::uint32_t ShardedOnlineKnnGraph::InsertBatch(
 
   // Multi-writer phase: one writer thread per non-empty shard (the last
   // runs on the calling thread). Each writer commits under its own shard's
-  // lock only; walk fan-out additionally shares `pool` across writers,
-  // which the per-call completion latches in ThreadPool make safe.
+  // lock only — run_shard touches nothing but its shard `s` and the
+  // per-shard output slots owned by that writer, so no cross-thread state
+  // needs a capability here; walk fan-out additionally shares `pool`
+  // across writers, which the per-call completion latches in ThreadPool
+  // make safe.
   std::vector<std::vector<std::uint32_t>> shard_touched(num_shards);
   std::vector<std::vector<std::uint32_t>> shard_assigned(num_shards);
   auto run_shard = [&](std::size_t s) {

@@ -81,6 +81,15 @@ struct OnlineShardParts {
 /// deterministic, and merged results are ordered by (dist, global id) — so
 /// the whole structure stays a pure function of the input sequence at any
 /// writer/pool thread count, for a fixed shard count.
+///
+/// Lock discipline: this facade owns no lock. `shards_` and `params_` are
+/// written only during construction (immutable afterwards); every mutable
+/// field lives inside an OnlineKnnGraph shard under that shard's annotated
+/// SharedMutex, so the thread-safety analysis checks each shard
+/// independently. The Unsynchronized accessors below (Point,
+/// SortedNeighborsInto, AppendNeighborIds, IsAliveUnlocked) delegate to
+/// OnlineKnnGraph's audited AssertReaderHeld claims — ingest-thread or
+/// quiescent use only, exactly as documented there.
 class ShardedOnlineKnnGraph {
  public:
   /// Empty structure over `dim`-dimensional points with `params.shards`

@@ -31,6 +31,92 @@ void ValidateParams(const StreamingGkMeansParams& params) {
 
 }  // namespace
 
+const char* ValidateStreamSnapshot(const StreamSnapshot& snap) {
+  const StreamingGkMeansParams& p = snap.params;
+  if (p.k < 2) return "snapshot k out of range";
+  if (p.kappa == 0) return "snapshot kappa out of range";
+  if (p.bootstrap_min <= 2 * p.k) {
+    return "snapshot bootstrap window too small for k clusters";
+  }
+  const std::size_t num_shards = snap.shards.size();
+  if (num_shards == 0 || num_shards != p.graph.shards) {
+    return "snapshot shard count does not match params";
+  }
+  const std::size_t dim = snap.shards[0].points.cols();
+  std::vector<std::size_t> rows(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const OnlineShardParts& shard = snap.shards[s];
+    if (shard.points.cols() != dim) return "snapshot shard dimension mismatch";
+    if (const char* msg = ValidateOnlineGraphRestoreParts(
+            shard.points, shard.graph, p.graph, shard.removal)) {
+      return msg;
+    }
+    rows[s] = shard.points.rows();
+  }
+  const std::size_t bound = ShardedArenaBound(rows.data(), num_shards);
+  if (snap.labels.size() != bound) {
+    return "labels/points size mismatch in snapshot";
+  }
+  // Liveness per global id, computed from the raw parts (the graphs are
+  // not constructed yet): the slot must exist in its shard — interleaving
+  // leaves holes when shards are unbalanced — and be neither tombstoned
+  // nor reclaimed.
+  std::vector<std::uint8_t> alive(bound, 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const OnlineShardParts& shard = snap.shards[s];
+    std::vector<std::uint8_t> dead(rows[s], 0);
+    for (const std::uint32_t id : shard.removal.pending_dead) dead[id] = 1;
+    for (const std::uint32_t id : shard.removal.free_slots) dead[id] = 1;
+    for (std::size_t t = 0; t < rows[s]; ++t) {
+      if (dead[t] == 0) alive[t * num_shards + s] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < snap.labels.size(); ++i) {
+    const std::uint32_t l = snap.labels[i];
+    if (l >= p.k && l != kUnassigned) return "snapshot label out of range";
+    if (l == kUnassigned && snap.bootstrapped && alive[i] != 0) {
+      return "live point unlabeled in bootstrapped snapshot";
+    }
+    if (l != kUnassigned && alive[i] == 0) {
+      return "tombstoned slot still labeled in snapshot";
+    }
+  }
+  if (!snap.cluster_reps.empty() && snap.cluster_reps.size() != p.k) {
+    return "snapshot cluster-representative count mismatch";
+  }
+  for (const std::uint32_t rep : snap.cluster_reps) {
+    if (rep == kUnassigned) continue;
+    if (rep >= bound || alive[rep] == 0) {
+      return "snapshot cluster representative out of range";
+    }
+  }
+  if (!snap.birth_windows.empty() &&
+      snap.birth_windows.size() != snap.labels.size()) {
+    return "snapshot birth-window count mismatch";
+  }
+  for (const std::uint64_t b : snap.birth_windows) {
+    if (b > snap.windows) return "snapshot birth window in the future";
+  }
+  if (snap.counts.size() != p.k) return "snapshot counts have wrong size";
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : snap.counts) total += c;
+  if (total != snap.n) return "snapshot counts do not sum to n";
+  if (snap.n > snap.labels.size()) return "snapshot n exceeds point count";
+  if (snap.prev_centroids.rows() != 0 &&
+      (snap.prev_centroids.rows() != p.k ||
+       snap.prev_centroids.cols() != dim)) {
+    return "snapshot drift baseline has wrong shape";
+  }
+  // The raw state blocks are handed to ClusterState::RestoreRaw unchecked.
+  if (snap.composites.size() != p.k * dim) {
+    return "snapshot composite block has wrong size";
+  }
+  if (snap.composite_norms.size() != p.k || snap.point_norms.size() != p.k) {
+    return "snapshot norm caches have wrong size";
+  }
+  return nullptr;
+}
+
 StreamingGkMeans::StreamingGkMeans(std::size_t dim,
                                    const StreamingGkMeansParams& params)
     : params_(params),
@@ -57,43 +143,14 @@ StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
       windows_(snap.windows),
       bootstrapped_(snap.bootstrapped),
       stamp_(snap.params.k, 0) {
-  ValidateParams(params_);
-  GKM_CHECK_MSG(labels_.size() == graph_.size(),
-                "labels/points size mismatch in snapshot");
+  // Every snapshot invariant was checked by ValidateStreamSnapshot in
+  // FromSnapshot — the only route here — before this body runs (the
+  // per-shard graph parts additionally re-validate inside the graph
+  // restore constructors above, in the init list).
   if (cluster_reps_.empty()) cluster_reps_.assign(params_.k, kUnassigned);
-  GKM_CHECK(cluster_reps_.size() == params_.k);
   // Pre-deletion (v2) snapshots carry no birth windows: every slot counts
   // as born at restore time, which a ttl_windows=0 model never reads.
   if (birth_window_.empty()) birth_window_.assign(graph_.size(), windows_);
-  GKM_CHECK_MSG(birth_window_.size() == graph_.size(),
-                "snapshot birth-window count mismatch");
-  // Snapshots come from untrusted files: validate every index that later
-  // code uses unchecked, so a bit-flipped checkpoint aborts cleanly here
-  // instead of corrupting the heap in an epoch loop.
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    const std::uint32_t l = labels_[i];
-    GKM_CHECK_MSG(l < params_.k || l == kUnassigned,
-                  "snapshot label out of range");
-    GKM_CHECK_MSG(l != kUnassigned || !bootstrapped_ ||
-                      !graph_.IsAlive(static_cast<std::uint32_t>(i)),
-                  "live point unlabeled in bootstrapped snapshot");
-    GKM_CHECK_MSG(l == kUnassigned ||
-                      graph_.IsAlive(static_cast<std::uint32_t>(i)),
-                  "tombstoned slot still labeled in snapshot");
-  }
-  for (const std::uint32_t rep : cluster_reps_) {
-    GKM_CHECK_MSG(rep == kUnassigned ||
-                      (rep < graph_.size() && graph_.IsAlive(rep)),
-                  "snapshot cluster representative out of range");
-  }
-  std::uint64_t total = 0;
-  for (const std::uint32_t c : snap.counts) total += c;
-  GKM_CHECK_MSG(total == snap.n, "snapshot counts do not sum to n");
-  GKM_CHECK_MSG(snap.n <= labels_.size(), "snapshot n exceeds point count");
-  GKM_CHECK_MSG(prev_centroids_.rows() == 0 ||
-                    (prev_centroids_.rows() == params_.k &&
-                     prev_centroids_.cols() == graph_.dim()),
-                "snapshot drift baseline has wrong shape");
   state_.RestoreRaw(static_cast<std::size_t>(snap.n),
                     std::move(snap.composites), std::move(snap.counts),
                     std::move(snap.composite_norms),
@@ -642,6 +699,12 @@ StreamSnapshot StreamingGkMeans::Snapshot() const {
 }
 
 StreamingGkMeans StreamingGkMeans::FromSnapshot(StreamSnapshot snap) {
+  // Snapshots come from untrusted files: validate every index the model
+  // later uses unchecked, so a bit-flipped checkpoint aborts cleanly here
+  // instead of corrupting the heap in an epoch loop. (The Try* loaders run
+  // the same validator first and turn violations into load errors.)
+  const char* bad = ValidateStreamSnapshot(snap);
+  GKM_CHECK_MSG(bad == nullptr, bad);
   return StreamingGkMeans(std::move(snap));
 }
 

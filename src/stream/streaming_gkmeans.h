@@ -123,6 +123,16 @@ struct StreamSnapshot {
   std::vector<std::uint64_t> birth_windows; ///< per-slot ingest window (TTL)
 };
 
+/// Validates `snap` against every invariant FromSnapshot requires:
+/// parameter sanity, per-shard graph parts (via
+/// ValidateOnlineGraphRestoreParts), label/representative/birth-window
+/// consistency with the sharded arena's liveness, count/centroid shapes.
+/// Returns nullptr when the snapshot is safe to restore from, else a
+/// static description of the first violation. Single source of truth:
+/// FromSnapshot aborts via this validator, and the Try* checkpoint
+/// loaders call it first so a malformed file is a clean load error.
+const char* ValidateStreamSnapshot(const StreamSnapshot& snap);
+
 /// Online GK-means over an unbounded stream of fixed-dimension vectors.
 class StreamingGkMeans {
  public:
@@ -221,6 +231,13 @@ class StreamingGkMeans {
   /// max_splits_per_window times per call.
   void SplitMergeMaintain(WindowStats& ws);
 
+  // Lock discipline: the clusterer owns no lock, and every field below is
+  // ingest-thread-owned — written only inside ObserveWindow/RemovePoint/
+  // Snapshot callers, which the API contract serializes on one logical
+  // ingest thread. Concurrent serving threads touch only graph_, whose
+  // OnlineKnnGraph shards carry the annotated SharedMutex capabilities;
+  // the thread-safety analysis therefore checks the serving boundary
+  // inside the graph, and nothing here needs GKM_GUARDED_BY.
   StreamingGkMeansParams params_;
   // Ingest worker pool (behind unique_ptr so the clusterer stays movable);
   // idle outside ObserveWindow.

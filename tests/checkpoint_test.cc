@@ -7,8 +7,11 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -664,6 +667,167 @@ TEST(CheckpointTest, RejectsTruncatedFile) {
   GTEST_FLAG_SET(death_test_style, "threadsafe");
   EXPECT_DEATH(LoadStreamCheckpoint(path), "truncated|trailer");
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fuzz-regression sweeps: every strict prefix and every
+// single-byte corruption of a real checkpoint/journal must come back as a
+// clean Try* error or a (possibly different) loaded model — never an
+// abort, crash, or unbounded allocation. This is the compiler-agnostic
+// floor under the libFuzzer harnesses in fuzz/ (which explore far deeper
+// but need Clang); a crash either suite finds gets pinned here.
+
+StreamingGkMeansParams TinyParams() {
+  StreamingGkMeansParams p;
+  p.k = 3;
+  p.kappa = 4;
+  p.graph.kappa = 4;
+  p.graph.beam_width = 12;
+  p.graph.num_seeds = 8;
+  p.graph.bootstrap = 16;
+  p.graph.seed = 11;
+  p.bootstrap_min = 32;
+  p.bootstrap_epochs = 2;
+  p.bisect_epochs = 2;
+  p.route_hints = 2;
+  p.seed = 5;
+  return p;
+}
+
+constexpr std::size_t kTinyDim = 6;
+
+Matrix TinyData(std::size_t n, std::uint64_t seed = 13) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = kTinyDim;
+  spec.modes = 3;
+  spec.seed = seed;
+  return MakeGaussianMixture(spec).vectors;
+}
+
+// Bootstrapped tiny model with tombstones — small enough that the O(file
+// bytes) sweeps below stay cheap.
+StreamingGkMeans TinyModel() {
+  StreamingGkMeans model(kTinyDim, TinyParams());
+  Feed(model, TinyData(64), 16);
+  model.RemovePoint(3);
+  model.RemovePoint(10);
+  return model;
+}
+
+std::vector<std::uint8_t> ReadAllBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::vector<std::uint8_t> bytes;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    bytes.push_back(static_cast<std::uint8_t>(c));
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+std::optional<StreamingGkMeans> TryLoadBytes(const std::uint8_t* data,
+                                             std::size_t size,
+                                             std::string* error) {
+  std::FILE* f = fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
+  EXPECT_NE(f, nullptr);
+  auto model = TryLoadStreamCheckpoint(f, error);
+  std::fclose(f);
+  return model;
+}
+
+std::optional<StreamingGkMeans> TryResumeBytes(const std::string& base_path,
+                                               const std::uint8_t* data,
+                                               std::size_t size,
+                                               std::string* error) {
+  std::FILE* f = fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
+  EXPECT_NE(f, nullptr);
+  auto model = TryResumeStreamCheckpoint(base_path, f, error);
+  std::fclose(f);
+  return model;
+}
+
+TEST(CheckpointFuzzRegression, TruncationSweepFailsCleanly) {
+  const std::string path = TempPath("fuzz_trunc_sweep.gkmc");
+  SaveStreamCheckpoint(path, TinyModel());
+  const std::vector<std::uint8_t> bytes = ReadAllBytes(path);
+  std::remove(path.c_str());
+  ASSERT_GT(bytes.size(), 100u);
+
+  // No strict prefix can be a valid checkpoint (the trailer is the last
+  // thing parsed), so every one must come back as an error.
+  for (std::size_t len = 1; len < bytes.size(); ++len) {
+    std::string error;
+    auto model = TryLoadBytes(bytes.data(), len, &error);
+    ASSERT_FALSE(model.has_value()) << "prefix of " << len << " bytes";
+    ASSERT_FALSE(error.empty()) << "prefix of " << len << " bytes";
+  }
+  std::string error;
+  EXPECT_TRUE(TryLoadBytes(bytes.data(), bytes.size(), &error).has_value())
+      << error;
+}
+
+TEST(CheckpointFuzzRegression, ByteFlipSweepNeverAborts) {
+  const std::string path = TempPath("fuzz_flip_sweep.gkmc");
+  SaveStreamCheckpoint(path, TinyModel());
+  std::vector<std::uint8_t> bytes = ReadAllBytes(path);
+  std::remove(path.c_str());
+
+  // A flipped float payload can still load (it is just a different model);
+  // everything else must be a clean diagnostic. Either way: no abort.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    bytes[pos] ^= 0xff;
+    std::string error;
+    auto model = TryLoadBytes(bytes.data(), bytes.size(), &error);
+    if (!model.has_value()) {
+      ASSERT_FALSE(error.empty()) << "flip at byte " << pos;
+    }
+    bytes[pos] ^= 0xff;  // restore
+  }
+}
+
+TEST(CheckpointFuzzRegression, JournalSweepsNeverAbort) {
+  const std::string base = TempPath("fuzz_sweep_base.gkmc");
+  const std::string delta = TempPath("fuzz_sweep_delta.gkmd");
+  StreamingGkMeans model = TinyModel();
+  StreamDeltaLog log(base, delta, model);
+  const Matrix extra = TinyData(32, 99);
+  const Matrix w1 = SliceRows(extra, 0, 16);
+  const Matrix w2 = SliceRows(extra, 16, 32);
+  log.AppendWindow(w1);
+  model.ObserveWindow(w1);
+  log.AppendStateCheck(model);
+  log.AppendRemoval(5);
+  model.RemovePoint(5);
+  log.AppendWindow(w2);
+  model.ObserveWindow(w2);
+  log.AppendStateCheck(model);
+  std::vector<std::uint8_t> bytes = ReadAllBytes(delta);
+  std::remove(delta.c_str());
+  ASSERT_GT(bytes.size(), 24u);
+
+  // Truncations: a cut at a record boundary is a legitimately shorter
+  // journal and may resume; a mid-record cut must be a clean error.
+  for (std::size_t len = 1; len < bytes.size(); ++len) {
+    std::string error;
+    auto resumed = TryResumeBytes(base, bytes.data(), len, &error);
+    if (!resumed.has_value()) {
+      ASSERT_FALSE(error.empty()) << "journal prefix of " << len << " bytes";
+    }
+  }
+
+  // Single-byte corruptions anywhere in the journal.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    bytes[pos] ^= 0xff;
+    std::string error;
+    auto resumed = TryResumeBytes(base, bytes.data(), bytes.size(), &error);
+    if (!resumed.has_value()) {
+      ASSERT_FALSE(error.empty()) << "flip at journal byte " << pos;
+    }
+    bytes[pos] ^= 0xff;
+  }
+  std::remove(base.c_str());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -325,6 +326,45 @@ TEST(StatsSamplerTest, JsonSinkWritesParseableFile) {
   std::remove(path.c_str());
   ASSERT_GT(got, 0u);
   EXPECT_EQ(std::string(buf).rfind("{\"schema\":\"gkm-stats-v1\"", 0), 0u);
+}
+
+TEST(StatsSamplerTest, ShutdownRacesInstrumentCreation) {
+  // Writers register fresh instruments (registry map inserts) while the
+  // sampler's final-flush scrape of Stop() walks the same maps, and the
+  // lifecycle is churned the whole time. Pure race test: TSan (the CI
+  // sanitizer matrix runs this suite under it) is the real assertion;
+  // plain builds still verify nothing deadlocks or crashes.
+  MetricsRegistry registry;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&registry, &done, w] {
+      for (int i = 0; !done.load(std::memory_order_relaxed); ++i) {
+        const std::string name =
+            "race.w" + std::to_string(w) + "." + std::to_string(i % 64);
+        registry.GetCounter(name).Add(1);
+        registry.GetHistogram(name).Record(static_cast<double>(i));
+        registry.GetGauge(name).Set(i);
+      }
+    });
+  }
+
+  SamplerOptions opts;
+  opts.period = std::chrono::milliseconds(1);
+  std::atomic<int> ticks{0};
+  opts.on_sample = [&ticks](const RegistrySnapshot&) { ticks.fetch_add(1); };
+  StatsSampler sampler(registry, opts);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    ASSERT_TRUE(sampler.Start());
+    while (ticks.load() == 0) std::this_thread::yield();
+    ASSERT_TRUE(sampler.Stop());  // final flush scrapes mid-insert maps
+    ticks.store(0);
+  }
+
+  done.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.samples(), 20u);
 }
 
 }  // namespace
