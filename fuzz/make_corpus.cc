@@ -6,11 +6,12 @@
 // Writes GKMC seeds under <out>/gkmc_load/ and GKMD journal seeds under
 // <out>/gkmd_replay/, every one derived from the deterministic model in
 // fuzz/fuzz_model.h so the journal seeds' base-hash binding matches the
-// base fuzz_gkmd_replay.cc rebuilds at startup. Current-version (v4)
-// checkpoints come from the real writer; v2/v3 layouts are handcrafted
-// here because the writer only emits v4 — each file is loaded back through
-// the Try* entry points before the generator exits, so a drifted legacy
-// layout fails generation instead of checking in a dead seed.
+// base fuzz_gkmd_replay.cc rebuilds at startup. Current-version (v4 for
+// fp32 arenas, v5 for SQ8) checkpoints come from the real writer; v2/v3
+// layouts are handcrafted here because the writer no longer emits them —
+// each file is loaded back through the Try* entry points before the
+// generator exits, so a drifted legacy layout fails generation instead of
+// checking in a dead seed.
 
 #include <sys/stat.h>
 
@@ -174,6 +175,26 @@ int main(int argc, char** argv) {
   young.ObserveWindow(windows[0]);  // 16 points < bootstrap_min
   gkm::SaveStreamCheckpoint(gkmc + "/v4_prebootstrap.gkmc", young);
   CheckLoads(gkmc + "/v4_prebootstrap.gkmc");
+
+  // v5 SQ8 seeds (the writer emits v5 only for quantized arenas): a
+  // trained post-removal model — the 16-row graph bootstrap trains the
+  // quantizer on the first window — plus an untrained cursor whose arena
+  // is still staging fp32 rows, so the loader's trained/untrained branch
+  // and the codes/norms/quantizer sections all sit in the corpus.
+  gkm::StreamingGkMeansParams qp = gkmfuzz::FuzzParams(1);
+  qp.graph.storage = gkm::StorageMode::kSq8;
+  gkm::StreamingGkMeans sq8(gkmfuzz::kDim, qp);
+  for (std::size_t w = 0; w < gkmfuzz::kBaseWindows; ++w) {
+    sq8.ObserveWindow(windows[w]);
+  }
+  sq8.RemovePoint(3);
+  gkm::SaveStreamCheckpoint(gkmc + "/v5_sq8.gkmc", sq8);
+  CheckLoads(gkmc + "/v5_sq8.gkmc");
+
+  gkm::StreamingGkMeans sq8_young(gkmfuzz::kDim, qp);
+  sq8_young.ObserveWindow(gkm::SliceRows(windows[0], 0, 8));  // < bootstrap
+  gkm::SaveStreamCheckpoint(gkmc + "/v5_sq8_untrained.gkmc", sq8_young);
+  CheckLoads(gkmc + "/v5_sq8_untrained.gkmc");
 
   // Legacy seeds. v2 predates deletion, so it snapshots a model with no
   // removals (tombstones without a removal block would fail liveness

@@ -21,6 +21,7 @@
 #include "common/kernels.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 
@@ -144,6 +145,39 @@ void ScalarDot4(const float* q0, const float* q1, const float* q2,
 
 float ScalarDot1(const float* a, const float* b, std::size_t d) {
   return DotOne(a, b, d);
+}
+
+void ScalarDotStrided(const float* q, const float* base, std::size_t stride,
+                      std::size_t n, std::size_t d, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = DotOne(q, base + i * stride, d);
+}
+
+void ScalarDotGather(const float* q, const float* const* rows, std::size_t n,
+                     std::size_t d, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchLookahead < n) {
+      PrefetchRows(rows + i + kPrefetchLookahead, 1);
+    }
+    out[i] = DotOne(q, rows[i], d);
+  }
+}
+
+// SQ8 integer core, scalar reference. Integer arithmetic is exact, so this
+// simple loop IS the cross-tier contract: any reassociation a SIMD tier
+// performs produces the same i32.
+inline std::int32_t Sq8IdotOne(const std::int8_t* GKM_RESTRICT a,
+                               const std::uint8_t* GKM_RESTRICT b,
+                               std::size_t d) {
+  std::int32_t s = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    s += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return s;
+}
+
+void ScalarSq8Gather(const std::int8_t* q, const std::uint8_t* const* rows,
+                     std::size_t n, std::size_t d, std::int32_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = Sq8IdotOne(q, rows[i], d);
 }
 
 #if defined(GKM_KERNELS_X86)
@@ -288,6 +322,119 @@ __attribute__((target("avx2,fma"))) void Avx2Dot4(
     out4[1] += q1[j] * c[j];
     out4[2] += q2[j] * c[j];
     out4[3] += q3[j] * c[j];
+  }
+}
+
+// Exact dot rows — the same two-rows-per-register 4-lane layout as
+// Avx2L2Rows, with mul/add instead of sub/mul/add, reproducing DotOne
+// bit-for-bit.
+template <int NREG>
+__attribute__((target("avx2,fma"))) inline void Avx2DotRows(
+    const float* q, const float* const* rows, std::size_t d, float* out) {
+  __m256 acc[NREG];
+  for (int r = 0; r < NREG; ++r) acc[r] = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const __m256 qq =
+        _mm256_broadcast_ps(reinterpret_cast<const __m128*>(q + j));
+    for (int r = 0; r < NREG; ++r) {
+      const __m256 rr = _mm256_insertf128_ps(
+          _mm256_castps128_ps256(_mm_loadu_ps(rows[2 * r] + j)),
+          _mm_loadu_ps(rows[2 * r + 1] + j), 1);
+      acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(qq, rr));
+    }
+  }
+  for (int r = 0; r < NREG; ++r) {
+    alignas(32) float l[8];
+    _mm256_store_ps(l, acc[r]);
+    for (int h = 0; h < 2; ++h) {
+      const float* row = rows[2 * r + h];
+      float s0 = l[4 * h];
+      for (std::size_t t = j; t < d; ++t) s0 += q[t] * row[t];
+      out[2 * r + h] = (s0 + l[4 * h + 1]) + (l[4 * h + 2] + l[4 * h + 3]);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void Avx2DotGather(
+    const float* q, const float* const* rows, std::size_t n, std::size_t d,
+    float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (i + 8 < n) {
+      PrefetchRows(rows + i + 8, std::min<std::size_t>(8, n - (i + 8)));
+    }
+    Avx2DotRows<4>(q, rows + i, d, out + i);
+  }
+  for (; i + 2 <= n; i += 2) Avx2DotRows<1>(q, rows + i, d, out + i);
+  for (; i < n; ++i) out[i] = DotOne(q, rows[i], d);
+}
+
+__attribute__((target("avx2,fma"))) void Avx2DotStrided(
+    const float* q, const float* base, std::size_t stride, std::size_t n,
+    std::size_t d, float* out) {
+  const float* ptrs[8];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t r = 0; r < 8; ++r) ptrs[r] = base + (i + r) * stride;
+    Avx2DotRows<4>(q, ptrs, d, out + i);
+  }
+  for (; i + 2 <= n; i += 2) {
+    ptrs[0] = base + i * stride;
+    ptrs[1] = ptrs[0] + stride;
+    Avx2DotRows<1>(q, ptrs, d, out + i);
+  }
+  for (; i < n; ++i) out[i] = DotOne(q, base + i * stride, d);
+}
+
+// SQ8 integer dot, one row per call. The u8 and i8 operands are WIDENED to
+// i16 before _mm256_madd_epi16 (pair products <= 127*255 fit i16 inputs,
+// pair sums <= 64770 land in i32). Deliberately not _mm256_maddubs_epi16:
+// its i16 pair-sum saturates at 32767, which a saturation-edge row (all
+// codes 255 against |q|=127) would trip — the widening form is exact for
+// the full input range, keeping the scalar bit-identity contract.
+__attribute__((target("avx2"))) inline std::int32_t Avx2Sq8IdotRow(
+    const std::int8_t* a, const std::uint8_t* b, std::size_t d) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t j = 0;
+  for (; j + 32 <= d; j += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + j));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+    const __m256i a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+    const __m256i b_lo = _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vb));
+    const __m256i b_hi = _mm256_cvtepu8_epi16(_mm256_extracti128_si256(vb, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+  }
+  for (; j + 16 <= d; j += 16) {
+    const __m256i a16 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + j)));
+    const __m256i b16 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+  std::int32_t out = _mm_cvtsi128_si32(s);
+  for (; j < d; ++j) {
+    out += static_cast<std::int32_t>(a[j]) * static_cast<std::int32_t>(b[j]);
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) void Avx2Sq8Gather(
+    const std::int8_t* q, const std::uint8_t* const* rows, std::size_t n,
+    std::size_t d, std::int32_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchLookahead < n) {
+      __builtin_prefetch(rows[i + kPrefetchLookahead], 0, 1);
+    }
+    out[i] = Avx2Sq8IdotRow(q, rows[i], d);
   }
 }
 
@@ -469,6 +616,134 @@ __attribute__((target("avx2,fma,avx512f"))) float Avx512Dot1(const float* a,
   for (; j < d; ++j) out += a[j] * b[j];
   return out;
 }
+
+// Exact dot rows — four rows' 4-lane accumulators per 512-bit register,
+// mirroring Avx512L2Rows.
+template <int NREG>
+__attribute__((target("avx2,fma,avx512f"))) inline void Avx512DotRows(
+    const float* q, const float* const* rows, std::size_t d, float* out) {
+  __m512 acc[NREG];
+  for (int r = 0; r < NREG; ++r) acc[r] = _mm512_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const __m512 qq = _mm512_broadcast_f32x4(_mm_loadu_ps(q + j));
+    for (int r = 0; r < NREG; ++r) {
+      __m512 rr = _mm512_castps128_ps512(_mm_loadu_ps(rows[4 * r] + j));
+      rr = _mm512_insertf32x4(rr, _mm_loadu_ps(rows[4 * r + 1] + j), 1);
+      rr = _mm512_insertf32x4(rr, _mm_loadu_ps(rows[4 * r + 2] + j), 2);
+      rr = _mm512_insertf32x4(rr, _mm_loadu_ps(rows[4 * r + 3] + j), 3);
+      acc[r] = _mm512_add_ps(acc[r], _mm512_mul_ps(qq, rr));
+    }
+  }
+  for (int r = 0; r < NREG; ++r) {
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, acc[r]);
+    for (int h = 0; h < 4; ++h) {
+      const float* row = rows[4 * r + h];
+      float s0 = lanes[4 * h];
+      for (std::size_t t = j; t < d; ++t) s0 += q[t] * row[t];
+      out[4 * r + h] =
+          (s0 + lanes[4 * h + 1]) + (lanes[4 * h + 2] + lanes[4 * h + 3]);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma,avx512f"))) void Avx512DotGather(
+    const float* q, const float* const* rows, std::size_t n, std::size_t d,
+    float* out) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    if (i + 16 < n) {
+      PrefetchRows(rows + i + 16, std::min<std::size_t>(16, n - (i + 16)));
+    }
+    Avx512DotRows<4>(q, rows + i, d, out + i);
+  }
+  for (; i + 4 <= n; i += 4) Avx512DotRows<1>(q, rows + i, d, out + i);
+  for (; i < n; ++i) out[i] = DotOne(q, rows[i], d);
+}
+
+__attribute__((target("avx2,fma,avx512f"))) void Avx512DotStrided(
+    const float* q, const float* base, std::size_t stride, std::size_t n,
+    std::size_t d, float* out) {
+  const float* ptrs[16];
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (std::size_t r = 0; r < 16; ++r) ptrs[r] = base + (i + r) * stride;
+    Avx512DotRows<4>(q, ptrs, d, out + i);
+  }
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t r = 0; r < 4; ++r) ptrs[r] = base + (i + r) * stride;
+    Avx512DotRows<1>(q, ptrs, d, out + i);
+  }
+  for (; i < n; ++i) out[i] = DotOne(q, base + i * stride, d);
+}
+
+// SQ8 integer dot via AVX512BW widening madd (same structure as the AVX2
+// row kernel, 64 codes per step).
+__attribute__((target("avx512f,avx512bw"))) inline std::int32_t
+Avx512Sq8IdotRow(const std::int8_t* a, const std::uint8_t* b, std::size_t d) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t j = 0;
+  for (; j + 32 <= d; j += 32) {
+    const __m512i a16 = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + j)));
+    const __m512i b16 = _mm512_cvtepu8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j)));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(a16, b16));
+  }
+  std::int32_t out = _mm512_reduce_add_epi32(acc);
+  for (; j < d; ++j) {
+    out += static_cast<std::int32_t>(a[j]) * static_cast<std::int32_t>(b[j]);
+  }
+  return out;
+}
+
+// SQ8 integer dot via AVX512-VNNI: vpdpbusd takes u8 (first multiplicand)
+// × i8 (second) with i32 accumulate — exactly the asymmetric operand
+// layout, no widening needed. Results are identical to the widening form
+// (integer math is exact), so runtime selection between the two cannot
+// change a bit.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) inline std::int32_t
+Avx512VnniSq8IdotRow(const std::int8_t* a, const std::uint8_t* b,
+                     std::size_t d) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t j = 0;
+  for (; j + 64 <= d; j += 64) {
+    const __m512i va =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + j));
+    const __m512i vb =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + j));
+    acc = _mm512_dpbusd_epi32(acc, vb, va);
+  }
+  std::int32_t out = _mm512_reduce_add_epi32(acc);
+  for (; j < d; ++j) {
+    out += static_cast<std::int32_t>(a[j]) * static_cast<std::int32_t>(b[j]);
+  }
+  return out;
+}
+
+// BestSupportedTier only requires avx512f, so the BW/VNNI sub-features are
+// gated here at first use; CPUs without them fall back to the scalar row
+// core (same bits, fewer instructions per cycle).
+__attribute__((target("avx512f"))) void Avx512Sq8Gather(
+    const std::int8_t* q, const std::uint8_t* const* rows, std::size_t n,
+    std::size_t d, std::int32_t* out) {
+  static const bool has_bw = __builtin_cpu_supports("avx512bw");
+  static const bool has_vnni =
+      has_bw && __builtin_cpu_supports("avx512vnni");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchLookahead < n) {
+      __builtin_prefetch(rows[i + kPrefetchLookahead], 0, 1);
+    }
+    if (has_vnni) {
+      out[i] = Avx512VnniSq8IdotRow(q, rows[i], d);
+    } else if (has_bw) {
+      out[i] = Avx512Sq8IdotRow(q, rows[i], d);
+    } else {
+      out[i] = Sq8IdotOne(q, rows[i], d);
+    }
+  }
+}
 #pragma GCC diagnostic pop
 
 #elif defined(GKM_KERNELS_NEON)
@@ -587,6 +862,83 @@ void NeonDot4(const float* q0, const float* q1, const float* q2,
   }
 }
 
+// Exact dot, two rows' independent 4-lane chains per step (mirror of
+// NeonL2RowPair with mul/add).
+inline void NeonDotRowPair(const float* q, const float* r0, const float* r1,
+                           std::size_t d, float* out2) {
+  float32x4_t accA = vdupq_n_f32(0.0f);
+  float32x4_t accB = vdupq_n_f32(0.0f);
+  std::size_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const float32x4_t qq = vld1q_f32(q + j);
+    accA = vaddq_f32(accA, vmulq_f32(qq, vld1q_f32(r0 + j)));
+    accB = vaddq_f32(accB, vmulq_f32(qq, vld1q_f32(r1 + j)));
+  }
+  float la[4], lb[4];
+  vst1q_f32(la, accA);
+  vst1q_f32(lb, accB);
+  for (std::size_t t = j; t < d; ++t) {
+    la[0] += q[t] * r0[t];
+    lb[0] += q[t] * r1[t];
+  }
+  out2[0] = (la[0] + la[1]) + (la[2] + la[3]);
+  out2[1] = (lb[0] + lb[1]) + (lb[2] + lb[3]);
+}
+
+void NeonDotStrided(const float* q, const float* base, std::size_t stride,
+                    std::size_t n, std::size_t d, float* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    NeonDotRowPair(q, base + i * stride, base + (i + 1) * stride, d, out + i);
+  }
+  for (; i < n; ++i) out[i] = DotOne(q, base + i * stride, d);
+}
+
+void NeonDotGather(const float* q, const float* const* rows, std::size_t n,
+                   std::size_t d, float* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (i + 2 < n) {
+      PrefetchRows(rows + i + 2, std::min<std::size_t>(2, n - (i + 2)));
+    }
+    NeonDotRowPair(q, rows[i], rows[i + 1], d, out + i);
+  }
+  for (; i < n; ++i) out[i] = DotOne(q, rows[i], d);
+}
+
+// SQ8 integer dot: widen i8/u8 to i16 and multiply-accumulate into i32
+// lanes (vmlal_s16). Exact integer arithmetic — bit-identical to the
+// scalar core by construction.
+inline std::int32_t NeonSq8IdotRow(const std::int8_t* a,
+                                   const std::uint8_t* b, std::size_t d) {
+  int32x4_t acc = vdupq_n_s32(0);
+  std::size_t j = 0;
+  for (; j + 8 <= d; j += 8) {
+    const int16x8_t a16 = vmovl_s8(vld1_s8(a + j));
+    const int16x8_t b16 =
+        vreinterpretq_s16_u16(vmovl_u8(vld1_u8(b + j)));
+    acc = vmlal_s16(acc, vget_low_s16(a16), vget_low_s16(b16));
+    acc = vmlal_s16(acc, vget_high_s16(a16), vget_high_s16(b16));
+  }
+  std::int32_t l[4];
+  vst1q_s32(l, acc);
+  std::int32_t out = (l[0] + l[1]) + (l[2] + l[3]);
+  for (; j < d; ++j) {
+    out += static_cast<std::int32_t>(a[j]) * static_cast<std::int32_t>(b[j]);
+  }
+  return out;
+}
+
+void NeonSq8Gather(const std::int8_t* q, const std::uint8_t* const* rows,
+                   std::size_t n, std::size_t d, std::int32_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchLookahead < n) {
+      __builtin_prefetch(rows[i + kPrefetchLookahead], 0, 1);
+    }
+    out[i] = NeonSq8IdotRow(q, rows[i], d);
+  }
+}
+
 float NeonDot1(const float* a, const float* b, std::size_t d) {
   float32x4_t s0 = vdupq_n_f32(0.0f), s1 = vdupq_n_f32(0.0f);
   std::size_t j = 0;
@@ -608,20 +960,24 @@ float NeonDot1(const float* a, const float* b, std::size_t d) {
 // Dispatch.
 // ---------------------------------------------------------------------------
 
-constexpr internal::KernelOps kScalarTable = {ScalarL2Strided, ScalarL2Gather,
-                                              ScalarDotDFGather, ScalarDot4,
-                                              ScalarDot1, false};
+constexpr internal::KernelOps kScalarTable = {
+    ScalarL2Strided, ScalarL2Gather, ScalarDotDFGather, ScalarDot4,
+    ScalarDot1,      ScalarDotStrided, ScalarDotGather, ScalarSq8Gather,
+    false};
 #if defined(GKM_KERNELS_X86)
-constexpr internal::KernelOps kAvx2Table = {Avx2L2Strided, Avx2L2Gather,
-                                            Avx2DotDFGather, Avx2Dot4,
-                                            Avx2Dot1, true};
-constexpr internal::KernelOps kAvx512Table = {Avx512L2Strided, Avx512L2Gather,
-                                              Avx512DotDFGather, Avx512Dot4,
-                                              Avx512Dot1, true};
+constexpr internal::KernelOps kAvx2Table = {
+    Avx2L2Strided, Avx2L2Gather,  Avx2DotDFGather, Avx2Dot4,
+    Avx2Dot1,      Avx2DotStrided, Avx2DotGather,  Avx2Sq8Gather,
+    true};
+constexpr internal::KernelOps kAvx512Table = {
+    Avx512L2Strided, Avx512L2Gather,  Avx512DotDFGather, Avx512Dot4,
+    Avx512Dot1,      Avx512DotStrided, Avx512DotGather,  Avx512Sq8Gather,
+    true};
 #elif defined(GKM_KERNELS_NEON)
-constexpr internal::KernelOps kNeonTable = {NeonL2Strided, NeonL2Gather,
-                                            NeonDotDFGather, NeonDot4,
-                                            NeonDot1, true};
+constexpr internal::KernelOps kNeonTable = {
+    NeonL2Strided, NeonL2Gather,  NeonDotDFGather, NeonDot4,
+    NeonDot1,      NeonDotStrided, NeonDotGather,  NeonSq8Gather,
+    true};
 #endif
 
 bool ForceScalarEnv() {
@@ -756,6 +1112,302 @@ std::size_t NearestRowBatch(const float* q, const float* base,
 void DotDFBatchGather(const float* q, const double* const* rows,
                       std::size_t n, std::size_t d, double* out) {
   Ops().dot_df_gather(q, rows, n, d, out);
+}
+
+void DotBatch(const float* q, const float* base, std::size_t stride,
+              std::size_t n, std::size_t d, float* out) {
+  Ops().dot_strided(q, base, stride, n, d, out);
+}
+
+void DotBatchGather(const float* q, const float* const* rows, std::size_t n,
+                    std::size_t d, float* out) {
+  Ops().dot_gather(q, rows, n, d, out);
+}
+
+void ScoreBatch(Metric metric, const float* q, float q_norm_sqr,
+                const float* base, std::size_t stride, std::size_t n,
+                std::size_t d, const float* row_norms_sqr, float* out) {
+  if (n == 0) return;
+  switch (metric) {
+    case Metric::kL2:
+      Ops().l2_strided(q, base, stride, n, d, out);
+      return;
+    case Metric::kInnerProduct:
+      Ops().dot_strided(q, base, stride, n, d, out);
+      for (std::size_t i = 0; i < n; ++i) out[i] = -out[i];
+      return;
+    case Metric::kCosine: {
+      std::vector<float> rn_buf;
+      if (row_norms_sqr == nullptr) {
+        rn_buf.resize(n);
+        RowNormsSqrBatch(base, stride, n, d, rn_buf.data());
+        row_norms_sqr = rn_buf.data();
+      }
+      Ops().dot_strided(q, base, stride, n, d, out);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float rn = row_norms_sqr[i];
+        out[i] = (q_norm_sqr > 0.0f && rn > 0.0f)
+                     ? 1.0f - out[i] / std::sqrt(q_norm_sqr * rn)
+                     : 1.0f;
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SQ8 quantizer + asymmetric kernels.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Sq8Quantizer Sq8FromMinMax(const std::vector<float>& mn,
+                           const std::vector<float>& mx, std::size_t d) {
+  Sq8Quantizer qz;
+  qz.offset.assign(mn.begin(), mn.end());
+  qz.scale.resize(d);
+  for (std::size_t j = 0; j < d; ++j) qz.scale[j] = (mx[j] - mn[j]) / 255.0f;
+  return qz;
+}
+
+// Fixed-order scalar epilogue of the asymmetric L2 decomposition: identical
+// at every tier because the integer dot is exact and these four float ops
+// run here, not in the tier kernels.
+inline float Sq8L2Score(const Sq8Query& q, std::int32_t idot, float norm) {
+  return std::max(
+      0.0f, q.rq - 2.0f * (q.l2_scale * static_cast<float>(idot)) + norm);
+}
+
+}  // namespace
+
+Sq8Quantizer Sq8Train(const float* base, std::size_t stride, std::size_t n,
+                      std::size_t d) {
+  if (n == 0) {
+    Sq8Quantizer qz;
+    qz.scale.assign(d, 0.0f);
+    qz.offset.assign(d, 0.0f);
+    return qz;
+  }
+  std::vector<float> mn(base, base + d), mx(base, base + d);
+  for (std::size_t i = 1; i < n; ++i) {
+    const float* row = base + i * stride;
+    for (std::size_t j = 0; j < d; ++j) {
+      mn[j] = std::min(mn[j], row[j]);
+      mx[j] = std::max(mx[j], row[j]);
+    }
+  }
+  return Sq8FromMinMax(mn, mx, d);
+}
+
+Sq8Quantizer Sq8TrainGather(const float* const* rows, std::size_t n,
+                            std::size_t d) {
+  if (n == 0) {
+    Sq8Quantizer qz;
+    qz.scale.assign(d, 0.0f);
+    qz.offset.assign(d, 0.0f);
+    return qz;
+  }
+  std::vector<float> mn(rows[0], rows[0] + d), mx(rows[0], rows[0] + d);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      mn[j] = std::min(mn[j], rows[i][j]);
+      mx[j] = std::max(mx[j], rows[i][j]);
+    }
+  }
+  return Sq8FromMinMax(mn, mx, d);
+}
+
+void Sq8Encode(const Sq8Quantizer& qz, const float* x, std::size_t d,
+               std::uint8_t* code, float* norm_out) {
+  double norm = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const float s = qz.scale[j];
+    std::uint8_t c = 0;
+    if (s > 0.0f) {
+      // Half-away-from-zero rounding; the negated comparison routes any
+      // non-finite quotient to code 0 instead of an out-of-range cast.
+      const float r = std::floor((x[j] - qz.offset[j]) / s + 0.5f);
+      if (!(r > 0.0f)) {
+        c = 0;
+      } else if (r >= 255.0f) {
+        c = 255;
+      } else {
+        c = static_cast<std::uint8_t>(r);
+      }
+    }
+    code[j] = c;
+    const double sc = static_cast<double>(s) * static_cast<double>(c);
+    norm += sc * sc;
+  }
+  if (norm_out != nullptr) *norm_out = static_cast<float>(norm);
+}
+
+void Sq8Decode(const Sq8Quantizer& qz, const std::uint8_t* code,
+               std::size_t d, float* x) {
+  for (std::size_t j = 0; j < d; ++j) {
+    x[j] = qz.offset[j] + qz.scale[j] * static_cast<float>(code[j]);
+  }
+}
+
+void Sq8PrepareQuery(const Sq8Quantizer& qz, const float* q, std::size_t d,
+                     Sq8Query& out) {
+  GKM_CHECK(qz.scale.size() == d && qz.offset.size() == d);
+  thread_local std::vector<float> t, u;
+  t.resize(d);
+  u.resize(d);
+  double rq = 0.0, qo = 0.0;
+  float tmax = 0.0f, umax = 0.0f;
+  for (std::size_t j = 0; j < d; ++j) {
+    const float r = q[j] - qz.offset[j];
+    rq += static_cast<double>(r) * static_cast<double>(r);
+    qo += static_cast<double>(q[j]) * static_cast<double>(qz.offset[j]);
+    t[j] = r * qz.scale[j];
+    u[j] = q[j] * qz.scale[j];
+    tmax = std::max(tmax, std::fabs(t[j]));
+    umax = std::max(umax, std::fabs(u[j]));
+  }
+  out.rq = static_cast<float>(rq);
+  out.qo = static_cast<float>(qo);
+  out.l2_scale = tmax / 127.0f;
+  out.ip_scale = umax / 127.0f;
+  out.l2_code.resize(d);
+  out.ip_code.resize(d);
+  const auto quant = [](float v, float s) -> std::int8_t {
+    if (!(s > 0.0f)) return 0;
+    const float r = std::floor(v / s + 0.5f);
+    if (!(r >= -127.0f)) return -127;
+    if (r >= 127.0f) return 127;
+    return static_cast<std::int8_t>(r);
+  };
+  for (std::size_t j = 0; j < d; ++j) {
+    out.l2_code[j] = quant(t[j], out.l2_scale);
+    out.ip_code[j] = quant(u[j], out.ip_scale);
+  }
+}
+
+void L2SqrBatchSq8Gather(const Sq8Query& query,
+                         const std::uint8_t* const* rows, const float* norms,
+                         std::size_t n, std::size_t d, float* out) {
+  constexpr std::size_t kBlock = 256;
+  std::int32_t ibuf[kBlock];
+  const internal::KernelOps& ops = Ops();
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    ops.sq8_gather(query.l2_code.data(), rows + b, len, d, ibuf);
+    for (std::size_t i = 0; i < len; ++i) {
+      out[b + i] = Sq8L2Score(query, ibuf[i], norms[b + i]);
+    }
+  }
+}
+
+void L2SqrBatchSq8(const Sq8Query& query, const std::uint8_t* codes,
+                   std::size_t stride, std::size_t n, std::size_t d,
+                   const float* norms, float* out) {
+  constexpr std::size_t kBlock = 256;
+  const std::uint8_t* ptrs[kBlock];
+  std::int32_t ibuf[kBlock];
+  const internal::KernelOps& ops = Ops();
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    for (std::size_t i = 0; i < len; ++i) ptrs[i] = codes + (b + i) * stride;
+    ops.sq8_gather(query.l2_code.data(), ptrs, len, d, ibuf);
+    for (std::size_t i = 0; i < len; ++i) {
+      out[b + i] = Sq8L2Score(query, ibuf[i], norms[b + i]);
+    }
+  }
+}
+
+void DotBatchSq8Gather(const Sq8Query& query, const std::uint8_t* const* rows,
+                       std::size_t n, std::size_t d, float* out) {
+  constexpr std::size_t kBlock = 256;
+  std::int32_t ibuf[kBlock];
+  const internal::KernelOps& ops = Ops();
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    ops.sq8_gather(query.ip_code.data(), rows + b, len, d, ibuf);
+    for (std::size_t i = 0; i < len; ++i) {
+      out[b + i] =
+          query.qo + query.ip_scale * static_cast<float>(ibuf[i]);
+    }
+  }
+}
+
+void AssignNearestSq8(const Sq8Quantizer& qz, const Matrix& queries,
+                      const std::uint8_t* codes, std::size_t code_stride,
+                      const float* norms, std::size_t n, std::uint32_t* labels,
+                      float* dists) {
+  GKM_CHECK(n > 0);
+  const std::size_t d = queries.cols();
+  GKM_CHECK(qz.scale.size() == d);
+  const std::size_t nq = queries.rows();
+  if (nq == 0) return;
+  GKM_COUNTER_ADD("kernels.sq8.assign.queries",
+                  static_cast<std::int64_t>(nq));
+  float max_norm = 0.0f;
+  for (std::size_t r = 0; r < n; ++r) max_norm = std::max(max_norm, norms[r]);
+
+  constexpr std::size_t kBlock = 256;
+  const std::uint8_t* ptrs[kBlock];
+  std::int32_t ibuf[kBlock];
+  const internal::KernelOps& ops = Ops();
+  thread_local Sq8Query sq;
+  thread_local std::vector<float> dec;
+  dec.resize(d);
+
+  for (std::size_t i = 0; i < nq; ++i) {
+    const float* q = queries.Row(i);
+    Sq8PrepareQuery(qz, q, d, sq);
+    float best = std::numeric_limits<float>::max();
+    float second = std::numeric_limits<float>::max();
+    std::uint32_t arg = 0;
+    for (std::size_t b = 0; b < n; b += kBlock) {
+      const std::size_t len = std::min(kBlock, n - b);
+      for (std::size_t r = 0; r < len; ++r) {
+        ptrs[r] = codes + (b + r) * code_stride;
+      }
+      ops.sq8_gather(sq.l2_code.data(), ptrs, len, d, ibuf);
+      for (std::size_t r = 0; r < len; ++r) {
+        const float dist = Sq8L2Score(sq, ibuf[r], norms[b + r]);
+        if (dist < best) {
+          second = best;
+          best = dist;
+          arg = static_cast<std::uint32_t>(b + r);
+        } else if (dist < second) {
+          second = dist;
+        }
+      }
+    }
+    // Per-row error bound E = query-quantization term + float cushion; a
+    // winner only stands when the approximate margin clears 2E (each of
+    // the two rows may err by E in opposite directions).
+    const float e =
+        sq.l2_scale * 255.0f * static_cast<float>(d) +
+        1e-5f * (static_cast<float>(d) + 16.0f) * (sq.rq + max_norm + 1.0f);
+    if (second - best > 2.0f * e) {
+      labels[i] = arg;
+      if (dists != nullptr) {
+        Sq8Decode(qz, codes + arg * code_stride, d, dec.data());
+        const float* row = dec.data();
+        ops.l2_gather(q, &row, 1, d, &dists[i]);
+      }
+    } else {
+      GKM_COUNTER_ADD("kernels.sq8.assign.exact_fallback", 1);
+      float bd = std::numeric_limits<float>::max();
+      std::uint32_t bi = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        Sq8Decode(qz, codes + r * code_stride, d, dec.data());
+        const float* row = dec.data();
+        float dist = 0.0f;
+        ops.l2_gather(q, &row, 1, d, &dist);
+        if (dist < bd) {
+          bd = dist;
+          bi = static_cast<std::uint32_t>(r);
+        }
+      }
+      labels[i] = bi;
+      if (dists != nullptr) dists[i] = bd;
+    }
+  }
 }
 
 void L2SqrToTopK(const float* q, const float* base, std::size_t stride,

@@ -94,6 +94,133 @@ void DotDFBatchGather(const float* q, const double* const* rows,
                       std::size_t n, std::size_t d, double* out);
 
 // ---------------------------------------------------------------------------
+// Metric parameter + exact dot kernels.
+// ---------------------------------------------------------------------------
+
+/// Similarity the score kernels evaluate. Scores are smaller-is-closer in
+/// every metric so TopK/NearestRow logic is metric-agnostic.
+enum class Metric { kL2 = 0, kInnerProduct = 1, kCosine = 2 };
+
+/// out[i] = dot(q, base + i*stride) — EXACT family: bit-identical at every
+/// tier to the scalar 4-lane DotOne loop (mul-then-add, tail into lane 0,
+/// reduction (s0+s1)+(s2+s3)).
+void DotBatch(const float* q, const float* base, std::size_t stride,
+              std::size_t n, std::size_t d, float* out);
+
+/// out[i] = dot(q, rows[i]) — gathered-row variant, same exactness.
+void DotBatchGather(const float* q, const float* const* rows, std::size_t n,
+                    std::size_t d, float* out);
+
+/// Batched smaller-is-closer scores under `metric`:
+///   kL2           → L2SqrBatch (bit-identical to scalar at every tier)
+///   kInnerProduct → -dot(q, row) (the dot is bit-identical; the negation
+///                   is a sign flip, also bit-stable)
+///   kCosine       → 1 - dot / sqrt(qn * rn): the dot and both norms are
+///                   exact-family values, the sqrt/divide epilogue runs in
+///                   fixed scalar order — deterministic and bit-stable
+///                   across tiers, but not decomposable into scalar
+///                   distance.h calls. Rows or queries with zero norm score
+///                   a neutral 1.0.
+/// `q_norm_sqr` / `row_norms_sqr` are only read for kCosine; pass cached
+/// values or nullptr row norms to have them computed internally.
+void ScoreBatch(Metric metric, const float* q, float q_norm_sqr,
+                const float* base, std::size_t stride, std::size_t n,
+                std::size_t d, const float* row_norms_sqr, float* out);
+
+// ---------------------------------------------------------------------------
+// SQ8 asymmetric kernels: fp32 query vs u8-coded rows.
+//
+// Rows are stored as per-dimension affine codes c_j with
+// decode(c)_j = offset_j + scale_j * c_j. Queries are re-quantized once per
+// query to i8 so the inner loop is a pure u8×i8 integer dot — integer
+// arithmetic is exact, so the accumulation is bit-identical across SIMD
+// tiers by construction and tiers are free to reorder it. The float
+// epilogue (rq - 2*st*idot + norm) runs in fixed scalar order in the
+// public wrappers, so batch outputs are bit-identical across tiers too.
+// Approximation error vs the decoded-row exact distance is bounded by the
+// query-side quantization step: |approx - exact| <= st * 255 * d plus a
+// float-rounding cushion (see docs/kernels.md).
+// ---------------------------------------------------------------------------
+
+/// Per-dimension affine quantizer: decode(c)_j = offset[j] + scale[j]*c_j.
+struct Sq8Quantizer {
+  std::vector<float> scale;   // >= 0; 0 marks a constant dimension
+  std::vector<float> offset;
+};
+
+/// Trains offset_j = min_j, scale_j = (max_j - min_j)/255 over n rows.
+/// Min/max are order-independent, so training is deterministic regardless
+/// of row order or thread count.
+Sq8Quantizer Sq8Train(const float* base, std::size_t stride, std::size_t n,
+                      std::size_t d);
+Sq8Quantizer Sq8TrainGather(const float* const* rows, std::size_t n,
+                            std::size_t d);
+
+/// code[j] = clamp(round((x[j]-offset_j)/scale_j), 0, 255) (0 where
+/// scale_j == 0; non-finite inputs clamp like any out-of-range value).
+/// *norm_out (optional) receives float(sum_j (scale_j*code_j)^2),
+/// accumulated in double and rounded once — the row constant of the
+/// asymmetric L2 decomposition.
+void Sq8Encode(const Sq8Quantizer& q, const float* x, std::size_t d,
+               std::uint8_t* code, float* norm_out = nullptr);
+
+/// x[j] = offset_j + scale_j*code[j] — the decoded row that every "exact"
+/// SQ8 result below is defined against.
+void Sq8Decode(const Sq8Quantizer& q, const std::uint8_t* code,
+               std::size_t d, float* x);
+
+/// Per-query state for the asymmetric kernels, filled by Sq8PrepareQuery.
+/// L2 path: with r_j = q_j - offset_j and t_j = r_j*scale_j,
+///   L2Sqr(q, decode(c)) = rq - 2*sum_j t_j c_j + norm(c);
+/// t is re-quantized to i8 (l2_code = round(t/l2_scale)). IP path: with
+/// u_j = q_j*scale_j, dot(q, decode(c)) = qo + sum_j u_j c_j, u re-quantized
+/// likewise.
+struct Sq8Query {
+  std::vector<std::int8_t> l2_code;
+  float l2_scale = 0.0f;  // st: max|t_j| / 127
+  float rq = 0.0f;        // sum (q_j - offset_j)^2
+  std::vector<std::int8_t> ip_code;
+  float ip_scale = 0.0f;  // su: max|u_j| / 127
+  float qo = 0.0f;        // sum q_j * offset_j
+};
+
+void Sq8PrepareQuery(const Sq8Quantizer& qz, const float* q, std::size_t d,
+                     Sq8Query& out);
+
+/// out[i] = max(0, rq - 2*l2_scale*idot(l2_code, row_i) + norms[i]) over n
+/// strided code rows (stride in BYTES/codes, typically == d: codes are
+/// stored packed). Bit-identical across tiers; approximate vs the decoded
+/// exact distance per the error bound above.
+void L2SqrBatchSq8(const Sq8Query& query, const std::uint8_t* codes,
+                   std::size_t stride, std::size_t n, std::size_t d,
+                   const float* norms, float* out);
+
+/// Gathered-row variant: rows[i] is a code row, norms[i] its row constant.
+void L2SqrBatchSq8Gather(const Sq8Query& query,
+                         const std::uint8_t* const* rows, const float* norms,
+                         std::size_t n, std::size_t d, float* out);
+
+/// out[i] = qo + ip_scale*idot(ip_code, row_i) ≈ dot(q, decode(row_i)) —
+/// the inner-product face of the asymmetric kernels. Same bit-stability
+/// and error-bound structure as the L2 path (bound uses |c| <= 255d).
+void DotBatchSq8Gather(const Sq8Query& query, const std::uint8_t* const* rows,
+                       std::size_t n, std::size_t d, float* out);
+
+/// Assigns each query row to its nearest DECODED code row:
+/// labels[i] = argmin_r L2Sqr(query_i, decode(row_r)), first winner on
+/// ties; dists[i] (optional) = the exact winning decoded distance. Same
+/// contract as AssignNearestBlocked: the quantized scan is only a filter —
+/// queries whose top-2 approximate margin falls inside the error bound are
+/// re-ranked with a full decode-and-exact-scan, and every winner's
+/// distance is rescored exactly, so labels and distances are bit-identical
+/// to a scalar decode-and-scan at every tier. `code_stride` in codes
+/// (packed rows pass d). n must be > 0.
+void AssignNearestSq8(const Sq8Quantizer& qz, const Matrix& queries,
+                      const std::uint8_t* codes, std::size_t code_stride,
+                      const float* norms, std::size_t n, std::uint32_t* labels,
+                      float* dists = nullptr);
+
+// ---------------------------------------------------------------------------
 // Blocked dot-trick kernels (cached norms, FMA, ~1e-4 relative accuracy).
 // ---------------------------------------------------------------------------
 
@@ -161,6 +288,15 @@ struct KernelOps {
   void (*dot4)(const float* q0, const float* q1, const float* q2,
                const float* q3, const float* c, std::size_t d, float* out4);
   float (*dot1)(const float* a, const float* b, std::size_t d);
+  // Exact dot family (bit-identical to the scalar 4-lane DotOne).
+  void (*dot_strided)(const float* q, const float* base, std::size_t stride,
+                      std::size_t n, std::size_t d, float* out);
+  void (*dot_gather)(const float* q, const float* const* rows, std::size_t n,
+                     std::size_t d, float* out);
+  // SQ8 integer core: out[i] = sum_j q[j]*rows[i][j] in i32 (exact, so
+  // bit-identical across tiers regardless of accumulation order).
+  void (*sq8_gather)(const std::int8_t* q, const std::uint8_t* const* rows,
+                     std::size_t n, std::size_t d, std::int32_t* out);
   bool dot_trick;
 };
 

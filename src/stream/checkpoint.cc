@@ -27,7 +27,14 @@ constexpr char kDeltaMagic[4] = {'G', 'K', 'M', 'D'};
 //     shard 0 (whose state occupies the v3-position sections, so an S=1
 //     file is the v3 layout plus 16 appended bytes). v2/v3 files load as
 //     S=1. See docs/checkpoint-format.md.
-constexpr std::uint32_t kVersion = 4;
+// v5: adds graph.storage to the params block and replaces every per-shard
+//     points matrix with an arena block (u8 trained flag; a bare matrix
+//     when 0, packed SQ8 codes + row norms + quantizer when 1). Emitted
+//     ONLY for kSq8 models: fp32 models keep writing version-4 bytes, so
+//     the pinned v4 golden stays byte-identical. v2-v4 files load with
+//     storage = kFp32. See docs/checkpoint-format.md.
+constexpr std::uint32_t kVersion = 5;
+constexpr std::uint32_t kFp32Version = 4;
 constexpr std::uint32_t kOldestReadable = 2;
 constexpr std::uint32_t kDeltaVersion = 1;
 
@@ -46,7 +53,8 @@ std::uint64_t FnvMix(std::uint64_t h, const void* bytes, std::size_t len) {
   return h;
 }
 
-void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
+void WriteParams(std::FILE* f, const StreamingGkMeansParams& p,
+                 std::uint32_t version) {
   io::WriteRaw<std::uint64_t>(f, p.k);
   io::WriteRaw<std::uint64_t>(f, p.kappa);
   io::WriteRaw<std::uint64_t>(f, p.graph.kappa);
@@ -67,6 +75,9 @@ void WriteParams(std::FILE* f, const StreamingGkMeansParams& p) {
   io::WriteRaw<std::uint64_t>(f, p.seed);
   io::WriteRaw<std::uint64_t>(f, p.ttl_windows);   // v3+
   io::WriteRaw<std::uint64_t>(f, p.graph.shards);  // v4+
+  if (version >= 5) {                              // v5+
+    io::WriteRaw<std::uint64_t>(f, static_cast<std::uint64_t>(p.graph.storage));
+  }
   // ingest_threads is deliberately not persisted: it is an execution knob
   // with no effect on results, and a resumed process sizes its own pool.
   // graph.shards IS persisted: the shard count partitions the id space and
@@ -102,6 +113,16 @@ bool ReadParams(io::Reader& r, std::uint32_t version,
   // v2/v3 predate sharding: a single arena, i.e. S=1.
   p->graph.shards = 1;
   if (ok && version >= 4) ok = ReadSize(r, &p->graph.shards);
+  // v2-v4 predate quantized storage: the arena is fp32-resident.
+  p->graph.storage = StorageMode::kFp32;
+  if (ok && version >= 5) {
+    std::uint64_t storage = 0;
+    ok = r.Read(&storage) && storage <= 1;
+    if (ok) {
+      p->graph.storage =
+          storage == 1 ? StorageMode::kSq8 : StorageMode::kFp32;
+    }
+  }
   return ok;
 }
 
@@ -125,13 +146,70 @@ void WriteIdList(std::FILE* f, const std::vector<std::uint32_t>& ids) {
   io::WriteArray(f, ids.data(), ids.size());
 }
 
+// Arena shape, independent of storage: an SQ8-trained shard's rows live in
+// its code arena (its points matrix is empty), an fp32 shard's in the
+// matrix. Every shape check in the loader goes through these.
+std::size_t ShardRows(const OnlineShardParts& shard) {
+  return shard.sq8.trained ? shard.sq8.norms.size() : shard.points.rows();
+}
+
+std::size_t ShardCols(const OnlineShardParts& shard) {
+  return shard.sq8.trained ? shard.sq8.quant.scale.size()
+                           : shard.points.cols();
+}
+
+// Arena block: the storage-dependent point payload of one shard. v4-
+// projections are a bare matrix; v5 prefixes a u8 trained flag and carries
+// packed SQ8 codes + row norms + per-dimension quantizer when it is set.
+void WriteArena(std::FILE* f, const OnlineShardParts& shard, bool v5) {
+  if (!v5) {
+    io::WriteMatrix(f, shard.points);
+    return;
+  }
+  io::WriteRaw<std::uint8_t>(f, shard.sq8.trained ? 1 : 0);
+  if (!shard.sq8.trained) {
+    io::WriteMatrix(f, shard.points);
+    return;
+  }
+  const Sq8ArenaParts& sq8 = shard.sq8;
+  const std::uint64_t rows = sq8.norms.size();
+  const std::uint64_t cols = sq8.quant.scale.size();
+  io::WriteRaw<std::uint64_t>(f, rows);
+  io::WriteRaw<std::uint64_t>(f, cols);
+  io::WriteArray(f, sq8.codes.data(), sq8.codes.size());
+  io::WriteArray(f, sq8.norms.data(), sq8.norms.size());
+  io::WriteArray(f, sq8.quant.scale.data(), sq8.quant.scale.size());
+  io::WriteArray(f, sq8.quant.offset.data(), sq8.quant.offset.size());
+}
+
+// Counterpart of WriteArena; false on truncation or implausible shape
+// (same caps as matrix reads: the quantizer payload is validated in depth
+// by ValidateStreamSnapshot afterwards).
+bool ReadArena(io::Reader& r, std::uint32_t version, OnlineShardParts* shard) {
+  if (version < 5) return r.ReadMatrix(&shard->points);
+  std::uint8_t trained = 0;
+  if (!r.Read(&trained) || trained > 1) return false;
+  if (trained == 0) return r.ReadMatrix(&shard->points);
+  std::uint64_t rows = 0, cols = 0;
+  if (!r.Read(&rows) || !r.Read(&cols)) return false;
+  if (cols == 0 || cols > (1u << 24)) return false;
+  if (rows > (1ull << 40) / cols) return false;  // bounds rows*cols too
+  Sq8ArenaParts& sq8 = shard->sq8;
+  sq8.trained = true;
+  sq8.rows = static_cast<std::size_t>(rows);
+  return r.ReadVector(sq8.codes, rows * cols) &&
+         r.ReadVector(sq8.norms, rows) &&
+         r.ReadVector(sq8.quant.scale, cols) &&
+         r.ReadVector(sq8.quant.offset, cols);
+}
+
 // Exclusive upper bound on global ids encoded by the shard parts (via the
 // shared ShardedArenaBound invariant): the size the global-indexed blocks
 // (labels, birth windows) must match.
 std::size_t GlobalArenaBound(const std::vector<OnlineShardParts>& shards) {
   std::vector<std::size_t> rows(shards.size());
   for (std::size_t s = 0; s < shards.size(); ++s) {
-    rows[s] = shards[s].points.rows();
+    rows[s] = ShardRows(shards[s]);
   }
   return ShardedArenaBound(rows.data(), rows.size());
 }
@@ -139,12 +217,12 @@ std::size_t GlobalArenaBound(const std::vector<OnlineShardParts>& shards) {
 // One extra-shard section (shards 1..S-1; shard 0 lives in the v3-position
 // sections): cursor-style RNG + adaptive seeds, then stores and removal
 // lists. Counterpart of ReadShardSection.
-void WriteShardSection(std::FILE* f, const OnlineShardParts& shard) {
+void WriteShardSection(std::FILE* f, const OnlineShardParts& shard, bool v5) {
   WriteRng(f, shard.rng);
   io::WriteRaw<std::uint64_t>(f, shard.seeds.live_seeds);
   io::WriteRaw<double>(f, shard.seeds.fail_ewma);
   io::WriteRaw<std::uint64_t>(f, shard.seeds.audit_tick);
-  io::WriteMatrix(f, shard.points);
+  WriteArena(f, shard, v5);
   shard.graph.SaveTo(f);
   WriteIdList(f, shard.removal.pending_dead);
   WriteIdList(f, shard.removal.free_slots);
@@ -271,9 +349,14 @@ void SaveStreamCheckpoint(const std::string& path,
   const OnlineShardParts& shard0 = snap.shards[0];
   io::File f = io::OpenOrDie(path, "wb");
 
+  // Version is storage-dependent: only kSq8 models need the v5 arena
+  // blocks, and emitting v4 bytes for fp32 models keeps every pre-existing
+  // checkpoint byte-identical (the golden test pins this).
+  const bool v5 = snap.params.graph.storage == StorageMode::kSq8;
+  const std::uint32_t version = v5 ? kVersion : kFp32Version;
   io::WriteArray(f.get(), kMagic, 4);
-  io::WriteRaw<std::uint32_t>(f.get(), kVersion);
-  WriteParams(f.get(), snap.params);
+  io::WriteRaw<std::uint32_t>(f.get(), version);
+  WriteParams(f.get(), snap.params, version);
 
   // Cursor block. The graph RNG/adaptive-seed fields at the v3 positions
   // belong to shard 0 — for S=1 that IS the whole graph, which keeps the
@@ -286,7 +369,7 @@ void SaveStreamCheckpoint(const std::string& path,
   io::WriteRaw<double>(f.get(), shard0.seeds.fail_ewma);
   io::WriteRaw<std::uint64_t>(f.get(), shard0.seeds.audit_tick);
 
-  io::WriteMatrix(f.get(), shard0.points);
+  WriteArena(f.get(), shard0, v5);
   shard0.graph.SaveTo(f.get());
   io::WriteRaw<std::uint64_t>(f.get(), snap.labels.size());
   io::WriteArray(f.get(), snap.labels.data(), snap.labels.size());
@@ -326,7 +409,7 @@ void SaveStreamCheckpoint(const std::string& path,
   section_bytes.reserve(num_shards > 0 ? num_shards - 1 : 0);
   for (std::size_t s = 1; s < num_shards; ++s) {
     const long begin = std::ftell(f.get());
-    WriteShardSection(f.get(), snap.shards[s]);
+    WriteShardSection(f.get(), snap.shards[s], v5);
     const long end = std::ftell(f.get());
     GKM_CHECK(begin >= 0 && end >= begin);
     section_bytes.push_back(static_cast<std::uint64_t>(end - begin));
@@ -385,7 +468,7 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
     return fail(msg);
   }
 
-  if (!r.ReadMatrix(&shard0.points)) {
+  if (!ReadArena(r, version, &shard0)) {
     return fail("truncated or implausible checkpoint points");
   }
   if (!KnnGraph::TryLoadFrom(r, &shard0.graph)) {
@@ -398,7 +481,7 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
   // resize by the bytes actually present).
   std::uint64_t n_labels64 = 0;
   if (!r.Read(&n_labels64)) return fail(kTruncated);
-  if (num_shards == 1 && n_labels64 != shard0.points.rows()) {
+  if (num_shards == 1 && n_labels64 != ShardRows(shard0)) {
     return fail("checkpoint label count does not match point count");
   }
   if (!r.ReadVector(snap.labels, n_labels64)) {
@@ -411,12 +494,12 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
   // k and cols are individually capped (ValidateLoadedParams, ReadMatrix),
   // so the product cannot wrap; ReadVector then bounds each block by the
   // remaining bytes before any allocation.
-  if (k * shard0.points.cols() > (1ull << 40)) {
+  if (k * ShardCols(shard0) > (1ull << 40)) {
     return fail("implausible checkpoint state size");
   }
   if (!r.Read(&snap.n) || !r.ReadVector(snap.counts, k) ||
       !r.ReadVector(snap.composites,
-                    static_cast<std::uint64_t>(k) * shard0.points.cols()) ||
+                    static_cast<std::uint64_t>(k) * ShardCols(shard0)) ||
       !r.ReadVector(snap.composite_norms, k) ||
       !r.ReadVector(snap.point_norms, k) || !r.Read(&snap.sum_point_norms)) {
     return fail(kTruncated);
@@ -432,13 +515,13 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
       if (!r.Read(&count) || count > bound) return false;
       return r.ReadVector(out, count);
     };
-    if (!read_ids(shard0.removal.pending_dead, shard0.points.rows()) ||
-        !read_ids(shard0.removal.free_slots, shard0.points.rows())) {
+    if (!read_ids(shard0.removal.pending_dead, ShardRows(shard0)) ||
+        !read_ids(shard0.removal.free_slots, ShardRows(shard0))) {
       return fail("implausible checkpoint removal-list size");
     }
     if (!r.Read(&shard0.removal.last_inserted)) return fail(kTruncated);
     if (const char* msg =
-            ValidateRemovalState(shard0.removal, shard0.points.rows())) {
+            ValidateRemovalState(shard0.removal, ShardRows(shard0))) {
       return fail(msg);
     }
     std::uint64_t births = 0;
@@ -471,22 +554,22 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
         if (const char* msg = ValidateSeedState(shard.seeds)) {
           return fail(msg);
         }
-        if (!r.ReadMatrix(&shard.points)) {
+        if (!ReadArena(r, version, &shard)) {
           return fail("truncated or implausible checkpoint points");
         }
-        if (shard.points.cols() != shard0.points.cols()) {
+        if (ShardCols(shard) != ShardCols(shard0)) {
           return fail("checkpoint shard dimension mismatch");
         }
         if (!KnnGraph::TryLoadFrom(r, &shard.graph)) {
           return fail("truncated or implausible checkpoint graph");
         }
-        if (!read_ids(shard.removal.pending_dead, shard.points.rows()) ||
-            !read_ids(shard.removal.free_slots, shard.points.rows())) {
+        if (!read_ids(shard.removal.pending_dead, ShardRows(shard)) ||
+            !read_ids(shard.removal.free_slots, ShardRows(shard))) {
           return fail("implausible checkpoint removal-list size");
         }
         if (!r.Read(&shard.removal.last_inserted)) return fail(kTruncated);
         if (const char* msg =
-                ValidateRemovalState(shard.removal, shard.points.rows())) {
+                ValidateRemovalState(shard.removal, ShardRows(shard))) {
           return fail(msg);
         }
         if (begin_remaining - r.remaining() != section_bytes[s - 1]) {

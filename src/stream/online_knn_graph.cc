@@ -101,13 +101,51 @@ const char* ValidateOnlineGraphRestoreParts(const Matrix& points,
                                             const KnnGraph& graph,
                                             const OnlineGraphParams& params,
                                             const RemovalState& removal) {
+  return ValidateOnlineGraphRestoreParts(points.rows(), points.cols(), graph,
+                                         params, removal);
+}
+
+const char* ValidateSq8ArenaParts(const Sq8ArenaParts& sq8, std::size_t rows,
+                                  std::size_t dim,
+                                  const OnlineGraphParams& params) {
+  if (!sq8.trained) {
+    if (!sq8.codes.empty() || !sq8.norms.empty()) {
+      return "untrained SQ8 arena carries codes";
+    }
+    return nullptr;
+  }
+  if (params.storage != StorageMode::kSq8) {
+    return "trained SQ8 arena under fp32 storage mode";
+  }
+  if (sq8.rows != rows) return "SQ8 arena row count mismatch";
+  if (sq8.quant.scale.size() != dim || sq8.quant.offset.size() != dim) {
+    return "SQ8 quantizer dimension mismatch";
+  }
+  if (sq8.norms.size() != rows) return "SQ8 norm count mismatch";
+  if (sq8.codes.size() != rows * dim) return "SQ8 code arena size mismatch";
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (!std::isfinite(sq8.quant.offset[j]) ||
+        !std::isfinite(sq8.quant.scale[j]) || sq8.quant.scale[j] < 0.0f) {
+      return "corrupt SQ8 quantizer";
+    }
+  }
+  for (const float n : sq8.norms) {
+    if (!std::isfinite(n) || n < 0.0f) return "corrupt SQ8 row norm";
+  }
+  return nullptr;
+}
+
+const char* ValidateOnlineGraphRestoreParts(std::size_t rows, std::size_t cols,
+                                            const KnnGraph& graph,
+                                            const OnlineGraphParams& params,
+                                            const RemovalState& removal) {
   if (params.kappa == 0) return "graph kappa must be positive";
   if (params.beam_width < params.kappa) return "beam width below graph kappa";
   if (params.num_seeds == 0) return "graph num_seeds must be positive";
-  if (points.cols() == 0) return "restored points have zero dimension";
-  if (points.rows() != graph.num_nodes()) return "points/graph size mismatch";
+  if (cols == 0) return "restored points have zero dimension";
+  if (rows != graph.num_nodes()) return "points/graph size mismatch";
   if (graph.k() != params.kappa) return "graph capacity does not match kappa";
-  const std::size_t n = points.rows();
+  const std::size_t n = rows;
   // Deletion bookkeeping precedes edge validation: which edges are legal
   // depends on which slots are tombstoned vs reclaimed.
   std::vector<std::uint8_t> tomb(n, 0);
@@ -157,15 +195,36 @@ OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
                                const RngSnapshot& rng,
                                const AdaptiveSeedState& seeds,
                                const RemovalState& removal)
+    : OnlineKnnGraph(std::move(points), std::move(graph), params, rng, seeds,
+                     removal, Sq8ArenaParts()) {}
+
+OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
+                               const OnlineGraphParams& params,
+                               const RngSnapshot& rng,
+                               const AdaptiveSeedState& seeds,
+                               const RemovalState& removal, Sq8ArenaParts sq8)
     : params_(params), points_(std::move(points)), graph_(std::move(graph)) {
-  dim_ = points_.cols();
+  // A trained SQ8 arena supplies the row shape; the fp32 matrix must have
+  // been released at training time, so a trained restore carries none.
+  GKM_CHECK_MSG(!sq8.trained || points_.rows() == 0,
+                "trained SQ8 restore must not carry fp32 rows");
+  dim_ = sq8.trained ? sq8.quant.scale.size() : points_.cols();
+  const std::size_t n = sq8.trained ? sq8.norms.size() : points_.rows();
   // Restore invariants live in ValidateOnlineGraphRestoreParts, shared
   // with the Try* checkpoint loaders (which reject a malformed file cleanly
   // before getting here); a caller that bypassed them still aborts.
   const char* bad =
-      ValidateOnlineGraphRestoreParts(points_, graph_, params, removal);
+      ValidateOnlineGraphRestoreParts(n, dim_, graph_, params, removal);
   GKM_CHECK_MSG(bad == nullptr, bad);
-  const std::size_t n = points_.rows();
+  bad = ValidateSq8ArenaParts(sq8, n, dim_, params);
+  GKM_CHECK_MSG(bad == nullptr, bad);
+  sq8_trained_ = sq8.trained;
+  sq8_codes_ = std::move(sq8.codes);
+  sq8_norms_ = std::move(sq8.norms);
+  sq8_quant_ = std::move(sq8.quant);
+  // Normalize the released staging matrix to the shape training leaves
+  // behind, so restored and uninterrupted instances compare equal.
+  if (sq8_trained_) points_ = Matrix(0, dim_);
   dead_.assign(n, 0);
   pending_dead_ = removal.pending_dead;
   free_slots_ = removal.free_slots;
@@ -211,8 +270,8 @@ RemovalState OnlineKnnGraph::removal_state() const {
 std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     const float* q, Rng& rng, const std::vector<std::uint32_t>* seed_hints,
     SearchScratch& scratch, std::size_t num_seeds) const {
-  const std::size_t n = points_.rows();
-  const std::size_t d = points_.cols();
+  const std::size_t n = ArenaRowsLocked();
+  const std::size_t d = dim_;
   if (n == 0) return {};
 
   if (n <= params_.bootstrap) {
@@ -239,13 +298,31 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   std::vector<PoolEntry> pool;
   pool.reserve(beam + 1);
 
+  // SQ8 mode: the walk scores candidates through the quantized asymmetric
+  // kernel (u8 codes stay hot, no decode on the expansion path); the final
+  // pool — the top-(beam) = top-k·α set — is exact-re-ranked against
+  // decoded rows below, so the returned candidate order and distances
+  // match a full-precision walk over the decoded arena wherever the
+  // quantization margin holds. Approximate scores are bit-identical across
+  // SIMD tiers (integer accumulation), keeping walks deterministic.
+  const bool sq8 = sq8_trained_;
+  if (sq8) Sq8PrepareQuery(sq8_quant_, q, d, scratch.sq8_query);
+  std::uint64_t scored = 0;
+
+  // Strict total order on (dist, id): the pool's content and order are a
+  // pure function of the offered SET, never of arrival order. Quantized
+  // scores are coarse integers scaled to floats, so ties are common in SQ8
+  // mode — and arrival order depends on adjacency-list order, which a
+  // checkpoint round-trip canonicalizes. Without the id tie-break a
+  // restored model's walks could diverge from the uninterrupted one's.
+  auto pool_less = [](const PoolEntry& a, const PoolEntry& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  };
   auto offer = [&](std::uint32_t id, float dist) {
-    if (pool.size() == beam && dist >= pool.back().dist) return;
     const PoolEntry fresh{id, dist, false};
-    auto pos = std::lower_bound(pool.begin(), pool.end(), fresh,
-                                [](const PoolEntry& a, const PoolEntry& b) {
-                                  return a.dist < b.dist;
-                                });
+    if (pool.size() == beam && !pool_less(fresh, pool.back())) return;
+    auto pos = std::lower_bound(pool.begin(), pool.end(), fresh, pool_less);
     pool.insert(pos, fresh);
     if (pool.size() > beam) pool.pop_back();
   };
@@ -257,7 +334,17 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     // route through removed points. Connectivity across a removal is the
     // repair join's job, not the walk's.
     if (dead_[id]) return;
-    offer(id, L2Sqr(q, points_.Row(id), d));
+    if (sq8) {
+      const std::uint8_t* code =
+          sq8_codes_.data() + static_cast<std::size_t>(id) * d;
+      float dist = 0.0f;
+      L2SqrBatchSq8Gather(scratch.sq8_query, &code, &sq8_norms_[id], 1, d,
+                          &dist);
+      ++scored;
+      offer(id, dist);
+    } else {
+      offer(id, L2Sqr(q, points_.Row(id), d));
+    }
   };
 
   // Hint entry points first: callers with structural knowledge (the
@@ -283,6 +370,8 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
   std::vector<std::uint32_t>& pending = scratch.pending;
   std::vector<const float*>& pending_rows = scratch.pending_rows;
   std::vector<float>& pending_dist = scratch.pending_dist;
+  std::vector<const std::uint8_t*>& pending_codes = scratch.pending_codes;
+  std::vector<float>& pending_norms = scratch.pending_norms;
   for (;;) {
     std::size_t next = pool.size();
     for (std::size_t p = 0; p < pool.size(); ++p) {
@@ -295,6 +384,8 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
     pool[next].expanded = true;
     pending.clear();
     pending_rows.clear();
+    pending_codes.clear();
+    pending_norms.clear();
     for (const Neighbor& nb : graph_.NeighborsOf(pool[next].id)) {
       if (stamp[nb.id] == epoch) continue;
       stamp[nb.id] = epoch;
@@ -302,15 +393,59 @@ std::vector<Neighbor> OnlineKnnGraph::CollectCandidates(
       // sweep — skip them without scoring.
       if (dead_[nb.id]) continue;
       pending.push_back(nb.id);
-      pending_rows.push_back(points_.Row(nb.id));
+      if (sq8) {
+        pending_codes.push_back(sq8_codes_.data() +
+                                static_cast<std::size_t>(nb.id) * d);
+        pending_norms.push_back(sq8_norms_[nb.id]);
+      } else {
+        pending_rows.push_back(points_.Row(nb.id));
+      }
     }
     pending_dist.resize(pending.size());
-    L2SqrBatchGather(q, pending_rows.data(), pending.size(), d,
-                     pending_dist.data());
+    if (sq8) {
+      L2SqrBatchSq8Gather(scratch.sq8_query, pending_codes.data(),
+                          pending_norms.data(), pending.size(), d,
+                          pending_dist.data());
+      scored += pending.size();
+    } else {
+      L2SqrBatchGather(q, pending_rows.data(), pending.size(), d,
+                       pending_dist.data());
+    }
     for (std::size_t p = 0; p < pending.size(); ++p) {
       offer(pending[p], pending_dist[p]);
     }
   }
+
+  if (sq8 && !pool.empty()) {
+    // Compact exact re-rank: decode the final top-k·α pool (α =
+    // beam/topk) and rescore it with the bit-exact fp32 kernel, then
+    // re-sort. Candidate distances committed to edges or returned from
+    // SearchKnn are therefore always exact over decoded rows; only the
+    // pool MEMBERSHIP carries quantization error. stable_sort keeps ties
+    // in approximate-score order, which is itself deterministic.
+    std::vector<float>& dec = scratch.decode_buf;
+    dec.resize(pool.size() * d);
+    pending_rows.clear();
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      float* row = dec.data() + p * d;
+      Sq8Decode(sq8_quant_,
+                sq8_codes_.data() + static_cast<std::size_t>(pool[p].id) * d,
+                d, row);
+      pending_rows.push_back(row);
+    }
+    pending_dist.resize(pool.size());
+    L2SqrBatchGather(q, pending_rows.data(), pool.size(), d,
+                     pending_dist.data());
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      pool[p].dist = pending_dist[p];
+    }
+    std::stable_sort(pool.begin(), pool.end(),
+                     [](const PoolEntry& a, const PoolEntry& b) {
+                       return a.dist < b.dist;
+                     });
+    sq8_reranked_.Add(pool.size());
+  }
+  if (sq8) sq8_scored_.Add(scored);
 
   std::vector<Neighbor> out;
   out.reserve(pool.size());
@@ -325,8 +460,8 @@ void OnlineKnnGraph::PlanRow(const Matrix& rows, std::size_t batch_begin,
                              SearchScratch& scratch,
                              PlannedInsert& plan) const {
   const float* x = rows.Row(r);
-  const std::size_t n = points_.rows();  // snapshot size, frozen this phase
-  const std::size_t d = points_.cols();
+  const std::size_t n = ArenaRowsLocked();  // snapshot size, frozen this phase
+  const std::size_t d = dim_;
   const bool exact = n <= params_.bootstrap;
 
   // Walks consume a private generator derived from one serial rng_ draw,
@@ -384,22 +519,33 @@ void OnlineKnnGraph::PlanRow(const Matrix& rows, std::size_t batch_begin,
   // the parallel phase (snapshot rows or window rows).
   const std::size_t n_before = n + (r - batch_begin);
   if (n_before > params_.bootstrap && plan.take > 0) {
-    auto resolve = [&](std::uint32_t id) -> const float* {
-      return id < n ? points_.Row(id)
-                    : rows.Row(batch_begin + (id - n));
+    // SQ8 mode: arena candidates are decoded into scratch (slot l of
+    // decode_buf for take target l, slot plan.take for the per-t row) so
+    // the join table holds the same exact-over-decoded distances the walk
+    // re-rank produced. Window rows are still fp32.
+    const bool sq8 = sq8_trained_;
+    std::vector<float>& dec = scratch.decode_buf;
+    if (sq8) dec.resize((plan.take + 1) * d);
+    auto resolve = [&](std::uint32_t id, std::size_t slot) -> const float* {
+      if (id >= n) return rows.Row(batch_begin + (id - n));
+      if (!sq8) return points_.Row(id);
+      float* buf = dec.data() + slot * d;
+      Sq8Decode(sq8_quant_,
+                sq8_codes_.data() + static_cast<std::size_t>(id) * d, d, buf);
+      return buf;
     };
     // Each table row is one gathered one-to-many batch: candidate t
     // against the plan.take forward-edge targets.
     std::vector<const float*>& take_rows = scratch.pending_rows;
     take_rows.clear();
     for (std::size_t l = 0; l < plan.take; ++l) {
-      take_rows.push_back(resolve(plan.cand[l].id));
+      take_rows.push_back(resolve(plan.cand[l].id, l));
     }
     std::vector<float>& dist_buf = scratch.pending_dist;
     dist_buf.resize(plan.take);
     plan.join.assign(plan.cand.size() * plan.take, 0.0f);
     for (std::size_t t = 0; t < plan.cand.size(); ++t) {
-      const float* pt = resolve(plan.cand[t].id);
+      const float* pt = resolve(plan.cand[t].id, plan.take);
       L2SqrBatchGather(pt, take_rows.data(), plan.take, d, dist_buf.data());
       for (std::size_t l = 0; l < plan.take; ++l) {
         if (l == t) continue;
@@ -424,13 +570,31 @@ std::uint32_t OnlineKnnGraph::CommitRow(const Matrix& rows, std::size_t r,
     id = free_slots_.back();  // descending order: back is the lowest slot
     free_slots_.pop_back();
     dead_[id] = 0;
-    points_.SetRow(id, x);
+    if (sq8_trained_) {
+      EncodeSlotLocked(id, x);
+    } else {
+      points_.SetRow(id, x);
+    }
   } else {
     id = graph_.AddNode();
-    points_.AppendRow(x);
+    if (sq8_trained_) {
+      EncodeSlotLocked(id, x);
+    } else {
+      points_.AppendRow(x);
+    }
     dead_.push_back(0);
   }
   last_inserted_ = id;
+
+  // SQ8 training trigger: the first commit that grows the arena past the
+  // bootstrap threshold trains the quantizer on the bootstrap window and
+  // converts the arena. Exact-phase sub-batches are single-row, so this
+  // fires between rows and the next sub-batch's walks already run
+  // quantized. Rows never shrink, so it fires exactly once.
+  if (params_.storage == StorageMode::kSq8 && !sq8_trained_ &&
+      points_.rows() > params_.bootstrap) {
+    TrainSq8Locked();
+  }
 
   // Plans encode sub-batch predecessors as virtual ids >= the snapshot
   // arena size (walk candidates are always below it); resolve them to the
@@ -548,7 +712,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
       // snapshot_n is the arena size the sub-batch's plans are made
       // against: predecessor rows are encoded as virtual ids at or above
       // it (see CommitRow).
-      snapshot_n = points_.rows();
+      snapshot_n = ArenaRowsLocked();
       width = snapshot_n <= params_.bootstrap ? 1
                                               : std::min(kSubBatch, total - begin);
       live = live_seeds_;
@@ -612,7 +776,7 @@ void OnlineKnnGraph::Remove(std::uint32_t id,
                             std::vector<std::uint32_t>* repaired) {
   GKM_COUNTER_ADD("stream.remove.calls", 1);
   WriterMutexLock guard(mu_);
-  GKM_CHECK_MSG(id < points_.rows(), "Remove of an out-of-range id");
+  GKM_CHECK_MSG(id < ArenaRowsLocked(), "Remove of an out-of-range id");
   GKM_CHECK_MSG(dead_[id] == 0, "Remove of an already-removed id");
 
   // Snapshot the live out-neighborhood before tombstoning: these nodes are
@@ -640,12 +804,35 @@ void OnlineKnnGraph::Remove(std::uint32_t id,
   // re-attached to the rest of the neighborhood directly. In-edges from
   // outside the ring stay as stale tombstone references — walks skip them
   // and the amortized purge below erases them in bulk.
-  const std::size_t d = points_.cols();
+  const std::size_t d = dim_;
+  // SQ8 mode has no fp32 originals: repair distances are exact over the
+  // decoded rows — the same value space every committed edge already lives
+  // in, so repaired edges rank consistently against walk-committed ones.
+  const bool sq8 = sq8_trained_;
+  std::vector<float> dec_r(sq8 ? d : 0), dec_s(sq8 ? d : 0);
   for (const std::uint32_t r : ring) {
     bool changed = graph_.RemoveNeighbor(r, id);
+    const float* pr;
+    if (sq8) {
+      Sq8Decode(sq8_quant_,
+                sq8_codes_.data() + static_cast<std::size_t>(r) * d, d,
+                dec_r.data());
+      pr = dec_r.data();
+    } else {
+      pr = points_.Row(r);
+    }
     for (const std::uint32_t s : ring) {
       if (s == r) continue;
-      const float dist = L2Sqr(points_.Row(r), points_.Row(s), d);
+      const float* ps;
+      if (sq8) {
+        Sq8Decode(sq8_quant_,
+                  sq8_codes_.data() + static_cast<std::size_t>(s) * d, d,
+                  dec_s.data());
+        ps = dec_s.data();
+      } else {
+        ps = points_.Row(s);
+      }
+      const float dist = L2Sqr(pr, ps, d);
       changed = graph_.Update(r, s, dist) || changed;
     }
     if (changed && repaired != nullptr) repaired->push_back(r);
@@ -657,7 +844,7 @@ void OnlineKnnGraph::Remove(std::uint32_t id,
   }
 
   if (pending_dead_.size() >= kPurgeMinPending &&
-      pending_dead_.size() * kPurgeDenominator >= points_.rows()) {
+      pending_dead_.size() * kPurgeDenominator >= ArenaRowsLocked()) {
     PurgeTombstonesLocked();
   }
 }
@@ -676,7 +863,7 @@ void OnlineKnnGraph::PurgeTombstonesLocked() {
   // Degree lost here is not refilled — the Remove-time join already
   // repaired the neighborhood, and subsequent inserts' reverse-edge repair
   // keeps lists converging — so the sweep stays pure deletion, O(n*kappa).
-  const std::size_t n = points_.rows();
+  const std::size_t n = ArenaRowsLocked();
   std::vector<Neighbor> kept;
   for (std::size_t i = 0; i < n; ++i) {
     if (dead_[i]) continue;
@@ -709,7 +896,7 @@ std::vector<Neighbor> OnlineKnnGraph::SearchKnn(const float* q,
 
 std::vector<Neighbor> OnlineKnnGraph::SearchKnnLocked(
     const float* q, std::size_t topk, SearchScratch& scratch) const {
-  const std::size_t n = points_.rows();
+  const std::size_t n = ArenaRowsLocked();
   if (n == 0) return {};
   // Local generator: read-only queries never perturb the insert stream
   // (replay determinism), and a fixed corpus size gives a fixed answer.
@@ -749,6 +936,99 @@ std::vector<std::vector<Neighbor>> OnlineKnnGraph::SearchKnnBatch(
     out[i] = SearchKnnLocked(queries.Row(i), topk, scratch);
   }
   return out;
+}
+
+const float* OnlineKnnGraph::DecodeToRing(std::uint32_t id) const {
+  // Small thread-local ring of decoded rows: successive PointPtr calls
+  // rotate through kDecodeRing buffers, so a caller may hold up to
+  // kDecodeRing pointers simultaneously (the repo's hottest pattern is two:
+  // L2Sqr(Point(a), Point(b))). Pointers are invalidated by the
+  // (kDecodeRing+1)-th call on the same thread, like any other scratch.
+  constexpr std::size_t kDecodeRing = 8;
+  const std::size_t d = dim_;
+  thread_local std::vector<float> ring;
+  thread_local std::size_t next = 0;
+  if (ring.size() != kDecodeRing * d) {
+    ring.assign(kDecodeRing * d, 0.0f);
+    next = 0;
+  }
+  float* buf = ring.data() + next * d;
+  next = (next + 1) % kDecodeRing;
+  Sq8Decode(sq8_quant_, sq8_codes_.data() + static_cast<std::size_t>(id) * d,
+            d, buf);
+  return buf;
+}
+
+void OnlineKnnGraph::EncodeSlotLocked(std::uint32_t id, const float* x) {
+  const std::size_t d = dim_;
+  if (static_cast<std::size_t>(id) == sq8_norms_.size()) {
+    sq8_codes_.resize(sq8_codes_.size() + d);
+    float norm = 0.0f;
+    Sq8Encode(sq8_quant_, x, d,
+              sq8_codes_.data() + static_cast<std::size_t>(id) * d, &norm);
+    sq8_norms_.push_back(norm);
+  } else {
+    GKM_CHECK_MSG(static_cast<std::size_t>(id) < sq8_norms_.size(),
+                  "SQ8 encode into a slot past the arena end");
+    Sq8Encode(sq8_quant_, x, d,
+              sq8_codes_.data() + static_cast<std::size_t>(id) * d,
+              &sq8_norms_[id]);
+  }
+}
+
+void OnlineKnnGraph::TrainSq8Locked() {
+  GKM_TRACE_SPAN("stream.sq8.train");
+  const std::size_t n = points_.rows();
+  const std::size_t d = dim_;
+  // Train on the live bootstrap rows only — dead slots would widen the
+  // per-dimension range for no benefit. The min/max sweep is
+  // order-independent, so the quantizer is deterministic for a given live
+  // set regardless of thread count or insertion interleaving.
+  std::vector<const float*> live;
+  live.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dead_[i]) live.push_back(points_.Row(i));
+  }
+  sq8_quant_ = Sq8TrainGather(live.data(), live.size(), d);
+  // Encode every slot (dead ones included, keeping slot indexing dense);
+  // then drop the fp32 arena — from here on codes are the only storage.
+  sq8_codes_.assign(n * d, 0);
+  sq8_norms_.assign(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    Sq8Encode(sq8_quant_, points_.Row(i), d, sq8_codes_.data() + i * d,
+              &sq8_norms_[i]);
+  }
+  sq8_trained_ = true;
+  points_ = Matrix(0, dim_);
+  GKM_COUNTER_ADD("stream.sq8.train.rows", static_cast<std::int64_t>(n));
+}
+
+void OnlineKnnGraph::RequantizeArena() {
+  WriterMutexLock guard(mu_);
+  if (!sq8_trained_) return;
+  GKM_TRACE_SPAN("stream.sq8.requantize");
+  const std::size_t n = sq8_norms_.size();
+  const std::size_t d = dim_;
+  // Decode the whole arena through the OLD quantizer, retrain on the live
+  // decoded rows, re-encode everything. One generation of quantization
+  // error is baked into the decoded values (codes are not refined against
+  // originals, which no longer exist); the payoff is a grid that tracks
+  // the drifted distribution, which is what recall depends on.
+  std::vector<float> old(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    Sq8Decode(sq8_quant_, sq8_codes_.data() + i * d, d, old.data() + i * d);
+  }
+  std::vector<const float*> live;
+  live.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dead_[i]) live.push_back(old.data() + i * d);
+  }
+  sq8_quant_ = Sq8TrainGather(live.data(), live.size(), d);
+  for (std::size_t i = 0; i < n; ++i) {
+    Sq8Encode(sq8_quant_, old.data() + i * d, d, sq8_codes_.data() + i * d,
+              &sq8_norms_[i]);
+  }
+  GKM_COUNTER_ADD("stream.sq8.requantize.rows", static_cast<std::int64_t>(n));
 }
 
 }  // namespace gkm

@@ -27,6 +27,9 @@
 #include <cstdint>
 #include <vector>
 
+#include <atomic>
+
+#include "common/kernels.h"
 #include "common/matrix.h"
 #include "common/mutex.h"
 #include "common/rng.h"
@@ -36,6 +39,18 @@
 namespace gkm {
 
 class ThreadPool;
+
+/// How the arena stores row coordinates.
+///  kFp32 — full-precision rows (the historical mode; byte-identical
+///          behavior and checkpoints to before this enum existed).
+///  kSq8  — rows are held as packed u8 codes + one fp32 norm once the
+///          corpus crosses the bootstrap threshold (the quantizer trains on
+///          the bootstrap window); walks and batch search score candidates
+///          through the asymmetric SQ8 kernels and exact-re-rank the final
+///          pool against decoded rows. ~3.5x+ smaller arena; results are
+///          exact over DECODED rows, so recall carries the quantization
+///          error — gated in bench/online_search.
+enum class StorageMode : std::uint8_t { kFp32 = 0, kSq8 = 1 };
 
 /// Knobs of the online builder.
 struct OnlineGraphParams {
@@ -57,6 +72,22 @@ struct OnlineGraphParams {
   /// 1 keeps the single-arena behavior bit-for-bit. Model state — changing
   /// it re-partitions the stream, so it is persisted in checkpoints (v4).
   std::size_t shards = 1;
+  /// Arena storage mode. Model state: it changes committed graph edges
+  /// (SQ8 walks score decoded rows), so it is persisted in checkpoints —
+  /// kSq8 saves emit GKMC v5, kFp32 keeps emitting v4 bytes.
+  StorageMode storage = StorageMode::kFp32;
+};
+
+/// Checkpointed SQ8 arena state: packed codes (stride == dim, no padding),
+/// one fp32 row constant per slot, and the trained quantizer. `trained ==
+/// false` (the default) means the arena is still in its fp32 bootstrap
+/// phase and `points` carries the rows as in every fp32 checkpoint.
+struct Sq8ArenaParts {
+  bool trained = false;
+  std::size_t rows = 0;
+  std::vector<std::uint8_t> codes;  ///< rows * dim, packed
+  std::vector<float> norms;         ///< rows
+  Sq8Quantizer quant;
 };
 
 /// Reusable visited-marker scratch for graph walks: one stamp slot per
@@ -73,6 +104,12 @@ struct SearchScratch {
   std::vector<std::uint32_t> pending;
   std::vector<const float*> pending_rows;
   std::vector<float> pending_dist;
+  // SQ8-mode buffers: gathered code rows + norms for walk expansion, the
+  // per-walk prepared query, and a decode buffer for the exact re-rank.
+  std::vector<const std::uint8_t*> pending_codes;
+  std::vector<float> pending_norms;
+  Sq8Query sq8_query;
+  std::vector<float> decode_buf;
 
   /// Grows the stamp array to cover `n` nodes and opens a fresh epoch.
   /// The 32-bit epoch wraps after 2^32 walks; stamps are zeroed on wrap,
@@ -131,6 +168,22 @@ const char* ValidateOnlineGraphRestoreParts(const Matrix& points,
                                             const OnlineGraphParams& params,
                                             const RemovalState& removal);
 
+/// Shape-based variant for arenas whose rows are not a Matrix (the SQ8
+/// code arena): identical checks with `rows`/`cols` standing in for the
+/// points matrix shape. The Matrix overload delegates here.
+const char* ValidateOnlineGraphRestoreParts(std::size_t rows, std::size_t cols,
+                                            const KnnGraph& graph,
+                                            const OnlineGraphParams& params,
+                                            const RemovalState& removal);
+
+/// Validates checkpointed SQ8 arena parts against `params` and the arena
+/// shape: size agreement (codes == rows*dim, norms == rows, quantizer ==
+/// dim), finite non-negative scales, and trained-implies-kSq8. nullptr
+/// when safe, else a static description (same contract as above).
+const char* ValidateSq8ArenaParts(const Sq8ArenaParts& sq8, std::size_t rows,
+                                  std::size_t dim,
+                                  const OnlineGraphParams& params);
+
 /// Growing KNN graph + vector store. Deterministic: the graph produced is a
 /// pure function of the insertion sequence and the RNG seed (thread count
 /// included — parallel and serial ingest commit identical edges), which the
@@ -158,18 +211,25 @@ class OnlineKnnGraph {
                  const AdaptiveSeedState& seeds = AdaptiveSeedState(),
                  const RemovalState& removal = RemovalState());
 
+  /// Restore overload carrying a (possibly trained) SQ8 arena. When
+  /// `sq8.trained`, `points` must be empty (the fp32 rows were dropped at
+  /// training time) and the code arena supplies the row shape.
+  OnlineKnnGraph(Matrix points, KnnGraph graph, const OnlineGraphParams& params,
+                 const RngSnapshot& rng, const AdaptiveSeedState& seeds,
+                 const RemovalState& removal, Sq8ArenaParts sq8);
+
   /// Number of arena slots (== the exclusive upper bound on node ids).
   /// Removal tombstones a slot without shrinking the arena, so this is
   /// monotonically non-decreasing; see num_alive() for the live count.
   /// Safe to call from serving threads while an ingest is running.
   std::size_t size() const {
     ReaderMutexLock guard(mu_);
-    return points_.rows();
+    return ArenaRowsLocked();
   }
   /// Number of live (non-tombstoned) points. Safe during ingest.
   std::size_t num_alive() const {
     ReaderMutexLock guard(mu_);
-    return points_.rows() - pending_dead_.size() - free_slots_.size();
+    return ArenaRowsLocked() - pending_dead_.size() - free_slots_.size();
   }
   /// Whether slot `id` currently holds a live point. Safe during ingest.
   bool IsAlive(std::uint32_t id) const {
@@ -197,8 +257,54 @@ class OnlineKnnGraph {
     mu_.AssertReaderHeld();  // externally serialized: quiescent use only
     return graph_;
   }
+  /// Coordinates of slot `id`, storage-mode agnostic. fp32 mode returns the
+  /// arena row pointer; a trained SQ8 arena decodes into a thread_local
+  /// ring of buffers, so up to kDecodeRing pointers obtained on one thread
+  /// stay simultaneously valid (callers in this repo use at most two).
+  /// Unsynchronized, like points(): quiescent or ingest-thread use only.
+  const float* PointPtr(std::uint32_t id) const {
+    mu_.AssertReaderHeld();  // externally serialized: quiescent use only
+    if (!sq8_trained_) return points_.Row(id);
+    return DecodeToRing(id);
+  }
   const OnlineGraphParams& params() const { return params_; }
   RngSnapshot rng_state() const { return rng_.Snapshot(); }
+  /// SQ8 arena views for checkpointing. Unsynchronized (quiescent use).
+  bool sq8_trained() const {
+    mu_.AssertReaderHeld();
+    return sq8_trained_;
+  }
+  const std::vector<std::uint8_t>& sq8_codes() const {
+    mu_.AssertReaderHeld();
+    return sq8_codes_;
+  }
+  const std::vector<float>& sq8_norms() const {
+    mu_.AssertReaderHeld();
+    return sq8_norms_;
+  }
+  const Sq8Quantizer& sq8_quantizer() const {
+    mu_.AssertReaderHeld();
+    return sq8_quant_;
+  }
+  /// Bytes the arena holds per slot (coordinate storage only): padded fp32
+  /// stride, or d u8 codes + one fp32 norm once SQ8-trained. Safe during
+  /// ingest.
+  std::size_t arena_bytes_per_point() const {
+    ReaderMutexLock guard(mu_);
+    if (sq8_trained_) return dim_ * sizeof(std::uint8_t) + sizeof(float);
+    return points_.stride() * sizeof(float);
+  }
+  /// Cumulative SQ8 telemetry: candidates scored through the quantized
+  /// kernels, and candidates exact-re-ranked against decoded rows. Both 0
+  /// in fp32 mode; their ratio is the bench's `sq8_rerank_fraction`.
+  std::uint64_t sq8_scored() const { return sq8_scored_.Load(); }
+  std::uint64_t sq8_reranked() const { return sq8_reranked_.Load(); }
+
+  /// Re-trains the quantizer from the decoded live rows and re-encodes the
+  /// arena in place (no-op until the SQ8 arena is trained). The streaming
+  /// layer calls this on drift re-seed so codes track the moved
+  /// distribution. Ingest-thread only (takes the writer lock).
+  void RequantizeArena();
   /// Adaptive-policy snapshot for checkpointing. Safe during ingest.
   AdaptiveSeedState seed_state() const;
   /// Deletion-bookkeeping snapshot for checkpointing. Safe during ingest.
@@ -331,6 +437,24 @@ class OnlineKnnGraph {
   /// Unlocked core of CompactTombstones; requires the writer lock.
   void PurgeTombstonesLocked() GKM_REQUIRES(mu_);
 
+  /// Arena slot count, storage-mode agnostic (code rows once SQ8-trained).
+  std::size_t ArenaRowsLocked() const GKM_REQUIRES_SHARED(mu_) {
+    return sq8_trained_ ? sq8_norms_.size() : points_.rows();
+  }
+
+  /// Decodes slot `id` into the next buffer of a thread_local ring (see
+  /// PointPtr). Requires a trained SQ8 arena.
+  const float* DecodeToRing(std::uint32_t id) const GKM_REQUIRES_SHARED(mu_);
+
+  /// Trains the quantizer on every live fp32 row, encodes the whole arena
+  /// (dead slots included — deterministic, and their codes are never
+  /// scored), and releases the fp32 rows. Called once, from the commit
+  /// phase that grows the arena past params_.bootstrap.
+  void TrainSq8Locked() GKM_REQUIRES(mu_);
+
+  /// Appends or overwrites slot `id`'s code row from fp32 coordinates.
+  void EncodeSlotLocked(std::uint32_t id, const float* x) GKM_REQUIRES(mu_);
+
   /// Folds one audit verdict into the failure EWMA and adjusts the live
   /// seed count when the rate crosses a policy threshold.
   void ApplyAudit(bool failed) GKM_REQUIRES(mu_);
@@ -347,6 +471,34 @@ class OnlineKnnGraph {
   SharedMutex mu_;
   Matrix points_ GKM_GUARDED_BY(mu_);
   KnnGraph graph_ GKM_GUARDED_BY(mu_);
+  // SQ8 arena (kSq8 mode only). Codes are PACKED (stride == dim_, no
+  // padding) — the memory win is the point — with one fp32 row constant
+  // per slot. sq8_trained_ flips true exactly once, under the writer lock,
+  // when the arena crosses params_.bootstrap; points_ is released then.
+  bool sq8_trained_ GKM_GUARDED_BY(mu_) = false;
+  std::vector<std::uint8_t> sq8_codes_ GKM_GUARDED_BY(mu_);
+  std::vector<float> sq8_norms_ GKM_GUARDED_BY(mu_);
+  Sq8Quantizer sq8_quant_ GKM_GUARDED_BY(mu_);
+  // Telemetry only (never read back into model state): approximate scores
+  // issued / candidates exact-re-ranked. Relaxed: monotonic counters. The
+  // copy/move hooks exist solely to keep OnlineKnnGraph movable (shards
+  // live in a vector); they race-freely apply only before concurrent use.
+  struct RelaxedCounter {
+    std::atomic<std::uint64_t> v{0};
+    RelaxedCounter() = default;
+    RelaxedCounter(const RelaxedCounter& o)
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    RelaxedCounter& operator=(const RelaxedCounter& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+    void Add(std::uint64_t inc) {
+      v.fetch_add(inc, std::memory_order_relaxed);
+    }
+    std::uint64_t Load() const { return v.load(std::memory_order_relaxed); }
+  };
+  mutable RelaxedCounter sq8_scored_;
+  mutable RelaxedCounter sq8_reranked_;
   // Per-slot tombstone flags (1 = dead), always sized to the arena. Walks
   // and the brute-force phase skip dead slots; serving readers only ever
   // see a slot flip alive->dead under the writer lock.

@@ -58,7 +58,7 @@ ShardedOnlineKnnGraph::ShardedOnlineKnnGraph(
     OnlineShardParts& part = parts[s];
     shards_.emplace_back(std::move(part.points), std::move(part.graph),
                          ShardParams(params, s), part.rng, part.seeds,
-                         part.removal);
+                         part.removal, std::move(part.sq8));
   }
 }
 
@@ -111,7 +111,11 @@ std::size_t ShardedOnlineKnnGraph::live_num_seeds() const {
 
 const float* ShardedOnlineKnnGraph::Point(std::uint32_t g) const {
   const GlobalId id = GlobalId::Split(g, shards_.size());
-  return shards_[id.shard].points().Row(id.slot);
+  return shards_[id.shard].PointPtr(id.slot);
+}
+
+void ShardedOnlineKnnGraph::RequantizeArena() {
+  for (OnlineKnnGraph& shard : shards_) shard.RequantizeArena();
 }
 
 void ShardedOnlineKnnGraph::SortedNeighborsInto(

@@ -68,6 +68,10 @@ struct OnlineShardParts {
   RngSnapshot rng;
   AdaptiveSeedState seeds;
   RemovalState removal;
+  /// SQ8 arena payload (GKMC v5). Default (`trained == false`) restores an
+  /// fp32-resident shard; `points` must then hold the rows, exactly as in
+  /// v2–v4 checkpoints.
+  Sq8ArenaParts sq8;
 };
 
 /// S independent online graphs behind one global-id facade.
@@ -127,8 +131,14 @@ class ShardedOnlineKnnGraph {
   std::size_t live_num_seeds() const;
 
   /// Coordinates of the live point `g`. Unsynchronized: ingest thread or
-  /// quiescent use only (serving threads go through SearchKnn).
+  /// quiescent use only (serving threads go through SearchKnn). In SQ8 mode
+  /// the pointer targets a decoded thread-local ring slot (see
+  /// OnlineKnnGraph::PointPtr for the lifetime rules).
   const float* Point(std::uint32_t g) const;
+
+  /// Re-trains every shard's SQ8 quantizer from its decoded live rows
+  /// (no-op for untrained / fp32 shards). Ingest-caller only.
+  void RequantizeArena();
 
   /// Neighbor list of `g` sorted ascending by distance, ids global.
   /// Unsynchronized, like Point.

@@ -42,16 +42,33 @@ const char* ValidateStreamSnapshot(const StreamSnapshot& snap) {
   if (num_shards == 0 || num_shards != p.graph.shards) {
     return "snapshot shard count does not match params";
   }
-  const std::size_t dim = snap.shards[0].points.cols();
+  // Shard arena shape is storage-dependent: an SQ8-trained shard carries
+  // codes + quantizer (and an empty fp32 matrix), an fp32 shard carries the
+  // matrix. Validate against whichever representation is present.
+  const auto shard_rows = [](const OnlineShardParts& shard) {
+    return shard.sq8.trained ? shard.sq8.norms.size() : shard.points.rows();
+  };
+  const auto shard_cols = [](const OnlineShardParts& shard) {
+    return shard.sq8.trained ? shard.sq8.quant.scale.size()
+                             : shard.points.cols();
+  };
+  const std::size_t dim = shard_cols(snap.shards[0]);
   std::vector<std::size_t> rows(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     const OnlineShardParts& shard = snap.shards[s];
-    if (shard.points.cols() != dim) return "snapshot shard dimension mismatch";
+    if (shard.sq8.trained && shard.points.rows() != 0) {
+      return "snapshot SQ8 shard also carries fp32 rows";
+    }
+    if (shard_cols(shard) != dim) return "snapshot shard dimension mismatch";
+    rows[s] = shard_rows(shard);
     if (const char* msg = ValidateOnlineGraphRestoreParts(
-            shard.points, shard.graph, p.graph, shard.removal)) {
+            rows[s], dim, shard.graph, p.graph, shard.removal)) {
       return msg;
     }
-    rows[s] = shard.points.rows();
+    if (const char* msg =
+            ValidateSq8ArenaParts(shard.sq8, rows[s], dim, p.graph)) {
+      return msg;
+    }
   }
   const std::size_t bound = ShardedArenaBound(rows.data(), num_shards);
   if (snap.labels.size() != bound) {
@@ -185,6 +202,7 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
   std::vector<std::vector<std::uint32_t>> hints;
   const bool use_hints = was_bootstrapped && params_.route_hints > 0;
   if (use_hints) {
+    PrepareRouteQuantizer(centroids);
     hints.resize(rows);
     pool_->ParallelFor(0, rows, [&](std::size_t r) {
       ComputeRouteHints(window.Row(r), centroids, hints[r]);
@@ -273,6 +291,27 @@ void StreamingGkMeans::Bootstrap() {
   prev_centroids_ = state_.Centroids();
 }
 
+void StreamingGkMeans::PrepareRouteQuantizer(const Matrix& centroids) {
+  route_sq8_ = params_.graph.storage == StorageMode::kSq8;
+  if (!route_sq8_) {
+    route_codes_.clear();
+    route_norms_.clear();
+    return;
+  }
+  // k is small, so re-training per window is cheap and the table always
+  // matches the snapshot the window's hints are defined against. Train +
+  // encode are deterministic, so hints — and through them the graph — stay
+  // a pure function of the input stream.
+  const std::size_t d = dim();
+  route_qz_ = Sq8Train(centroids.Row(0), centroids.stride(), params_.k, d);
+  route_codes_.assign(params_.k * d, 0);
+  route_norms_.assign(params_.k, 0.0f);
+  for (std::size_t c = 0; c < params_.k; ++c) {
+    Sq8Encode(route_qz_, centroids.Row(c), d, route_codes_.data() + c * d,
+              &route_norms_[c]);
+  }
+}
+
 void StreamingGkMeans::ComputeRouteHints(const float* x,
                                          const Matrix& centroids,
                                          std::vector<std::uint32_t>& hints)
@@ -283,8 +322,19 @@ void StreamingGkMeans::ComputeRouteHints(const float* x,
   hints.clear();
   thread_local std::vector<float> dist;
   dist.resize(params_.k);
-  L2SqrBatch(x, centroids.Row(0), centroids.stride(), params_.k, dim(),
-             dist.data());
+  if (route_sq8_) {
+    // Quantized routing: rank centroids with the asymmetric SQ8 kernel
+    // over the per-window encoded table. Approximate distances are fine
+    // here — a mis-ranked hint costs one extra walk hop, never correctness
+    // — and the integer path keeps the ranking bit-identical across tiers.
+    thread_local Sq8Query sq;
+    Sq8PrepareQuery(route_qz_, x, dim(), sq);
+    L2SqrBatchSq8(sq, route_codes_.data(), dim(), params_.k, dim(),
+                  route_norms_.data(), dist.data());
+  } else {
+    L2SqrBatch(x, centroids.Row(0), centroids.stride(), params_.k, dim(),
+               dist.data());
+  }
   TopK nearest(params_.route_hints);
   for (std::size_t c = 0; c < params_.k; ++c) {
     if (state_.CountOf(c) == 0 || cluster_reps_[c] == kUnassigned) continue;
@@ -461,6 +511,13 @@ void StreamingGkMeans::DriftAndReseed(
     ++ws.reseeded;
     cur = state_.Centroids();
   }
+
+  // Quantizer refresh on drift / re-seed: the per-dimension grid was
+  // trained on the bootstrap distribution, and a window that moved
+  // centroids (or re-seeded a cluster) is evidence the point distribution
+  // moved with them — re-train the arena quantizer on the decoded live
+  // rows so code resolution tracks the data. No-op in fp32 mode.
+  if (ws.drifted > 0 || ws.reseeded > 0) graph_.RequantizeArena();
 
   prev_centroids_ = std::move(cur);
 }
@@ -681,6 +738,14 @@ StreamSnapshot StreamingGkMeans::Snapshot() const {
     s.shards[i].rng = shard.rng_state();
     s.shards[i].seeds = shard.seed_state();
     s.shards[i].removal = shard.removal_state();
+    if (shard.sq8_trained()) {
+      Sq8ArenaParts& sq8 = s.shards[i].sq8;
+      sq8.trained = true;
+      sq8.rows = shard.sq8_norms().size();
+      sq8.codes = shard.sq8_codes();
+      sq8.norms = shard.sq8_norms();
+      sq8.quant = shard.sq8_quantizer();
+    }
   }
   s.labels = labels_;
   s.n = state_.n();

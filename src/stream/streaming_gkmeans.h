@@ -194,9 +194,17 @@ class StreamingGkMeans {
 
   /// Fills `hints` with the representatives of the route_hints clusters
   /// whose centroids are nearest `x` — the walk entry points for Insert.
-  /// Reads only cluster state, so rows of a window run it concurrently.
+  /// Reads only cluster state (and the per-window route quantizer), so rows
+  /// of a window run it concurrently. In SQ8 mode centroids are scored
+  /// through the quantized asymmetric kernel — hints are routing aids, not
+  /// invariants, so the cheaper approximate ranking is sound.
   void ComputeRouteHints(const float* x, const Matrix& centroids,
                          std::vector<std::uint32_t>& hints) const;
+
+  /// Rebuilds the per-window SQ8 centroid table ComputeRouteHints scores
+  /// against (kSq8 mode only; clears it otherwise). Called once per window
+  /// before the parallel hint pass, on the window-start centroid snapshot.
+  void PrepareRouteQuantizer(const Matrix& centroids);
 
   /// Assigns a freshly inserted node by the best arrival gain among its
   /// graph neighbors' clusters (nearest centroid when none are labeled
@@ -265,6 +273,13 @@ class StreamingGkMeans {
   std::vector<Neighbor> nbr_scratch_;
   std::vector<std::uint32_t> nbr_ids_;
   std::vector<double> gain_scratch_;  // batched GainArrive results
+  // Per-window SQ8 route-hint table (kSq8 mode, rebuilt each window from
+  // the centroid snapshot): quantizer + packed centroid codes/norms.
+  // Ephemeral routing state — never checkpointed.
+  bool route_sq8_ = false;
+  Sq8Quantizer route_qz_;
+  std::vector<std::uint8_t> route_codes_;
+  std::vector<float> route_norms_;
 };
 
 }  // namespace gkm

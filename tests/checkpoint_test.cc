@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
@@ -451,6 +452,169 @@ TEST(CheckpointTest, V3FileLoadsAsSingleShardAndContinues) {
   Feed(model, SliceRows(data.vectors, 600, 1000), 200);
   Feed(back, SliceRows(data.vectors, 600, 1000), 200);
   ExpectIdenticalState(model, back);
+}
+
+// ---------------------------------------------------------------------------
+// SQ8 storage mode: v5 container.
+
+StreamingGkMeansParams Sq8Params() {
+  StreamingGkMeansParams p = SmallParams();
+  p.graph.storage = StorageMode::kSq8;
+  return p;
+}
+
+std::uint32_t FileVersion(const std::string& bytes) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, bytes.data() + 4, sizeof(v));
+  return v;
+}
+
+void ExpectIdenticalSq8Arena(const StreamingGkMeans& a,
+                             const StreamingGkMeans& b) {
+  ASSERT_EQ(a.graph().num_shards(), b.graph().num_shards());
+  for (std::size_t s = 0; s < a.graph().num_shards(); ++s) {
+    const OnlineKnnGraph& sa = a.graph().shard(s);
+    const OnlineKnnGraph& sb = b.graph().shard(s);
+    ASSERT_EQ(sa.sq8_trained(), sb.sq8_trained()) << "shard " << s;
+    EXPECT_EQ(sa.sq8_codes(), sb.sq8_codes()) << "shard " << s;
+    EXPECT_EQ(sa.sq8_norms(), sb.sq8_norms()) << "shard " << s;
+    EXPECT_EQ(sa.sq8_quantizer().scale, sb.sq8_quantizer().scale);
+    EXPECT_EQ(sa.sq8_quantizer().offset, sb.sq8_quantizer().offset);
+  }
+}
+
+TEST(CheckpointTest, Sq8ModelWritesV5AndRoundTrips) {
+  const SyntheticData data = StreamData(1000);
+  StreamingGkMeans model(kDim, Sq8Params());
+  Feed(model, data.vectors, 200);
+  ASSERT_TRUE(model.bootstrapped());
+  ASSERT_TRUE(model.graph().shard(0).sq8_trained());
+
+  const std::string path = TempPath("sq8.ckpt");
+  SaveStreamCheckpoint(path, model);
+  EXPECT_EQ(FileVersion(ReadFileBytes(path)), 5u);
+
+  StreamingGkMeans back = LoadStreamCheckpoint(path);
+  ExpectIdenticalState(model, back);
+  ExpectIdenticalSq8Arena(model, back);
+  EXPECT_EQ(back.params().graph.storage, StorageMode::kSq8);
+
+  // Re-saving the restored model reproduces the file byte for byte.
+  const std::string again = TempPath("sq8_again.ckpt");
+  SaveStreamCheckpoint(again, back);
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(again));
+  std::remove(path.c_str());
+  std::remove(again.c_str());
+}
+
+TEST(CheckpointTest, Fp32ModelStillWritesVersion4) {
+  // The v5 container is opt-in via the storage mode: fp32 models keep
+  // emitting v4 bytes so pinned goldens stay valid.
+  const SyntheticData data = StreamData(600);
+  StreamingGkMeans model(kDim, SmallParams());
+  Feed(model, data.vectors, 200);
+  const std::string path = TempPath("fp32_v4.ckpt");
+  SaveStreamCheckpoint(path, model);
+  EXPECT_EQ(FileVersion(ReadFileBytes(path)), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, Sq8PreTrainingCheckpointRoundTripsAndTrainsIdentically) {
+  // An SQ8 model checkpointed while the arena is still in its fp32
+  // bootstrap phase stores an untrained arena; both sides must cross the
+  // training trigger identically after resume.
+  const SyntheticData data = StreamData(100);
+  StreamingGkMeans model(kDim, Sq8Params());
+  model.ObserveWindow(data.vectors);
+  ASSERT_FALSE(model.graph().shard(0).sq8_trained());
+
+  const std::string path = TempPath("sq8_young.ckpt");
+  SaveStreamCheckpoint(path, model);
+  EXPECT_EQ(FileVersion(ReadFileBytes(path)), 5u);
+  StreamingGkMeans back = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+  ExpectIdenticalState(model, back);
+
+  const SyntheticData more = StreamData(600, 77);
+  Feed(model, more.vectors, 200);
+  Feed(back, more.vectors, 200);
+  ASSERT_TRUE(model.graph().shard(0).sq8_trained());
+  ExpectIdenticalState(model, back);
+  ExpectIdenticalSq8Arena(model, back);
+}
+
+TEST(CheckpointTest, Sq8ChurnResumeContinuesBitExact) {
+  // SQ8 churn-resume: tombstones, slot reuse, and in-place re-encodes all
+  // live in the code arena now; a checkpoint mid-churn must restore it
+  // exactly and the resumed model must finish an identical churned tail.
+  const SyntheticData data = StreamData(1600);
+  StreamingGkMeans uninterrupted(kDim, Sq8Params());
+  auto churn = [](StreamingGkMeans& model, const Matrix& rows) {
+    for (std::size_t b = 0; b < rows.rows(); b += 200) {
+      model.ObserveWindow(SliceRows(rows, b, std::min(b + 200, rows.rows())));
+      for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+        if (id % 5 == 2 && model.graph().IsAlive(id)) model.RemovePoint(id);
+      }
+    }
+  };
+  churn(uninterrupted, SliceRows(data.vectors, 0, 800));
+  ASSERT_TRUE(uninterrupted.graph().shard(0).sq8_trained());
+  ASSERT_LT(uninterrupted.points_alive(), uninterrupted.points_seen());
+
+  const std::string path = TempPath("sq8_churn.ckpt");
+  SaveStreamCheckpoint(path, uninterrupted);
+  StreamingGkMeans resumed = LoadStreamCheckpoint(path);
+  std::remove(path.c_str());
+  ExpectIdenticalState(uninterrupted, resumed);
+  ExpectIdenticalSq8Arena(uninterrupted, resumed);
+  {
+    const RemovalState a = uninterrupted.graph().shard(0).removal_state();
+    const RemovalState b = resumed.graph().shard(0).removal_state();
+    EXPECT_EQ(a.pending_dead, b.pending_dead);
+    EXPECT_EQ(a.free_slots, b.free_slots);
+    EXPECT_EQ(a.last_inserted, b.last_inserted);
+  }
+
+  churn(uninterrupted, SliceRows(data.vectors, 800, 1600));
+  churn(resumed, SliceRows(data.vectors, 800, 1600));
+  ExpectIdenticalState(uninterrupted, resumed);
+  ExpectIdenticalSq8Arena(uninterrupted, resumed);
+}
+
+TEST(CheckpointTest, Sq8DeltaChainResumeMatchesFullSnapshotByteForByte) {
+  // The incremental path is storage-mode agnostic: base + journal replay in
+  // SQ8 mode lands on the byte-identical v5 snapshot a full save produces.
+  const SyntheticData data = StreamData(1600);
+  StreamingGkMeans model(kDim, Sq8Params());
+  Feed(model, SliceRows(data.vectors, 0, 800), 200);
+  ASSERT_TRUE(model.graph().shard(0).sq8_trained());
+
+  const std::string base = TempPath("sq8_delta_base.ckpt");
+  const std::string delta = TempPath("sq8_delta_journal.gkmd");
+  StreamDeltaLog log(base, delta, model);
+  for (std::size_t b = 800; b < 1600; b += 200) {
+    const Matrix window = SliceRows(data.vectors, b, b + 200);
+    log.AppendWindow(window);
+    model.ObserveWindow(window);
+    for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+      if (id % 11 == 3 && model.graph().IsAlive(id)) {
+        log.AppendRemoval(id);
+        model.RemovePoint(id);
+        break;
+      }
+    }
+    log.AppendStateCheck(model);
+  }
+
+  StreamingGkMeans resumed = ResumeStreamCheckpoint(base, delta);
+  const std::string full_a = TempPath("sq8_delta_full_a.ckpt");
+  const std::string full_b = TempPath("sq8_delta_full_b.ckpt");
+  SaveStreamCheckpoint(full_a, model);
+  SaveStreamCheckpoint(full_b, resumed);
+  EXPECT_EQ(ReadFileBytes(full_a), ReadFileBytes(full_b));
+  for (const std::string& f : {base, delta, full_a, full_b}) {
+    std::remove(f.c_str());
+  }
 }
 
 TEST(CheckpointTest, AutoCompactionDisabledByDefault) {

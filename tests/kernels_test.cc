@@ -286,6 +286,323 @@ TEST(Kernels, AssignBlockedGatherMatchesStrided) {
   EXPECT_EQ(got_d, want_d);
 }
 
+TEST(Kernels, DotBatchMatchesScalarBitForBitAtEveryTier) {
+  // Exact dot kernels (the inner-product/cosine metric surface): same
+  // bit-for-bit contract as the L2 family, same library-scalar reference
+  // rationale as DotDF above.
+  const internal::KernelOps& scalar = internal::OpsForTier(SimdTier::kScalar);
+  for (const std::size_t d : TestDims()) {
+    const Matrix rows = RandomMatrix(37, d, 2000 + d);
+    std::vector<float> q(d);
+    Rng rng(9 * d + 5);
+    for (auto& v : q) v = rng.UniformFloat() * 2.0f - 1.0f;
+
+    std::vector<float> want(rows.rows(), -2.0f);
+    scalar.dot_strided(q.data(), rows.Row(0), rows.stride(), rows.rows(), d,
+                       want.data());
+    for (const SimdTier tier : RunnableTiers()) {
+      const internal::KernelOps& ops = internal::OpsForTier(tier);
+      std::vector<float> got(rows.rows(), -1.0f);
+      ops.dot_strided(q.data(), rows.Row(0), rows.stride(), rows.rows(), d,
+                      got.data());
+      for (std::size_t i = 0; i < rows.rows(); ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << "tier=" << SimdTierName(tier) << " d=" << d << " row=" << i;
+      }
+      std::vector<const float*> ptrs;
+      for (std::size_t i = rows.rows(); i-- > 0;) ptrs.push_back(rows.Row(i));
+      std::vector<float> got_g(rows.rows(), -1.0f);
+      ops.dot_gather(q.data(), ptrs.data(), ptrs.size(), d, got_g.data());
+      for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        EXPECT_EQ(got_g[i], want[rows.rows() - 1 - i])
+            << "tier=" << SimdTierName(tier) << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ScoreBatchCoversAllMetrics) {
+  const std::size_t d = 23;
+  const Matrix rows = RandomMatrix(31, d, 77);
+  const std::vector<float> q = [&] {
+    std::vector<float> v(d);
+    Rng rng(78);
+    for (auto& x : v) x = rng.UniformFloat() * 2.0f - 1.0f;
+    return v;
+  }();
+  const float qn = NormSqr(q.data(), d);
+  std::vector<float> rnorms(rows.rows());
+  RowNormsSqrBatch(rows.Row(0), rows.stride(), rows.rows(), d, rnorms.data());
+
+  std::vector<float> l2(rows.rows()), ip(rows.rows()), cos(rows.rows());
+  ScoreBatch(Metric::kL2, q.data(), qn, rows.Row(0), rows.stride(),
+             rows.rows(), d, rnorms.data(), l2.data());
+  ScoreBatch(Metric::kInnerProduct, q.data(), qn, rows.Row(0), rows.stride(),
+             rows.rows(), d, nullptr, ip.data());
+  ScoreBatch(Metric::kCosine, q.data(), qn, rows.Row(0), rows.stride(),
+             rows.rows(), d, rnorms.data(), cos.data());
+  std::vector<float> dots(rows.rows());
+  DotBatch(q.data(), rows.Row(0), rows.stride(), rows.rows(), d, dots.data());
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    EXPECT_EQ(l2[i], L2Sqr(q.data(), rows.Row(i), d)) << i;
+    EXPECT_EQ(ip[i], -dots[i]) << i;  // negated: smaller-is-better ordering
+    const float denom = std::sqrt(qn * rnorms[i]);
+    EXPECT_NEAR(cos[i], 1.0f - dots[i] / denom, 1e-6f) << i;
+  }
+  // Cosine computes row norms itself when the caller has none cached, and
+  // defines zero-norm rows as score 1 (orthogonal) instead of NaN.
+  std::vector<float> cos2(rows.rows());
+  ScoreBatch(Metric::kCosine, q.data(), qn, rows.Row(0), rows.stride(),
+             rows.rows(), d, nullptr, cos2.data());
+  EXPECT_EQ(cos2, cos);
+  Matrix zrow(1, d);  // all zeros
+  float zscore = -7.0f;
+  ScoreBatch(Metric::kCosine, q.data(), qn, zrow.Row(0), zrow.stride(), 1, d,
+             nullptr, &zscore);
+  EXPECT_EQ(zscore, 1.0f);
+}
+
+// ---- SQ8 asymmetric kernels ------------------------------------------------
+
+// The cross-tier contract of the SQ8 family is the INTEGER accumulation:
+// sum_j q_i8[j] * code_u8[j] in i32. Integer arithmetic is exact, so a
+// plain loop here is a valid bit-level reference at any compiler flag.
+std::int32_t RefIdot(const std::int8_t* q, const std::uint8_t* c,
+                     std::size_t d) {
+  std::int32_t acc = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    acc += static_cast<std::int32_t>(q[j]) * static_cast<std::int32_t>(c[j]);
+  }
+  return acc;
+}
+
+TEST(Kernels, Sq8IdotMatchesReferenceBitForBitAtEveryTier) {
+  for (const std::size_t d : TestDims()) {
+    Rng rng(3000 + d);
+    const std::size_t n = 37;
+    std::vector<std::uint8_t> codes(n * d);
+    for (auto& c : codes) {
+      c = static_cast<std::uint8_t>(rng.Index(256));
+    }
+    std::vector<std::int8_t> q(d);
+    for (auto& v : q) {
+      v = static_cast<std::int8_t>(static_cast<int>(rng.Index(255)) - 127);
+    }
+    std::vector<const std::uint8_t*> ptrs(n);
+    for (std::size_t i = 0; i < n; ++i) ptrs[i] = codes.data() + i * d;
+
+    for (const SimdTier tier : RunnableTiers()) {
+      const internal::KernelOps& ops = internal::OpsForTier(tier);
+      std::vector<std::int32_t> got(n, -1);
+      ops.sq8_gather(q.data(), ptrs.data(), n, d, got.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], RefIdot(q.data(), ptrs[i], d))
+            << "tier=" << SimdTierName(tier) << " d=" << d << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, Sq8IdotSaturationEdges) {
+  // Extreme operands: every (q, code) pair at the i8/u8 range corners. A
+  // 16-bit pair-sum implementation (e.g. AVX2 maddubs without widening)
+  // saturates at 32767 < 2*255*127 = 64770 and fails exactly here; the
+  // widening implementations the tables ship must not.
+  for (const std::size_t d : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 64u, 960u}) {
+    const std::int8_t qvals[] = {-127, 127, -127, 127};
+    const std::uint8_t cvals[] = {255, 255, 0, 255};
+    for (int v = 0; v < 4; ++v) {
+      std::vector<std::int8_t> q(d, qvals[v]);
+      std::vector<std::uint8_t> codes(d, cvals[v]);
+      const std::uint8_t* row = codes.data();
+      const std::int32_t want = RefIdot(q.data(), row, d);
+      for (const SimdTier tier : RunnableTiers()) {
+        const internal::KernelOps& ops = internal::OpsForTier(tier);
+        std::int32_t got = -1;
+        ops.sq8_gather(q.data(), &row, 1, d, &got);
+        EXPECT_EQ(got, want)
+            << "tier=" << SimdTierName(tier) << " d=" << d << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Kernels, Sq8EncodeDecodeRoundTripsWithinOneStep) {
+  for (const std::size_t d : {1u, 7u, 32u, 100u}) {
+    const Matrix rows = RandomMatrix(64, d, 4000 + d);
+    const Sq8Quantizer qz = Sq8Train(rows.Row(0), rows.stride(), rows.rows(),
+                                     d);
+    ASSERT_EQ(qz.scale.size(), d);
+    std::vector<std::uint8_t> code(d);
+    std::vector<float> dec(d);
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      float norm = -1.0f;
+      Sq8Encode(qz, rows.Row(i), d, code.data(), &norm);
+      Sq8Decode(qz, code.data(), d, dec.data());
+      double want_norm = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        // Reconstruction error is at most half a quantization step.
+        EXPECT_LE(std::abs(dec[j] - rows.At(i, j)), 0.5f * qz.scale[j] + 1e-6f)
+            << "d=" << d << " i=" << i << " j=" << j;
+        // The stored row constant is ||dec - offset||^2 = sum (s_j c_j)^2 —
+        // the term the asymmetric L2 expansion needs — not ||dec||^2.
+        const double sc = static_cast<double>(dec[j]) - qz.offset[j];
+        want_norm += sc * sc;
+      }
+      EXPECT_NEAR(norm, want_norm, 1e-3 * (1.0 + want_norm)) << i;
+    }
+  }
+}
+
+TEST(Kernels, Sq8TrainHandlesConstantAndDenormalDims) {
+  // Constant dims train scale 0 (encode->0, decode->offset exactly);
+  // denormal dims must not produce NaN/inf scales.
+  const std::size_t d = 6;
+  Matrix rows(5, d);
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    rows.At(i, 0) = 3.25f;                             // constant
+    rows.At(i, 1) = 1e-41f;                            // constant denormal
+    rows.At(i, 2) = (i % 2 == 0) ? 1e-41f : -1e-41f;   // denormal range
+    rows.At(i, 3) = static_cast<float>(i);             // normal
+    rows.At(i, 4) = 0.0f;                              // constant zero
+    rows.At(i, 5) = (i == 0) ? -100.0f : 100.0f;       // wide range
+  }
+  const Sq8Quantizer qz = Sq8Train(rows.Row(0), rows.stride(), rows.rows(), d);
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_TRUE(std::isfinite(qz.scale[j]) && qz.scale[j] >= 0.0f) << j;
+    EXPECT_TRUE(std::isfinite(qz.offset[j])) << j;
+  }
+  std::vector<std::uint8_t> code(d);
+  std::vector<float> dec(d);
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    Sq8Encode(qz, rows.Row(i), d, code.data(), nullptr);
+    Sq8Decode(qz, code.data(), d, dec.data());
+    EXPECT_EQ(dec[0], 3.25f);  // constant dim reconstructs exactly
+    EXPECT_EQ(dec[4], 0.0f);
+    for (std::size_t j = 0; j < d; ++j) EXPECT_TRUE(std::isfinite(dec[j]));
+  }
+  // Gather-trained quantizer over the same rows is identical (the online
+  // graph trains via row pointers; the clusterer via the strided matrix).
+  std::vector<const float*> ptrs(rows.rows());
+  for (std::size_t i = 0; i < rows.rows(); ++i) ptrs[i] = rows.Row(i);
+  const Sq8Quantizer qz_g = Sq8TrainGather(ptrs.data(), ptrs.size(), d);
+  EXPECT_EQ(qz_g.scale, qz.scale);
+  EXPECT_EQ(qz_g.offset, qz.offset);
+}
+
+TEST(Kernels, Sq8L2ScoresAreTierIdenticalAndAccurate) {
+  for (const std::size_t d : {4u, 17u, 100u, 960u}) {
+    const Matrix rows = RandomMatrix(41, d, 5000 + d);
+    const Sq8Quantizer qz =
+        Sq8Train(rows.Row(0), rows.stride(), rows.rows(), d);
+    std::vector<std::uint8_t> codes(rows.rows() * d);
+    std::vector<float> norms(rows.rows());
+    std::vector<const std::uint8_t*> ptrs(rows.rows());
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      Sq8Encode(qz, rows.Row(i), d, codes.data() + i * d, &norms[i]);
+      ptrs[i] = codes.data() + i * d;
+    }
+    std::vector<float> q(d);
+    Rng rng(5001 + d);
+    for (auto& v : q) v = rng.UniformFloat() * 4.0f - 2.0f;
+    Sq8Query sq;
+    Sq8PrepareQuery(qz, q.data(), d, sq);
+
+    std::vector<float> want(rows.rows(), -1.0f);
+    L2SqrBatchSq8Gather(sq, ptrs.data(), norms.data(), rows.rows(), d,
+                        want.data());
+    // Strided (packed) entry point sees the same codes, must agree.
+    std::vector<float> strided(rows.rows(), -2.0f);
+    L2SqrBatchSq8(sq, codes.data(), d, rows.rows(), d, norms.data(),
+                  strided.data());
+    EXPECT_EQ(strided, want) << "d=" << d;
+
+    std::vector<float> dec(d);
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      // Tolerance-bounded accuracy against the decoded-row exact distance:
+      // the residual comes from the per-query i8 re-quantization.
+      Sq8Decode(qz, ptrs[i], d, dec.data());
+      const float exact = L2Sqr(q.data(), dec.data(), d);
+      const float scale = std::max(1.0f, NormSqr(q.data(), d) + norms[i]);
+      EXPECT_NEAR(want[i], exact, 2e-2f * scale) << "d=" << d << " i=" << i;
+      EXPECT_GE(want[i], 0.0f);
+    }
+  }
+}
+
+TEST(Kernels, Sq8DotScoresMatchDecodedDot) {
+  const std::size_t d = 48;
+  const Matrix rows = RandomMatrix(25, d, 6100);
+  const Sq8Quantizer qz = Sq8Train(rows.Row(0), rows.stride(), rows.rows(), d);
+  std::vector<std::uint8_t> codes(rows.rows() * d);
+  std::vector<const std::uint8_t*> ptrs(rows.rows());
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    Sq8Encode(qz, rows.Row(i), d, codes.data() + i * d, nullptr);
+    ptrs[i] = codes.data() + i * d;
+  }
+  std::vector<float> q(d);
+  Rng rng(6101);
+  for (auto& v : q) v = rng.UniformFloat() * 2.0f - 1.0f;
+  Sq8Query sq;
+  Sq8PrepareQuery(qz, q.data(), d, sq);
+  std::vector<float> got(rows.rows(), -1.0f);
+  DotBatchSq8Gather(sq, ptrs.data(), rows.rows(), d, got.data());
+  // Analytic residual bound of the per-query i8 re-quantization: each
+  // (q_j * s_j) is rounded to ip_scale granularity (error <= ip_scale/2)
+  // and meets a code of at most 255, across d dims.
+  const float tol = 0.5f * sq.ip_scale * 255.0f * d + 1e-4f;
+  std::vector<float> dec(d);
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    Sq8Decode(qz, ptrs[i], d, dec.data());
+    float exact = 0.0f;
+    for (std::size_t j = 0; j < d; ++j) exact += q[j] * dec[j];
+    EXPECT_NEAR(got[i], exact, tol) << i;
+  }
+}
+
+TEST(Kernels, AssignNearestSq8LabelsAndDistancesAreExact) {
+  // The margin-guarded assign must return exactly what a full-precision
+  // scan over the DECODED rows returns — labels and distances — at every
+  // dim, including ones engineered to stress the margin (near-duplicate
+  // rows force the exact-fallback path).
+  for (const std::size_t d : {2u, 16u, 33u, 100u}) {
+    Matrix rows = RandomMatrix(61, d, 7000 + d);
+    for (std::size_t j = 0; j < d; ++j) {  // rows 1/2 nearly tie everywhere
+      rows.At(1, j) = rows.At(0, j) + 1e-5f;
+      rows.At(2, j) = rows.At(0, j) - 1e-5f;
+    }
+    const Sq8Quantizer qz =
+        Sq8Train(rows.Row(0), rows.stride(), rows.rows(), d);
+    std::vector<std::uint8_t> codes(rows.rows() * d);
+    std::vector<float> norms(rows.rows());
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      Sq8Encode(qz, rows.Row(i), d, codes.data() + i * d, &norms[i]);
+    }
+    const Matrix queries = RandomMatrix(40, d, 7001 + d);
+
+    std::vector<std::uint32_t> labels(queries.rows(), 555u);
+    std::vector<float> dists(queries.rows(), -1.0f);
+    AssignNearestSq8(qz, queries, codes.data(), d, norms.data(), rows.rows(),
+                     labels.data(), dists.data());
+
+    std::vector<float> dec(d);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      std::uint32_t want = 0;
+      float want_dist = std::numeric_limits<float>::max();
+      for (std::size_t r = 0; r < rows.rows(); ++r) {
+        Sq8Decode(qz, codes.data() + r * d, d, dec.data());
+        const float dist = L2Sqr(queries.Row(i), dec.data(), d);
+        if (dist < want_dist) {
+          want_dist = dist;
+          want = static_cast<std::uint32_t>(r);
+        }
+      }
+      EXPECT_EQ(labels[i], want) << "d=" << d << " q=" << i;
+      EXPECT_EQ(dists[i], want_dist) << "d=" << d << " q=" << i;
+    }
+  }
+}
+
 TEST(Kernels, RowNormCacheTracksInvalidations) {
   Matrix m = RandomMatrix(8, 10, 42);
   RowNormCache cache;

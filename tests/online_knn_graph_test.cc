@@ -6,6 +6,7 @@
 #include "stream/online_knn_graph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -572,6 +573,256 @@ TEST(OnlineKnnGraphTest, AdaptiveSeedsStayWithinPolicyBounds) {
   EXPECT_GE(s.fail_ewma, 0.0);
   EXPECT_LE(s.fail_ewma, 1.0);
   EXPECT_EQ(g.live_num_seeds(), s.live_seeds);
+}
+
+// ---------------------------------------------------------------------------
+// SQ8 arena storage mode.
+
+OnlineGraphParams Sq8Params() {
+  OnlineGraphParams p;
+  p.kappa = 10;
+  p.beam_width = 48;
+  p.num_seeds = 64;
+  p.storage = StorageMode::kSq8;
+  return p;
+}
+
+TEST(OnlineKnnGraphTest, Sq8ArenaTrainsAtBootstrapAndDropsFp32Rows) {
+  const SyntheticData data = StreamData(400);
+  OnlineGraphParams p = Sq8Params();
+  p.bootstrap = 128;
+  OnlineKnnGraph g(16, p);
+  for (std::size_t i = 0; i <= 128; ++i) g.Insert(data.vectors.Row(i));
+  // Training triggers on the first commit that grows past the bootstrap
+  // window; from then on the fp32 staging rows are gone.
+  ASSERT_TRUE(g.sq8_trained());
+  EXPECT_EQ(g.points().rows(), 0u);
+  EXPECT_EQ(g.sq8_codes().size(), 129u * 16u);
+  EXPECT_EQ(g.sq8_norms().size(), 129u);
+  EXPECT_EQ(g.arena_bytes_per_point(), 16u + sizeof(float));
+  for (std::size_t i = 129; i < data.vectors.rows(); ++i) {
+    g.Insert(data.vectors.Row(i));
+  }
+  EXPECT_EQ(g.sq8_norms().size(), 400u);
+
+  // PointPtr serves dequantized coordinates within half a quantization step
+  // for rows inside the training window (later rows may clamp to the
+  // trained range, so their error is unbounded by the step size).
+  const Sq8Quantizer& qz = g.sq8_quantizer();
+  for (std::uint32_t id = 0; id < 129; id += 13) {
+    const float* dec = g.PointPtr(id);
+    const float* orig = data.vectors.Row(id);
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_LE(std::abs(dec[j] - orig[j]), 0.5f * qz.scale[j] + 1e-5f)
+          << "slot " << id << " dim " << j;
+    }
+  }
+}
+
+TEST(OnlineKnnGraphTest, Sq8RecallAtLeast08On2kPoints) {
+  const SyntheticData data = StreamData(2000);
+  OnlineGraphParams p = Sq8Params();
+  p.beam_width = 64;  // quantized pool membership needs a wider beam for 0.8
+  const OnlineKnnGraph g = InsertAll(data.vectors, p);
+  ASSERT_TRUE(g.sq8_trained());
+  const KnnGraph truth = BruteForceGraph(data.vectors, 10);
+  EXPECT_GE(GraphRecallAtK(g.graph(), truth, 10), 0.8)
+      << "SQ8 graph recall@10 too low";
+  // The quantized walk feeds an exact re-rank of every pooled candidate, so
+  // both counters must be live and the re-rank can't exceed the scored set.
+  EXPECT_GT(g.sq8_scored(), 0u);
+  EXPECT_GT(g.sq8_reranked(), 0u);
+  EXPECT_LE(g.sq8_reranked(), g.sq8_scored());
+}
+
+TEST(OnlineKnnGraphTest, Sq8ChurnIsDeterministicAcrossThreadCounts) {
+  // The bit-exact determinism contract holds in SQ8 mode too: the integer
+  // kernels are tier-identical and the re-rank is ordered, so serial and
+  // pooled ingest commit identical codes, norms, and edges.
+  const SyntheticData data = StreamData(1200);
+  const OnlineGraphParams p = Sq8Params();
+  ThreadPool pool(4);
+  OnlineKnnGraph serial(16, p);
+  OnlineKnnGraph parallel(16, p);
+  const std::size_t window = 300;
+  for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+    const Matrix slice =
+        SliceRows(data.vectors, b, std::min(b + window, data.vectors.rows()));
+    serial.InsertBatch(slice, nullptr);
+    parallel.InsertBatch(slice, &pool);
+    for (std::uint32_t id = 0; id < serial.size(); ++id) {
+      if (id % 9 == 3 && serial.IsAlive(id)) {
+        serial.Remove(id);
+        parallel.Remove(id);
+      }
+    }
+  }
+  ASSERT_TRUE(serial.sq8_trained());
+  ASSERT_TRUE(parallel.sq8_trained());
+  EXPECT_EQ(serial.sq8_codes(), parallel.sq8_codes());
+  EXPECT_EQ(serial.sq8_norms(), parallel.sq8_norms());
+  EXPECT_EQ(serial.sq8_quantizer().scale, parallel.sq8_quantizer().scale);
+  EXPECT_EQ(serial.sq8_quantizer().offset, parallel.sq8_quantizer().offset);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.graph().SortedNeighbors(i),
+              parallel.graph().SortedNeighbors(i))
+        << "node " << i;
+  }
+}
+
+TEST(OnlineKnnGraphTest, Sq8ChurnKeepsServingRecallAndSkipsRemoved) {
+  const SyntheticData data = StreamData(2000);
+  const SyntheticData queries = StreamData(100, 321);
+  ThreadPool pool(4);
+  // Bench-gate settings (kappa 16, beam 64): quantized walks need the wider
+  // degree and beam to hold 0.8 through a 30% churn cycle.
+  OnlineGraphParams p = Sq8Params();
+  p.kappa = 16;
+  p.beam_width = 64;
+  OnlineKnnGraph g(16, p);
+  const std::size_t window = 500;
+  for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+    g.InsertBatch(
+        SliceRows(data.vectors, b, std::min(b + window, data.vectors.rows())),
+        &pool);
+  }
+  for (std::uint32_t id = 0; id < 2000; ++id) {
+    if (id % 10 < 3) g.Remove(id);
+  }
+  const SyntheticData refill = StreamData(600, 654);
+  g.InsertBatch(refill.vectors, &pool);
+  EXPECT_EQ(g.num_alive(), 2000u);
+  ASSERT_TRUE(g.sq8_trained());
+
+  // Truth over the surviving (dequantized) arena: the SQ8 contract is
+  // exactness against what the arena stores, not the discarded fp32 rows.
+  std::vector<std::uint32_t> alive_ids;
+  Matrix alive(0, 16);
+  for (std::uint32_t id = 0; id < g.size(); ++id) {
+    if (!g.IsAlive(id)) continue;
+    alive_ids.push_back(id);
+    alive.AppendRow(g.PointPtr(id));
+  }
+  const auto truth = BruteForceSearch(alive, queries.vectors, 10);
+  std::size_t hit = 0, want = 0;
+  SearchScratch scratch;
+  for (std::size_t q = 0; q < queries.vectors.rows(); ++q) {
+    const auto got = g.SearchKnn(queries.vectors.Row(q), 10, scratch);
+    for (const Neighbor& nb : got) {
+      // Removed slots may have been reused by the refill; the invariant is
+      // that only live slots are served.
+      EXPECT_TRUE(g.IsAlive(nb.id)) << "search returned dead id " << nb.id;
+    }
+    want += truth[q].size();
+    for (const Neighbor& t : truth[q]) {
+      for (const Neighbor& r : got) {
+        if (r.id == alive_ids[t.id]) {
+          ++hit;
+          break;
+        }
+      }
+    }
+  }
+  const double recall = static_cast<double>(hit) / static_cast<double>(want);
+  EXPECT_GE(recall, 0.8) << "SQ8 post-churn serving recall too low";
+}
+
+TEST(OnlineKnnGraphTest, Sq8CompactionAndReinsertKeepArenaDense) {
+  const SyntheticData data = StreamData(400);
+  OnlineKnnGraph g = InsertAll(data.vectors, Sq8Params());
+  ASSERT_TRUE(g.sq8_trained());
+  for (std::uint32_t id = 0; id < 300; id += 2) g.Remove(id);
+  g.CompactTombstones();
+  const SyntheticData more = StreamData(150, 77);
+  std::vector<std::uint32_t> assigned;
+  g.InsertBatch(more.vectors, nullptr, nullptr, nullptr, &assigned);
+  EXPECT_EQ(g.size(), 400u);
+  EXPECT_EQ(g.num_alive(), 400u);
+  EXPECT_EQ(g.sq8_norms().size(), 400u);
+  EXPECT_EQ(g.sq8_codes().size(), 400u * 16u);
+  ASSERT_EQ(assigned.size(), 150u);
+  EXPECT_EQ(assigned.front(), 0u);  // freed slots re-encoded in place
+}
+
+TEST(OnlineKnnGraphTest, Sq8RequantizeArenaIsDeterministicAndBounded) {
+  const SyntheticData data = StreamData(600);
+  OnlineKnnGraph a = InsertAll(data.vectors, Sq8Params());
+  OnlineKnnGraph b = InsertAll(data.vectors, Sq8Params());
+  ASSERT_TRUE(a.sq8_trained());
+
+  // Capture pre-requantize decodes; one requantize generation may bake in
+  // at most one extra half-step of error per pass.
+  Matrix before(0, 16);
+  for (std::uint32_t id = 0; id < a.size(); ++id) before.AppendRow(a.PointPtr(id));
+  a.RequantizeArena();
+  b.RequantizeArena();
+  EXPECT_EQ(a.sq8_codes(), b.sq8_codes());
+  EXPECT_EQ(a.sq8_norms(), b.sq8_norms());
+  const Sq8Quantizer& qz = a.sq8_quantizer();
+  for (std::uint32_t id = 0; id < a.size(); ++id) {
+    const float* dec = a.PointPtr(id);
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_LE(std::abs(dec[j] - before.Row(id)[j]), qz.scale[j] + 1e-5f);
+    }
+  }
+}
+
+TEST(OnlineKnnGraphTest, Sq8RestoreFromPartsContinuesBitExact) {
+  const SyntheticData data = StreamData(500);
+  const OnlineGraphParams p = Sq8Params();
+  OnlineKnnGraph g = InsertAll(data.vectors, p);
+  for (std::uint32_t id = 0; id < 200; id += 3) g.Remove(id);
+  ASSERT_TRUE(g.sq8_trained());
+
+  Sq8ArenaParts parts;
+  parts.trained = true;
+  parts.rows = g.sq8_norms().size();
+  parts.codes = g.sq8_codes();
+  parts.norms = g.sq8_norms();
+  parts.quant = g.sq8_quantizer();
+  OnlineKnnGraph back(Matrix(0, 16), g.graph(), p, g.rng_state(),
+                      g.seed_state(), g.removal_state(), std::move(parts));
+  ASSERT_TRUE(back.sq8_trained());
+  ASSERT_EQ(back.size(), g.size());
+
+  const SyntheticData more = StreamData(120, 99);
+  for (std::size_t i = 0; i < more.vectors.rows(); ++i) {
+    g.Insert(more.vectors.Row(i));
+    back.Insert(more.vectors.Row(i));
+    if (i % 4 == 0) {
+      const std::uint32_t victim = static_cast<std::uint32_t>(i) * 2 + 1;
+      if (g.IsAlive(victim)) {
+        g.Remove(victim);
+        back.Remove(victim);
+      }
+    }
+  }
+  EXPECT_EQ(back.sq8_codes(), g.sq8_codes());
+  EXPECT_EQ(back.sq8_norms(), g.sq8_norms());
+  ASSERT_EQ(back.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(back.graph().SortedNeighbors(i), g.graph().SortedNeighbors(i));
+  }
+}
+
+TEST(OnlineKnnGraphTest, Sq8PointPtrRingKeepsRecentDecodesValid) {
+  // PointPtr hands out slots from a per-thread ring of 8 decode buffers, so
+  // up to 8 concurrent pointers from one thread stay valid.
+  const SyntheticData data = StreamData(300);
+  OnlineKnnGraph g = InsertAll(data.vectors, Sq8Params());
+  ASSERT_TRUE(g.sq8_trained());
+  const float* ptrs[8];
+  for (std::uint32_t i = 0; i < 8; ++i) ptrs[i] = g.PointPtr(i);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const Sq8Quantizer& qz = g.sq8_quantizer();
+    for (std::size_t j = 0; j < 16; ++j) {
+      const float dec =
+          qz.offset[j] + qz.scale[j] * static_cast<float>(
+                             g.sq8_codes()[i * 16 + j]);
+      EXPECT_EQ(ptrs[i][j], dec) << "ring slot " << i << " dim " << j;
+    }
+  }
 }
 
 }  // namespace

@@ -234,6 +234,97 @@ TEST(StreamConcurrencyTest, ChurnedStreamCheckpointsIdenticalAcrossThreads) {
   std::remove(parallel_path.c_str());
 }
 
+TEST(StreamConcurrencyTest, Sq8CheckpointsIdenticalAcrossThreadCounts) {
+  // The determinism contract extended to the quantized arena: codes, norms
+  // and quantizer state are model state, so an identical churned stream
+  // must serialize to byte-identical v5 files at any ingest thread count.
+  // Covers the one-time train trigger and in-place re-encodes under the
+  // writer lock (TSan checks the race-freedom half of the claim).
+  const SyntheticData data = StreamData(2000);
+  StreamingGkMeansParams sp = SmallParams(1);
+  StreamingGkMeansParams pp = SmallParams(4);
+  sp.graph.storage = StorageMode::kSq8;
+  pp.graph.storage = StorageMode::kSq8;
+  StreamingGkMeans serial(kDim, sp);
+  StreamingGkMeans parallel(kDim, pp);
+  auto churn = [&](StreamingGkMeans& model) {
+    const std::size_t window = 250;
+    for (std::size_t b = 0; b < data.vectors.rows(); b += window) {
+      model.ObserveWindow(SliceRows(data.vectors, b,
+                                    std::min(b + window, data.vectors.rows())));
+      for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+        if (id % 6 == 1 && model.graph().IsAlive(id)) model.RemovePoint(id);
+      }
+    }
+  };
+  churn(serial);
+  churn(parallel);
+
+  EXPECT_TRUE(serial.graph().shard(0).sq8_trained());
+  EXPECT_EQ(serial.labels(), parallel.labels());
+  const std::string serial_path = ::testing::TempDir() + "/sq8_serial.ckpt";
+  const std::string parallel_path =
+      ::testing::TempDir() + "/sq8_parallel.ckpt";
+  SaveStreamCheckpoint(serial_path, serial);
+  SaveStreamCheckpoint(parallel_path, parallel);
+  EXPECT_EQ(ReadFileBytes(serial_path), ReadFileBytes(parallel_path));
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
+}
+
+TEST(StreamConcurrencyTest, Sq8SearchesStayWellFormedDuringIngest) {
+  // Serving under fire in SQ8 mode: query threads walk the quantized arena
+  // (integer kernels + exact re-rank) while the ingest thread trains the
+  // quantizer mid-run, appends codes, and tombstones slots. Results must
+  // stay well-formed throughout and the run race-free (TSan CI job).
+  const SyntheticData data = StreamData(3000);
+  const SyntheticData queries = StreamData(64, 77);
+  StreamingGkMeansParams p = SmallParams(2);
+  p.graph.storage = StorageMode::kSq8;
+  StreamingGkMeans model(kDim, p);
+  // Below the graph bootstrap: the SQ8 train trigger fires during the race.
+  model.ObserveWindow(SliceRows(data.vectors, 0, 100));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> searches{0};
+  std::atomic<bool> ok{true};
+  auto serve = [&]() {
+    SearchScratch scratch;
+    std::size_t q = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const float* query = queries.vectors.Row(q % queries.vectors.rows());
+      const auto got = model.graph().SearchKnn(query, 10, scratch);
+      const std::size_t bound = model.graph().size();
+      bool good = !got.empty() && got.size() <= 10;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        good = good && got[i].id < bound && got[i].dist >= 0.0f;
+        if (i > 0) good = good && got[i - 1].dist <= got[i].dist;
+      }
+      if (!good) ok.store(false);
+      searches.fetch_add(1);
+      ++q;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 2; ++t) servers.emplace_back(serve);
+  const std::size_t window = 250;
+  for (std::size_t b = 100; b < data.vectors.rows(); b += window) {
+    model.ObserveWindow(SliceRows(data.vectors, b,
+                                  std::min(b + window, data.vectors.rows())));
+    for (std::uint32_t id = 0; id < model.points_seen(); ++id) {
+      if (id % 11 == 5 && model.graph().IsAlive(id)) model.RemovePoint(id);
+    }
+  }
+  stop.store(true);
+  for (auto& t : servers) t.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(searches.load(), 0u);
+  EXPECT_TRUE(model.graph().shard(0).sq8_trained());
+}
+
 TEST(StreamConcurrencyTest, AdaptiveSeedStateSurvivesCheckpointResume) {
   const SyntheticData data = StreamData(2000);
   StreamingGkMeans model(kDim, SmallParams(2));

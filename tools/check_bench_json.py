@@ -11,6 +11,10 @@ Each file must be a single JSON object with:
   simd_tier  one of scalar/avx2/avx512/neon
   metrics    object of finite-number (or null) values, non-empty
 
+Benches with quantized-arena coverage must additionally emit their SQ8
+metrics (REQUIRED_KEYS below), so a refactor that silently drops the SQ8
+section from a bench fails this check instead of passing vacuously.
+
 Exits non-zero with a per-file report on any violation, so CI catches a
 bench that silently stopped emitting (or emits a malformed) result file.
 """
@@ -20,6 +24,21 @@ import math
 import sys
 
 VALID_TIERS = {"scalar", "avx2", "avx512", "neon"}
+
+# Per-bench metrics that must be present (value may be null for
+# non-finite measurements, but the key itself has to exist).
+REQUIRED_KEYS = {
+    "online_search": [
+        "arena_bytes_per_point",
+        "sq8_rerank_fraction",
+        "sq8_arena_ratio",
+        "recall_at_10_sq8",
+        "recall_at_10_sq8_post_churn",
+    ],
+    "stream_throughput": [
+        "sq8_ingest_ratio",
+    ],
+}
 
 
 def check(path: str) -> list:
@@ -53,6 +72,9 @@ def check(path: str) -> list:
             if not isinstance(value, (int, float)) or (
                     isinstance(value, float) and not math.isfinite(value)):
                 errors.append(f"metric {key!r} is {value!r}, want a number")
+        for key in REQUIRED_KEYS.get(doc.get("bench"), []):
+            if key not in metrics:
+                errors.append(f"required metric {key!r} missing")
     return errors
 
 
