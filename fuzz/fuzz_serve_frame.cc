@@ -1,0 +1,165 @@
+// Copyright 2026 The gkmeans Authors.
+// libFuzzer harness for the GKMP wire codec (serve/protocol.h): every
+// byte string fed to the frame layer must produce frames, kNeedMore, or
+// a clean latched error — never an abort, crash, or unbounded
+// allocation. Three consumers run over each input:
+//
+//   1. FrameParser fed the whole buffer at once, drained to exhaustion.
+//   2. The same parser re-fed byte-at-a-time — the incremental path must
+//      agree with the bulk path frame-for-frame (resync and compaction
+//      bugs show up as divergence, caught by the GKM_CHECKs below).
+//   3. TryReadFrame over fmemopen, exercising the io::Reader path the
+//      offline tools use.
+//
+// Every decoded frame is then routed through its typed Decode* validator
+// so the payload grammars (shape cross-checks, overflow guards,
+// trailing-byte rejection) get fuzzed too, not just the 18-byte header.
+//
+// Build with -DGKM_FUZZ=ON. Under Clang this links libFuzzer; elsewhere
+// GKM_FUZZ_STANDALONE supplies a main() that replays the files given on
+// the command line (the checked-in corpus doubles as a regression suite).
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/macros.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using gkm::serve::Frame;
+using gkm::serve::FrameParser;
+using gkm::serve::Opcode;
+
+// Runs the typed payload validator matching the frame's opcode. The
+// return value (nullptr vs error string) is irrelevant to the fuzzer —
+// both are legal — we only require that validation terminates without
+// tripping a sanitizer.
+void DecodeTyped(const Frame& f) {
+  switch (f.opcode) {
+    case Opcode::kSearch:
+    case Opcode::kBatchSearch: {
+      gkm::serve::SearchRequest out;
+      (void)gkm::serve::DecodeSearchRequest(f, &out);
+      break;
+    }
+    case Opcode::kInsert: {
+      gkm::serve::InsertRequest out;
+      (void)gkm::serve::DecodeInsertRequest(f, &out);
+      break;
+    }
+    case Opcode::kRemove: {
+      gkm::serve::RemoveRequest out;
+      (void)gkm::serve::DecodeRemoveRequest(f, &out);
+      break;
+    }
+    case Opcode::kStats:
+    case Opcode::kShutdown:
+    case Opcode::kShutdownAck:
+      (void)gkm::serve::DecodeEmptyPayload(f);
+      break;
+    case Opcode::kSearchResult:
+    case Opcode::kBatchSearchResult: {
+      gkm::serve::SearchResponse out;
+      (void)gkm::serve::DecodeSearchResponse(f, &out);
+      break;
+    }
+    case Opcode::kInsertResult: {
+      gkm::serve::InsertResponse out;
+      (void)gkm::serve::DecodeInsertResponse(f, &out);
+      break;
+    }
+    case Opcode::kRemoveResult: {
+      gkm::serve::RemoveResponse out;
+      (void)gkm::serve::DecodeRemoveResponse(f, &out);
+      break;
+    }
+    case Opcode::kStatsResult: {
+      gkm::serve::StatsResponse out;
+      (void)gkm::serve::DecodeStatsResponse(f, &out);
+      break;
+    }
+    case Opcode::kError: {
+      gkm::serve::ErrorResponse out;
+      (void)gkm::serve::DecodeErrorResponse(f, &out);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // 1. Bulk feed.
+  FrameParser bulk;
+  bulk.Feed(data, size);
+  std::vector<Frame> frames;
+  Frame f;
+  FrameParser::Status status;
+  while ((status = bulk.Next(&f)) == FrameParser::Status::kFrame) {
+    DecodeTyped(f);
+    frames.push_back(f);
+  }
+  const bool bulk_errored = status == FrameParser::Status::kError;
+
+  // 2. Byte-at-a-time feed must yield the identical frame sequence and
+  // terminal state — chunking is a transport artifact the parser must
+  // never surface.
+  FrameParser trickle;
+  std::size_t matched = 0;
+  bool trickle_errored = false;
+  for (std::size_t i = 0; i < size && !trickle_errored; ++i) {
+    trickle.Feed(data + i, 1);
+    while ((status = trickle.Next(&f)) == FrameParser::Status::kFrame) {
+      GKM_CHECK_MSG(matched < frames.size(),
+                    "trickle parse produced an extra frame");
+      const Frame& ref = frames[matched++];
+      GKM_CHECK_MSG(f.opcode == ref.opcode &&
+                        f.request_id == ref.request_id &&
+                        f.payload == ref.payload,
+                    "trickle parse diverged from bulk parse");
+    }
+    trickle_errored = status == FrameParser::Status::kError;
+  }
+  GKM_CHECK_MSG(matched == frames.size(), "trickle parse lost frames");
+  GKM_CHECK_MSG(trickle_errored == bulk_errored,
+                "trickle/bulk terminal states diverged");
+
+  // 3. io::Reader path (the one offline replay tools use).
+  if (size > 0) {
+    std::FILE* mem =
+        fmemopen(const_cast<std::uint8_t*>(data), size, "rb");
+    if (mem != nullptr) {
+      gkm::io::Reader in(mem);
+      const char* err = nullptr;
+      while (gkm::serve::TryReadFrame(in, &f, &err)) DecodeTyped(f);
+      std::fclose(mem);
+    }
+  }
+  return 0;
+}
+
+#ifdef GKM_FUZZ_STANDALONE
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<std::uint8_t> bytes;
+    int c;
+    while ((c = std::fgetc(f)) != EOF) {
+      bytes.push_back(static_cast<std::uint8_t>(c));
+    }
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
+#endif  // GKM_FUZZ_STANDALONE

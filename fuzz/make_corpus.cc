@@ -3,8 +3,9 @@
 //
 //   make_fuzz_corpus <output-dir>      # typically <repo>/fuzz/corpus
 //
-// Writes GKMC seeds under <out>/gkmc_load/ and GKMD journal seeds under
-// <out>/gkmd_replay/, every one derived from the deterministic model in
+// Writes GKMC seeds under <out>/gkmc_load/, GKMD journal seeds under
+// <out>/gkmd_replay/, and GKMP wire-frame seeds under <out>/serve_frame/.
+// The checkpoint seeds all derive from the deterministic model in
 // fuzz/fuzz_model.h so the journal seeds' base-hash binding matches the
 // base fuzz_gkmd_replay.cc rebuilds at startup. Current-version (v4 for
 // fp32 arenas, v5 for SQ8) checkpoints come from the real writer; v2/v3
@@ -24,6 +25,7 @@
 
 #include "common/binary_io.h"
 #include "fuzz_model.h"
+#include "serve/protocol.h"
 #include "stream/checkpoint.h"
 #include "stream/streaming_gkmeans.h"
 
@@ -149,6 +151,41 @@ void CheckLoads(const std::string& path) {
   }
 }
 
+// --- GKMP frame seeds -------------------------------------------------------
+
+// Writes `frames` as one wire stream and verifies the stream parses back
+// into the same number of frames with no parser error — a drifted codec
+// fails generation instead of checking in a dead seed.
+void WriteFrameSeed(const std::string& path,
+                    const std::vector<gkm::serve::Frame>& frames) {
+  std::vector<std::uint8_t> wire;
+  for (const gkm::serve::Frame& f : frames) {
+    gkm::serve::AppendFrame(wire, f);
+  }
+
+  gkm::serve::FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  gkm::serve::Frame parsed;
+  std::size_t n = 0;
+  gkm::serve::FrameParser::Status status;
+  while ((status = parser.Next(&parsed)) ==
+         gkm::serve::FrameParser::Status::kFrame) {
+    ++n;
+  }
+  if (status == gkm::serve::FrameParser::Status::kError) {
+    Die(path + " seed does not parse back: " + parser.error());
+  }
+  if (n != frames.size()) Die(path + " seed round-trip lost frames");
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) Die("cannot write " + path);
+  if (!wire.empty() &&
+      std::fwrite(wire.data(), 1, wire.size(), f) != wire.size()) {
+    Die("short write to " + path);
+  }
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,6 +272,73 @@ int main(int argc, char** argv) {
   }
   std::remove(tmp_base.c_str());
   std::remove(tmp_journal.c_str());
+
+  // GKMP frame seeds for fuzz_serve_frame: one seed per frame type from
+  // the real encoders so the fuzzer starts from every opcode's grammar,
+  // plus a multi-frame stream (resync/compaction coverage). Derived from
+  // the same deterministic fuzz windows as the checkpoint seeds.
+  const std::string gkmp = out + "/serve_frame";
+  MakeDir(gkmp);
+  namespace serve = gkm::serve;
+  const gkm::Matrix queries = gkm::SliceRows(windows[0], 0, 3);
+  WriteFrameSeed(gkmp + "/search.gkmp",
+                 {serve::MakeSearchRequest(1, 10, queries.Row(0),
+                                           gkmfuzz::kDim)});
+  WriteFrameSeed(gkmp + "/batch_search.gkmp",
+                 {serve::MakeBatchSearchRequest(2, 5, queries)});
+  WriteFrameSeed(gkmp + "/insert.gkmp", {serve::MakeInsertRequest(3, queries)});
+  WriteFrameSeed(gkmp + "/remove.gkmp",
+                 {serve::MakeRemoveRequest(4, {0, 7, 123456})});
+  WriteFrameSeed(gkmp + "/stats.gkmp", {serve::MakeStatsRequest(5)});
+  WriteFrameSeed(gkmp + "/shutdown.gkmp", {serve::MakeShutdownRequest(6)});
+
+  serve::SearchResponse batch_results;
+  batch_results.results.resize(queries.rows());
+  for (std::size_t q = 0; q < batch_results.results.size(); ++q) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      batch_results.results[q].push_back(
+          {static_cast<std::uint32_t>(8 * q + i), 0.25f * (i + 1)});
+    }
+  }
+  serve::SearchResponse single_result;
+  single_result.results.push_back(batch_results.results[0]);
+  WriteFrameSeed(gkmp + "/search_result.gkmp",
+                 {serve::MakeSearchResponse(1, /*batch=*/false,
+                                            single_result)});
+  WriteFrameSeed(gkmp + "/batch_search_result.gkmp",
+                 {serve::MakeSearchResponse(2, /*batch=*/true,
+                                            batch_results)});
+  serve::InsertResponse inserted;
+  inserted.assigned = {10, 11, 12};
+  WriteFrameSeed(gkmp + "/insert_result.gkmp",
+                 {serve::MakeInsertResponse(3, inserted)});
+  serve::RemoveResponse removed;
+  removed.removed = {1, 1, 0};
+  WriteFrameSeed(gkmp + "/remove_result.gkmp",
+                 {serve::MakeRemoveResponse(4, removed)});
+  serve::StatsResponse stats;
+  stats.points_seen = 300;
+  stats.points_alive = 297;
+  stats.windows = 3;
+  stats.searches = 42;
+  stats.inserts = 3;
+  stats.removes = 3;
+  stats.overloaded = 1;
+  stats.dim = gkmfuzz::kDim;
+  stats.shards = 2;
+  stats.bootstrapped = 1;
+  WriteFrameSeed(gkmp + "/stats_result.gkmp",
+                 {serve::MakeStatsResponse(5, stats)});
+  WriteFrameSeed(gkmp + "/shutdown_ack.gkmp", {serve::MakeShutdownAck(6)});
+  WriteFrameSeed(gkmp + "/error.gkmp",
+                 {serve::MakeErrorResponse(7, serve::ErrorCode::kOverloaded,
+                                           "search queue full")});
+  WriteFrameSeed(gkmp + "/pipeline.gkmp",
+                 {serve::MakeStatsRequest(8),
+                  serve::MakeSearchRequest(9, 3, queries.Row(1),
+                                           gkmfuzz::kDim),
+                  serve::MakeRemoveRequest(10, {2}),
+                  serve::MakeShutdownRequest(11)});
 
   std::printf("corpus written under %s\n", out.c_str());
   return 0;

@@ -1,0 +1,170 @@
+// Copyright 2026 The gkmeans Authors.
+// Synchronous GKMP client implementation.
+
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace gkm::serve {
+namespace {
+
+bool SendAll(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<Client> Client::Connect(int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = "connect() failed";
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Status Client::Call(const Frame& req, Frame* resp) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, req);
+  if (!SendAll(fd_, wire.data(), wire.size())) return Status::kTransport;
+
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    // Drain already-buffered frames first (a prior read may have pulled
+    // more than one frame off the wire).
+    Frame frame;
+    FrameParser::Status status;
+    while ((status = parser_.Next(&frame)) == FrameParser::Status::kFrame) {
+      if (frame.request_id != req.request_id) continue;  // stale, skip
+      if (frame.opcode == Opcode::kError) {
+        if (DecodeErrorResponse(frame, &last_error_) != nullptr) {
+          return Status::kTransport;  // malformed error frame
+        }
+        return Status::kRefused;
+      }
+      *resp = frame;
+      return Status::kOk;
+    }
+    if (status == FrameParser::Status::kError) return Status::kTransport;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Status::kTransport;
+    parser_.Feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Client::Status Client::Search(const float* query, std::size_t dim,
+                              std::uint32_t topk,
+                              std::vector<Neighbor>* out) {
+  Frame resp;
+  const Status s =
+      Call(MakeSearchRequest(next_request_id_++, topk, query,
+                             static_cast<std::uint32_t>(dim)),
+           &resp);
+  if (s != Status::kOk) return s;
+  SearchResponse decoded;
+  if (resp.opcode != Opcode::kSearchResult ||
+      DecodeSearchResponse(resp, &decoded) != nullptr ||
+      decoded.results.size() != 1) {
+    return Status::kTransport;
+  }
+  *out = std::move(decoded.results[0]);
+  return Status::kOk;
+}
+
+Client::Status Client::BatchSearch(const Matrix& queries, std::uint32_t topk,
+                                   std::vector<std::vector<Neighbor>>* out) {
+  Frame resp;
+  const Status s =
+      Call(MakeBatchSearchRequest(next_request_id_++, topk, queries), &resp);
+  if (s != Status::kOk) return s;
+  SearchResponse decoded;
+  if (resp.opcode != Opcode::kBatchSearchResult ||
+      DecodeSearchResponse(resp, &decoded) != nullptr ||
+      decoded.results.size() != queries.rows()) {
+    return Status::kTransport;
+  }
+  *out = std::move(decoded.results);
+  return Status::kOk;
+}
+
+Client::Status Client::Insert(const Matrix& rows,
+                              std::vector<std::uint32_t>* assigned) {
+  Frame resp;
+  const Status s = Call(MakeInsertRequest(next_request_id_++, rows), &resp);
+  if (s != Status::kOk) return s;
+  InsertResponse decoded;
+  if (resp.opcode != Opcode::kInsertResult ||
+      DecodeInsertResponse(resp, &decoded) != nullptr ||
+      decoded.assigned.size() != rows.rows()) {
+    return Status::kTransport;
+  }
+  *assigned = std::move(decoded.assigned);
+  return Status::kOk;
+}
+
+Client::Status Client::Remove(const std::vector<std::uint32_t>& ids,
+                              std::vector<std::uint8_t>* removed) {
+  Frame resp;
+  const Status s = Call(MakeRemoveRequest(next_request_id_++, ids), &resp);
+  if (s != Status::kOk) return s;
+  RemoveResponse decoded;
+  if (resp.opcode != Opcode::kRemoveResult ||
+      DecodeRemoveResponse(resp, &decoded) != nullptr ||
+      decoded.removed.size() != ids.size()) {
+    return Status::kTransport;
+  }
+  *removed = std::move(decoded.removed);
+  return Status::kOk;
+}
+
+Client::Status Client::GetStats(StatsResponse* out) {
+  Frame resp;
+  const Status s = Call(MakeStatsRequest(next_request_id_++), &resp);
+  if (s != Status::kOk) return s;
+  if (resp.opcode != Opcode::kStatsResult ||
+      DecodeStatsResponse(resp, out) != nullptr) {
+    return Status::kTransport;
+  }
+  return Status::kOk;
+}
+
+Client::Status Client::RequestShutdown() {
+  Frame resp;
+  const Status s = Call(MakeShutdownRequest(next_request_id_++), &resp);
+  if (s != Status::kOk) return s;
+  return resp.opcode == Opcode::kShutdownAck ? Status::kOk
+                                             : Status::kTransport;
+}
+
+}  // namespace gkm::serve

@@ -1,0 +1,68 @@
+// Copyright 2026 The gkmeans Authors.
+// Synchronous GKMP client: one connection, one outstanding request. The
+// test and bench harnesses drive servers through this — concurrency
+// comes from running many clients, matching how the daemon batches
+// across connections. Every RPC returns a tri-state Status so callers
+// can tell a server-side refusal (OVERLOADED — retry later, the request
+// was never applied) from a dead transport.
+
+#ifndef GKM_SERVE_CLIENT_H_
+#define GKM_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/top_k.h"
+#include "serve/protocol.h"
+
+namespace gkm::serve {
+
+class Client {
+ public:
+  enum class Status {
+    kOk,        ///< expected response received
+    kRefused,   ///< server answered kError — code/message in last_error()
+    kTransport, ///< connection failed mid-RPC; the client is dead
+  };
+
+  /// Connects to a loopback server. nullptr + `*error` on failure.
+  static std::unique_ptr<Client> Connect(int port, std::string* error);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Search(const float* query, std::size_t dim, std::uint32_t topk,
+                std::vector<Neighbor>* out);
+  Status BatchSearch(const Matrix& queries, std::uint32_t topk,
+                     std::vector<std::vector<Neighbor>>* out);
+  /// On kOk, `assigned` holds the global id given to each row (row
+  /// order) — the handle for later Remove calls.
+  Status Insert(const Matrix& rows, std::vector<std::uint32_t>* assigned);
+  Status Remove(const std::vector<std::uint32_t>& ids,
+                std::vector<std::uint8_t>* removed);
+  Status GetStats(StatsResponse* out);
+  /// Requests graceful shutdown; kOk once the server acks.
+  Status RequestShutdown();
+
+  /// Details of the last kRefused response.
+  const ErrorResponse& last_error() const { return last_error_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends `req` and blocks for the frame answering req.request_id.
+  Status Call(const Frame& req, Frame* resp);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  FrameParser parser_;
+  ErrorResponse last_error_;
+};
+
+}  // namespace gkm::serve
+
+#endif  // GKM_SERVE_CLIENT_H_

@@ -1,0 +1,518 @@
+// Copyright 2026 The gkmeans Authors.
+// GKMP codec implementation. See protocol.h for the wire grammar and the
+// untrusted-input contract; docs/serving.md for the human-readable spec.
+
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gkm::serve {
+namespace {
+
+// Caps on decoded shape fields, enforced before any allocation. The
+// payload byte budget (kMaxPayloadBytes) already bounds total memory; the
+// topk cap additionally bounds what a search request can make the server
+// allocate per result list.
+constexpr std::uint32_t kMaxTopK = 1u << 16;
+
+// --- little-endian scalar append/read over byte buffers --------------------
+// The host types are memcpy'd, matching io::Write/ReadRaw: the library's
+// wire formats are host-endian (little-endian on every supported target).
+
+template <typename T>
+void Append(std::vector<std::uint8_t>& out, T v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+void AppendBytes(std::vector<std::uint8_t>& out, const void* p,
+                 std::size_t n) {
+  const std::size_t at = out.size();
+  out.resize(at + n);
+  if (n > 0) std::memcpy(out.data() + at, p, n);
+}
+
+/// Cursor over a frame payload: every read is bounds-checked against the
+/// bytes actually present, and failure latches — the payload analogue of
+/// io::Reader.
+class PayloadReader {
+ public:
+  PayloadReader(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return n_ - off_; }
+
+  template <typename T>
+  bool Read(T* out) {
+    if (!ok_ || n_ - off_ < sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, p_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* dst, std::size_t len) {
+    if (!ok_ || n_ - off_ < len) {
+      ok_ = false;
+      return false;
+    }
+    if (len > 0) std::memcpy(dst, p_ + off_, len);
+    off_ += len;
+    return true;
+  }
+
+  /// Reads `rows x dim` floats into a Matrix (rows padded by Matrix).
+  bool ReadRows(Matrix* out, std::uint32_t rows, std::uint32_t dim) {
+    // Compare element counts, not byte counts: rows*dim*4 can wrap even
+    // in 64 bits when both fields are hostile (2^31 x 2^31).
+    const std::uint64_t elems = static_cast<std::uint64_t>(rows) * dim;
+    if (!ok_ || elems > remaining() / sizeof(float)) {
+      ok_ = false;
+      return false;
+    }
+    out->Reset(rows, dim);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      ReadBytes(out->Row(r), dim * sizeof(float));
+    }
+    return ok_;
+  }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+const char* ValidateHeader(std::uint32_t magic, std::uint8_t version,
+                           std::uint8_t opcode, std::uint32_t payload_len) {
+  if (magic != kProtocolMagic) return "bad frame magic";
+  if (version != kProtocolVersion) return "unsupported protocol version";
+  if (!IsKnownOpcode(opcode)) return "unknown opcode";
+  if (payload_len > kMaxPayloadBytes) return "payload length exceeds limit";
+  return nullptr;
+}
+
+/// Shared search/batch-search payload body after the topk field.
+const char* DecodeQueries(PayloadReader& in, std::uint32_t count,
+                          SearchRequest* out) {
+  std::uint32_t dim = 0;
+  if (!in.Read(&dim)) return "truncated search payload";
+  if (count == 0) return "empty query batch";
+  if (dim == 0) return "zero query dimension";
+  if (!in.ReadRows(&out->queries, count, dim)) {
+    return "search payload shorter than its query shape";
+  }
+  if (in.remaining() != 0) return "trailing bytes after search payload";
+  return nullptr;
+}
+
+void AppendNeighborList(std::vector<std::uint8_t>& out,
+                        const std::vector<Neighbor>& list) {
+  Append<std::uint32_t>(out, static_cast<std::uint32_t>(list.size()));
+  for (const Neighbor& nb : list) {
+    Append<std::uint32_t>(out, nb.id);
+    Append<float>(out, nb.dist);
+  }
+}
+
+}  // namespace
+
+bool IsKnownOpcode(std::uint8_t op) {
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::kSearch:
+    case Opcode::kBatchSearch:
+    case Opcode::kInsert:
+    case Opcode::kRemove:
+    case Opcode::kStats:
+    case Opcode::kShutdown:
+    case Opcode::kSearchResult:
+    case Opcode::kBatchSearchResult:
+    case Opcode::kInsertResult:
+    case Opcode::kRemoveResult:
+    case Opcode::kStatsResult:
+    case Opcode::kShutdownAck:
+    case Opcode::kError:
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Frame level.
+// ---------------------------------------------------------------------------
+
+void AppendFrame(std::vector<std::uint8_t>& out, const Frame& f) {
+  GKM_CHECK_MSG(f.payload.size() <= kMaxPayloadBytes,
+                "frame payload exceeds protocol limit");
+  Append<std::uint32_t>(out, kProtocolMagic);
+  Append<std::uint8_t>(out, f.version);
+  Append<std::uint8_t>(out, static_cast<std::uint8_t>(f.opcode));
+  Append<std::uint64_t>(out, f.request_id);
+  Append<std::uint32_t>(out, static_cast<std::uint32_t>(f.payload.size()));
+  AppendBytes(out, f.payload.data(), f.payload.size());
+}
+
+void FrameParser::Feed(const std::uint8_t* data, std::size_t n) {
+  if (error_ != nullptr || n == 0) return;
+  // Compact once the consumed prefix dominates, so the buffer stays
+  // bounded by one frame plus one read's worth of bytes.
+  if (head_ > 0 && head_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameParser::Status FrameParser::Next(Frame* out) {
+  if (error_ != nullptr) return Status::kError;
+  if (buffered() < kFrameHeaderBytes) return Status::kNeedMore;
+
+  const std::uint8_t* h = buf_.data() + head_;
+  std::uint32_t magic = 0, payload_len = 0;
+  std::uint64_t request_id = 0;
+  std::memcpy(&magic, h, 4);
+  const std::uint8_t version = h[4];
+  const std::uint8_t opcode = h[5];
+  std::memcpy(&request_id, h + 6, 8);
+  std::memcpy(&payload_len, h + 14, 4);
+
+  // Header validation runs before waiting for the payload: a size-lying
+  // header fails now instead of making the peer stream 4 GiB first.
+  if (const char* why = ValidateHeader(magic, version, opcode, payload_len)) {
+    return Fail(why);
+  }
+  if (buffered() < kFrameHeaderBytes + payload_len) return Status::kNeedMore;
+
+  out->version = version;
+  out->opcode = static_cast<Opcode>(opcode);
+  out->request_id = request_id;
+  out->payload.assign(h + kFrameHeaderBytes,
+                      h + kFrameHeaderBytes + payload_len);
+  head_ += kFrameHeaderBytes + payload_len;
+  return Status::kFrame;
+}
+
+bool TryReadFrame(io::Reader& in, Frame* out, const char** error) {
+  const char* scratch = nullptr;
+  const char** err = error != nullptr ? error : &scratch;
+  *err = nullptr;
+  if (!in.ok()) {
+    *err = "stream already failed";
+    return false;
+  }
+  if (in.remaining() == 0) return false;  // clean EOF, *err stays nullptr
+
+  std::uint32_t magic = 0, payload_len = 0;
+  std::uint64_t request_id = 0;
+  std::uint8_t version = 0, opcode = 0;
+  if (!in.Read(&magic) || !in.Read(&version) || !in.Read(&opcode) ||
+      !in.Read(&request_id) || !in.Read(&payload_len)) {
+    *err = "truncated frame header";
+    return false;
+  }
+  if (const char* why = ValidateHeader(magic, version, opcode, payload_len)) {
+    *err = why;
+    return false;
+  }
+  out->version = version;
+  out->opcode = static_cast<Opcode>(opcode);
+  out->request_id = request_id;
+  if (!in.ReadVector(out->payload, payload_len)) {
+    *err = "frame payload shorter than its header's length";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Request encoders/decoders.
+// ---------------------------------------------------------------------------
+
+Frame MakeSearchRequest(std::uint64_t request_id, std::uint32_t topk,
+                        const float* query, std::uint32_t dim) {
+  Frame f;
+  f.opcode = Opcode::kSearch;
+  f.request_id = request_id;
+  Append<std::uint32_t>(f.payload, topk);
+  Append<std::uint32_t>(f.payload, dim);
+  AppendBytes(f.payload, query, static_cast<std::size_t>(dim) * sizeof(float));
+  return f;
+}
+
+Frame MakeBatchSearchRequest(std::uint64_t request_id, std::uint32_t topk,
+                             const Matrix& queries) {
+  Frame f;
+  f.opcode = Opcode::kBatchSearch;
+  f.request_id = request_id;
+  Append<std::uint32_t>(f.payload, topk);
+  Append<std::uint32_t>(f.payload, static_cast<std::uint32_t>(queries.rows()));
+  Append<std::uint32_t>(f.payload, static_cast<std::uint32_t>(queries.cols()));
+  for (std::size_t r = 0; r < queries.rows(); ++r) {
+    AppendBytes(f.payload, queries.Row(r), queries.cols() * sizeof(float));
+  }
+  return f;
+}
+
+const char* DecodeSearchRequest(const Frame& f, SearchRequest* out) {
+  if (f.opcode != Opcode::kSearch && f.opcode != Opcode::kBatchSearch) {
+    return "frame is not a search request";
+  }
+  PayloadReader in(f.payload.data(), f.payload.size());
+  if (!in.Read(&out->topk)) return "truncated search payload";
+  if (out->topk == 0 || out->topk > kMaxTopK) return "topk out of range";
+  std::uint32_t count = 1;
+  if (f.opcode == Opcode::kBatchSearch && !in.Read(&count)) {
+    return "truncated search payload";
+  }
+  return DecodeQueries(in, count, out);
+}
+
+Frame MakeInsertRequest(std::uint64_t request_id, const Matrix& rows) {
+  Frame f;
+  f.opcode = Opcode::kInsert;
+  f.request_id = request_id;
+  Append<std::uint32_t>(f.payload, static_cast<std::uint32_t>(rows.rows()));
+  Append<std::uint32_t>(f.payload, static_cast<std::uint32_t>(rows.cols()));
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    AppendBytes(f.payload, rows.Row(r), rows.cols() * sizeof(float));
+  }
+  return f;
+}
+
+const char* DecodeInsertRequest(const Frame& f, InsertRequest* out) {
+  if (f.opcode != Opcode::kInsert) return "frame is not an insert request";
+  PayloadReader in(f.payload.data(), f.payload.size());
+  std::uint32_t count = 0, dim = 0;
+  if (!in.Read(&count) || !in.Read(&dim)) return "truncated insert payload";
+  if (count == 0) return "empty insert window";
+  if (dim == 0) return "zero insert dimension";
+  if (!in.ReadRows(&out->rows, count, dim)) {
+    return "insert payload shorter than its row shape";
+  }
+  if (in.remaining() != 0) return "trailing bytes after insert payload";
+  return nullptr;
+}
+
+Frame MakeRemoveRequest(std::uint64_t request_id,
+                        const std::vector<std::uint32_t>& ids) {
+  Frame f;
+  f.opcode = Opcode::kRemove;
+  f.request_id = request_id;
+  Append<std::uint32_t>(f.payload, static_cast<std::uint32_t>(ids.size()));
+  AppendBytes(f.payload, ids.data(), ids.size() * sizeof(std::uint32_t));
+  return f;
+}
+
+const char* DecodeRemoveRequest(const Frame& f, RemoveRequest* out) {
+  if (f.opcode != Opcode::kRemove) return "frame is not a remove request";
+  PayloadReader in(f.payload.data(), f.payload.size());
+  std::uint32_t count = 0;
+  if (!in.Read(&count)) return "truncated remove payload";
+  if (count == 0) return "empty remove request";
+  if (in.remaining() != static_cast<std::size_t>(count) * sizeof(std::uint32_t)) {
+    return "remove payload does not match its id count";
+  }
+  out->ids.resize(count);
+  in.ReadBytes(out->ids.data(), count * sizeof(std::uint32_t));
+  return in.ok() ? nullptr : "truncated remove payload";
+}
+
+Frame MakeStatsRequest(std::uint64_t request_id) {
+  Frame f;
+  f.opcode = Opcode::kStats;
+  f.request_id = request_id;
+  return f;
+}
+
+Frame MakeShutdownRequest(std::uint64_t request_id) {
+  Frame f;
+  f.opcode = Opcode::kShutdown;
+  f.request_id = request_id;
+  return f;
+}
+
+const char* DecodeEmptyPayload(const Frame& f) {
+  return f.payload.empty() ? nullptr : "unexpected payload bytes";
+}
+
+// ---------------------------------------------------------------------------
+// Response encoders/decoders.
+// ---------------------------------------------------------------------------
+
+Frame MakeSearchResponse(std::uint64_t request_id, bool batch,
+                         const SearchResponse& resp) {
+  Frame f;
+  f.opcode = batch ? Opcode::kBatchSearchResult : Opcode::kSearchResult;
+  f.request_id = request_id;
+  Append<std::uint32_t>(f.payload,
+                        static_cast<std::uint32_t>(resp.results.size()));
+  for (const std::vector<Neighbor>& list : resp.results) {
+    AppendNeighborList(f.payload, list);
+  }
+  return f;
+}
+
+const char* DecodeSearchResponse(const Frame& f, SearchResponse* out) {
+  if (f.opcode != Opcode::kSearchResult &&
+      f.opcode != Opcode::kBatchSearchResult) {
+    return "frame is not a search response";
+  }
+  PayloadReader in(f.payload.data(), f.payload.size());
+  std::uint32_t count = 0;
+  if (!in.Read(&count)) return "truncated search response";
+  // Each query contributes at least its u32 list length — the
+  // pre-allocation guard for the outer vector.
+  if (count > in.remaining() / sizeof(std::uint32_t)) {
+    return "search response count exceeds payload";
+  }
+  out->results.assign(count, {});
+  for (std::uint32_t q = 0; q < count; ++q) {
+    std::uint32_t k = 0;
+    if (!in.Read(&k)) return "truncated search response";
+    if (k > in.remaining() / (sizeof(std::uint32_t) + sizeof(float))) {
+      return "neighbor count exceeds payload";
+    }
+    std::vector<Neighbor>& list = out->results[q];
+    list.resize(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (!in.Read(&list[i].id) || !in.Read(&list[i].dist)) {
+        return "truncated neighbor list";
+      }
+    }
+  }
+  if (in.remaining() != 0) return "trailing bytes after search response";
+  return nullptr;
+}
+
+Frame MakeInsertResponse(std::uint64_t request_id,
+                         const InsertResponse& resp) {
+  Frame f;
+  f.opcode = Opcode::kInsertResult;
+  f.request_id = request_id;
+  Append<std::uint32_t>(f.payload,
+                        static_cast<std::uint32_t>(resp.assigned.size()));
+  AppendBytes(f.payload, resp.assigned.data(),
+              resp.assigned.size() * sizeof(std::uint32_t));
+  return f;
+}
+
+const char* DecodeInsertResponse(const Frame& f, InsertResponse* out) {
+  if (f.opcode != Opcode::kInsertResult) {
+    return "frame is not an insert response";
+  }
+  PayloadReader in(f.payload.data(), f.payload.size());
+  std::uint32_t count = 0;
+  if (!in.Read(&count)) return "truncated insert response";
+  if (in.remaining() != static_cast<std::size_t>(count) * sizeof(std::uint32_t)) {
+    return "insert response does not match its id count";
+  }
+  out->assigned.resize(count);
+  in.ReadBytes(out->assigned.data(), count * sizeof(std::uint32_t));
+  return in.ok() ? nullptr : "truncated insert response";
+}
+
+Frame MakeRemoveResponse(std::uint64_t request_id,
+                         const RemoveResponse& resp) {
+  Frame f;
+  f.opcode = Opcode::kRemoveResult;
+  f.request_id = request_id;
+  Append<std::uint32_t>(f.payload,
+                        static_cast<std::uint32_t>(resp.removed.size()));
+  AppendBytes(f.payload, resp.removed.data(), resp.removed.size());
+  return f;
+}
+
+const char* DecodeRemoveResponse(const Frame& f, RemoveResponse* out) {
+  if (f.opcode != Opcode::kRemoveResult) {
+    return "frame is not a remove response";
+  }
+  PayloadReader in(f.payload.data(), f.payload.size());
+  std::uint32_t count = 0;
+  if (!in.Read(&count)) return "truncated remove response";
+  if (in.remaining() != count) {
+    return "remove response does not match its flag count";
+  }
+  out->removed.resize(count);
+  in.ReadBytes(out->removed.data(), count);
+  return in.ok() ? nullptr : "truncated remove response";
+}
+
+Frame MakeStatsResponse(std::uint64_t request_id, const StatsResponse& resp) {
+  Frame f;
+  f.opcode = Opcode::kStatsResult;
+  f.request_id = request_id;
+  Append<std::uint64_t>(f.payload, resp.points_seen);
+  Append<std::uint64_t>(f.payload, resp.points_alive);
+  Append<std::uint64_t>(f.payload, resp.windows);
+  Append<std::uint64_t>(f.payload, resp.searches);
+  Append<std::uint64_t>(f.payload, resp.inserts);
+  Append<std::uint64_t>(f.payload, resp.removes);
+  Append<std::uint64_t>(f.payload, resp.overloaded);
+  Append<std::uint32_t>(f.payload, resp.dim);
+  Append<std::uint32_t>(f.payload, resp.shards);
+  Append<std::uint32_t>(f.payload, resp.search_queue_depth);
+  Append<std::uint32_t>(f.payload, resp.ingest_queue_depth);
+  Append<std::uint8_t>(f.payload, resp.bootstrapped);
+  return f;
+}
+
+const char* DecodeStatsResponse(const Frame& f, StatsResponse* out) {
+  if (f.opcode != Opcode::kStatsResult) {
+    return "frame is not a stats response";
+  }
+  PayloadReader in(f.payload.data(), f.payload.size());
+  const bool ok = in.Read(&out->points_seen) && in.Read(&out->points_alive) &&
+                  in.Read(&out->windows) && in.Read(&out->searches) &&
+                  in.Read(&out->inserts) && in.Read(&out->removes) &&
+                  in.Read(&out->overloaded) && in.Read(&out->dim) &&
+                  in.Read(&out->shards) && in.Read(&out->search_queue_depth) &&
+                  in.Read(&out->ingest_queue_depth) &&
+                  in.Read(&out->bootstrapped);
+  if (!ok) return "truncated stats response";
+  if (in.remaining() != 0) return "trailing bytes after stats response";
+  return nullptr;
+}
+
+Frame MakeShutdownAck(std::uint64_t request_id) {
+  Frame f;
+  f.opcode = Opcode::kShutdownAck;
+  f.request_id = request_id;
+  return f;
+}
+
+Frame MakeErrorResponse(std::uint64_t request_id, ErrorCode code,
+                        const std::string& message) {
+  Frame f;
+  f.opcode = Opcode::kError;
+  f.request_id = request_id;
+  const std::uint16_t len = static_cast<std::uint16_t>(
+      message.size() < 0xffff ? message.size() : 0xffff);
+  const std::uint16_t wire_code = static_cast<std::uint16_t>(code);
+  f.payload.resize(4 + static_cast<std::size_t>(len));
+  std::memcpy(f.payload.data(), &wire_code, 2);
+  std::memcpy(f.payload.data() + 2, &len, 2);
+  if (len > 0) std::memcpy(f.payload.data() + 4, message.data(), len);
+  return f;
+}
+
+const char* DecodeErrorResponse(const Frame& f, ErrorResponse* out) {
+  if (f.opcode != Opcode::kError) return "frame is not an error response";
+  PayloadReader in(f.payload.data(), f.payload.size());
+  std::uint16_t code = 0, len = 0;
+  if (!in.Read(&code) || !in.Read(&len)) return "truncated error response";
+  if (in.remaining() != len) {
+    return "error response does not match its message length";
+  }
+  out->code = static_cast<ErrorCode>(code);
+  out->message.resize(len);
+  in.ReadBytes(out->message.data(), len);
+  return in.ok() ? nullptr : "truncated error response";
+}
+
+}  // namespace gkm::serve

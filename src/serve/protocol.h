@@ -1,0 +1,231 @@
+// Copyright 2026 The gkmeans Authors.
+// GKMP — the serving daemon's length-prefixed binary protocol. One framed
+// request/response codec, built as a pure in-process component: encoding
+// appends to byte vectors, decoding runs either incrementally over fed
+// bytes (FrameParser — the socket loop's shape) or off an io::Reader
+// (FILE* / fmemopen buffers — the test and fuzz shape). Nothing in this
+// header touches a socket, so every protocol rule is unit-testable and
+// fuzzable without I/O.
+//
+// Wire format (little-endian, fixed 18-byte header per frame):
+//
+//   u32  magic       "GKMP" (0x504d4b47)
+//   u8   version     kProtocolVersion
+//   u8   opcode      Opcode below
+//   u64  request_id  echoed verbatim in the response frame
+//   u32  payload_len bytes following the header (<= kMaxPayloadBytes)
+//   ...  payload     opcode-specific grammar (docs/serving.md)
+//
+// Untrusted-input contract (the PR-7 bounded-read rules): every field
+// read from the wire is validated before it sizes an allocation — a
+// size-lying header, truncated frame, unknown opcode or foreign version
+// is a clean, latched error, never an OOM, overflow or crash.
+// fuzz/fuzz_serve_frame.cc holds the decoder to that contract.
+
+#ifndef GKM_SERVE_PROTOCOL_H_
+#define GKM_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/matrix.h"
+#include "common/top_k.h"
+
+namespace gkm::serve {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x504d4b47u;  // "GKMP"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Hard cap on a frame's payload. Bounds the decoder's allocation for any
+/// header it ever trusts; a batch of 4096 queries at d=1024 still fits.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 24;  // 16 MiB
+inline constexpr std::size_t kFrameHeaderBytes = 18;
+
+/// Request opcodes occupy [1, 0x7f]; responses mirror them with the high
+/// bit set; kError answers any request.
+enum class Opcode : std::uint8_t {
+  kSearch = 1,       ///< one query vector -> top-k neighbors
+  kBatchSearch = 2,  ///< query matrix -> top-k per row
+  kInsert = 3,       ///< one ingest window (rows appended to the stream)
+  kRemove = 4,       ///< explicit removals by global point id
+  kStats = 5,        ///< server/model statistics snapshot
+  kShutdown = 6,     ///< request graceful shutdown
+
+  kSearchResult = 0x81,
+  kBatchSearchResult = 0x82,
+  kInsertResult = 0x83,
+  kRemoveResult = 0x84,
+  kStatsResult = 0x85,
+  kShutdownAck = 0x86,
+  kError = 0xff,
+};
+
+/// True for the opcodes a well-formed peer may put on the wire.
+bool IsKnownOpcode(std::uint8_t op);
+
+/// Error codes carried by kError payloads.
+enum class ErrorCode : std::uint16_t {
+  kBadRequest = 1,   ///< malformed payload (connection stays usable)
+  kOverloaded = 2,   ///< admission control rejected the request; retry later
+  kShuttingDown = 3, ///< server is draining; no new work accepted
+  kInternal = 4,     ///< server-side failure applying a well-formed request
+};
+
+/// One decoded frame. `payload` is owned, bounded by kMaxPayloadBytes.
+struct Frame {
+  std::uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kError;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---------------------------------------------------------------------------
+// Frame-level encode/decode.
+// ---------------------------------------------------------------------------
+
+/// Appends the wire encoding of `f` to `out`. Aborts (GKM_CHECK) if the
+/// payload exceeds kMaxPayloadBytes — encoders below never produce one.
+void AppendFrame(std::vector<std::uint8_t>& out, const Frame& f);
+
+/// Incremental frame decoder: feed bytes as they arrive, pull frames out.
+/// A protocol violation (bad magic, foreign version, unknown opcode,
+/// size-lying header) latches the parser into an error state — framing is
+/// lost for good, so the connection must be dropped; truncation is simply
+/// kNeedMore until the rest arrives.
+class FrameParser {
+ public:
+  enum class Status { kFrame, kNeedMore, kError };
+
+  /// Appends `n` raw bytes to the internal buffer. No-op once errored.
+  void Feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extracts the next complete frame into `*out`. kFrame: one frame
+  /// decoded (call again — several may be buffered). kNeedMore: the buffer
+  /// holds only a frame prefix. kError: protocol violation; error() says
+  /// what, and every later call returns kError.
+  Status Next(Frame* out);
+
+  /// Static description of the violation after kError, nullptr otherwise.
+  const char* error() const { return error_; }
+
+  /// Bytes currently buffered (tests; bounded by one max frame + one read).
+  std::size_t buffered() const { return buf_.size() - head_; }
+
+ private:
+  Status Fail(const char* why) {
+    error_ = why;
+    return Status::kError;
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;  // consumed prefix of buf_
+  const char* error_ = nullptr;
+};
+
+/// Reads one frame from a seekable stream through io::Reader's bounded
+/// primitives. Returns false on any malformed or truncated input with a
+/// static description in `*error` (when non-null). At end-of-stream
+/// (zero bytes remaining) returns false with `*error == nullptr` — the
+/// clean-EOF signal file-replay loops key on.
+bool TryReadFrame(io::Reader& in, Frame* out, const char** error);
+
+// ---------------------------------------------------------------------------
+// Typed payloads. Every Decode* validates the payload completely — shape
+// fields cross-checked against the actual byte count before any
+// allocation, trailing bytes rejected — and returns nullptr on success or
+// a static description of the first violation (the repo's validator
+// idiom). Encode* helpers build whole frames.
+// ---------------------------------------------------------------------------
+
+/// kSearch / kBatchSearch. kSearch is the count==1 special case on the
+/// wire (no count field); both decode into this struct.
+struct SearchRequest {
+  std::uint32_t topk = 0;
+  Matrix queries;  ///< one row per query
+};
+
+/// kInsert: one ingest window.
+struct InsertRequest {
+  Matrix rows;
+};
+
+/// kRemove: explicit removals by global id.
+struct RemoveRequest {
+  std::vector<std::uint32_t> ids;
+};
+
+/// kSearchResult / kBatchSearchResult.
+struct SearchResponse {
+  std::vector<std::vector<Neighbor>> results;  ///< one list per query
+};
+
+/// kInsertResult: global ids assigned to the window's rows, in row order.
+struct InsertResponse {
+  std::vector<std::uint32_t> assigned;
+};
+
+/// kRemoveResult: per requested id, 1 if it was alive and is now
+/// tombstoned, 0 if it named no live point (idempotent removes).
+struct RemoveResponse {
+  std::vector<std::uint8_t> removed;
+};
+
+/// kStatsResult.
+struct StatsResponse {
+  std::uint64_t points_seen = 0;   ///< arena slot bound (global ids)
+  std::uint64_t points_alive = 0;  ///< live points
+  std::uint64_t windows = 0;       ///< ingest windows applied
+  std::uint64_t searches = 0;      ///< queries served since boot
+  std::uint64_t inserts = 0;       ///< windows accepted since boot
+  std::uint64_t removes = 0;       ///< removal ids accepted since boot
+  std::uint64_t overloaded = 0;    ///< requests refused by admission control
+  std::uint32_t dim = 0;
+  std::uint32_t shards = 0;
+  std::uint32_t search_queue_depth = 0;
+  std::uint32_t ingest_queue_depth = 0;
+  std::uint8_t bootstrapped = 0;
+};
+
+/// kError.
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;  ///< <= 64 KiB on the wire (u16 length)
+};
+
+Frame MakeSearchRequest(std::uint64_t request_id, std::uint32_t topk,
+                        const float* query, std::uint32_t dim);
+Frame MakeBatchSearchRequest(std::uint64_t request_id, std::uint32_t topk,
+                             const Matrix& queries);
+Frame MakeInsertRequest(std::uint64_t request_id, const Matrix& rows);
+Frame MakeRemoveRequest(std::uint64_t request_id,
+                        const std::vector<std::uint32_t>& ids);
+Frame MakeStatsRequest(std::uint64_t request_id);
+Frame MakeShutdownRequest(std::uint64_t request_id);
+
+Frame MakeSearchResponse(std::uint64_t request_id, bool batch,
+                         const SearchResponse& resp);
+Frame MakeInsertResponse(std::uint64_t request_id,
+                         const InsertResponse& resp);
+Frame MakeRemoveResponse(std::uint64_t request_id,
+                         const RemoveResponse& resp);
+Frame MakeStatsResponse(std::uint64_t request_id, const StatsResponse& resp);
+Frame MakeShutdownAck(std::uint64_t request_id);
+Frame MakeErrorResponse(std::uint64_t request_id, ErrorCode code,
+                        const std::string& message);
+
+const char* DecodeSearchRequest(const Frame& f, SearchRequest* out);
+const char* DecodeInsertRequest(const Frame& f, InsertRequest* out);
+const char* DecodeRemoveRequest(const Frame& f, RemoveRequest* out);
+/// kStats / kShutdown / kShutdownAck carry no payload; this enforces that.
+const char* DecodeEmptyPayload(const Frame& f);
+const char* DecodeSearchResponse(const Frame& f, SearchResponse* out);
+const char* DecodeInsertResponse(const Frame& f, InsertResponse* out);
+const char* DecodeRemoveResponse(const Frame& f, RemoveResponse* out);
+const char* DecodeStatsResponse(const Frame& f, StatsResponse* out);
+const char* DecodeErrorResponse(const Frame& f, ErrorResponse* out);
+
+}  // namespace gkm::serve
+
+#endif  // GKM_SERVE_PROTOCOL_H_

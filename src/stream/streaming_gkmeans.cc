@@ -177,6 +177,11 @@ StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
 }
 
 void StreamingGkMeans::ObserveWindow(const Matrix& window) {
+  ObserveWindow(window, nullptr);
+}
+
+void StreamingGkMeans::ObserveWindow(const Matrix& window,
+                                     std::vector<std::uint32_t>* assigned) {
   GKM_CHECK_MSG(window.cols() == dim(), "window dimension mismatch");
   GKM_TRACE_SPAN("stream.window");
   WindowStats ws;
@@ -260,6 +265,7 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window) {
     history_.pop_front();
   }
   history_.push_back(ws);
+  if (assigned != nullptr) *assigned = std::move(fresh);
 }
 
 void StreamingGkMeans::Bootstrap() {

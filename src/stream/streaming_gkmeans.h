@@ -148,6 +148,13 @@ class StreamingGkMeans {
   /// graph().SearchKnn concurrently with this.
   void ObserveWindow(const Matrix& window);
 
+  /// As above, additionally reporting the global id assigned to each row
+  /// (row order). Removals make ids non-contiguous — reclaimed slots are
+  /// reused lowest-first — so ingest front-ends (the serving daemon's
+  /// insert opcode) need the explicit mapping to answer clients.
+  void ObserveWindow(const Matrix& window,
+                     std::vector<std::uint32_t>* assigned);
+
   /// Explicitly retires point `id` (which must be alive): its graph node
   /// is tombstoned (concurrent searches skip it without blocking), its
   /// neighborhood repaired, and — when bootstrapped — its cluster's

@@ -1,0 +1,519 @@
+// Copyright 2026 The gkmeans Authors.
+// GKMP codec contract tests: every frame type round-trips through both
+// decode paths (incremental FrameParser and io::Reader/fmemopen), and
+// malformed input — truncated frames, size-lying headers, unknown
+// opcodes, foreign versions, shape fields that disagree with the byte
+// count — is rejected with a clean static error, never an abort, OOM or
+// over-allocation (the PR-7 bounded-read rules applied to the wire).
+// fuzz/fuzz_serve_frame.cc drives the same decoders with random bytes.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/matrix.h"
+#include "gtest/gtest.h"
+#include "serve/protocol.h"
+
+namespace gkm::serve {
+namespace {
+
+Matrix MakeRows(std::size_t rows, std::size_t dim, float base) {
+  Matrix m;
+  m.Reset(rows, dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      m.Row(r)[c] = base + static_cast<float>(r * dim + c) * 0.25f;
+    }
+  }
+  return m;
+}
+
+/// Encodes `f`, feeds the bytes to a FrameParser, returns the re-decoded
+/// frame; fails the test unless exactly one clean frame comes out.
+Frame RoundTrip(const Frame& f) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, f);
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kFrame);
+  EXPECT_EQ(parser.error(), nullptr);
+  Frame extra;
+  EXPECT_EQ(parser.Next(&extra), FrameParser::Status::kNeedMore);
+  EXPECT_EQ(out.version, f.version);
+  EXPECT_EQ(out.opcode, f.opcode);
+  EXPECT_EQ(out.request_id, f.request_id);
+  EXPECT_EQ(out.payload, f.payload);
+  return out;
+}
+
+TEST(ServeProtocol, SearchRequestRoundTrip) {
+  const Matrix q = MakeRows(1, 7, 1.0f);
+  const Frame f = RoundTrip(MakeSearchRequest(42, 5, q.Row(0), 7));
+  SearchRequest req;
+  ASSERT_EQ(DecodeSearchRequest(f, &req), nullptr);
+  EXPECT_EQ(req.topk, 5u);
+  ASSERT_EQ(req.queries.rows(), 1u);
+  ASSERT_EQ(req.queries.cols(), 7u);
+  EXPECT_EQ(std::memcmp(req.queries.Row(0), q.Row(0), 7 * sizeof(float)), 0);
+}
+
+TEST(ServeProtocol, BatchSearchRequestRoundTrip) {
+  const Matrix q = MakeRows(3, 4, -2.0f);
+  const Frame f = RoundTrip(MakeBatchSearchRequest(7, 10, q));
+  SearchRequest req;
+  ASSERT_EQ(DecodeSearchRequest(f, &req), nullptr);
+  EXPECT_EQ(req.topk, 10u);
+  ASSERT_EQ(req.queries.rows(), 3u);
+  ASSERT_EQ(req.queries.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(std::memcmp(req.queries.Row(r), q.Row(r), 4 * sizeof(float)), 0);
+  }
+}
+
+TEST(ServeProtocol, InsertRequestRoundTrip) {
+  const Matrix rows = MakeRows(5, 3, 0.5f);
+  const Frame f = RoundTrip(MakeInsertRequest(9, rows));
+  InsertRequest req;
+  ASSERT_EQ(DecodeInsertRequest(f, &req), nullptr);
+  ASSERT_EQ(req.rows.rows(), 5u);
+  ASSERT_EQ(req.rows.cols(), 3u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(std::memcmp(req.rows.Row(r), rows.Row(r), 3 * sizeof(float)), 0);
+  }
+}
+
+TEST(ServeProtocol, RemoveRequestRoundTrip) {
+  const std::vector<std::uint32_t> ids = {3, 1, 4, 1, 5};
+  const Frame f = RoundTrip(MakeRemoveRequest(11, ids));
+  RemoveRequest req;
+  ASSERT_EQ(DecodeRemoveRequest(f, &req), nullptr);
+  EXPECT_EQ(req.ids, ids);
+}
+
+TEST(ServeProtocol, EmptyPayloadFramesRoundTrip) {
+  EXPECT_EQ(DecodeEmptyPayload(RoundTrip(MakeStatsRequest(1))), nullptr);
+  EXPECT_EQ(DecodeEmptyPayload(RoundTrip(MakeShutdownRequest(2))), nullptr);
+  EXPECT_EQ(DecodeEmptyPayload(RoundTrip(MakeShutdownAck(3))), nullptr);
+}
+
+TEST(ServeProtocol, SearchResponseRoundTrip) {
+  SearchResponse resp;
+  resp.results = {{{7, 0.5f}, {2, 1.5f}}, {}, {{0, 0.0f}}};
+  for (const bool batch : {false, true}) {
+    const Frame f = RoundTrip(MakeSearchResponse(21, batch, resp));
+    EXPECT_EQ(f.opcode,
+              batch ? Opcode::kBatchSearchResult : Opcode::kSearchResult);
+    SearchResponse out;
+    ASSERT_EQ(DecodeSearchResponse(f, &out), nullptr);
+    EXPECT_EQ(out.results, resp.results);
+  }
+}
+
+TEST(ServeProtocol, InsertResponseRoundTrip) {
+  InsertResponse resp;
+  resp.assigned = {10, 11, 12};
+  InsertResponse out;
+  ASSERT_EQ(DecodeInsertResponse(RoundTrip(MakeInsertResponse(5, resp)), &out),
+            nullptr);
+  EXPECT_EQ(out.assigned, resp.assigned);
+}
+
+TEST(ServeProtocol, RemoveResponseRoundTrip) {
+  RemoveResponse resp;
+  resp.removed = {1, 0, 1};
+  RemoveResponse out;
+  ASSERT_EQ(DecodeRemoveResponse(RoundTrip(MakeRemoveResponse(6, resp)), &out),
+            nullptr);
+  EXPECT_EQ(out.removed, resp.removed);
+}
+
+TEST(ServeProtocol, StatsResponseRoundTrip) {
+  StatsResponse resp;
+  resp.points_seen = 1000;
+  resp.points_alive = 900;
+  resp.windows = 10;
+  resp.searches = 12345;
+  resp.inserts = 11;
+  resp.removes = 100;
+  resp.overloaded = 3;
+  resp.dim = 32;
+  resp.shards = 4;
+  resp.search_queue_depth = 7;
+  resp.ingest_queue_depth = 2;
+  resp.bootstrapped = 1;
+  StatsResponse out;
+  ASSERT_EQ(DecodeStatsResponse(RoundTrip(MakeStatsResponse(8, resp)), &out),
+            nullptr);
+  EXPECT_EQ(out.points_seen, resp.points_seen);
+  EXPECT_EQ(out.points_alive, resp.points_alive);
+  EXPECT_EQ(out.windows, resp.windows);
+  EXPECT_EQ(out.searches, resp.searches);
+  EXPECT_EQ(out.inserts, resp.inserts);
+  EXPECT_EQ(out.removes, resp.removes);
+  EXPECT_EQ(out.overloaded, resp.overloaded);
+  EXPECT_EQ(out.dim, resp.dim);
+  EXPECT_EQ(out.shards, resp.shards);
+  EXPECT_EQ(out.search_queue_depth, resp.search_queue_depth);
+  EXPECT_EQ(out.ingest_queue_depth, resp.ingest_queue_depth);
+  EXPECT_EQ(out.bootstrapped, resp.bootstrapped);
+}
+
+TEST(ServeProtocol, ErrorResponseRoundTrip) {
+  const Frame f =
+      RoundTrip(MakeErrorResponse(13, ErrorCode::kOverloaded, "queue full"));
+  ErrorResponse out;
+  ASSERT_EQ(DecodeErrorResponse(f, &out), nullptr);
+  EXPECT_EQ(out.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(out.message, "queue full");
+}
+
+TEST(ServeProtocol, ErrorMessageTruncatedToU16) {
+  const std::string huge(100000, 'x');
+  const Frame f = RoundTrip(MakeErrorResponse(1, ErrorCode::kInternal, huge));
+  ErrorResponse out;
+  ASSERT_EQ(DecodeErrorResponse(f, &out), nullptr);
+  EXPECT_EQ(out.message.size(), 0xffffu);
+}
+
+// --- incremental parsing ---------------------------------------------------
+
+TEST(ServeProtocol, ByteAtATimeFeedingYieldsSameFrames) {
+  std::vector<std::uint8_t> wire;
+  const Matrix q = MakeRows(2, 3, 4.0f);
+  AppendFrame(wire, MakeBatchSearchRequest(1, 4, q));
+  AppendFrame(wire, MakeStatsRequest(2));
+  AppendFrame(wire, MakeRemoveRequest(3, {9}));
+
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (const std::uint8_t b : wire) {
+    parser.Feed(&b, 1);
+    Frame f;
+    while (parser.Next(&f) == FrameParser::Status::kFrame) {
+      frames.push_back(f);
+    }
+    ASSERT_EQ(parser.error(), nullptr);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].opcode, Opcode::kBatchSearch);
+  EXPECT_EQ(frames[1].opcode, Opcode::kStats);
+  EXPECT_EQ(frames[2].opcode, Opcode::kRemove);
+  EXPECT_EQ(frames[2].request_id, 3u);
+  // Everything consumed: buffer holds no leftover bytes.
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(ServeProtocol, MultipleFramesInOneFeed) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeStatsRequest(1));
+  AppendFrame(wire, MakeShutdownRequest(2));
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame a, b, c;
+  EXPECT_EQ(parser.Next(&a), FrameParser::Status::kFrame);
+  EXPECT_EQ(parser.Next(&b), FrameParser::Status::kFrame);
+  EXPECT_EQ(parser.Next(&c), FrameParser::Status::kNeedMore);
+  EXPECT_EQ(a.request_id, 1u);
+  EXPECT_EQ(b.request_id, 2u);
+}
+
+TEST(ServeProtocol, TruncationIsNeedMoreNotError) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeRemoveRequest(4, {1, 2, 3}));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameParser parser;
+    parser.Feed(wire.data(), cut);
+    Frame f;
+    EXPECT_EQ(parser.Next(&f), FrameParser::Status::kNeedMore) << cut;
+    EXPECT_EQ(parser.error(), nullptr) << cut;
+    // Delivering the rest completes the frame.
+    parser.Feed(wire.data() + cut, wire.size() - cut);
+    EXPECT_EQ(parser.Next(&f), FrameParser::Status::kFrame) << cut;
+  }
+}
+
+TEST(ServeProtocol, BadMagicLatchesError) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeStatsRequest(1));
+  wire[0] ^= 0xff;
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame f;
+  EXPECT_EQ(parser.Next(&f), FrameParser::Status::kError);
+  EXPECT_STREQ(parser.error(), "bad frame magic");
+  // Latched: feeding a valid frame afterwards cannot resurrect framing.
+  std::vector<std::uint8_t> good;
+  AppendFrame(good, MakeStatsRequest(2));
+  parser.Feed(good.data(), good.size());
+  EXPECT_EQ(parser.Next(&f), FrameParser::Status::kError);
+}
+
+TEST(ServeProtocol, ForeignVersionRejected) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeStatsRequest(1));
+  wire[4] = kProtocolVersion + 1;
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame f;
+  EXPECT_EQ(parser.Next(&f), FrameParser::Status::kError);
+  EXPECT_STREQ(parser.error(), "unsupported protocol version");
+}
+
+TEST(ServeProtocol, UnknownOpcodeRejected) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeStatsRequest(1));
+  wire[5] = 0x7e;  // no such request opcode
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame f;
+  EXPECT_EQ(parser.Next(&f), FrameParser::Status::kError);
+  EXPECT_STREQ(parser.error(), "unknown opcode");
+}
+
+TEST(ServeProtocol, SizeLyingHeaderRejectedBeforePayloadArrives) {
+  // A header claiming a 4 GiB-ish payload must fail from the header
+  // alone — the parser never waits for (or allocates) the claimed bytes.
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeStatsRequest(1));
+  const std::uint32_t lie = kMaxPayloadBytes + 1;
+  std::memcpy(wire.data() + 14, &lie, 4);
+  FrameParser parser;
+  parser.Feed(wire.data(), kFrameHeaderBytes);  // header only
+  Frame f;
+  EXPECT_EQ(parser.Next(&f), FrameParser::Status::kError);
+  EXPECT_STREQ(parser.error(), "payload length exceeds limit");
+}
+
+// --- io::Reader path -------------------------------------------------------
+
+/// Round-trips `wire` through fmemopen + TryReadFrame.
+std::vector<Frame> ReadAll(const std::vector<std::uint8_t>& wire,
+                           const char** final_error) {
+  io::File f(fmemopen(const_cast<std::uint8_t*>(wire.data()), wire.size(),
+                      "rb"));
+  EXPECT_NE(f, nullptr);
+  io::Reader reader(f.get());
+  std::vector<Frame> frames;
+  Frame frame;
+  while (TryReadFrame(reader, &frame, final_error)) {
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+TEST(ServeProtocol, TryReadFrameStreamRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  const Matrix q = MakeRows(1, 2, 0.0f);
+  AppendFrame(wire, MakeSearchRequest(1, 3, q.Row(0), 2));
+  AppendFrame(wire, MakeShutdownRequest(2));
+  const char* error = nullptr;
+  const std::vector<Frame> frames = ReadAll(wire, &error);
+  EXPECT_EQ(error, nullptr) << error;  // clean EOF
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].opcode, Opcode::kSearch);
+  EXPECT_EQ(frames[1].opcode, Opcode::kShutdown);
+}
+
+TEST(ServeProtocol, TryReadFrameTruncatedHeader) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeStatsRequest(1));
+  wire.resize(kFrameHeaderBytes - 3);
+  const char* error = nullptr;
+  EXPECT_TRUE(ReadAll(wire, &error).empty());
+  ASSERT_NE(error, nullptr);
+  EXPECT_STREQ(error, "truncated frame header");
+}
+
+TEST(ServeProtocol, TryReadFrameTruncatedPayload) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeRemoveRequest(1, {1, 2, 3, 4}));
+  wire.resize(wire.size() - 5);
+  const char* error = nullptr;
+  EXPECT_TRUE(ReadAll(wire, &error).empty());
+  ASSERT_NE(error, nullptr);
+  EXPECT_STREQ(error, "frame payload shorter than its header's length");
+}
+
+TEST(ServeProtocol, TryReadFrameSizeLyingHeader) {
+  std::vector<std::uint8_t> wire;
+  AppendFrame(wire, MakeStatsRequest(1));
+  const std::uint32_t lie = kMaxPayloadBytes + 7;
+  std::memcpy(wire.data() + 14, &lie, 4);
+  const char* error = nullptr;
+  EXPECT_TRUE(ReadAll(wire, &error).empty());
+  ASSERT_NE(error, nullptr);
+  EXPECT_STREQ(error, "payload length exceeds limit");
+}
+
+// --- payload validators ----------------------------------------------------
+
+TEST(ServeProtocol, DecodeRejectsWrongOpcode) {
+  const Frame stats = MakeStatsRequest(1);
+  SearchRequest sreq;
+  InsertRequest ireq;
+  RemoveRequest rreq;
+  EXPECT_NE(DecodeSearchRequest(stats, &sreq), nullptr);
+  EXPECT_NE(DecodeInsertRequest(stats, &ireq), nullptr);
+  EXPECT_NE(DecodeRemoveRequest(stats, &rreq), nullptr);
+  const Matrix q = MakeRows(1, 2, 0.0f);
+  EXPECT_NE(DecodeEmptyPayload(MakeSearchRequest(1, 3, q.Row(0), 2)), nullptr);
+}
+
+TEST(ServeProtocol, DecodeSearchRejectsBadShapes) {
+  const Matrix q = MakeRows(1, 4, 0.0f);
+  SearchRequest req;
+  {  // topk == 0
+    Frame f = MakeSearchRequest(1, 0, q.Row(0), 4);
+    EXPECT_STREQ(DecodeSearchRequest(f, &req), "topk out of range");
+  }
+  {  // absurd topk
+    Frame f = MakeSearchRequest(1, 1u << 30, q.Row(0), 4);
+    EXPECT_STREQ(DecodeSearchRequest(f, &req), "topk out of range");
+  }
+  {  // zero dim
+    Frame f = MakeSearchRequest(1, 3, q.Row(0), 0);
+    EXPECT_STREQ(DecodeSearchRequest(f, &req), "zero query dimension");
+  }
+  {  // empty batch
+    Matrix empty;
+    empty.Reset(0, 4);
+    Frame f = MakeBatchSearchRequest(1, 3, empty);
+    EXPECT_STREQ(DecodeSearchRequest(f, &req), "empty query batch");
+  }
+  {  // dim field lies relative to the byte count (shape x bytes cross-check)
+    Frame f = MakeSearchRequest(1, 3, q.Row(0), 4);
+    const std::uint32_t lie = 400;
+    std::memcpy(f.payload.data() + 4, &lie, 4);
+    EXPECT_STREQ(DecodeSearchRequest(f, &req),
+                 "search payload shorter than its query shape");
+  }
+  {  // trailing bytes after a well-formed body
+    Frame f = MakeSearchRequest(1, 3, q.Row(0), 4);
+    f.payload.push_back(0);
+    EXPECT_STREQ(DecodeSearchRequest(f, &req),
+                 "trailing bytes after search payload");
+  }
+  {  // truncated: payload ends inside the query vector
+    Frame f = MakeSearchRequest(1, 3, q.Row(0), 4);
+    f.payload.resize(f.payload.size() - 1);
+    EXPECT_STREQ(DecodeSearchRequest(f, &req),
+                 "search payload shorter than its query shape");
+  }
+}
+
+TEST(ServeProtocol, DecodeBatchSearchCountOverflowRejected) {
+  // count * dim overflowing 32 bits must not wrap into a small
+  // allocation: the cross-check runs in 64-bit against the byte count.
+  Frame f;
+  f.opcode = Opcode::kBatchSearch;
+  const std::uint32_t topk = 1, count = 1u << 31, dim = 1u << 31;
+  f.payload.resize(12);
+  std::memcpy(f.payload.data(), &topk, 4);
+  std::memcpy(f.payload.data() + 4, &count, 4);
+  std::memcpy(f.payload.data() + 8, &dim, 4);
+  SearchRequest req;
+  EXPECT_STREQ(DecodeSearchRequest(f, &req),
+               "search payload shorter than its query shape");
+}
+
+TEST(ServeProtocol, DecodeInsertRejectsBadShapes) {
+  InsertRequest req;
+  {  // count lies
+    Frame f = MakeInsertRequest(1, MakeRows(2, 3, 0.0f));
+    const std::uint32_t lie = 1000;
+    std::memcpy(f.payload.data(), &lie, 4);
+    EXPECT_STREQ(DecodeInsertRequest(f, &req),
+                 "insert payload shorter than its row shape");
+  }
+  {  // empty window
+    Matrix empty;
+    empty.Reset(0, 3);
+    Frame f = MakeInsertRequest(1, empty);
+    EXPECT_STREQ(DecodeInsertRequest(f, &req), "empty insert window");
+  }
+  {  // truncated header
+    Frame f = MakeInsertRequest(1, MakeRows(2, 3, 0.0f));
+    f.payload.resize(6);
+    EXPECT_STREQ(DecodeInsertRequest(f, &req), "truncated insert payload");
+  }
+}
+
+TEST(ServeProtocol, DecodeRemoveRejectsBadShapes) {
+  RemoveRequest req;
+  {  // count lies high
+    Frame f = MakeRemoveRequest(1, {1, 2});
+    const std::uint32_t lie = 0xffffffffu;
+    std::memcpy(f.payload.data(), &lie, 4);
+    EXPECT_STREQ(DecodeRemoveRequest(f, &req),
+                 "remove payload does not match its id count");
+  }
+  {  // count lies low (trailing bytes)
+    Frame f = MakeRemoveRequest(1, {1, 2});
+    const std::uint32_t lie = 1;
+    std::memcpy(f.payload.data(), &lie, 4);
+    EXPECT_STREQ(DecodeRemoveRequest(f, &req),
+                 "remove payload does not match its id count");
+  }
+  {  // empty removal list
+    Frame f = MakeRemoveRequest(1, {1});
+    const std::uint32_t zero = 0;
+    std::memcpy(f.payload.data(), &zero, 4);
+    f.payload.resize(4);
+    EXPECT_STREQ(DecodeRemoveRequest(f, &req), "empty remove request");
+  }
+}
+
+TEST(ServeProtocol, DecodeSearchResponseRejectsCountLies) {
+  SearchResponse resp;
+  resp.results = {{{1, 0.5f}}};
+  SearchResponse out;
+  {  // outer count lies high — caught before the outer vector allocates
+    Frame f = MakeSearchResponse(1, false, resp);
+    const std::uint32_t lie = 0xffffffffu;
+    std::memcpy(f.payload.data(), &lie, 4);
+    EXPECT_STREQ(DecodeSearchResponse(f, &out),
+                 "search response count exceeds payload");
+  }
+  {  // inner k lies high — caught before the neighbor list allocates
+    Frame f = MakeSearchResponse(1, false, resp);
+    const std::uint32_t lie = 0x10000000u;
+    std::memcpy(f.payload.data() + 4, &lie, 4);
+    EXPECT_STREQ(DecodeSearchResponse(f, &out),
+                 "neighbor count exceeds payload");
+  }
+  {  // trailing garbage
+    Frame f = MakeSearchResponse(1, false, resp);
+    f.payload.push_back(0xab);
+    EXPECT_STREQ(DecodeSearchResponse(f, &out),
+                 "trailing bytes after search response");
+  }
+}
+
+TEST(ServeProtocol, DecodeStatsResponseRejectsWrongSize) {
+  StatsResponse resp;
+  StatsResponse out;
+  Frame f = MakeStatsResponse(1, resp);
+  f.payload.resize(f.payload.size() - 1);
+  EXPECT_STREQ(DecodeStatsResponse(f, &out), "truncated stats response");
+  Frame g = MakeStatsResponse(1, resp);
+  g.payload.push_back(0);
+  EXPECT_STREQ(DecodeStatsResponse(g, &out),
+               "trailing bytes after stats response");
+}
+
+TEST(ServeProtocol, DecodeErrorResponseRejectsLengthLies) {
+  ErrorResponse out;
+  Frame f = MakeErrorResponse(1, ErrorCode::kBadRequest, "abc");
+  const std::uint16_t lie = 0xffff;
+  std::memcpy(f.payload.data() + 2, &lie, 2);
+  EXPECT_STREQ(DecodeErrorResponse(f, &out),
+               "error response does not match its message length");
+}
+
+}  // namespace
+}  // namespace gkm::serve

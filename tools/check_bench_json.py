@@ -38,6 +38,16 @@ REQUIRED_KEYS = {
     "stream_throughput": [
         "sq8_ingest_ratio",
     ],
+    # The serving daemon's load-test contract (docs/serving.md): latency
+    # percentiles, sustained throughput, and the admission-control
+    # refusal rate. A loadtest that stops measuring one of these would
+    # otherwise pass vacuously.
+    "serve_loadtest": [
+        "p50_us",
+        "p99_us",
+        "qps",
+        "overload_rate",
+    ],
 }
 
 
