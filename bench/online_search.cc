@@ -26,6 +26,7 @@
 #include "obs/trace.h"
 #include "stream/online_knn_graph.h"
 #include "stream/sharded_online_knn_graph.h"
+#include "stream/streaming_gkmeans.h"
 
 namespace {
 
@@ -411,6 +412,125 @@ int main(int argc, char** argv) {
   const double sq8_qps_ratio = single_secs / sq8_single_secs;
   const double sq8_ingest_ratio = ingest_secs / sq8_ingest_secs;
 
+  // --- Cluster-routed sharding (S=4): the streaming clusterer homes every
+  // cluster on one shard and inserts each point onto its nearest cluster's
+  // home, so a routed query searches ONE shard (plus a margin-guarded
+  // spill) instead of merging four. Same quality bar as merged search —
+  // recall@10 >= 0.8 fresh and after the 30% churn cycle — with the
+  // headline claim that routing answers >= 2x the merged QPS. ---
+  gkm::StreamingGkMeansParams rp;
+  rp.k = 16;
+  rp.kappa = 16;
+  rp.graph = p;
+  rp.graph.shards = 4;
+  rp.routed_placement = true;
+  rp.migrate_budget = 2048;
+  gkm::StreamingGkMeans routed_model(dim, rp);
+  std::vector<std::uint32_t> routed_ids;
+  routed_ids.reserve(n);
+  gkm::Timer routed_ingest;
+  for (std::size_t b = 0; b < n; b += window) {
+    std::vector<std::uint32_t> ids;
+    routed_model.ObserveWindow(
+        gkm::SliceRows(base, b, std::min(b + window, n)), &ids);
+    routed_ids.insert(routed_ids.end(), ids.begin(), ids.end());
+  }
+  const double routed_ingest_secs = routed_ingest.Seconds();
+  const gkm::ShardedOnlineKnnGraph& rgraph = routed_model.graph();
+
+  // One measurement pass: brute-force truth over the live arena, then the
+  // merged and routed paths answer the same queries back to back.
+  const auto measure_routed = [&](double* merged_qps, double* routed_qps,
+                                  double* merged_recall,
+                                  double* routed_recall) {
+    std::vector<std::uint32_t> live_ids;
+    gkm::Matrix live(0, dim);
+    for (std::uint32_t g = 0; g < rgraph.size(); ++g) {
+      if (!rgraph.IsAlive(g)) continue;
+      live_ids.push_back(g);
+      live.AppendRow(rgraph.Point(g));
+    }
+    const std::vector<std::vector<gkm::Neighbor>> live_truth =
+        gkm::BruteForceSearch(live, queries, topk);
+    const auto recall_of =
+        [&](const std::vector<std::vector<gkm::Neighbor>>& got) {
+          std::size_t r_hit = 0, r_want = 0;
+          for (std::size_t q = 0; q < nq; ++q) {
+            r_want += live_truth[q].size();
+            for (const gkm::Neighbor& t : live_truth[q]) {
+              for (const gkm::Neighbor& g : got[q]) {
+                if (g.id == live_ids[t.id]) {
+                  ++r_hit;
+                  break;
+                }
+              }
+            }
+          }
+          return r_want == 0 ? 0.0
+                             : static_cast<double>(r_hit) /
+                                   static_cast<double>(r_want);
+        };
+    const int reps = 3;  // timing resolution; answers are deterministic
+    std::vector<std::vector<gkm::Neighbor>> merged_got(nq), routed_got(nq);
+    gkm::SearchScratch rscratch;
+    gkm::Timer merged_timer;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t q = 0; q < nq; ++q) {
+        merged_got[q] = rgraph.SearchKnn(queries.Row(q), topk, rscratch);
+      }
+    }
+    *merged_qps = reps * static_cast<double>(nq) / merged_timer.Seconds();
+    gkm::Timer routed_timer;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t q = 0; q < nq; ++q) {
+        routed_got[q] = rgraph.SearchKnnRouted(queries.Row(q), topk, rscratch);
+      }
+    }
+    *routed_qps = reps * static_cast<double>(nq) / routed_timer.Seconds();
+    *merged_recall = recall_of(merged_got);
+    *routed_recall = recall_of(routed_got);
+  };
+
+  double merged_qps = 0.0, routed_qps = 0.0;
+  double merged_recall = 0.0, routed_recall = 0.0;
+  measure_routed(&merged_qps, &routed_qps, &merged_recall, &routed_recall);
+  const double spill_rate =
+      rgraph.route_hits() + rgraph.route_spills() == 0
+          ? 0.0
+          : static_cast<double>(rgraph.route_spills()) /
+                static_cast<double>(rgraph.route_hits() +
+                                    rgraph.route_spills());
+  std::printf("\nrouted (S=4, k=%zu): ingest %.0f pts/s, spill rate %.3f\n",
+              rp.k, static_cast<double>(n) / routed_ingest_secs, spill_rate);
+  std::printf("%-28s %-10.3f %-10.0f\n", "merged SearchKnn (S=4)",
+              merged_recall, merged_qps);
+  std::printf("%-28s %-10.3f %-10.0f\n", "routed SearchKnn (S=4)",
+              routed_recall, routed_qps);
+
+  // Same churn cycle through the clusterer: 30% removed by insertion
+  // identity, backfilled through windowed ingest (routed placement, TTL
+  // clocks and the migration sweep all exercised).
+  std::size_t routed_removed = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r % 10 < 3 && rgraph.IsAlive(routed_ids[r])) {
+      routed_model.RemovePoint(routed_ids[r]);
+      ++routed_removed;
+    }
+  }
+  for (std::size_t b = 0; b < routed_removed; b += window) {
+    routed_model.ObserveWindow(gkm::SliceRows(
+        refill.vectors, b, std::min(b + window, routed_removed)));
+  }
+  double churn_merged_qps = 0.0, churn_routed_qps = 0.0;
+  double churn_merged_recall = 0.0, churn_routed_recall = 0.0;
+  measure_routed(&churn_merged_qps, &churn_routed_qps, &churn_merged_recall,
+                 &churn_routed_recall);
+  const double routed_qps_ratio = routed_qps / merged_qps;
+  std::printf("%-28s %-10.3f %-10.0f\n", "merged post-churn (S=4)",
+              churn_merged_recall, churn_merged_qps);
+  std::printf("%-28s %-10.3f %-10.0f\n", "routed post-churn (S=4)",
+              churn_routed_recall, churn_routed_qps);
+
   // Element-wise determinism: pooled serving with per-slot scratch must
   // return exactly the serial answers, not merely the same recall — and
   // the batch API must be a pure lock-amortization of the per-query path.
@@ -438,6 +558,10 @@ int main(int argc, char** argv) {
               sq8_recall >= 0.8 ? "PASS" : "FAIL");
   std::printf("  SQ8 recall@10 >= 0.8 post-churn: %s\n",
               sq8_churn_recall >= 0.8 ? "PASS" : "FAIL");
+  std::printf("  routed (S=4) recall@10 >= 0.8 fresh:     %s\n",
+              routed_recall >= 0.8 ? "PASS" : "FAIL");
+  std::printf("  routed (S=4) recall@10 >= 0.8 post-churn: %s\n",
+              churn_routed_recall >= 0.8 ? "PASS" : "FAIL");
   // Timing ratios are only meaningful at the documented scale on a real
   // multi-core box; CI smoke runs (GKM_SCALE < 1) report but don't gate,
   // matching the speedup-floor pattern in stream_throughput.
@@ -454,11 +578,24 @@ int main(int argc, char** argv) {
                 "%.2g; measured %.2fx)\n",
                 cores, gkm::bench::Scale(), sq8_qps_ratio);
   }
+  bool routed_qps_ok = true;
+  if (can_gate_sq8_qps) {
+    routed_qps_ok = routed_qps_ratio >= 2.0;
+    std::printf("  routed QPS >= 2.0x merged (S=4): %s (%.2fx)\n",
+                routed_qps_ok ? "PASS" : "FAIL", routed_qps_ratio);
+  } else {
+    std::printf("  routed QPS >= 2.0x merged (S=4): SKIPPED "
+                "(need >= 4 cores and GKM_SCALE >= 1; %zu cores, scale "
+                "%.2g; measured %.2fx)\n",
+                cores, gkm::bench::Scale(), routed_qps_ratio);
+  }
   const bool pass = online_recall >= 0.8 && pool_identical &&
                     batch_identical && churn_recall >= 0.8 && arena_dense &&
                     sharded_recall >= 0.8 && sharded_churn_recall >= 0.8 &&
                     arena_ratio >= 3.5 && sq8_recall >= 0.8 &&
-                    sq8_churn_recall >= 0.8 && sq8_qps_ok;
+                    sq8_churn_recall >= 0.8 && sq8_qps_ok &&
+                    routed_recall >= 0.8 && churn_routed_recall >= 0.8 &&
+                    routed_qps_ok;
 
   gkm::bench::JsonReport report("online_search");
   report.Add("n", static_cast<double>(n));
@@ -481,6 +618,12 @@ int main(int argc, char** argv) {
   report.Add("qps_sq8", static_cast<double>(nq) / sq8_single_secs);
   report.Add("sq8_qps_ratio", sq8_qps_ratio);
   report.Add("sq8_ingest_ratio", sq8_ingest_ratio);
+  report.Add("recall_at_10_routed", routed_recall);
+  report.Add("recall_at_10_routed_post_churn", churn_routed_recall);
+  report.Add("qps_routed", routed_qps);
+  report.Add("qps_merged_s4", merged_qps);
+  report.Add("routed_qps_ratio", routed_qps_ratio);
+  report.Add("route_spill_rate", spill_rate);
   report.Add("pass", pass ? 1.0 : 0.0);
   report.Write();
 

@@ -2,8 +2,10 @@
 // Serving-daemon load test: mixed query + ingest + churn traffic against
 // an in-process gkm::serve::Server over loopback TCP, measuring
 // end-to-end RPC latency (p50/p99), sustained query throughput, and the
-// admission-control refusal rate. Emits BENCH_serve_loadtest.json
-// (schema gkm-bench-v1: p50_us, p99_us, qps, overload_rate).
+// admission-control refusal rate, plus a query-only comparison of the
+// routed+replica read path against the single-reader merged baseline.
+// Emits BENCH_serve_loadtest.json (schema gkm-bench-v1: p50_us, p99_us,
+// qps, overload_rate, routed_qps, merged_qps, routed_merged_qps_ratio).
 //
 // Two gate tiers:
 //   always on — the protocol's correctness contract: zero transport
@@ -307,6 +309,71 @@ int main(int argc, char** argv) {
   std::remove(base.c_str());
   std::remove(journal.c_str());
 
+  // --- replica fan-out: query-only throughput comparison --------------------
+  // Two fresh servers over the same corpus: the classic single-reader
+  // merged baseline vs routed placement + one read replica per shard with
+  // four search workers answering from replica lanes. Same client load (4
+  // query threads); the ratio is the replica-path headline.
+  const auto query_only_qps = [&](bool routed) {
+    gkm::serve::ServerOptions opts = Options("", "");  // ephemeral, no journal
+    opts.params.graph.shards = 4;
+    if (routed) {
+      opts.params.routed_placement = true;
+      opts.params.read_replicas = 1;
+      opts.search_workers = 4;
+    }
+    std::string err;
+    std::unique_ptr<gkm::serve::Server> srv =
+        gkm::serve::Server::Start(opts, &err);
+    if (srv == nullptr) Die("replica-compare start: " + err);
+    {
+      std::unique_ptr<gkm::serve::Client> seeder = MustConnect(srv->port());
+      for (std::size_t b = 0; b < seed_n; b += kSeedWindow) {
+        std::vector<std::uint32_t> assigned;
+        if (seeder->Insert(gkm::SliceRows(seed_data, b, b + kSeedWindow),
+                           &assigned) != gkm::serve::Client::Status::kOk) {
+          Die("replica-compare seed insert failed");
+        }
+      }
+    }
+    std::atomic<std::uint64_t> answered{0};
+    std::atomic<bool> broken{false};
+    const std::uint64_t start_ns = gkm::obs::MonotonicNanos();
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kQueryThreads; ++t) {
+      threads.emplace_back([&, t] {
+        std::unique_ptr<gkm::serve::Client> client =
+            MustConnect(srv->port());
+        for (std::size_t q = 0; q < searches_per_thread; ++q) {
+          const float* query = query_data.Row(t * searches_per_thread + q);
+          std::vector<gkm::Neighbor> got;
+          const gkm::serve::Client::Status s =
+              client->Search(query, kDim, kTopK, &got);
+          if (s == gkm::serve::Client::Status::kOk) {
+            answered.fetch_add(1);
+          } else if (s != gkm::serve::Client::Status::kRefused) {
+            broken.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    const double secs =
+        static_cast<double>(gkm::obs::MonotonicNanos() - start_ns) * 1e-9;
+    srv->Shutdown();
+    srv.reset();
+    if (broken.load()) Die("replica-compare transport failure");
+    if (answered.load() == 0) Die("replica-compare: no accepted searches");
+    return static_cast<double>(answered.load()) / secs;
+  };
+  const double merged_qps = query_only_qps(false);
+  const double routed_qps = query_only_qps(true);
+  const double routed_merged_qps_ratio = routed_qps / merged_qps;
+  std::printf("\nquery-only fan-out (S=4, %zu threads): merged single-reader "
+              "%.0f qps, routed+replicas %.0f qps (%.2fx)\n",
+              kQueryThreads, merged_qps, routed_qps, routed_merged_qps_ratio);
+
   // --- metrics --------------------------------------------------------------
   std::vector<std::uint64_t> all_ns;
   for (const std::vector<std::uint64_t>& v : latencies_ns) {
@@ -340,6 +407,9 @@ int main(int argc, char** argv) {
   report.Add("p99_us", p99_us);
   report.Add("qps", qps);
   report.Add("overload_rate", overload_rate);
+  report.Add("routed_qps", routed_qps);
+  report.Add("merged_qps", merged_qps);
+  report.Add("routed_merged_qps_ratio", routed_merged_qps_ratio);
   const std::string path = report.Write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
 
@@ -349,7 +419,11 @@ int main(int argc, char** argv) {
   if (can_gate) {
     if (p99_us > 25000.0) Die("p99 latency gate: > 25ms under mixed load");
     if (qps < 1000.0) Die("throughput gate: < 1000 qps under mixed load");
-    std::printf("perf gates: OK (p99 <= 25ms, qps >= 1000)\n");
+    if (routed_merged_qps_ratio < 1.5) {
+      Die("replica fan-out gate: routed+replica qps < 1.5x single-reader");
+    }
+    std::printf("perf gates: OK (p99 <= 25ms, qps >= 1000, replica fan-out "
+                ">= 1.5x)\n");
   } else {
     std::printf("perf gates skipped (need >= 4 cores and GKM_SCALE >= 1; "
                 "%zu cores, scale %.2g)\n",

@@ -67,6 +67,11 @@ bool SearchBatcher::FlushOnce() {
       queue_.pop_front();
     }
     pending_rows_ -= batch_rows;
+
+    // Multi-consumer race: while this worker waited out the delay bound
+    // (mutex released inside WaitFor), another worker may have drained the
+    // whole window. An empty wake is not a stop signal — go around again.
+    if (batch.empty()) return !stopped_;
   }
 
   GKM_TRACE_SPAN("serve.batcher.flush");

@@ -113,11 +113,14 @@ struct SearchJob {
   std::function<void(std::vector<std::vector<Neighbor>>)> done;
 };
 
-/// Micro-batching search queue. Producers TrySubmit jobs; one consumer
-/// loops FlushOnce, which blocks per the policy, coalesces whole jobs
-/// into a single Matrix, runs `fn` ONCE at the group's max top-k, and
-/// completes each job with its truncated slice. Drivable synchronously
-/// in tests: submit from the same thread, then call FlushOnce.
+/// Micro-batching search queue. Producers TrySubmit jobs; consumers loop
+/// FlushOnce, which blocks per the policy, coalesces whole jobs into a
+/// single Matrix, runs `fn` ONCE at the group's max top-k, and completes
+/// each job with its truncated slice. Multiple consumers may loop
+/// FlushOnce concurrently (the server's replica read path runs several
+/// search workers); each flush drains whole jobs under the lock, so a job
+/// is completed by exactly one worker. Drivable synchronously in tests:
+/// submit from the same thread, then call FlushOnce.
 class SearchBatcher {
  public:
   using SearchFn = std::function<std::vector<std::vector<Neighbor>>(
@@ -133,8 +136,10 @@ class SearchBatcher {
 
   /// Consumer step: waits for work (or Stop), honors the max-batch /
   /// max-delay policy, then flushes one coalesced group. Returns false
-  /// only when stopped AND drained. After Stop() remaining jobs flush
-  /// immediately without waiting out the delay bound.
+  /// only when stopped AND drained (a wake that finds the window already
+  /// drained by a sibling worker returns true: go around again). After
+  /// Stop() remaining jobs flush immediately without waiting out the
+  /// delay bound.
   bool FlushOnce();
 
   /// Wakes the consumer and refuses new work; accepted jobs still flush.

@@ -16,6 +16,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -126,9 +127,18 @@ bool Server::Init(const ServerOptions& opts, std::string* error) {
     delta_log_->SetAutoCompaction(opts_.compaction);
   }
 
+  // The search path prefers the replica table (lock-free snapshot reads,
+  // routed when a router is published) and falls back to routed or merged
+  // leader search when replicas are off — SearchKnnBatchReplica handles
+  // all three cases. Replica/router state is republished after every
+  // applied ingest op, and once here so a resumed server answers from the
+  // same derived state it shut down with.
+  model_->PublishReadState();
   batcher_.emplace(opts_.batch_policy,
                    [this](const Matrix& queries, std::uint32_t topk) {
-                     return model_->graph().SearchKnnBatch(queries, topk);
+                     thread_local SearchScratch scratch;  // one per worker
+                     return model_->graph().SearchKnnBatchReplica(
+                         queries, topk, scratch);
                    });
   ingest_queue_.emplace(opts_.ingest_queue_capacity);
 
@@ -157,7 +167,11 @@ bool Server::Init(const ServerOptions& opts, std::string* error) {
   port_ = ntohs(addr.sin_port);
 
   accept_thread_ = std::thread([this] { AcceptLoop(); });
-  search_worker_ = std::thread([this] { SearchWorkerLoop(); });
+  const std::size_t workers = std::max<std::size_t>(opts_.search_workers, 1);
+  search_workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    search_workers_.emplace_back([this] { SearchWorkerLoop(); });
+  }
   ingest_worker_ = std::thread([this] { IngestWorkerLoop(); });
   return true;
 }
@@ -379,6 +393,12 @@ void Server::ApplyRemove(IngestOp& op) {
     resp.removed[i] = 1;
     removes_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Removes bypass ObserveWindow (which republishes internally), so the
+  // derived read state — router activity flags, replica snapshots — is
+  // refreshed here, once per accepted op. That keeps replica contents a
+  // pure function of the accepted-op sequence, which the restart
+  // bit-identity gate relies on.
+  model_->PublishReadState();
   op.conn->SendFrame(MakeRemoveResponse(op.request_id, resp));
 }
 
@@ -430,9 +450,10 @@ void Server::Shutdown() {
   batcher_->Stop();
   ingest_queue_->Stop();
 
-  // 3. Drain: both workers complete every accepted op (responses
+  // 3. Drain: every worker completes every accepted op (responses
   // included) before exiting — accepted work is never dropped.
-  search_worker_.join();
+  for (std::thread& w : search_workers_) w.join();
+  search_workers_.clear();
   ingest_worker_.join();
 
   // 4. Checkpoint-on-shutdown: fold the journal into a fresh base. A

@@ -8,11 +8,13 @@
 //   accept thread     — accepts connections, one reader thread each
 //   connection threads— parse frames (FrameParser), decode, dispatch;
 //                       answer stats inline, enqueue search/ingest
-//   search worker     — loops SearchBatcher::FlushOnce: coalesces
-//                       concurrent queries into one SearchKnnBatch per
+//   search workers    — loop SearchBatcher::FlushOnce: coalesce
+//                       concurrent queries into one batched search per
 //                       flush (amortizing the shard rwlocks and filling
-//                       SIMD lanes), completes each query with its
-//                       truncated slice
+//                       SIMD lanes), complete each query with its
+//                       truncated slice. With routed placement + read
+//                       replicas, several workers answer from replica
+//                       lanes without touching the leader's locks
 //   ingest worker     — THE only model mutator: pops accepted insert/
 //                       remove ops in queue order, journals each to the
 //                       delta log BEFORE applying, then answers. The
@@ -61,6 +63,13 @@ struct ServerOptions {
 
   /// Admission cap on queued ingest ops (windows + removal batches).
   std::size_t ingest_queue_capacity = 64;
+
+  /// Search worker threads draining the batcher. One is the classic
+  /// single-reader; more only pay off when the model serves lock-free
+  /// reads — routed placement plus read replicas (params.read_replicas >
+  /// 0), where each flush answers from a replica lane instead of the
+  /// writers' shared locks.
+  std::size_t search_workers = 1;
 
   /// Durability: when `checkpoint_base` is non-empty the server resumes
   /// from base(+journal) if the base exists, journals every accepted op
@@ -128,7 +137,7 @@ class Server {
   std::optional<BoundedQueue<IngestOp>> ingest_queue_;
 
   std::thread accept_thread_;
-  std::thread search_worker_;
+  std::vector<std::thread> search_workers_;
   std::thread ingest_worker_;
 
   Mutex conns_mu_;

@@ -33,7 +33,17 @@ constexpr char kDeltaMagic[4] = {'G', 'K', 'M', 'D'};
 //     ONLY for kSq8 models: fp32 models keep writing version-4 bytes, so
 //     the pinned v4 golden stays byte-identical. v2-v4 files load with
 //     storage = kFp32. See docs/checkpoint-format.md.
-constexpr std::uint32_t kVersion = 5;
+// v6: routed placement. Appends the routing params tail (routed_placement,
+//     spill_margin, rebalance_threshold, migrate_budget, read_replicas) to
+//     the params block, shard 0's per-mode seed table to the cursor block,
+//     a cluster-home block after the representatives, and a per-mode seed
+//     table to every extra shard section. Emitted ONLY when
+//     routed_placement is set — non-routed models keep writing v4/v5
+//     bytes, so both pinned goldens stay byte-identical. v6 always uses
+//     the v5 arena framing (u8 trained flag) regardless of storage.
+//     v2-v5 files load with routing off. See docs/checkpoint-format.md.
+constexpr std::uint32_t kVersion = 6;
+constexpr std::uint32_t kSq8Version = 5;
 constexpr std::uint32_t kFp32Version = 4;
 constexpr std::uint32_t kOldestReadable = 2;
 constexpr std::uint32_t kDeltaVersion = 1;
@@ -77,6 +87,13 @@ void WriteParams(std::FILE* f, const StreamingGkMeansParams& p,
   io::WriteRaw<std::uint64_t>(f, p.graph.shards);  // v4+
   if (version >= 5) {                              // v5+
     io::WriteRaw<std::uint64_t>(f, static_cast<std::uint64_t>(p.graph.storage));
+  }
+  if (version >= 6) {                              // v6+: routing tail
+    io::WriteRaw<std::uint8_t>(f, p.routed_placement ? 1 : 0);
+    io::WriteRaw<double>(f, p.spill_margin);
+    io::WriteRaw<double>(f, p.rebalance_threshold);
+    io::WriteRaw<std::uint64_t>(f, p.migrate_budget);
+    io::WriteRaw<std::uint64_t>(f, p.read_replicas);
   }
   // ingest_threads is deliberately not persisted: it is an execution knob
   // with no effect on results, and a resumed process sizes its own pool.
@@ -123,6 +140,19 @@ bool ReadParams(io::Reader& r, std::uint32_t version,
           storage == 1 ? StorageMode::kSq8 : StorageMode::kFp32;
     }
   }
+  // v2-v5 predate routed placement: routing off, defaults for the knobs.
+  p->routed_placement = false;
+  p->spill_margin = 0.35;
+  p->rebalance_threshold = 0.0;
+  p->migrate_budget = 1024;
+  p->read_replicas = 0;
+  if (ok && version >= 6) {
+    std::uint8_t routed = 0;
+    ok = r.Read(&routed) && routed <= 1 && r.Read(&p->spill_margin) &&
+         r.Read(&p->rebalance_threshold) && ReadSize(r, &p->migrate_budget) &&
+         ReadSize(r, &p->read_replicas);
+    if (ok) p->routed_placement = routed != 0;
+  }
   return ok;
 }
 
@@ -144,6 +174,35 @@ bool ReadRng(io::Reader& r, RngSnapshot* out) {
 void WriteIdList(std::FILE* f, const std::vector<std::uint32_t>& ids) {
   io::WriteRaw<std::uint64_t>(f, ids.size());
   io::WriteArray(f, ids.data(), ids.size());
+}
+
+// Per-mode adaptive seed table (v6): u64 count, then one (live_seeds u64,
+// fail_ewma double, audit_tick u64) triple per mode. live_seeds == 0 marks
+// an uninitialized mode that defers to the shard's global budget.
+void WriteModeSeeds(std::FILE* f, const std::vector<AdaptiveSeedState>& ms) {
+  io::WriteRaw<std::uint64_t>(f, ms.size());
+  for (const AdaptiveSeedState& s : ms) {
+    io::WriteRaw<std::uint64_t>(f, s.live_seeds);
+    io::WriteRaw<double>(f, s.fail_ewma);
+    io::WriteRaw<std::uint64_t>(f, s.audit_tick);
+  }
+}
+
+// Counterpart of WriteModeSeeds. Modes are cluster ids, so the table can
+// never be wider than k; the entry values are validated in depth by
+// ValidateStreamSnapshot afterwards.
+bool ReadModeSeeds(io::Reader& r, std::size_t k,
+                   std::vector<AdaptiveSeedState>* out) {
+  std::uint64_t count = 0;
+  if (!r.Read(&count) || count > k) return false;
+  out->resize(static_cast<std::size_t>(count));
+  for (AdaptiveSeedState& s : *out) {
+    if (!r.Read(&s.live_seeds) || !r.Read(&s.fail_ewma) ||
+        !r.Read(&s.audit_tick)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // Arena shape, independent of storage: an SQ8-trained shard's rows live in
@@ -217,16 +276,18 @@ std::size_t GlobalArenaBound(const std::vector<OnlineShardParts>& shards) {
 // One extra-shard section (shards 1..S-1; shard 0 lives in the v3-position
 // sections): cursor-style RNG + adaptive seeds, then stores and removal
 // lists. Counterpart of ReadShardSection.
-void WriteShardSection(std::FILE* f, const OnlineShardParts& shard, bool v5) {
+void WriteShardSection(std::FILE* f, const OnlineShardParts& shard,
+                       std::uint32_t version) {
   WriteRng(f, shard.rng);
   io::WriteRaw<std::uint64_t>(f, shard.seeds.live_seeds);
   io::WriteRaw<double>(f, shard.seeds.fail_ewma);
   io::WriteRaw<std::uint64_t>(f, shard.seeds.audit_tick);
-  WriteArena(f, shard, v5);
+  WriteArena(f, shard, version >= 5);
   shard.graph.SaveTo(f);
   WriteIdList(f, shard.removal.pending_dead);
   WriteIdList(f, shard.removal.free_slots);
   io::WriteRaw<std::uint32_t>(f, shard.removal.last_inserted);
+  if (version >= 6) WriteModeSeeds(f, shard.mode_seeds);
 }
 
 // Per-shard adaptive-seed sanity, applied to shard 0's cursor-block state
@@ -349,11 +410,15 @@ void SaveStreamCheckpoint(const std::string& path,
   const OnlineShardParts& shard0 = snap.shards[0];
   io::File f = io::OpenOrDie(path, "wb");
 
-  // Version is storage-dependent: only kSq8 models need the v5 arena
-  // blocks, and emitting v4 bytes for fp32 models keeps every pre-existing
-  // checkpoint byte-identical (the golden test pins this).
-  const bool v5 = snap.params.graph.storage == StorageMode::kSq8;
-  const std::uint32_t version = v5 ? kVersion : kFp32Version;
+  // Version is feature-dependent: only routed models need the v6 blocks
+  // and only kSq8 models need the v5 arena framing. Non-routed models keep
+  // emitting v4/v5 bytes, so every pre-existing checkpoint stays
+  // byte-identical (the golden tests pin this).
+  const bool sq8 = snap.params.graph.storage == StorageMode::kSq8;
+  const std::uint32_t version = snap.params.routed_placement
+                                    ? kVersion
+                                    : (sq8 ? kSq8Version : kFp32Version);
+  const bool v5 = version >= 5;  // arena framing carries the trained flag
   io::WriteArray(f.get(), kMagic, 4);
   io::WriteRaw<std::uint32_t>(f.get(), version);
   WriteParams(f.get(), snap.params, version);
@@ -368,12 +433,19 @@ void SaveStreamCheckpoint(const std::string& path,
   io::WriteRaw<std::uint64_t>(f.get(), shard0.seeds.live_seeds);
   io::WriteRaw<double>(f.get(), shard0.seeds.fail_ewma);
   io::WriteRaw<std::uint64_t>(f.get(), shard0.seeds.audit_tick);
+  if (version >= 6) WriteModeSeeds(f.get(), shard0.mode_seeds);
 
   WriteArena(f.get(), shard0, v5);
   shard0.graph.SaveTo(f.get());
   io::WriteRaw<std::uint64_t>(f.get(), snap.labels.size());
   io::WriteArray(f.get(), snap.labels.data(), snap.labels.size());
   io::WriteArray(f.get(), snap.cluster_reps.data(), snap.cluster_reps.size());
+  if (version >= 6) {
+    // Cluster-home block: empty before bootstrap, k entries after.
+    io::WriteRaw<std::uint64_t>(f.get(), snap.cluster_home.size());
+    io::WriteArray(f.get(), snap.cluster_home.data(),
+                   snap.cluster_home.size());
+  }
 
   io::WriteRaw<std::uint64_t>(f.get(), snap.n);
   io::WriteArray(f.get(), snap.counts.data(), snap.counts.size());
@@ -409,7 +481,7 @@ void SaveStreamCheckpoint(const std::string& path,
   section_bytes.reserve(num_shards > 0 ? num_shards - 1 : 0);
   for (std::size_t s = 1; s < num_shards; ++s) {
     const long begin = std::ftell(f.get());
-    WriteShardSection(f.get(), snap.shards[s], v5);
+    WriteShardSection(f.get(), snap.shards[s], version);
     const long end = std::ftell(f.get());
     GKM_CHECK(begin >= 0 && end >= begin);
     section_bytes.push_back(static_cast<std::uint64_t>(end - begin));
@@ -467,6 +539,10 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
   if (const char* msg = ValidateLoadedParams(snap.params, shard0.seeds)) {
     return fail(msg);
   }
+  if (version >= 6 &&
+      !ReadModeSeeds(r, snap.params.k, &shard0.mode_seeds)) {
+    return fail("implausible checkpoint per-mode seed table");
+  }
 
   if (!ReadArena(r, version, &shard0)) {
     return fail("truncated or implausible checkpoint points");
@@ -490,6 +566,14 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
   const std::size_t n_labels = snap.labels.size();
   const std::size_t k = snap.params.k;
   if (!r.ReadVector(snap.cluster_reps, k)) return fail(kTruncated);
+  if (version >= 6) {
+    std::uint64_t homes = 0;
+    if (!r.Read(&homes)) return fail(kTruncated);
+    if (homes != 0 && homes != k) {
+      return fail("checkpoint cluster-home count mismatch");
+    }
+    if (!r.ReadVector(snap.cluster_home, homes)) return fail(kTruncated);
+  }
 
   // k and cols are individually capped (ValidateLoadedParams, ReadMatrix),
   // so the product cannot wrap; ReadVector then bounds each block by the
@@ -571,6 +655,9 @@ std::optional<StreamingGkMeans> TryLoadStreamCheckpoint(std::FILE* file,
         if (const char* msg =
                 ValidateRemovalState(shard.removal, ShardRows(shard))) {
           return fail(msg);
+        }
+        if (version >= 6 && !ReadModeSeeds(r, k, &shard.mode_seeds)) {
+          return fail("implausible checkpoint per-mode seed table");
         }
         if (begin_remaining - r.remaining() != section_bytes[s - 1]) {
           return fail("checkpoint shard section size mismatch");

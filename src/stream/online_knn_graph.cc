@@ -202,7 +202,8 @@ OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
                                const OnlineGraphParams& params,
                                const RngSnapshot& rng,
                                const AdaptiveSeedState& seeds,
-                               const RemovalState& removal, Sq8ArenaParts sq8)
+                               const RemovalState& removal, Sq8ArenaParts sq8,
+                               std::vector<AdaptiveSeedState> mode_seeds)
     : params_(params), points_(std::move(points)), graph_(std::move(graph)) {
   // A trained SQ8 arena supplies the row shape; the fp32 matrix must have
   // been released at training time, so a trained restore carries none.
@@ -246,6 +247,17 @@ OnlineKnnGraph::OnlineKnnGraph(Matrix points, KnnGraph graph,
   live_seeds_ = std::min(live_seeds_, MaxSeeds(params));
   fail_ewma_ = seeds.fail_ewma;
   audit_tick_ = seeds.audit_tick;
+  // Per-mode budgets restore verbatim (0 = uninitialized, defers to the
+  // global budget), clamped to the same policy bounds as the global count.
+  mode_seeds_ = std::move(mode_seeds);
+  for (AdaptiveSeedState& s : mode_seeds_) {
+    GKM_CHECK_MSG(std::isfinite(s.fail_ewma) && s.fail_ewma >= 0.0 &&
+                      s.fail_ewma <= 1.0,
+                  "corrupt per-mode seed state");
+    if (s.live_seeds != 0) {
+      s.live_seeds = std::min<std::uint64_t>(s.live_seeds, MaxSeeds(params));
+    }
+  }
 }
 
 AdaptiveSeedState OnlineKnnGraph::seed_state() const {
@@ -255,6 +267,11 @@ AdaptiveSeedState OnlineKnnGraph::seed_state() const {
   s.fail_ewma = fail_ewma_;
   s.audit_tick = audit_tick_;
   return s;
+}
+
+std::vector<AdaptiveSeedState> OnlineKnnGraph::mode_seed_states() const {
+  ReaderMutexLock guard(mu_);
+  return mode_seeds_;
 }
 
 RemovalState OnlineKnnGraph::removal_state() const {
@@ -559,7 +576,8 @@ std::uint32_t OnlineKnnGraph::CommitRow(const Matrix& rows, std::size_t r,
                                         std::size_t snapshot_n,
                                         const std::vector<std::uint32_t>& batch_ids,
                                         PlannedInsert& plan,
-                                        std::vector<std::uint32_t>* touched) {
+                                        std::vector<std::uint32_t>* touched,
+                                        std::uint32_t mode) {
   const float* x = rows.Row(r);
   // Slot allocation: reclaim the lowest free slot (keeps the arena dense)
   // before growing. A reclaimed slot has an empty neighbor list and no
@@ -648,11 +666,37 @@ std::uint32_t OnlineKnnGraph::CommitRow(const Matrix& rows, std::size_t r,
   }
 
   ++audit_tick_;
-  if (plan.audited) ApplyAudit(plan.audit_failed);
+  if (plan.audited) ApplyAudit(plan.audit_failed, mode);
   return id;
 }
 
-void OnlineKnnGraph::ApplyAudit(bool failed) {
+std::size_t OnlineKnnGraph::EffectiveSeedsLocked(std::uint32_t mode) const {
+  if (mode != kNoMode && mode < mode_seeds_.size() &&
+      mode_seeds_[mode].live_seeds != 0) {
+    return static_cast<std::size_t>(mode_seeds_[mode].live_seeds);
+  }
+  return live_seeds_;
+}
+
+void OnlineKnnGraph::ApplyAudit(bool failed, std::uint32_t mode) {
+  // Per-mode route: the first audit of a mode forks its budget off the
+  // current global count, after which the mode converges independently.
+  // The EWMA/threshold machinery is identical to the global policy's.
+  if (mode != kNoMode && mode < mode_seeds_.size()) {
+    AdaptiveSeedState& s = mode_seeds_[mode];
+    if (s.live_seeds == 0) s.live_seeds = live_seeds_;
+    ++s.audit_tick;
+    s.fail_ewma = s.fail_ewma * (1.0 - kEwmaAlpha) + (failed ? kEwmaAlpha : 0.0);
+    if (s.fail_ewma > kRaiseThreshold && s.live_seeds < MaxSeeds(params_)) {
+      s.live_seeds = std::min<std::uint64_t>(s.live_seeds * 2, MaxSeeds(params_));
+      s.fail_ewma = kNeutralEwma;
+    } else if (s.fail_ewma < kLowerThreshold &&
+               s.live_seeds > MinSeeds(params_)) {
+      s.live_seeds = std::max<std::uint64_t>(s.live_seeds / 2, MinSeeds(params_));
+      s.fail_ewma = kNeutralEwma;
+    }
+    return;
+  }
   fail_ewma_ = fail_ewma_ * (1.0 - kEwmaAlpha) + (failed ? kEwmaAlpha : 0.0);
   if (fail_ewma_ > kRaiseThreshold && live_seeds_ < MaxSeeds(params_)) {
     live_seeds_ = std::min(live_seeds_ * 2, MaxSeeds(params_));
@@ -683,23 +727,43 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
     const Matrix& rows, ThreadPool* pool,
     std::vector<std::uint32_t>* touched,
     const std::vector<std::vector<std::uint32_t>>* seed_hints,
-    std::vector<std::uint32_t>* assigned) {
+    std::vector<std::uint32_t>* assigned,
+    const std::vector<std::uint32_t>* modes) {
   GKM_CHECK_MSG(rows.cols() == dim_, "batch dimension mismatch");
   GKM_CHECK_MSG(seed_hints == nullptr || seed_hints->size() == rows.rows(),
                 "one seed-hint vector per row required");
+  GKM_CHECK_MSG(modes == nullptr || modes->size() == rows.rows(),
+                "one mode id per row required");
   const std::size_t total = rows.rows();
   if (total == 0) return kNoSlot;
   const std::size_t slots =
       pool != nullptr ? std::max<std::size_t>(pool->num_threads(), 1) : 1;
   EnsureScratch(slots);
 
+  // Grow the per-mode table up front so the commit phase never reallocates
+  // it mid-batch. kNoMode entries keep the global policy.
+  if (modes != nullptr) {
+    std::uint32_t max_mode = 0;
+    bool any = false;
+    for (const std::uint32_t m : *modes) {
+      if (m == kNoMode) continue;
+      max_mode = std::max(max_mode, m);
+      any = true;
+    }
+    if (any) {
+      WriterMutexLock guard(mu_);
+      if (mode_seeds_.size() <= max_mode) mode_seeds_.resize(max_mode + 1);
+    }
+  }
+
   std::uint32_t first_id = kNoSlot;
   std::vector<PlannedInsert> plans;
   std::vector<std::uint64_t> row_seeds;
+  std::vector<std::size_t> row_live;
   std::vector<std::uint32_t> batch_ids;
   std::size_t begin = 0;
   while (begin < total) {
-    std::size_t width, snapshot_n, live;
+    std::size_t width, snapshot_n;
     std::uint64_t base_tick;
     {
       // Sub-batch setup reads reader-visible state (arena size, adaptive
@@ -715,8 +779,15 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
       snapshot_n = ArenaRowsLocked();
       width = snapshot_n <= params_.bootstrap ? 1
                                               : std::min(kSubBatch, total - begin);
-      live = live_seeds_;
+      // Per-row seed budgets, snapshotted like the old global `live` so
+      // mid-batch audits (which run in the commit phase) cannot perturb
+      // the walks already planned against this snapshot.
       base_tick = audit_tick_;
+      row_live.resize(width);
+      for (std::size_t i = 0; i < width; ++i) {
+        row_live[i] = EffectiveSeedsLocked(
+            modes != nullptr ? (*modes)[begin + i] : kNoMode);
+      }
     }
     // One serial rng_ draw per row, in row order: the only RNG consumption
     // of the batch, so thread count cannot perturb the stream.
@@ -733,7 +804,7 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
       const std::size_t r = begin + i;
       const std::vector<std::uint32_t>* hints =
           seed_hints != nullptr ? &(*seed_hints)[r] : nullptr;
-      PlanRow(rows, begin, r, row_seeds[i], live, base_tick + i, hints,
+      PlanRow(rows, begin, r, row_seeds[i], row_live[i], base_tick + i, hints,
               ingest_scratch_[slot], plans[i]);
     };
     {
@@ -753,8 +824,9 @@ std::uint32_t OnlineKnnGraph::InsertBatch(
       WriterMutexLock write_guard(mu_);
       batch_ids.clear();
       for (std::size_t i = 0; i < width; ++i) {
-        const std::uint32_t id = CommitRow(rows, begin + i, snapshot_n,
-                                           batch_ids, plans[i], touched);
+        const std::uint32_t id = CommitRow(
+            rows, begin + i, snapshot_n, batch_ids, plans[i], touched,
+            modes != nullptr ? (*modes)[begin + i] : kNoMode);
         batch_ids.push_back(id);
         if (first_id == kNoSlot) first_id = id;
         if (assigned != nullptr) assigned->push_back(id);

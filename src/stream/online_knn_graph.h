@@ -129,6 +129,13 @@ struct SearchScratch {
 /// so a resumed stream continues with the seed count it had converged to.
 /// `live_seeds == 0` means "not yet initialized" — the graph starts from
 /// params.num_seeds.
+///
+/// Besides the global instance, the graph keeps one of these per caller
+/// -supplied mode (the streaming clusterer's route-hint cluster): audit
+/// verdicts of rows tagged with a mode adjust that mode's budget, so a
+/// rare hard cluster can run 4x the seeds of an easy dense one instead of
+/// dragging the global count up for everyone. A mode whose state is still
+/// uninitialized (live_seeds == 0) inherits the global budget.
 struct AdaptiveSeedState {
   std::uint64_t live_seeds = 0;  ///< entry points currently in force
   double fail_ewma = 0.125;      ///< audit-walk disagreement rate (EWMA)
@@ -198,6 +205,10 @@ const char* ValidateSq8ArenaParts(const Sq8ArenaParts& sq8, std::size_t rows,
 /// expensive part of ingest and block only during edge application.
 class OnlineKnnGraph {
  public:
+  /// Sentinel mode id for "no mode": rows tagged with it (and rows of a
+  /// modeless batch) use and adjust the global adaptive seed budget.
+  static constexpr std::uint32_t kNoMode = 0xffffffffu;
+
   /// Empty structure over `dim`-dimensional points.
   OnlineKnnGraph(std::size_t dim, const OnlineGraphParams& params);
 
@@ -214,9 +225,13 @@ class OnlineKnnGraph {
   /// Restore overload carrying a (possibly trained) SQ8 arena. When
   /// `sq8.trained`, `points` must be empty (the fp32 rows were dropped at
   /// training time) and the code arena supplies the row shape.
+  /// `mode_seeds` restores the per-mode adaptive budgets (empty for
+  /// checkpoints written before per-mode budgets, or for streams that
+  /// never tagged rows with modes).
   OnlineKnnGraph(Matrix points, KnnGraph graph, const OnlineGraphParams& params,
                  const RngSnapshot& rng, const AdaptiveSeedState& seeds,
-                 const RemovalState& removal, Sq8ArenaParts sq8);
+                 const RemovalState& removal, Sq8ArenaParts sq8,
+                 std::vector<AdaptiveSeedState> mode_seeds = {});
 
   /// Number of arena slots (== the exclusive upper bound on node ids).
   /// Removal tombstones a slot without shrinking the arena, so this is
@@ -307,6 +322,10 @@ class OnlineKnnGraph {
   void RequantizeArena();
   /// Adaptive-policy snapshot for checkpointing. Safe during ingest.
   AdaptiveSeedState seed_state() const;
+  /// Per-mode adaptive budgets for checkpointing (index == mode id; an
+  /// entry with live_seeds == 0 has never adjusted and inherits the global
+  /// budget). Empty when no batch ever carried modes. Safe during ingest.
+  std::vector<AdaptiveSeedState> mode_seed_states() const;
   /// Deletion-bookkeeping snapshot for checkpointing. Safe during ingest.
   RemovalState removal_state() const;
   /// Entry points currently used per walk (adapts; see AdaptiveSeedState).
@@ -339,11 +358,18 @@ class OnlineKnnGraph {
   /// committed serially in row order — the result is bit-identical at any
   /// thread count. `touched` behaves as in Insert (sorted, deduplicated).
   /// `seed_hints`, when non-null, supplies one hint vector per row.
+  /// `modes`, when non-null, tags each row with a caller-defined mode id
+  /// (the streaming clusterer's nearest cluster): the row's walk uses that
+  /// mode's adaptive seed budget (global budget until the mode's own state
+  /// initializes) and its audit verdict adjusts the per-mode state instead
+  /// of the global one. nullptr keeps the purely global policy and is
+  /// byte-identical to the behavior before modes existed.
   std::uint32_t InsertBatch(
       const Matrix& rows, ThreadPool* pool,
       std::vector<std::uint32_t>* touched = nullptr,
       const std::vector<std::vector<std::uint32_t>>* seed_hints = nullptr,
-      std::vector<std::uint32_t>* assigned = nullptr);
+      std::vector<std::uint32_t>* assigned = nullptr,
+      const std::vector<std::uint32_t>* modes = nullptr);
 
   /// Tombstones point `id` (which must be alive): concurrent SearchKnn and
   /// SearchKnnBatch readers skip it from then on without blocking, and its
@@ -426,12 +452,14 @@ class OnlineKnnGraph {
   /// forward/reverse edges, local join from the precomputed table,
   /// adaptive-policy bookkeeping. Candidate ids at or above `snapshot_n`
   /// are sub-batch predecessors and resolve through `batch_ids` (the ids
-  /// already committed for earlier rows of the sub-batch).
+  /// already committed for earlier rows of the sub-batch). `mode` routes
+  /// the audit verdict (kNoMode = global policy).
   std::uint32_t CommitRow(const Matrix& rows, std::size_t r,
                           std::size_t snapshot_n,
                           const std::vector<std::uint32_t>& batch_ids,
                           PlannedInsert& plan,
-                          std::vector<std::uint32_t>* touched)
+                          std::vector<std::uint32_t>* touched,
+                          std::uint32_t mode)
       GKM_REQUIRES(mu_);
 
   /// Unlocked core of CompactTombstones; requires the writer lock.
@@ -456,8 +484,15 @@ class OnlineKnnGraph {
   void EncodeSlotLocked(std::uint32_t id, const float* x) GKM_REQUIRES(mu_);
 
   /// Folds one audit verdict into the failure EWMA and adjusts the live
-  /// seed count when the rate crosses a policy threshold.
-  void ApplyAudit(bool failed) GKM_REQUIRES(mu_);
+  /// seed count when the rate crosses a policy threshold. A valid `mode`
+  /// adjusts that mode's state (initialized from the global budget on its
+  /// first audit); kNoMode adjusts the global policy.
+  void ApplyAudit(bool failed, std::uint32_t mode) GKM_REQUIRES(mu_);
+
+  /// Seed budget in force for a row of mode `mode` (kNoMode or an
+  /// uninitialized mode falls back to the global budget).
+  std::size_t EffectiveSeedsLocked(std::uint32_t mode) const
+      GKM_REQUIRES_SHARED(mu_);
 
   void EnsureScratch(std::size_t slots);
 
@@ -519,6 +554,10 @@ class OnlineKnnGraph {
   std::size_t live_seeds_ GKM_GUARDED_BY(mu_) = 0;
   double fail_ewma_ GKM_GUARDED_BY(mu_) = 0.125;
   std::uint64_t audit_tick_ GKM_GUARDED_BY(mu_) = 0;
+  // Per-mode budgets, indexed by the caller's mode id; grows on demand at
+  // the start of a mode-tagged batch. Entries with live_seeds == 0 are
+  // uninitialized and defer to the global policy above.
+  std::vector<AdaptiveSeedState> mode_seeds_ GKM_GUARDED_BY(mu_);
   // Per-slot walk scratch for the parallel ingest phase (each pool slot
   // owns one entry); serving threads bring their own SearchScratch.
   std::vector<SearchScratch> ingest_scratch_;

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
+#include "common/kernels.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -58,7 +60,8 @@ ShardedOnlineKnnGraph::ShardedOnlineKnnGraph(
     OnlineShardParts& part = parts[s];
     shards_.emplace_back(std::move(part.points), std::move(part.graph),
                          ShardParams(params, s), part.rng, part.seeds,
-                         part.removal, std::move(part.sq8));
+                         part.removal, std::move(part.sq8),
+                         std::move(part.mode_seeds));
   }
 }
 
@@ -138,12 +141,19 @@ std::uint32_t ShardedOnlineKnnGraph::InsertBatch(
     const Matrix& rows, ThreadPool* pool,
     std::vector<std::uint32_t>* touched,
     const std::vector<std::vector<std::uint32_t>>* seed_hints,
-    std::vector<std::uint32_t>* assigned) {
+    std::vector<std::uint32_t>* assigned,
+    const std::vector<std::uint32_t>* placement,
+    const std::vector<std::uint32_t>* modes) {
   const std::size_t num_shards = shards_.size();
+  GKM_CHECK_MSG(placement == nullptr || placement->size() == rows.rows(),
+                "one placement shard per row required");
+  GKM_CHECK_MSG(modes == nullptr || modes->size() == rows.rows(),
+                "one mode id per row required");
   if (num_shards == 1) {
     // Single shard: global ids are slot ids — delegate with zero overhead
     // (and bit-identical behavior to the unsharded graph).
-    return shards_[0].InsertBatch(rows, pool, touched, seed_hints, assigned);
+    return shards_[0].InsertBatch(rows, pool, touched, seed_hints, assigned,
+                                  modes);
   }
   GKM_CHECK_MSG(rows.cols() == dim(), "batch dimension mismatch");
   GKM_CHECK_MSG(seed_hints == nullptr || seed_hints->size() == rows.rows(),
@@ -153,13 +163,24 @@ std::uint32_t ShardedOnlineKnnGraph::InsertBatch(
   GKM_TRACE_SPAN("stream.shard.insert_batch");
 
   // Deterministic partition: input row indices per shard, in row order.
+  // Explicit placement (cluster-routed assignment) wins over the content
+  // hash; both are pure functions of checkpointed state, never of timing.
   std::vector<std::vector<std::uint32_t>> rows_of(num_shards);
   for (std::size_t r = 0; r < total; ++r) {
-    rows_of[ShardOf(rows.Row(r))].push_back(static_cast<std::uint32_t>(r));
+    std::uint32_t s;
+    if (placement != nullptr) {
+      s = (*placement)[r];
+      GKM_CHECK_MSG(s < num_shards, "placement shard out of range");
+    } else {
+      s = ShardOf(rows.Row(r));
+    }
+    rows_of[s].push_back(static_cast<std::uint32_t>(r));
   }
   std::vector<Matrix> shard_rows(num_shards);
   std::vector<std::vector<std::vector<std::uint32_t>>> shard_hints;
   if (seed_hints != nullptr) shard_hints.resize(num_shards);
+  std::vector<std::vector<std::uint32_t>> shard_modes;
+  if (modes != nullptr) shard_modes.resize(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     const std::vector<std::uint32_t>& mine = rows_of[s];
     if (mine.empty()) continue;
@@ -167,6 +188,7 @@ std::uint32_t ShardedOnlineKnnGraph::InsertBatch(
     if (seed_hints != nullptr) shard_hints[s].resize(mine.size());
     for (std::size_t p = 0; p < mine.size(); ++p) {
       shard_rows[s].SetRow(p, rows.Row(mine[p]));
+      if (modes != nullptr) shard_modes[s].push_back((*modes)[mine[p]]);
       if (seed_hints == nullptr) continue;
       // Hints are global ids; a walk can only enter its own shard's arena,
       // so foreign-shard hints are dropped and the rest become slots.
@@ -190,7 +212,8 @@ std::uint32_t ShardedOnlineKnnGraph::InsertBatch(
     shards_[s].InsertBatch(shard_rows[s], pool,
                            touched != nullptr ? &shard_touched[s] : nullptr,
                            seed_hints != nullptr ? &shard_hints[s] : nullptr,
-                           &shard_assigned[s]);
+                           &shard_assigned[s],
+                           modes != nullptr ? &shard_modes[s] : nullptr);
   };
   std::vector<std::size_t> active;
   for (std::size_t s = 0; s < num_shards; ++s) {
@@ -285,9 +308,13 @@ std::vector<Neighbor> ShardedOnlineKnnGraph::SearchKnn(
   return merged;
 }
 
-std::vector<Neighbor> ShardedOnlineKnnGraph::SearchKnnInShard(
+std::optional<std::vector<Neighbor>> ShardedOnlineKnnGraph::SearchKnnInShard(
     std::size_t s, const float* q, std::size_t topk,
     SearchScratch& scratch) const {
+  // A stale or corrupt routing table would otherwise index past the shard
+  // vector; answer "no such shard" instead of empty results (which read as
+  // "shard holds nothing near q") or an abort.
+  if (s >= shards_.size()) return std::nullopt;
   std::vector<Neighbor> out = shards_[s].SearchKnn(q, topk, scratch);
   if (shards_.size() == 1) return out;
   for (Neighbor& nb : out) {
@@ -325,6 +352,268 @@ std::vector<std::vector<Neighbor>> ShardedOnlineKnnGraph::SearchKnnBatch(
     if (m.size() > topk) m.resize(topk);
   }
   return merged;
+}
+
+void ShardedOnlineKnnGraph::SetRouter(
+    std::shared_ptr<const ShardRouter> router) {
+  if (router != nullptr) {
+    GKM_CHECK_MSG(router->home.size() == router->active.size() &&
+                      router->centroids.rows() == router->home.size(),
+                  "router table shape mismatch");
+    for (const std::uint32_t s : router->home) {
+      GKM_CHECK_MSG(s < shards_.size(), "router home shard out of range");
+    }
+  }
+  WriterMutexLock guard(publish_mu_);
+  router_ = std::move(router);
+}
+
+std::shared_ptr<const ShardRouter> ShardedOnlineKnnGraph::router() const {
+  ReaderMutexLock guard(publish_mu_);
+  return router_;
+}
+
+std::size_t ShardedOnlineKnnGraph::RouteShards(const ShardRouter& router,
+                                               const float* q,
+                                               std::uint32_t out[2],
+                                               std::vector<float>& dist) const {
+  const std::size_t k = router.centroids.rows();
+  if (k == 0) return 0;
+  dist.resize(k);
+  L2SqrBatch(q, router.centroids.Row(0), router.centroids.stride(), k, dim(),
+             dist.data());
+  // Nearest active cluster (lowest id on ties): its home shard is where
+  // graph locality says ~all of q's neighbors live.
+  std::size_t c1 = k;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (router.active[c] == 0) continue;
+    if (c1 == k || dist[c] < dist[c1]) c1 = c;
+  }
+  if (c1 == k) return 0;
+  const std::uint32_t s1 = router.home[c1];
+  out[0] = s1;
+  // Margin-guarded spill: the best active cluster homed on a DIFFERENT
+  // shard. A query near a cluster boundary scores two clusters nearly
+  // equally; when those clusters live on different shards, searching only
+  // one would halve recall exactly where answers straddle the cut.
+  std::size_t c2 = k;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (router.active[c] == 0 || router.home[c] == s1) continue;
+    if (c2 == k || dist[c] < dist[c2]) c2 = c;
+  }
+  if (c2 != k &&
+      static_cast<double>(dist[c2]) <=
+          (1.0 + router.spill_margin) * static_cast<double>(dist[c1])) {
+    out[1] = router.home[c2];
+    return 2;
+  }
+  return 1;
+}
+
+std::vector<Neighbor> ShardedOnlineKnnGraph::MergeRouted(
+    const std::uint32_t* shard_ids, std::vector<Neighbor>* parts,
+    std::size_t count, std::size_t topk) const {
+  std::vector<Neighbor> merged;
+  if (count == 1) {
+    merged = std::move(parts[0]);
+    for (Neighbor& nb : merged) nb.id = ToGlobal(shard_ids[0], nb.id);
+    if (merged.size() > topk) merged.resize(topk);
+    return merged;
+  }
+  merged.reserve(count * topk);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const Neighbor& nb : parts[i]) {
+      merged.push_back(Neighbor{ToGlobal(shard_ids[i], nb.id), nb.dist});
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  if (merged.size() > topk) merged.resize(topk);
+  return merged;
+}
+
+std::vector<Neighbor> ShardedOnlineKnnGraph::SearchKnnRouted(
+    const float* q, std::size_t topk) const {
+  thread_local SearchScratch scratch;
+  return SearchKnnRouted(q, topk, scratch);
+}
+
+std::vector<Neighbor> ShardedOnlineKnnGraph::SearchKnnRouted(
+    const float* q, std::size_t topk, SearchScratch& scratch) const {
+  const std::shared_ptr<const ShardRouter> router = this->router();
+  if (router == nullptr || shards_.size() == 1) {
+    return SearchKnn(q, topk, scratch);
+  }
+  GKM_TRACE_SPAN("serve.shard.search_routed");
+  std::uint32_t targets[2];
+  const std::size_t count =
+      RouteShards(*router, q, targets, scratch.pending_dist);
+  if (count == 0) return SearchKnn(q, topk, scratch);
+  route_hits_.Add(1);
+  GKM_COUNTER_ADD("serve.route.hit", 1);
+  if (count == 2) {
+    route_spills_.Add(1);
+    GKM_COUNTER_ADD("serve.route.spill", 1);
+  }
+  std::vector<Neighbor> parts[2];
+  for (std::size_t i = 0; i < count; ++i) {
+    parts[i] = shards_[targets[i]].SearchKnn(q, topk, scratch);
+  }
+  return MergeRouted(targets, parts, count, topk);
+}
+
+std::vector<std::vector<Neighbor>> ShardedOnlineKnnGraph::SearchKnnBatchRouted(
+    const Matrix& queries, std::size_t topk) const {
+  thread_local SearchScratch scratch;
+  return SearchKnnBatchRouted(queries, topk, scratch);
+}
+
+std::vector<std::vector<Neighbor>> ShardedOnlineKnnGraph::SearchKnnBatchRouted(
+    const Matrix& queries, std::size_t topk, SearchScratch& scratch) const {
+  // One router snapshot for the whole batch, then the per-query routed
+  // path. Per-query shard locking (rather than one batch acquisition per
+  // shard) is the point: most queries touch one shard, so the fan-out work
+  // the merged batch would do simply never happens.
+  const std::shared_ptr<const ShardRouter> router = this->router();
+  if (router == nullptr || shards_.size() == 1) {
+    return SearchKnnBatch(queries, topk, scratch);
+  }
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    std::uint32_t targets[2];
+    const std::size_t count =
+        RouteShards(*router, queries.Row(i), targets, scratch.pending_dist);
+    if (count == 0) {
+      out[i] = SearchKnn(queries.Row(i), topk, scratch);
+      continue;
+    }
+    route_hits_.Add(1);
+    GKM_COUNTER_ADD("serve.route.hit", 1);
+    if (count == 2) {
+      route_spills_.Add(1);
+      GKM_COUNTER_ADD("serve.route.spill", 1);
+    }
+    std::vector<Neighbor> parts[2];
+    for (std::size_t t = 0; t < count; ++t) {
+      parts[t] = shards_[targets[t]].SearchKnn(queries.Row(i), topk, scratch);
+    }
+    out[i] = MergeRouted(targets, parts, count, topk);
+  }
+  return out;
+}
+
+void ShardedOnlineKnnGraph::RefreshReplicas(std::size_t per_shard,
+                                            std::uint64_t window) {
+  if (per_shard == 0) {
+    WriterMutexLock guard(publish_mu_);
+    replicas_.reset();
+    return;
+  }
+  GKM_TRACE_SPAN("stream.replica.refresh");
+  auto table = std::make_shared<ReplicaTable>();
+  table->per_shard = per_shard;
+  table->window = window;
+  table->router = router();
+  table->graphs.reserve(shards_.size() * per_shard);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const OnlineKnnGraph& leader = shards_[s];
+    // Snapshot the leader's checkpoint parts and restore-construct each
+    // lane from them — the exact mechanism checkpoint resume uses, so a
+    // replica's SearchKnn is element-wise identical to the leader's
+    // against the same committed state (search draws its RNG from params
+    // + arena size, both copied here). Ingest-caller context: the shard
+    // is quiescent, which is what the parts accessors require.
+    Sq8ArenaParts sq8;
+    sq8.trained = leader.sq8_trained();
+    if (sq8.trained) {
+      sq8.rows = leader.sq8_norms().size();
+      sq8.codes = leader.sq8_codes();
+      sq8.norms = leader.sq8_norms();
+      sq8.quant = leader.sq8_quantizer();
+    }
+    for (std::size_t r = 0; r < per_shard; ++r) {
+      Sq8ArenaParts lane_sq8 = sq8;
+      table->graphs.push_back(std::make_unique<OnlineKnnGraph>(
+          leader.points(), leader.graph(), ShardParams(params_, s),
+          leader.rng_state(), leader.seed_state(), leader.removal_state(),
+          std::move(lane_sq8), leader.mode_seed_states()));
+    }
+  }
+  GKM_COUNTER_ADD("stream.replica.refresh", 1);
+  WriterMutexLock guard(publish_mu_);
+  replicas_ = std::move(table);
+}
+
+std::shared_ptr<const ReplicaTable> ShardedOnlineKnnGraph::replica_table()
+    const {
+  ReaderMutexLock guard(publish_mu_);
+  return replicas_;
+}
+
+std::vector<std::vector<Neighbor>> ShardedOnlineKnnGraph::SearchKnnBatchReplica(
+    const Matrix& queries, std::size_t topk, SearchScratch& scratch) const {
+  const std::shared_ptr<const ReplicaTable> table = replica_table();
+  if (table == nullptr) {
+    // No replicas published: answer from the leader, routed when a router
+    // is installed (the common pre-bootstrap / replicas-off path).
+    if (router() != nullptr && shards_.size() > 1) {
+      return SearchKnnBatchRouted(queries, topk, scratch);
+    }
+    return SearchKnnBatch(queries, topk, scratch);
+  }
+  GKM_TRACE_SPAN("serve.shard.search_replica");
+  const std::size_t num_shards = shards_.size();
+  // Round-robin lane per batch: concurrent workers spread across lanes,
+  // and because every lane of a generation is an identical copy, lane
+  // choice is invisible in the results.
+  const std::size_t lane =
+      static_cast<std::size_t>(replica_lane_.Next()) % table->per_shard;
+  auto lane_graph = [&](std::size_t s) -> const OnlineKnnGraph& {
+    return *table->graphs[s * table->per_shard + lane];
+  };
+  replica_reads_.Add(queries.rows());
+  GKM_COUNTER_ADD("serve.replica.reads",
+                  static_cast<std::int64_t>(queries.rows()));
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    const float* q = queries.Row(i);
+    std::uint32_t targets[2];
+    std::size_t count = 0;
+    if (table->router != nullptr && num_shards > 1) {
+      count = RouteShards(*table->router, q, targets, scratch.pending_dist);
+      if (count != 0) {
+        route_hits_.Add(1);
+        GKM_COUNTER_ADD("serve.route.hit", 1);
+        if (count == 2) {
+          route_spills_.Add(1);
+          GKM_COUNTER_ADD("serve.route.spill", 1);
+        }
+      }
+    }
+    if (count == 0) {
+      // Merged fallback over this lane's copies (routing off, or no
+      // active cluster yet).
+      std::vector<Neighbor> merged;
+      merged.reserve(num_shards * topk);
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const std::vector<Neighbor> part =
+            lane_graph(s).SearchKnn(q, topk, scratch);
+        for (const Neighbor& nb : part) {
+          merged.push_back(Neighbor{
+              ToGlobal(static_cast<std::uint32_t>(s), nb.id), nb.dist});
+        }
+      }
+      std::sort(merged.begin(), merged.end());
+      if (merged.size() > topk) merged.resize(topk);
+      out[i] = std::move(merged);
+      continue;
+    }
+    std::vector<Neighbor> parts[2];
+    for (std::size_t t = 0; t < count; ++t) {
+      parts[t] = lane_graph(targets[t]).SearchKnn(q, topk, scratch);
+    }
+    out[i] = MergeRouted(targets, parts, count, topk);
+  }
+  return out;
 }
 
 }  // namespace gkm

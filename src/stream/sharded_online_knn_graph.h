@@ -24,10 +24,14 @@
 #ifndef GKM_STREAM_SHARDED_ONLINE_KNN_GRAPH_H_
 #define GKM_STREAM_SHARDED_ONLINE_KNN_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "stream/online_knn_graph.h"
 
@@ -72,6 +76,40 @@ struct OnlineShardParts {
   /// fp32-resident shard; `points` must then hold the rows, exactly as in
   /// v2–v4 checkpoints.
   Sq8ArenaParts sq8;
+  /// Per-mode adaptive seed budgets (GKMC v6). Empty for earlier versions
+  /// or modeless streams.
+  std::vector<AdaptiveSeedState> mode_seeds;
+};
+
+/// Immutable routing table published by the streaming clusterer after each
+/// committed window: the cluster centroids as of that commit, each
+/// cluster's home shard, and which clusters are non-empty. A query routes
+/// to the home shard of its nearest active cluster, spilling to the best
+/// cluster on a *different* shard when the two scores are within the
+/// margin — `d2 <= (1 + spill_margin) * d1` in squared-distance space —
+/// so near-boundary queries still see both plausible shards.
+///
+/// Everything here is a pure function of checkpointed clusterer state
+/// (centroids, counts, home assignment), never of load or timing, so
+/// routing is arrival-order / thread-count / restart independent.
+struct ShardRouter {
+  Matrix centroids;                  ///< k x dim, post-commit values
+  std::vector<std::uint32_t> home;   ///< cluster -> home shard, size k
+  std::vector<std::uint8_t> active;  ///< 1 = non-empty cluster, size k
+  double spill_margin = 0.35;        ///< runner-up tolerance (squared space)
+};
+
+/// One generation of per-shard read replicas: snapshot copies of every
+/// shard graph taken by the ingest caller after a committed window, plus
+/// the router frozen with them. Query workers fan out across replica
+/// lanes (graphs[s * per_shard + r]) so read throughput scales past the
+/// writer count; every lane of a shard is an identical copy restored from
+/// the same snapshot, so which lane answers never changes the answer.
+struct ReplicaTable {
+  std::vector<std::unique_ptr<OnlineKnnGraph>> graphs;  ///< S * per_shard
+  std::size_t per_shard = 0;
+  std::uint64_t window = 0;  ///< ingest commit the snapshot trails
+  std::shared_ptr<const ShardRouter> router;  ///< null = merged reads
 };
 
 /// S independent online graphs behind one global-id facade.
@@ -150,20 +188,26 @@ class ShardedOnlineKnnGraph {
       const;
 
   /// Batch insert of every row of `rows`, partitioned to shards by
-  /// ShardOf. Per-shard ingest runs on one writer thread per non-empty
-  /// shard (walks additionally fan out over `pool` when given), and
-  /// commits of different shards proceed concurrently under their own
-  /// locks. `assigned` (when non-null) receives every row's *global* id in
-  /// row order; the first row's id is returned. `touched` collects global
-  /// ids of pre-existing nodes whose lists changed (sorted, deduplicated).
+  /// `placement` when given (one target shard per row — the streaming
+  /// clusterer's cluster-routed assignment), else by ShardOf. Per-shard
+  /// ingest runs on one writer thread per non-empty shard (walks
+  /// additionally fan out over `pool` when given), and commits of
+  /// different shards proceed concurrently under their own locks.
+  /// `assigned` (when non-null) receives every row's *global* id in row
+  /// order; the first row's id is returned. `touched` collects global ids
+  /// of pre-existing nodes whose lists changed (sorted, deduplicated).
   /// `seed_hints`, when non-null, supplies one *global-id* hint vector per
   /// row; hints living in a foreign shard are dropped (a walk cannot enter
-  /// another shard's arena). Deterministic at any thread count.
+  /// another shard's arena). `modes`, when non-null, tags each row with
+  /// its cluster id for the per-mode adaptive seed budgets (forwarded to
+  /// the row's shard). Deterministic at any thread count.
   std::uint32_t InsertBatch(
       const Matrix& rows, ThreadPool* pool,
       std::vector<std::uint32_t>* touched = nullptr,
       const std::vector<std::vector<std::uint32_t>>* seed_hints = nullptr,
-      std::vector<std::uint32_t>* assigned = nullptr);
+      std::vector<std::uint32_t>* assigned = nullptr,
+      const std::vector<std::uint32_t>* placement = nullptr,
+      const std::vector<std::uint32_t>* modes = nullptr);
 
   /// Tombstones global id `g` in its shard (repair + amortized purge as in
   /// OnlineKnnGraph::Remove). `repaired` collects global ids (sorted,
@@ -185,10 +229,66 @@ class ShardedOnlineKnnGraph {
   /// Single-shard query, ids global: the routed-serving fast path when the
   /// caller knows the target shard (e.g. cluster-affine routing), and the
   /// stall-independence primitive — it takes only shard `s`'s reader lock,
-  /// so it can never block on any other shard's commit.
-  std::vector<Neighbor> SearchKnnInShard(std::size_t s, const float* q,
-                                         std::size_t topk,
-                                         SearchScratch& scratch) const;
+  /// so it can never block on any other shard's commit. Returns nullopt
+  /// when `s` is out of range (a routing-table bug at the caller) instead
+  /// of silently answering from the wrong arena or aborting.
+  std::optional<std::vector<Neighbor>> SearchKnnInShard(
+      std::size_t s, const float* q, std::size_t topk,
+      SearchScratch& scratch) const;
+
+  /// Publishes a routing table (null clears routing). The ingest caller
+  /// installs a fresh table after each committed window; readers snapshot
+  /// it per query, so an in-flight search keeps the generation it started
+  /// with. The table must have `home` entries < num_shards.
+  void SetRouter(std::shared_ptr<const ShardRouter> router);
+  /// Current routing table (null when routing is off / not yet published).
+  std::shared_ptr<const ShardRouter> router() const;
+
+  /// Routed single-shard query: scores `q` against the router's centroids,
+  /// searches only the nearest active cluster's home shard — plus the
+  /// runner-up shard when the margin guard trips — and returns global ids
+  /// sorted by (dist, id). Falls back to the merged SearchKnn when no
+  /// router is installed or S == 1. ~S x less walk work than the merged
+  /// fan-out when the spill rate is low (the bench-gated claim).
+  std::vector<Neighbor> SearchKnnRouted(const float* q,
+                                        std::size_t topk) const;
+  std::vector<Neighbor> SearchKnnRouted(const float* q, std::size_t topk,
+                                        SearchScratch& scratch) const;
+  /// Batched routed queries, element-wise identical to per-query
+  /// SearchKnnRouted calls against the same router generation.
+  std::vector<std::vector<Neighbor>> SearchKnnBatchRouted(
+      const Matrix& queries, std::size_t topk) const;
+  std::vector<std::vector<Neighbor>> SearchKnnBatchRouted(
+      const Matrix& queries, std::size_t topk, SearchScratch& scratch) const;
+
+  /// Rebuilds the read-replica table: `per_shard` snapshot copies of every
+  /// shard (restored from the leader's checkpoint parts, so replica
+  /// searches are element-wise identical to leader searches against the
+  /// same state), stamped with the ingest commit `window` and carrying the
+  /// current router. per_shard == 0 clears the table. Ingest-caller only
+  /// (requires the shards quiescent); readers snapshot the table per
+  /// batch, so queries in flight keep the generation they started with.
+  void RefreshReplicas(std::size_t per_shard, std::uint64_t window);
+  /// Current replica table (null until the first refresh).
+  std::shared_ptr<const ReplicaTable> replica_table() const;
+
+  /// Batched queries answered from the replica table: each call picks the
+  /// next replica lane round-robin and answers entirely from that lane's
+  /// snapshot copies — routed when the table carries a router, merged
+  /// otherwise — so concurrent query workers spread across lanes and
+  /// never contend on the leader's shard locks. Falls back to the leader
+  /// (routed when a router is installed) when no table is published.
+  /// Lane choice never changes answers: all lanes of a generation are
+  /// identical copies.
+  std::vector<std::vector<Neighbor>> SearchKnnBatchReplica(
+      const Matrix& queries, std::size_t topk, SearchScratch& scratch) const;
+
+  /// Routing / replica telemetry: queries answered via the routed path,
+  /// routed queries that spilled to a second shard, and batch queries
+  /// answered from a replica lane. Monotonic, relaxed.
+  std::uint64_t route_hits() const { return route_hits_.Load(); }
+  std::uint64_t route_spills() const { return route_spills_.Load(); }
+  std::uint64_t replica_reads() const { return replica_reads_.Load(); }
 
   /// Batched serving queries: per-shard SearchKnnBatch (one reader
   /// acquisition per shard per batch), merged per query. Element-wise
@@ -203,8 +303,51 @@ class ShardedOnlineKnnGraph {
     return GlobalId::Join(shard, slot, shards_.size());
   }
 
+  /// Scores `q` against `router`'s centroids and fills `out` with the home
+  /// shard of the nearest active cluster, plus the runner-up shard when
+  /// the spill margin trips. Returns the shard count (0 = no active
+  /// cluster, caller falls back to merged search). `dist` is scratch.
+  std::size_t RouteShards(const ShardRouter& router, const float* q,
+                          std::uint32_t out[2], std::vector<float>& dist) const;
+
+  /// Merges per-shard results (already global-id-translated by the caller
+  /// via `shard_of[i]`) into one (dist, id)-ordered top-k.
+  std::vector<Neighbor> MergeRouted(const std::uint32_t* shard_ids,
+                                    std::vector<Neighbor>* parts,
+                                    std::size_t count, std::size_t topk) const;
+
+  // Movable monotonic counter (mirrors OnlineKnnGraph's pattern: the copy
+  // hooks only ever run before concurrent use, when the owning streaming
+  // model is moved into place).
+  struct RelaxedCounter {
+    std::atomic<std::uint64_t> v{0};
+    RelaxedCounter() = default;
+    RelaxedCounter(const RelaxedCounter& o)
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    RelaxedCounter& operator=(const RelaxedCounter& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+    void Add(std::uint64_t inc) { v.fetch_add(inc, std::memory_order_relaxed); }
+    std::uint64_t Next() { return v.fetch_add(1, std::memory_order_relaxed); }
+    std::uint64_t Load() const { return v.load(std::memory_order_relaxed); }
+  };
+
   OnlineGraphParams params_;
   std::vector<OnlineKnnGraph> shards_;
+  // Published routing/replica generations: written by the ingest caller
+  // (pointer swap under the writer side), snapshotted by readers under the
+  // shared side. SharedMutex copy/move semantics (fresh mutex) keep the
+  // facade movable like its shards.
+  SharedMutex publish_mu_;
+  std::shared_ptr<const ShardRouter> router_ GKM_GUARDED_BY(publish_mu_);
+  std::shared_ptr<const ReplicaTable> replicas_ GKM_GUARDED_BY(publish_mu_);
+  // Round-robin replica lane cursor. Relaxed: lane choice is pure load
+  // spreading — every lane of a generation answers identically.
+  mutable RelaxedCounter replica_lane_;
+  mutable RelaxedCounter route_hits_;
+  mutable RelaxedCounter route_spills_;
+  mutable RelaxedCounter replica_reads_;
 };
 
 }  // namespace gkm

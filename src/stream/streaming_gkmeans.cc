@@ -38,6 +38,12 @@ const char* ValidateStreamSnapshot(const StreamSnapshot& snap) {
   if (p.bootstrap_min <= 2 * p.k) {
     return "snapshot bootstrap window too small for k clusters";
   }
+  if (!(std::isfinite(p.spill_margin) && p.spill_margin >= 0.0)) {
+    return "snapshot spill margin out of range";
+  }
+  if (!(std::isfinite(p.rebalance_threshold) && p.rebalance_threshold >= 0.0)) {
+    return "snapshot rebalance threshold out of range";
+  }
   const std::size_t num_shards = snap.shards.size();
   if (num_shards == 0 || num_shards != p.graph.shards) {
     return "snapshot shard count does not match params";
@@ -68,6 +74,20 @@ const char* ValidateStreamSnapshot(const StreamSnapshot& snap) {
     if (const char* msg =
             ValidateSq8ArenaParts(shard.sq8, rows[s], dim, p.graph)) {
       return msg;
+    }
+    // Per-mode seed budgets (v6): modes are cluster ids, so the table can
+    // never be wider than k. live_seeds == 0 marks an uninitialized mode.
+    if (shard.mode_seeds.size() > p.k) {
+      return "snapshot per-mode seed table wider than k";
+    }
+    for (const AdaptiveSeedState& ms : shard.mode_seeds) {
+      if (!(std::isfinite(ms.fail_ewma) && ms.fail_ewma >= 0.0 &&
+            ms.fail_ewma <= 1.0)) {
+        return "snapshot per-mode seed EWMA out of range";
+      }
+      if (ms.live_seeds > (1u << 24)) {
+        return "snapshot per-mode seed count implausible";
+      }
     }
   }
   const std::size_t bound = ShardedArenaBound(rows.data(), num_shards);
@@ -106,6 +126,19 @@ const char* ValidateStreamSnapshot(const StreamSnapshot& snap) {
     if (rep >= bound || alive[rep] == 0) {
       return "snapshot cluster representative out of range";
     }
+  }
+  if (!snap.cluster_home.empty() && snap.cluster_home.size() != p.k) {
+    return "snapshot cluster-home count mismatch";
+  }
+  for (const std::uint32_t h : snap.cluster_home) {
+    if (h >= num_shards) return "snapshot cluster home out of range";
+  }
+  if (p.routed_placement && snap.bootstrapped &&
+      snap.cluster_home.size() != p.k) {
+    return "routed snapshot missing cluster homes";
+  }
+  if (!p.routed_placement && !snap.cluster_home.empty()) {
+    return "snapshot cluster homes present without routed placement";
   }
   if (!snap.birth_windows.empty() &&
       snap.birth_windows.size() != snap.labels.size()) {
@@ -155,6 +188,7 @@ StreamingGkMeans::StreamingGkMeans(StreamSnapshot snap)
       state_(graph_.dim(), snap.params.k),
       prev_centroids_(std::move(snap.prev_centroids)),
       cluster_reps_(std::move(snap.cluster_reps)),
+      cluster_home_(std::move(snap.cluster_home)),
       birth_window_(std::move(snap.birth_windows)),
       rng_(snap.params.seed),
       windows_(snap.windows),
@@ -202,16 +236,39 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window,
   if (was_bootstrapped) centroids = state_.Centroids();
 
   // Route hints per row, computed in parallel against the window-start
-  // centroid snapshot (cluster state is read-only here).
+  // centroid snapshot (cluster state is read-only here). Routed placement
+  // additionally tags every row with its nearest cluster (its "mode"): the
+  // tag picks the row's home shard below and selects its per-mode adaptive
+  // seed budget inside the graph.
   const std::size_t rows = window.rows();
   std::vector<std::vector<std::uint32_t>> hints;
+  std::vector<std::uint32_t> modes;
   const bool use_hints = was_bootstrapped && params_.route_hints > 0;
-  if (use_hints) {
+  const bool mode_tagged = was_bootstrapped && params_.routed_placement;
+  if (use_hints || mode_tagged) {
     PrepareRouteQuantizer(centroids);
-    hints.resize(rows);
+    if (use_hints) hints.resize(rows);
+    if (mode_tagged) modes.resize(rows);
     pool_->ParallelFor(0, rows, [&](std::size_t r) {
-      ComputeRouteHints(window.Row(r), centroids, hints[r]);
+      thread_local std::vector<std::uint32_t> hint_scratch;
+      std::vector<std::uint32_t>& h = use_hints ? hints[r] : hint_scratch;
+      ComputeRouteHints(window.Row(r), centroids, h,
+                        mode_tagged ? &modes[r] : nullptr);
     });
+  }
+  // Cluster-routed shard assignment: each row lands on its mode's home
+  // shard — a pure function of the checkpointed centroid state, so the
+  // partition stays arrival-order/thread/restart independent. Rows with no
+  // live cluster (every cluster drained) fall back to the content hash.
+  std::vector<std::uint32_t> placement;
+  const bool routed_place =
+      mode_tagged && graph_.num_shards() > 1 && !cluster_home_.empty();
+  if (routed_place) {
+    placement.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      placement[r] = modes[r] != kUnassigned ? cluster_home_[modes[r]]
+                                             : graph_.ShardOf(window.Row(r));
+    }
   }
 
   // Batched graph ingest: walks fan out over the pool against a frozen
@@ -220,7 +277,9 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window,
   // first), so the graph reports them explicitly.
   std::vector<std::uint32_t> fresh;
   graph_.InsertBatch(window, pool_.get(), &touched,
-                     use_hints ? &hints : nullptr, &fresh);
+                     use_hints ? &hints : nullptr, &fresh,
+                     routed_place ? &placement : nullptr,
+                     mode_tagged ? &modes : nullptr);
   labels_.resize(graph_.size(), kUnassigned);
   birth_window_.resize(graph_.size(), windows_);
   for (const std::uint32_t id : fresh) {
@@ -247,6 +306,15 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window,
     ws.moves = RunEpochs(touched, params_.epochs_per_window, &ws.epochs);
     DriftAndReseed(touched, ws);
     SplitMergeMaintain(ws);
+
+    // Routed-placement maintenance: re-home clusters when TTL churn skewed
+    // the shard loads, then drain a budgeted slice of the rows the window
+    // (or a re-home) left on foreign shards. Both read only checkpointed
+    // state, so placement stays a pure function of the stream.
+    if (params_.routed_placement && !cluster_home_.empty()) {
+      ws.rehomed = RebalanceHomes();
+      ws.migrated = MigrateMisplaced(params_.migrate_budget);
+    }
   }
 
   if (bootstrapped_ && state_.n() > 0) ws.distortion = state_.Distortion();
@@ -261,6 +329,10 @@ void StreamingGkMeans::ObserveWindow(const Matrix& window,
   GKM_GAUGE_SET("stream.points_alive",
                 static_cast<std::int64_t>(graph_.num_alive()));
   ++windows_;
+  // Publish the derived read state for this commit: the query router built
+  // on the post-window centroids, and the replica snapshots serving reads
+  // until the next commit.
+  PublishReadState();
   if (params_.history_limit > 0 && history_.size() >= params_.history_limit) {
     history_.pop_front();
   }
@@ -295,6 +367,15 @@ void StreamingGkMeans::Bootstrap() {
 
   RunEpochs(alive, params_.bootstrap_epochs, nullptr);
   prev_centroids_ = state_.Centroids();
+
+  // Routed placement starts here: every cluster gets its home shard, and
+  // the pre-bootstrap rows — content-hashed across shards until now — take
+  // a one-time unbudgeted migration to their homes. Later windows insert
+  // directly onto the home shard, so only churn strands rows after this.
+  if (params_.routed_placement) {
+    AssignClusterHomes();
+    MigrateMisplaced(std::numeric_limits<std::size_t>::max());
+  }
 }
 
 void StreamingGkMeans::PrepareRouteQuantizer(const Matrix& centroids) {
@@ -320,7 +401,8 @@ void StreamingGkMeans::PrepareRouteQuantizer(const Matrix& centroids) {
 
 void StreamingGkMeans::ComputeRouteHints(const float* x,
                                          const Matrix& centroids,
-                                         std::vector<std::uint32_t>& hints)
+                                         std::vector<std::uint32_t>& hints,
+                                         std::uint32_t* nearest_active)
     const {
   // One strided batch over the centroid table (runs per inserted point, so
   // this is an ingest hot path); pushes visit clusters in the same order
@@ -341,6 +423,22 @@ void StreamingGkMeans::ComputeRouteHints(const float* x,
     L2SqrBatch(x, centroids.Row(0), centroids.stride(), params_.k, dim(),
                dist.data());
   }
+  // The routing mode: nearest non-empty cluster (tie → lowest id; strict <
+  // over an ascending scan gives exactly that). Unlike a hint, a mode does
+  // not need a live representative — it names a cluster, not a node.
+  if (nearest_active != nullptr) {
+    std::uint32_t best = kUnassigned;
+    float best_dist = std::numeric_limits<float>::max();
+    for (std::size_t c = 0; c < params_.k; ++c) {
+      if (state_.CountOf(c) == 0) continue;
+      if (dist[c] < best_dist) {
+        best_dist = dist[c];
+        best = static_cast<std::uint32_t>(c);
+      }
+    }
+    *nearest_active = best;
+  }
+  if (params_.route_hints == 0) return;  // mode-only call (hints disabled)
   TopK nearest(params_.route_hints);
   for (std::size_t c = 0; c < params_.k; ++c) {
     if (state_.CountOf(c) == 0 || cluster_reps_[c] == kUnassigned) continue;
@@ -663,6 +761,155 @@ void StreamingGkMeans::SplitMergeMaintain(WindowStats& ws) {
   prev_centroids_ = state_.Centroids();
 }
 
+void StreamingGkMeans::AssignClusterHomes() {
+  const std::size_t S = graph_.num_shards();
+  const std::size_t k = params_.k;
+  cluster_home_.assign(k, 0);
+  if (S < 2) return;
+  // Deterministic LPT greedy over the checkpointed counts: largest
+  // clusters first, each onto the least-loaded shard so far (ties break to
+  // the lowest cluster id / shard index).
+  std::vector<std::uint32_t> order(k);
+  for (std::size_t c = 0; c < k; ++c) order[c] = static_cast<std::uint32_t>(c);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t ca = state_.CountOf(a);
+    const std::uint64_t cb = state_.CountOf(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  std::vector<std::uint64_t> load(S, 0);
+  for (const std::uint32_t c : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < S; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    cluster_home_[c] = static_cast<std::uint32_t>(best);
+    load[best] += state_.CountOf(c);
+  }
+}
+
+std::size_t StreamingGkMeans::RebalanceHomes() {
+  const std::size_t S = graph_.num_shards();
+  const std::size_t k = params_.k;
+  if (params_.rebalance_threshold <= 0.0 || S < 2) return 0;
+  std::size_t moves = 0;
+  for (std::size_t iter = 0; iter < k; ++iter) {
+    std::vector<std::uint64_t> load(S, 0);
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::uint64_t n = state_.CountOf(c);
+      load[cluster_home_[c]] += n;
+      total += n;
+    }
+    if (total == 0) break;
+    std::size_t hi = 0, lo = 0;
+    for (std::size_t s = 1; s < S; ++s) {
+      if (load[s] > load[hi]) hi = s;
+      if (load[s] < load[lo]) lo = s;
+    }
+    const double avg = static_cast<double>(total) / static_cast<double>(S);
+    if (static_cast<double>(load[hi]) / avg - 1.0 <=
+        params_.rebalance_threshold) {
+      break;
+    }
+    // Victim: the hot shard's smallest non-empty cluster (tie → lowest
+    // id) — the cheapest physical move that can help.
+    std::uint32_t victim = kUnassigned;
+    std::uint64_t victim_count = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (cluster_home_[c] != hi) continue;
+      const std::uint64_t n = state_.CountOf(c);
+      if (n == 0) continue;
+      if (victim == kUnassigned || n < victim_count) {
+        victim = static_cast<std::uint32_t>(c);
+        victim_count = n;
+      }
+    }
+    if (victim == kUnassigned) break;
+    // Move only while it strictly shrinks the spread, else the loop would
+    // bounce one cluster between two shards forever.
+    if (std::max(load[hi] - victim_count, load[lo] + victim_count) >=
+        load[hi]) {
+      break;
+    }
+    cluster_home_[victim] = static_cast<std::uint32_t>(lo);
+    ++moves;
+  }
+  if (moves > 0) {
+    GKM_COUNTER_ADD("stream.rebalance.rehomed",
+                    static_cast<std::int64_t>(moves));
+  }
+  return moves;
+}
+
+std::size_t StreamingGkMeans::MigrateMisplaced(std::size_t budget) {
+  const std::size_t S = graph_.num_shards();
+  if (S < 2 || cluster_home_.empty() || budget == 0) return 0;
+  GKM_TRACE_SPAN("stream.migrate");
+  Matrix one(1, dim());
+  std::vector<std::uint32_t> place1(1), mode1(1), fresh1;
+  std::size_t moved = 0;
+  // The scan bound is frozen: a re-inserted row that lands past it is
+  // already home, and a slot reclaimed behind the cursor waits for the
+  // next window's sweep. No resume cursor on purpose — a checkpoint cut
+  // mid-sweep captures everything the next sweep needs in cluster_home_
+  // and labels_.
+  const std::size_t limit = labels_.size();
+  for (std::size_t i = 0; i < limit && moved < budget; ++i) {
+    const std::uint32_t l = labels_[i];
+    if (l == kUnassigned) continue;
+    const std::uint32_t home = cluster_home_[l];
+    const auto id = static_cast<std::uint32_t>(i);
+    if (GlobalId::Split(id, S).shard == home) continue;
+    // Copy the row out before the tombstone: in SQ8 mode Point() decodes
+    // into a transient ring slot the repair walk may recycle.
+    one.SetRow(0, graph_.Point(id));
+    const std::uint64_t birth = birth_window_[i];
+    // Graph-only move — Remove, then re-insert on the home shard. The
+    // cluster statistics never see the hop (the point does not change
+    // cluster), so composites stay bit-identical across any migration
+    // schedule.
+    labels_[i] = kUnassigned;
+    graph_.Remove(id, nullptr);
+    place1[0] = home;
+    mode1[0] = l;
+    fresh1.clear();
+    graph_.InsertBatch(one, pool_.get(), nullptr, nullptr, &fresh1, &place1,
+                       &mode1);
+    const std::uint32_t ng = fresh1[0];
+    labels_.resize(graph_.size(), kUnassigned);
+    birth_window_.resize(graph_.size(), windows_);
+    labels_[ng] = l;
+    birth_window_[ng] = birth;  // TTL clock survives the move
+    for (std::uint32_t& rep : cluster_reps_) {
+      if (rep == id) rep = ng;
+    }
+    ++moved;
+  }
+  if (moved > 0) {
+    GKM_COUNTER_ADD("stream.migrate.rows", static_cast<std::int64_t>(moved));
+  }
+  return moved;
+}
+
+void StreamingGkMeans::PublishReadState() {
+  if (params_.routed_placement && graph_.num_shards() > 1 && bootstrapped_ &&
+      !cluster_home_.empty()) {
+    auto router = std::make_shared<ShardRouter>();
+    router->centroids = state_.Centroids();
+    router->home = cluster_home_;
+    router->active.assign(params_.k, 0);
+    for (std::size_t c = 0; c < params_.k; ++c) {
+      router->active[c] = state_.CountOf(c) > 0 ? 1 : 0;
+    }
+    router->spill_margin = params_.spill_margin;
+    graph_.SetRouter(std::move(router));
+  }
+  if (params_.read_replicas > 0) {
+    graph_.RefreshReplicas(params_.read_replicas, windows_);
+  }
+}
+
 void StreamingGkMeans::Consolidate(std::size_t epochs) {
   GKM_CHECK_MSG(bootstrapped_, "Consolidate before bootstrap");
   const std::vector<std::uint32_t> all = AliveIds();
@@ -744,6 +991,7 @@ StreamSnapshot StreamingGkMeans::Snapshot() const {
     s.shards[i].rng = shard.rng_state();
     s.shards[i].seeds = shard.seed_state();
     s.shards[i].removal = shard.removal_state();
+    s.shards[i].mode_seeds = shard.mode_seed_states();
     if (shard.sq8_trained()) {
       Sq8ArenaParts& sq8 = s.shards[i].sq8;
       sq8.trained = true;
@@ -762,6 +1010,7 @@ StreamSnapshot StreamingGkMeans::Snapshot() const {
   s.sum_point_norms = state_.SumPointNormSqr();
   s.prev_centroids = prev_centroids_;
   s.cluster_reps = cluster_reps_;
+  s.cluster_home = cluster_home_;
   s.windows = windows_;
   s.bootstrapped = bootstrapped_;
   s.rng = rng_.Snapshot();

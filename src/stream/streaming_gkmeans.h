@@ -81,6 +81,35 @@ struct StreamingGkMeansParams {
   /// checkpoints — a resumed process picks its own.
   std::size_t ingest_threads = 0;
   std::uint64_t seed = 42;
+  /// Cluster-routed shard placement ("Cluster-and-Conquer"): every cluster
+  /// gets a deterministic home shard, new points land on their nearest
+  /// cluster's home shard, and routed queries search one shard instead of
+  /// merging all S. Model state — it changes where every point lives — so
+  /// it is persisted; enabling it makes checkpoints emit GKMC v6 (off
+  /// keeps the v4/v5 bytes golden-pinned). Also enables the per-mode
+  /// adaptive seed budgets (rows are tagged with their nearest cluster).
+  bool routed_placement = false;
+  /// Routed-query spill tolerance: also search the runner-up shard when
+  /// the best foreign-shard cluster scores within (1 + spill_margin) of
+  /// the best cluster, in squared-distance space. Recall-vs-work knob;
+  /// persisted (v6).
+  double spill_margin = 0.35;
+  /// Home-shard rebalance trigger: when the most loaded shard exceeds the
+  /// mean load by this fraction (skew = max/avg - 1), its smallest cluster
+  /// is re-homed to the least loaded shard. 0 disables. Loads are the
+  /// checkpointed cluster counts — never wall-clock measurements — so
+  /// rebalancing stays a pure function of the stream. Persisted (v6).
+  double rebalance_threshold = 0.0;
+  /// Rows physically migrated to their home shard per window. TTL churn
+  /// and re-homing strand rows on foreign shards; a budgeted sweep drains
+  /// them lowest global slot first. Persisted (v6).
+  std::size_t migrate_budget = 1024;
+  /// Read replicas per shard (snapshot copies refreshed after every
+  /// committed ingest op; 0 disables). Queries against the replica table
+  /// never touch the writers' locks, so read throughput scales past the
+  /// writer count. Persisted (v6); the replicas themselves are derived
+  /// state, rebuilt from the leader on resume.
+  std::size_t read_replicas = 0;
 };
 
 /// Per-window diagnostics (the streaming analogue of IterStat).
@@ -94,6 +123,8 @@ struct WindowStats {
   std::size_t reseeded = 0;     ///< empty clusters re-seeded
   std::size_t split_merges = 0; ///< split/merge maintenance ops executed
   std::size_t expired = 0;      ///< points retired by TTL this window
+  std::size_t migrated = 0;     ///< rows moved to their home shard
+  std::size_t rehomed = 0;      ///< clusters re-homed by the rebalancer
   double max_drift = 0.0;       ///< max centroid shift / RMS radius
   double distortion = 0.0;      ///< E (Eqn. 4) over all points so far
 };
@@ -117,6 +148,10 @@ struct StreamSnapshot {
   double sum_point_norms = 0.0;
   Matrix prev_centroids;                  ///< drift baseline (may be empty)
   std::vector<std::uint32_t> cluster_reps;///< routing representative per cluster
+  /// Home shard per cluster (routed placement). Empty when routing is off
+  /// or the model is not yet bootstrapped; size k with entries <
+  /// params.graph.shards otherwise.
+  std::vector<std::uint32_t> cluster_home;
   std::uint64_t windows = 0;              ///< stream cursor: windows consumed
   bool bootstrapped = false;
   RngSnapshot rng;                        ///< clusterer RNG
@@ -178,6 +213,20 @@ class StreamingGkMeans {
   const ShardedOnlineKnnGraph& graph() const { return graph_; }
   /// Per-slot labels; tombstoned slots hold UINT32_MAX ("unassigned").
   const std::vector<std::uint32_t>& labels() const { return labels_; }
+  /// Home shard per cluster (routed placement); empty until bootstrap or
+  /// when routing is off.
+  const std::vector<std::uint32_t>& cluster_home() const {
+    return cluster_home_;
+  }
+
+  /// Rebuilds and republishes the derived read state — the query router
+  /// (post-window centroids + cluster homes) and the read replicas — from
+  /// the current checkpointed model. ObserveWindow calls this at the end
+  /// of every window; ingest front-ends call it after out-of-band
+  /// mutations (the serving daemon's remove opcode) and once after a
+  /// checkpoint resume, so replica contents stay a pure function of the
+  /// accepted-op sequence. No-op unless routing or replicas are enabled.
+  void PublishReadState();
   /// Read-only view of the composite-vector statistics (live points only).
   const ClusterState& cluster_state() const { return state_; }
   /// Per-window diagnostics, most recent `history_limit` windows only.
@@ -205,8 +254,13 @@ class StreamingGkMeans {
   /// of a window run it concurrently. In SQ8 mode centroids are scored
   /// through the quantized asymmetric kernel — hints are routing aids, not
   /// invariants, so the cheaper approximate ranking is sound.
+  /// When `nearest_active` is non-null it additionally receives the id of
+  /// the nearest non-empty cluster (tie → lowest id; UINT32_MAX when every
+  /// cluster is empty) — the row's routing mode for placement and the
+  /// per-mode seed budgets.
   void ComputeRouteHints(const float* x, const Matrix& centroids,
-                         std::vector<std::uint32_t>& hints) const;
+                         std::vector<std::uint32_t>& hints,
+                         std::uint32_t* nearest_active = nullptr) const;
 
   /// Rebuilds the per-window SQ8 centroid table ComputeRouteHints scores
   /// against (kSq8 mode only; clears it otherwise). Called once per window
@@ -246,6 +300,27 @@ class StreamingGkMeans {
   /// max_splits_per_window times per call.
   void SplitMergeMaintain(WindowStats& ws);
 
+  /// Greedy deterministic home assignment at bootstrap: clusters ordered
+  /// by (count desc, id asc), each to the least-loaded shard so far (tie →
+  /// lowest shard index). Sizes cluster_home_ to k.
+  void AssignClusterHomes();
+
+  /// Re-homes clusters when checkpointed shard loads skew beyond
+  /// rebalance_threshold: repeatedly moves the most loaded shard's
+  /// smallest non-empty cluster to the least loaded shard while that
+  /// strictly reduces the spread (at most k moves). Updates cluster_home_
+  /// only; MigrateMisplaced performs the physical row moves.
+  std::size_t RebalanceHomes();
+
+  /// Budgeted migration sweep: scans global slots ascending and moves up
+  /// to `budget` live rows whose shard differs from their cluster's home —
+  /// graph node re-inserted on the home shard, label/birth-window/
+  /// representative bookkeeping carried over, cluster statistics untouched
+  /// (the point never leaves its cluster). Stateless by design (no resume
+  /// cursor): a checkpoint taken mid-migration captures everything the
+  /// next sweep needs in cluster_home_ + labels_. Returns rows moved.
+  std::size_t MigrateMisplaced(std::size_t budget);
+
   // Lock discipline: the clusterer owns no lock, and every field below is
   // ingest-thread-owned — written only inside ObserveWindow/RemovePoint/
   // Snapshot callers, which the API contract serializes on one logical
@@ -265,6 +340,10 @@ class StreamingGkMeans {
   /// a walk entry point when inserting nearby new points. Staleness after
   /// relabeling is harmless — a hint is a routing aid, not an invariant.
   std::vector<std::uint32_t> cluster_reps_;
+  /// Home shard per cluster (routed placement; empty until bootstrap or
+  /// when routing is off). Checkpointed — placement must survive restarts
+  /// bit-for-bit.
+  std::vector<std::uint32_t> cluster_home_;
   /// Window index each slot's point was ingested in (TTL bookkeeping;
   /// resized with the arena, stale for reclaimed slots until reuse).
   std::vector<std::uint64_t> birth_window_;

@@ -270,6 +270,98 @@ TEST(ServeLoop, RestartFromCheckpointAnswersBitIdentical) {
   EXPECT_EQ(slurp(TempPath("serve_a.gkmc")), slurp(TempPath("serve_b.gkmc")));
 }
 
+TEST(ServeLoop, RoutedReplicaWorkersServeConcurrentClients) {
+  // Routed placement + read replicas + several search workers draining
+  // one SearchBatcher concurrently (the multi-consumer FlushOnce path),
+  // with replica-table republication racing the reads. Served answers
+  // must match a local model's replica reads against the same stream.
+  ServerOptions opts = SmallServer();
+  opts.params.routed_placement = true;
+  opts.params.read_replicas = 1;
+  opts.search_workers = 3;
+  std::string error;
+  std::unique_ptr<Server> server = Server::Start(opts, &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  const Matrix seed_data = MakeData(400, 21);
+  std::unique_ptr<Client> ingest_client = MustConnect(server->port());
+  Feed(*ingest_client, seed_data, 100);
+
+  std::thread ingester([&server] {
+    std::unique_ptr<Client> c = MustConnect(server->port());
+    const Matrix more = MakeData(200, 22);
+    for (std::size_t b = 0; b < 200; b += 50) {
+      std::vector<std::uint32_t> assigned;
+      ASSERT_EQ(c->Insert(SliceRows(more, b, b + 50), &assigned),
+                Client::Status::kOk);
+      // Under routed placement a migrated row is re-published under a
+      // fresh global id, so a just-assigned id can already be stale; the
+      // server answers removed=0 for it instead of failing the batch.
+      const std::vector<std::uint32_t> victims(assigned.begin(),
+                                               assigned.begin() + 5);
+      std::vector<std::uint8_t> removed;
+      ASSERT_EQ(c->Remove(victims, &removed), Client::Status::kOk);
+      ASSERT_EQ(removed.size(), victims.size());
+    }
+  });
+  std::vector<std::thread> searchers;
+  for (int t = 0; t < 3; ++t) {
+    searchers.emplace_back([&server, t] {
+      std::unique_ptr<Client> c = MustConnect(server->port());
+      const Matrix queries = MakeData(30, 200 + t);
+      for (std::size_t q = 0; q < queries.rows(); ++q) {
+        std::vector<Neighbor> got;
+        ASSERT_EQ(c->Search(queries.Row(q), kDim, 5, &got),
+                  Client::Status::kOk);
+        EXPECT_EQ(got.size(), 5u);
+        for (std::size_t j = 1; j < got.size(); ++j) {
+          EXPECT_LE(got[j - 1].dist, got[j].dist);
+        }
+      }
+    });
+  }
+  ingester.join();
+  for (std::thread& th : searchers) th.join();
+
+  // Quiescent now: the served answer must be exactly the local model's
+  // replica read against the same accepted-op sequence.
+  StreamingGkMeans local(kDim, opts.params);
+  for (std::size_t b = 0; b < 400; b += 100) {
+    local.ObserveWindow(SliceRows(seed_data, b, b + 100));
+  }
+  const Matrix more = MakeData(200, 22);
+  std::vector<std::uint32_t> local_removals;
+  for (std::size_t b = 0; b < 200; b += 50) {
+    std::vector<std::uint32_t> assigned;
+    local.ObserveWindow(SliceRows(more, b, b + 50), &assigned);
+    // Mirror the server's idempotent remove: migration may have retired
+    // an assigned id already, and ApplyRemove skips not-alive ids.
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::uint32_t id = assigned[i];
+      if (id < local.points_seen() && local.graph().IsAlive(id)) {
+        local.RemovePoint(id);
+      }
+    }
+    local.PublishReadState();
+  }
+  const Matrix queries = MakeData(20, 300);
+  SearchScratch scratch;
+  const std::vector<std::vector<Neighbor>> direct =
+      local.graph().SearchKnnBatchReplica(queries, 5, scratch);
+  std::vector<std::vector<Neighbor>> served;
+  ASSERT_EQ(ingest_client->BatchSearch(queries, 5, &served),
+            Client::Status::kOk);
+  ASSERT_EQ(served.size(), direct.size());
+  for (std::size_t q = 0; q < served.size(); ++q) {
+    ASSERT_EQ(served[q].size(), direct[q].size()) << "query " << q;
+    for (std::size_t j = 0; j < served[q].size(); ++j) {
+      EXPECT_EQ(served[q][j], direct[q][j]) << "query " << q << " rank " << j;
+    }
+  }
+  EXPECT_GT(local.graph().replica_reads(), 0u);
+  server->Shutdown();
+}
+
 TEST(ServeLoop, NoSilentDropsUnderIngestFlood) {
   // Tiny ingest queue + concurrent inserters: some requests are refused
   // with OVERLOADED. The contract under test: every request gets exactly

@@ -417,10 +417,10 @@ TEST(StreamConcurrencyTest, ShardSearchIsNotBlockedByForeignShardCommits) {
     while (!stop.load(std::memory_order_relaxed)) {
       const auto got = graph.SearchKnnInShard(
           0, queries.vectors.Row(q % queries.vectors.rows()), 10, scratch);
-      bool good = !got.empty() && got.size() <= 10;
-      for (std::size_t i = 0; i < got.size(); ++i) {
-        good = good && got[i].id % 2 == 0;  // shard-0 global ids are even
-        if (i > 0) good = good && got[i - 1].dist <= got[i].dist;
+      bool good = got.has_value() && !got->empty() && got->size() <= 10;
+      for (std::size_t i = 0; good && i < got->size(); ++i) {
+        good = good && (*got)[i].id % 2 == 0;  // shard-0 global ids are even
+        if (i > 0) good = good && (*got)[i - 1].dist <= (*got)[i].dist;
       }
       if (!good) ok.store(false);
       searches.fetch_add(1);

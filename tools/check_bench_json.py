@@ -34,6 +34,14 @@ REQUIRED_KEYS = {
         "sq8_arena_ratio",
         "recall_at_10_sq8",
         "recall_at_10_sq8_post_churn",
+        # Cluster-routed sharding: the single-shard fast path must report
+        # its recall (fresh + post-churn) and its QPS edge over the merged
+        # fan-out, or the routed section silently vanished.
+        "recall_at_10_routed",
+        "recall_at_10_routed_post_churn",
+        "qps_routed",
+        "qps_merged_s4",
+        "routed_qps_ratio",
     ],
     "stream_throughput": [
         "sq8_ingest_ratio",
@@ -47,6 +55,11 @@ REQUIRED_KEYS = {
         "p99_us",
         "qps",
         "overload_rate",
+        # Replica read path: routed+replica fan-out vs the single-reader
+        # merged baseline over the same corpus.
+        "routed_qps",
+        "merged_qps",
+        "routed_merged_qps_ratio",
     ],
 }
 
